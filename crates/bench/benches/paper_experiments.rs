@@ -1,0 +1,23 @@
+//! Criterion benches — one target per paper table/figure.
+//!
+//! These measure the *simulator's* throughput regenerating each artifact at
+//! reduced scale (Criterion needs many iterations; paper-scale runs live in
+//! the `repro` binary).
+
+use bl_bench::run_experiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    for id in [
+        "table1", "table2", "fig2", "fig3", "fig6", "table3", "table4", "fig9", "fig10",
+        "table5",
+    ] {
+        g.bench_function(id, |b| b.iter(|| run_experiment(id, 42, true)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

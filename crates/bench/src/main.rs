@@ -1,0 +1,83 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! repro                 # run everything at paper scale
+//! repro --exp table3    # one experiment
+//! repro --fast          # shortened runs (CI smoke)
+//! repro --seed 7        # different stochastic draws
+//! repro --list          # experiment ids
+//! ```
+
+use bl_bench::{run_experiment, run_experiment_json, EXPERIMENTS, SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp: Option<String> = None;
+    let mut seed = SEED;
+    let mut fast = false;
+    let mut json = false;
+    let mut out_dir: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--exp" => exp = it.next().cloned(),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes an integer")
+            }
+            "--fast" => fast = true,
+            "--json" => json = true,
+            "--out" => out_dir = it.next().cloned(),
+            "--list" => {
+                for e in EXPERIMENTS {
+                    println!("{e}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--exp <id>] [--seed <n>] [--fast] [--json] [--out <dir>] [--list]\n\
+                     ids: {}",
+                    EXPERIMENTS.join(", ")
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let render = |id: &str| -> String {
+        if json {
+            serde_json::to_string_pretty(&run_experiment_json(id, seed, fast))
+                .expect("results serialize")
+        } else {
+            run_experiment(id, seed, fast)
+        }
+    };
+    let emit = |id: &str, body: String| match &out_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("create --out directory");
+            let ext = if json { "json" } else { "txt" };
+            let path = format!("{dir}/{id}.{ext}");
+            std::fs::write(&path, body).expect("write result file");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{body}\n"),
+    };
+
+    match exp {
+        Some(id) => emit(&id, render(&id)),
+        None => {
+            for id in EXPERIMENTS {
+                eprintln!(">>> running {id} ...");
+                emit(id, render(id));
+            }
+        }
+    }
+}

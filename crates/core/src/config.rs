@@ -1,0 +1,179 @@
+//! Whole-system configuration for one simulation run.
+
+use bl_governor::GovernorConfig;
+use bl_kernel::hmp::HmpParams;
+use bl_kernel::policy::AsymPolicy;
+use bl_platform::config::CoreConfig;
+use bl_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Everything that defines a run besides the workload: enabled cores,
+/// governors, scheduler parameters, screen state and the random seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Which cores are online (default: all eight).
+    pub core_config: CoreConfig,
+    /// Governor per cluster, index = cluster id (default: interactive on
+    /// both).
+    pub governors: Vec<GovernorConfig>,
+    /// HMP scheduler tunables.
+    pub hmp: HmpParams,
+    /// Whether big↔little migration runs (disabled for pinned experiments).
+    pub hmp_enabled: bool,
+    /// Optional scheduling-policy override (paper §IV.A alternatives). When
+    /// `None`, the policy is derived from `hmp` / `hmp_enabled`.
+    #[serde(default)]
+    pub policy: Option<AsymPolicy>,
+    /// Whether intra-cluster balancing runs.
+    pub balance_enabled: bool,
+    /// Display on (mobile-app runs) or off (SPEC/microbenchmark runs).
+    pub screen_on: bool,
+    /// Master random seed; every stochastic draw derives from it.
+    pub seed: u64,
+    /// Metric sampling period (paper: 10 ms).
+    pub metric_period: SimDuration,
+    /// Enables the cpuidle subsystem (WFI / core-off promotion ladder);
+    /// off by default to match the paper's baseline calibration.
+    #[serde(default)]
+    pub cpuidle_enabled: bool,
+}
+
+impl SystemConfig {
+    /// The paper's baseline system: L4+B4, interactive governor with stock
+    /// tunables on both clusters, default HMP, screen on.
+    pub fn baseline() -> Self {
+        SystemConfig {
+            core_config: CoreConfig::BASELINE,
+            governors: vec![GovernorConfig::platform_default(); 2],
+            hmp: HmpParams::default_platform(),
+            hmp_enabled: true,
+            policy: None,
+            balance_enabled: true,
+            screen_on: true,
+            seed: 42,
+            metric_period: SimDuration::from_millis(10),
+            cpuidle_enabled: false,
+        }
+    }
+
+    /// Baseline with a different core configuration.
+    pub fn with_core_config(mut self, cc: CoreConfig) -> Self {
+        self.core_config = cc;
+        self
+    }
+
+    /// Sets the same governor on every cluster.
+    pub fn with_governor(mut self, g: GovernorConfig) -> Self {
+        self.governors = vec![g; self.governors.len().max(2)];
+        self
+    }
+
+    /// Sets per-cluster governors (index = cluster id).
+    pub fn with_governors(mut self, gs: Vec<GovernorConfig>) -> Self {
+        self.governors = gs;
+        self
+    }
+
+    /// Sets HMP parameters.
+    pub fn with_hmp(mut self, hmp: HmpParams) -> Self {
+        self.hmp = hmp;
+        self
+    }
+
+    /// Enables/disables HMP migration.
+    pub fn hmp_enabled(mut self, on: bool) -> Self {
+        self.hmp_enabled = on;
+        self
+    }
+
+    /// Overrides the asymmetric scheduling policy entirely (e.g. the
+    /// paper's §IV.A efficiency-based or parallelism-aware alternatives).
+    pub fn with_policy(mut self, policy: AsymPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// The effective policy for this configuration.
+    pub fn effective_policy(&self) -> AsymPolicy {
+        match self.policy {
+            Some(p) => p,
+            None if self.hmp_enabled => AsymPolicy::Hmp(self.hmp),
+            None => AsymPolicy::Disabled,
+        }
+    }
+
+    /// Sets the screen state.
+    pub fn screen(mut self, on: bool) -> Self {
+        self.screen_on = on;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the cpuidle subsystem (deep idle states).
+    pub fn with_cpuidle(mut self, on: bool) -> Self {
+        self.cpuidle_enabled = on;
+        self
+    }
+
+    /// Fixed-frequency configuration used by the architecture experiments:
+    /// userspace governors pinning `little_khz` / `big_khz`, HMP off,
+    /// screen off.
+    pub fn pinned_frequencies(little_khz: u32, big_khz: u32) -> Self {
+        SystemConfig::baseline()
+            .with_governors(vec![
+                GovernorConfig::Userspace(little_khz),
+                GovernorConfig::Userspace(big_khz),
+            ])
+            .hmp_enabled(false)
+            .screen(false)
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper_defaults() {
+        let c = SystemConfig::baseline();
+        assert_eq!(c.core_config, CoreConfig::BASELINE);
+        assert_eq!(c.governors.len(), 2);
+        assert_eq!(c.hmp.up_threshold, 700.0);
+        assert!(c.hmp_enabled);
+        assert!(c.screen_on);
+        assert_eq!(c.metric_period, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SystemConfig::baseline()
+            .with_core_config(CoreConfig::new(2, 1))
+            .with_hmp(HmpParams::aggressive())
+            .with_seed(7)
+            .screen(false);
+        assert_eq!(c.core_config, CoreConfig::new(2, 1));
+        assert_eq!(c.hmp.up_threshold, 550.0);
+        assert_eq!(c.seed, 7);
+        assert!(!c.screen_on);
+    }
+
+    #[test]
+    fn pinned_frequencies_disable_hmp_and_screen() {
+        let c = SystemConfig::pinned_frequencies(1_300_000, 800_000);
+        assert!(!c.hmp_enabled);
+        assert!(!c.screen_on);
+        assert_eq!(c.governors[0], GovernorConfig::Userspace(1_300_000));
+        assert_eq!(c.governors[1], GovernorConfig::Userspace(800_000));
+    }
+}

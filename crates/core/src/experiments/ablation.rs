@@ -1,0 +1,468 @@
+//! Ablation experiments beyond the paper's measurements, testing the design
+//! hypotheses its conclusion raises.
+//!
+//! * [`tiny_floor_ablation`] — §VI.B proposes a weaker "tiny" core for the
+//!   loads that sit in the Table-V *Min* state. We extend the little
+//!   cluster's DVFS floor to 200 MHz and measure how much of the Min
+//!   residency converts into lower power.
+//! * [`equal_l2_ablation`] — §III.A claims the L2 capacity gap *enlarges*
+//!   the big-core speedup beyond microarchitecture. We equalize the caches
+//!   and quantify the cache contribution per SPEC kernel.
+//! * [`governor_comparison`] — the paper only studies the interactive
+//!   governor's tunables; here the classic Linux governors are swept over
+//!   the app suite as additional baselines.
+//! * [`scheduler_comparison`] — §IV.A describes three asymmetric-scheduling
+//!   approaches but measures only the shipped utilization-based HMP; the
+//!   simulator runs the efficiency-based and parallelism-aware academic
+//!   alternatives on the same workloads.
+
+use crate::result::RunResult;
+use crate::sim::Simulation;
+use crate::SystemConfig;
+use bl_governor::classic::{ConservativeParams, OndemandParams};
+use bl_governor::GovernorConfig;
+use bl_kernel::policy::AsymPolicy;
+use bl_metrics::report::{fnum, pct, TextTable};
+use bl_platform::config::CoreConfig;
+use bl_platform::exynos::{exynos5422, exynos5422_equal_l2, exynos5422_tiny_floor};
+use bl_platform::ids::{CoreKind, CpuId};
+use bl_simcore::time::{SimDuration, SimTime};
+use bl_workloads::apps::{mobile_apps, AppModel};
+use bl_workloads::spec::SpecKernel;
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Tiny-core (extended DVFS floor) ablation
+// ---------------------------------------------------------------------------
+
+/// Per-app outcome of the tiny-floor ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TinyFloorRow {
+    /// App name.
+    pub name: String,
+    /// Baseline run (500 MHz floor).
+    pub baseline: RunResult,
+    /// Run with the 200 MHz floor.
+    pub tiny: RunResult,
+}
+
+impl TinyFloorRow {
+    /// Power saving from the lower floor, percent.
+    pub fn power_saving_pct(&self) -> f64 {
+        (1.0 - self.tiny.avg_power_mw / self.baseline.avg_power_mw) * 100.0
+    }
+
+    /// Reduction of the Table-V "Min" share, percentage points.
+    pub fn min_share_drop_pp(&self) -> f64 {
+        self.baseline.efficiency_pct[0] - self.tiny.efficiency_pct[0]
+    }
+}
+
+/// Runs every app on the baseline and the tiny-floor platform.
+pub fn tiny_floor_ablation(apps: Vec<AppModel>, seed: u64) -> Vec<TinyFloorRow> {
+    apps.into_iter()
+        .map(|app| {
+            let cfg = SystemConfig::baseline().with_seed(seed);
+            let baseline = {
+                let mut sim = Simulation::new(cfg.clone());
+                sim.spawn_app(&app);
+                sim.run_app(&app)
+            };
+            let tiny = {
+                let mut sim = Simulation::with_platform(exynos5422_tiny_floor(), cfg);
+                sim.spawn_app(&app);
+                sim.run_app(&app)
+            };
+            TinyFloorRow { name: app.name.to_string(), baseline, tiny }
+        })
+        .collect()
+}
+
+/// Renders the tiny-floor ablation table.
+pub fn render_tiny_floor(rows: &[TinyFloorRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "App".into(),
+        "Min% base".into(),
+        "Min% tiny".into(),
+        "Power saving %".into(),
+    ])
+    .with_title("Ablation: 200 MHz little-cluster floor (the paper's 'tiny core' hypothesis)");
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            pct(r.baseline.efficiency_pct[0]),
+            pct(r.tiny.efficiency_pct[0]),
+            fnum(r.power_saving_pct(), 2),
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// Equal-L2 ablation
+// ---------------------------------------------------------------------------
+
+/// Per-kernel outcome of the equal-L2 ablation at iso-frequency 1.3 GHz.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EqualL2Row {
+    /// SPEC kernel name.
+    pub name: String,
+    /// Big/little speedup with the real 2 MB big L2.
+    pub speedup_real: f64,
+    /// Big/little speedup with both clusters at 512 KB.
+    pub speedup_equal_l2: f64,
+}
+
+impl EqualL2Row {
+    /// Multiplicative share of the speedup owed to the L2 capacity gap.
+    pub fn cache_contribution(&self) -> f64 {
+        self.speedup_real / self.speedup_equal_l2
+    }
+}
+
+/// Measures the iso-frequency (1.3 GHz) big-core speedup with and without
+/// the L2 capacity gap, end-to-end through the simulator.
+pub fn equal_l2_ablation(ref_duration: SimDuration, seed: u64) -> Vec<EqualL2Row> {
+    let run = |platform: bl_platform::topology::Platform,
+               kernel: &SpecKernel,
+               kind: CoreKind|
+     -> f64 {
+        let (cc, cpu, little_khz, big_khz) = match kind {
+            CoreKind::Little => (CoreConfig::new(1, 0), CpuId(0), 1_300_000, 800_000),
+            CoreKind::Big => (CoreConfig::new(1, 1), CpuId(4), 500_000, 1_300_000),
+        };
+        let cfg = SystemConfig::pinned_frequencies(little_khz, big_khz)
+            .with_core_config(cc)
+            .with_seed(seed);
+        let mut sim = Simulation::with_platform(platform, cfg);
+        sim.spawn_spec(kernel, cpu, ref_duration);
+        sim.run_until_or(SimTime::ZERO + ref_duration * 4, |s| s.kernel().all_exited());
+        sim.finish().latency.expect("kernel finished").as_secs_f64()
+    };
+    SpecKernel::suite()
+        .into_iter()
+        .map(|k| {
+            let t_little = run(exynos5422(), &k, CoreKind::Little);
+            let t_big_real = run(exynos5422(), &k, CoreKind::Big);
+            let t_big_small = run(exynos5422_equal_l2(), &k, CoreKind::Big);
+            EqualL2Row {
+                name: k.name.to_string(),
+                speedup_real: t_little / t_big_real,
+                speedup_equal_l2: t_little / t_big_small,
+            }
+        })
+        .collect()
+}
+
+/// Renders the equal-L2 ablation table.
+pub fn render_equal_l2(rows: &[EqualL2Row]) -> String {
+    let mut t = TextTable::new(vec![
+        "Benchmark".into(),
+        "speedup (2MB L2)".into(),
+        "speedup (512KB L2)".into(),
+        "cache factor".into(),
+    ])
+    .with_title("Ablation: big-core speedup at 1.3GHz with and without the L2 capacity gap");
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.2}x", r.speedup_real),
+            format!("{:.2}x", r.speedup_equal_l2),
+            format!("{:.2}x", r.cache_contribution()),
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// Governor comparison (beyond the paper)
+// ---------------------------------------------------------------------------
+
+/// One app under one governor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GovernorRow {
+    /// Governor label.
+    pub governor: String,
+    /// Per-app results (same order as [`mobile_apps()`]).
+    pub results: Vec<(String, RunResult)>,
+}
+
+/// Sweeps the classic Linux governors over `apps`.
+pub fn governor_comparison(apps: Vec<AppModel>, seed: u64) -> Vec<GovernorRow> {
+    let governors = vec![
+        ("interactive".to_string(), GovernorConfig::platform_default()),
+        ("ondemand".to_string(), GovernorConfig::Ondemand(OndemandParams::default())),
+        (
+            "conservative".to_string(),
+            GovernorConfig::Conservative(ConservativeParams::default()),
+        ),
+        ("performance".to_string(), GovernorConfig::Performance),
+        ("powersave".to_string(), GovernorConfig::Powersave),
+    ];
+    governors
+        .into_iter()
+        .map(|(label, g)| {
+            let results = apps
+                .iter()
+                .map(|app| {
+                    let cfg = SystemConfig::baseline().with_governor(g).with_seed(seed);
+                    let r = super::run_app_with(app, cfg);
+                    (app.name.to_string(), r)
+                })
+                .collect();
+            GovernorRow { governor: label, results }
+        })
+        .collect()
+}
+
+/// Renders the governor comparison (average power and energy per governor).
+pub fn render_governor_comparison(rows: &[GovernorRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "Governor".into(),
+        "Avg power mW".into(),
+        "Avg energy mJ".into(),
+    ])
+    .with_title("Extension: classic-governor sweep over the app suite");
+    for r in rows {
+        let n = r.results.len() as f64;
+        let p: f64 = r.results.iter().map(|(_, x)| x.avg_power_mw).sum::<f64>() / n;
+        let e: f64 = r.results.iter().map(|(_, x)| x.energy_mj).sum::<f64>() / n;
+        t.row(vec![r.governor.clone(), fnum(p, 0), fnum(e, 0)]);
+    }
+    t.render()
+}
+
+/// Convenience: the full tiny-floor ablation over all 12 apps.
+pub fn tiny_floor_full(seed: u64) -> Vec<TinyFloorRow> {
+    tiny_floor_ablation(mobile_apps(), seed)
+}
+
+// ---------------------------------------------------------------------------
+// Cpuidle ablation (deep idle states)
+// ---------------------------------------------------------------------------
+
+/// One app with and without the cpuidle subsystem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuidleRow {
+    /// App name.
+    pub name: String,
+    /// Run with shallow idle only (paper-calibrated baseline).
+    pub baseline: RunResult,
+    /// Run with the WFI/core-off promotion ladder enabled.
+    pub cpuidle: RunResult,
+}
+
+impl CpuidleRow {
+    /// Power saving from deep idle, percent.
+    pub fn power_saving_pct(&self) -> f64 {
+        (1.0 - self.cpuidle.avg_power_mw / self.baseline.avg_power_mw) * 100.0
+    }
+}
+
+/// Measures what deep idle states buy on each app — the saving should
+/// track the app's idle share (paper Table III).
+pub fn cpuidle_ablation(apps: Vec<AppModel>, seed: u64) -> Vec<CpuidleRow> {
+    apps.into_iter()
+        .map(|app| {
+            let baseline = super::run_app_with(
+                &app,
+                SystemConfig::baseline().with_seed(seed),
+            );
+            let cpuidle = super::run_app_with(
+                &app,
+                SystemConfig::baseline().with_seed(seed).with_cpuidle(true),
+            );
+            CpuidleRow { name: app.name.to_string(), baseline, cpuidle }
+        })
+        .collect()
+}
+
+/// Renders the cpuidle ablation table.
+pub fn render_cpuidle(rows: &[CpuidleRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "App".into(),
+        "Idle %".into(),
+        "Power base mW".into(),
+        "Power cpuidle mW".into(),
+        "Saving %".into(),
+    ])
+    .with_title("Ablation: deep idle states (WFI / core-off promotion ladder)");
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            pct(r.baseline.tlp.idle_pct),
+            fnum(r.baseline.avg_power_mw, 0),
+            fnum(r.cpuidle.avg_power_mw, 0),
+            fnum(r.power_saving_pct(), 2),
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling-policy comparison (paper §IV.A's three approaches)
+// ---------------------------------------------------------------------------
+
+/// One app under one scheduling policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyRow {
+    /// Policy label.
+    pub policy: String,
+    /// Per-app results (same order as the `apps` argument).
+    pub results: Vec<(String, RunResult)>,
+}
+
+/// Compares the paper's three asymmetric-scheduling approaches — the
+/// production utilization-based HMP, efficiency-based (Kumar et al.) and
+/// parallelism-aware (Saez et al.) — on the same workloads. The paper
+/// describes all three (§IV.A) but can only measure the one its platform
+/// ships; the simulator runs them all.
+pub fn scheduler_comparison(apps: Vec<AppModel>, seed: u64) -> Vec<PolicyRow> {
+    let policies = vec![
+        ("utilization (HMP)".to_string(), AsymPolicy::default_hmp()),
+        ("efficiency-based".to_string(), AsymPolicy::efficiency_based()),
+        ("parallelism-aware".to_string(), AsymPolicy::parallelism_aware()),
+    ];
+    policies
+        .into_iter()
+        .map(|(label, policy)| {
+            let results = apps
+                .iter()
+                .map(|app| {
+                    let cfg = SystemConfig::baseline().with_policy(policy).with_seed(seed);
+                    (app.name.to_string(), super::run_app_with(app, cfg))
+                })
+                .collect();
+            PolicyRow { policy: label, results }
+        })
+        .collect()
+}
+
+/// Renders the scheduler comparison: per policy, average power, big-core
+/// usage and a performance summary.
+pub fn render_scheduler_comparison(rows: &[PolicyRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "Policy".into(),
+        "Avg power mW".into(),
+        "Avg big-active %".into(),
+        "Avg latency s".into(),
+        "Avg FPS".into(),
+    ])
+    .with_title("Extension: the paper's three scheduling approaches (§IV.A) compared");
+    for r in rows {
+        let n = r.results.len() as f64;
+        let p: f64 = r.results.iter().map(|(_, x)| x.avg_power_mw).sum::<f64>() / n;
+        let b: f64 = r.results.iter().map(|(_, x)| x.tlp.big_pct).sum::<f64>() / n;
+        let lats: Vec<f64> = r
+            .results
+            .iter()
+            .filter_map(|(_, x)| x.latency.map(|l| l.as_secs_f64()))
+            .collect();
+        let fpss: Vec<f64> = r
+            .results
+            .iter()
+            .filter_map(|(_, x)| x.fps.map(|f| f.avg_fps))
+            .collect();
+        let avg = |v: &[f64]| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        t.row(vec![
+            r.policy.clone(),
+            fnum(p, 0),
+            fnum(b, 1),
+            fnum(avg(&lats), 2),
+            fnum(avg(&fpss), 1),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bl_workloads::apps::app_by_name;
+
+    #[test]
+    fn tiny_floor_saves_power_on_low_demand_apps() {
+        let rows = tiny_floor_ablation(vec![app_by_name("Video Player").unwrap()], 5);
+        let r = &rows[0];
+        // The 200 MHz floor must reduce the Min share and save power for
+        // the archetypal low-demand app.
+        assert!(
+            r.min_share_drop_pp() > 10.0,
+            "Min share should fall: base {:.1} -> tiny {:.1}",
+            r.baseline.efficiency_pct[0],
+            r.tiny.efficiency_pct[0]
+        );
+        assert!(r.power_saving_pct() > 0.5, "saving {:.2}%", r.power_saving_pct());
+        // And playback must not collapse.
+        let (fb, ft) = (r.baseline.fps.unwrap(), r.tiny.fps.unwrap());
+        assert!(ft.avg_fps > fb.avg_fps * 0.9);
+        assert!(!render_tiny_floor(&rows).is_empty());
+    }
+
+    #[test]
+    fn equal_l2_shrinks_cache_sensitive_speedups_only() {
+        let rows = equal_l2_ablation(SimDuration::from_millis(150), 5);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        // mcf loses a large factor; hmmer (compute-bound) barely changes.
+        assert!(get("mcf").cache_contribution() > 1.5);
+        assert!(get("hmmer").cache_contribution() < 1.1);
+        for r in &rows {
+            assert!(
+                r.speedup_real >= r.speedup_equal_l2 - 0.02,
+                "{}: bigger cache can only help",
+                r.name
+            );
+        }
+        assert!(!render_equal_l2(&rows).is_empty());
+    }
+
+    #[test]
+    fn scheduler_comparison_shows_the_papers_tradeoff() {
+        // The paper (§IV.A): the academic policies can improve performance
+        // by using big cores more eagerly — at a power cost the
+        // utilization-based scheduler avoids.
+        let apps = vec![
+            bl_workloads::apps::app_by_name("Encoder").unwrap(),
+            bl_workloads::apps::app_by_name("Eternity Warriors 2").unwrap(),
+        ];
+        let rows = scheduler_comparison(apps, 5);
+        let find = |label: &str| rows.iter().find(|r| r.policy.contains(label)).unwrap();
+        let hmp = find("utilization");
+        let eff = find("efficiency");
+        let avg_power = |r: &PolicyRow| {
+            r.results.iter().map(|(_, x)| x.avg_power_mw).sum::<f64>() / r.results.len() as f64
+        };
+        let avg_big = |r: &PolicyRow| {
+            r.results.iter().map(|(_, x)| x.tlp.big_pct).sum::<f64>() / r.results.len() as f64
+        };
+        assert!(avg_big(eff) > avg_big(hmp), "efficiency policy must use big cores more");
+        assert!(avg_power(eff) > avg_power(hmp), "...at a power cost");
+        // And it must not be slower on the latency app.
+        let hmp_lat = hmp.results[0].1.latency.unwrap();
+        let eff_lat = eff.results[0].1.latency.unwrap();
+        assert!(eff_lat <= hmp_lat.mul_f64(1.05), "{eff_lat} vs {hmp_lat}");
+        assert!(!render_scheduler_comparison(&rows).is_empty());
+    }
+
+    #[test]
+    fn governor_comparison_orders_power_sensibly() {
+        let rows = governor_comparison(vec![app_by_name("FIFA 15").unwrap()], 5);
+        let power = |g: &str| {
+            rows.iter()
+                .find(|r| r.governor == g)
+                .unwrap()
+                .results[0]
+                .1
+                .avg_power_mw
+        };
+        assert!(power("performance") > power("interactive"));
+        assert!(power("interactive") >= power("powersave"));
+        assert!(!render_governor_comparison(&rows).is_empty());
+    }
+}

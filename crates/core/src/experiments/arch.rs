@@ -1,0 +1,291 @@
+//! Architecture characterization experiments (paper §III, Figures 2, 3, 6).
+
+use crate::sim::Simulation;
+use crate::SystemConfig;
+use bl_metrics::report::{fnum, TextTable};
+use bl_platform::config::CoreConfig;
+use bl_platform::exynos::exynos5422;
+use bl_platform::ids::{CoreKind, CpuId};
+use bl_simcore::time::{SimDuration, SimTime};
+use bl_workloads::spec::SpecKernel;
+use serde::{Deserialize, Serialize};
+
+/// The four single-core configurations of Figures 2 and 3.
+pub const SPEC_CONFIGS: [(&str, CoreKind, u32); 4] = [
+    ("little@1.3GHz", CoreKind::Little, 1_300_000),
+    ("big@0.8GHz", CoreKind::Big, 800_000),
+    ("big@1.3GHz", CoreKind::Big, 1_300_000),
+    ("big@1.9GHz", CoreKind::Big, 1_900_000),
+];
+
+/// One benchmark's measurements across the four configurations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpecRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Completion time per configuration, seconds (order of
+    /// [`SPEC_CONFIGS`]).
+    pub time_s: [f64; 4],
+    /// Average full-system power per configuration, mW.
+    pub power_mw: [f64; 4],
+}
+
+impl SpecRow {
+    /// Speedups of the three big configurations over little@1.3 (Figure 2
+    /// bars): `[big@0.8, big@1.3, big@1.9]`.
+    pub fn speedups(&self) -> [f64; 3] {
+        [
+            self.time_s[0] / self.time_s[1],
+            self.time_s[0] / self.time_s[2],
+            self.time_s[0] / self.time_s[3],
+        ]
+    }
+}
+
+/// Results of the SPEC single-core sweep shared by Figures 2 and 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpecMatrix {
+    /// One row per benchmark.
+    pub rows: Vec<SpecRow>,
+}
+
+/// Runs every SPEC kernel on each of the four fixed configurations.
+///
+/// `ref_duration` is the per-benchmark runtime on little@1.3 GHz (the paper
+/// runs full SPEC inputs; 2 s of simulated reference time preserves the
+/// ratios).
+pub fn run_spec_matrix(ref_duration: SimDuration, seed: u64) -> SpecMatrix {
+    let mut rows = Vec::new();
+    for kernel in SpecKernel::suite() {
+        let mut time_s = [0.0; 4];
+        let mut power_mw = [0.0; 4];
+        for (i, (_, kind, freq)) in SPEC_CONFIGS.iter().enumerate() {
+            let (core_config, cpu, little_khz, big_khz) = match kind {
+                CoreKind::Little => (CoreConfig::new(1, 0), CpuId(0), *freq, 800_000),
+                CoreKind::Big => (CoreConfig::new(1, 4).min_big(), CpuId(4), 500_000, *freq),
+            };
+            let cfg = SystemConfig::pinned_frequencies(little_khz, big_khz)
+                .with_core_config(core_config)
+                .with_seed(seed);
+            let mut sim = Simulation::new(cfg);
+            sim.spawn_spec(&kernel, cpu, ref_duration);
+            // Generous cap: the slowest config is the little core itself.
+            let cap = SimTime::ZERO + ref_duration * 4;
+            sim.run_until_or(cap, |s| s.kernel().all_exited());
+            let r = sim.finish();
+            let t = r
+                .latency
+                .unwrap_or_else(|| panic!("{} did not finish on {kind}@{freq}", kernel.name));
+            time_s[i] = t.as_secs_f64();
+            // Power averaged over the busy portion only (meter runs to
+            // completion time since the run stops there).
+            power_mw[i] = r.avg_power_mw;
+        }
+        rows.push(SpecRow { name: kernel.name.to_string(), time_s, power_mw });
+    }
+    SpecMatrix { rows }
+}
+
+/// Figure 2: speedup of big-core configurations normalized to a little core
+/// at 1.3 GHz.
+pub fn fig2_spec_speedup(ref_duration: SimDuration, seed: u64) -> SpecMatrix {
+    run_spec_matrix(ref_duration, seed)
+}
+
+/// Renders the Figure 2 table.
+pub fn render_fig2(m: &SpecMatrix) -> String {
+    let mut t = TextTable::new(vec![
+        "Benchmark".into(),
+        "big@0.8".into(),
+        "big@1.3".into(),
+        "big@1.9".into(),
+    ])
+    .with_title("Figure 2: speedup normalized to little core @ 1.3GHz");
+    for r in &m.rows {
+        let s = r.speedups();
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.2}x", s[0]),
+            format!("{:.2}x", s[1]),
+            format!("{:.2}x", s[2]),
+        ]);
+    }
+    t.render()
+}
+
+/// Figure 3: full-system power for the same runs.
+pub fn fig3_spec_power(ref_duration: SimDuration, seed: u64) -> SpecMatrix {
+    run_spec_matrix(ref_duration, seed)
+}
+
+/// Renders the Figure 3 table.
+pub fn render_fig3(m: &SpecMatrix) -> String {
+    let mut t = TextTable::new(vec![
+        "Benchmark".into(),
+        "little@1.3 (mW)".into(),
+        "big@0.8 (mW)".into(),
+        "big@1.3 (mW)".into(),
+        "big@1.9 (mW)".into(),
+    ])
+    .with_title("Figure 3: full-system power (mW), screen off");
+    for r in &m.rows {
+        t.row(vec![
+            r.name.clone(),
+            fnum(r.power_mw[0], 0),
+            fnum(r.power_mw[1], 0),
+            fnum(r.power_mw[2], 0),
+            fnum(r.power_mw[3], 0),
+        ]);
+    }
+    t.render()
+}
+
+/// One (frequency, duty, power) point of Figure 6.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct UtilPowerPoint {
+    /// Cluster frequency in kHz.
+    pub freq_khz: u32,
+    /// Target utilization of the pinned core.
+    pub duty: f64,
+    /// Average full-system power, mW.
+    pub power_mw: f64,
+}
+
+/// Figure 6 result: power vs utilization per core type and frequency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// Points for a single little core.
+    pub little: Vec<UtilPowerPoint>,
+    /// Points for a single big core (plus the mandatory idle little core).
+    pub big: Vec<UtilPowerPoint>,
+}
+
+/// Duty cycles swept by the microbenchmark.
+pub const DUTIES: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
+
+/// Figure 6: run the duty-cycle microbenchmark at every OPP of both core
+/// types.
+pub fn fig6_power_vs_utilization(run_for: SimDuration, seed: u64) -> Fig6Result {
+    let platform = exynos5422();
+    let mut out = Fig6Result { little: Vec::new(), big: Vec::new() };
+    for kind in CoreKind::ALL {
+        let cluster = platform.topology.cluster_of_kind(kind).expect("cluster");
+        for opp in cluster.core.opps.iter() {
+            for duty in DUTIES {
+                let (core_config, cpu, little_khz, big_khz) = match kind {
+                    CoreKind::Little => (CoreConfig::new(1, 0), CpuId(0), opp.freq_khz, 800_000),
+                    CoreKind::Big => (CoreConfig::new(1, 1), CpuId(4), 500_000, opp.freq_khz),
+                };
+                let cfg = SystemConfig::pinned_frequencies(little_khz, big_khz)
+                    .with_core_config(core_config)
+                    .with_seed(seed);
+                let mut sim = Simulation::new(cfg);
+                sim.spawn_microbench(cpu, duty, SimDuration::from_millis(10));
+                sim.run_until(SimTime::ZERO + run_for);
+                let r = sim.finish();
+                let point = UtilPowerPoint { freq_khz: opp.freq_khz, duty, power_mw: r.avg_power_mw };
+                match kind {
+                    CoreKind::Little => out.little.push(point),
+                    CoreKind::Big => out.big.push(point),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the Figure 6 tables (one per core type).
+pub fn render_fig6(r: &Fig6Result) -> String {
+    let mut out = String::new();
+    for (label, points) in [("little", &r.little), ("big", &r.big)] {
+        let mut freqs: Vec<u32> = points.iter().map(|p| p.freq_khz).collect();
+        freqs.sort();
+        freqs.dedup();
+        let mut headers = vec![format!("{label} freq")];
+        headers.extend(DUTIES.iter().map(|d| format!("{:.0}% util", d * 100.0)));
+        let mut t = TextTable::new(headers)
+            .with_title(format!("Figure 6 ({label} core): full-system power (mW) by utilization"));
+        for f in freqs {
+            let mut row = vec![format!("{:.1}GHz", f as f64 / 1e6)];
+            for d in DUTIES {
+                let p = points
+                    .iter()
+                    .find(|p| p.freq_khz == f && (p.duty - d).abs() < 1e-9)
+                    .expect("point exists");
+                row.push(fnum(p.power_mw, 0));
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+trait MinBig {
+    fn min_big(self) -> Self;
+}
+impl MinBig for CoreConfig {
+    // The big SPEC runs only need one big core; trim hotplug to B1 to keep
+    // idle-core leakage out of the single-core comparison.
+    fn min_big(self) -> Self {
+        CoreConfig::new(self.little, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matrix_short_run_has_sane_shape() {
+        let m = run_spec_matrix(SimDuration::from_millis(200), 1);
+        assert_eq!(m.rows.len(), 12);
+        for r in &m.rows {
+            let s = r.speedups();
+            // big@1.3 must beat little@1.3 for every benchmark (paper).
+            assert!(s[1] > 1.0, "{}: {s:?}", r.name);
+            // Higher big frequency is never slower.
+            assert!(s[2] >= s[1] && s[1] >= s[0], "{}: {s:?}", r.name);
+            // Power ordering: big@1.9 > big@1.3 > little@1.3.
+            assert!(r.power_mw[3] > r.power_mw[2]);
+            assert!(r.power_mw[2] > r.power_mw[0]);
+        }
+        let max13: f64 = m.rows.iter().map(|r| r.speedups()[1]).fold(0.0, f64::max);
+        assert!(max13 > 3.5, "cache-sensitive speedup should approach 4.5x, got {max13}");
+        // Paper §III.A: a few applications run *slower* on a big core at its
+        // minimum 0.8 GHz than on a little core at 1.3 GHz.
+        let slower_at_min = m.rows.iter().filter(|r| r.speedups()[0] < 1.0).count();
+        assert!(
+            (2..=4).contains(&slower_at_min),
+            "expected ~3 kernels below 1x at big@0.8, got {slower_at_min}"
+        );
+        assert!(!render_fig2(&m).is_empty());
+        assert!(!render_fig3(&m).is_empty());
+    }
+
+    #[test]
+    fn fig6_power_monotone_in_duty_and_freq() {
+        let r = fig6_power_vs_utilization(SimDuration::from_millis(300), 1);
+        assert_eq!(r.little.len(), 9 * 5);
+        assert_eq!(r.big.len(), 12 * 5);
+        // At fixed frequency, power rises with duty.
+        for pts in [&r.little, &r.big] {
+            for f in pts.iter().map(|p| p.freq_khz).collect::<std::collections::BTreeSet<_>>() {
+                let series: Vec<f64> = DUTIES
+                    .iter()
+                    .map(|d| {
+                        pts.iter()
+                            .find(|p| p.freq_khz == f && (p.duty - d).abs() < 1e-9)
+                            .unwrap()
+                            .power_mw
+                    })
+                    .collect();
+                for w in series.windows(2) {
+                    assert!(w[1] >= w[0] - 1.0, "power not monotone in duty at {f}: {series:?}");
+                }
+            }
+        }
+        assert!(!render_fig6(&r).is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Core-combination experiments (paper §V.C, Figures 7 and 8).
+
+use crate::result::RunResult;
+use crate::SystemConfig;
+use bl_metrics::report::{fnum, TextTable};
+use bl_platform::config::CoreConfig;
+use bl_workloads::apps::{mobile_apps, AppModel};
+use serde::{Deserialize, Serialize};
+
+/// One app's results across core configurations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreConfigRow {
+    /// App name.
+    pub name: String,
+    /// Baseline (L4+B4) run.
+    pub baseline: RunResult,
+    /// `(config, result)` for each swept configuration.
+    pub configs: Vec<(CoreConfig, RunResult)>,
+}
+
+impl CoreConfigRow {
+    /// Relative performance (higher is better) vs the baseline for the
+    /// `i`-th swept config; `None` when the run produced no metric.
+    pub fn perf_rel(&self, i: usize) -> Option<f64> {
+        let base = self.baseline.perf_score()?;
+        // A latency app that missed its cap under a weak configuration is
+        // scored by the cap as a lower bound.
+        let score = self.configs[i].1.perf_score().unwrap_or_else(|| {
+            1.0 / self.configs[i].1.sim_time.as_secs_f64()
+        });
+        Some(score / base)
+    }
+
+    /// Power saving vs the baseline for the `i`-th swept config, percent.
+    pub fn power_saving_pct(&self, i: usize) -> f64 {
+        (1.0 - self.configs[i].1.avg_power_mw / self.baseline.avg_power_mw) * 100.0
+    }
+}
+
+/// Runs every app across the paper's seven core combinations plus the
+/// baseline. Shared by Figures 7 and 8.
+pub fn run_core_config_sweep(apps: Vec<AppModel>, seed: u64) -> Vec<CoreConfigRow> {
+    let sweep = CoreConfig::paper_sweep();
+    apps.into_iter()
+        .map(|app| {
+            let baseline = super::run_app_with(&app, SystemConfig::baseline().with_seed(seed));
+            let configs = sweep
+                .iter()
+                .map(|cc| {
+                    let r = super::run_app_with(
+                        &app,
+                        SystemConfig::baseline().with_core_config(*cc).with_seed(seed),
+                    );
+                    (*cc, r)
+                })
+                .collect();
+            CoreConfigRow { name: app.name.to_string(), baseline, configs }
+        })
+        .collect()
+}
+
+/// Figure 7: performance across core configurations (all apps).
+pub fn fig7_performance(seed: u64) -> Vec<CoreConfigRow> {
+    run_core_config_sweep(mobile_apps(), seed)
+}
+
+/// Figure 8 shares Figure 7's runs.
+pub fn fig8_power_saving(seed: u64) -> Vec<CoreConfigRow> {
+    run_core_config_sweep(mobile_apps(), seed)
+}
+
+/// Renders the Figure 7 table (performance relative to L4+B4).
+pub fn render_fig7(rows: &[CoreConfigRow]) -> String {
+    let sweep = CoreConfig::paper_sweep();
+    let mut headers = vec!["App".to_string()];
+    headers.extend(sweep.iter().map(|c| c.to_string()));
+    let mut t = TextTable::new(headers)
+        .with_title("Figure 7: performance relative to L4+B4 (1.00 = baseline)");
+    for r in rows {
+        let mut cells = vec![r.name.clone()];
+        for i in 0..r.configs.len() {
+            cells.push(fnum(r.perf_rel(i).unwrap_or(f64::NAN), 2));
+        }
+        t.row(cells);
+    }
+    t.render()
+}
+
+/// Renders the Figure 8 table (power saving vs L4+B4).
+pub fn render_fig8(rows: &[CoreConfigRow]) -> String {
+    let sweep = CoreConfig::paper_sweep();
+    let mut headers = vec!["App".to_string()];
+    headers.extend(sweep.iter().map(|c| c.to_string()));
+    let mut t =
+        TextTable::new(headers).with_title("Figure 8: power saving vs L4+B4 (%)");
+    for r in rows {
+        let mut cells = vec![r.name.clone()];
+        for i in 0..r.configs.len() {
+            cells.push(fnum(r.power_saving_pct(i), 1));
+        }
+        t.row(cells);
+    }
+    t.render()
+}

@@ -1,0 +1,42 @@
+//! One module per paper artifact: every table and figure of the evaluation.
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Table I (platform) | [`tables::table1`] |
+//! | Table II (benchmarks) | [`tables::table2`] |
+//! | Figure 2 (SPEC speedup) | [`arch::fig2_spec_speedup`] |
+//! | Figure 3 (SPEC power) | [`arch::fig3_spec_power`] |
+//! | Figure 4 (latency apps big-vs-little) | [`appchar::fig4_latency_big_vs_little`] |
+//! | Figure 5 (FPS apps big-vs-little) | [`appchar::fig5_fps_big_vs_little`] |
+//! | Figure 6 (power vs utilization) | [`arch::fig6_power_vs_utilization`] |
+//! | Table III (TLP) | [`appchar::default_runs`] + [`appchar::render_table3`] |
+//! | Table IV (TLP by core type) | [`appchar::default_runs`] + [`appchar::render_table4`] |
+//! | Figure 7 (perf per core config) | [`coreconfig::fig7_performance`] |
+//! | Figure 8 (power per core config) | [`coreconfig::fig8_power_saving`] |
+//! | Figure 9 (little freq residency) | [`appchar::default_runs`] + [`dvfs::render_residency`] |
+//! | Figure 10 (big freq residency) | [`appchar::default_runs`] + [`dvfs::render_residency`] |
+//! | Table V (efficiency decomposition) | [`appchar::default_runs`] + [`dvfs::render_table5`] |
+//! | Figures 11–13 (parameter sweep) | [`dvfs::fig11_12_13_parameter_sweep`] |
+//!
+//! Every experiment takes a `seed` and a `scale` knob where meaningful so
+//! tests can run shortened versions; the `repro` binary uses paper-scale
+//! defaults.
+
+pub mod ablation;
+pub mod appchar;
+pub mod arch;
+pub mod coreconfig;
+pub mod dvfs;
+pub mod tables;
+
+use crate::result::RunResult;
+use crate::sim::Simulation;
+use crate::SystemConfig;
+use bl_workloads::apps::AppModel;
+
+/// Runs one app under `cfg` to its natural end (shared helper).
+pub fn run_app_with(app: &AppModel, cfg: SystemConfig) -> RunResult {
+    let mut sim = Simulation::new(cfg);
+    sim.spawn_app(app);
+    sim.run_app(app)
+}

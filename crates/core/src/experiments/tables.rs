@@ -1,0 +1,80 @@
+//! Tables I and II: platform and benchmark descriptions.
+
+use bl_metrics::report::TextTable;
+use bl_platform::exynos::exynos5422;
+use bl_workloads::apps::mobile_apps;
+
+/// Renders Table I (architectural details of big/little cores) from the
+/// platform preset.
+pub fn table1() -> String {
+    let p = exynos5422();
+    let mut t = TextTable::new(vec![
+        "Cluster".into(),
+        "Core".into(),
+        "Cores".into(),
+        "Issue".into(),
+        "Pipeline".into(),
+        "Freq range".into(),
+        "L2".into(),
+    ])
+    .with_title("Table I: architectural details of big/little cores");
+    for c in p.topology.clusters() {
+        t.row(vec![
+            c.core.kind.to_string(),
+            c.core.name.clone(),
+            c.n_cores.to_string(),
+            format!("{}-wide", c.core.issue_width),
+            format!("{} stages", c.core.pipeline_depth),
+            format!(
+                "{:.1}-{:.1}GHz",
+                c.core.opps.min_khz() as f64 / 1e6,
+                c.core.opps.max_khz() as f64 / 1e6
+            ),
+            format!("{}KB/{}-way", c.l2.size_kb, c.l2.assoc),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders Table II (the mobile benchmark applications).
+pub fn table2() -> String {
+    let mut t = TextTable::new(vec![
+        "App Name".into(),
+        "Perf. Metric".into(),
+        "Structure".into(),
+    ])
+    .with_title("Table II: mobile benchmark applications");
+    for app in mobile_apps() {
+        let structure = match &app.kind {
+            bl_workloads::apps::AppKind::Scripted(s) => format!(
+                "{} actions, {} workers, {} batch threads",
+                s.n_actions,
+                s.n_workers,
+                s.continuous.iter().map(|c| c.count).sum::<usize>()
+            ),
+            bl_workloads::apps::AppKind::Streaming(s) => format!(
+                "{}fps render + {} helper loops + {} periodic",
+                s.fps,
+                s.helper_loops.len(),
+                s.periodic.len()
+            ),
+        };
+        t.row(vec![app.name.to_string(), app.metric.to_string(), structure]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tables_render() {
+        let t1 = super::table1();
+        assert!(t1.contains("Cortex-A15"));
+        assert!(t1.contains("Cortex-A7"));
+        assert!(t1.contains("2048KB"));
+        let t2 = super::table2();
+        assert!(t2.contains("BBench"));
+        assert!(t2.contains("Latency"));
+        assert!(t2.contains("FPS"));
+    }
+}

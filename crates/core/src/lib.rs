@@ -1,0 +1,46 @@
+//! # biglittle
+//!
+//! A full-system simulator of an asymmetric (big.LITTLE) mobile platform,
+//! built to reproduce every experiment of *"Big or Little: A Study of
+//! Mobile Interactive Applications on an Asymmetric Multi-core Platform"*
+//! (Seo, Im, Choi, Huh — IISWC 2015).
+//!
+//! The paper characterizes a Galaxy S5 (Exynos 5422: 4× Cortex-A15 + 4×
+//! Cortex-A7). This crate wires together the substrate crates into a
+//! deterministic discrete-event simulation:
+//!
+//! * [`bl_platform`] — core/cache/OPP hardware model,
+//! * [`bl_power`] — calibrated full-system power model,
+//! * [`bl_kernel`] — tasks, runqueues, the HMP scheduler,
+//! * [`bl_governor`] — the interactive DVFS governor and baselines,
+//! * [`bl_workloads`] — SPEC-like kernels and 12 mobile-app models,
+//! * [`bl_metrics`] — TLP/residency/efficiency/FPS measurement,
+//!
+//! and exposes one [`sim::Simulation`] driver plus one function per paper
+//! table/figure in [`experiments`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use biglittle::config::SystemConfig;
+//! use biglittle::sim::Simulation;
+//! use bl_workloads::apps::app_by_name;
+//!
+//! let app = app_by_name("Video Player").unwrap();
+//! let mut sim = Simulation::new(SystemConfig::default());
+//! sim.spawn_app(&app);
+//! let result = sim.run_app(&app);
+//! assert!(result.avg_power_mw > 0.0);
+//! assert!(result.tlp.tlp > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod result;
+pub mod sim;
+
+pub use config::SystemConfig;
+pub use result::RunResult;
+pub use sim::Simulation;

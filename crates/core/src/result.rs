@@ -1,0 +1,99 @@
+//! Results of one simulation run.
+
+use bl_metrics::{FpsStats, TlpStats};
+use bl_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Everything measured during one run — the raw material for every table
+/// and figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Simulated wall time of the run.
+    pub sim_time: SimDuration,
+    /// Average full-system power (the Monsoon-meter substitute reading).
+    pub avg_power_mw: f64,
+    /// Total energy over the run.
+    pub energy_mj: f64,
+    /// Script completion latency (latency-metric apps; `None` if the
+    /// script did not finish within the cap, or for FPS apps).
+    pub latency: Option<SimDuration>,
+    /// FPS statistics (FPS-metric apps).
+    pub fps: Option<FpsStats>,
+    /// Table III row: idle/little/big shares and TLP.
+    pub tlp: TlpStats,
+    /// Table IV matrix: percent of samples per (big, little) active-core
+    /// cell; indexed `[big][little]`.
+    pub matrix_pct: Vec<Vec<f64>>,
+    /// Figure 9 series: share of active time per little-cluster OPP.
+    pub little_residency: Vec<f64>,
+    /// Figure 10 series: share of active time per big-cluster OPP.
+    pub big_residency: Vec<f64>,
+    /// Table V row: percentages for Min, <50%, 50–70%, 70–95%, >95%, Full.
+    pub efficiency_pct: [f64; 6],
+    /// (up, down) HMP migration counts.
+    pub migrations: (u64, u64),
+}
+
+impl RunResult {
+    /// Latency in milliseconds, if the script finished.
+    pub fn latency_ms(&self) -> Option<f64> {
+        self.latency.map(|d| d.as_millis_f64())
+    }
+
+    /// Performance score: higher is better. For latency apps this is
+    /// `1/latency` (1/s); for FPS apps, the average FPS.
+    ///
+    /// Returns `None` when the run produced neither metric.
+    pub fn perf_score(&self) -> Option<f64> {
+        if let Some(l) = self.latency {
+            return Some(1.0 / l.as_secs_f64());
+        }
+        self.fps.map(|f| f.avg_fps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> RunResult {
+        RunResult {
+            sim_time: SimDuration::from_secs(1),
+            avg_power_mw: 800.0,
+            energy_mj: 800.0,
+            latency: Some(SimDuration::from_millis(2500)),
+            fps: None,
+            tlp: TlpStats { idle_pct: 10.0, little_pct: 90.0, big_pct: 10.0, tlp: 2.0 },
+            matrix_pct: vec![vec![0.0; 5]; 5],
+            little_residency: vec![0.0; 9],
+            big_residency: vec![0.0; 12],
+            efficiency_pct: [0.0; 6],
+            migrations: (0, 0),
+        }
+    }
+
+    #[test]
+    fn latency_helpers() {
+        let r = dummy();
+        assert_eq!(r.latency_ms(), Some(2500.0));
+        assert!((r.perf_score().unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fps_perf_score() {
+        let mut r = dummy();
+        r.latency = None;
+        r.fps = Some(FpsStats { avg_fps: 58.0, min_fps: 40.0, frames: 100 });
+        assert_eq!(r.perf_score(), Some(58.0));
+        r.fps = None;
+        assert_eq!(r.perf_score(), None);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = dummy();
+        let j = serde_json::to_string(&r).unwrap();
+        let back: RunResult = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,714 @@
+//! The discrete-event simulation driver wiring every substrate together.
+
+use crate::config::SystemConfig;
+use crate::result::RunResult;
+use bl_governor::{ClusterSample, CpufreqGovernor};
+use bl_kernel::accounting::BusyWindow;
+use bl_kernel::kernel::{Hw, Kernel, KernelConfig, WakeRequest};
+use bl_kernel::task::{Affinity, TaskBehavior, TaskId};
+use bl_metrics::{MetricsCollector, Trace, TraceRow};
+use bl_platform::exynos::exynos5422;
+use bl_platform::ids::{ClusterId, CoreKind, CpuId};
+use bl_platform::state::PlatformState;
+use bl_platform::topology::Platform;
+use bl_power::{CpuidleTable, PowerMeter, PowerModel};
+use bl_simcore::event::EventQueue;
+use bl_simcore::rng::SimRng;
+use bl_simcore::time::{SimDuration, SimTime};
+use bl_workloads::apps::{AppInstance, AppModel};
+use bl_workloads::microbench::MicroBench;
+use bl_workloads::replay::RecordedTrace;
+use bl_workloads::spec::SpecKernel;
+use bl_workloads::threads::CompletionTracker;
+use bl_workloads::PerfMetric;
+
+#[derive(Debug)]
+enum Ev {
+    Tick,
+    Timer(WakeRequest),
+    GovSample(ClusterId),
+    MetricSample,
+    /// Promote `cpu` to the next deeper idle state if its idle episode
+    /// (identified by the sequence number) is still running.
+    IdlePromote(CpuId, u64),
+}
+
+/// Runtime state of the cpuidle subsystem.
+#[derive(Debug)]
+struct CpuidleRt {
+    /// Idle-state table per CPU (indexed by cpu id).
+    tables: Vec<CpuidleTable>,
+    /// Current idle-state ladder position per CPU (`None` = busy).
+    state: Vec<Option<usize>>,
+    /// Episode sequence numbers to invalidate stale promotion events.
+    seq: Vec<u64>,
+    /// When the current idle episode began (valid while `state` is Some).
+    idle_since: Vec<SimTime>,
+}
+
+impl CpuidleRt {
+    fn new(platform: &Platform) -> Self {
+        let tables = platform
+            .topology
+            .cpus()
+            .map(|c| CpuidleTable::default_for(platform.topology.kind_of(c)))
+            .collect::<Vec<_>>();
+        let n = tables.len();
+        CpuidleRt {
+            tables,
+            state: vec![None; n],
+            seq: vec![0; n],
+            idle_since: vec![SimTime::ZERO; n],
+        }
+    }
+
+    fn leak_scales(&self) -> Vec<f64> {
+        self.state
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s {
+                Some(idx) => self.tables[i].state(*idx).leak_scale,
+                None => 1.0,
+            })
+            .collect()
+    }
+}
+
+/// One deterministic simulation run of the modeled platform.
+///
+/// Create it from a [`SystemConfig`], spawn workloads, then call
+/// [`Simulation::run_until`] / [`Simulation::run_app`] and read the
+/// [`RunResult`].
+pub struct Simulation {
+    platform: Platform,
+    state: PlatformState,
+    kernel: Kernel,
+    governors: Vec<Box<dyn CpufreqGovernor>>,
+    gov_window: BusyWindow,
+    power_model: PowerModel,
+    meter: PowerMeter,
+    collector: MetricsCollector,
+    queue: EventQueue<Ev>,
+    now: SimTime,
+    rng: SimRng,
+    trackers: Vec<CompletionTracker>,
+    cfg: SystemConfig,
+    trace: Option<Trace>,
+    trace_window: BusyWindow,
+    cpuidle: Option<CpuidleRt>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation of the Exynos-5422-class platform under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core configuration is invalid for the platform or the
+    /// governor list does not cover every cluster.
+    pub fn new(cfg: SystemConfig) -> Self {
+        Simulation::with_platform(exynos5422(), cfg)
+    }
+
+    /// Builds a simulation of an arbitrary platform (ablation presets,
+    /// custom topologies) under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulation::new`].
+    pub fn with_platform(platform: Platform, cfg: SystemConfig) -> Self {
+        let mut state = PlatformState::new(&platform.topology);
+        state
+            .apply_core_config(&platform.topology, cfg.core_config)
+            .expect("invalid core configuration");
+        assert_eq!(
+            cfg.governors.len(),
+            platform.topology.n_clusters(),
+            "need one governor per cluster"
+        );
+
+        let kernel = Kernel::new(
+            platform.topology.n_cpus(),
+            KernelConfig {
+                tick_period: SimDuration::from_millis(4),
+                policy: cfg.effective_policy(),
+                balance_enabled: cfg.balance_enabled,
+            },
+            SimTime::ZERO,
+        );
+
+        let governors: Vec<Box<dyn CpufreqGovernor>> =
+            cfg.governors.iter().map(|g| g.build()).collect();
+
+        let power_model = if cfg.screen_on {
+            PowerModel::screen_on()
+        } else {
+            PowerModel::screen_off()
+        };
+
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::ZERO + SimDuration::from_millis(4), Ev::Tick);
+        queue.schedule(SimTime::ZERO + cfg.metric_period, Ev::MetricSample);
+
+        let gov_window = BusyWindow::open(kernel.accounting(), SimTime::ZERO);
+        let collector = MetricsCollector::new(&platform.topology, kernel.accounting(), SimTime::ZERO);
+
+        let trace_window = BusyWindow::open(kernel.accounting(), SimTime::ZERO);
+        let cpuidle = cfg.cpuidle_enabled.then(|| CpuidleRt::new(&platform));
+        let mut sim = Simulation {
+            meter: PowerMeter::starting_at(SimTime::ZERO, 0.0),
+            rng: SimRng::seed_from(cfg.seed),
+            platform,
+            state,
+            kernel,
+            governors,
+            gov_window,
+            power_model,
+            collector,
+            queue,
+            now: SimTime::ZERO,
+            trackers: Vec::new(),
+            cfg,
+            trace: None,
+            trace_window,
+            cpuidle,
+        };
+
+        // Let fixed-policy governors (userspace/performance/powersave) set
+        // their frequencies before anything runs, and schedule the first
+        // samples.
+        for c in 0..sim.platform.topology.n_clusters() {
+            sim.governor_sample(ClusterId(c));
+        }
+        sim.record_power();
+        sim
+    }
+
+    // ---- workload spawning -------------------------------------------------
+
+    /// Spawns a mobile app with free (scheduler-controlled) placement.
+    pub fn spawn_app(&mut self, app: &AppModel) -> AppInstance {
+        self.spawn_app_with_affinity(app, Affinity::Any)
+    }
+
+    /// Spawns a mobile app with all threads forced to `affinity`.
+    pub fn spawn_app_with_affinity(&mut self, app: &AppModel, affinity: Affinity) -> AppInstance {
+        let hw = Hw { platform: &self.platform, state: &self.state };
+        let instance = app.build_with_affinity(
+            &mut self.kernel,
+            &self.platform,
+            &hw,
+            &mut self.rng,
+            self.now,
+            affinity,
+        );
+        if let Some(t) = &instance.tracker {
+            self.trackers.push(t.clone());
+        }
+        self.after_kernel_call();
+        instance
+    }
+
+    /// Spawns a SPEC kernel pinned to `cpu`, sized to run `ref_duration`
+    /// on a little core at 1.3 GHz.
+    pub fn spawn_spec(&mut self, spec: &SpecKernel, cpu: CpuId, ref_duration: SimDuration) {
+        let little = self
+            .platform
+            .topology
+            .cluster_of_kind(CoreKind::Little)
+            .expect("little cluster");
+        let total = self.platform.perf.work_for(
+            &spec.profile,
+            CoreKind::Little,
+            &little.l2,
+            1.3,
+            ref_duration,
+        );
+        let behavior = spec.behavior(total, &mut self.rng);
+        let hw = Hw { platform: &self.platform, state: &self.state };
+        self.kernel
+            .spawn(spec.name, Affinity::Pinned(cpu), behavior, &hw, self.now);
+        self.after_kernel_call();
+    }
+
+    /// Spawns the utilization microbenchmark pinned to `cpu` with the given
+    /// duty cycle; work is sized against the cluster's *current* frequency.
+    pub fn spawn_microbench(&mut self, cpu: CpuId, duty: f64, period: SimDuration) {
+        let topo = &self.platform.topology;
+        let kind = topo.kind_of(cpu);
+        let l2 = topo.l2_of(cpu);
+        let freq_ghz = self.state.freq_of(topo, cpu) as f64 / 1e6;
+        let b = MicroBench::new(&self.platform.perf, kind, l2, freq_ghz, duty, period);
+        let hw = Hw { platform: &self.platform, state: &self.state };
+        self.kernel
+            .spawn("microbench", Affinity::Pinned(cpu), Box::new(b), &hw, self.now);
+        self.after_kernel_call();
+    }
+
+    /// Spawns a recorded activity trace (see [`bl_workloads::replay`]): one
+    /// task per recorded thread, replayed on the simulated scheduler. The
+    /// run's `latency` reflects when the whole trace finished.
+    pub fn spawn_trace(&mut self, trace: &RecordedTrace) {
+        let hw = Hw { platform: &self.platform, state: &self.state };
+        let tracker = trace.spawn(&mut self.kernel, &self.platform, &hw, self.now, Affinity::Any);
+        self.trackers.push(tracker);
+        self.after_kernel_call();
+    }
+
+    /// Spawns a raw behavior (advanced usage / tests).
+    pub fn spawn_behavior(
+        &mut self,
+        name: &str,
+        affinity: Affinity,
+        behavior: Box<dyn TaskBehavior>,
+    ) -> TaskId {
+        let hw = Hw { platform: &self.platform, state: &self.state };
+        let tid = self.kernel.spawn(name, affinity, behavior, &hw, self.now);
+        self.after_kernel_call();
+        tid
+    }
+
+    // ---- running ------------------------------------------------------------
+
+    /// Runs until `deadline` or until `stop` returns true (checked after
+    /// every event batch).
+    pub fn run_until_or(&mut self, deadline: SimTime, stop: impl Fn(&Simulation) -> bool) {
+        while self.now < deadline && !stop(self) {
+            self.step(deadline);
+        }
+    }
+
+    /// Runs until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.run_until_or(deadline, |_| false);
+    }
+
+    /// Runs an already-spawned app to its natural end: latency apps until
+    /// their script completes (capped at `run_for`), FPS apps for exactly
+    /// `run_for`. Returns the collected results.
+    pub fn run_app(&mut self, app: &AppModel) -> RunResult {
+        let deadline = self.now + app.run_for;
+        match app.metric {
+            PerfMetric::Latency => {
+                self.run_until_or(deadline, |sim| {
+                    !sim.trackers.is_empty() && sim.trackers.iter().all(|t| t.is_done())
+                });
+            }
+            PerfMetric::Fps => self.run_until(deadline),
+        }
+        self.finish()
+    }
+
+    fn step(&mut self, deadline: SimTime) {
+        let hw = Hw { platform: &self.platform, state: &self.state };
+        let next_event = self.queue.peek_time().unwrap_or(SimTime::MAX);
+        let completion = self
+            .kernel
+            .next_completion_time(&hw, self.now)
+            .unwrap_or(SimTime::MAX);
+        let target = next_event.min(completion).min(deadline);
+        self.kernel.advance_to(&hw, target);
+        self.now = target;
+        self.kernel.handle_completions(&hw, self.now);
+
+        while self.queue.peek_time() == Some(self.now) {
+            let (_, ev) = self.queue.pop().expect("peeked event");
+            match ev {
+                Ev::Tick => {
+                    let hw = Hw { platform: &self.platform, state: &self.state };
+                    self.kernel.tick(&hw, self.now);
+                    self.queue
+                        .schedule(self.now + self.kernel.tick_period(), Ev::Tick);
+                }
+                Ev::Timer(w) => {
+                    let hw = Hw { platform: &self.platform, state: &self.state };
+                    self.kernel.timer_wake(w.tid, w.seq, &hw, self.now);
+                }
+                Ev::GovSample(c) => self.governor_sample(c),
+                Ev::IdlePromote(cpu, seq) => self.idle_promote(cpu, seq),
+                Ev::MetricSample => {
+                    self.collector
+                        .sample(self.now, self.kernel.accounting(), &self.state);
+                    self.record_trace_sample();
+                    self.queue
+                        .schedule(self.now + self.cfg.metric_period, Ev::MetricSample);
+                }
+            }
+        }
+        self.after_kernel_call();
+    }
+
+    fn governor_sample(&mut self, cluster: ClusterId) {
+        let topo = &self.platform.topology;
+        let utils: Vec<f64> = self
+            .state
+            .online_in(topo, cluster)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|cpu| {
+                self.gov_window
+                    .take_fraction(self.kernel.accounting(), cpu, self.now)
+            })
+            .collect();
+        let opps = &topo.cluster(cluster).core.opps;
+        let cur = self.state.cluster_freq_khz(cluster);
+        let sample = ClusterSample { cluster, opps, cur_freq_khz: cur, cpu_utils: &utils };
+        let gov = &mut self.governors[cluster.0];
+        let next = gov.on_sample(&sample);
+        let period = gov.sampling_period();
+        if next != cur {
+            self.state.set_cluster_freq(topo, cluster, next);
+        }
+        self.queue.schedule(self.now + period, Ev::GovSample(cluster));
+    }
+
+    /// Collects wake requests and signals, and refreshes the power meter.
+    fn after_kernel_call(&mut self) {
+        for w in self.kernel.drain_wake_requests() {
+            self.queue.schedule(w.at, Ev::Timer(w));
+        }
+        for (t, s) in self.kernel.drain_signals() {
+            self.collector.on_signal(t, s);
+        }
+        self.record_power();
+    }
+
+    fn record_power(&mut self) {
+        let activity = self.kernel.activity();
+        self.update_cpuidle(&activity);
+        let mw = match &self.cpuidle {
+            Some(rt) => self.power_model.instant_mw_with_idle(
+                &self.platform.topology,
+                &self.state,
+                &activity,
+                Some(&rt.leak_scales()),
+            ),
+            None => self
+                .power_model
+                .instant_mw(&self.platform.topology, &self.state, &activity),
+        };
+        self.meter.record(self.now, mw);
+    }
+
+    /// Tracks busy/idle transitions and schedules idle-state promotions.
+    fn update_cpuidle(&mut self, activity: &[f64]) {
+        let Some(rt) = &mut self.cpuidle else { return };
+        for (i, a) in activity.iter().enumerate() {
+            let busy = *a > 0.0;
+            match (busy, rt.state[i]) {
+                (true, Some(_)) => {
+                    // Wakes invalidate the episode.
+                    rt.state[i] = None;
+                    rt.seq[i] += 1;
+                }
+                (false, None) => {
+                    // New idle episode: enter the shallowest state and arm
+                    // the promotion timer for the next deeper one.
+                    rt.state[i] = Some(0);
+                    rt.seq[i] += 1;
+                    rt.idle_since[i] = self.now;
+                    if let Some(res) = rt.tables[i].promotion_residency(0) {
+                        self.queue
+                            .schedule(self.now + res, Ev::IdlePromote(CpuId(i), rt.seq[i]));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn idle_promote(&mut self, cpu: CpuId, seq: u64) {
+        let Some(rt) = &mut self.cpuidle else { return };
+        if rt.seq[cpu.0] != seq {
+            return; // the episode ended meanwhile
+        }
+        let Some(cur) = rt.state[cpu.0] else { return };
+        if rt.tables[cpu.0].promotion_residency(cur).is_none() {
+            return; // already deepest
+        }
+        rt.state[cpu.0] = Some(cur + 1);
+        if let Some(res) = rt.tables[cpu.0].promotion_residency(cur + 1) {
+            // Residencies are measured from the start of the idle episode.
+            self.queue
+                .schedule(rt.idle_since[cpu.0] + res, Ev::IdlePromote(cpu, seq));
+        }
+        // Power drops as the core deepens.
+        let activity = self.kernel.activity();
+        let scales = self.cpuidle.as_ref().expect("checked").leak_scales();
+        let mw = self.power_model.instant_mw_with_idle(
+            &self.platform.topology,
+            &self.state,
+            &activity,
+            Some(&scales),
+        );
+        self.meter.record(self.now, mw);
+    }
+
+    /// Enables per-sample time-series tracing (frequencies, active cores,
+    /// power, migrations). Call before running; read with
+    /// [`Simulation::trace`].
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+            self.trace_window.reset_all(self.kernel.accounting(), self.now);
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn record_trace_sample(&mut self) {
+        if self.trace.is_none() {
+            return;
+        }
+        let topo = &self.platform.topology;
+        let mut active = [0u32; 2];
+        for cpu in topo.cpus() {
+            if !self.trace_window.peek_busy(self.kernel.accounting(), cpu).is_zero() {
+                match topo.kind_of(cpu) {
+                    CoreKind::Little => active[0] += 1,
+                    CoreKind::Big => active[1] += 1,
+                }
+            }
+            self.trace_window
+                .take_fraction(self.kernel.accounting(), cpu, self.now);
+        }
+        let (up, down) = self.kernel.migration_counts();
+        let row = TraceRow {
+            t: self.now,
+            little_khz: self
+                .state
+                .cluster_freq_khz(topo.cluster_of_kind(CoreKind::Little).expect("little").id),
+            big_khz: self
+                .state
+                .cluster_freq_khz(topo.cluster_of_kind(CoreKind::Big).expect("big").id),
+            active_little: active[0],
+            active_big: active[1],
+            power_mw: self.meter.current_mw(),
+            migrations_up: up,
+            migrations_down: down,
+        };
+        self.trace.as_mut().expect("checked above").push(row);
+    }
+
+    // ---- results ------------------------------------------------------------
+
+    /// Produces the run's results at the current simulated time.
+    pub fn finish(&self) -> RunResult {
+        let topo = &self.platform.topology;
+        let matrix = self.collector.matrix();
+        let (n_little_p1, n_big_p1) = matrix.dims();
+        let matrix_pct = (0..n_big_p1)
+            .map(|b| (0..n_little_p1).map(|l| matrix.cell_pct(b, l)).collect())
+            .collect();
+        let little = topo.cluster_of_kind(CoreKind::Little).expect("little").id;
+        let big = topo.cluster_of_kind(CoreKind::Big).expect("big").id;
+        RunResult {
+            sim_time: self.now.duration_since(SimTime::ZERO),
+            avg_power_mw: self.meter.average_mw(self.now),
+            energy_mj: self.meter.energy_mj(self.now),
+            latency: self.collector.latency(),
+            fps: self.collector.fps(self.now),
+            tlp: self.collector.tlp_stats(),
+            matrix_pct,
+            little_residency: self.collector.residency().shares(little),
+            big_residency: self.collector.residency().shares(big),
+            efficiency_pct: self.collector.efficiency().percentages(),
+            migrations: self.kernel.migration_counts(),
+        }
+    }
+
+    // ---- accessors ----------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The platform description.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Current hardware state (frequencies, hotplug).
+    pub fn state(&self) -> &PlatformState {
+        &self.state
+    }
+
+    /// The kernel (for inspection in tests/examples).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The configuration this run was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bl_governor::GovernorConfig;
+    use bl_workloads::apps::app_by_name;
+
+    #[test]
+    fn empty_system_is_idle_at_min_freq() {
+        let mut sim = Simulation::new(SystemConfig::baseline().screen(false));
+        sim.run_until(SimTime::from_millis(200));
+        let r = sim.finish();
+        assert_eq!(r.tlp.idle_pct, 100.0);
+        // Idle at min frequencies: power = base + leakage only, well under 600mW.
+        assert!(r.avg_power_mw > 300.0 && r.avg_power_mw < 600.0, "{}", r.avg_power_mw);
+    }
+
+    #[test]
+    fn userspace_governor_pins_frequency_immediately() {
+        let sim = Simulation::new(SystemConfig::pinned_frequencies(1_300_000, 1_900_000));
+        assert_eq!(sim.state().cluster_freq_khz(ClusterId(0)), 1_300_000);
+        assert_eq!(sim.state().cluster_freq_khz(ClusterId(1)), 1_900_000);
+    }
+
+    #[test]
+    fn spec_run_completes_and_uses_power() {
+        let mut sim = Simulation::new(SystemConfig::pinned_frequencies(1_300_000, 800_000));
+        let spec = &SpecKernel::suite()[0];
+        sim.spawn_spec(spec, CpuId(0), SimDuration::from_millis(500));
+        sim.run_until_or(SimTime::from_secs(5), |s| s.kernel().all_exited());
+        assert!(sim.kernel().all_exited());
+        let r = sim.finish();
+        // Runtime on little@1.3 should be ~the reference duration.
+        assert!((r.latency.unwrap().as_millis_f64() - 500.0).abs() < 20.0);
+        assert!(r.avg_power_mw > 400.0);
+    }
+
+    #[test]
+    fn interactive_governor_raises_frequency_under_load() {
+        let mut sim = Simulation::new(
+            SystemConfig::baseline()
+                .screen(false)
+                .with_governor(GovernorConfig::platform_default()),
+        );
+        let spec = &SpecKernel::suite()[5]; // hmmer: compute-bound
+        sim.spawn_spec(spec, CpuId(0), SimDuration::from_secs(2));
+        sim.run_until(SimTime::from_millis(500));
+        // A saturated little core must have been scaled up from 500 MHz.
+        assert!(
+            sim.state().cluster_freq_khz(ClusterId(0)) > 1_000_000,
+            "freq = {}",
+            sim.state().cluster_freq_khz(ClusterId(0))
+        );
+    }
+
+    #[test]
+    fn fps_app_produces_frames() {
+        let app = app_by_name("Video Player").unwrap();
+        let mut sim = Simulation::new(SystemConfig::baseline());
+        sim.spawn_app(&app);
+        sim.run_until(SimTime::from_secs(3));
+        let r = sim.finish();
+        let fps = r.fps.expect("frames were produced");
+        assert!(fps.avg_fps > 30.0, "avg fps = {}", fps.avg_fps);
+        assert!(r.tlp.tlp >= 1.0);
+    }
+
+    #[test]
+    fn latency_app_finishes_before_cap() {
+        let app = app_by_name("Photo Editor").unwrap();
+        let mut sim = Simulation::new(SystemConfig::baseline());
+        sim.spawn_app(&app);
+        let r = sim.run_app(&app);
+        let lat = r.latency.expect("script must finish");
+        assert!(lat < app.run_for, "latency {lat}");
+        assert!(lat > SimDuration::from_secs(1), "latency {lat} suspiciously small");
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use bl_workloads::apps::app_by_name;
+
+    #[test]
+    fn tracing_records_samples_and_csv() {
+        let app = app_by_name("Angry Bird").unwrap();
+        let mut sim = Simulation::new(SystemConfig::baseline());
+        sim.enable_tracing();
+        sim.spawn_app(&app);
+        sim.run_until(SimTime::from_secs(2));
+        let trace = sim.trace().expect("enabled");
+        // ~one row per 10ms metric sample.
+        assert!(trace.len() >= 150, "rows = {}", trace.len());
+        let csv = sim.trace().unwrap().to_csv();
+        assert!(csv.lines().count() == trace.len() + 1);
+        // A busy game shows multiple active little cores in some samples.
+        assert!(trace.rows().iter().any(|r| r.active_little >= 2));
+        // Frequencies stay on the OPP tables.
+        let p = sim.platform();
+        for row in trace.rows() {
+            assert!(p.topology.cluster(ClusterId(0)).core.opps.index_of(row.little_khz).is_some());
+            assert!(p.topology.cluster(ClusterId(1)).core.opps.index_of(row.big_khz).is_some());
+        }
+    }
+
+    #[test]
+    fn tracing_off_by_default() {
+        let sim = Simulation::new(SystemConfig::baseline());
+        assert!(sim.trace().is_none());
+    }
+}
+
+#[cfg(test)]
+mod cpuidle_tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use bl_workloads::apps::app_by_name;
+
+    #[test]
+    fn deep_idle_lowers_idle_system_power() {
+        let run = |cpuidle: bool| {
+            let mut sim = Simulation::new(
+                SystemConfig::baseline().screen(false).with_cpuidle(cpuidle),
+            );
+            sim.run_until(SimTime::from_secs(1));
+            sim.finish().avg_power_mw
+        };
+        let shallow = run(false);
+        let deep = run(true);
+        assert!(
+            deep < shallow - 10.0,
+            "cpuidle should cut idle power: {deep:.0} vs {shallow:.0} mW"
+        );
+        // The floor stays above the non-CPU base power.
+        assert!(deep > 350.0);
+    }
+
+    #[test]
+    fn cpuidle_saves_on_idle_heavy_apps_without_hurting_them() {
+        let app = app_by_name("Browser").unwrap();
+        let base = {
+            let mut sim = Simulation::new(SystemConfig::baseline());
+            sim.spawn_app(&app);
+            sim.run_app(&app)
+        };
+        let idle = {
+            let mut sim = Simulation::new(SystemConfig::baseline().with_cpuidle(true));
+            sim.spawn_app(&app);
+            sim.run_app(&app)
+        };
+        assert!(idle.avg_power_mw < base.avg_power_mw, "{} vs {}", idle.avg_power_mw, base.avg_power_mw);
+        // Timing is untouched (idle power is performance-neutral here).
+        assert_eq!(idle.latency, base.latency);
+    }
+}

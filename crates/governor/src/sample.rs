@@ -1,0 +1,73 @@
+//! The governor interface.
+
+use bl_platform::ids::ClusterId;
+use bl_platform::opp::OppTable;
+use bl_simcore::time::SimDuration;
+
+/// One sampling-period observation of a frequency domain.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSample<'a> {
+    /// Which cluster this is.
+    pub cluster: ClusterId,
+    /// The cluster's OPP table (for rounding targets onto real steps).
+    pub opps: &'a OppTable,
+    /// Frequency that was in effect during the window, in kHz.
+    pub cur_freq_khz: u32,
+    /// Busy fraction (`[0,1]`) of each *online* CPU in the domain over the
+    /// window. Empty when the whole cluster is hotplugged off.
+    pub cpu_utils: &'a [f64],
+}
+
+impl ClusterSample<'_> {
+    /// The domain utilization the stock governors act on: the maximum
+    /// per-CPU busy fraction (the domain must be fast enough for its
+    /// busiest CPU).
+    pub fn max_util(&self) -> f64 {
+        self.cpu_utils.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// A per-cluster DVFS policy.
+///
+/// Implementations must return an exact OPP frequency of `sample.opps`.
+pub trait CpufreqGovernor {
+    /// Human-readable governor name (e.g. `"interactive"`).
+    fn name(&self) -> &'static str;
+
+    /// How often the driver should sample this governor.
+    fn sampling_period(&self) -> SimDuration;
+
+    /// Decides the next frequency for the domain from the last window's
+    /// utilization.
+    fn on_sample(&mut self, sample: &ClusterSample<'_>) -> u32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bl_platform::opp::OppTable;
+
+    #[test]
+    fn max_util_of_domain() {
+        let opps = OppTable::linear(500_000, 1_300_000, 9, 900, 1_100);
+        let s = ClusterSample {
+            cluster: ClusterId(0),
+            opps: &opps,
+            cur_freq_khz: 500_000,
+            cpu_utils: &[0.2, 0.9, 0.1],
+        };
+        assert_eq!(s.max_util(), 0.9);
+    }
+
+    #[test]
+    fn empty_domain_has_zero_util() {
+        let opps = OppTable::linear(500_000, 1_300_000, 9, 900, 1_100);
+        let s = ClusterSample {
+            cluster: ClusterId(0),
+            opps: &opps,
+            cur_freq_khz: 500_000,
+            cpu_utils: &[],
+        };
+        assert_eq!(s.max_util(), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-CPU busy-time accounting.
+//!
+//! The kernel accumulates cumulative busy nanoseconds per CPU; consumers
+//! (governor sampling, the 10 ms metric sampler) keep their own snapshots
+//! and difference against them, so multiple readers never interfere.
+
+use bl_platform::ids::CpuId;
+use bl_simcore::time::{SimDuration, SimTime};
+
+/// Monotonic busy-time counters for every CPU.
+#[derive(Debug, Clone)]
+pub struct CpuAccounting {
+    busy_ns: Vec<u64>,
+}
+
+impl CpuAccounting {
+    /// Creates counters for `n_cpus` CPUs, all zero.
+    pub fn new(n_cpus: usize) -> Self {
+        CpuAccounting { busy_ns: vec![0; n_cpus] }
+    }
+
+    /// Credits `dur` of busy time to `cpu`.
+    pub fn add_busy(&mut self, cpu: CpuId, dur: SimDuration) {
+        self.busy_ns[cpu.0] += dur.as_nanos();
+    }
+
+    /// Cumulative busy time of `cpu` since simulation start.
+    pub fn cumulative_busy(&self, cpu: CpuId) -> SimDuration {
+        SimDuration::from_nanos(self.busy_ns[cpu.0])
+    }
+
+    /// Number of CPUs tracked.
+    pub fn n_cpus(&self) -> usize {
+        self.busy_ns.len()
+    }
+}
+
+/// A reader's snapshot of [`CpuAccounting`], for windowed busy fractions.
+/// Each CPU's window opens and closes independently, so readers with
+/// different cadences per CPU (e.g. per-cluster governor sampling) stay
+/// correct.
+#[derive(Debug, Clone)]
+pub struct BusyWindow {
+    snapshot_ns: Vec<u64>,
+    window_start: Vec<SimTime>,
+}
+
+impl BusyWindow {
+    /// Opens a window at `now` against the current counters.
+    pub fn open(acct: &CpuAccounting, now: SimTime) -> Self {
+        BusyWindow {
+            snapshot_ns: acct.busy_ns.clone(),
+            window_start: vec![now; acct.busy_ns.len()],
+        }
+    }
+
+    /// Busy fraction of `cpu` in `[window_start, now]`, and re-opens that
+    /// CPU's window at `now`. Returns 0 for an empty window.
+    pub fn take_fraction(&mut self, acct: &CpuAccounting, cpu: CpuId, now: SimTime) -> f64 {
+        let frac = self.peek_fraction(acct, cpu, now);
+        self.snapshot_ns[cpu.0] = acct.busy_ns[cpu.0];
+        self.window_start[cpu.0] = now;
+        frac
+    }
+
+    /// Busy fraction without resetting.
+    pub fn peek_fraction(&self, acct: &CpuAccounting, cpu: CpuId, now: SimTime) -> f64 {
+        let window = now.duration_since(self.window_start[cpu.0]).as_nanos();
+        if window == 0 {
+            return 0.0;
+        }
+        let busy = acct.busy_ns[cpu.0].saturating_sub(self.snapshot_ns[cpu.0]);
+        (busy as f64 / window as f64).min(1.0)
+    }
+
+    /// Busy time delta of `cpu` since the window opened, without resetting.
+    pub fn peek_busy(&self, acct: &CpuAccounting, cpu: CpuId) -> SimDuration {
+        SimDuration::from_nanos(acct.busy_ns[cpu.0].saturating_sub(self.snapshot_ns[cpu.0]))
+    }
+
+    /// Re-opens the window for all CPUs at `now`.
+    pub fn reset_all(&mut self, acct: &CpuAccounting, now: SimTime) {
+        self.snapshot_ns.copy_from_slice(&acct.busy_ns);
+        self.window_start.iter_mut().for_each(|t| *t = now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_reflect_busy_time() {
+        let mut acct = CpuAccounting::new(2);
+        let mut w = BusyWindow::open(&acct, SimTime::ZERO);
+        acct.add_busy(CpuId(0), SimDuration::from_millis(5));
+        let now = SimTime::from_millis(10);
+        assert!((w.take_fraction(&acct, CpuId(0), now) - 0.5).abs() < 1e-12);
+        assert_eq!(w.peek_fraction(&acct, CpuId(1), now), 0.0);
+    }
+
+    #[test]
+    fn take_resets_only_that_cpu() {
+        let mut acct = CpuAccounting::new(2);
+        let mut w = BusyWindow::open(&acct, SimTime::ZERO);
+        acct.add_busy(CpuId(0), SimDuration::from_millis(10));
+        acct.add_busy(CpuId(1), SimDuration::from_millis(10));
+        let now = SimTime::from_millis(10);
+        let _ = w.take_fraction(&acct, CpuId(0), now);
+        // cpu0's counter was snapshotted; cpu1's was not.
+        assert_eq!(w.peek_busy(&acct, CpuId(0)), SimDuration::ZERO);
+        assert_eq!(w.peek_busy(&acct, CpuId(1)), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let acct = CpuAccounting::new(1);
+        let w = BusyWindow::open(&acct, SimTime::from_millis(3));
+        assert_eq!(w.peek_fraction(&acct, CpuId(0), SimTime::from_millis(3)), 0.0);
+    }
+
+    #[test]
+    fn fraction_caps_at_one() {
+        // Rounding in the driver can credit marginally more busy time than
+        // wall time; the fraction must still cap at 1.
+        let mut acct = CpuAccounting::new(1);
+        let w = BusyWindow::open(&acct, SimTime::ZERO);
+        acct.add_busy(CpuId(0), SimDuration::from_millis(11));
+        assert_eq!(w.peek_fraction(&acct, CpuId(0), SimTime::from_millis(10)), 1.0);
+    }
+
+    #[test]
+    fn reset_all_reopens() {
+        let mut acct = CpuAccounting::new(2);
+        let mut w = BusyWindow::open(&acct, SimTime::ZERO);
+        acct.add_busy(CpuId(0), SimDuration::from_millis(4));
+        w.reset_all(&acct, SimTime::from_millis(10));
+        assert_eq!(w.peek_busy(&acct, CpuId(0)), SimDuration::ZERO);
+        assert_eq!(
+            w.peek_fraction(&acct, CpuId(0), SimTime::from_millis(20)),
+            0.0
+        );
+        assert_eq!(acct.cumulative_busy(CpuId(0)), SimDuration::from_millis(4));
+        assert_eq!(acct.n_cpus(), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! HMP scheduler parameters (paper Algorithm 1 and §VI.C).
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the HMP (Heterogeneous Multi-Processing) scheduler.
+///
+/// Defaults are the platform's: up-threshold 700, down-threshold 256 (on
+/// the 0–1024 load scale), 32 ms history half-life. The paper's §VI.C
+/// sweeps the *conservative* (850, 400), *aggressive* (550, 100), and
+/// half/double history-weight variants, available as constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HmpParams {
+    /// Load above which a little-core task migrates up to a big core.
+    pub up_threshold: f64,
+    /// Load below which a big-core task migrates down to a little core.
+    pub down_threshold: f64,
+    /// Half-life of the load history EWMA in milliseconds.
+    pub load_halflife_ms: f64,
+}
+
+impl HmpParams {
+    /// The platform defaults (up 700, down 256, 32 ms history).
+    pub fn default_platform() -> Self {
+        HmpParams {
+            up_threshold: 700.0,
+            down_threshold: 256.0,
+            load_halflife_ms: 32.0,
+        }
+    }
+
+    /// Paper §VI.C "conservative (850,400)": keeps tasks on little cores
+    /// more eagerly.
+    pub fn conservative() -> Self {
+        HmpParams {
+            up_threshold: 850.0,
+            down_threshold: 400.0,
+            ..Self::default_platform()
+        }
+    }
+
+    /// Paper §VI.C "aggressive (550,100)": migrates tasks to big cores more
+    /// eagerly.
+    pub fn aggressive() -> Self {
+        HmpParams {
+            up_threshold: 550.0,
+            down_threshold: 100.0,
+            ..Self::default_platform()
+        }
+    }
+
+    /// Paper §VI.C "2x history weight": doubles the history scale (64 ms
+    /// half-life), weighting the past more.
+    pub fn double_history() -> Self {
+        HmpParams {
+            load_halflife_ms: 64.0,
+            ..Self::default_platform()
+        }
+    }
+
+    /// Paper §VI.C "1/2 history weight": halves the history scale (16 ms
+    /// half-life), weighting recent load more.
+    pub fn half_history() -> Self {
+        HmpParams {
+            load_halflife_ms: 16.0,
+            ..Self::default_platform()
+        }
+    }
+
+    /// Validates threshold ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `down_threshold >= up_threshold` or values fall outside
+    /// the 0–1024 load scale.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.down_threshold < self.up_threshold,
+            "down threshold must be below up threshold"
+        );
+        assert!(self.up_threshold <= 1024.0 && self.down_threshold >= 0.0);
+        assert!(self.load_halflife_ms > 0.0);
+    }
+}
+
+impl Default for HmpParams {
+    fn default() -> Self {
+        HmpParams::default_platform()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = HmpParams::default();
+        assert_eq!(p.up_threshold, 700.0);
+        assert_eq!(p.down_threshold, 256.0);
+        assert_eq!(p.load_halflife_ms, 32.0);
+        p.assert_valid();
+    }
+
+    #[test]
+    fn paper_variants() {
+        assert_eq!(HmpParams::conservative().up_threshold, 850.0);
+        assert_eq!(HmpParams::conservative().down_threshold, 400.0);
+        assert_eq!(HmpParams::aggressive().up_threshold, 550.0);
+        assert_eq!(HmpParams::aggressive().down_threshold, 100.0);
+        assert_eq!(HmpParams::double_history().load_halflife_ms, 64.0);
+        assert_eq!(HmpParams::half_history().load_halflife_ms, 16.0);
+        for p in [
+            HmpParams::conservative(),
+            HmpParams::aggressive(),
+            HmpParams::double_history(),
+            HmpParams::half_history(),
+        ] {
+            p.assert_valid();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below up threshold")]
+    fn inverted_thresholds_rejected() {
+        HmpParams {
+            up_threshold: 100.0,
+            down_threshold: 200.0,
+            load_halflife_ms: 32.0,
+        }
+        .assert_valid();
+    }
+}

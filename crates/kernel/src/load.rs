@@ -1,0 +1,171 @@
+//! HMP-style time-weighted task load tracking.
+//!
+//! The Linaro HMP scheduler tracks each task's load as a geometric series
+//! over 1 ms contribution windows; the paper states the decay such that "the
+//! 1ms-period load generated 32ms ago will be weighted by 50%". We implement
+//! the continuous-time equivalent: an exponentially weighted moving average
+//! with a configurable half-life,
+//!
+//! `load(t+dt) = load(t)·d + SCALE·r·(1−d)`, with `d = 0.5^(dt/halflife)`
+//!
+//! where `r ∈ [0,1]` is the task's contribution level over the elapsed
+//! interval: its runnable fraction scaled by `f_cur/f_max` of the CPU it
+//! occupies (the paper: "the CPU load should be normalized by the current
+//! clock frequency"). Loads are frozen while the task sleeps (paper §IV.B).
+
+use bl_simcore::time::SimTime;
+
+/// Full-scale load value (a task continuously runnable at max frequency).
+pub const LOAD_SCALE: f64 = 1024.0;
+
+/// Per-task exponentially decayed load average on the 0–1024 scale.
+#[derive(Debug, Clone)]
+pub struct LoadTracker {
+    load: f64,
+    halflife_ms: f64,
+    last_update: SimTime,
+}
+
+impl LoadTracker {
+    /// Creates a tracker with zero load and the given half-life.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `halflife_ms` is not positive.
+    pub fn new(start: SimTime, halflife_ms: f64) -> Self {
+        assert!(halflife_ms > 0.0, "half-life must be positive");
+        LoadTracker {
+            load: 0.0,
+            halflife_ms,
+            last_update: start,
+        }
+    }
+
+    /// Current load in `[0, 1024]`.
+    pub fn value(&self) -> f64 {
+        self.load
+    }
+
+    /// The configured half-life in milliseconds.
+    pub fn halflife_ms(&self) -> f64 {
+        self.halflife_ms
+    }
+
+    /// Folds in the contribution level `r` (runnable fraction × frequency
+    /// ratio, in `[0,1]`) held over `[last_update, now]`, then advances the
+    /// update point.
+    pub fn update(&mut self, now: SimTime, r: f64) {
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&r), "contribution out of range: {r}");
+        if now <= self.last_update {
+            return;
+        }
+        let dt_ms = now.duration_since(self.last_update).as_millis_f64();
+        let d = 0.5f64.powf(dt_ms / self.halflife_ms);
+        self.load = self.load * d + LOAD_SCALE * r.clamp(0.0, 1.0) * (1.0 - d);
+        self.last_update = now;
+    }
+
+    /// Freezes the load across a sleep: moves the update point to `now`
+    /// without decaying (HMP does not update sleeping tasks' loads).
+    pub fn skip_to(&mut self, now: SimTime) {
+        if now > self.last_update {
+            self.last_update = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bl_simcore::time::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rises_toward_scale_under_full_load() {
+        let mut t = LoadTracker::new(SimTime::ZERO, 32.0);
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            now += SimDuration::from_millis(4);
+            t.update(now, 1.0);
+        }
+        assert!(t.value() > 1000.0, "load = {}", t.value());
+        assert!(t.value() <= LOAD_SCALE + 1e-9);
+    }
+
+    #[test]
+    fn halflife_semantics() {
+        // A task fully loaded long enough to saturate, then idle for exactly
+        // one half-life, retains half its load.
+        let mut t = LoadTracker::new(SimTime::ZERO, 32.0);
+        t.update(SimTime::from_secs(10), 1.0); // long interval saturates
+        let full = t.value();
+        assert!((full - LOAD_SCALE).abs() < 1.0);
+        t.update(SimTime::from_secs(10) + SimDuration::from_millis(32), 0.0);
+        assert!((t.value() - full / 2.0).abs() < 1.0, "load = {}", t.value());
+    }
+
+    #[test]
+    fn frequency_ratio_caps_steady_state() {
+        // A task continuously runnable on a core at half max frequency
+        // converges to ~512.
+        let mut t = LoadTracker::new(SimTime::ZERO, 32.0);
+        t.update(SimTime::from_secs(5), 0.5);
+        assert!((t.value() - 512.0).abs() < 1.0, "load = {}", t.value());
+    }
+
+    #[test]
+    fn sleep_freezes_load() {
+        let mut t = LoadTracker::new(SimTime::ZERO, 32.0);
+        t.update(SimTime::from_secs(1), 1.0);
+        let before = t.value();
+        t.skip_to(SimTime::from_secs(60)); // long sleep, load untouched
+        assert_eq!(t.value(), before);
+        // And the next update decays only from the skip point onward.
+        t.update(SimTime::from_secs(60) + SimDuration::from_millis(32), 0.0);
+        assert!((t.value() - before / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn non_monotonic_time_is_ignored() {
+        let mut t = LoadTracker::new(SimTime::from_secs(1), 32.0);
+        t.update(SimTime::from_secs(2), 1.0);
+        let v = t.value();
+        t.update(SimTime::from_secs(2), 1.0); // same instant: no-op
+        assert_eq!(t.value(), v);
+    }
+
+    #[test]
+    fn shorter_halflife_reacts_faster() {
+        let mut fast = LoadTracker::new(SimTime::ZERO, 16.0);
+        let mut slow = LoadTracker::new(SimTime::ZERO, 64.0);
+        let now = SimTime::from_millis(16);
+        fast.update(now, 1.0);
+        slow.update(now, 1.0);
+        assert!(fast.value() > slow.value());
+    }
+
+    proptest! {
+        #[test]
+        fn load_stays_in_range(updates in proptest::collection::vec((1u64..100, 0.0f64..1.0), 1..100)) {
+            let mut t = LoadTracker::new(SimTime::ZERO, 32.0);
+            let mut now = SimTime::ZERO;
+            for (dt_ms, r) in updates {
+                now += SimDuration::from_millis(dt_ms);
+                t.update(now, r);
+                prop_assert!(t.value() >= -1e-9);
+                prop_assert!(t.value() <= LOAD_SCALE + 1e-9);
+            }
+        }
+
+        #[test]
+        fn constant_input_converges_to_scaled_value(r in 0.0f64..1.0) {
+            let mut t = LoadTracker::new(SimTime::ZERO, 32.0);
+            let mut now = SimTime::ZERO;
+            for _ in 0..2000 {
+                now += SimDuration::from_millis(1);
+                t.update(now, r);
+            }
+            prop_assert!((t.value() - LOAD_SCALE * r).abs() < 2.0);
+        }
+    }
+}

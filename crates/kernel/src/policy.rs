@@ -1,0 +1,141 @@
+//! Asymmetric-scheduling policies (paper §IV.A).
+//!
+//! The paper contrasts three approaches to mapping threads onto the two
+//! core types:
+//!
+//! 1. **Utilization-based** — what commercial platforms ship: migrate on
+//!    CPU-load thresholds ([`AsymPolicy::Hmp`], paper Algorithm 1).
+//! 2. **Efficiency-based** (Kumar et al. \[1,2\]) — "the top *N* threads
+//!    with high speedups with big cores are scheduled to *N* big cores".
+//!    Requires a per-thread big-core speedup estimate; our simulator knows
+//!    each task's [`bl_platform::perf::WorkProfile`], so the estimate is
+//!    exact ([`AsymPolicy::EfficiencyBased`]).
+//! 3. **Parallelism-aware** (Saez et al. \[8\]) — "when there is an
+//!    abundant parallelism ... more small cores are used, but when the
+//!    parallelism is low, a big core is used to reduce the length of the
+//!    critical path" ([`AsymPolicy::ParallelismAware`]).
+//!
+//! The paper implements only (1) because it is what the hardware ships;
+//! we provide all three so the academic alternatives can be compared on
+//! the same workloads (see the `biglittle` ablation experiments).
+
+use crate::hmp::HmpParams;
+use serde::{Deserialize, Serialize};
+
+/// How tasks are mapped across core types.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AsymPolicy {
+    /// Utilization-threshold migration — the production HMP scheduler.
+    Hmp(HmpParams),
+    /// Kumar-style: the top-N highest-speedup loaded threads own the N big
+    /// cores.
+    EfficiencyBased {
+        /// Minimum load (0–1024) for a task to compete for a big core;
+        /// keeps short-lived wisps from thrashing the ranking.
+        min_load: f64,
+    },
+    /// Saez-style: low runnable parallelism → big cores (shorten the
+    /// critical path); high parallelism → spread over little cores.
+    ParallelismAware {
+        /// Runnable-task count at or below which the system is considered
+        /// serial-phase (typically the number of online big cores).
+        serial_threshold: usize,
+        /// Minimum load (0–1024) for a task to count toward parallelism.
+        min_load: f64,
+    },
+    /// No cross-type migration (pinned architecture experiments).
+    Disabled,
+}
+
+impl AsymPolicy {
+    /// The platform default: HMP with stock parameters.
+    pub fn default_hmp() -> Self {
+        AsymPolicy::Hmp(HmpParams::default_platform())
+    }
+
+    /// Efficiency-based with the default load floor.
+    pub fn efficiency_based() -> Self {
+        AsymPolicy::EfficiencyBased { min_load: 128.0 }
+    }
+
+    /// Parallelism-aware with the default thresholds (serial == number of
+    /// big cores on the modeled platform).
+    pub fn parallelism_aware() -> Self {
+        AsymPolicy::ParallelismAware { serial_threshold: 4, min_load: 128.0 }
+    }
+
+    /// Load-history half-life used for task load tracking under this
+    /// policy.
+    pub fn load_halflife_ms(&self) -> f64 {
+        match self {
+            AsymPolicy::Hmp(p) => p.load_halflife_ms,
+            _ => 32.0,
+        }
+    }
+
+    /// Validates internal parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid thresholds.
+    pub fn assert_valid(&self) {
+        match self {
+            AsymPolicy::Hmp(p) => p.assert_valid(),
+            AsymPolicy::EfficiencyBased { min_load } => {
+                assert!((0.0..=1024.0).contains(min_load))
+            }
+            AsymPolicy::ParallelismAware { min_load, .. } => {
+                assert!((0.0..=1024.0).contains(min_load))
+            }
+            AsymPolicy::Disabled => {}
+        }
+    }
+}
+
+impl Default for AsymPolicy {
+    fn default() -> Self {
+        AsymPolicy::default_hmp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_hmp_with_paper_params() {
+        match AsymPolicy::default() {
+            AsymPolicy::Hmp(p) => {
+                assert_eq!(p.up_threshold, 700.0);
+                assert_eq!(p.down_threshold, 256.0);
+            }
+            other => panic!("unexpected default {other:?}"),
+        }
+    }
+
+    #[test]
+    fn halflife_follows_hmp_params() {
+        let p = AsymPolicy::Hmp(HmpParams::double_history());
+        assert_eq!(p.load_halflife_ms(), 64.0);
+        assert_eq!(AsymPolicy::efficiency_based().load_halflife_ms(), 32.0);
+        assert_eq!(AsymPolicy::Disabled.load_halflife_ms(), 32.0);
+    }
+
+    #[test]
+    fn all_variants_validate() {
+        for p in [
+            AsymPolicy::default_hmp(),
+            AsymPolicy::efficiency_based(),
+            AsymPolicy::parallelism_aware(),
+            AsymPolicy::Disabled,
+        ] {
+            p.assert_valid();
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_min_load_rejected() {
+        AsymPolicy::EfficiencyBased { min_load: 9999.0 }.assert_valid();
+    }
+}

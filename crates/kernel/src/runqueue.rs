@@ -1,0 +1,185 @@
+//! Per-CPU runqueues with CFS-style minimum-vruntime dispatch.
+
+use crate::task::TaskId;
+
+/// A single CPU's queue of runnable tasks. The "current" task is the one
+/// the CPU executes; the rest wait. Dispatch picks the waiting task with
+/// the smallest virtual runtime (CFS fairness without the full rbtree
+/// machinery — queues here hold at most a handful of tasks).
+#[derive(Debug, Clone, Default)]
+pub struct RunQueue {
+    current: Option<TaskId>,
+    waiting: Vec<TaskId>,
+}
+
+impl RunQueue {
+    /// Creates an empty runqueue.
+    pub fn new() -> Self {
+        RunQueue::default()
+    }
+
+    /// The task currently executing, if any.
+    pub fn current(&self) -> Option<TaskId> {
+        self.current
+    }
+
+    /// Tasks waiting (not including current).
+    pub fn waiting(&self) -> &[TaskId] {
+        &self.waiting
+    }
+
+    /// Total runnable tasks (current + waiting).
+    pub fn len(&self) -> usize {
+        self.waiting.len() + usize::from(self.current.is_some())
+    }
+
+    /// True when no runnable tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues a task as waiting.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the task is already queued here.
+    pub fn enqueue(&mut self, tid: TaskId) {
+        debug_assert!(!self.contains(tid), "task already queued");
+        self.waiting.push(tid);
+    }
+
+    /// Whether `tid` is current or waiting on this queue.
+    pub fn contains(&self, tid: TaskId) -> bool {
+        self.current == Some(tid) || self.waiting.contains(&tid)
+    }
+
+    /// Removes `tid` wherever it is. Returns true if it was the current
+    /// task (caller must then dispatch a replacement).
+    pub fn remove(&mut self, tid: TaskId) -> bool {
+        if self.current == Some(tid) {
+            self.current = None;
+            return true;
+        }
+        if let Some(pos) = self.waiting.iter().position(|t| *t == tid) {
+            self.waiting.remove(pos);
+        }
+        false
+    }
+
+    /// Moves the current task (if any) back to the waiting list; used at
+    /// preemption points.
+    pub fn yield_current(&mut self) {
+        if let Some(c) = self.current.take() {
+            self.waiting.push(c);
+        }
+    }
+
+    /// Installs the waiting task with minimum key (vruntime) as current,
+    /// if the CPU is idle and somebody waits. `key` maps a task to its
+    /// vruntime. Returns the newly dispatched task.
+    pub fn dispatch<K: Fn(TaskId) -> u64>(&mut self, key: K) -> Option<TaskId> {
+        if self.current.is_some() || self.waiting.is_empty() {
+            return None;
+        }
+        let (idx, _) = self
+            .waiting
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| key(**t))?;
+        let tid = self.waiting.remove(idx);
+        self.current = Some(tid);
+        Some(tid)
+    }
+
+    /// Steals one waiting task (the one with maximum key — heaviest first),
+    /// for load balancing. Never steals the current task.
+    pub fn steal<K: Fn(TaskId) -> u64>(&mut self, key: K) -> Option<TaskId> {
+        if self.waiting.is_empty() {
+            return None;
+        }
+        let (idx, _) = self
+            .waiting
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, t)| key(**t))?;
+        Some(self.waiting.remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_picks_min_vruntime() {
+        let mut q = RunQueue::new();
+        q.enqueue(TaskId(1));
+        q.enqueue(TaskId(2));
+        q.enqueue(TaskId(3));
+        let vr = |t: TaskId| match t.0 {
+            1 => 50,
+            2 => 10,
+            _ => 99,
+        };
+        assert_eq!(q.dispatch(vr), Some(TaskId(2)));
+        assert_eq!(q.current(), Some(TaskId(2)));
+        // Busy CPU: no re-dispatch.
+        assert_eq!(q.dispatch(vr), None);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn yield_and_redispatch_rotates() {
+        let mut q = RunQueue::new();
+        q.enqueue(TaskId(1));
+        q.enqueue(TaskId(2));
+        q.dispatch(|t| t.0 as u64);
+        assert_eq!(q.current(), Some(TaskId(1)));
+        q.yield_current();
+        // After running, task 1 has larger vruntime.
+        let vr = |t: TaskId| if t.0 == 1 { 100 } else { 0 };
+        assert_eq!(q.dispatch(vr), Some(TaskId(2)));
+    }
+
+    #[test]
+    fn remove_current_signals_caller() {
+        let mut q = RunQueue::new();
+        q.enqueue(TaskId(5));
+        q.dispatch(|_| 0);
+        assert!(q.remove(TaskId(5)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn remove_waiting_is_silent() {
+        let mut q = RunQueue::new();
+        q.enqueue(TaskId(5));
+        q.enqueue(TaskId(6));
+        q.dispatch(|t| t.0 as u64);
+        assert!(!q.remove(TaskId(6)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.contains(TaskId(6)));
+        assert!(q.contains(TaskId(5)));
+    }
+
+    #[test]
+    fn steal_takes_heaviest_waiter_not_current() {
+        let mut q = RunQueue::new();
+        q.enqueue(TaskId(1));
+        q.enqueue(TaskId(2));
+        q.enqueue(TaskId(3));
+        q.dispatch(|t| t.0 as u64); // current = 1
+        let load = |t: TaskId| t.0 as u64 * 10;
+        assert_eq!(q.steal(load), Some(TaskId(3)));
+        assert_eq!(q.current(), Some(TaskId(1)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn steal_empty_returns_none() {
+        let mut q = RunQueue::new();
+        q.enqueue(TaskId(1));
+        q.dispatch(|_| 0);
+        assert_eq!(q.steal(|_| 0), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! Tasks and their pluggable behaviors.
+
+use bl_platform::ids::{CoreKind, CpuId};
+use bl_platform::perf::{Work, WorkProfile};
+use bl_simcore::time::{SimDuration, SimTime};
+use core::fmt;
+
+/// A task identifier, dense from 0 in spawn order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Lifecycle state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// On a runqueue (possibly currently executing).
+    Runnable,
+    /// Sleeping until a timer the kernel scheduled.
+    Sleeping,
+    /// Parked until another task (or the input script) wakes it.
+    Blocked,
+    /// Finished; never scheduled again.
+    Exited,
+}
+
+/// What a task does next, produced by its [`TaskBehavior`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Step {
+    /// Execute `work` instructions characterized by `profile`.
+    Compute {
+        /// Amount of work to run before the next step.
+        work: Work,
+        /// Architectural character of the work.
+        profile: WorkProfile,
+    },
+    /// Sleep for a duration, then continue.
+    Sleep(SimDuration),
+    /// Sleep until an absolute time (e.g. the next vsync), then continue.
+    /// If the time is already past, continues immediately.
+    SleepUntil(SimTime),
+    /// Park until explicitly woken via [`BehaviorCtx::wake`] or the driver.
+    Block,
+    /// Terminate the task.
+    Exit,
+}
+
+/// Where a task may run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Affinity {
+    /// Any online CPU; subject to HMP migration.
+    Any,
+    /// Pinned to one CPU (used by the fixed-configuration architecture
+    /// experiments); HMP never migrates it.
+    Pinned(CpuId),
+    /// Restricted to cores of one kind; HMP never migrates it across kinds.
+    Kind(CoreKind),
+}
+
+/// Application-level signals emitted by behaviors and collected by the
+/// measurement layer (frame completions for FPS, script completion for
+/// latency).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AppSignal {
+    /// A rendered frame was produced; `deadline_missed` reports whether it
+    /// exceeded its vsync budget.
+    Frame {
+        /// Wall time the frame took to produce.
+        frame_time: SimDuration,
+    },
+    /// The scripted user interaction completed (latency apps).
+    ScriptDone,
+    /// One user-visible action within the script finished.
+    ActionDone,
+    /// Free-form marker for experiments.
+    Marker(u32),
+}
+
+/// Environment handed to behaviors when they produce the next step.
+#[derive(Debug)]
+pub struct BehaviorCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    pub(crate) wakes: &'a mut Vec<TaskId>,
+    pub(crate) signals: &'a mut Vec<(SimTime, AppSignal)>,
+}
+
+impl<'a> BehaviorCtx<'a> {
+    /// Creates a context over caller-owned wake and signal buffers. The
+    /// kernel builds these internally; this constructor exists so behavior
+    /// implementations can be unit-tested in isolation.
+    pub fn new(
+        now: SimTime,
+        wakes: &'a mut Vec<TaskId>,
+        signals: &'a mut Vec<(SimTime, AppSignal)>,
+    ) -> Self {
+        BehaviorCtx { now, wakes, signals }
+    }
+
+    /// Requests that `tid` be woken (if blocked or sleeping) once the
+    /// current step exchange finishes.
+    pub fn wake(&mut self, tid: TaskId) {
+        self.wakes.push(tid);
+    }
+
+    /// Emits an application-level signal at the current time.
+    pub fn signal(&mut self, s: AppSignal) {
+        self.signals.push((self.now, s));
+    }
+}
+
+/// A task's behavior: a generator of [`Step`]s.
+///
+/// `next_step` is called when the task is created, whenever its current
+/// compute quantum finishes, and whenever it is woken from sleep/block. The
+/// behavior may wake other tasks and emit [`AppSignal`]s through the
+/// context.
+pub trait TaskBehavior {
+    /// Produces the next step for this task.
+    fn next_step(&mut self, ctx: &mut BehaviorCtx<'_>) -> Step;
+}
+
+impl<F> TaskBehavior for F
+where
+    F: FnMut(&mut BehaviorCtx<'_>) -> Step,
+{
+    fn next_step(&mut self, ctx: &mut BehaviorCtx<'_>) -> Step {
+        self(ctx)
+    }
+}
+
+/// Internal per-task bookkeeping. Public within the crate only.
+pub(crate) struct TaskCb {
+    pub(crate) name: String,
+    pub(crate) state: TaskState,
+    pub(crate) behavior: Box<dyn TaskBehavior>,
+    pub(crate) affinity: Affinity,
+    /// Remaining work of the current compute step.
+    pub(crate) remaining: Work,
+    /// Profile of the current compute step.
+    pub(crate) profile: WorkProfile,
+    /// Load tracker (HMP input).
+    pub(crate) load: crate::load::LoadTracker,
+    /// CPU whose runqueue holds the task (valid while Runnable).
+    pub(crate) cpu: Option<CpuId>,
+    /// Last CPU the task ran on; wake placement prefers it (cache
+    /// affinity), mirroring HMP behavior.
+    pub(crate) last_cpu: Option<CpuId>,
+    /// CFS-style virtual runtime in nanoseconds.
+    pub(crate) vruntime: u64,
+    /// Total CPU time consumed (diagnostics).
+    pub(crate) cpu_time: SimDuration,
+    /// CPU time split by core kind [little, big].
+    pub(crate) cpu_time_by_kind: [SimDuration; 2],
+}
+
+impl fmt::Debug for TaskCb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskCb")
+            .field("name", &self.name)
+            .field("state", &self.state)
+            .field("remaining", &self.remaining)
+            .field("cpu", &self.cpu)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_is_a_behavior() {
+        let mut calls = 0;
+        {
+            let mut b = |_ctx: &mut BehaviorCtx<'_>| {
+                calls += 1;
+                Step::Exit
+            };
+            let mut wakes = Vec::new();
+            let mut signals = Vec::new();
+            let mut ctx = BehaviorCtx {
+                now: SimTime::ZERO,
+                wakes: &mut wakes,
+                signals: &mut signals,
+            };
+            assert_eq!(b.next_step(&mut ctx), Step::Exit);
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn ctx_collects_wakes_and_signals() {
+        let mut wakes = Vec::new();
+        let mut signals = Vec::new();
+        let mut ctx = BehaviorCtx {
+            now: SimTime::from_millis(5),
+            wakes: &mut wakes,
+            signals: &mut signals,
+        };
+        ctx.wake(TaskId(3));
+        ctx.signal(AppSignal::ScriptDone);
+        assert_eq!(wakes, vec![TaskId(3)]);
+        assert_eq!(signals, vec![(SimTime::from_millis(5), AppSignal::ScriptDone)]);
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId(7).to_string(), "task7");
+    }
+}

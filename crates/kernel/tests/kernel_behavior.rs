@@ -1,0 +1,520 @@
+//! Behavioral tests for the kernel: completion timing, fairness, HMP
+//! migration, balancing, sleep/wake and blocking semantics. A miniature
+//! event-loop driver stands in for the full simulator.
+
+use bl_kernel::kernel::{Hw, Kernel, KernelConfig, WakeRequest};
+use bl_kernel::task::{Affinity, AppSignal, BehaviorCtx, Step, TaskId};
+use bl_platform::exynos::{exynos5422, LITTLE_CLUSTER};
+use bl_platform::ids::{CoreKind, CpuId};
+use bl_platform::perf::{Work, WorkProfile};
+use bl_platform::state::PlatformState;
+use bl_platform::topology::Platform;
+use bl_simcore::event::EventQueue;
+use bl_simcore::time::{SimDuration, SimTime};
+
+enum Ev {
+    Tick,
+    Timer(WakeRequest),
+}
+
+struct MiniSim {
+    platform: Platform,
+    state: PlatformState,
+    kernel: Kernel,
+    queue: EventQueue<Ev>,
+    now: SimTime,
+}
+
+impl MiniSim {
+    fn new() -> Self {
+        let platform = exynos5422();
+        let mut state = PlatformState::new(&platform.topology);
+        // Fixed max frequencies: these tests isolate scheduler behavior.
+        state.set_all_max(&platform.topology);
+        let kernel = Kernel::new(platform.topology.n_cpus(), KernelConfig::default(), SimTime::ZERO);
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::from_millis(4), Ev::Tick);
+        MiniSim { platform, state, kernel, queue, now: SimTime::ZERO }
+    }
+
+    fn spawn<B>(&mut self, name: &str, affinity: Affinity, behavior: B) -> TaskId
+    where
+        B: FnMut(&mut BehaviorCtx<'_>) -> Step + 'static,
+    {
+        let hw = Hw { platform: &self.platform, state: &self.state };
+        let tid = self
+            .kernel
+            .spawn(name, affinity, Box::new(behavior), &hw, self.now);
+        self.collect_wakes();
+        tid
+    }
+
+    fn collect_wakes(&mut self) {
+        for w in self.kernel.drain_wake_requests() {
+            self.queue.schedule(w.at, Ev::Timer(w));
+        }
+    }
+
+    fn run_until(&mut self, until: SimTime) {
+        while self.now < until {
+            let hw = Hw { platform: &self.platform, state: &self.state };
+            let next_event = self.queue.peek_time().unwrap_or(SimTime::MAX);
+            let completion = self
+                .kernel
+                .next_completion_time(&hw, self.now)
+                .unwrap_or(SimTime::MAX);
+            let target = next_event.min(completion).min(until);
+            self.kernel.advance_to(&hw, target);
+            self.now = target;
+            if self.now >= until {
+                break;
+            }
+            self.kernel.handle_completions(&hw, self.now);
+            while self.queue.peek_time() == Some(self.now) {
+                let (_, ev) = self.queue.pop().unwrap();
+                match ev {
+                    Ev::Tick => {
+                        self.kernel.tick(&hw, self.now);
+                        self.queue
+                            .schedule(self.now + SimDuration::from_millis(4), Ev::Tick);
+                    }
+                    Ev::Timer(w) => self.kernel.timer_wake(w.tid, w.seq, &hw, self.now),
+                }
+            }
+            self.collect_wakes();
+        }
+    }
+
+    /// Work equal to `ms` milliseconds on a little core at max frequency.
+    fn little_ms(&self, ms: u64) -> Work {
+        let p = WorkProfile::compute_bound();
+        let l2 = self.platform.topology.cluster(LITTLE_CLUSTER).l2;
+        self.platform
+            .perf
+            .work_for(&p, CoreKind::Little, &l2, 1.3, SimDuration::from_millis(ms))
+    }
+}
+
+/// A behavior that computes once and exits.
+fn one_shot(work: Work) -> impl FnMut(&mut BehaviorCtx<'_>) -> Step {
+    let mut fired = false;
+    move |_ctx| {
+        if fired {
+            Step::Exit
+        } else {
+            fired = true;
+            Step::Compute { work, profile: WorkProfile::compute_bound() }
+        }
+    }
+}
+
+#[test]
+fn single_task_completes_on_schedule() {
+    let mut sim = MiniSim::new();
+    let work = sim.little_ms(10);
+    let tid = sim.spawn("worker", Affinity::Pinned(CpuId(0)), one_shot(work));
+    sim.run_until(SimTime::from_millis(50));
+    assert!(sim.kernel.all_exited());
+    let t = sim.kernel.task_cpu_time(tid);
+    assert!(
+        (t.as_millis_f64() - 10.0).abs() < 0.01,
+        "cpu time = {t} (expected ~10ms)"
+    );
+}
+
+#[test]
+fn big_core_finishes_compute_bound_work_faster() {
+    let mut sim = MiniSim::new();
+    let work = sim.little_ms(20);
+    let little = sim.spawn("on-little", Affinity::Pinned(CpuId(0)), one_shot(work));
+    let big = sim.spawn("on-big", Affinity::Pinned(CpuId(4)), one_shot(work));
+    sim.run_until(SimTime::from_millis(100));
+    let tl = sim.kernel.task_cpu_time(little).as_millis_f64();
+    let tb = sim.kernel.task_cpu_time(big).as_millis_f64();
+    // Same instruction count: big core at 1.9 GHz with lower CPI is faster.
+    let speedup = tl / tb;
+    assert!(speedup > 2.0, "speedup = {speedup:.2}");
+}
+
+#[test]
+fn two_tasks_share_one_cpu_fairly() {
+    let mut sim = MiniSim::new();
+    let work = sim.little_ms(20);
+    let a = sim.spawn("a", Affinity::Pinned(CpuId(0)), one_shot(work));
+    let b = sim.spawn("b", Affinity::Pinned(CpuId(0)), one_shot(work));
+    // After 20ms of wall time sharing one CPU, each should have ~10ms.
+    sim.run_until(SimTime::from_millis(20));
+    let ta = sim.kernel.task_cpu_time(a).as_millis_f64();
+    let tb = sim.kernel.task_cpu_time(b).as_millis_f64();
+    assert!((ta - tb).abs() <= 4.1, "unfair: a={ta:.1}ms b={tb:.1}ms");
+    assert!((ta + tb - 20.0).abs() < 0.1, "total {:.2}", ta + tb);
+}
+
+#[test]
+fn hmp_migrates_sustained_load_to_big_core() {
+    let mut sim = MiniSim::new();
+    // 500ms of continuous work placed unpinned: starts on a little core,
+    // saturates its load, must migrate to the big cluster.
+    let work = sim.little_ms(500);
+    let tid = sim.spawn("hog", Affinity::Any, one_shot(work));
+    assert_eq!(
+        sim.platform.topology.kind_of(sim.kernel.task_cpu(tid).unwrap()),
+        CoreKind::Little,
+        "initial placement is little"
+    );
+    sim.run_until(SimTime::from_millis(200));
+    let cpu = sim.kernel.task_cpu(tid).expect("still running");
+    assert_eq!(sim.platform.topology.kind_of(cpu), CoreKind::Big, "should have migrated up");
+    let (up, _) = sim.kernel.migration_counts();
+    assert!(up >= 1);
+}
+
+#[test]
+fn hmp_migrates_light_load_back_down() {
+    let mut sim = MiniSim::new();
+    // Phase 1: heavy burst (goes big). Phase 2: light periodic work
+    // (0.5ms every 20ms => ~2.5% load) must return to little.
+    let heavy = sim.little_ms(150);
+    let light_work = sim.little_ms(1);
+    let mut phase = 0u32;
+    let tid = sim.spawn("bursty", Affinity::Any, move |_ctx| {
+        phase += 1;
+        match phase {
+            1 => Step::Compute { work: heavy, profile: WorkProfile::compute_bound() },
+            p if p % 2 == 0 => Step::Sleep(SimDuration::from_millis(40)),
+            _ => Step::Compute { work: light_work, profile: WorkProfile::compute_bound() },
+        }
+    });
+    sim.run_until(SimTime::from_millis(1500));
+    let (up, down) = sim.kernel.migration_counts();
+    assert!(up >= 1, "no up migration");
+    assert!(down >= 1, "no down migration");
+    // In steady light phase the task should live on the little side.
+    if let Some(cpu) = sim.kernel.task_cpu(tid) {
+        assert_eq!(sim.platform.topology.kind_of(cpu), CoreKind::Little);
+    } else {
+        assert!(sim.kernel.task_load(tid) < 300.0);
+    }
+}
+
+#[test]
+fn load_balancer_spreads_tasks_within_cluster() {
+    let mut sim = MiniSim::new();
+    let work = sim.little_ms(100);
+    let a = sim.spawn("a", Affinity::Kind(CoreKind::Little), one_shot(work));
+    let b = sim.spawn("b", Affinity::Kind(CoreKind::Little), one_shot(work));
+    let c = sim.spawn("c", Affinity::Kind(CoreKind::Little), one_shot(work));
+    sim.run_until(SimTime::from_millis(30));
+    let cpus: Vec<_> = [a, b, c]
+        .iter()
+        .filter_map(|t| sim.kernel.task_cpu(*t))
+        .collect();
+    let mut unique = cpus.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), 3, "tasks should spread to distinct CPUs: {cpus:?}");
+}
+
+#[test]
+fn sleep_wake_cycle_and_signals() {
+    let mut sim = MiniSim::new();
+    let work = sim.little_ms(1);
+    let mut n = 0u32;
+    sim.spawn("periodic", Affinity::Pinned(CpuId(0)), move |ctx| {
+        n += 1;
+        match n {
+            1 | 3 | 5 => Step::Compute { work, profile: WorkProfile::compute_bound() },
+            2 | 4 => {
+                ctx.signal(AppSignal::Marker(n));
+                Step::Sleep(SimDuration::from_millis(10))
+            }
+            _ => {
+                ctx.signal(AppSignal::ScriptDone);
+                Step::Exit
+            }
+        }
+    });
+    sim.run_until(SimTime::from_millis(100));
+    assert!(sim.kernel.all_exited());
+    let signals = sim.kernel.drain_signals();
+    let markers: Vec<_> = signals
+        .iter()
+        .filter(|(_, s)| matches!(s, AppSignal::Marker(_)))
+        .collect();
+    assert_eq!(markers.len(), 2);
+    assert!(signals.iter().any(|(_, s)| matches!(s, AppSignal::ScriptDone)));
+    // Completion near 1ms + 10ms + 1ms + 10ms + 1ms = ~23ms.
+    let done_at = signals
+        .iter()
+        .find(|(_, s)| matches!(s, AppSignal::ScriptDone))
+        .unwrap()
+        .0;
+    assert!(
+        (done_at.as_millis_f64() - 23.0).abs() < 1.0,
+        "done at {done_at}"
+    );
+}
+
+#[test]
+fn blocked_task_woken_by_peer() {
+    let mut sim = MiniSim::new();
+    let work = sim.little_ms(2);
+    // Worker: blocks, computes when woken, then exits.
+    let mut worker_phase = 0u32;
+    let worker = sim.spawn("worker", Affinity::Pinned(CpuId(1)), move |_ctx| {
+        worker_phase += 1;
+        match worker_phase {
+            1 => Step::Block,
+            2 => Step::Compute { work, profile: WorkProfile::compute_bound() },
+            _ => Step::Exit,
+        }
+    });
+    // Producer: computes, wakes worker, exits.
+    let mut producer_phase = 0u32;
+    sim.spawn("producer", Affinity::Pinned(CpuId(0)), move |ctx| {
+        producer_phase += 1;
+        match producer_phase {
+            1 => Step::Compute { work, profile: WorkProfile::compute_bound() },
+            2 => {
+                ctx.wake(worker);
+                Step::Exit
+            }
+            _ => Step::Exit,
+        }
+    });
+    sim.run_until(SimTime::from_millis(50));
+    assert!(sim.kernel.all_exited());
+    assert!(sim.kernel.task_cpu_time(worker) > SimDuration::from_millis(1));
+}
+
+#[test]
+fn wake_while_runnable_is_remembered() {
+    let mut sim = MiniSim::new();
+    let long = sim.little_ms(10);
+    let short = sim.little_ms(1);
+    // Consumer computes 10ms, then blocks; a wake arriving during the
+    // compute must be consumed at block time (pending-event semantics).
+    let mut phase = 0u32;
+    let consumer = sim.spawn("consumer", Affinity::Pinned(CpuId(0)), move |_| {
+        phase += 1;
+        match phase {
+            1 => Step::Compute { work: long, profile: WorkProfile::compute_bound() },
+            2 => Step::Block, // should fall straight through
+            3 => Step::Compute { work: short, profile: WorkProfile::compute_bound() },
+            _ => Step::Exit,
+        }
+    });
+    let mut p = 0u32;
+    sim.spawn("poker", Affinity::Pinned(CpuId(1)), move |ctx| {
+        p += 1;
+        match p {
+            1 => Step::Sleep(SimDuration::from_millis(2)),
+            2 => {
+                ctx.wake(consumer); // consumer is mid-compute
+                Step::Exit
+            }
+            _ => Step::Exit,
+        }
+    });
+    sim.run_until(SimTime::from_millis(100));
+    assert!(sim.kernel.all_exited(), "consumer must not stay blocked");
+    assert!(sim.kernel.task_cpu_time(consumer).as_millis_f64() > 10.5);
+}
+
+#[test]
+fn offline_cpus_never_receive_tasks() {
+    let mut sim = MiniSim::new();
+    sim.state
+        .apply_core_config(&sim.platform.topology, bl_platform::config::CoreConfig::new(2, 0))
+        .unwrap();
+    let work = sim.little_ms(50);
+    let mut tids = Vec::new();
+    for i in 0..4 {
+        tids.push(sim.spawn(&format!("t{i}"), Affinity::Any, one_shot(work)));
+    }
+    sim.run_until(SimTime::from_millis(30));
+    for t in &tids {
+        if let Some(cpu) = sim.kernel.task_cpu(*t) {
+            assert!(cpu.0 < 2, "task on offline cpu {cpu}");
+        }
+    }
+}
+
+#[test]
+fn accounting_matches_wall_time_for_saturated_cpu() {
+    let mut sim = MiniSim::new();
+    let work = sim.little_ms(100);
+    sim.spawn("hog", Affinity::Pinned(CpuId(0)), one_shot(work));
+    sim.run_until(SimTime::from_millis(50));
+    let busy = sim.kernel.accounting().cumulative_busy(CpuId(0));
+    assert!((busy.as_millis_f64() - 50.0).abs() < 0.01, "busy = {busy}");
+}
+
+#[test]
+fn stale_timer_does_not_wake_rescheduled_sleeper() {
+    let mut sim = MiniSim::new();
+    let work = sim.little_ms(1);
+    // Task sleeps 10ms; at 2ms an external wake cuts the sleep short and it
+    // re-sleeps for 50ms. The stale 10ms timer must not end the second sleep.
+    let mut phase = 0u32;
+    let sleeper = sim.spawn("sleeper", Affinity::Pinned(CpuId(0)), move |_| {
+        phase += 1;
+        match phase {
+            1 => Step::Sleep(SimDuration::from_millis(10)),
+            2 => Step::Sleep(SimDuration::from_millis(50)),
+            3 => Step::Compute { work, profile: WorkProfile::compute_bound() },
+            _ => Step::Exit,
+        }
+    });
+    let mut p = 0u32;
+    sim.spawn("waker", Affinity::Pinned(CpuId(1)), move |ctx| {
+        p += 1;
+        match p {
+            1 => Step::Sleep(SimDuration::from_millis(2)),
+            2 => {
+                ctx.wake(sleeper);
+                Step::Exit
+            }
+            _ => Step::Exit,
+        }
+    });
+    sim.run_until(SimTime::from_millis(30));
+    // At 30ms the second sleep (2ms + 50ms = ends at 52ms) is still going.
+    assert_eq!(
+        sim.kernel.task_state(sleeper),
+        bl_kernel::task::TaskState::Sleeping,
+        "stale timer must be ignored"
+    );
+    sim.run_until(SimTime::from_millis(80));
+    assert!(sim.kernel.all_exited());
+}
+
+mod policy_behavior {
+    use super::*;
+    use bl_kernel::policy::AsymPolicy;
+    use bl_platform::perf::WorkProfile;
+
+    fn sim_with_policy(policy: AsymPolicy) -> MiniSim {
+        let mut sim = MiniSim::new();
+        // Rebuild the kernel with the requested policy.
+        sim.kernel = Kernel::new(
+            sim.platform.topology.n_cpus(),
+            KernelConfig { policy, ..KernelConfig::default() },
+            SimTime::ZERO,
+        );
+        sim
+    }
+
+    /// A long-running compute task with a given architectural profile.
+    fn hog(work: Work, profile: WorkProfile) -> impl FnMut(&mut BehaviorCtx<'_>) -> Step {
+        let mut fired = false;
+        move |_ctx| {
+            if fired {
+                Step::Exit
+            } else {
+                fired = true;
+                Step::Compute { work, profile }
+            }
+        }
+    }
+
+    #[test]
+    fn efficiency_policy_gives_big_cores_to_high_speedup_tasks() {
+        let mut sim = sim_with_policy(AsymPolicy::EfficiencyBased { min_load: 64.0 });
+        let work = sim.little_ms(400);
+        // Cache-sensitive profile: huge big-core speedup.
+        let sensitive = WorkProfile {
+            cpi_little: 2.0,
+            cpi_big: 1.1,
+            mpki_ref: 42.0,
+            cache_beta: 1.0,
+            energy_intensity: 0.85,
+        };
+        // Low-gain profile: the big core barely helps.
+        let insensitive = WorkProfile {
+            cpi_little: 1.6,
+            cpi_big: 1.5,
+            mpki_ref: 0.0,
+            cache_beta: 0.0,
+            energy_intensity: 1.0,
+        };
+        // Five low-gain hogs + one high-gain hog: with four big cores the
+        // high-gain task must be among the big-core owners.
+        let mut low = Vec::new();
+        for i in 0..5 {
+            low.push(sim.spawn(&format!("low{i}"), Affinity::Any, hog(work, insensitive)));
+        }
+        let high = sim.spawn("high", Affinity::Any, hog(work, sensitive));
+        sim.run_until(SimTime::from_millis(300));
+        let kind_of = |tid| {
+            sim.kernel
+                .task_cpu(tid)
+                .map(|c| sim.platform.topology.kind_of(c))
+        };
+        assert_eq!(
+            kind_of(high),
+            Some(CoreKind::Big),
+            "highest-speedup task must own a big core"
+        );
+        // Exactly four of the six tasks can be on big cores.
+        let on_big = std::iter::once(high)
+            .chain(low.iter().copied())
+            .filter(|t| kind_of(*t) == Some(CoreKind::Big))
+            .count();
+        assert!(on_big <= 4, "{on_big} tasks on 4 big cores");
+    }
+
+    #[test]
+    fn parallelism_policy_uses_big_for_serial_phase() {
+        let mut sim = sim_with_policy(AsymPolicy::ParallelismAware {
+            serial_threshold: 2,
+            min_load: 64.0,
+        });
+        let work = sim.little_ms(600);
+        let solo = sim.spawn("solo", Affinity::Any, hog(work, WorkProfile::compute_bound()));
+        sim.run_until(SimTime::from_millis(100));
+        // One runnable task = serial phase: it must run on a big core.
+        assert_eq!(
+            sim.platform.topology.kind_of(sim.kernel.task_cpu(solo).unwrap()),
+            CoreKind::Big
+        );
+    }
+
+    #[test]
+    fn parallelism_policy_spreads_wide_phases_on_little() {
+        let mut sim = sim_with_policy(AsymPolicy::ParallelismAware {
+            serial_threshold: 2,
+            min_load: 64.0,
+        });
+        let work = sim.little_ms(400);
+        let mut tids = Vec::new();
+        for i in 0..4 {
+            tids.push(sim.spawn(&format!("par{i}"), Affinity::Any, hog(work, WorkProfile::compute_bound())));
+        }
+        sim.run_until(SimTime::from_millis(300));
+        // Four runnable tasks exceed the serial threshold: all little.
+        for t in tids {
+            if let Some(cpu) = sim.kernel.task_cpu(t) {
+                assert_eq!(
+                    sim.platform.topology.kind_of(cpu),
+                    CoreKind::Little,
+                    "parallel phase must stay on little cores"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_policy_never_migrates() {
+        let mut sim = sim_with_policy(AsymPolicy::Disabled);
+        let work = sim.little_ms(300);
+        let tid = sim.spawn("hog", Affinity::Any, hog(work, WorkProfile::compute_bound()));
+        sim.run_until(SimTime::from_millis(200));
+        assert_eq!(
+            sim.platform.topology.kind_of(sim.kernel.task_cpu(tid).unwrap()),
+            CoreKind::Little,
+            "no policy, no migration"
+        );
+        assert_eq!(sim.kernel.migration_counts(), (0, 0));
+    }
+}

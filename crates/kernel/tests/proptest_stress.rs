@@ -1,0 +1,194 @@
+//! Property-based stress test: random mixes of compute/sleep/block tasks
+//! driven through the kernel must uphold global invariants regardless of
+//! the schedule that emerges.
+//!
+//! Invariants checked per run:
+//! 1. Work conservation — total busy time across CPUs equals the CPU time
+//!    charged to tasks.
+//! 2. Capacity — no CPU accrues more busy time than wall time.
+//! 3. Progress — with finite work and no blocking cycles, every task exits.
+//! 4. Placement legality — pinned tasks only ever ran on their CPU.
+
+use bl_kernel::kernel::{Hw, Kernel, KernelConfig, WakeRequest};
+use bl_kernel::task::{Affinity, BehaviorCtx, Step, TaskId, TaskState};
+use bl_platform::exynos::exynos5422;
+use bl_platform::ids::CpuId;
+use bl_platform::perf::{Work, WorkProfile};
+use bl_platform::state::PlatformState;
+use bl_platform::topology::Platform;
+use bl_simcore::event::EventQueue;
+use bl_simcore::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct TaskPlan {
+    /// (work in little-ms at max freq, sleep ms after) segments.
+    segments: Vec<(u16, u16)>,
+    pinned: Option<u8>,
+}
+
+fn plan_strategy() -> impl Strategy<Value = TaskPlan> {
+    (
+        proptest::collection::vec((1u16..40, 0u16..30), 1..6),
+        proptest::option::of(0u8..8),
+    )
+        .prop_map(|(segments, pinned)| TaskPlan { segments, pinned })
+}
+
+struct PlanBehavior {
+    segments: std::vec::IntoIter<(Work, SimDuration)>,
+    pending_sleep: Option<SimDuration>,
+}
+
+impl bl_kernel::task::TaskBehavior for PlanBehavior {
+    fn next_step(&mut self, _ctx: &mut BehaviorCtx<'_>) -> Step {
+        if let Some(d) = self.pending_sleep.take() {
+            if !d.is_zero() {
+                return Step::Sleep(d);
+            }
+        }
+        match self.segments.next() {
+            Some((work, sleep)) => {
+                self.pending_sleep = Some(sleep);
+                Step::Compute { work, profile: WorkProfile::compute_bound() }
+            }
+            None => Step::Exit,
+        }
+    }
+}
+
+enum Ev {
+    Tick,
+    Timer(WakeRequest),
+}
+
+fn drive(plans: Vec<TaskPlan>) -> (Platform, Kernel, SimTime, Vec<(TaskId, Option<CpuId>)>) {
+    let platform = exynos5422();
+    let mut state = PlatformState::new(&platform.topology);
+    state.set_all_max(&platform.topology);
+    let mut kernel = Kernel::new(platform.topology.n_cpus(), KernelConfig::default(), SimTime::ZERO);
+    let little_l2 = platform.topology.cluster_of_kind(bl_platform::ids::CoreKind::Little).unwrap().l2;
+
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    queue.schedule(SimTime::from_millis(4), Ev::Tick);
+
+    let mut pins = Vec::new();
+    {
+        let hw = Hw { platform: &platform, state: &state };
+        for (i, plan) in plans.iter().enumerate() {
+            let segments: Vec<(Work, SimDuration)> = plan
+                .segments
+                .iter()
+                .map(|(w, s)| {
+                    (
+                        platform.perf.work_for(
+                            &WorkProfile::compute_bound(),
+                            bl_platform::ids::CoreKind::Little,
+                            &little_l2,
+                            1.3,
+                            SimDuration::from_millis(*w as u64),
+                        ),
+                        SimDuration::from_millis(*s as u64),
+                    )
+                })
+                .collect();
+            let affinity = match plan.pinned {
+                Some(c) => Affinity::Pinned(CpuId(c as usize % platform.topology.n_cpus())),
+                None => Affinity::Any,
+            };
+            let behavior = PlanBehavior { segments: segments.into_iter(), pending_sleep: None };
+            let tid = kernel.spawn(format!("t{i}"), affinity, Box::new(behavior), &hw, SimTime::ZERO);
+            let pin = match affinity {
+                Affinity::Pinned(c) => Some(c),
+                _ => None,
+            };
+            pins.push((tid, pin));
+        }
+    }
+
+    let deadline = SimTime::from_secs(10);
+    let mut now = SimTime::ZERO;
+    while now < deadline {
+        let hw = Hw { platform: &platform, state: &state };
+        if kernel.all_exited() {
+            break;
+        }
+        let next_event = queue.peek_time().unwrap_or(SimTime::MAX);
+        let completion = kernel.next_completion_time(&hw, now).unwrap_or(SimTime::MAX);
+        let target = next_event.min(completion).min(deadline);
+        kernel.advance_to(&hw, target);
+        now = target;
+        kernel.handle_completions(&hw, now);
+        while queue.peek_time() == Some(now) {
+            match queue.pop().unwrap().1 {
+                Ev::Tick => {
+                    kernel.tick(&hw, now);
+                    queue.schedule(now + SimDuration::from_millis(4), Ev::Tick);
+                }
+                Ev::Timer(w) => kernel.timer_wake(w.tid, w.seq, &hw, now),
+            }
+        }
+        for w in kernel.drain_wake_requests() {
+            queue.schedule(w.at, Ev::Timer(w));
+        }
+        // Placement legality checked continuously.
+        for (tid, pin) in &pins {
+            if let (Some(pin), Some(cur)) = (pin, kernel.task_cpu(*tid)) {
+                assert_eq!(cur, *pin, "pinned task migrated");
+            }
+        }
+    }
+    (platform, kernel, now, pins)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kernel_invariants_hold_under_random_workloads(
+        plans in proptest::collection::vec(plan_strategy(), 1..10)
+    ) {
+        let (platform, kernel, end, pins) = drive(plans);
+
+        // 3. Progress: everything finished well inside the generous deadline.
+        prop_assert!(kernel.all_exited(), "tasks stuck at {end}");
+
+        // 1+2. Work conservation and capacity.
+        let mut total_busy = SimDuration::ZERO;
+        for cpu in platform.topology.cpus() {
+            let busy = kernel.accounting().cumulative_busy(cpu);
+            prop_assert!(
+                busy <= end.duration_since(SimTime::ZERO) + SimDuration::from_millis(1),
+                "{cpu} busy {busy} exceeds wall {end}"
+            );
+            total_busy += busy;
+        }
+        let mut total_task_time = SimDuration::ZERO;
+        for (tid, _) in &pins {
+            total_task_time += kernel.task_cpu_time(*tid);
+            prop_assert_eq!(kernel.task_state(*tid), TaskState::Exited);
+        }
+        let diff = (total_busy.as_secs_f64() - total_task_time.as_secs_f64()).abs();
+        prop_assert!(diff < 1e-6, "busy {total_busy} != task time {total_task_time}");
+    }
+
+    #[test]
+    fn unpinned_compute_makes_monotone_progress(
+        work_ms in 5u16..100,
+        n_tasks in 1usize..8
+    ) {
+        // N identical unpinned tasks of W ms (little-reference) must finish
+        // within a loose bound even if everything serialized on one little
+        // core at max frequency.
+        let plans: Vec<TaskPlan> = (0..n_tasks)
+            .map(|_| TaskPlan { segments: vec![(work_ms, 0)], pinned: None })
+            .collect();
+        let (_p, kernel, end, _pins) = drive(plans);
+        prop_assert!(kernel.all_exited());
+        let bound_ms = work_ms as f64 * n_tasks as f64 + 100.0;
+        prop_assert!(
+            end.as_millis_f64() <= bound_ms,
+            "took {end} for {n_tasks} x {work_ms}ms (bound {bound_ms}ms)"
+        );
+    }
+}

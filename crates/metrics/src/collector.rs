@@ -1,0 +1,224 @@
+//! The 10 ms sampling harness feeding all per-run metrics.
+//!
+//! Mirrors the paper's methodology: "the CPU states are checked at every
+//! 10ms ... presenting only how many cores have a non-zero utilization
+//! during each sampling interval" (§V.B), and "we measure the utilization
+//! at every 10ms" for the Table V decomposition (§VI.B).
+
+use crate::efficiency::{EfficiencyBreakdown, UtilClass};
+use crate::frames::{FpsStats, FrameRecorder};
+use crate::residency::FreqResidency;
+use crate::tlp::{CoreTypeMatrix, TlpStats};
+use bl_kernel::accounting::{BusyWindow, CpuAccounting};
+use bl_kernel::task::AppSignal;
+use bl_platform::ids::{ClusterId, CoreKind};
+use bl_platform::state::PlatformState;
+use bl_platform::topology::Topology;
+use bl_simcore::time::{SimDuration, SimTime};
+
+/// Default sampling period used by the paper.
+pub const SAMPLE_PERIOD: SimDuration = SimDuration::from_millis(10);
+
+/// Collects every per-run metric from periodic samples and app signals.
+#[derive(Debug)]
+pub struct MetricsCollector {
+    topo: Topology,
+    busy_window: BusyWindow,
+    matrix: CoreTypeMatrix,
+    residency: FreqResidency,
+    efficiency: EfficiencyBreakdown,
+    frames: FrameRecorder,
+    script_done_at: Option<SimTime>,
+    action_times: Vec<SimTime>,
+    start: SimTime,
+    last_sample: SimTime,
+}
+
+impl MetricsCollector {
+    /// Creates a collector; `acct` must be the kernel's accounting at
+    /// `start`.
+    pub fn new(topo: &Topology, acct: &CpuAccounting, start: SimTime) -> Self {
+        let n_little = topo.cpus_of_kind(CoreKind::Little).count();
+        let n_big = topo.cpus_of_kind(CoreKind::Big).count();
+        MetricsCollector {
+            topo: topo.clone(),
+            busy_window: BusyWindow::open(acct, start),
+            matrix: CoreTypeMatrix::new(n_little, n_big),
+            residency: FreqResidency::new(topo),
+            efficiency: EfficiencyBreakdown::new(),
+            frames: FrameRecorder::new(),
+            script_done_at: None,
+            action_times: Vec::new(),
+            start,
+            last_sample: start,
+        }
+    }
+
+    /// Takes one sample at `now`, closing the window since the previous
+    /// sample.
+    pub fn sample(&mut self, now: SimTime, acct: &CpuAccounting, state: &PlatformState) {
+        let window = now.duration_since(self.last_sample);
+        if window.is_zero() {
+            return;
+        }
+        let mut active_little = 0usize;
+        let mut active_big = 0usize;
+        let mut cluster_active = vec![false; self.topo.n_clusters()];
+
+        for cpu in self.topo.cpus() {
+            let busy = self.busy_window.peek_busy(acct, cpu);
+            let util = self.busy_window.take_fraction(acct, cpu, now);
+            if busy.is_zero() {
+                continue;
+            }
+            match self.topo.kind_of(cpu) {
+                CoreKind::Little => active_little += 1,
+                CoreKind::Big => active_big += 1,
+            }
+            let cluster = self.topo.cluster_of(cpu);
+            cluster_active[cluster.0] = true;
+
+            // Table V classification for this active core-sample.
+            let opps = &self.topo.cluster(cluster).core.opps;
+            let freq = state.cluster_freq_khz(cluster);
+            self.efficiency.record(UtilClass::classify(
+                util,
+                self.topo.kind_of(cpu),
+                freq == opps.min_khz(),
+                freq == opps.max_khz(),
+            ));
+        }
+
+        self.matrix.record(active_little, active_big);
+        for (ci, active) in cluster_active.iter().enumerate() {
+            if *active {
+                let cluster = ClusterId(ci);
+                self.residency
+                    .record_active(cluster, state.cluster_freq_khz(cluster), window);
+            }
+        }
+        self.last_sample = now;
+    }
+
+    /// Feeds an application signal (frames, script completion).
+    pub fn on_signal(&mut self, at: SimTime, signal: AppSignal) {
+        match signal {
+            AppSignal::Frame { frame_time } => self.frames.record(at, frame_time),
+            AppSignal::ScriptDone => self.script_done_at = Some(at),
+            AppSignal::ActionDone => self.action_times.push(at),
+            AppSignal::Marker(_) => {}
+        }
+    }
+
+    /// Table III row for this run.
+    pub fn tlp_stats(&self) -> TlpStats {
+        self.matrix.tlp_stats()
+    }
+
+    /// Table IV matrix for this run.
+    pub fn matrix(&self) -> &CoreTypeMatrix {
+        &self.matrix
+    }
+
+    /// Figures 9/10 residency shares for a cluster (ascending OPP order).
+    pub fn residency(&self) -> &FreqResidency {
+        &self.residency
+    }
+
+    /// Table V decomposition for this run.
+    pub fn efficiency(&self) -> &EfficiencyBreakdown {
+        &self.efficiency
+    }
+
+    /// FPS statistics up to `end` (None for latency-only runs).
+    pub fn fps(&self, end: SimTime) -> Option<FpsStats> {
+        self.frames.stats(end.duration_since(self.start))
+    }
+
+    /// Script completion latency, if the script finished.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.script_done_at.map(|t| t.duration_since(self.start))
+    }
+
+    /// Times at which individual scripted actions completed.
+    pub fn action_times(&self) -> &[SimTime] {
+        &self.action_times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bl_platform::exynos::{exynos5422, LITTLE_CLUSTER};
+    use bl_platform::ids::CpuId;
+
+    fn setup() -> (Topology, CpuAccounting, PlatformState, MetricsCollector) {
+        let p = exynos5422();
+        let acct = CpuAccounting::new(p.topology.n_cpus());
+        let state = PlatformState::new(&p.topology);
+        let c = MetricsCollector::new(&p.topology, &acct, SimTime::ZERO);
+        (p.topology, acct, state, c)
+    }
+
+    #[test]
+    fn idle_sample_counts_as_idle() {
+        let (_t, acct, state, mut c) = setup();
+        c.sample(SimTime::from_millis(10), &acct, &state);
+        let s = c.tlp_stats();
+        assert_eq!(s.idle_pct, 100.0);
+        assert_eq!(c.efficiency().total_samples(), 0);
+    }
+
+    #[test]
+    fn busy_little_core_is_sampled() {
+        let (_t, mut acct, state, mut c) = setup();
+        acct.add_busy(CpuId(0), SimDuration::from_millis(4));
+        c.sample(SimTime::from_millis(10), &acct, &state);
+        let s = c.tlp_stats();
+        assert_eq!(s.idle_pct, 0.0);
+        assert_eq!(s.little_pct, 100.0);
+        assert!((s.tlp - 1.0).abs() < 1e-9);
+        // 40% util on a little core at min freq -> Min class.
+        assert!((c.efficiency().pct(UtilClass::Min) - 100.0).abs() < 1e-9);
+        // Little cluster was active for the window at 500 MHz.
+        assert!((c.residency().shares(LITTLE_CLUSTER)[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn big_usage_flips_big_pct() {
+        let (_t, mut acct, state, mut c) = setup();
+        acct.add_busy(CpuId(5), SimDuration::from_millis(10));
+        acct.add_busy(CpuId(0), SimDuration::from_millis(10));
+        c.sample(SimTime::from_millis(10), &acct, &state);
+        let s = c.tlp_stats();
+        assert_eq!(s.big_pct, 100.0);
+        assert!((s.tlp - 2.0).abs() < 1e-9);
+        assert_eq!(c.matrix().cell_pct(1, 1), 100.0);
+    }
+
+    #[test]
+    fn signals_feed_fps_and_latency() {
+        let (_t, acct, state, mut c) = setup();
+        c.on_signal(
+            SimTime::from_millis(16),
+            AppSignal::Frame { frame_time: SimDuration::from_millis(8) },
+        );
+        c.on_signal(SimTime::from_millis(33), AppSignal::Frame {
+            frame_time: SimDuration::from_millis(9),
+        });
+        c.on_signal(SimTime::from_millis(500), AppSignal::ScriptDone);
+        c.on_signal(SimTime::from_millis(100), AppSignal::ActionDone);
+        c.sample(SimTime::from_millis(10), &acct, &state);
+        assert_eq!(c.latency(), Some(SimDuration::from_millis(500)));
+        assert_eq!(c.action_times().len(), 1);
+        let fps = c.fps(SimTime::from_secs(1)).unwrap();
+        assert_eq!(fps.frames, 2);
+    }
+
+    #[test]
+    fn zero_length_sample_is_ignored() {
+        let (_t, acct, state, mut c) = setup();
+        c.sample(SimTime::ZERO, &acct, &state);
+        assert_eq!(c.matrix().total_samples(), 0);
+    }
+}

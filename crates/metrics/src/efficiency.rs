@@ -1,0 +1,192 @@
+//! Efficiency decomposition of scheduler/governor settings (paper Table V).
+//!
+//! Every 10 ms, each *active* core-sample is classified by how well the
+//! chosen core type and frequency matched the load:
+//!
+//! * **Full** — a big core at maximum frequency, still ≥99% utilized: the
+//!   load exceeds the platform's maximum capacity.
+//! * **>95%** — utilization above 95% (under-provisioned setting).
+//! * **70–95%** — the intended operating band (target load + margin).
+//! * **50–70%** — over-provisioned.
+//! * **<50%** — heavily over-provisioned (wasted capacity).
+//! * **Min** — utilization below 50% but the core is already a little core
+//!   at its minimum frequency: the hardware cannot scale lower (the paper's
+//!   motivation for a hypothetical "tiny" core).
+
+use bl_platform::ids::CoreKind;
+use serde::{Deserialize, Serialize};
+
+/// Classification of one active core-sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UtilClass {
+    /// Little core at minimum frequency with <50% utilization.
+    Min,
+    /// Utilization below 50% (scalable).
+    Under50,
+    /// Utilization in [50%, 70%).
+    From50To70,
+    /// Utilization in [70%, 95%].
+    From70To95,
+    /// Utilization above 95% (but capacity remains).
+    Over95,
+    /// Big core at maximum frequency, ≥99% utilized.
+    Full,
+}
+
+impl UtilClass {
+    /// All classes in the paper's column order.
+    pub const ALL: [UtilClass; 6] = [
+        UtilClass::Min,
+        UtilClass::Under50,
+        UtilClass::From50To70,
+        UtilClass::From70To95,
+        UtilClass::Over95,
+        UtilClass::Full,
+    ];
+
+    /// Paper column header.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UtilClass::Min => "Min",
+            UtilClass::Under50 => "<50%",
+            UtilClass::From50To70 => "<70%",
+            UtilClass::From70To95 => "70-95%",
+            UtilClass::Over95 => ">95%",
+            UtilClass::Full => "Full",
+        }
+    }
+
+    /// Classifies one active core-sample.
+    pub fn classify(
+        util: f64,
+        kind: CoreKind,
+        at_min_freq: bool,
+        at_max_freq: bool,
+    ) -> UtilClass {
+        if kind == CoreKind::Big && at_max_freq && util >= 0.99 {
+            return UtilClass::Full;
+        }
+        if util > 0.95 {
+            return UtilClass::Over95;
+        }
+        if util >= 0.70 {
+            return UtilClass::From70To95;
+        }
+        if util >= 0.50 {
+            return UtilClass::From50To70;
+        }
+        if kind == CoreKind::Little && at_min_freq {
+            return UtilClass::Min;
+        }
+        UtilClass::Under50
+    }
+}
+
+/// Accumulated Table-V row: percentage of active core-samples per class.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyBreakdown {
+    counts: [u64; 6],
+    total: u64,
+}
+
+impl EfficiencyBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one classified sample.
+    pub fn record(&mut self, class: UtilClass) {
+        let idx = UtilClass::ALL.iter().position(|c| *c == class).unwrap();
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Percentage of samples in `class`.
+    pub fn pct(&self, class: UtilClass) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let idx = UtilClass::ALL.iter().position(|c| *c == class).unwrap();
+        self.counts[idx] as f64 / self.total as f64 * 100.0
+    }
+
+    /// All percentages in the paper's column order.
+    pub fn percentages(&self) -> [f64; 6] {
+        let mut out = [0.0; 6];
+        for (i, c) in UtilClass::ALL.iter().enumerate() {
+            out[i] = self.pct(*c);
+        }
+        out
+    }
+
+    /// Number of samples recorded.
+    pub fn total_samples(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classification_rules() {
+        use UtilClass::*;
+        // Big core maxed out and saturated -> Full.
+        assert_eq!(UtilClass::classify(1.0, CoreKind::Big, false, true), Full);
+        // Big at max but not saturated -> by utilization.
+        assert_eq!(UtilClass::classify(0.97, CoreKind::Big, false, true), Over95);
+        // Little at min with low load -> Min (can't scale lower).
+        assert_eq!(UtilClass::classify(0.3, CoreKind::Little, true, false), Min);
+        // Little at higher OPP with low load -> Under50 (could scale down).
+        assert_eq!(UtilClass::classify(0.3, CoreKind::Little, false, false), Under50);
+        // Big core idle-ish is Under50, never Min.
+        assert_eq!(UtilClass::classify(0.1, CoreKind::Big, true, false), Under50);
+        assert_eq!(UtilClass::classify(0.6, CoreKind::Little, false, false), From50To70);
+        assert_eq!(UtilClass::classify(0.8, CoreKind::Big, false, false), From70To95);
+        assert_eq!(UtilClass::classify(0.96, CoreKind::Little, true, true), Over95);
+    }
+
+    #[test]
+    fn breakdown_percentages() {
+        let mut b = EfficiencyBreakdown::new();
+        b.record(UtilClass::Min);
+        b.record(UtilClass::Min);
+        b.record(UtilClass::Under50);
+        b.record(UtilClass::Full);
+        assert!((b.pct(UtilClass::Min) - 50.0).abs() < 1e-9);
+        assert!((b.pct(UtilClass::Under50) - 25.0).abs() < 1e-9);
+        assert!((b.pct(UtilClass::Full) - 25.0).abs() < 1e-9);
+        assert_eq!(b.pct(UtilClass::Over95), 0.0);
+        assert_eq!(b.total_samples(), 4);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = EfficiencyBreakdown::new();
+        assert_eq!(b.percentages(), [0.0; 6]);
+    }
+
+    proptest! {
+        #[test]
+        fn percentages_sum_to_hundred(classes in proptest::collection::vec(0usize..6, 1..100)) {
+            let mut b = EfficiencyBreakdown::new();
+            for c in classes {
+                b.record(UtilClass::ALL[c]);
+            }
+            let sum: f64 = b.percentages().iter().sum();
+            prop_assert!((sum - 100.0).abs() < 1e-6);
+        }
+
+        #[test]
+        fn classify_is_total(util in 0.0f64..1.0, big in proptest::bool::ANY,
+                             at_min in proptest::bool::ANY, at_max in proptest::bool::ANY) {
+            let kind = if big { CoreKind::Big } else { CoreKind::Little };
+            // Must never panic and always produce one of the six classes.
+            let c = UtilClass::classify(util, kind, at_min, at_max);
+            prop_assert!(UtilClass::ALL.contains(&c));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! FPS statistics from frame signals (paper Figures 5 and 13).
+//!
+//! The paper reports both the *average* FPS and the *minimum* FPS — the
+//! worst 1-second window — because "the worst FPS can be affected by core
+//! types ... although such occasional slowdowns do not change the average
+//! FPS results significantly" (§III.A).
+
+use bl_simcore::stats::TimeSeries;
+use bl_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated FPS results for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpsStats {
+    /// Mean frames per second over the whole run.
+    pub avg_fps: f64,
+    /// Frames per second of the worst 1-second window.
+    pub min_fps: f64,
+    /// Total frames produced.
+    pub frames: u64,
+}
+
+/// Collects frame completion times and produces [`FpsStats`].
+#[derive(Debug, Clone, Default)]
+pub struct FrameRecorder {
+    completions: TimeSeries,
+}
+
+impl FrameRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        FrameRecorder::default()
+    }
+
+    /// Records a frame completed at `now` with the given production time.
+    pub fn record(&mut self, now: SimTime, frame_time: SimDuration) {
+        self.completions.push(now, frame_time.as_millis_f64());
+    }
+
+    /// Number of frames recorded.
+    pub fn frames(&self) -> u64 {
+        self.completions.len() as u64
+    }
+
+    /// Computes FPS statistics over a run that lasted `total`.
+    ///
+    /// Returns `None` when no frames were produced.
+    pub fn stats(&self, total: SimDuration) -> Option<FpsStats> {
+        if self.completions.is_empty() || total.is_zero() {
+            return None;
+        }
+        let avg_fps = self.completions.len() as f64 / total.as_secs_f64();
+        // Worst 1-second window by completion count.
+        let per_window =
+            self.completions
+                .window_aggregate(SimDuration::from_secs(1), |v| v.len() as f64);
+        let min_fps = per_window.iter().cloned().fold(f64::INFINITY, f64::min);
+        Some(FpsStats {
+            avg_fps,
+            min_fps: if min_fps.is_finite() { min_fps } else { avg_fps },
+            frames: self.completions.len() as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_sixty_fps() {
+        let mut r = FrameRecorder::new();
+        for i in 0..120 {
+            r.record(
+                SimTime::from_millis(i * 1000 / 60),
+                SimDuration::from_millis(5),
+            );
+        }
+        let s = r.stats(SimDuration::from_secs(2)).unwrap();
+        assert!((s.avg_fps - 60.0).abs() < 1.0, "avg = {}", s.avg_fps);
+        assert!((s.min_fps - 60.0).abs() <= 1.0, "min = {}", s.min_fps);
+        assert_eq!(s.frames, 120);
+    }
+
+    #[test]
+    fn hiccup_lowers_min_not_avg_much() {
+        let mut r = FrameRecorder::new();
+        let mut t = 0u64;
+        for i in 0..180 {
+            // One bad second in the middle: 20 fps instead of 60.
+            let period = if (60..80).contains(&i) { 50 } else { 1000 / 60 };
+            t += period;
+            r.record(SimTime::from_millis(t), SimDuration::from_millis(5));
+        }
+        let total = SimDuration::from_millis(t);
+        let s = r.stats(total).unwrap();
+        assert!(s.min_fps < 30.0, "min = {}", s.min_fps);
+        assert!(s.avg_fps > 40.0, "avg = {}", s.avg_fps);
+        assert!(s.min_fps < s.avg_fps);
+    }
+
+    #[test]
+    fn empty_recorder_yields_none() {
+        let r = FrameRecorder::new();
+        assert!(r.stats(SimDuration::from_secs(1)).is_none());
+        assert_eq!(r.frames(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # bl-metrics
+//!
+//! The measurement layer of the reproduction: everything the paper's tables
+//! and figures report is computed here from periodic samples of the kernel
+//! and platform state.
+//!
+//! * [`tlp`] — thread-level parallelism (Blake et al. metric, paper Table
+//!   III) and the little×big active-core joint distribution (Table IV).
+//! * [`residency`] — per-cluster frequency residency over active periods
+//!   (Figures 9 and 10).
+//! * [`efficiency`] — the six-way utilization decomposition of Table V
+//!   (Full, >95%, 70–95%, 50–70%, <50%, Min).
+//! * [`frames`] — FPS statistics (average and worst 1-second window) from
+//!   frame signals (Figures 5, 13).
+//! * [`collector`] — the 10 ms sampling harness that feeds all of the
+//!   above, mirroring the paper's measurement methodology ("the CPU states
+//!   are checked at every 10ms").
+//! * [`report`] — plain-text table rendering for the `repro` binary.
+
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod efficiency;
+pub mod frames;
+pub mod report;
+pub mod residency;
+pub mod tlp;
+pub mod trace;
+
+pub use collector::MetricsCollector;
+pub use efficiency::{EfficiencyBreakdown, UtilClass};
+pub use frames::FpsStats;
+pub use tlp::{CoreTypeMatrix, TlpStats};
+pub use trace::{Trace, TraceRow};

@@ -1,0 +1,104 @@
+//! Frequency residency over active periods (paper Figures 9 and 10).
+//!
+//! For each cluster, accumulates how much *active* time (≥1 core in the
+//! cluster busy during the sampling window) was spent at each OPP. Idle
+//! windows are excluded, matching the paper: "the distribution only
+//! includes active periods for each core".
+
+use bl_platform::ids::ClusterId;
+use bl_platform::topology::Topology;
+use bl_simcore::stats::WeightedHistogram;
+use bl_simcore::time::SimDuration;
+
+/// Per-cluster active-time-at-OPP accumulator.
+#[derive(Debug, Clone)]
+pub struct FreqResidency {
+    /// One weighted histogram per cluster, bucket per OPP index.
+    per_cluster: Vec<WeightedHistogram>,
+    freqs: Vec<Vec<u32>>,
+}
+
+impl FreqResidency {
+    /// Creates residency tracking for every cluster of `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        let per_cluster = topo
+            .clusters()
+            .iter()
+            .map(|c| WeightedHistogram::new(c.core.opps.len()))
+            .collect();
+        let freqs = topo
+            .clusters()
+            .iter()
+            .map(|c| c.core.opps.iter().map(|o| o.freq_khz).collect())
+            .collect();
+        FreqResidency { per_cluster, freqs }
+    }
+
+    /// Records that `cluster` spent `window` at `freq_khz` with at least one
+    /// busy core. Call only for active windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_khz` is not an OPP of the cluster.
+    pub fn record_active(&mut self, cluster: ClusterId, freq_khz: u32, window: SimDuration) {
+        let idx = self.freqs[cluster.0]
+            .iter()
+            .position(|f| *f == freq_khz)
+            .unwrap_or_else(|| panic!("{freq_khz} kHz not an OPP of {cluster}"));
+        self.per_cluster[cluster.0].record(idx, window.as_secs_f64());
+    }
+
+    /// The OPP frequencies (kHz) of a cluster, ascending — the bucket
+    /// labels for [`FreqResidency::shares`].
+    pub fn freqs_khz(&self, cluster: ClusterId) -> &[u32] {
+        &self.freqs[cluster.0]
+    }
+
+    /// Fraction of active time per OPP (ascending frequency); all zeros if
+    /// the cluster never went active.
+    pub fn shares(&self, cluster: ClusterId) -> Vec<f64> {
+        self.per_cluster[cluster.0].shares()
+    }
+
+    /// Total active seconds recorded for a cluster.
+    pub fn active_secs(&self, cluster: ClusterId) -> f64 {
+        self.per_cluster[cluster.0].total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bl_platform::exynos::{exynos5422, BIG_CLUSTER, LITTLE_CLUSTER};
+
+    #[test]
+    fn shares_reflect_recorded_time() {
+        let topo = exynos5422().topology;
+        let mut r = FreqResidency::new(&topo);
+        r.record_active(LITTLE_CLUSTER, 500_000, SimDuration::from_millis(30));
+        r.record_active(LITTLE_CLUSTER, 1_300_000, SimDuration::from_millis(10));
+        let shares = r.shares(LITTLE_CLUSTER);
+        assert!((shares[0] - 0.75).abs() < 1e-9);
+        assert!((shares[8] - 0.25).abs() < 1e-9);
+        assert!((r.active_secs(LITTLE_CLUSTER) - 0.040).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clusters_are_independent() {
+        let topo = exynos5422().topology;
+        let mut r = FreqResidency::new(&topo);
+        r.record_active(BIG_CLUSTER, 1_900_000, SimDuration::from_millis(10));
+        assert_eq!(r.shares(LITTLE_CLUSTER), vec![0.0; 9]);
+        let big = r.shares(BIG_CLUSTER);
+        assert!((big[11] - 1.0).abs() < 1e-9);
+        assert_eq!(r.freqs_khz(BIG_CLUSTER).len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an OPP")]
+    fn off_table_frequency_panics() {
+        let topo = exynos5422().topology;
+        let mut r = FreqResidency::new(&topo);
+        r.record_active(LITTLE_CLUSTER, 123, SimDuration::from_millis(1));
+    }
+}

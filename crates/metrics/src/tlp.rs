@@ -1,0 +1,182 @@
+//! Thread-level parallelism statistics (paper Tables III and IV).
+//!
+//! The TLP metric follows Blake et al. (ISCA 2010), as the paper does: the
+//! average number of simultaneously active cores over the samples where at
+//! least one core is active. A core is "active" in a sample when it had
+//! non-zero busy time in the 10 ms window (paper §V.B).
+
+use serde::{Deserialize, Serialize};
+
+/// Joint distribution of (active little cores, active big cores) across
+/// samples — one of the paper's Table IV matrices.
+///
+/// `cell(b, l)` is the fraction of samples with exactly `b` big and `l`
+/// little cores active; `cell(0, 0)` is the fully idle fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreTypeMatrix {
+    counts: Vec<Vec<u64>>, // [big][little]
+    total: u64,
+}
+
+impl CoreTypeMatrix {
+    /// Creates a matrix for up to `n_little` little and `n_big` big cores.
+    pub fn new(n_little: usize, n_big: usize) -> Self {
+        CoreTypeMatrix {
+            counts: vec![vec![0; n_little + 1]; n_big + 1],
+            total: 0,
+        }
+    }
+
+    /// Records one sample with the given active-core counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts exceed the configured core counts.
+    pub fn record(&mut self, active_little: usize, active_big: usize) {
+        self.counts[active_big][active_little] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn total_samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction (percent) of samples in cell `(big, little)`.
+    pub fn cell_pct(&self, big: usize, little: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[big][little] as f64 / self.total as f64 * 100.0
+        }
+    }
+
+    /// Matrix dimensions as (n_little+1, n_big+1).
+    pub fn dims(&self) -> (usize, usize) {
+        (self.counts[0].len(), self.counts.len())
+    }
+
+    /// Derives the scalar TLP statistics from the matrix.
+    pub fn tlp_stats(&self) -> TlpStats {
+        let mut idle = 0u64;
+        let mut little_only = 0u64;
+        let mut big_any = 0u64;
+        let mut weighted_active = 0f64;
+        let mut active_samples = 0u64;
+        for (b, row) in self.counts.iter().enumerate() {
+            for (l, n) in row.iter().enumerate() {
+                if b == 0 && l == 0 {
+                    idle += n;
+                    continue;
+                }
+                active_samples += n;
+                weighted_active += (*n as f64) * (b + l) as f64;
+                if b == 0 {
+                    little_only += n;
+                } else {
+                    big_any += n;
+                }
+            }
+        }
+        let pct = |x: u64, d: u64| if d == 0 { 0.0 } else { x as f64 / d as f64 * 100.0 };
+        TlpStats {
+            idle_pct: pct(idle, self.total),
+            little_pct: pct(little_only, active_samples),
+            big_pct: pct(big_any, active_samples),
+            tlp: if active_samples == 0 {
+                0.0
+            } else {
+                weighted_active / active_samples as f64
+            },
+        }
+    }
+}
+
+/// One row of the paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TlpStats {
+    /// Percent of all samples with no core active.
+    pub idle_pct: f64,
+    /// Percent of *active* samples where only little cores are active.
+    pub little_pct: f64,
+    /// Percent of *active* samples where at least one big core is active.
+    pub big_pct: f64,
+    /// Average active core count over active samples (Blake et al.).
+    pub tlp: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_matrix_zeroes() {
+        let m = CoreTypeMatrix::new(4, 4);
+        let s = m.tlp_stats();
+        assert_eq!(s.idle_pct, 0.0);
+        assert_eq!(s.tlp, 0.0);
+        assert_eq!(m.cell_pct(0, 0), 0.0);
+        assert_eq!(m.dims(), (5, 5));
+    }
+
+    #[test]
+    fn known_distribution() {
+        let mut m = CoreTypeMatrix::new(4, 4);
+        // 2 idle, 4 little-only (2 cores), 2 with one big + one little.
+        for _ in 0..2 {
+            m.record(0, 0);
+        }
+        for _ in 0..4 {
+            m.record(2, 0);
+        }
+        for _ in 0..2 {
+            m.record(1, 1);
+        }
+        let s = m.tlp_stats();
+        assert!((s.idle_pct - 25.0).abs() < 1e-9);
+        assert!((s.little_pct - 4.0 / 6.0 * 100.0).abs() < 1e-9);
+        assert!((s.big_pct - 2.0 / 6.0 * 100.0).abs() < 1e-9);
+        assert!((s.tlp - (4.0 * 2.0 + 2.0 * 2.0) / 6.0).abs() < 1e-9);
+        assert!((m.cell_pct(0, 2) - 50.0).abs() < 1e-9);
+        assert_eq!(m.total_samples(), 8);
+    }
+
+    #[test]
+    fn little_and_big_shares_sum_to_hundred_when_active() {
+        let mut m = CoreTypeMatrix::new(4, 4);
+        m.record(1, 0);
+        m.record(0, 3);
+        m.record(4, 2);
+        let s = m.tlp_stats();
+        assert!((s.little_pct + s.big_pct - 100.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn cells_sum_to_hundred(samples in proptest::collection::vec((0usize..5, 0usize..5), 1..200)) {
+            let mut m = CoreTypeMatrix::new(4, 4);
+            for (l, b) in samples {
+                m.record(l, b);
+            }
+            let mut sum = 0.0;
+            for b in 0..5 {
+                for l in 0..5 {
+                    sum += m.cell_pct(b, l);
+                }
+            }
+            prop_assert!((sum - 100.0).abs() < 1e-6);
+        }
+
+        #[test]
+        fn tlp_bounded_by_core_count(samples in proptest::collection::vec((0usize..5, 0usize..5), 1..200)) {
+            let mut m = CoreTypeMatrix::new(4, 4);
+            for (l, b) in samples {
+                m.record(l, b);
+            }
+            let s = m.tlp_stats();
+            prop_assert!(s.tlp >= 0.0 && s.tlp <= 8.0);
+            prop_assert!(s.idle_pct >= 0.0 && s.idle_pct <= 100.0);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Time-series tracing: per-sample snapshots of the system state, suitable
+//! for plotting the paper's figures or debugging scheduler behavior.
+
+use bl_platform::ids::CoreKind;
+use bl_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One snapshot row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRow {
+    /// Sample time.
+    pub t: SimTime,
+    /// Little-cluster frequency, kHz.
+    pub little_khz: u32,
+    /// Big-cluster frequency, kHz.
+    pub big_khz: u32,
+    /// Active little cores in the sample window.
+    pub active_little: u32,
+    /// Active big cores in the sample window.
+    pub active_big: u32,
+    /// Instantaneous full-system power, mW.
+    pub power_mw: f64,
+    /// Cumulative HMP up-migrations.
+    pub migrations_up: u64,
+    /// Cumulative HMP down-migrations.
+    pub migrations_down: u64,
+}
+
+/// A recorded run trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    rows: Vec<TraceRow>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if time goes backwards.
+    pub fn push(&mut self, row: TraceRow) {
+        debug_assert!(
+            self.rows.last().is_none_or(|last| last.t <= row.t),
+            "trace time went backwards"
+        );
+        self.rows.push(row);
+    }
+
+    /// All rows in time order.
+    pub fn rows(&self) -> &[TraceRow] {
+        &self.rows
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Frequency values over time for one cluster kind.
+    pub fn freq_series(&self, kind: CoreKind) -> impl Iterator<Item = (SimTime, u32)> + '_ {
+        self.rows.iter().map(move |r| {
+            (
+                r.t,
+                match kind {
+                    CoreKind::Little => r.little_khz,
+                    CoreKind::Big => r.big_khz,
+                },
+            )
+        })
+    }
+
+    /// Renders the trace as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "t_ms,little_khz,big_khz,active_little,active_big,power_mw,mig_up,mig_down\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:.3},{},{},{},{},{:.1},{},{}\n",
+                r.t.as_millis_f64(),
+                r.little_khz,
+                r.big_khz,
+                r.active_little,
+                r.active_big,
+                r.power_mw,
+                r.migrations_up,
+                r.migrations_down,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(ms: u64, power: f64) -> TraceRow {
+        TraceRow {
+            t: SimTime::from_millis(ms),
+            little_khz: 500_000,
+            big_khz: 800_000,
+            active_little: 1,
+            active_big: 0,
+            power_mw: power,
+            migrations_up: 0,
+            migrations_down: 0,
+        }
+    }
+
+    #[test]
+    fn push_and_read() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(row(10, 500.0));
+        t.push(row(20, 600.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1].power_mw, 600.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Trace::new();
+        t.push(row(10, 500.0));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("t_ms,"));
+        assert!(lines[1].starts_with("10.000,500000,800000,1,0,500.0"));
+    }
+
+    #[test]
+    fn freq_series_selects_cluster() {
+        let mut t = Trace::new();
+        t.push(row(10, 500.0));
+        let little: Vec<_> = t.freq_series(CoreKind::Little).collect();
+        assert_eq!(little[0].1, 500_000);
+        let big: Vec<_> = t.freq_series(CoreKind::Big).collect();
+        assert_eq!(big[0].1, 800_000);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = Trace::new();
+        t.push(row(5, 432.1));
+        let s = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,99 @@
+//! L2 cache model with a power-law miss-rate curve.
+//!
+//! The target platform gives the big cluster a 2 MB L2 but the little
+//! cluster only 512 KB. The paper (§II, §III.A) stresses that this capacity
+//! gap *enlarges* the big-core advantage for cache-sensitive applications
+//! beyond what microarchitecture alone would give. We model the miss-rate
+//! curve as a power law in cache capacity — the standard analytic form for
+//! stack-distance-driven miss curves:
+//!
+//! `mpki(size) = mpki_ref × (ref_size / size)^beta`
+//!
+//! where `beta` is the workload's cache sensitivity (0 = insensitive) and
+//! the reference size is 512 KB (the little cluster's L2).
+
+use serde::{Deserialize, Serialize};
+
+/// Reference cache size for workload MPKI parameters (the little cluster's
+/// L2 on the modeled platform).
+pub const REFERENCE_L2_KB: u32 = 512;
+
+/// A physically described L2 cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheModel {
+    /// Capacity in KiB.
+    pub size_kb: u32,
+    /// Associativity (ways).
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+}
+
+impl CacheModel {
+    /// Creates a cache model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(size_kb: u32, assoc: u32, line_bytes: u32) -> Self {
+        assert!(size_kb > 0 && assoc > 0 && line_bytes > 0, "cache dims must be nonzero");
+        CacheModel { size_kb, assoc, line_bytes }
+    }
+
+    /// Misses per kilo-instruction for a workload with miss rate
+    /// `mpki_at_ref` at the reference 512 KB capacity and cache-sensitivity
+    /// exponent `beta`.
+    ///
+    /// A `beta` of 0 means the workload's working set either fits everywhere
+    /// or fits nowhere — capacity does not matter. Typical cache-sensitive
+    /// SPEC workloads have `beta` around 0.5–1.2.
+    pub fn mpki(&self, mpki_at_ref: f64, beta: f64) -> f64 {
+        debug_assert!(mpki_at_ref >= 0.0 && beta >= 0.0);
+        mpki_at_ref * (REFERENCE_L2_KB as f64 / self.size_kb as f64).powf(beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reference_size_is_identity() {
+        let c = CacheModel::new(512, 8, 64);
+        assert!((c.mpki(10.0, 0.9) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_cache_reduces_misses() {
+        let small = CacheModel::new(512, 8, 64);
+        let big = CacheModel::new(2048, 16, 64);
+        assert!(big.mpki(10.0, 0.9) < small.mpki(10.0, 0.9));
+        // 4x capacity at beta=1 quarters the MPKI.
+        assert!((big.mpki(10.0, 1.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_zero_is_insensitive() {
+        let big = CacheModel::new(2048, 16, 64);
+        assert_eq!(big.mpki(7.0, 0.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_size_rejected() {
+        CacheModel::new(0, 8, 64);
+    }
+
+    proptest! {
+        #[test]
+        fn mpki_monotone_in_capacity(mpki in 0.0f64..50.0, beta in 0.0f64..2.0,
+                                     s1 in 64u32..4096, s2 in 64u32..4096) {
+            let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+            let small = CacheModel::new(lo, 8, 64);
+            let large = CacheModel::new(hi, 8, 64);
+            prop_assert!(large.mpki(mpki, beta) <= small.mpki(mpki, beta) + 1e-9);
+            prop_assert!(small.mpki(mpki, beta) >= 0.0);
+        }
+    }
+}

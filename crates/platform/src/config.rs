@@ -1,0 +1,181 @@
+//! Core-enablement configurations (hotplug combinations).
+//!
+//! The paper's §V.C sweeps seven combinations of enabled little and big
+//! cores (e.g. `L2+B1` = two little cores and one big core online) against
+//! the `L4+B4` baseline. [`CoreConfig`] names such a combination and
+//! validates it against the platform restriction that *at least one little
+//! core must always be active* (paper §II).
+
+use crate::ids::{CoreKind, CpuId};
+use crate::topology::Topology;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A hotplug combination: how many little and big cores are online.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Number of online little cores (must be ≥ 1 on the modeled platform).
+    pub little: usize,
+    /// Number of online big cores.
+    pub big: usize,
+}
+
+/// Error validating a [`CoreConfig`] against a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreConfigError {
+    /// The platform requires at least one little core online.
+    NoLittleCore,
+    /// More cores requested than the cluster has.
+    TooManyCores {
+        /// Which cluster kind overflowed.
+        kind: CoreKind,
+        /// Requested core count.
+        requested: usize,
+        /// Cores physically present.
+        available: usize,
+    },
+}
+
+impl fmt::Display for CoreConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreConfigError::NoLittleCore => {
+                write!(f, "at least one little core must be online")
+            }
+            CoreConfigError::TooManyCores { kind, requested, available } => write!(
+                f,
+                "requested {requested} {kind} cores but only {available} exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreConfigError {}
+
+impl CoreConfig {
+    /// The full 4+4 baseline of the modeled platform.
+    pub const BASELINE: CoreConfig = CoreConfig { little: 4, big: 4 };
+
+    /// Creates a configuration; see [`CoreConfig::validate`] for the rules.
+    pub const fn new(little: usize, big: usize) -> Self {
+        CoreConfig { little, big }
+    }
+
+    /// The seven configurations swept in the paper's Figures 7 and 8 —
+    /// "from only two little cores, to 4 little cores with two big cores".
+    pub fn paper_sweep() -> Vec<CoreConfig> {
+        vec![
+            CoreConfig::new(2, 0),
+            CoreConfig::new(4, 0),
+            CoreConfig::new(2, 1),
+            CoreConfig::new(4, 1),
+            CoreConfig::new(2, 2),
+            CoreConfig::new(4, 2),
+            CoreConfig::new(3, 1),
+        ]
+    }
+
+    /// Checks the configuration against a topology.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no little core is online or when a cluster does not have
+    /// enough physical cores.
+    pub fn validate(&self, topo: &Topology) -> Result<(), CoreConfigError> {
+        if self.little == 0 {
+            return Err(CoreConfigError::NoLittleCore);
+        }
+        for (kind, requested) in [(CoreKind::Little, self.little), (CoreKind::Big, self.big)] {
+            let available = topo.cpus_of_kind(kind).count();
+            if requested > available {
+                return Err(CoreConfigError::TooManyCores { kind, requested, available });
+            }
+        }
+        Ok(())
+    }
+
+    /// The set of online CPUs this configuration selects: the first
+    /// `little` little CPUs and the first `big` big CPUs of the topology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreConfig::validate`] failures.
+    pub fn online_cpus(&self, topo: &Topology) -> Result<Vec<CpuId>, CoreConfigError> {
+        self.validate(topo)?;
+        let mut cpus: Vec<CpuId> = topo
+            .cpus_of_kind(CoreKind::Little)
+            .take(self.little)
+            .collect();
+        cpus.extend(topo.cpus_of_kind(CoreKind::Big).take(self.big));
+        Ok(cpus)
+    }
+
+    /// Total online cores.
+    pub fn total(&self) -> usize {
+        self.little + self.big
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::BASELINE
+    }
+}
+
+impl fmt::Display for CoreConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.big == 0 {
+            write!(f, "L{}", self.little)
+        } else {
+            write!(f, "L{}+B{}", self.little, self.big)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exynos::exynos5422;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(CoreConfig::new(2, 4).to_string(), "L2+B4");
+        assert_eq!(CoreConfig::new(4, 0).to_string(), "L4");
+        assert_eq!(CoreConfig::BASELINE.to_string(), "L4+B4");
+    }
+
+    #[test]
+    fn sweep_has_seven_valid_configs() {
+        let topo = exynos5422().topology;
+        let sweep = CoreConfig::paper_sweep();
+        assert_eq!(sweep.len(), 7);
+        for c in &sweep {
+            c.validate(&topo).unwrap();
+            assert!(c.total() < CoreConfig::BASELINE.total());
+        }
+    }
+
+    #[test]
+    fn little_core_rule_enforced() {
+        let topo = exynos5422().topology;
+        assert_eq!(
+            CoreConfig::new(0, 4).validate(&topo),
+            Err(CoreConfigError::NoLittleCore)
+        );
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let topo = exynos5422().topology;
+        let err = CoreConfig::new(5, 0).validate(&topo).unwrap_err();
+        assert!(matches!(err, CoreConfigError::TooManyCores { kind: CoreKind::Little, requested: 5, available: 4 }));
+        assert!(err.to_string().contains("little"));
+    }
+
+    #[test]
+    fn online_cpus_selection() {
+        let topo = exynos5422().topology;
+        let cpus = CoreConfig::new(2, 1).online_cpus(&topo).unwrap();
+        assert_eq!(cpus, vec![CpuId(0), CpuId(1), CpuId(4)]);
+    }
+}

@@ -1,0 +1,187 @@
+//! The Exynos-5422-class platform preset (paper Table I).
+//!
+//! * Big: 4 × Cortex-A15, out-of-order, 3-issue, 0.8–1.9 GHz, shared 2 MB
+//!   16-way L2.
+//! * Little: 4 × Cortex-A7, in-order, 2-issue, 0.5–1.3 GHz, shared 512 KB
+//!   8-way L2.
+//!
+//! Frequencies step in 100 MHz increments as on the real part; voltages are
+//! linear interpolations across each cluster's V-f envelope (the real rail
+//! voltages are not published at every step; the linear envelope preserves
+//! the quadratic dynamic-power trend the power model needs).
+
+use crate::cache::CacheModel;
+use crate::ids::{ClusterId, CoreKind};
+use crate::opp::OppTable;
+use crate::perf::PerfModel;
+use crate::topology::{Cluster, CoreModel, Platform, Topology};
+
+/// Number of little cores on the preset platform.
+pub const N_LITTLE: usize = 4;
+/// Number of big cores on the preset platform.
+pub const N_BIG: usize = 4;
+
+/// Builds the Exynos-5422-class platform used throughout the reproduction.
+///
+/// ```
+/// let p = bl_platform::exynos::exynos5422();
+/// assert_eq!(p.topology.n_cpus(), 8);
+/// ```
+pub fn exynos5422() -> Platform {
+    let little = Cluster {
+        id: ClusterId(0),
+        core: CoreModel {
+            name: "Cortex-A7".to_string(),
+            kind: CoreKind::Little,
+            issue_width: 2,
+            pipeline_depth: 9,
+            opps: OppTable::linear(500_000, 1_300_000, 9, 900, 1_100),
+        },
+        n_cores: N_LITTLE,
+        l2: CacheModel::new(512, 8, 64),
+    };
+    let big = Cluster {
+        id: ClusterId(1),
+        core: CoreModel {
+            name: "Cortex-A15".to_string(),
+            kind: CoreKind::Big,
+            issue_width: 3,
+            pipeline_depth: 18,
+            opps: OppTable::linear(800_000, 1_900_000, 12, 900, 1_250),
+        },
+        n_cores: N_BIG,
+        l2: CacheModel::new(2048, 16, 64),
+    };
+    Platform {
+        topology: Topology::new(vec![little, big]),
+        perf: PerfModel::default(),
+    }
+}
+
+/// The little cluster's id on the preset.
+pub const LITTLE_CLUSTER: ClusterId = ClusterId(0);
+/// The big cluster's id on the preset.
+pub const BIG_CLUSTER: ClusterId = ClusterId(1);
+
+/// Ablation platform: the little cluster's DVFS floor extended down to
+/// 200 MHz.
+///
+/// The paper's §VI.B observes that "for many applications, they require
+/// less computing capability than a 500MHz little core for a quite
+/// significant portion of their execution times" and proposes an even
+/// weaker *tiny* core. This preset realizes the nearest same-ISA variant:
+/// a little cluster that can clock down to 200 MHz (at a correspondingly
+/// lower voltage), letting the Table-V "Min" residency convert into real
+/// frequency scaling.
+pub fn exynos5422_tiny_floor() -> Platform {
+    let base = exynos5422();
+    let mut clusters = base.topology.clusters().to_vec();
+    clusters[0].core.opps = OppTable::linear(200_000, 1_300_000, 12, 800, 1_100);
+    Platform { topology: Topology::new(clusters), perf: base.perf }
+}
+
+/// Ablation platform: the big cluster's L2 shrunk to the little cluster's
+/// 512 KB.
+///
+/// The paper (§III.A) attributes part of the big-core speedup to the L2
+/// capacity gap ("the cache difference affects certain cache-sensitive
+/// applications significantly, enlarging the performance gap"). This
+/// preset removes the gap so the cache contribution to Figure 2 can be
+/// isolated.
+pub fn exynos5422_equal_l2() -> Platform {
+    let base = exynos5422();
+    let mut clusters = base.topology.clusters().to_vec();
+    clusters[1].l2 = CacheModel::new(512, 16, 64);
+    Platform { topology: Topology::new(clusters), perf: base.perf }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::CpuId;
+
+    #[test]
+    fn matches_table_i() {
+        let p = exynos5422();
+        let little = p.topology.cluster(LITTLE_CLUSTER);
+        let big = p.topology.cluster(BIG_CLUSTER);
+
+        assert_eq!(little.core.kind, CoreKind::Little);
+        assert_eq!(little.n_cores, 4);
+        assert_eq!(little.core.opps.min_khz(), 500_000);
+        assert_eq!(little.core.opps.max_khz(), 1_300_000);
+        assert_eq!(little.l2.size_kb, 512);
+        assert_eq!(little.l2.assoc, 8);
+        assert_eq!(little.core.issue_width, 2);
+
+        assert_eq!(big.core.kind, CoreKind::Big);
+        assert_eq!(big.n_cores, 4);
+        assert_eq!(big.core.opps.min_khz(), 800_000);
+        assert_eq!(big.core.opps.max_khz(), 1_900_000);
+        assert_eq!(big.l2.size_kb, 2048);
+        assert_eq!(big.l2.assoc, 16);
+        assert_eq!(big.core.issue_width, 3);
+    }
+
+    #[test]
+    fn freq_steps_are_100mhz() {
+        let p = exynos5422();
+        for c in p.topology.clusters() {
+            let freqs: Vec<u32> = c.core.opps.iter().map(|o| o.freq_khz).collect();
+            for w in freqs.windows(2) {
+                assert_eq!(w[1] - w[0], 100_000);
+            }
+        }
+    }
+
+    #[test]
+    fn both_shared_frequencies_1_3ghz() {
+        // 1.3 GHz exists on both clusters — the iso-frequency comparison point
+        // used by the paper's Figures 2 and 3.
+        let p = exynos5422();
+        for c in p.topology.clusters() {
+            assert!(c.core.opps.index_of(1_300_000).is_some());
+        }
+    }
+
+    #[test]
+    fn voltage_rises_with_frequency() {
+        let p = exynos5422();
+        for c in p.topology.clusters() {
+            let volts: Vec<u32> = c.core.opps.iter().map(|o| o.voltage_mv).collect();
+            assert!(volts.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn cpu_ids_little_first() {
+        let p = exynos5422();
+        assert_eq!(p.topology.kind_of(CpuId(0)), CoreKind::Little);
+        assert_eq!(p.topology.kind_of(CpuId(3)), CoreKind::Little);
+        assert_eq!(p.topology.kind_of(CpuId(4)), CoreKind::Big);
+        assert_eq!(p.topology.kind_of(CpuId(7)), CoreKind::Big);
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+
+    #[test]
+    fn tiny_floor_extends_little_range_only() {
+        let p = exynos5422_tiny_floor();
+        let little = p.topology.cluster(LITTLE_CLUSTER);
+        assert_eq!(little.core.opps.min_khz(), 200_000);
+        assert_eq!(little.core.opps.max_khz(), 1_300_000);
+        assert_eq!(p.topology.cluster(BIG_CLUSTER).core.opps.min_khz(), 800_000);
+    }
+
+    #[test]
+    fn equal_l2_removes_capacity_gap() {
+        let p = exynos5422_equal_l2();
+        assert_eq!(p.topology.cluster(BIG_CLUSTER).l2.size_kb, 512);
+        assert_eq!(p.topology.cluster(LITTLE_CLUSTER).l2.size_kb, 512);
+        // The microarchitectural difference remains.
+        assert_eq!(p.topology.cluster(BIG_CLUSTER).core.issue_width, 3);
+    }
+}

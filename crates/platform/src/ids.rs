@@ -1,0 +1,92 @@
+//! Identifiers for CPUs, clusters and core kinds.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// The two core types of an asymmetric multi-core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// Energy-optimized in-order core (Cortex-A7-class).
+    Little,
+    /// Performance-optimized out-of-order core (Cortex-A15-class).
+    Big,
+}
+
+impl CoreKind {
+    /// Both kinds, little first.
+    pub const ALL: [CoreKind; 2] = [CoreKind::Little, CoreKind::Big];
+
+    /// The other kind.
+    pub fn other(self) -> CoreKind {
+        match self {
+            CoreKind::Little => CoreKind::Big,
+            CoreKind::Big => CoreKind::Little,
+        }
+    }
+
+    /// Returns true for [`CoreKind::Big`].
+    pub fn is_big(self) -> bool {
+        matches!(self, CoreKind::Big)
+    }
+}
+
+impl fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreKind::Little => write!(f, "little"),
+            CoreKind::Big => write!(f, "big"),
+        }
+    }
+}
+
+/// A logical CPU index (0-based, global across clusters).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CpuId(pub usize);
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// A cluster index (0-based). On the modeled Exynos 5422, cluster 0 is
+/// little and cluster 1 is big.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClusterId(pub usize);
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_kind_flips() {
+        assert_eq!(CoreKind::Little.other(), CoreKind::Big);
+        assert_eq!(CoreKind::Big.other(), CoreKind::Little);
+        assert!(CoreKind::Big.is_big());
+        assert!(!CoreKind::Little.is_big());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CpuId(3).to_string(), "cpu3");
+        assert_eq!(ClusterId(1).to_string(), "cluster1");
+        assert_eq!(CoreKind::Big.to_string(), "big");
+        assert_eq!(CoreKind::Little.to_string(), "little");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(CpuId(0) < CpuId(1));
+        assert!(ClusterId(0) < ClusterId(1));
+    }
+}

@@ -1,0 +1,52 @@
+//! # bl-platform
+//!
+//! Hardware model of an asymmetric (big.LITTLE-style) mobile multi-core.
+//!
+//! This crate substitutes for the physical Exynos 5422 used in the paper
+//! (Galaxy S5): it describes the two core types (out-of-order "big"
+//! Cortex-A15-class and in-order "little" Cortex-A7-class), their
+//! frequency/voltage operating points, the per-cluster L2 caches of
+//! different sizes, and an analytic CPI-stack performance model that turns a
+//! workload's architectural profile into an execution rate on a given core
+//! at a given frequency.
+//!
+//! The performance model deliberately captures the two effects the paper
+//! identifies as first-order:
+//!
+//! 1. the microarchitectural IPC gap between the 3-issue OoO big core and
+//!    the 2-issue in-order little core, and
+//! 2. the L2 capacity gap (2 MB vs 512 KB), which amplifies the big-core
+//!    advantage for cache-sensitive workloads (paper §III.A: up to ~4.5×
+//!    speedup at the *same* 1.3 GHz frequency).
+//!
+//! ## Example
+//!
+//! ```
+//! use bl_platform::exynos::exynos5422;
+//! use bl_platform::ids::CoreKind;
+//!
+//! let platform = exynos5422();
+//! assert_eq!(platform.topology.n_cpus(), 8);
+//! let big = platform.topology.cluster(bl_platform::ids::ClusterId(1));
+//! assert_eq!(big.core.kind, CoreKind::Big);
+//! assert_eq!(big.core.opps.max_khz(), 1_900_000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod exynos;
+pub mod ids;
+pub mod opp;
+pub mod perf;
+pub mod state;
+pub mod topology;
+
+pub use cache::CacheModel;
+pub use config::CoreConfig;
+pub use ids::{ClusterId, CoreKind, CpuId};
+pub use opp::{Opp, OppTable};
+pub use perf::{PerfModel, Work, WorkProfile};
+pub use state::PlatformState;
+pub use topology::{Cluster, CoreModel, Platform, Topology};

@@ -1,0 +1,250 @@
+//! Operating performance points (frequency/voltage pairs) and OPP tables.
+
+use serde::{Deserialize, Serialize};
+
+/// One DVFS operating point: a frequency in kHz with its supply voltage in
+/// millivolts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Opp {
+    /// Core clock frequency in kHz.
+    pub freq_khz: u32,
+    /// Supply voltage in mV at this frequency.
+    pub voltage_mv: u32,
+}
+
+impl Opp {
+    /// Frequency in GHz.
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_khz as f64 / 1e6
+    }
+
+    /// Voltage in volts.
+    pub fn voltage_v(&self) -> f64 {
+        self.voltage_mv as f64 / 1e3
+    }
+}
+
+/// An ordered table of operating points for one frequency domain (cluster).
+///
+/// Invariant: at least one OPP, strictly ascending in frequency.
+///
+/// ```
+/// use bl_platform::opp::{Opp, OppTable};
+/// let t = OppTable::new(vec![
+///     Opp { freq_khz: 500_000, voltage_mv: 900 },
+///     Opp { freq_khz: 1_000_000, voltage_mv: 1_050 },
+/// ]).unwrap();
+/// assert_eq!(t.min_khz(), 500_000);
+/// assert_eq!(t.round_up(600_000).freq_khz, 1_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OppTable {
+    opps: Vec<Opp>,
+}
+
+/// Error constructing an [`OppTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OppTableError {
+    /// The table had no entries.
+    Empty,
+    /// Frequencies were not strictly ascending.
+    NotAscending,
+}
+
+impl std::fmt::Display for OppTableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OppTableError::Empty => write!(f, "opp table has no entries"),
+            OppTableError::NotAscending => {
+                write!(f, "opp frequencies must be strictly ascending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OppTableError {}
+
+impl OppTable {
+    /// Creates a table from ascending operating points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `opps` is empty or not strictly ascending in
+    /// frequency.
+    pub fn new(opps: Vec<Opp>) -> Result<Self, OppTableError> {
+        if opps.is_empty() {
+            return Err(OppTableError::Empty);
+        }
+        if opps.windows(2).any(|w| w[0].freq_khz >= w[1].freq_khz) {
+            return Err(OppTableError::NotAscending);
+        }
+        Ok(OppTable { opps })
+    }
+
+    /// Number of operating points.
+    pub fn len(&self) -> usize {
+        self.opps.len()
+    }
+
+    /// Always false by construction, provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.opps.is_empty()
+    }
+
+    /// Iterates operating points, ascending in frequency.
+    pub fn iter(&self) -> impl Iterator<Item = &Opp> {
+        self.opps.iter()
+    }
+
+    /// The lowest frequency in kHz.
+    pub fn min_khz(&self) -> u32 {
+        self.opps[0].freq_khz
+    }
+
+    /// The highest frequency in kHz.
+    pub fn max_khz(&self) -> u32 {
+        self.opps[self.opps.len() - 1].freq_khz
+    }
+
+    /// The operating point at index `i` (ascending).
+    pub fn get(&self, i: usize) -> &Opp {
+        &self.opps[i]
+    }
+
+    /// Index of the operating point with exactly `freq_khz`, if present.
+    pub fn index_of(&self, freq_khz: u32) -> Option<usize> {
+        self.opps.iter().position(|o| o.freq_khz == freq_khz)
+    }
+
+    /// The lowest OPP whose frequency is `>= target_khz`, or the maximum OPP
+    /// if the target exceeds the table. This is how governors map a raw
+    /// target frequency onto hardware steps.
+    pub fn round_up(&self, target_khz: u32) -> &Opp {
+        self.opps
+            .iter()
+            .find(|o| o.freq_khz >= target_khz)
+            .unwrap_or(&self.opps[self.opps.len() - 1])
+    }
+
+    /// The highest OPP whose frequency is `<= target_khz`, or the minimum
+    /// OPP if the target is below the table.
+    pub fn round_down(&self, target_khz: u32) -> &Opp {
+        self.opps
+            .iter()
+            .rev()
+            .find(|o| o.freq_khz <= target_khz)
+            .unwrap_or(&self.opps[0])
+    }
+
+    /// The OPP for `freq_khz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_khz` is not an exact entry; governors must only set
+    /// table frequencies.
+    pub fn opp_at(&self, freq_khz: u32) -> &Opp {
+        self.index_of(freq_khz)
+            .map(|i| &self.opps[i])
+            .unwrap_or_else(|| panic!("frequency {freq_khz} kHz not in OPP table"))
+    }
+
+    /// Builds an evenly spaced table from `min_khz` to `max_khz` inclusive
+    /// with `steps` points; voltage interpolates linearly from `min_mv` to
+    /// `max_mv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps < 2` or the ranges are not ascending.
+    pub fn linear(min_khz: u32, max_khz: u32, steps: usize, min_mv: u32, max_mv: u32) -> Self {
+        assert!(steps >= 2, "OppTable::linear: need at least 2 steps");
+        assert!(min_khz < max_khz && min_mv <= max_mv);
+        let opps = (0..steps)
+            .map(|i| {
+                let t = i as f64 / (steps - 1) as f64;
+                Opp {
+                    freq_khz: (min_khz as f64 + t * (max_khz - min_khz) as f64).round() as u32,
+                    voltage_mv: (min_mv as f64 + t * (max_mv - min_mv) as f64).round() as u32,
+                }
+            })
+            .collect();
+        OppTable::new(opps).expect("linear construction is ascending")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn table() -> OppTable {
+        OppTable::linear(500_000, 1_300_000, 9, 900, 1_100)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(OppTable::new(vec![]), Err(OppTableError::Empty));
+        let dup = vec![
+            Opp { freq_khz: 1, voltage_mv: 1 },
+            Opp { freq_khz: 1, voltage_mv: 2 },
+        ];
+        assert_eq!(OppTable::new(dup), Err(OppTableError::NotAscending));
+    }
+
+    #[test]
+    fn linear_endpoints() {
+        let t = table();
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.min_khz(), 500_000);
+        assert_eq!(t.max_khz(), 1_300_000);
+        assert_eq!(t.get(0).voltage_mv, 900);
+        assert_eq!(t.get(8).voltage_mv, 1_100);
+    }
+
+    #[test]
+    fn round_up_and_down() {
+        let t = table();
+        assert_eq!(t.round_up(0).freq_khz, 500_000);
+        assert_eq!(t.round_up(500_000).freq_khz, 500_000);
+        assert_eq!(t.round_up(510_000).freq_khz, 600_000);
+        assert_eq!(t.round_up(9_999_999).freq_khz, 1_300_000);
+        assert_eq!(t.round_down(510_000).freq_khz, 500_000);
+        assert_eq!(t.round_down(0).freq_khz, 500_000);
+        assert_eq!(t.round_down(9_999_999).freq_khz, 1_300_000);
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let t = table();
+        assert_eq!(t.index_of(600_000), Some(1));
+        assert_eq!(t.index_of(601_000), None);
+        assert_eq!(t.opp_at(700_000).freq_khz, 700_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in OPP table")]
+    fn opp_at_panics_off_table() {
+        table().opp_at(123);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let o = Opp { freq_khz: 1_300_000, voltage_mv: 1100 };
+        assert!((o.freq_ghz() - 1.3).abs() < 1e-12);
+        assert!((o.voltage_v() - 1.1).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn round_up_is_least_upper_bound(target in 0u32..2_000_000) {
+            let t = table();
+            let up = t.round_up(target);
+            prop_assert!(up.freq_khz >= target.min(t.max_khz()));
+            // No table entry below `up` also satisfies the bound.
+            for o in t.iter() {
+                if o.freq_khz >= target {
+                    prop_assert!(up.freq_khz <= o.freq_khz);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Mutable platform state: which CPUs are online and each cluster's current
+//! frequency.
+
+use crate::config::{CoreConfig, CoreConfigError};
+use crate::ids::{ClusterId, CpuId};
+use crate::topology::Topology;
+
+/// Runtime state of the platform hardware knobs.
+///
+/// Frequencies are per-cluster ("each core type must have the same frequency
+/// setting", paper §II). Constructed at the minimum OPP of each cluster,
+/// mirroring a freshly booted governor.
+#[derive(Debug, Clone)]
+pub struct PlatformState {
+    online: Vec<bool>,
+    cluster_freq_khz: Vec<u32>,
+}
+
+impl PlatformState {
+    /// Creates state with all CPUs online and every cluster at its minimum
+    /// frequency.
+    pub fn new(topo: &Topology) -> Self {
+        PlatformState {
+            online: vec![true; topo.n_cpus()],
+            cluster_freq_khz: topo
+                .clusters()
+                .iter()
+                .map(|c| c.core.opps.min_khz())
+                .collect(),
+        }
+    }
+
+    /// Applies a hotplug configuration: the selected CPUs go online, all
+    /// others offline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn apply_core_config(
+        &mut self,
+        topo: &Topology,
+        config: CoreConfig,
+    ) -> Result<(), CoreConfigError> {
+        let cpus = config.online_cpus(topo)?;
+        self.online.iter_mut().for_each(|o| *o = false);
+        for c in cpus {
+            self.online[c.0] = true;
+        }
+        Ok(())
+    }
+
+    /// Whether `cpu` is online.
+    pub fn is_online(&self, cpu: CpuId) -> bool {
+        self.online[cpu.0]
+    }
+
+    /// Online CPUs, ascending.
+    pub fn online_cpus<'a>(&'a self, topo: &'a Topology) -> impl Iterator<Item = CpuId> + 'a {
+        topo.cpus().filter(move |c| self.is_online(*c))
+    }
+
+    /// Online CPUs within a cluster.
+    pub fn online_in<'a>(
+        &'a self,
+        topo: &'a Topology,
+        cluster: ClusterId,
+    ) -> impl Iterator<Item = CpuId> + 'a {
+        topo.cpus_in(cluster).filter(move |c| self.is_online(*c))
+    }
+
+    /// Current frequency of `cluster` in kHz.
+    pub fn cluster_freq_khz(&self, cluster: ClusterId) -> u32 {
+        self.cluster_freq_khz[cluster.0]
+    }
+
+    /// Current frequency of the cluster serving `cpu`, in kHz.
+    pub fn freq_of(&self, topo: &Topology, cpu: CpuId) -> u32 {
+        self.cluster_freq_khz(topo.cluster_of(cpu))
+    }
+
+    /// Sets a cluster frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_khz` is not an OPP of that cluster — governors must
+    /// round to table entries first.
+    pub fn set_cluster_freq(&mut self, topo: &Topology, cluster: ClusterId, freq_khz: u32) {
+        let opps = &topo.cluster(cluster).core.opps;
+        assert!(
+            opps.index_of(freq_khz).is_some(),
+            "{freq_khz} kHz is not an OPP of {cluster}"
+        );
+        self.cluster_freq_khz[cluster.0] = freq_khz;
+    }
+
+    /// Sets every cluster to its maximum OPP (the "performance" governor
+    /// setting used by fixed-frequency experiments).
+    pub fn set_all_max(&mut self, topo: &Topology) {
+        for c in topo.clusters() {
+            self.cluster_freq_khz[c.id.0] = c.core.opps.max_khz();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exynos::exynos5422;
+
+    #[test]
+    fn starts_at_min_freq_all_online() {
+        let p = exynos5422();
+        let s = PlatformState::new(&p.topology);
+        assert!(p.topology.cpus().all(|c| s.is_online(c)));
+        assert_eq!(s.cluster_freq_khz(ClusterId(0)), 500_000);
+        assert_eq!(s.cluster_freq_khz(ClusterId(1)), 800_000);
+    }
+
+    #[test]
+    fn apply_core_config_toggles_online() {
+        let p = exynos5422();
+        let mut s = PlatformState::new(&p.topology);
+        s.apply_core_config(&p.topology, CoreConfig::new(2, 1)).unwrap();
+        let online: Vec<usize> = s.online_cpus(&p.topology).map(|c| c.0).collect();
+        assert_eq!(online, vec![0, 1, 4]);
+        assert_eq!(s.online_in(&p.topology, ClusterId(1)).count(), 1);
+    }
+
+    #[test]
+    fn invalid_config_leaves_state_errored() {
+        let p = exynos5422();
+        let mut s = PlatformState::new(&p.topology);
+        assert!(s.apply_core_config(&p.topology, CoreConfig::new(0, 1)).is_err());
+    }
+
+    #[test]
+    fn freq_set_and_lookup() {
+        let p = exynos5422();
+        let mut s = PlatformState::new(&p.topology);
+        s.set_cluster_freq(&p.topology, ClusterId(1), 1_900_000);
+        assert_eq!(s.freq_of(&p.topology, CpuId(4)), 1_900_000);
+        assert_eq!(s.freq_of(&p.topology, CpuId(0)), 500_000);
+        s.set_all_max(&p.topology);
+        assert_eq!(s.freq_of(&p.topology, CpuId(0)), 1_300_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an OPP")]
+    fn off_table_freq_panics() {
+        let p = exynos5422();
+        let mut s = PlatformState::new(&p.topology);
+        s.set_cluster_freq(&p.topology, ClusterId(0), 123_456);
+    }
+}

@@ -1,0 +1,233 @@
+//! Static platform description: core models, clusters, and the CPU map.
+
+use crate::cache::CacheModel;
+use crate::ids::{ClusterId, CoreKind, CpuId};
+use crate::opp::OppTable;
+use crate::perf::PerfModel;
+use serde::{Deserialize, Serialize};
+
+/// Microarchitectural description of one core type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreModel {
+    /// Marketing/architecture name, e.g. "Cortex-A15".
+    pub name: String,
+    /// Which side of the asymmetric pair this is.
+    pub kind: CoreKind,
+    /// Superscalar issue width.
+    pub issue_width: u8,
+    /// Representative pipeline depth in stages.
+    pub pipeline_depth: u8,
+    /// DVFS operating points for this core's cluster.
+    pub opps: OppTable,
+}
+
+/// A cluster: `n` identical cores sharing an L2 cache and one frequency
+/// domain ("each core type must have the same frequency setting", paper §II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Cluster identity.
+    pub id: ClusterId,
+    /// The core model replicated across the cluster.
+    pub core: CoreModel,
+    /// Number of cores in the cluster.
+    pub n_cores: usize,
+    /// The shared L2.
+    pub l2: CacheModel,
+}
+
+/// The full CPU map: clusters and the global CPU numbering.
+///
+/// CPU ids are assigned cluster by cluster: cluster 0's cores come first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    clusters: Vec<Cluster>,
+    /// cpu index -> cluster index
+    cpu_cluster: Vec<ClusterId>,
+}
+
+impl Topology {
+    /// Builds a topology from clusters (cluster ids must match positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if cluster ids disagree with their positions or any cluster is
+    /// empty.
+    pub fn new(clusters: Vec<Cluster>) -> Self {
+        let mut cpu_cluster = Vec::new();
+        for (i, c) in clusters.iter().enumerate() {
+            assert_eq!(c.id.0, i, "cluster ids must match their positions");
+            assert!(c.n_cores > 0, "cluster must have at least one core");
+            for _ in 0..c.n_cores {
+                cpu_cluster.push(c.id);
+            }
+        }
+        Topology { clusters, cpu_cluster }
+    }
+
+    /// Total number of CPUs.
+    pub fn n_cpus(&self) -> usize {
+        self.cpu_cluster.len()
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// All clusters.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Cluster by id.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.0]
+    }
+
+    /// The cluster a CPU belongs to.
+    pub fn cluster_of(&self, cpu: CpuId) -> ClusterId {
+        self.cpu_cluster[cpu.0]
+    }
+
+    /// The core kind of a CPU.
+    pub fn kind_of(&self, cpu: CpuId) -> CoreKind {
+        self.clusters[self.cluster_of(cpu).0].core.kind
+    }
+
+    /// The L2 cache serving a CPU.
+    pub fn l2_of(&self, cpu: CpuId) -> &CacheModel {
+        &self.clusters[self.cluster_of(cpu).0].l2
+    }
+
+    /// All CPU ids, ascending.
+    pub fn cpus(&self) -> impl Iterator<Item = CpuId> + '_ {
+        (0..self.n_cpus()).map(CpuId)
+    }
+
+    /// CPU ids belonging to `cluster`.
+    pub fn cpus_in(&self, cluster: ClusterId) -> impl Iterator<Item = CpuId> + '_ {
+        self.cpu_cluster
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| **c == cluster)
+            .map(|(i, _)| CpuId(i))
+    }
+
+    /// CPU ids of the given core kind.
+    pub fn cpus_of_kind(&self, kind: CoreKind) -> impl Iterator<Item = CpuId> + '_ {
+        self.cpus().filter(move |c| self.kind_of(*c) == kind)
+    }
+
+    /// The first cluster of the given kind, if any.
+    pub fn cluster_of_kind(&self, kind: CoreKind) -> Option<&Cluster> {
+        self.clusters.iter().find(|c| c.core.kind == kind)
+    }
+}
+
+/// A complete platform: topology plus the analytic performance model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// The CPU map.
+    pub topology: Topology,
+    /// CPI model constants.
+    pub perf: PerfModel,
+}
+
+impl Platform {
+    /// Instruction throughput for `profile` on `cpu` at `freq_khz`.
+    pub fn ips(&self, profile: &crate::perf::WorkProfile, cpu: CpuId, freq_khz: u32) -> f64 {
+        let kind = self.topology.kind_of(cpu);
+        let l2 = self.topology.l2_of(cpu);
+        self.perf.ips(profile, kind, l2, freq_khz as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exynos::exynos5422;
+    use crate::opp::OppTable;
+
+    fn two_cluster() -> Topology {
+        let little = Cluster {
+            id: ClusterId(0),
+            core: CoreModel {
+                name: "L".into(),
+                kind: CoreKind::Little,
+                issue_width: 2,
+                pipeline_depth: 8,
+                opps: OppTable::linear(500_000, 1_300_000, 9, 900, 1100),
+            },
+            n_cores: 4,
+            l2: CacheModel::new(512, 8, 64),
+        };
+        let big = Cluster {
+            id: ClusterId(1),
+            core: CoreModel {
+                name: "B".into(),
+                kind: CoreKind::Big,
+                issue_width: 3,
+                pipeline_depth: 18,
+                opps: OppTable::linear(800_000, 1_900_000, 12, 900, 1250),
+            },
+            n_cores: 4,
+            l2: CacheModel::new(2048, 16, 64),
+        };
+        Topology::new(vec![little, big])
+    }
+
+    #[test]
+    fn cpu_numbering_is_cluster_major() {
+        let t = two_cluster();
+        assert_eq!(t.n_cpus(), 8);
+        assert_eq!(t.n_clusters(), 2);
+        for i in 0..4 {
+            assert_eq!(t.cluster_of(CpuId(i)), ClusterId(0));
+            assert_eq!(t.kind_of(CpuId(i)), CoreKind::Little);
+        }
+        for i in 4..8 {
+            assert_eq!(t.cluster_of(CpuId(i)), ClusterId(1));
+            assert_eq!(t.kind_of(CpuId(i)), CoreKind::Big);
+        }
+    }
+
+    #[test]
+    fn cpus_in_and_of_kind() {
+        let t = two_cluster();
+        let little: Vec<_> = t.cpus_in(ClusterId(0)).collect();
+        assert_eq!(little, vec![CpuId(0), CpuId(1), CpuId(2), CpuId(3)]);
+        let big: Vec<_> = t.cpus_of_kind(CoreKind::Big).collect();
+        assert_eq!(big, vec![CpuId(4), CpuId(5), CpuId(6), CpuId(7)]);
+        assert_eq!(t.cluster_of_kind(CoreKind::Big).unwrap().id, ClusterId(1));
+    }
+
+    #[test]
+    fn l2_differs_by_cluster() {
+        let t = two_cluster();
+        assert_eq!(t.l2_of(CpuId(0)).size_kb, 512);
+        assert_eq!(t.l2_of(CpuId(7)).size_kb, 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "positions")]
+    fn mismatched_ids_rejected() {
+        let mut clusters = two_cluster().clusters().to_vec();
+        clusters[1].id = ClusterId(5);
+        Topology::new(clusters);
+    }
+
+    #[test]
+    fn platform_ips_uses_cluster_cache() {
+        let p = exynos5422();
+        let profile = crate::perf::WorkProfile {
+            cpi_little: 1.6,
+            cpi_big: 0.9,
+            mpki_ref: 20.0,
+            cache_beta: 1.0,
+            energy_intensity: 1.0,
+        };
+        let little_ips = p.ips(&profile, CpuId(0), 1_300_000);
+        let big_ips = p.ips(&profile, CpuId(4), 1_300_000);
+        assert!(big_ips / little_ips > 2.0, "cache gap should amplify");
+    }
+}

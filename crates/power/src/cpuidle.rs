@@ -1,0 +1,154 @@
+//! CPU idle states (cpuidle substrate, opt-in).
+//!
+//! The Exynos-class platforms the paper measures have per-core idle states
+//! beyond clock gating: WFI (architectural clock gate) and core power-down
+//! (C2-style), plus cluster power-down once every core in a cluster is
+//! gated. The paper's whole-system measurements fold these into its idle
+//! floor; the simulator models them explicitly so the idle-heavy behavior
+//! the paper highlights (§V: most cores idle most of the time) can be
+//! studied with and without deep idle.
+//!
+//! States are promoted by residency: a core entering idle starts in the
+//! shallowest state and moves deeper once it has been idle for the next
+//! state's target residency (a simplified menu-governor policy — in a
+//! deterministic simulator the promotion ladder is equivalent to a perfect
+//! next-event oracle for all but the shortest sleeps).
+
+use bl_platform::ids::CoreKind;
+use bl_simcore::time::SimDuration;
+use serde::Serialize;
+
+/// One idle state of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct IdleState {
+    /// Conventional name (WFI, core-off, ...).
+    pub name: &'static str,
+    /// Time the core must stay idle before this state pays off; the
+    /// promotion ladder waits this long before entering.
+    pub target_residency: SimDuration,
+    /// Multiplier on the core's idle leakage while in this state.
+    pub leak_scale: f64,
+}
+
+/// The ordered (shallow → deep) idle-state table for one core kind.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CpuidleTable {
+    states: Vec<IdleState>,
+}
+
+impl CpuidleTable {
+    /// Builds a table from shallow-to-deep states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty, residencies are not ascending, or
+    /// leak scales are not descending (deeper must be cheaper).
+    pub fn new(states: Vec<IdleState>) -> Self {
+        assert!(!states.is_empty(), "need at least one idle state");
+        assert!(
+            states.windows(2).all(|w| w[0].target_residency <= w[1].target_residency),
+            "residencies must ascend"
+        );
+        assert!(
+            states.windows(2).all(|w| w[0].leak_scale >= w[1].leak_scale),
+            "deeper states must leak less"
+        );
+        CpuidleTable { states }
+    }
+
+    /// Default table for a core kind, patterned after Exynos-class
+    /// parameters.
+    pub fn default_for(kind: CoreKind) -> Self {
+        match kind {
+            CoreKind::Little => CpuidleTable::new(vec![
+                IdleState {
+                    name: "WFI",
+                    target_residency: SimDuration::ZERO,
+                    leak_scale: 0.6,
+                },
+                IdleState {
+                    name: "core-off",
+                    target_residency: SimDuration::from_millis(2),
+                    leak_scale: 0.1,
+                },
+            ]),
+            CoreKind::Big => CpuidleTable::new(vec![
+                IdleState {
+                    name: "WFI",
+                    target_residency: SimDuration::ZERO,
+                    leak_scale: 0.7,
+                },
+                IdleState {
+                    name: "core-off",
+                    target_residency: SimDuration::from_millis(5),
+                    leak_scale: 0.08,
+                },
+            ]),
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Always false by construction.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state at ladder position `i`.
+    pub fn state(&self, i: usize) -> &IdleState {
+        &self.states[i]
+    }
+
+    /// The residency needed to promote from state `i` to `i+1`, if a
+    /// deeper state exists.
+    pub fn promotion_residency(&self, i: usize) -> Option<SimDuration> {
+        self.states.get(i + 1).map(|s| s.target_residency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tables_are_well_formed() {
+        for kind in CoreKind::ALL {
+            let t = CpuidleTable::default_for(kind);
+            assert_eq!(t.len(), 2);
+            assert!(!t.is_empty());
+            assert_eq!(t.state(0).name, "WFI");
+            assert!(t.state(1).leak_scale < t.state(0).leak_scale);
+            assert_eq!(t.promotion_residency(0), Some(t.state(1).target_residency));
+            assert_eq!(t.promotion_residency(1), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leak less")]
+    fn inverted_leak_scales_rejected() {
+        CpuidleTable::new(vec![
+            IdleState { name: "a", target_residency: SimDuration::ZERO, leak_scale: 0.2 },
+            IdleState {
+                name: "b",
+                target_residency: SimDuration::from_millis(1),
+                leak_scale: 0.5,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn inverted_residencies_rejected() {
+        CpuidleTable::new(vec![
+            IdleState {
+                name: "a",
+                target_residency: SimDuration::from_millis(5),
+                leak_scale: 0.5,
+            },
+            IdleState { name: "b", target_residency: SimDuration::ZERO, leak_scale: 0.1 },
+        ]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # bl-power
+//!
+//! Full-system power model and simulated power meter.
+//!
+//! The paper measures *whole-system* power with a Monsoon meter (paper §II).
+//! This crate substitutes an analytic model:
+//!
+//! `P = base (+ screen) + Σ_clusters [ leak(V) + Σ online cores (idle_leak(V)
+//!      + C_kind · V² · f · activity) ]`
+//!
+//! calibrated against the paper's reported full-system ratios (§III.A):
+//!
+//! * big@1.3 GHz ≈ **2.3×** the power of little@1.3 GHz at full load,
+//! * big@0.8 GHz ≈ **1.5×** the power of little@1.3 GHz at full load,
+//! * power is linear in utilization with a slope that grows with frequency
+//!   (Figure 6), and big and little cover clearly separated power ranges.
+//!
+//! The calibration tests in [`model`] pin those ratios.
+
+#![warn(missing_docs)]
+
+pub mod cpuidle;
+pub mod meter;
+pub mod model;
+
+pub use cpuidle::{CpuidleTable, IdleState};
+pub use meter::PowerMeter;
+pub use model::{PowerModel, PowerParams};

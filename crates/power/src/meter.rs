@@ -1,0 +1,84 @@
+//! Simulated power meter (the Monsoon-meter substitute).
+
+use bl_simcore::stats::TimeWeightedMean;
+use bl_simcore::time::SimTime;
+
+/// Integrates instantaneous power over simulated time, yielding average
+/// power and total energy — the quantities the paper reports.
+///
+/// Call [`PowerMeter::record`] with the new system power whenever it changes
+/// (task start/stop, frequency change, hotplug).
+///
+/// ```
+/// use bl_power::PowerMeter;
+/// use bl_simcore::time::SimTime;
+///
+/// let mut m = PowerMeter::starting_at(SimTime::ZERO, 1000.0);
+/// m.record(SimTime::from_secs(1), 2000.0);
+/// // 1 W for 1 s, then 2 W for 1 s
+/// assert!((m.average_mw(SimTime::from_secs(2)) - 1500.0).abs() < 1e-9);
+/// assert!((m.energy_mj(SimTime::from_secs(2)) - 3000.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerMeter {
+    acc: TimeWeightedMean,
+}
+
+impl PowerMeter {
+    /// Creates a meter reading `initial_mw` at `start`.
+    pub fn starting_at(start: SimTime, initial_mw: f64) -> Self {
+        PowerMeter { acc: TimeWeightedMean::starting_at(start, initial_mw) }
+    }
+
+    /// Registers a new instantaneous power level at `now`.
+    pub fn record(&mut self, now: SimTime, mw: f64) {
+        debug_assert!(mw >= 0.0, "negative power");
+        self.acc.update(now, mw);
+    }
+
+    /// The most recent instantaneous reading in mW.
+    pub fn current_mw(&self) -> f64 {
+        self.acc.current()
+    }
+
+    /// Average power in mW over the metering interval ending at `now`.
+    pub fn average_mw(&self, now: SimTime) -> f64 {
+        self.acc.mean_at(now)
+    }
+
+    /// Total energy in millijoules over the metering interval ending at
+    /// `now`.
+    pub fn energy_mj(&self, now: SimTime) -> f64 {
+        self.acc.integral_at(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_power() {
+        let m = PowerMeter::starting_at(SimTime::ZERO, 500.0);
+        assert_eq!(m.current_mw(), 500.0);
+        assert!((m.average_mw(SimTime::from_secs(3)) - 500.0).abs() < 1e-9);
+        assert!((m.energy_mj(SimTime::from_secs(3)) - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_change() {
+        let mut m = PowerMeter::starting_at(SimTime::ZERO, 100.0);
+        m.record(SimTime::from_millis(500), 300.0);
+        let avg = m.average_mw(SimTime::from_secs(1));
+        assert!((avg - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_is_additive_across_records() {
+        let mut m = PowerMeter::starting_at(SimTime::ZERO, 1000.0);
+        for i in 1..=10 {
+            m.record(SimTime::from_millis(i * 100), 1000.0);
+        }
+        assert!((m.energy_mj(SimTime::from_secs(1)) - 1000.0).abs() < 1e-9);
+    }
+}

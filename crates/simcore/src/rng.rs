@@ -1,0 +1,235 @@
+//! Deterministic random number generation for workload models.
+//!
+//! [`SimRng`] wraps a ChaCha8 stream cipher RNG, which is seedable, portable
+//! and stable across library versions — unlike `rand::rngs::StdRng`, whose
+//! algorithm may change between releases. All stochastic draws in the
+//! simulator flow through this type so a single `u64` seed reproduces an
+//! entire experiment.
+//!
+//! The distribution helpers here (uniform, exponential, log-normal, normal,
+//! Bernoulli, Pareto) are implemented directly from inverse-CDF /
+//! Box–Muller formulas to avoid an extra dependency on `rand_distr`.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::time::SimDuration;
+
+/// Deterministic simulation RNG with the distribution helpers used by the
+/// workload models.
+///
+/// ```
+/// use bl_simcore::rng::SimRng;
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child RNG; used to give each task its own
+    /// stream so adding a task does not perturb the draws of others.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from(s)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        // 53 random mantissa bits -> uniform double in [0,1).
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `lo > hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "uniform: lo > hi");
+        lo + (hi - lo) * self.uniform01()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi, "uniform_usize: empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform01() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponential draw with the given mean (inverse-CDF method).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0, "exponential: non-positive mean");
+        let u = 1.0 - self.uniform01(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Standard normal draw (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.uniform01();
+        let u2 = self.uniform01();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with mean `mu` and standard deviation `sigma`.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        debug_assert!(sigma >= 0.0, "normal: negative sigma");
+        mu + sigma * self.standard_normal()
+    }
+
+    /// Log-normal draw parameterized by the *median* and the shape `sigma`
+    /// (the standard deviation of the underlying normal).
+    ///
+    /// Interactive CPU bursts are heavy-tailed; log-normal is the standard
+    /// choice for modeling them.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        debug_assert!(median > 0.0, "lognormal: non-positive median");
+        (median.ln() + sigma * self.standard_normal()).exp()
+    }
+
+    /// Pareto draw with minimum `xm` and shape `alpha` (inverse-CDF method).
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        debug_assert!(xm > 0.0 && alpha > 0.0, "pareto: invalid parameters");
+        let u = 1.0 - self.uniform01();
+        xm / u.powf(1.0 / alpha)
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(self.exponential(mean.as_secs_f64()))
+    }
+
+    /// Log-normally distributed duration with the given median and shape.
+    pub fn lognormal_duration(&mut self, median: SimDuration, sigma: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.lognormal(median.as_secs_f64(), sigma))
+    }
+
+    /// Uniform duration in `[lo, hi)`.
+    pub fn uniform_duration(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(self.uniform(lo.as_secs_f64(), hi.as_secs_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut a = SimRng::seed_from(9);
+        let mut b = SimRng::seed_from(9);
+        let mut fa = a.fork(1);
+        let mut fb = b.fork(1);
+        assert_eq!(fa.next_u64(), fb.next_u64());
+        // Forking with a different salt gives a different stream.
+        let mut c = SimRng::seed_from(9);
+        let mut fc = c.fork(2);
+        assert_ne!(fa.next_u64(), fc.next_u64());
+    }
+
+    #[test]
+    fn uniform01_in_range() {
+        let mut r = SimRng::seed_from(3);
+        for _ in 0..10_000 {
+            let x = r.uniform01();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform01_mean_near_half() {
+        let mut r = SimRng::seed_from(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.uniform01()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::seed_from(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::seed_from(6);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut r = SimRng::seed_from(7);
+        let n = 100_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| r.lognormal(5.0, 0.8)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!((median - 5.0).abs() < 0.2, "median = {median}");
+    }
+
+    #[test]
+    fn pareto_minimum_respected() {
+        let mut r = SimRng::seed_from(8);
+        for _ in 0..10_000 {
+            assert!(r.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from(9);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn duration_helpers() {
+        let mut r = SimRng::seed_from(10);
+        let d = r.uniform_duration(SimDuration::from_millis(1), SimDuration::from_millis(2));
+        assert!(d >= SimDuration::from_millis(1) && d < SimDuration::from_millis(2));
+        let e = r.exp_duration(SimDuration::from_millis(5));
+        assert!(e >= SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,11 @@
+//! Statistics accumulators used by the measurement layer.
+
+pub mod histogram;
+pub mod online;
+pub mod series;
+pub mod timeweighted;
+
+pub use histogram::{Histogram, WeightedHistogram};
+pub use online::OnlineStats;
+pub use series::TimeSeries;
+pub use timeweighted::TimeWeightedMean;

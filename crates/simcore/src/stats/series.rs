@@ -1,0 +1,184 @@
+//! Sampled time series.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A list of `(time, value)` samples in nondecreasing time order, with
+/// windowed aggregation helpers (used e.g. to compute per-second minimum FPS
+/// from frame samples).
+///
+/// ```
+/// use bl_simcore::stats::TimeSeries;
+/// use bl_simcore::time::SimTime;
+///
+/// let mut s = TimeSeries::new();
+/// s.push(SimTime::from_millis(1), 10.0);
+/// s.push(SimTime::from_millis(2), 20.0);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.mean(), Some(15.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` precedes the last sample.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.times.last().is_none_or(|last| *last <= t),
+            "TimeSeries: time went backwards"
+        );
+        self.times.push(t);
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Iterator over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Values only.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Unweighted mean of values, `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Minimum value, `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().cloned().reduce(f64::min)
+    }
+
+    /// Maximum value, `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().cloned().reduce(f64::max)
+    }
+
+    /// Splits the series into consecutive windows of length `window` and
+    /// returns each window's aggregate computed by `f` over its values.
+    /// Windows with no samples are skipped.
+    pub fn window_aggregate<F>(&self, window: SimDuration, f: F) -> Vec<f64>
+    where
+        F: Fn(&[f64]) -> f64,
+    {
+        assert!(!window.is_zero(), "window_aggregate: zero window");
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        let mut window_end = self.times[0] + window;
+        for i in 0..=self.times.len() {
+            let past_end = i == self.times.len() || self.times[i] >= window_end;
+            if past_end {
+                if i > start {
+                    out.push(f(&self.values[start..i]));
+                    start = i;
+                }
+                if i == self.times.len() {
+                    break;
+                }
+                while self.times[i] >= window_end {
+                    window_end += window;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(SimTime, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (SimTime, f64)>>(iter: I) -> Self {
+        let mut s = TimeSeries::new();
+        for (t, v) in iter {
+            s.push(t, v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(samples: &[(u64, f64)]) -> TimeSeries {
+        samples
+            .iter()
+            .map(|(ms, v)| (SimTime::from_millis(*ms), *v))
+            .collect()
+    }
+
+    #[test]
+    fn basic_aggregates() {
+        let s = series(&[(0, 1.0), (1, 5.0), (2, 3.0)]);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(5.0));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        let s = TimeSeries::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert!(s.window_aggregate(SimDuration::from_millis(10), |v| v[0]).is_empty());
+    }
+
+    #[test]
+    fn window_means() {
+        // Two 10ms windows: [0,10) holds 1.0 & 3.0, [10,20) holds 5.0
+        let s = series(&[(0, 1.0), (5, 3.0), (12, 5.0)]);
+        let means = s.window_aggregate(SimDuration::from_millis(10), |v| {
+            v.iter().sum::<f64>() / v.len() as f64
+        });
+        assert_eq!(means, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn window_skips_empty_windows() {
+        let s = series(&[(0, 1.0), (35, 2.0)]);
+        let mins = s.window_aggregate(SimDuration::from_millis(10), |v| {
+            v.iter().cloned().fold(f64::INFINITY, f64::min)
+        });
+        // Window [0,10) -> 1.0; windows [10,20),[20,30) empty; [30,40) -> 2.0
+        assert_eq!(mins, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let s = series(&[(1, 9.0)]);
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs, vec![(SimTime::from_millis(1), 9.0)]);
+        assert_eq!(s.values(), &[9.0]);
+    }
+}

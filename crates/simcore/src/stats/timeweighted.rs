@@ -1,0 +1,120 @@
+//! Time-weighted mean of a piecewise-constant signal.
+
+use crate::time::SimTime;
+
+/// Accumulates the time-weighted mean of a value that changes at discrete
+/// instants (e.g. power draw, active core count).
+///
+/// Call [`TimeWeightedMean::update`] with the *new* value whenever the signal
+/// changes; the previous value is credited for the elapsed interval.
+///
+/// ```
+/// use bl_simcore::stats::TimeWeightedMean;
+/// use bl_simcore::time::SimTime;
+///
+/// let mut m = TimeWeightedMean::starting_at(SimTime::ZERO, 0.0);
+/// m.update(SimTime::from_millis(10), 100.0); // 0.0 held for 10 ms
+/// m.update(SimTime::from_millis(30), 0.0);   // 100.0 held for 20 ms
+/// assert!((m.mean_at(SimTime::from_millis(40)) - 50.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeWeightedMean {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64, // value * seconds
+    start: SimTime,
+}
+
+impl TimeWeightedMean {
+    /// Creates an accumulator whose signal holds `initial` from `start`.
+    pub fn starting_at(start: SimTime, initial: f64) -> Self {
+        TimeWeightedMean {
+            last_time: start,
+            last_value: initial,
+            weighted_sum: 0.0,
+            start,
+        }
+    }
+
+    /// Registers that the signal changed to `value` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `now` precedes the previous update.
+    pub fn update(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_time, "TimeWeightedMean: time went backwards");
+        let dt = now.duration_since(self.last_time).as_secs_f64();
+        self.weighted_sum += self.last_value * dt;
+        self.last_time = now;
+        self.last_value = value;
+    }
+
+    /// The current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Time-weighted mean over `[start, now]`, crediting the current value
+    /// up to `now`. Returns the current value if no time has elapsed.
+    pub fn mean_at(&self, now: SimTime) -> f64 {
+        let total = now.duration_since(self.start).as_secs_f64();
+        if total <= 0.0 {
+            return self.last_value;
+        }
+        let tail = now.duration_since(self.last_time).as_secs_f64();
+        (self.weighted_sum + self.last_value * tail) / total
+    }
+
+    /// The integral of the signal over `[start, now]` in value·seconds
+    /// (e.g. joules when the signal is watts).
+    pub fn integral_at(&self, now: SimTime) -> f64 {
+        let tail = now.duration_since(self.last_time).as_secs_f64();
+        self.weighted_sum + self.last_value * tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_signal() {
+        let mut m = TimeWeightedMean::starting_at(SimTime::ZERO, 5.0);
+        m.update(SimTime::from_millis(10), 5.0);
+        assert!((m.mean_at(SimTime::from_millis(20)) - 5.0).abs() < 1e-12);
+        assert!((m.integral_at(SimTime::from_millis(20)) - 5.0 * 0.020).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_elapsed_returns_current() {
+        let m = TimeWeightedMean::starting_at(SimTime::from_millis(5), 7.0);
+        assert_eq!(m.mean_at(SimTime::from_millis(5)), 7.0);
+        assert_eq!(m.current(), 7.0);
+    }
+
+    #[test]
+    fn step_signal() {
+        let mut m = TimeWeightedMean::starting_at(SimTime::ZERO, 2.0);
+        m.update(SimTime::from_secs(1), 4.0);
+        // 2.0 for 1s, then 4.0 for 3s => (2 + 12)/4 = 3.5
+        assert!((m.mean_at(SimTime::from_secs(4)) - 3.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_bounded_by_extremes(values in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+            let mut m = TimeWeightedMean::starting_at(SimTime::ZERO, values[0]);
+            let mut t = SimTime::ZERO;
+            for (i, v) in values.iter().enumerate().skip(1) {
+                t = SimTime::from_millis(i as u64 * 10);
+                m.update(t, *v);
+            }
+            let end = t + crate::time::SimDuration::from_millis(10);
+            let mean = m.mean_at(end);
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Simulated time: instants ([`SimTime`]) and spans ([`SimDuration`]).
+//!
+//! Both are newtypes over `u64` nanoseconds. Nanosecond resolution with a
+//! 64-bit counter gives ~584 years of simulated time, far beyond any
+//! experiment in this workspace (minutes of simulated execution).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// An instant in simulated time, measured in nanoseconds from simulation
+/// start.
+///
+/// ```
+/// use bl_simcore::time::{SimTime, SimDuration};
+/// let t = SimTime::from_millis(10) + SimDuration::from_micros(500);
+/// assert_eq!(t.as_nanos(), 10_500_000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time in nanoseconds.
+///
+/// ```
+/// use bl_simcore::time::SimDuration;
+/// assert_eq!(SimDuration::from_millis(2) * 3, SimDuration::from_millis(6));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `ns` nanoseconds after simulation start.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant `us` microseconds after simulation start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant `ms` milliseconds after simulation start.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant `s` seconds after simulation start.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds since simulation start, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "duration_since: earlier > self");
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration (clamps at [`SimTime::MAX`]).
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The maximum representable span; used as an "infinite" sentinel.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a span of `ns` nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a span of `us` microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a span of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a span of `s` seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional seconds, rounding to the nearest
+    /// nanosecond and clamping negatives to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// The span in whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The span in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns true if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Multiplies the span by a non-negative float, rounding to nanoseconds.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        debug_assert!(k >= 0.0, "mul_f64: negative factor");
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimDuration::from_secs(1).as_secs_f64(), 1.0);
+        assert_eq!(SimDuration::from_millis(250).as_millis_f64(), 250.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10);
+        let d = SimDuration::from_millis(4);
+        assert_eq!(t + d, SimTime::from_millis(14));
+        assert_eq!(t - d, SimTime::from_millis(6));
+        assert_eq!((t + d) - t, d);
+        assert_eq!(d * 3, SimDuration::from_millis(12));
+        assert_eq!(d / 2, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn duration_ratio() {
+        let a = SimDuration::from_millis(30);
+        let b = SimDuration::from_millis(120);
+        assert!((a / b - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_since_and_saturation() {
+        let a = SimTime::from_millis(5);
+        let b = SimTime::from_millis(9);
+        assert_eq!(b.duration_since(a), SimDuration::from_millis(4));
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimDuration::from_millis(1).saturating_sub(SimDuration::from_millis(2)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1e-9), SimDuration::from_nanos(1));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.001),
+            SimDuration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let x = SimDuration::from_millis(1);
+        let y = SimDuration::from_millis(2);
+        assert_eq!(x.min(y), x);
+        assert_eq!(x.max(y), y);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_millis(1)), "1.000ms");
+        assert_eq!(format!("{}", SimDuration::from_micros(1500)), "1.500ms");
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let d = SimDuration::from_nanos(10);
+        assert_eq!(d.mul_f64(0.25), SimDuration::from_nanos(3)); // 2.5 rounds to 3 (round-half-up)
+        assert_eq!(d.mul_f64(1.5), SimDuration::from_nanos(15));
+    }
+}

@@ -1,0 +1,761 @@
+//! The twelve interactive mobile applications of paper Table II, as
+//! generative multi-thread models.
+//!
+//! Each app is assembled from the building blocks in [`crate::threads`]:
+//!
+//! * **Latency apps** (PDF reader, video editor, photo editor, BBench,
+//!   virus scanner, browser, encoder) run a scripted user-interaction
+//!   sequence — think time, a UI burst, fan-out jobs to a worker pool,
+//!   plus app-specific continuous/background threads. Their latency is the
+//!   time until every burst and job completes.
+//! * **FPS apps** (Angry Bird, Eternity Warriors 2, FIFA 15, video player,
+//!   YouTube) run vsync-paced frame loops plus periodic helper threads
+//!   (physics, audio, decoder callbacks, network).
+//!
+//! The per-app parameters are calibrated so the default system (L4+B4, HMP,
+//! interactive governor) approximately reproduces the paper's Table III
+//! (idle %, big-core share of active cycles, TLP); see EXPERIMENTS.md for
+//! measured-vs-paper values. Work amounts are "milliseconds on a little
+//! core at 1.3 GHz" ([`crate::work_ms`]).
+
+use crate::threads::{
+    CompletionTracker, ContinuousTask, FrameLoop, Job, JobQueue, PeriodicTask, PoolWorker,
+    SceneSync, ScriptAction, UiScriptThread,
+};
+use crate::{work_ms, PerfMetric};
+use bl_kernel::kernel::{Hw, Kernel};
+use bl_kernel::task::Affinity;
+use bl_platform::perf::WorkProfile;
+use bl_platform::topology::Platform;
+use bl_simcore::rng::SimRng;
+use bl_simcore::time::{SimDuration, SimTime};
+
+/// A periodic helper thread specification.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PeriodicSpec {
+    /// Thread name.
+    pub name: String,
+    /// Cycle period in ms.
+    pub period_ms: f64,
+    /// Median work per cycle, in little-core ms.
+    pub work_ms: f64,
+    /// Log-normal shape of the work draw.
+    pub sigma: f64,
+}
+
+/// A continuous (batch) thread specification.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ContinuousSpec {
+    /// Thread name.
+    pub name: String,
+    /// Number of identical threads.
+    pub count: usize,
+    /// Total work budget per thread, in little-core ms.
+    pub total_ms: f64,
+    /// Chunk size in little-core ms.
+    pub chunk_ms: f64,
+    /// I/O pause between chunks in ms (0 = none).
+    pub io_sleep_ms: f64,
+    /// Probability of pausing after a chunk.
+    pub io_prob: f64,
+}
+
+/// Scripted-interaction (latency) app parameters.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ScriptedSpec {
+    /// Number of user actions in the script.
+    pub n_actions: usize,
+    /// Uniform think-time range between actions, ms.
+    pub think_ms: (f64, f64),
+    /// Median UI-burst work per action, little-core ms.
+    pub burst_ms: f64,
+    /// Log-normal shape of the burst draw.
+    pub burst_sigma: f64,
+    /// Fan-out jobs per action.
+    pub jobs_per_action: usize,
+    /// Median job work, little-core ms.
+    pub job_ms: f64,
+    /// Log-normal shape of the job draw.
+    pub job_sigma: f64,
+    /// Worker pool size.
+    pub n_workers: usize,
+    /// Background periodic threads.
+    pub background: Vec<PeriodicSpec>,
+    /// Batch threads (encoder/scanner engines).
+    pub continuous: Vec<ContinuousSpec>,
+}
+
+/// Frame-driven (FPS) app parameters.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StreamingSpec {
+    /// Target frame rate of the visible render loop.
+    pub fps: f64,
+    /// Median per-frame work, little-core ms.
+    pub frame_ms: f64,
+    /// Log-normal shape of the frame draw.
+    pub frame_sigma: f64,
+    /// Additional non-visible frame loops (physics etc.): (name, fps,
+    /// work ms, sigma).
+    pub helper_loops: Vec<(String, f64, f64, f64)>,
+    /// Periodic helper threads.
+    pub periodic: Vec<PeriodicSpec>,
+    /// Probability of a scene-load stall after a frame.
+    pub stall_prob: f64,
+    /// Stall length in ms.
+    pub stall_ms: f64,
+}
+
+/// App structure: scripted (latency) or streaming (FPS).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum AppKind {
+    /// Latency-metric app.
+    Scripted(ScriptedSpec),
+    /// FPS-metric app.
+    Streaming(StreamingSpec),
+}
+
+/// One of the twelve Table II applications (or a user-defined model, see
+/// [`AppModel::from_json`]).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AppModel {
+    /// Application name as in Table II.
+    pub name: String,
+    /// Performance metric (Table II).
+    pub metric: PerfMetric,
+    /// Measurement horizon: FPS apps run exactly this long; latency apps
+    /// are capped at it.
+    pub run_for: SimDuration,
+    /// The generative structure.
+    pub kind: AppKind,
+}
+
+/// Handles to a built app instance.
+#[derive(Debug)]
+pub struct AppInstance {
+    /// Completion tracker (latency apps only).
+    pub tracker: Option<CompletionTracker>,
+}
+
+impl AppModel {
+    /// Spawns the app's tasks into `kernel` with [`Affinity::Any`] —
+    /// placement and migration are the scheduler's job.
+    pub fn build(
+        &self,
+        kernel: &mut Kernel,
+        platform: &Platform,
+        hw: &Hw<'_>,
+        rng: &mut SimRng,
+        now: SimTime,
+    ) -> AppInstance {
+        self.build_with_affinity(kernel, platform, hw, rng, now, Affinity::Any)
+    }
+
+    /// Spawns the app's tasks with a forced affinity — used by the
+    /// architecture experiments that restrict an app to one core type
+    /// (paper Figures 4 and 5: "running on either 4 little cores or 4 big
+    /// cores").
+    pub fn build_with_affinity(
+        &self,
+        kernel: &mut Kernel,
+        platform: &Platform,
+        hw: &Hw<'_>,
+        rng: &mut SimRng,
+        now: SimTime,
+        affinity: Affinity,
+    ) -> AppInstance {
+        let ui_profile = WorkProfile {
+            cpi_little: 1.7,
+            cpi_big: 0.9,
+            mpki_ref: 6.0,
+            cache_beta: 0.5,
+            energy_intensity: 1.0,
+        };
+        match &self.kind {
+            AppKind::Scripted(s) => {
+                let queue = JobQueue::new();
+                // One tracked completion per burst and per job.
+                let mut actions = Vec::with_capacity(s.n_actions);
+                let mut script_rng = rng.fork(1);
+                for _ in 0..s.n_actions {
+                    let think = script_rng.uniform(s.think_ms.0, s.think_ms.1);
+                    let burst = script_rng.lognormal(s.burst_ms, s.burst_sigma);
+                    let jobs = (0..s.jobs_per_action)
+                        .map(|_| Job {
+                            work: work_ms(
+                                platform,
+                                &ui_profile,
+                                script_rng.lognormal(s.job_ms, s.job_sigma),
+                            ),
+                            profile: ui_profile,
+                            completes: true,
+                        })
+                        .collect();
+                    actions.push(ScriptAction {
+                        think: SimDuration::from_secs_f64(think / 1e3),
+                        burst: work_ms(platform, &ui_profile, burst),
+                        burst_profile: ui_profile,
+                        jobs,
+                    });
+                }
+                let target = UiScriptThread::tracker_target(&actions)
+                    + s.continuous.iter().map(|c| c.count).sum::<usize>();
+                let tracker = CompletionTracker::new(target);
+
+                for i in 0..s.n_workers {
+                    let worker = PoolWorker::new(queue.clone(), Some(tracker.clone()));
+                    let tid = kernel.spawn(
+                        format!("{}-worker{}", self.name, i),
+                        affinity,
+                        Box::new(worker),
+                        hw,
+                        now,
+                    );
+                    queue.register_worker(tid);
+                }
+                for c in &s.continuous {
+                    for i in 0..c.count {
+                        let t = ContinuousTask::new(
+                            rng.fork(100 + i as u64),
+                            work_ms(platform, &ui_profile, c.total_ms),
+                            work_ms(platform, &ui_profile, c.chunk_ms),
+                            ui_profile,
+                            SimDuration::from_secs_f64(c.io_sleep_ms / 1e3),
+                            c.io_prob,
+                            false,
+                        )
+                        .with_tracker(tracker.clone());
+                        kernel.spawn(
+                            format!("{}-{}{}", self.name, c.name, i),
+                            affinity,
+                            Box::new(t),
+                            hw,
+                            now,
+                        );
+                    }
+                }
+                for (i, b) in s.background.iter().enumerate() {
+                    spawn_periodic(
+                        kernel, platform, hw, rng, now, &self.name, b, 200 + i as u64, affinity,
+                    );
+                }
+                let ui = UiScriptThread::new(actions, Some(queue.clone()), tracker.clone());
+                kernel.spawn(
+                    format!("{}-ui", self.name),
+                    affinity,
+                    Box::new(ui),
+                    hw,
+                    now,
+                );
+                AppInstance { tracker: Some(tracker) }
+            }
+            AppKind::Streaming(s) => {
+                let frame_profile = WorkProfile {
+                    cpi_little: 1.6,
+                    cpi_big: 0.9,
+                    mpki_ref: 4.0,
+                    cache_beta: 0.4,
+            energy_intensity: 1.0,
+                };
+                let scene = SceneSync::new();
+                let render = FrameLoop::new(
+                    rng.fork(2),
+                    s.fps,
+                    work_ms(platform, &frame_profile, s.frame_ms),
+                    s.frame_sigma,
+                    frame_profile,
+                    true,
+                )
+                .with_stalls(
+                    s.stall_prob,
+                    SimDuration::from_secs_f64(s.stall_ms / 1e3),
+                )
+                .with_scene(scene.clone());
+                kernel.spawn(
+                    format!("{}-render", self.name),
+                    affinity,
+                    Box::new(render),
+                    hw,
+                    now,
+                );
+                for (i, (name, fps, ms, sigma)) in s.helper_loops.iter().enumerate() {
+                    let helper = FrameLoop::new(
+                        rng.fork(3 + i as u64),
+                        *fps,
+                        work_ms(platform, &frame_profile, *ms),
+                        *sigma,
+                        frame_profile,
+                        false,
+                    )
+                    .with_scene(scene.clone());
+                    kernel.spawn(
+                        format!("{}-{}", self.name, name),
+                        affinity,
+                        Box::new(helper),
+                        hw,
+                        now,
+                    );
+                }
+                for (i, p) in s.periodic.iter().enumerate() {
+                    spawn_periodic_scene(
+                        kernel,
+                        platform,
+                        hw,
+                        rng,
+                        now,
+                        &self.name,
+                        p,
+                        300 + i as u64,
+                        affinity,
+                        Some(scene.clone()),
+                    );
+                }
+                AppInstance { tracker: None }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_periodic(
+    kernel: &mut Kernel,
+    platform: &Platform,
+    hw: &Hw<'_>,
+    rng: &mut SimRng,
+    now: SimTime,
+    app: &str,
+    spec: &PeriodicSpec,
+    salt: u64,
+    affinity: Affinity,
+) {
+    spawn_periodic_scene(kernel, platform, hw, rng, now, app, spec, salt, affinity, None);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_periodic_scene(
+    kernel: &mut Kernel,
+    platform: &Platform,
+    hw: &Hw<'_>,
+    rng: &mut SimRng,
+    now: SimTime,
+    app: &str,
+    spec: &PeriodicSpec,
+    salt: u64,
+    affinity: Affinity,
+    scene: Option<SceneSync>,
+) {
+    let profile = WorkProfile {
+        cpi_little: 1.6,
+        cpi_big: 0.95,
+        mpki_ref: 2.0,
+        cache_beta: 0.3,
+            energy_intensity: 1.0,
+    };
+    let mut t = PeriodicTask::new(
+        rng.fork(salt),
+        SimDuration::from_secs_f64(spec.period_ms / 1e3),
+        0.15,
+        work_ms(platform, &profile, spec.work_ms),
+        spec.sigma,
+        profile,
+    );
+    if let Some(sc) = scene {
+        t = t.with_scene(sc);
+    }
+    kernel.spawn(format!("{app}-{}", spec.name), affinity, Box::new(t), hw, now);
+}
+
+/// Convenience constructor for [`PeriodicSpec`].
+fn periodic(name: &str, period_ms: f64, work_ms: f64, sigma: f64) -> PeriodicSpec {
+    PeriodicSpec { name: name.to_string(), period_ms, work_ms, sigma }
+}
+
+/// The twelve Table II applications with calibrated parameters.
+///
+/// Per-app tuning targets (paper Table III: idle %, big share of active
+/// cycles, TLP) are noted on each entry.
+pub fn mobile_apps() -> Vec<AppModel> {
+    vec![
+        // Paper row: idle 16.1, big 13.1, TLP 2.06. Page turns trigger long
+        // concurrent render/prefetch jobs; a redraw helper runs per-vsync.
+        AppModel {
+            name: "PDF Reader".to_string(),
+            metric: PerfMetric::Latency,
+            run_for: SimDuration::from_secs(20),
+            kind: AppKind::Scripted(ScriptedSpec {
+                n_actions: 8,
+                think_ms: (350.0, 750.0),
+                burst_ms: 45.0,
+                burst_sigma: 0.6,
+                jobs_per_action: 2,
+                job_ms: 160.0,
+                job_sigma: 0.5,
+                n_workers: 2,
+                background: vec![
+                    periodic("render-helper", 16.7, 2.0, 0.5),
+                    periodic("service", 50.0, 1.0, 0.4),
+                ],
+                continuous: vec![],
+            }),
+        },
+        // idle 19.4, big 10.4, TLP 2.25: three-way export jobs per edit.
+        AppModel {
+            name: "Video Editor".to_string(),
+            metric: PerfMetric::Latency,
+            run_for: SimDuration::from_secs(25),
+            kind: AppKind::Scripted(ScriptedSpec {
+                n_actions: 6,
+                think_ms: (450.0, 900.0),
+                burst_ms: 40.0,
+                burst_sigma: 0.6,
+                jobs_per_action: 3,
+                job_ms: 170.0,
+                job_sigma: 0.45,
+                n_workers: 3,
+                background: vec![
+                    periodic("preview", 33.0, 3.0, 0.4),
+                    periodic("audio", 21.0, 1.0, 0.3),
+                ],
+                continuous: vec![],
+            }),
+        },
+        // idle 9.1, big 7.5, TLP 1.40: one little core does nearly
+        // everything (paper: 64.8% of samples are exactly one little core).
+        AppModel {
+            name: "Photo Editor".to_string(),
+            metric: PerfMetric::Latency,
+            run_for: SimDuration::from_secs(20),
+            kind: AppKind::Scripted(ScriptedSpec {
+                n_actions: 12,
+                think_ms: (120.0, 260.0),
+                burst_ms: 120.0,
+                burst_sigma: 0.35,
+                jobs_per_action: 0,
+                job_ms: 0.0,
+                job_sigma: 0.0,
+                n_workers: 0,
+                background: vec![periodic("ui-render", 16.7, 3.0, 0.4), periodic("service", 45.0, 1.0, 0.4)],
+                continuous: vec![],
+            }),
+        },
+        // idle 0.1, big 47.8, TLP 3.95: the dense automated browser bench.
+        AppModel {
+            name: "BBench".to_string(),
+            metric: PerfMetric::Latency,
+            run_for: SimDuration::from_secs(30),
+            kind: AppKind::Scripted(ScriptedSpec {
+                n_actions: 15,
+                think_ms: (60.0, 160.0),
+                burst_ms: 50.0,
+                burst_sigma: 0.5,
+                jobs_per_action: 3,
+                job_ms: 40.0,
+                job_sigma: 0.5,
+                n_workers: 4,
+                background: vec![
+                    periodic("compositor", 16.7, 3.0, 0.4),
+                    periodic("raster", 16.7, 2.5, 0.4),
+                    periodic("network", 20.0, 2.5, 0.6),
+                    // JS/layout engines: alternating heavy phases that ride
+                    // a big core while active, idle little in between.
+                    periodic("engine0", 400.0, 260.0, 0.25),
+                    periodic("engine1", 440.0, 260.0, 0.25),
+                ],
+                continuous: vec![],
+            }),
+        },
+        // idle 2.9, big 22.7, TLP 2.44: two always-on light I/O-bound scan
+        // pipelines plus a heavy signature-matching burst that visits a big
+        // core periodically.
+        AppModel {
+            name: "Virus Scanner".to_string(),
+            metric: PerfMetric::Latency,
+            run_for: SimDuration::from_secs(25),
+            kind: AppKind::Scripted(ScriptedSpec {
+                n_actions: 4,
+                think_ms: (200.0, 400.0),
+                burst_ms: 15.0,
+                burst_sigma: 0.5,
+                jobs_per_action: 0,
+                job_ms: 0.0,
+                job_sigma: 0.0,
+                n_workers: 0,
+                background: vec![periodic("match", 600.0, 380.0, 0.25)],
+                continuous: vec![ContinuousSpec {
+                    name: "scan".to_string(),
+                    count: 2,
+                    total_ms: 3000.0,
+                    chunk_ms: 3.0,
+                    io_sleep_ms: 6.0,
+                    io_prob: 1.0,
+                }],
+            }),
+        },
+        // idle 52.9, big 5.4, TLP 1.86: long reading pauses between loads.
+        AppModel {
+            name: "Browser".to_string(),
+            metric: PerfMetric::Latency,
+            run_for: SimDuration::from_secs(30),
+            kind: AppKind::Scripted(ScriptedSpec {
+                n_actions: 6,
+                think_ms: (1400.0, 2800.0),
+                burst_ms: 90.0,
+                burst_sigma: 0.6,
+                jobs_per_action: 3,
+                job_ms: 150.0,
+                job_sigma: 0.5,
+                n_workers: 3,
+                background: vec![periodic("spinner", 30.0, 1.0, 0.3), periodic("net-poll", 80.0, 1.5, 0.5)],
+                continuous: vec![],
+            }),
+        },
+        // idle 0.6, big 62.2, TLP 1.78: one hot encode thread that lives on
+        // a big core, stalling on I/O between macroblock batches.
+        AppModel {
+            name: "Encoder".to_string(),
+            metric: PerfMetric::Latency,
+            run_for: SimDuration::from_secs(30),
+            kind: AppKind::Scripted(ScriptedSpec {
+                n_actions: 2,
+                think_ms: (100.0, 200.0),
+                burst_ms: 10.0,
+                burst_sigma: 0.4,
+                jobs_per_action: 0,
+                job_ms: 0.0,
+                job_sigma: 0.0,
+                n_workers: 0,
+                background: vec![periodic("io", 18.0, 1.1, 0.4), periodic("muxer", 30.0, 0.8, 0.4)],
+                continuous: vec![ContinuousSpec {
+                    name: "encode".to_string(),
+                    count: 1,
+                    total_ms: 9000.0,
+                    chunk_ms: 25.0,
+                    io_sleep_ms: 14.0,
+                    io_prob: 0.5,
+                }],
+            }),
+        },
+        // idle 4.4, big 0.1, TLP 2.34: light threads that never need big.
+        AppModel {
+            name: "Angry Bird".to_string(),
+            metric: PerfMetric::Fps,
+            run_for: SimDuration::from_secs(20),
+            kind: AppKind::Streaming(StreamingSpec {
+                fps: 60.0,
+                frame_ms: 4.0,
+                frame_sigma: 0.3,
+                helper_loops: vec![("physics".to_string(), 60.0, 3.0, 0.3)],
+                periodic: vec![periodic("audio", 20.0, 1.5, 0.3)],
+                stall_prob: 0.006,
+                stall_ms: 130.0,
+            }),
+        },
+        // idle 3.7, big 27.4, TLP 2.85: the CPU-intensive game whose frame
+        // spikes and asset loads spill onto a big core.
+        AppModel {
+            name: "Eternity Warriors 2".to_string(),
+            metric: PerfMetric::Fps,
+            run_for: SimDuration::from_secs(20),
+            kind: AppKind::Streaming(StreamingSpec {
+                fps: 60.0,
+                frame_ms: 10.5,
+                frame_sigma: 0.55,
+                helper_loops: vec![("physics".to_string(), 60.0, 5.0, 0.4)],
+                periodic: vec![
+                    periodic("audio", 20.0, 1.5, 0.3),
+                    periodic("loader", 400.0, 110.0, 0.4),
+                ],
+                stall_prob: 0.004,
+                stall_ms: 150.0,
+            }),
+        },
+        // idle 9.3, big 14.4, TLP 2.37.
+        AppModel {
+            name: "FIFA 15".to_string(),
+            metric: PerfMetric::Fps,
+            run_for: SimDuration::from_secs(20),
+            kind: AppKind::Streaming(StreamingSpec {
+                fps: 60.0,
+                frame_ms: 8.0,
+                frame_sigma: 0.5,
+                helper_loops: vec![("physics".to_string(), 60.0, 4.0, 0.35)],
+                periodic: vec![
+                    periodic("audio", 20.0, 1.5, 0.3),
+                    periodic("ai", 450.0, 110.0, 0.4),
+                ],
+                stall_prob: 0.01,
+                stall_ms: 160.0,
+            }),
+        },
+        // idle 14.2, big 0.6, TLP 2.29: HW decode leaves CPUs nearly idle;
+        // UI + compositor redraw per vsync, decode callbacks at 30fps.
+        AppModel {
+            name: "Video Player".to_string(),
+            metric: PerfMetric::Fps,
+            run_for: SimDuration::from_secs(20),
+            kind: AppKind::Streaming(StreamingSpec {
+                fps: 60.0,
+                frame_ms: 2.0,
+                frame_sigma: 0.3,
+                helper_loops: vec![("compositor".to_string(), 60.0, 1.5, 0.3)],
+                periodic: vec![
+                    periodic("decoder", 33.0, 2.0, 0.3),
+                    periodic("audio", 31.0, 1.0, 0.3),
+                ],
+                stall_prob: 0.0018,
+                stall_ms: 600.0,
+            }),
+        },
+        // idle 12.7, big 0.1, TLP 2.29: like Video Player plus networking.
+        AppModel {
+            name: "Youtube".to_string(),
+            metric: PerfMetric::Fps,
+            run_for: SimDuration::from_secs(20),
+            kind: AppKind::Streaming(StreamingSpec {
+                fps: 60.0,
+                frame_ms: 2.0,
+                frame_sigma: 0.3,
+                helper_loops: vec![("compositor".to_string(), 60.0, 1.5, 0.3)],
+                periodic: vec![
+                    periodic("decoder", 33.0, 2.0, 0.3),
+                    periodic("network", 80.0, 3.0, 0.7),
+                    periodic("audio", 31.0, 1.0, 0.3),
+                ],
+                stall_prob: 0.0015,
+                stall_ms: 600.0,
+            }),
+        },
+    ]
+}
+
+impl AppModel {
+    /// Loads a user-defined app model from its JSON representation — the
+    /// same schema the built-in catalog serializes to, so
+    /// `serde_json::to_string(&app)` of any catalog entry is a valid
+    /// starting template.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed JSON or schema
+    /// mismatches.
+    ///
+    /// ```
+    /// use bl_workloads::apps::{app_by_name, AppModel};
+    /// let template = serde_json::to_string(&app_by_name("Video Player").unwrap()).unwrap();
+    /// let custom = AppModel::from_json(&template).unwrap();
+    /// assert_eq!(custom.name, "Video Player");
+    /// ```
+    pub fn from_json(json: &str) -> Result<AppModel, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serializes the model to pretty JSON (a template for custom apps).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("app models always serialize")
+    }
+}
+
+/// Looks up an app by (case-insensitive) name.
+pub fn app_by_name(name: &str) -> Option<AppModel> {
+    mobile_apps()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+}
+
+/// The seven latency-metric apps (paper Figure 4 population).
+pub fn latency_apps() -> Vec<AppModel> {
+    mobile_apps()
+        .into_iter()
+        .filter(|a| a.metric == PerfMetric::Latency)
+        .collect()
+}
+
+/// The five FPS-metric apps (paper Figure 5 population).
+pub fn fps_apps() -> Vec<AppModel> {
+    mobile_apps()
+        .into_iter()
+        .filter(|a| a.metric == PerfMetric::Fps)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_apps_matching_table_ii() {
+        let apps = mobile_apps();
+        assert_eq!(apps.len(), 12);
+        assert_eq!(latency_apps().len(), 7);
+        assert_eq!(fps_apps().len(), 5);
+        let mut names: Vec<_> = apps.iter().map(|a| a.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12, "app names must be unique");
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert!(app_by_name("encoder").is_some());
+        assert!(app_by_name("BBENCH").is_some());
+        assert!(app_by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn metrics_match_table_ii() {
+        for a in mobile_apps() {
+            let expected = match a.name.as_str() {
+                "Angry Bird" | "Eternity Warriors 2" | "FIFA 15" | "Video Player"
+                | "Youtube" => PerfMetric::Fps,
+                _ => PerfMetric::Latency,
+            };
+            assert_eq!(a.metric, expected, "{}", a.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+
+    #[test]
+    fn catalog_round_trips_through_json() {
+        for app in mobile_apps() {
+            let json = app.to_json();
+            let back = AppModel::from_json(&json).unwrap();
+            assert_eq!(back.name, app.name);
+            assert_eq!(back.metric, app.metric);
+            assert_eq!(back.run_for, app.run_for);
+        }
+    }
+
+    #[test]
+    fn custom_app_from_handwritten_json() {
+        let json = r#"{
+            "name": "My Widget",
+            "metric": "Fps",
+            "run_for": 5000000000,
+            "kind": {
+                "Streaming": {
+                    "fps": 30.0,
+                    "frame_ms": 3.0,
+                    "frame_sigma": 0.2,
+                    "helper_loops": [],
+                    "periodic": [
+                        {"name": "audio", "period_ms": 20.0, "work_ms": 1.0, "sigma": 0.3}
+                    ],
+                    "stall_prob": 0.0,
+                    "stall_ms": 0.0
+                }
+            }
+        }"#;
+        let app = AppModel::from_json(json).unwrap();
+        assert_eq!(app.name, "My Widget");
+        assert_eq!(app.metric, PerfMetric::Fps);
+        assert!(matches!(app.kind, AppKind::Streaming(_)));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(AppModel::from_json("{\"name\": 12}").is_err());
+    }
+}

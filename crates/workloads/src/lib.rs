@@ -1,0 +1,95 @@
+//! # bl-workloads
+//!
+//! Workload models substituting for the paper's benchmark programs:
+//!
+//! * [`spec`] — twelve SPEC-CPU2006-like single-threaded kernels spanning
+//!   compute-bound, cache-sensitive and memory-streaming behavior, used by
+//!   the architecture characterization (Figures 2 and 3).
+//! * [`microbench`] — the duty-cycle utilization microbenchmark (Figure 6).
+//! * [`threads`] — reusable task behaviors: frame loops, periodic workers,
+//!   continuous batch work, worker pools fed by a job queue, and scripted
+//!   UI threads that model a user interaction sequence.
+//! * [`apps`] — the twelve interactive mobile applications of Table II as
+//!   generative multi-thread models, with per-app parameters calibrated
+//!   against the paper's measured TLP, idle and big-core-usage figures
+//!   (Tables III–V).
+//!
+//! Work amounts are expressed in "milliseconds on a little core at 1.3 GHz"
+//! via [`work_ms`], which makes app parameters readable and portable across
+//! experiments that change core type and frequency.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod microbench;
+pub mod replay;
+pub mod spec;
+pub mod threads;
+
+use bl_platform::ids::CoreKind;
+use bl_platform::perf::{Work, WorkProfile};
+use bl_platform::topology::Platform;
+use bl_simcore::time::SimDuration;
+
+/// Converts "milliseconds on a little core at its maximum 1.3 GHz" into an
+/// instruction count for `profile` on `platform`.
+///
+/// ```
+/// use bl_platform::exynos::exynos5422;
+/// use bl_platform::perf::WorkProfile;
+/// let p = exynos5422();
+/// let w = bl_workloads::work_ms(&p, &WorkProfile::compute_bound(), 10.0);
+/// assert!(w.instructions() > 0.0);
+/// ```
+pub fn work_ms(platform: &Platform, profile: &WorkProfile, ms: f64) -> Work {
+    let little = platform
+        .topology
+        .cluster_of_kind(CoreKind::Little)
+        .expect("platform has little cores");
+    platform.perf.work_for(
+        profile,
+        CoreKind::Little,
+        &little.l2,
+        little.core.opps.max_khz() as f64 / 1e6,
+        SimDuration::from_secs_f64(ms / 1e3),
+    )
+}
+
+/// How an application's performance is scored (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PerfMetric {
+    /// Time to complete a scripted sequence of user actions.
+    Latency,
+    /// Frames per second (average and worst 1-second window).
+    Fps,
+}
+
+impl std::fmt::Display for PerfMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerfMetric::Latency => write!(f, "Latency"),
+            PerfMetric::Fps => write!(f, "FPS"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bl_platform::exynos::exynos5422;
+
+    #[test]
+    fn work_ms_scales_linearly() {
+        let p = exynos5422();
+        let prof = WorkProfile::compute_bound();
+        let w1 = work_ms(&p, &prof, 1.0);
+        let w10 = work_ms(&p, &prof, 10.0);
+        assert!((w10.instructions() / w1.instructions() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metric_display() {
+        assert_eq!(PerfMetric::Latency.to_string(), "Latency");
+        assert_eq!(PerfMetric::Fps.to_string(), "FPS");
+    }
+}

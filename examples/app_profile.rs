@@ -1,0 +1,82 @@
+//! App profiler: run one app on the default system and print the full
+//! characterization the paper reports — the Table III row, the Table IV
+//! core-type matrix, the Table V efficiency decomposition, and the
+//! Figure 9/10 frequency residency.
+//!
+//! ```sh
+//! cargo run --release --example app_profile [app-name]
+//! ```
+
+use biglittle::{Simulation, SystemConfig};
+use bl_platform::exynos::exynos5422;
+use bl_platform::ids::CoreKind;
+use bl_workloads::apps::app_by_name;
+use bl_simcore::time::SimDuration;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Eternity Warriors 2".to_string());
+    let app = app_by_name(&name).expect("unknown app (try `quickstart` for the list)");
+
+    let mut sim = Simulation::new(SystemConfig::default());
+    sim.spawn_app(&app);
+    let r = sim.run_app(&app);
+
+    println!("=== {} — full characterization ===\n", app.name);
+
+    println!("Table III row:");
+    println!(
+        "  idle {:.2}%   little {:.2}%   big {:.2}%   TLP {:.2}\n",
+        r.tlp.idle_pct, r.tlp.little_pct, r.tlp.big_pct, r.tlp.tlp
+    );
+
+    println!("Table IV matrix (% of samples; rows = active big cores, cols = active little):");
+    print!("      ");
+    for l in 0..r.matrix_pct[0].len() {
+        print!("   C{l}  ");
+    }
+    println!();
+    for (b, row) in r.matrix_pct.iter().enumerate() {
+        print!("  C{b}  ");
+        for v in row {
+            print!(" {v:5.2} ");
+        }
+        println!();
+    }
+
+    println!("\nTable V efficiency decomposition (% of active core-samples):");
+    let labels = ["Min", "<50%", "50-70%", "70-95%", ">95%", "Full"];
+    for (l, v) in labels.iter().zip(r.efficiency_pct.iter()) {
+        println!("  {l:<7} {v:6.2}%");
+    }
+
+    println!("\nPer-thread CPU time (little / big):");
+    let mut rows = sim.kernel().task_report();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.cpu_time));
+    for row in rows.iter().filter(|r| r.cpu_time > SimDuration::ZERO) {
+        println!(
+            "  {:<28} {:>8.1} ms  ({:>7.1} little / {:>7.1} big)",
+            row.name,
+            row.cpu_time.as_millis_f64(),
+            row.little_time.as_millis_f64(),
+            row.big_time.as_millis_f64(),
+        );
+    }
+
+    let platform = exynos5422();
+    for (kind, shares) in [
+        (CoreKind::Little, &r.little_residency),
+        (CoreKind::Big, &r.big_residency),
+    ] {
+        let cluster = platform.topology.cluster_of_kind(kind).unwrap();
+        println!("\n{kind} cluster frequency residency (% of active time):");
+        for (opp, share) in cluster.core.opps.iter().zip(shares.iter()) {
+            let bar_len = (share * 50.0).round() as usize;
+            println!(
+                "  {:>4.1} GHz {:6.2}%  {}",
+                opp.freq_ghz(),
+                share * 100.0,
+                "#".repeat(bar_len)
+            );
+        }
+    }
+}

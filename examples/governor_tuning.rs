@@ -1,0 +1,57 @@
+//! Governor tuning: compare DVFS governors and interactive-governor
+//! tunables on one app — the §VI trade-off between responsiveness and
+//! power, interactively explorable.
+//!
+//! ```sh
+//! cargo run --release --example governor_tuning [app-name]
+//! ```
+
+use biglittle::experiments::run_app_with;
+use biglittle::SystemConfig;
+use bl_governor::classic::{ConservativeParams, OndemandParams};
+use bl_governor::{GovernorConfig, InteractiveParams};
+use bl_workloads::apps::app_by_name;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Eternity Warriors 2".to_string());
+    let app = app_by_name(&name).expect("unknown app (try `quickstart` for the list)");
+
+    let candidates: Vec<(&str, GovernorConfig)> = vec![
+        ("interactive (default 20ms)", GovernorConfig::platform_default()),
+        (
+            "interactive 60ms",
+            GovernorConfig::Interactive(InteractiveParams::sampling_60ms()),
+        ),
+        (
+            "interactive 100ms",
+            GovernorConfig::Interactive(InteractiveParams::sampling_100ms()),
+        ),
+        ("ondemand", GovernorConfig::Ondemand(OndemandParams::default())),
+        (
+            "conservative",
+            GovernorConfig::Conservative(ConservativeParams::default()),
+        ),
+        ("performance", GovernorConfig::Performance),
+        ("powersave", GovernorConfig::Powersave),
+    ];
+
+    println!("Governor comparison on {:?}\n", app.name);
+    println!(
+        "{:<28} {:>10} {:>12} {:>12}",
+        "governor", "power mW", "perf", "energy mJ"
+    );
+    for (label, gov) in candidates {
+        let r = run_app_with(&app, SystemConfig::baseline().with_governor(gov));
+        let perf = match (r.latency_ms(), r.fps) {
+            (Some(ms), _) => format!("{ms:.0} ms"),
+            (None, Some(f)) => format!("{:.1} fps", f.avg_fps),
+            _ => "-".to_string(),
+        };
+        println!(
+            "{label:<28} {:>10.0} {perf:>12} {:>12.0}",
+            r.avg_power_mw, r.energy_mj
+        );
+    }
+    println!("\npowersave pins min frequency (slow but frugal); performance pins max.");
+    println!("The interactive variants trade sampling latency for stability (paper §VI.C).");
+}

@@ -1,0 +1,63 @@
+//! Multitasking: run two apps concurrently — a foreground game plus a
+//! background encoder — and watch the asymmetric scheduler arbitrate.
+//!
+//! The paper measures apps in isolation (its §V notes the limited screen
+//! keeps mobile multitasking rare); the simulator has no such restriction.
+//!
+//! ```sh
+//! cargo run --release --example multitasking
+//! ```
+
+use biglittle::{Simulation, SystemConfig};
+use bl_simcore::time::SimTime;
+use bl_workloads::apps::app_by_name;
+
+fn main() {
+    let game = app_by_name("Eternity Warriors 2").unwrap();
+    let encoder = app_by_name("Encoder").unwrap();
+
+    // Solo baseline for the game.
+    let solo = {
+        let mut sim = Simulation::new(SystemConfig::default());
+        sim.spawn_app(&game);
+        sim.run_app(&game)
+    };
+
+    // Game + encoder together.
+    let mut sim = Simulation::new(SystemConfig::default());
+    sim.spawn_app(&game);
+    sim.spawn_app(&encoder);
+    sim.run_until(SimTime::ZERO + game.run_for);
+    let combined = sim.finish();
+
+    println!("Foreground: {}   Background: {}\n", game.name, encoder.name);
+    println!("                      game alone    game + encoder");
+    println!(
+        "avg power        {:>10.0} mW {:>12.0} mW",
+        solo.avg_power_mw, combined.avg_power_mw
+    );
+    println!(
+        "game avg FPS     {:>13.1} {:>15.1}",
+        solo.fps.map(|f| f.avg_fps).unwrap_or(f64::NAN),
+        combined.fps.map(|f| f.avg_fps).unwrap_or(f64::NAN)
+    );
+    println!(
+        "game min FPS     {:>13.1} {:>15.1}",
+        solo.fps.map(|f| f.min_fps).unwrap_or(f64::NAN),
+        combined.fps.map(|f| f.min_fps).unwrap_or(f64::NAN)
+    );
+    println!(
+        "big-core usage   {:>12.1}% {:>14.1}%",
+        solo.tlp.big_pct, combined.tlp.big_pct
+    );
+    println!("TLP              {:>13.2} {:>15.2}", solo.tlp.tlp, combined.tlp.tlp);
+    if let Some(lat) = combined.latency_ms() {
+        println!("\nencoder finished its job in {:.1} s while the game ran", lat / 1e3);
+    } else {
+        println!("\nencoder did not finish within the game session");
+    }
+    println!(
+        "HMP migrations: {} up / {} down",
+        combined.migrations.0, combined.migrations.1
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: simulate one mobile app on the default asymmetric system
+//! and print every headline metric.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [app-name]
+//! ```
+
+use biglittle::{Simulation, SystemConfig};
+use bl_workloads::apps::{app_by_name, mobile_apps};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Video Player".to_string());
+    let Some(app) = app_by_name(&name) else {
+        eprintln!("unknown app {name:?}; available:");
+        for a in mobile_apps() {
+            eprintln!("  {}", a.name);
+        }
+        std::process::exit(1);
+    };
+
+    println!("Simulating {:?} on the default system (L4+B4, HMP, interactive)\n", app.name);
+    let mut sim = Simulation::new(SystemConfig::default());
+    sim.spawn_app(&app);
+    let r = sim.run_app(&app);
+
+    println!("simulated time : {:.2} s", r.sim_time.as_secs_f64());
+    println!("average power  : {:.0} mW", r.avg_power_mw);
+    println!("energy         : {:.0} mJ", r.energy_mj);
+    if let Some(lat) = r.latency_ms() {
+        println!("script latency : {:.0} ms", lat);
+    }
+    if let Some(fps) = r.fps {
+        println!("average FPS    : {:.1}", fps.avg_fps);
+        println!("worst-1s FPS   : {:.1}", fps.min_fps);
+    }
+    println!();
+    println!("idle samples   : {:.1} %", r.tlp.idle_pct);
+    println!("little-only    : {:.1} % of active samples", r.tlp.little_pct);
+    println!("big active     : {:.1} % of active samples", r.tlp.big_pct);
+    println!("TLP            : {:.2} cores", r.tlp.tlp);
+    println!("HMP migrations : {} up / {} down", r.migrations.0, r.migrations.1);
+}

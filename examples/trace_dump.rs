@@ -1,0 +1,52 @@
+//! Trace dump: run one app with time-series tracing enabled and write a
+//! CSV of frequencies, active core counts, power and migrations — ready for
+//! plotting the paper's time-domain behavior.
+//!
+//! ```sh
+//! cargo run --release --example trace_dump -- "Eternity Warriors 2" /tmp/trace.csv
+//! ```
+
+use biglittle::{Simulation, SystemConfig};
+use bl_workloads::apps::app_by_name;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "Eternity Warriors 2".to_string());
+    let out = args.next();
+    let app = app_by_name(&name).expect("unknown app (try `quickstart` for the list)");
+
+    let mut sim = Simulation::new(SystemConfig::default());
+    sim.enable_tracing();
+    sim.spawn_app(&app);
+    let r = sim.run_app(&app);
+
+    let trace = sim.trace().expect("tracing enabled");
+    let csv = trace.to_csv();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &csv).expect("write trace file");
+            eprintln!(
+                "wrote {} samples over {:.1}s to {path}",
+                trace.len(),
+                r.sim_time.as_secs_f64()
+            );
+        }
+        None => print!("{csv}"),
+    }
+
+    // A small console summary of what the trace shows.
+    let busy_samples = trace
+        .rows()
+        .iter()
+        .filter(|row| row.active_little + row.active_big > 0)
+        .count();
+    let big_samples = trace.rows().iter().filter(|row| row.active_big > 0).count();
+    eprintln!(
+        "summary: {} samples, {:.1}% busy, {:.1}% with a big core active, final migrations {}↑/{}↓",
+        trace.len(),
+        busy_samples as f64 / trace.len() as f64 * 100.0,
+        big_samples as f64 / trace.len() as f64 * 100.0,
+        r.migrations.0,
+        r.migrations.1
+    );
+}

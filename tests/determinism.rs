@@ -1,0 +1,42 @@
+//! Determinism guarantees: identical seeds give bit-identical results;
+//! different seeds perturb the stochastic draws.
+
+use biglittle::{RunResult, Simulation, SystemConfig};
+use bl_workloads::apps::{app_by_name, AppModel};
+
+fn run(app: &AppModel, seed: u64) -> RunResult {
+    let mut sim = Simulation::new(SystemConfig::baseline().with_seed(seed));
+    sim.spawn_app(app);
+    sim.run_app(app)
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    for name in ["PDF Reader", "Eternity Warriors 2", "Encoder"] {
+        let app = app_by_name(name).unwrap();
+        let a = run(&app, 7);
+        let b = run(&app, 7);
+        assert_eq!(a, b, "{name}: same seed must reproduce exactly");
+    }
+}
+
+#[test]
+fn different_seeds_differ_but_stay_in_band() {
+    let app = app_by_name("Video Editor").unwrap();
+    let a = run(&app, 1);
+    let b = run(&app, 2);
+    assert_ne!(a.latency, b.latency, "different seeds should perturb draws");
+    // But the characterization stays in the same regime.
+    let (la, lb) = (a.latency.unwrap().as_secs_f64(), b.latency.unwrap().as_secs_f64());
+    assert!((la / lb) < 1.5 && (lb / la) < 1.5, "{la} vs {lb}");
+    assert!((a.tlp.tlp - b.tlp.tlp).abs() < 0.8);
+}
+
+#[test]
+fn json_round_trip_preserves_results() {
+    let app = app_by_name("Youtube").unwrap();
+    let r = run(&app, 3);
+    let json = serde_json::to_string(&r).unwrap();
+    let back: RunResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(r, back);
+}

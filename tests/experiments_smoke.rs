@@ -1,0 +1,231 @@
+//! Shape tests for every paper experiment at reduced scale: the headline
+//! qualitative claims of the paper must hold in the reproduction.
+
+use biglittle::experiments::{appchar, arch, coreconfig, dvfs, tables};
+use biglittle::SystemConfig;
+use bl_platform::ids::CoreKind;
+use bl_simcore::time::SimDuration;
+use bl_workloads::apps::{app_by_name, mobile_apps};
+use bl_workloads::PerfMetric;
+
+#[test]
+fn tables_1_and_2_render() {
+    assert!(tables::table1().contains("Cortex-A15"));
+    assert!(tables::table2().contains("Video Player"));
+}
+
+#[test]
+fn fig2_fig3_shapes() {
+    let m = arch::run_spec_matrix(SimDuration::from_millis(300), 11);
+    // Fig 2: iso-frequency speedups up to ~4.5x; big@1.3 always wins.
+    let speedups13: Vec<f64> = m.rows.iter().map(|r| r.speedups()[1]).collect();
+    assert!(speedups13.iter().all(|s| *s > 1.0));
+    assert!(speedups13.iter().cloned().fold(0.0, f64::max) > 3.5);
+    // Fig 3: big@1.3 draws ~2.3x little@1.3 (full system).
+    for r in &m.rows {
+        let ratio = r.power_mw[2] / r.power_mw[0];
+        assert!((1.9..=2.7).contains(&ratio), "{}: ratio {ratio:.2}", r.name);
+        let ratio08 = r.power_mw[1] / r.power_mw[0];
+        assert!((1.2..=1.8).contains(&ratio08), "{}: ratio {ratio08:.2}", r.name);
+    }
+    // Power varies across benchmarks but much less than performance.
+    let pmax = m.rows.iter().map(|r| r.power_mw[2]).fold(0.0, f64::max);
+    let pmin = m.rows.iter().map(|r| r.power_mw[2]).fold(f64::INFINITY, f64::min);
+    assert!(pmax / pmin < 1.3, "power spread should be modest");
+}
+
+#[test]
+fn fig4_latency_apps_shape() {
+    let rows = appchar::fig4_latency_big_vs_little(11);
+    assert_eq!(rows.len(), 7);
+    for r in &rows {
+        let dp = r.power_increase_pct();
+        let dl = r.latency_reduction_pct().unwrap();
+        assert!(dp > 0.0, "{}: big must cost power ({dp:.1}%)", r.name);
+        assert!(dl > -5.0 && dl < 60.0, "{}: latency delta {dl:.1}%", r.name);
+    }
+    // Most apps improve modestly (paper: < 30%).
+    let modest = rows
+        .iter()
+        .filter(|r| r.latency_reduction_pct().unwrap() < 30.0)
+        .count();
+    assert!(modest >= 5, "most latency apps gain < 30% from big cores");
+}
+
+#[test]
+fn fig5_fps_apps_shape() {
+    let rows = appchar::fig5_fps_big_vs_little(11);
+    assert_eq!(rows.len(), 5);
+    // Video workloads gain ~nothing; the CPU-heavy game gains the most.
+    let gain = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap()
+            .avg_fps_improvement_pct()
+            .unwrap()
+    };
+    assert!(gain("Video Player").abs() < 5.0);
+    assert!(gain("Youtube").abs() < 5.0);
+    let ew2 = gain("Eternity Warriors 2");
+    assert!(ew2 > 10.0, "CPU-heavy game should gain clearly: {ew2:.1}%");
+    for r in &rows {
+        assert!(r.power_increase_pct() > 0.0);
+    }
+}
+
+#[test]
+fn fig6_microbench_shape() {
+    let r = arch::fig6_power_vs_utilization(SimDuration::from_millis(300), 11);
+    // Big and little cover clearly different power ranges at full load.
+    let little_max = r
+        .little
+        .iter()
+        .filter(|p| (p.duty - 1.0).abs() < 1e-9)
+        .map(|p| p.power_mw)
+        .fold(0.0, f64::max);
+    let big_min_full = r
+        .big
+        .iter()
+        .filter(|p| (p.duty - 1.0).abs() < 1e-9)
+        .map(|p| p.power_mw)
+        .fold(f64::INFINITY, f64::min);
+    assert!(big_min_full > little_max);
+}
+
+#[test]
+fn table3_shape() {
+    // Run three representative apps (full sweep lives in the repro binary).
+    let check = |name: &str, max_tlp: f64, big_low: f64, big_high: f64| {
+        let app = app_by_name(name).unwrap();
+        let r = biglittle::experiments::run_app_with(&app, SystemConfig::baseline());
+        assert!(
+            r.tlp.tlp <= max_tlp,
+            "{name}: TLP {:.2} above expected cap {max_tlp}",
+            r.tlp.tlp
+        );
+        assert!(
+            (big_low..=big_high).contains(&r.tlp.big_pct),
+            "{name}: big {:.1}% outside [{big_low}, {big_high}]",
+            r.tlp.big_pct
+        );
+    };
+    // The paper's qualitative claims: overall TLP below ~4 cores; video
+    // playback never uses big cores; the encoder mostly does.
+    check("Video Player", 4.0, 0.0, 3.0);
+    check("Encoder", 4.0, 40.0, 95.0);
+    check("BBench", 4.5, 25.0, 65.0);
+}
+
+#[test]
+fn fig7_fig8_core_config_shape() {
+    let rows = coreconfig::run_core_config_sweep(
+        vec![app_by_name("Encoder").unwrap(), app_by_name("Video Player").unwrap()],
+        11,
+    );
+    let sweep_labels: Vec<String> = bl_platform::config::CoreConfig::paper_sweep()
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
+    let idx_of = |label: &str| sweep_labels.iter().position(|l| l == label).unwrap();
+
+    let encoder = &rows[0];
+    let vp = &rows[1];
+    // Little-only kills the encoder; one big core restores it.
+    assert!(encoder.perf_rel(idx_of("L4")).unwrap() < 0.8);
+    assert!(encoder.perf_rel(idx_of("L4+B1")).unwrap() > 0.9);
+    // Video player: little-only saves power without losing performance.
+    assert!(vp.perf_rel(idx_of("L4")).unwrap() > 0.97);
+    assert!(vp.power_saving_pct(idx_of("L4")) > 5.0);
+}
+
+#[test]
+fn fig9_fig10_residency_shape() {
+    let vp = biglittle::experiments::run_app_with(
+        &app_by_name("Video Player").unwrap(),
+        SystemConfig::baseline(),
+    );
+    // Paper: "video player has very low core utilization, and thus the
+    // lowest frequency dominates the distribution".
+    assert!(vp.little_residency[0] > 0.8, "lowest OPP share {}", vp.little_residency[0]);
+
+    let ew = biglittle::experiments::run_app_with(
+        &app_by_name("Eternity Warriors 2").unwrap(),
+        SystemConfig::baseline(),
+    );
+    // Paper: eternity warrior "exhibits a wide variety of core frequencies".
+    let spread = ew.little_residency.iter().filter(|s| **s > 0.02).count();
+    assert!(spread >= 4, "expected spread across OPPs, got {spread} active bins");
+    // Paper Fig 10: games use big cores mostly at low frequencies.
+    assert!(
+        ew.big_residency[0] > 0.4,
+        "games' big-core time should sit at the lowest OPP: {}",
+        ew.big_residency[0]
+    );
+}
+
+#[test]
+fn table5_shape() {
+    // Paper §VI.B: "the majority of cycles are either in min or <50% state"
+    // for low-demand apps, and the encoder/virus scanner reach Full.
+    let vp = biglittle::experiments::run_app_with(
+        &app_by_name("Video Player").unwrap(),
+        SystemConfig::baseline(),
+    );
+    assert!(vp.efficiency_pct[0] + vp.efficiency_pct[1] > 60.0, "{:?}", vp.efficiency_pct);
+    let enc = biglittle::experiments::run_app_with(
+        &app_by_name("Encoder").unwrap(),
+        SystemConfig::baseline(),
+    );
+    assert!(enc.efficiency_pct[5] > 0.5, "encoder should hit Full: {:?}", enc.efficiency_pct);
+}
+
+#[test]
+fn fig11_12_13_param_sweep_shape() {
+    // Reduced sweep: one latency + one FPS app.
+    let apps = vec![
+        app_by_name("BBench").unwrap(),
+        app_by_name("Eternity Warriors 2").unwrap(),
+    ];
+    let sweep = dvfs::run_param_sweep(apps, 11);
+    assert_eq!(sweep.variants.len(), 8);
+    let idx = |name: &str| {
+        sweep
+            .variants
+            .iter()
+            .position(|(n, _)| n.contains(name))
+            .unwrap()
+    };
+    // Paper: longer sampling saves power on average...
+    let s100 = sweep.power_savings(idx("100ms"));
+    let avg100 = s100.iter().sum::<f64>() / s100.len() as f64;
+    assert!(avg100 > 0.0, "100ms sampling should save power: {avg100:.2}%");
+    // ...and the aggressive HMP mostly increases power consumption.
+    let agg = sweep.power_savings(idx("aggressive"));
+    let avg_agg = agg.iter().sum::<f64>() / agg.len() as f64;
+    assert!(avg_agg < 1.0, "aggressive HMP should not save: {avg_agg:.2}%");
+}
+
+#[test]
+fn metric_kinds_match_table2() {
+    for app in mobile_apps() {
+        match app.name.as_str() {
+            "Angry Bird" | "Eternity Warriors 2" | "FIFA 15" | "Video Player" | "Youtube" => {
+                assert_eq!(app.metric, PerfMetric::Fps)
+            }
+            _ => assert_eq!(app.metric, PerfMetric::Latency),
+        }
+    }
+    // And the architecture experiments rely on both kinds being present.
+    assert_eq!(
+        mobile_apps().iter().filter(|a| a.metric == PerfMetric::Fps).count(),
+        5
+    );
+}
+
+#[test]
+fn big_cluster_has_bigger_cache_and_wins_iso_freq() {
+    let p = bl_platform::exynos::exynos5422();
+    let little = p.topology.cluster_of_kind(CoreKind::Little).unwrap();
+    let big = p.topology.cluster_of_kind(CoreKind::Big).unwrap();
+    assert!(big.l2.size_kb > little.l2.size_kb);
+}

@@ -1,0 +1,298 @@
+//! Cross-crate integration tests: full simulations exercising platform,
+//! kernel, governor, power and metrics together through the public API.
+
+use biglittle::{Simulation, SystemConfig};
+use bl_governor::GovernorConfig;
+use bl_kernel::hmp::HmpParams;
+use bl_platform::config::CoreConfig;
+use bl_platform::ids::{ClusterId, CoreKind, CpuId};
+use bl_simcore::time::{SimDuration, SimTime};
+use bl_workloads::apps::{app_by_name, mobile_apps};
+use bl_workloads::spec::SpecKernel;
+
+#[test]
+fn every_app_runs_to_completion_on_the_baseline() {
+    for app in mobile_apps() {
+        let mut sim = Simulation::new(SystemConfig::baseline());
+        sim.spawn_app(&app);
+        let r = sim.run_app(&app);
+        assert!(r.avg_power_mw > 300.0, "{}: power {}", app.name, r.avg_power_mw);
+        assert!(r.tlp.tlp > 0.5, "{}: tlp {}", app.name, r.tlp.tlp);
+        match app.metric {
+            bl_workloads::PerfMetric::Latency => {
+                assert!(r.latency.is_some(), "{}: script did not finish", app.name)
+            }
+            bl_workloads::PerfMetric::Fps => {
+                let fps = r.fps.expect("frames");
+                assert!(fps.avg_fps > 20.0, "{}: fps {}", app.name, fps.avg_fps);
+            }
+        }
+    }
+}
+
+#[test]
+fn energy_is_power_times_time() {
+    let app = app_by_name("FIFA 15").unwrap();
+    let mut sim = Simulation::new(SystemConfig::baseline());
+    sim.spawn_app(&app);
+    let r = sim.run_app(&app);
+    let expected = r.avg_power_mw * r.sim_time.as_secs_f64();
+    assert!((r.energy_mj - expected).abs() / expected < 1e-9);
+}
+
+#[test]
+fn table4_matrix_cells_sum_to_100() {
+    let app = app_by_name("PDF Reader").unwrap();
+    let mut sim = Simulation::new(SystemConfig::baseline());
+    sim.spawn_app(&app);
+    let r = sim.run_app(&app);
+    let sum: f64 = r.matrix_pct.iter().flatten().sum();
+    assert!((sum - 100.0).abs() < 1e-6, "sum = {sum}");
+    // Idle cell equals the TLP idle share.
+    assert!((r.matrix_pct[0][0] - r.tlp.idle_pct).abs() < 1e-9);
+}
+
+#[test]
+fn residency_shares_sum_to_one_when_active() {
+    let app = app_by_name("Encoder").unwrap();
+    let mut sim = Simulation::new(SystemConfig::baseline());
+    sim.spawn_app(&app);
+    let r = sim.run_app(&app);
+    let little_sum: f64 = r.little_residency.iter().sum();
+    let big_sum: f64 = r.big_residency.iter().sum();
+    assert!((little_sum - 1.0).abs() < 1e-9);
+    assert!((big_sum - 1.0).abs() < 1e-9, "encoder must use big cores");
+}
+
+#[test]
+fn efficiency_classes_sum_to_100_when_sampled() {
+    let app = app_by_name("Video Player").unwrap();
+    let mut sim = Simulation::new(SystemConfig::baseline());
+    sim.spawn_app(&app);
+    let r = sim.run_app(&app);
+    let sum: f64 = r.efficiency_pct.iter().sum();
+    assert!((sum - 100.0).abs() < 1e-6);
+}
+
+#[test]
+fn hotplugged_configs_never_run_tasks_on_offline_cpus() {
+    let app = app_by_name("BBench").unwrap();
+    let cfg = SystemConfig::baseline().with_core_config(CoreConfig::new(2, 1));
+    let mut sim = Simulation::new(cfg);
+    sim.spawn_app(&app);
+    // Step in chunks, checking placement invariants as we go.
+    for step in 1..=20 {
+        sim.run_until(SimTime::from_millis(step * 100));
+        for cpu_idx in 0..sim.platform().topology.n_cpus() {
+            let cpu = CpuId(cpu_idx);
+            if !sim.state().is_online(cpu) {
+                assert!(
+                    sim.kernel().current_task(cpu).is_none(),
+                    "offline {cpu} is executing a task"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn powersave_governor_pins_min_and_reduces_power() {
+    let app = app_by_name("Eternity Warriors 2").unwrap();
+    let base = {
+        let mut sim = Simulation::new(SystemConfig::baseline());
+        sim.spawn_app(&app);
+        sim.run_app(&app)
+    };
+    let saver = {
+        let cfg = SystemConfig::baseline().with_governor(GovernorConfig::Powersave);
+        let mut sim = Simulation::new(cfg);
+        sim.spawn_app(&app);
+        let r = sim.run_app(&app);
+        assert_eq!(sim.state().cluster_freq_khz(ClusterId(0)), 500_000);
+        assert_eq!(sim.state().cluster_freq_khz(ClusterId(1)), 800_000);
+        r
+    };
+    assert!(saver.avg_power_mw < base.avg_power_mw);
+    // And the game pays for it in frame rate.
+    assert!(saver.fps.unwrap().avg_fps <= base.fps.unwrap().avg_fps + 1.0);
+}
+
+#[test]
+fn performance_governor_beats_powersave_on_latency() {
+    let app = app_by_name("Photo Editor").unwrap();
+    let fast = biglittle::experiments::run_app_with(
+        &app,
+        SystemConfig::baseline().with_governor(GovernorConfig::Performance),
+    );
+    let slow = biglittle::experiments::run_app_with(
+        &app,
+        SystemConfig::baseline().with_governor(GovernorConfig::Powersave),
+    );
+    let (lf, ls) = (fast.latency.unwrap(), slow.latency.unwrap());
+    assert!(lf < ls, "performance {lf} should beat powersave {ls}");
+    assert!(fast.avg_power_mw > slow.avg_power_mw);
+}
+
+#[test]
+fn aggressive_hmp_migrates_more_than_conservative() {
+    let app = app_by_name("Eternity Warriors 2").unwrap();
+    let aggressive = biglittle::experiments::run_app_with(
+        &app,
+        SystemConfig::baseline().with_hmp(HmpParams::aggressive()),
+    );
+    let conservative = biglittle::experiments::run_app_with(
+        &app,
+        SystemConfig::baseline().with_hmp(HmpParams::conservative()),
+    );
+    assert!(
+        aggressive.migrations.0 > conservative.migrations.0,
+        "up migrations: aggressive {} vs conservative {}",
+        aggressive.migrations.0,
+        conservative.migrations.0
+    );
+    // Aggressive placement burns more power on this CPU-heavy game.
+    assert!(aggressive.avg_power_mw >= conservative.avg_power_mw);
+}
+
+#[test]
+fn spec_kernel_iso_frequency_speedup_vs_wall_clock() {
+    // The analytic speedup and the end-to-end simulated speedup must agree:
+    // the scheduler adds no overhead for a single pinned task.
+    let spec = SpecKernel::suite()
+        .into_iter()
+        .find(|k| k.name == "mcf")
+        .unwrap();
+    let analytic = {
+        let p = bl_platform::exynos::exynos5422();
+        let little = p.topology.cluster_of_kind(CoreKind::Little).unwrap();
+        let big = p.topology.cluster_of_kind(CoreKind::Big).unwrap();
+        p.perf
+            .iso_freq_speedup(&spec.profile, &little.l2, &big.l2, 1.3)
+    };
+    let run = |little_khz: u32, big_khz: u32, cpu: CpuId, cc: CoreConfig| {
+        let cfg = SystemConfig::pinned_frequencies(little_khz, big_khz).with_core_config(cc);
+        let mut sim = Simulation::new(cfg);
+        sim.spawn_spec(&spec, cpu, SimDuration::from_millis(300));
+        sim.run_until_or(SimTime::from_secs(3), |s| s.kernel().all_exited());
+        sim.finish().latency.unwrap().as_secs_f64()
+    };
+    let t_little = run(1_300_000, 800_000, CpuId(0), CoreConfig::new(1, 0));
+    let t_big = run(500_000, 1_300_000, CpuId(4), CoreConfig::new(1, 1));
+    let simulated = t_little / t_big;
+    assert!(
+        (simulated - analytic).abs() / analytic < 0.02,
+        "simulated {simulated:.3} vs analytic {analytic:.3}"
+    );
+}
+
+#[test]
+fn one_big_core_fixes_encoder_latency() {
+    // The paper's core observation (Figs 7/8): little-only configurations
+    // hurt compute-heavy apps badly, while a single big core restores
+    // nearly all of the performance.
+    let app = app_by_name("Encoder").unwrap();
+    let base = biglittle::experiments::run_app_with(&app, SystemConfig::baseline());
+    let little_only = biglittle::experiments::run_app_with(
+        &app,
+        SystemConfig::baseline().with_core_config(CoreConfig::new(4, 0)),
+    );
+    let one_big = biglittle::experiments::run_app_with(
+        &app,
+        SystemConfig::baseline().with_core_config(CoreConfig::new(4, 1)),
+    );
+    let lb = base.latency.unwrap().as_secs_f64();
+    let ll = little_only.latency.unwrap().as_secs_f64();
+    let l1 = one_big.latency.unwrap().as_secs_f64();
+    assert!(ll / lb > 1.2, "little-only must be much slower: {:.2}", ll / lb);
+    assert!(l1 / lb < 1.1, "one big core must restore performance: {:.2}", l1 / lb);
+    assert!(little_only.avg_power_mw < base.avg_power_mw);
+}
+
+#[test]
+fn concurrent_apps_share_the_platform() {
+    // The paper studies apps in isolation; the simulator also handles
+    // multitasking: a game plus a background encoder must both make
+    // progress, with the encoder claiming big cores and the game keeping
+    // its frame rate within reason.
+    use bl_simcore::time::SimTime;
+    let game = app_by_name("Angry Bird").unwrap();
+    let encoder = app_by_name("Encoder").unwrap();
+
+    let solo = {
+        let mut sim = Simulation::new(SystemConfig::baseline());
+        sim.spawn_app(&game);
+        sim.run_app(&game)
+    };
+
+    let mut sim = Simulation::new(SystemConfig::baseline());
+    sim.spawn_app(&game);
+    sim.spawn_app(&encoder);
+    sim.run_until(SimTime::ZERO + game.run_for);
+    let combined = sim.finish();
+
+    // The encoder drags big cores into play (Angry Bird alone never does).
+    assert!(combined.tlp.big_pct > 15.0, "big usage {:.1}%", combined.tlp.big_pct);
+    assert_eq!(solo.tlp.big_pct, 0.0);
+    // The game stays playable: the encoder lives on the big side.
+    let (sf, cf) = (solo.fps.unwrap(), combined.fps.unwrap());
+    assert!(cf.avg_fps > sf.avg_fps * 0.85, "game fps collapsed: {} -> {}", sf.avg_fps, cf.avg_fps);
+    // And the system draws more power doing both.
+    assert!(combined.avg_power_mw > solo.avg_power_mw);
+    // The encoder's script completes during the session.
+    assert!(combined.latency.is_some(), "encoder starved");
+}
+
+#[test]
+fn task_report_splits_cpu_time_by_core_kind() {
+    let app = app_by_name("Encoder").unwrap();
+    let mut sim = Simulation::new(SystemConfig::baseline());
+    sim.spawn_app(&app);
+    let _ = sim.run_app(&app);
+    let report = sim.kernel().task_report();
+    // Per-thread split sums to the total.
+    for row in &report {
+        let sum = row.little_time + row.big_time;
+        assert!(
+            (sum.as_secs_f64() - row.cpu_time.as_secs_f64()).abs() < 1e-9,
+            "{}: {} + {} != {}",
+            row.name,
+            row.little_time,
+            row.big_time,
+            row.cpu_time
+        );
+    }
+    // The encode thread ran predominantly on big cores; the io helper on
+    // little cores.
+    let encode = report.iter().find(|r| r.name.contains("encode")).unwrap();
+    assert!(encode.big_time > encode.little_time, "{encode:?}");
+    let io = report.iter().find(|r| r.name.contains("-io")).unwrap();
+    assert!(io.little_time > io.big_time, "{io:?}");
+}
+
+#[test]
+fn recorded_trace_replays_and_responds_to_core_config() {
+    use bl_workloads::replay::{RecordedTrace, ThreadTrace, TraceSegment};
+    // A heavy single-thread trace: 100ms bursts every 120ms.
+    let trace = RecordedTrace {
+        name: "replay".to_string(),
+        threads: vec![ThreadTrace {
+            name: "hot".to_string(),
+            segments: (0..10)
+                .map(|i| TraceSegment { at_ms: i as f64 * 120.0, busy_ms: 100.0 })
+                .collect(),
+        }],
+    };
+    let run = |cc: CoreConfig| {
+        let mut sim = Simulation::new(SystemConfig::baseline().with_core_config(cc));
+        sim.spawn_trace(&trace);
+        sim.run_until_or(SimTime::from_secs(20), |s| s.kernel().all_exited());
+        sim.finish()
+    };
+    let full = run(CoreConfig::BASELINE);
+    let little_only = run(CoreConfig::new(4, 0));
+    let (tf, tl) = (full.latency.unwrap(), little_only.latency.unwrap());
+    // With big cores the back-to-back bursts keep up with the recording;
+    // little-only falls behind the 120ms cadence.
+    assert!(tl > tf, "little-only {tl} should lag full platform {tf}");
+    assert!(full.tlp.big_pct > 10.0, "hot thread should migrate up");
+}
