@@ -1,23 +1,33 @@
-//! Criterion benches — one target per paper table/figure.
+//! Timing benches — one target per paper table/figure.
 //!
 //! These measure the *simulator's* throughput regenerating each artifact at
-//! reduced scale (Criterion needs many iterations; paper-scale runs live in
-//! the `repro` binary).
+//! reduced scale with a plain `std::time::Instant` harness (`harness =
+//! false`, no external bench framework); paper-scale runs live in the
+//! `repro` binary. Run with `cargo bench -p bl-bench`.
+
+use std::time::Instant;
 
 use bl_bench::run_experiment;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
+const SAMPLES: u32 = 10;
+
+fn main() {
+    println!("{:<10} {:>12} {:>12} {:>12}", "bench", "min", "mean", "max");
     for id in [
-        "table1", "table2", "fig2", "fig3", "fig6", "table3", "table4", "fig9", "fig10",
-        "table5",
+        "table1", "table2", "fig2", "fig3", "fig6", "table3", "table4", "fig9", "fig10", "table5",
     ] {
-        g.bench_function(id, |b| b.iter(|| run_experiment(id, 42, true)));
+        // One warm-up run so lazy setup does not skew the first sample.
+        run_experiment(id, 42, true);
+        let mut times = Vec::with_capacity(SAMPLES as usize);
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            let out = run_experiment(id, 42, true);
+            times.push(t0.elapsed());
+            std::hint::black_box(out);
+        }
+        let min = times.iter().min().expect("SAMPLES > 0");
+        let max = times.iter().max().expect("SAMPLES > 0");
+        let mean = times.iter().sum::<std::time::Duration>() / SAMPLES;
+        println!("{id:<10} {min:>12.3?} {mean:>12.3?} {max:>12.3?}");
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

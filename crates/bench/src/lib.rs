@@ -2,15 +2,16 @@
 
 #![warn(missing_docs)]
 
-use biglittle::experiments::{ablation, appchar, arch, coreconfig, dvfs, tables};
+use biglittle::experiments::{ablation, appchar, arch, coreconfig, dvfs, resilience, tables};
 use bl_simcore::time::SimDuration;
 
 /// Default seed used by the reproduction runs.
 pub const SEED: u64 = 42;
 
 /// All experiment identifiers accepted by `repro --exp`. The `ablation-*`
-/// entries go beyond the paper (see DESIGN.md §7).
-pub const EXPERIMENTS: [&str; 21] = [
+/// and `resilience-*` entries go beyond the paper (see DESIGN.md §7 and
+/// the fault-model section).
+pub const EXPERIMENTS: [&str; 23] = [
     "table1",
     "table2",
     "fig2",
@@ -32,6 +33,8 @@ pub const EXPERIMENTS: [&str; 21] = [
     "ablation-governors",
     "ablation-schedulers",
     "ablation-cpuidle",
+    "resilience-outage",
+    "resilience-thermal",
 ];
 
 /// Runs one experiment by id and returns its rendered report.
@@ -58,9 +61,7 @@ pub fn run_experiment(id: &str, seed: u64, fast: bool) -> String {
         "fig5" => appchar::render_fig5(&appchar::fig5_fps_big_vs_little(seed)),
         "fig6" => arch::render_fig6(&arch::fig6_power_vs_utilization(micro_run, seed)),
         "table3" => appchar::render_table3(&appchar::default_runs(seed)),
-        "table3-compare" => {
-            appchar::render_table3_comparison(&appchar::default_runs(seed))
-        }
+        "table3-compare" => appchar::render_table3_comparison(&appchar::default_runs(seed)),
         "table4" => appchar::render_table4(&appchar::default_runs(seed)),
         "fig7" => coreconfig::render_fig7(&coreconfig::fig7_performance(seed)),
         "fig8" => coreconfig::render_fig8(&coreconfig::fig8_power_saving(seed)),
@@ -83,9 +84,7 @@ pub fn run_experiment(id: &str, seed: u64, fast: bool) -> String {
             )
         }
         "ablation-tiny" => ablation::render_tiny_floor(&ablation::tiny_floor_full(seed)),
-        "ablation-cache" => {
-            ablation::render_equal_l2(&ablation::equal_l2_ablation(spec_ref, seed))
-        }
+        "ablation-cache" => ablation::render_equal_l2(&ablation::equal_l2_ablation(spec_ref, seed)),
         "ablation-governors" => ablation::render_governor_comparison(
             &ablation::governor_comparison(bl_workloads::apps::mobile_apps(), seed),
         ),
@@ -96,6 +95,18 @@ pub fn run_experiment(id: &str, seed: u64, fast: bool) -> String {
             bl_workloads::apps::mobile_apps(),
             seed,
         )),
+        "resilience-outage" => resilience::render_outage(&resilience::outage_comparison(
+            bl_workloads::apps::mobile_apps(),
+            seed,
+        )),
+        "resilience-thermal" => {
+            let len = if fast {
+                SimDuration::from_secs(15)
+            } else {
+                SimDuration::from_secs(60)
+            };
+            resilience::render_throttle(&resilience::thermal_throttle(len, seed))
+        }
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
     }
 }
@@ -148,6 +159,18 @@ pub fn run_experiment_json(id: &str, seed: u64, fast: bool) -> serde_json::Value
             bl_workloads::apps::mobile_apps(),
             seed,
         )),
+        "resilience-outage" => j(resilience::outage_comparison(
+            bl_workloads::apps::mobile_apps(),
+            seed,
+        )),
+        "resilience-thermal" => {
+            let len = if fast {
+                SimDuration::from_secs(15)
+            } else {
+                SimDuration::from_secs(60)
+            };
+            j(resilience::thermal_throttle(len, seed))
+        }
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
     }
 }

@@ -4,6 +4,7 @@ use bl_governor::GovernorConfig;
 use bl_kernel::hmp::HmpParams;
 use bl_kernel::policy::AsymPolicy;
 use bl_platform::config::CoreConfig;
+use bl_simcore::fault::FaultPlan;
 use bl_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +37,16 @@ pub struct SystemConfig {
     /// off by default to match the paper's baseline calibration.
     #[serde(default)]
     pub cpuidle_enabled: bool,
+    /// Faults to inject during the run (default: none). Validated against
+    /// the platform when the simulation is built.
+    #[serde(default)]
+    pub fault_plan: FaultPlan,
+    /// Enables the RC thermal model with throttling; off by default to keep
+    /// the paper's baseline calibration. A fault plan containing a thermal
+    /// spike turns the model on regardless, so injected heat always has a
+    /// node to land in.
+    #[serde(default)]
+    pub thermal_enabled: bool,
 }
 
 impl SystemConfig {
@@ -53,6 +64,8 @@ impl SystemConfig {
             seed: 42,
             metric_period: SimDuration::from_millis(10),
             cpuidle_enabled: false,
+            fault_plan: FaultPlan::new(),
+            thermal_enabled: false,
         }
     }
 
@@ -117,6 +130,21 @@ impl SystemConfig {
     /// Enables or disables the cpuidle subsystem (deep idle states).
     pub fn with_cpuidle(mut self, on: bool) -> Self {
         self.cpuidle_enabled = on;
+        self
+    }
+
+    /// Injects a fault plan into the run (hotplug, thermal spikes,
+    /// governor stalls). Same config + same plan + same seed reproduce
+    /// bit-identically.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Enables or disables the thermal model (junction temperature
+    /// tracking plus throttling of hot clusters).
+    pub fn with_thermal(mut self, on: bool) -> Self {
+        self.thermal_enabled = on;
         self
     }
 

@@ -73,7 +73,11 @@ pub fn tiny_floor_ablation(apps: Vec<AppModel>, seed: u64) -> Vec<TinyFloorRow> 
                 sim.spawn_app(&app);
                 sim.run_app(&app)
             };
-            TinyFloorRow { name: app.name.to_string(), baseline, tiny }
+            TinyFloorRow {
+                name: app.name.to_string(),
+                baseline,
+                tiny,
+            }
         })
         .collect()
 }
@@ -123,22 +127,22 @@ impl EqualL2Row {
 /// Measures the iso-frequency (1.3 GHz) big-core speedup with and without
 /// the L2 capacity gap, end-to-end through the simulator.
 pub fn equal_l2_ablation(ref_duration: SimDuration, seed: u64) -> Vec<EqualL2Row> {
-    let run = |platform: bl_platform::topology::Platform,
-               kernel: &SpecKernel,
-               kind: CoreKind|
-     -> f64 {
-        let (cc, cpu, little_khz, big_khz) = match kind {
-            CoreKind::Little => (CoreConfig::new(1, 0), CpuId(0), 1_300_000, 800_000),
-            CoreKind::Big => (CoreConfig::new(1, 1), CpuId(4), 500_000, 1_300_000),
+    let run =
+        |platform: bl_platform::topology::Platform, kernel: &SpecKernel, kind: CoreKind| -> f64 {
+            let (cc, cpu, little_khz, big_khz) = match kind {
+                CoreKind::Little => (CoreConfig::new(1, 0), CpuId(0), 1_300_000, 800_000),
+                CoreKind::Big => (CoreConfig::new(1, 1), CpuId(4), 500_000, 1_300_000),
+            };
+            let cfg = SystemConfig::pinned_frequencies(little_khz, big_khz)
+                .with_core_config(cc)
+                .with_seed(seed);
+            let mut sim = Simulation::with_platform(platform, cfg);
+            sim.spawn_spec(kernel, cpu, ref_duration);
+            sim.run_until_or(SimTime::ZERO + ref_duration * 4, |s| {
+                s.kernel().all_exited()
+            });
+            sim.finish().latency.expect("kernel finished").as_secs_f64()
         };
-        let cfg = SystemConfig::pinned_frequencies(little_khz, big_khz)
-            .with_core_config(cc)
-            .with_seed(seed);
-        let mut sim = Simulation::with_platform(platform, cfg);
-        sim.spawn_spec(kernel, cpu, ref_duration);
-        sim.run_until_or(SimTime::ZERO + ref_duration * 4, |s| s.kernel().all_exited());
-        sim.finish().latency.expect("kernel finished").as_secs_f64()
-    };
     SpecKernel::suite()
         .into_iter()
         .map(|k| {
@@ -190,8 +194,14 @@ pub struct GovernorRow {
 /// Sweeps the classic Linux governors over `apps`.
 pub fn governor_comparison(apps: Vec<AppModel>, seed: u64) -> Vec<GovernorRow> {
     let governors = vec![
-        ("interactive".to_string(), GovernorConfig::platform_default()),
-        ("ondemand".to_string(), GovernorConfig::Ondemand(OndemandParams::default())),
+        (
+            "interactive".to_string(),
+            GovernorConfig::platform_default(),
+        ),
+        (
+            "ondemand".to_string(),
+            GovernorConfig::Ondemand(OndemandParams::default()),
+        ),
         (
             "conservative".to_string(),
             GovernorConfig::Conservative(ConservativeParams::default()),
@@ -210,7 +220,10 @@ pub fn governor_comparison(apps: Vec<AppModel>, seed: u64) -> Vec<GovernorRow> {
                     (app.name.to_string(), r)
                 })
                 .collect();
-            GovernorRow { governor: label, results }
+            GovernorRow {
+                governor: label,
+                results,
+            }
         })
         .collect()
 }
@@ -264,15 +277,16 @@ impl CpuidleRow {
 pub fn cpuidle_ablation(apps: Vec<AppModel>, seed: u64) -> Vec<CpuidleRow> {
     apps.into_iter()
         .map(|app| {
-            let baseline = super::run_app_with(
-                &app,
-                SystemConfig::baseline().with_seed(seed),
-            );
+            let baseline = super::run_app_with(&app, SystemConfig::baseline().with_seed(seed));
             let cpuidle = super::run_app_with(
                 &app,
                 SystemConfig::baseline().with_seed(seed).with_cpuidle(true),
             );
-            CpuidleRow { name: app.name.to_string(), baseline, cpuidle }
+            CpuidleRow {
+                name: app.name.to_string(),
+                baseline,
+                cpuidle,
+            }
         })
         .collect()
 }
@@ -320,8 +334,14 @@ pub struct PolicyRow {
 pub fn scheduler_comparison(apps: Vec<AppModel>, seed: u64) -> Vec<PolicyRow> {
     let policies = vec![
         ("utilization (HMP)".to_string(), AsymPolicy::default_hmp()),
-        ("efficiency-based".to_string(), AsymPolicy::efficiency_based()),
-        ("parallelism-aware".to_string(), AsymPolicy::parallelism_aware()),
+        (
+            "efficiency-based".to_string(),
+            AsymPolicy::efficiency_based(),
+        ),
+        (
+            "parallelism-aware".to_string(),
+            AsymPolicy::parallelism_aware(),
+        ),
     ];
     policies
         .into_iter()
@@ -333,7 +353,10 @@ pub fn scheduler_comparison(apps: Vec<AppModel>, seed: u64) -> Vec<PolicyRow> {
                     (app.name.to_string(), super::run_app_with(app, cfg))
                 })
                 .collect();
-            PolicyRow { policy: label, results }
+            PolicyRow {
+                policy: label,
+                results,
+            }
         })
         .collect()
 }
@@ -398,7 +421,11 @@ mod tests {
             r.baseline.efficiency_pct[0],
             r.tiny.efficiency_pct[0]
         );
-        assert!(r.power_saving_pct() > 0.5, "saving {:.2}%", r.power_saving_pct());
+        assert!(
+            r.power_saving_pct() > 0.5,
+            "saving {:.2}%",
+            r.power_saving_pct()
+        );
         // And playback must not collapse.
         let (fb, ft) = (r.baseline.fps.unwrap(), r.tiny.fps.unwrap());
         assert!(ft.avg_fps > fb.avg_fps * 0.9);
@@ -441,7 +468,10 @@ mod tests {
         let avg_big = |r: &PolicyRow| {
             r.results.iter().map(|(_, x)| x.tlp.big_pct).sum::<f64>() / r.results.len() as f64
         };
-        assert!(avg_big(eff) > avg_big(hmp), "efficiency policy must use big cores more");
+        assert!(
+            avg_big(eff) > avg_big(hmp),
+            "efficiency policy must use big cores more"
+        );
         assert!(avg_power(eff) > avg_power(hmp), "...at a power cost");
         // And it must not be slower on the latency app.
         let hmp_lat = hmp.results[0].1.latency.unwrap();
@@ -454,10 +484,7 @@ mod tests {
     fn governor_comparison_orders_power_sensibly() {
         let rows = governor_comparison(vec![app_by_name("FIFA 15").unwrap()], 5);
         let power = |g: &str| {
-            rows.iter()
-                .find(|r| r.governor == g)
-                .unwrap()
-                .results[0]
+            rows.iter().find(|r| r.governor == g).unwrap().results[0]
                 .1
                 .avg_power_mw
         };

@@ -92,7 +92,11 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
     }
     let rank = |xs: &[f64]| -> Vec<f64> {
         let mut idx: Vec<usize> = (0..xs.len()).collect();
-        idx.sort_by(|i, j| xs[*i].partial_cmp(&xs[*j]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|i, j| {
+            xs[*i]
+                .partial_cmp(&xs[*j])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut ranks = vec![0.0; xs.len()];
         for (r, i) in idx.into_iter().enumerate() {
             ranks[i] = r as f64;
@@ -208,7 +212,11 @@ fn big_vs_little(apps: Vec<AppModel>, seed: u64) -> Vec<BigVsLittleRow> {
             sim.spawn_app_with_affinity(&app, Affinity::Kind(CoreKind::Big));
             let big = sim.run_app(&app);
 
-            BigVsLittleRow { name: app.name.to_string(), little, big }
+            BigVsLittleRow {
+                name: app.name.to_string(),
+                little,
+                big,
+            }
         })
         .collect()
 }
@@ -227,12 +235,8 @@ pub fn fig5_fps_big_vs_little(seed: u64) -> Vec<BigVsLittleRow> {
 
 /// Renders the Figure 4 table.
 pub fn render_fig4(rows: &[BigVsLittleRow]) -> String {
-    let mut t = TextTable::new(vec![
-        "App".into(),
-        "Power +%".into(),
-        "Latency -%".into(),
-    ])
-    .with_title("Figure 4: 4 big cores vs 4 little cores (latency apps)");
+    let mut t = TextTable::new(vec!["App".into(), "Power +%".into(), "Latency -%".into()])
+        .with_title("Figure 4: 4 big cores vs 4 little cores (latency apps)");
     for r in rows {
         t.row(vec![
             r.name.clone(),
@@ -309,6 +313,9 @@ mod tests {
         let rho_tlp = spearman(&paper, &meas);
         let rho_big = spearman(&paper_big, &meas_big);
         assert!(rho_tlp > 0.5, "TLP rank correlation too low: {rho_tlp:.2}");
-        assert!(rho_big > 0.8, "big-usage rank correlation too low: {rho_big:.2}");
+        assert!(
+            rho_big > 0.8,
+            "big-usage rank correlation too low: {rho_big:.2}"
+        );
     }
 }

@@ -81,7 +81,11 @@ pub fn run_spec_matrix(ref_duration: SimDuration, seed: u64) -> SpecMatrix {
             // completion time since the run stops there).
             power_mw[i] = r.avg_power_mw;
         }
-        rows.push(SpecRow { name: kernel.name.to_string(), time_s, power_mw });
+        rows.push(SpecRow {
+            name: kernel.name.to_string(),
+            time_s,
+            power_mw,
+        });
     }
     SpecMatrix { rows }
 }
@@ -167,7 +171,10 @@ pub const DUTIES: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
 /// types.
 pub fn fig6_power_vs_utilization(run_for: SimDuration, seed: u64) -> Fig6Result {
     let platform = exynos5422();
-    let mut out = Fig6Result { little: Vec::new(), big: Vec::new() };
+    let mut out = Fig6Result {
+        little: Vec::new(),
+        big: Vec::new(),
+    };
     for kind in CoreKind::ALL {
         let cluster = platform.topology.cluster_of_kind(kind).expect("cluster");
         for opp in cluster.core.opps.iter() {
@@ -183,7 +190,11 @@ pub fn fig6_power_vs_utilization(run_for: SimDuration, seed: u64) -> Fig6Result 
                 sim.spawn_microbench(cpu, duty, SimDuration::from_millis(10));
                 sim.run_until(SimTime::ZERO + run_for);
                 let r = sim.finish();
-                let point = UtilPowerPoint { freq_khz: opp.freq_khz, duty, power_mw: r.avg_power_mw };
+                let point = UtilPowerPoint {
+                    freq_khz: opp.freq_khz,
+                    duty,
+                    power_mw: r.avg_power_mw,
+                };
                 match kind {
                     CoreKind::Little => out.little.push(point),
                     CoreKind::Big => out.big.push(point),
@@ -203,8 +214,9 @@ pub fn render_fig6(r: &Fig6Result) -> String {
         freqs.dedup();
         let mut headers = vec![format!("{label} freq")];
         headers.extend(DUTIES.iter().map(|d| format!("{:.0}% util", d * 100.0)));
-        let mut t = TextTable::new(headers)
-            .with_title(format!("Figure 6 ({label} core): full-system power (mW) by utilization"));
+        let mut t = TextTable::new(headers).with_title(format!(
+            "Figure 6 ({label} core): full-system power (mW) by utilization"
+        ));
         for f in freqs {
             let mut row = vec![format!("{:.1}GHz", f as f64 / 1e6)];
             for d in DUTIES {
@@ -252,7 +264,10 @@ mod tests {
             assert!(r.power_mw[2] > r.power_mw[0]);
         }
         let max13: f64 = m.rows.iter().map(|r| r.speedups()[1]).fold(0.0, f64::max);
-        assert!(max13 > 3.5, "cache-sensitive speedup should approach 4.5x, got {max13}");
+        assert!(
+            max13 > 3.5,
+            "cache-sensitive speedup should approach 4.5x, got {max13}"
+        );
         // Paper §III.A: a few applications run *slower* on a big core at its
         // minimum 0.8 GHz than on a little core at 1.3 GHz.
         let slower_at_min = m.rows.iter().filter(|r| r.speedups()[0] < 1.0).count();
@@ -271,7 +286,11 @@ mod tests {
         assert_eq!(r.big.len(), 12 * 5);
         // At fixed frequency, power rises with duty.
         for pts in [&r.little, &r.big] {
-            for f in pts.iter().map(|p| p.freq_khz).collect::<std::collections::BTreeSet<_>>() {
+            for f in pts
+                .iter()
+                .map(|p| p.freq_khz)
+                .collect::<std::collections::BTreeSet<_>>()
+            {
                 let series: Vec<f64> = DUTIES
                     .iter()
                     .map(|d| {
@@ -282,7 +301,10 @@ mod tests {
                     })
                     .collect();
                 for w in series.windows(2) {
-                    assert!(w[1] >= w[0] - 1.0, "power not monotone in duty at {f}: {series:?}");
+                    assert!(
+                        w[1] >= w[0] - 1.0,
+                        "power not monotone in duty at {f}: {series:?}"
+                    );
                 }
             }
         }

@@ -25,9 +25,10 @@ impl CoreConfigRow {
         let base = self.baseline.perf_score()?;
         // A latency app that missed its cap under a weak configuration is
         // scored by the cap as a lower bound.
-        let score = self.configs[i].1.perf_score().unwrap_or_else(|| {
-            1.0 / self.configs[i].1.sim_time.as_secs_f64()
-        });
+        let score = self.configs[i]
+            .1
+            .perf_score()
+            .unwrap_or_else(|| 1.0 / self.configs[i].1.sim_time.as_secs_f64());
         Some(score / base)
     }
 
@@ -49,12 +50,18 @@ pub fn run_core_config_sweep(apps: Vec<AppModel>, seed: u64) -> Vec<CoreConfigRo
                 .map(|cc| {
                     let r = super::run_app_with(
                         &app,
-                        SystemConfig::baseline().with_core_config(*cc).with_seed(seed),
+                        SystemConfig::baseline()
+                            .with_core_config(*cc)
+                            .with_seed(seed),
                     );
                     (*cc, r)
                 })
                 .collect();
-            CoreConfigRow { name: app.name.to_string(), baseline, configs }
+            CoreConfigRow {
+                name: app.name.to_string(),
+                baseline,
+                configs,
+            }
         })
         .collect()
 }
@@ -91,8 +98,7 @@ pub fn render_fig8(rows: &[CoreConfigRow]) -> String {
     let sweep = CoreConfig::paper_sweep();
     let mut headers = vec!["App".to_string()];
     headers.extend(sweep.iter().map(|c| c.to_string()));
-    let mut t =
-        TextTable::new(headers).with_title("Figure 8: power saving vs L4+B4 (%)");
+    let mut t = TextTable::new(headers).with_title("Figure 8: power saving vs L4+B4 (%)");
     for r in rows {
         let mut cells = vec![r.name.clone()];
         for i in 0..r.configs.len() {

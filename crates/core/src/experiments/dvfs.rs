@@ -28,8 +28,14 @@ pub fn render_residency(runs: &[(AppModel, RunResult)], kind: CoreKind) -> Strin
     let mut headers = vec!["App".to_string()];
     headers.extend(freqs);
     let (title, figure) = match kind {
-        CoreKind::Little => ("Figure 9: little core frequency distribution (% of active time)", 9),
-        CoreKind::Big => ("Figure 10: big core frequency distribution (% of active time)", 10),
+        CoreKind::Little => (
+            "Figure 9: little core frequency distribution (% of active time)",
+            9,
+        ),
+        CoreKind::Big => (
+            "Figure 10: big core frequency distribution (% of active time)",
+            10,
+        ),
     };
     let _ = figure;
     let mut t = TextTable::new(headers).with_title(title);
@@ -79,7 +85,10 @@ pub fn paper_param_variants() -> Vec<(&'static str, SystemConfig)> {
     vec![
         ("sampling 60ms", gov(InteractiveParams::sampling_60ms())),
         ("sampling 100ms", gov(InteractiveParams::sampling_100ms())),
-        ("target high (80)", gov(InteractiveParams::target_load_high())),
+        (
+            "target high (80)",
+            gov(InteractiveParams::target_load_high()),
+        ),
         ("target low (60)", gov(InteractiveParams::target_load_low())),
         ("HMP conservative (850,400)", hmp(HmpParams::conservative())),
         ("HMP aggressive (550,100)", hmp(HmpParams::aggressive())),
@@ -127,7 +136,10 @@ impl ParamSweep {
             .filter(|(_, (_, m, _))| *m == PerfMetric::Latency)
             .filter_map(|(r, (name, _, b))| {
                 let (rb, bb) = (r.latency?, b.latency?);
-                Some((name.clone(), (rb.as_secs_f64() / bb.as_secs_f64() - 1.0) * 100.0))
+                Some((
+                    name.clone(),
+                    (rb.as_secs_f64() / bb.as_secs_f64() - 1.0) * 100.0,
+                ))
             })
             .collect()
     }

@@ -27,6 +27,7 @@ pub mod appchar;
 pub mod arch;
 pub mod coreconfig;
 pub mod dvfs;
+pub mod resilience;
 pub mod tables;
 
 use crate::result::RunResult;

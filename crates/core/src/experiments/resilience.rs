@@ -1,0 +1,251 @@
+//! Resilience experiments beyond the paper's measurements: what the
+//! asymmetric platform does when the big cluster is lost or thermally
+//! throttled mid-run.
+//!
+//! * [`outage_comparison`] — every app runs clean and then through a
+//!   permanent big-cluster outage 100 ms after launch. The kernel drains
+//!   and rehomes all work onto the little cluster; the rows quantify the
+//!   paper's implicit claim that interactive apps remain usable (if
+//!   slower) on LITTLE-only hardware.
+//! * [`thermal_throttle`] — a sustained full-duty load on all four big
+//!   cores with the RC thermal model on and off. With the model on the
+//!   big cluster trips its 85 °C limit, is capped at 1.2 GHz until it
+//!   cools, and the run reports the throttle duty cycle and power saving.
+
+use crate::result::RunResult;
+use crate::sim::Simulation;
+use crate::SystemConfig;
+use bl_metrics::report::{fnum, TextTable};
+use bl_platform::ids::{ClusterId, CpuId};
+use bl_simcore::fault::FaultPlan;
+use bl_simcore::time::{SimDuration, SimTime};
+use bl_workloads::apps::AppModel;
+use serde::{Deserialize, Serialize};
+
+/// The four big-cluster CPU indices on the Exynos 5422.
+const BIG_CPUS: [usize; 4] = [4, 5, 6, 7];
+
+// ---------------------------------------------------------------------------
+// Big-cluster outage comparison
+// ---------------------------------------------------------------------------
+
+/// One app, clean versus through a big-cluster outage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutageRow {
+    /// App name.
+    pub name: String,
+    /// Undisturbed baseline run.
+    pub clean: RunResult,
+    /// Run with all big CPUs offlined 100 ms in, for the rest of the run.
+    pub faulted: RunResult,
+}
+
+impl OutageRow {
+    /// Latency slowdown factor from losing the big cluster (NaN when the
+    /// app has no latency phase).
+    pub fn slowdown(&self) -> f64 {
+        match (self.clean.latency, self.faulted.latency) {
+            (Some(c), Some(f)) => f.as_secs_f64() / c.as_secs_f64(),
+            _ => f64::NAN,
+        }
+    }
+
+    /// FPS retention factor (NaN for non-rendering apps).
+    pub fn fps_retention(&self) -> f64 {
+        match (&self.clean.fps, &self.faulted.fps) {
+            (Some(c), Some(f)) => f.avg_fps / c.avg_fps,
+            _ => f64::NAN,
+        }
+    }
+
+    /// Power saving from running little-only, percent.
+    pub fn power_saving_pct(&self) -> f64 {
+        (1.0 - self.faulted.avg_power_mw / self.clean.avg_power_mw) * 100.0
+    }
+}
+
+/// Runs every app clean and through a permanent big-cluster outage.
+pub fn outage_comparison(apps: Vec<AppModel>, seed: u64) -> Vec<OutageRow> {
+    apps.into_iter()
+        .map(|app| {
+            let clean = run_app(&app, SystemConfig::baseline().with_seed(seed));
+            let plan = FaultPlan::new().with_outage(
+                SimTime::from_millis(100),
+                SimDuration::from_secs(3_600),
+                &BIG_CPUS,
+            );
+            let faulted = run_app(
+                &app,
+                SystemConfig::baseline().with_seed(seed).with_faults(plan),
+            );
+            OutageRow {
+                name: app.name.to_string(),
+                clean,
+                faulted,
+            }
+        })
+        .collect()
+}
+
+fn run_app(app: &AppModel, cfg: SystemConfig) -> RunResult {
+    let mut sim = Simulation::try_new(cfg).expect("baseline config is valid");
+    sim.spawn_app(app);
+    sim.try_run_app(app)
+        .expect("faulted runs complete degraded, not dead")
+}
+
+/// Renders the outage comparison table.
+pub fn render_outage(rows: &[OutageRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "App".into(),
+        "Power clean mW".into(),
+        "Power outage mW".into(),
+        "Saving %".into(),
+        "Latency x".into(),
+        "FPS kept x".into(),
+        "Rehomed".into(),
+    ])
+    .with_title("Resilience: permanent big-cluster outage 100 ms after launch");
+    for r in rows {
+        let opt = |v: f64, digits| {
+            if v.is_nan() {
+                "-".into()
+            } else {
+                fnum(v, digits)
+            }
+        };
+        t.row(vec![
+            r.name.clone(),
+            fnum(r.clean.avg_power_mw, 0),
+            fnum(r.faulted.avg_power_mw, 0),
+            fnum(r.power_saving_pct(), 1),
+            opt(r.slowdown(), 2),
+            opt(r.fps_retention(), 2),
+            r.faulted.resilience.tasks_rehomed.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// Thermal throttling demonstration
+// ---------------------------------------------------------------------------
+
+/// A sustained big-cluster load with the thermal model off and on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThrottleReport {
+    /// Run length of both experiments.
+    pub run_len: SimDuration,
+    /// Thermal model disabled: the cluster holds 1.9 GHz throughout.
+    pub free: RunResult,
+    /// Thermal model enabled: trips at 85 °C, capped to 1.2 GHz, releases
+    /// at 75 °C.
+    pub throttled: RunResult,
+}
+
+impl ThrottleReport {
+    /// Fraction of the run the big cluster spent capped.
+    pub fn throttle_duty(&self) -> f64 {
+        self.throttled.resilience.total_throttled().as_secs_f64() / self.run_len.as_secs_f64()
+    }
+
+    /// Power saved by honouring the thermal limit, percent.
+    pub fn power_saving_pct(&self) -> f64 {
+        (1.0 - self.throttled.avg_power_mw / self.free.avg_power_mw) * 100.0
+    }
+}
+
+/// Pins the clusters at their top frequencies, loads all four big cores at
+/// 95 % duty for `run_len`, and compares the thermally honest run against
+/// the unconstrained one.
+pub fn thermal_throttle(run_len: SimDuration, seed: u64) -> ThrottleReport {
+    let run = |thermal: bool| {
+        let cfg = SystemConfig::pinned_frequencies(1_300_000, 1_900_000)
+            .with_seed(seed)
+            .with_thermal(thermal);
+        let mut sim = Simulation::try_new(cfg).expect("pinned config is valid");
+        for cpu in BIG_CPUS {
+            sim.spawn_microbench(CpuId(cpu), 0.95, SimDuration::from_millis(10));
+        }
+        sim.try_run_until(SimTime::ZERO + run_len)
+            .expect("thermal runs complete");
+        sim.finish()
+    };
+    ThrottleReport {
+        run_len,
+        free: run(false),
+        throttled: run(true),
+    }
+}
+
+/// Renders the thermal throttling report.
+pub fn render_throttle(r: &ThrottleReport) -> String {
+    let big = ClusterId(1);
+    let mut t = TextTable::new(vec![
+        "Thermal model".into(),
+        "Avg power mW".into(),
+        "Peak big °C".into(),
+        "Trips".into(),
+        "Throttled s".into(),
+    ])
+    .with_title(format!(
+        "Resilience: 4x big cores at 95% duty for {:.0} s (trip 85 °C, cap 1.2 GHz)",
+        r.run_len.as_secs_f64()
+    ));
+    t.row(vec![
+        "off".into(),
+        fnum(r.free.avg_power_mw, 0),
+        "-".into(),
+        "0".into(),
+        "0".into(),
+    ]);
+    let res = &r.throttled.resilience;
+    t.row(vec![
+        "on".into(),
+        fnum(r.throttled.avg_power_mw, 0),
+        fnum(res.peak_temp_c.get(big.0).copied().unwrap_or(f64::NAN), 1),
+        res.throttle_trips.to_string(),
+        fnum(res.total_throttled().as_secs_f64(), 1),
+    ]);
+    let mut s = t.render();
+    s.push_str(&format!(
+        "\nthrottle duty {:.0}%, power saving {:.1}%\n",
+        r.throttle_duty() * 100.0,
+        r.power_saving_pct()
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bl_workloads::apps::app_by_name;
+
+    #[test]
+    fn outage_rows_report_degradation_honestly() {
+        let rows = outage_comparison(vec![app_by_name("Photo Editor").unwrap()], 5);
+        let r = &rows[0];
+        assert_eq!(r.faulted.resilience.hotplug_offline, 4);
+        assert!(
+            r.slowdown() >= 1.0,
+            "little-only cannot be faster: {}",
+            r.slowdown()
+        );
+        assert!(r.power_saving_pct() > 0.0);
+        assert!(!render_outage(&rows).is_empty());
+    }
+
+    #[test]
+    fn thermal_demo_trips_and_saves_power() {
+        let rep = thermal_throttle(SimDuration::from_secs(20), 5);
+        assert!(rep.free.resilience.is_quiet());
+        assert!(rep.throttled.resilience.throttle_trips >= 1);
+        assert!(rep.throttle_duty() > 0.1, "duty {}", rep.throttle_duty());
+        assert!(
+            rep.power_saving_pct() > 1.0,
+            "saving {}",
+            rep.power_saving_pct()
+        );
+        assert!(!render_throttle(&rep).is_empty());
+    }
+}

@@ -59,7 +59,11 @@ pub fn table2() -> String {
                 s.periodic.len()
             ),
         };
-        t.row(vec![app.name.to_string(), app.metric.to_string(), structure]);
+        t.row(vec![
+            app.name.to_string(),
+            app.metric.to_string(),
+            structure,
+        ]);
     }
     t.render()
 }

@@ -42,5 +42,5 @@ pub mod result;
 pub mod sim;
 
 pub use config::SystemConfig;
-pub use result::RunResult;
+pub use result::{ResilienceStats, RunResult};
 pub use sim::Simulation;

@@ -32,6 +32,66 @@ pub struct RunResult {
     pub efficiency_pct: [f64; 6],
     /// (up, down) HMP migration counts.
     pub migrations: (u64, u64),
+    /// What the fault-injection / thermal layer did to the run (all zero
+    /// for an undisturbed run; absent fields default when deserializing
+    /// results written before this field existed).
+    #[serde(default)]
+    pub resilience: ResilienceStats,
+}
+
+/// Resilience telemetry: faults injected, hotplug churn, thermal
+/// throttling and governor stalls observed over one run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Fault events applied from the plan.
+    #[serde(default)]
+    pub faults_injected: u32,
+    /// Fault events the platform refused (e.g. offlining the last online
+    /// little CPU). The run continues without them — refusal is the
+    /// graceful-degradation path, not an error.
+    #[serde(default)]
+    pub faults_rejected: u32,
+    /// CPUs taken offline by hotplug faults.
+    #[serde(default)]
+    pub hotplug_offline: u32,
+    /// CPUs brought back online by hotplug faults.
+    #[serde(default)]
+    pub hotplug_online: u32,
+    /// Tasks drained off dying CPUs and rehomed elsewhere.
+    #[serde(default)]
+    pub tasks_rehomed: u64,
+    /// Thermal throttle trips (entering the throttled state) summed over
+    /// clusters.
+    #[serde(default)]
+    pub throttle_trips: u32,
+    /// Time spent throttled, per cluster (empty when the thermal model is
+    /// off).
+    #[serde(default)]
+    pub throttled_time: Vec<SimDuration>,
+    /// Peak junction temperature per cluster in °C (empty when the thermal
+    /// model is off).
+    #[serde(default)]
+    pub peak_temp_c: Vec<f64>,
+    /// Governor samples dropped by stall faults.
+    #[serde(default)]
+    pub gov_samples_missed: u64,
+}
+
+impl ResilienceStats {
+    /// True when nothing disturbed the run (no faults and no throttling).
+    pub fn is_quiet(&self) -> bool {
+        self.faults_injected == 0
+            && self.faults_rejected == 0
+            && self.throttle_trips == 0
+            && self.gov_samples_missed == 0
+    }
+
+    /// Total throttled time across every cluster.
+    pub fn total_throttled(&self) -> SimDuration {
+        self.throttled_time
+            .iter()
+            .fold(SimDuration::ZERO, |acc, d| acc + *d)
+    }
 }
 
 impl RunResult {
@@ -63,12 +123,18 @@ mod tests {
             energy_mj: 800.0,
             latency: Some(SimDuration::from_millis(2500)),
             fps: None,
-            tlp: TlpStats { idle_pct: 10.0, little_pct: 90.0, big_pct: 10.0, tlp: 2.0 },
+            tlp: TlpStats {
+                idle_pct: 10.0,
+                little_pct: 90.0,
+                big_pct: 10.0,
+                tlp: 2.0,
+            },
             matrix_pct: vec![vec![0.0; 5]; 5],
             little_residency: vec![0.0; 9],
             big_residency: vec![0.0; 12],
             efficiency_pct: [0.0; 6],
             migrations: (0, 0),
+            resilience: ResilienceStats::default(),
         }
     }
 
@@ -83,7 +149,11 @@ mod tests {
     fn fps_perf_score() {
         let mut r = dummy();
         r.latency = None;
-        r.fps = Some(FpsStats { avg_fps: 58.0, min_fps: 40.0, frames: 100 });
+        r.fps = Some(FpsStats {
+            avg_fps: 58.0,
+            min_fps: 40.0,
+            frames: 100,
+        });
         assert_eq!(r.perf_score(), Some(58.0));
         r.fps = None;
         assert_eq!(r.perf_score(), None);
@@ -95,5 +165,16 @@ mod tests {
         let j = serde_json::to_string(&r).unwrap();
         let back: RunResult = serde_json::from_str(&j).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn resilience_stats_helpers() {
+        let mut s = ResilienceStats::default();
+        assert!(s.is_quiet());
+        assert_eq!(s.total_throttled(), SimDuration::ZERO);
+        s.throttle_trips = 1;
+        s.throttled_time = vec![SimDuration::ZERO, SimDuration::from_millis(250)];
+        assert!(!s.is_quiet());
+        assert_eq!(s.total_throttled(), SimDuration::from_millis(250));
     }
 }

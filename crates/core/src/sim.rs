@@ -1,7 +1,7 @@
 //! The discrete-event simulation driver wiring every substrate together.
 
 use crate::config::SystemConfig;
-use crate::result::RunResult;
+use crate::result::{ResilienceStats, RunResult};
 use bl_governor::{ClusterSample, CpufreqGovernor};
 use bl_kernel::accounting::BusyWindow;
 use bl_kernel::kernel::{Hw, Kernel, KernelConfig, WakeRequest};
@@ -11,8 +11,10 @@ use bl_platform::exynos::exynos5422;
 use bl_platform::ids::{ClusterId, CoreKind, CpuId};
 use bl_platform::state::PlatformState;
 use bl_platform::topology::Platform;
-use bl_power::{CpuidleTable, PowerMeter, PowerModel};
+use bl_power::{ClusterThermal, CpuidleTable, PowerMeter, PowerModel, ThermalParams};
+use bl_simcore::error::SimError;
 use bl_simcore::event::EventQueue;
+use bl_simcore::fault::{FaultEvent, FaultKind};
 use bl_simcore::rng::SimRng;
 use bl_simcore::time::{SimDuration, SimTime};
 use bl_workloads::apps::{AppInstance, AppModel};
@@ -31,6 +33,53 @@ enum Ev {
     /// Promote `cpu` to the next deeper idle state if its idle episode
     /// (identified by the sequence number) is still running.
     IdlePromote(CpuId, u64),
+    /// A scheduled fault from the run's [`bl_simcore::fault::FaultPlan`]
+    /// fires.
+    Fault(FaultEvent),
+}
+
+/// How many events may fire at a single simulated instant before the
+/// watchdog declares the run stalled. A healthy batch is bounded by the
+/// task count plus a handful of periodic events; six figures of same-time
+/// events means something is rescheduling itself at zero delay.
+const WATCHDOG_SAME_TIME_LIMIT: u64 = 100_000;
+
+/// Runtime state of the thermal subsystem: one RC node per cluster.
+#[derive(Debug)]
+struct ThermalRt {
+    nodes: Vec<ClusterThermal>,
+    /// When the nodes were last advanced (temperature integrates between
+    /// metric samples).
+    last_advance: SimTime,
+    /// When each cluster's current throttle episode began, if throttled.
+    throttle_since: Vec<Option<SimTime>>,
+    /// Per-CPU busy window: the RC nodes integrate the *time-averaged*
+    /// power over each interval, which is step-size independent and immune
+    /// to aliasing between the sampling grid and periodic workloads.
+    window: BusyWindow,
+}
+
+impl ThermalRt {
+    fn new(platform: &Platform, window: BusyWindow, start: SimTime) -> Self {
+        let nodes: Vec<ClusterThermal> = platform
+            .topology
+            .clusters()
+            .iter()
+            .map(|c| {
+                ClusterThermal::new(match c.core.kind {
+                    CoreKind::Big => ThermalParams::exynos5422_big(),
+                    CoreKind::Little => ThermalParams::exynos5422_little(),
+                })
+            })
+            .collect();
+        let n = nodes.len();
+        ThermalRt {
+            nodes,
+            last_advance: start,
+            throttle_since: vec![None; n],
+            window,
+        }
+    }
 }
 
 /// Runtime state of the cpuidle subsystem.
@@ -96,6 +145,12 @@ pub struct Simulation {
     trace: Option<Trace>,
     trace_window: BusyWindow,
     cpuidle: Option<CpuidleRt>,
+    thermal: Option<ThermalRt>,
+    /// Per-cluster count of governor samples still to drop (stall faults).
+    gov_skip: Vec<u32>,
+    /// Same-instant event counter feeding the stall watchdog.
+    watchdog: u64,
+    resilience: ResilienceStats,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -112,10 +167,10 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics if the core configuration is invalid for the platform or the
-    /// governor list does not cover every cluster.
+    /// Panics if the configuration is invalid; [`Simulation::try_new`] is
+    /// the non-panicking form.
     pub fn new(cfg: SystemConfig) -> Self {
-        Simulation::with_platform(exynos5422(), cfg)
+        Simulation::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Builds a simulation of an arbitrary platform (ablation presets,
@@ -123,17 +178,44 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Same conditions as [`Simulation::new`].
+    /// Same conditions as [`Simulation::new`];
+    /// [`Simulation::try_with_platform`] is the non-panicking form.
     pub fn with_platform(platform: Platform, cfg: SystemConfig) -> Self {
+        Simulation::try_with_platform(platform, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a simulation of the Exynos-5422-class platform under `cfg`,
+    /// reporting configuration problems as values.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for a core configuration the platform
+    /// cannot satisfy or a governor list that does not cover every cluster;
+    /// [`SimError::InvalidFaultPlan`] when the fault plan names CPUs or
+    /// clusters the platform does not have.
+    pub fn try_new(cfg: SystemConfig) -> Result<Self, SimError> {
+        Simulation::try_with_platform(exynos5422(), cfg)
+    }
+
+    /// Non-panicking [`Simulation::with_platform`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::try_new`].
+    pub fn try_with_platform(platform: Platform, cfg: SystemConfig) -> Result<Self, SimError> {
         let mut state = PlatformState::new(&platform.topology);
         state
             .apply_core_config(&platform.topology, cfg.core_config)
-            .expect("invalid core configuration");
-        assert_eq!(
-            cfg.governors.len(),
-            platform.topology.n_clusters(),
-            "need one governor per cluster"
-        );
+            .map_err(|e| SimError::config(format!("invalid core configuration: {e:?}")))?;
+        if cfg.governors.len() != platform.topology.n_clusters() {
+            return Err(SimError::config(format!(
+                "need one governor per cluster: {} governors for {} clusters",
+                cfg.governors.len(),
+                platform.topology.n_clusters()
+            )));
+        }
+        cfg.fault_plan
+            .validate(platform.topology.n_cpus(), platform.topology.n_clusters())?;
 
         let kernel = Kernel::new(
             platform.topology.n_cpus(),
@@ -157,12 +239,37 @@ impl Simulation {
         let mut queue = EventQueue::new();
         queue.schedule(SimTime::ZERO + SimDuration::from_millis(4), Ev::Tick);
         queue.schedule(SimTime::ZERO + cfg.metric_period, Ev::MetricSample);
+        for ev in cfg.fault_plan.events() {
+            queue.schedule(ev.at, Ev::Fault(*ev));
+        }
 
         let gov_window = BusyWindow::open(kernel.accounting(), SimTime::ZERO);
-        let collector = MetricsCollector::new(&platform.topology, kernel.accounting(), SimTime::ZERO);
+        let collector =
+            MetricsCollector::new(&platform.topology, kernel.accounting(), SimTime::ZERO);
 
         let trace_window = BusyWindow::open(kernel.accounting(), SimTime::ZERO);
         let cpuidle = cfg.cpuidle_enabled.then(|| CpuidleRt::new(&platform));
+        // A plan that injects heat needs thermal nodes even when the model
+        // is nominally off.
+        let wants_thermal = cfg.thermal_enabled
+            || cfg
+                .fault_plan
+                .events()
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::ThermalSpike { .. }));
+        let thermal = wants_thermal.then(|| {
+            ThermalRt::new(
+                &platform,
+                BusyWindow::open(kernel.accounting(), SimTime::ZERO),
+                SimTime::ZERO,
+            )
+        });
+        let n_clusters = platform.topology.n_clusters();
+        let mut resilience = ResilienceStats::default();
+        if let Some(rt) = &thermal {
+            resilience.throttled_time = vec![SimDuration::ZERO; n_clusters];
+            resilience.peak_temp_c = rt.nodes.iter().map(|n| n.temp_c()).collect();
+        }
         let mut sim = Simulation {
             meter: PowerMeter::starting_at(SimTime::ZERO, 0.0),
             rng: SimRng::seed_from(cfg.seed),
@@ -180,16 +287,20 @@ impl Simulation {
             trace: None,
             trace_window,
             cpuidle,
+            thermal,
+            gov_skip: vec![0; n_clusters],
+            watchdog: 0,
+            resilience,
         };
 
         // Let fixed-policy governors (userspace/performance/powersave) set
         // their frequencies before anything runs, and schedule the first
         // samples.
         for c in 0..sim.platform.topology.n_clusters() {
-            sim.governor_sample(ClusterId(c));
+            sim.governor_sample(ClusterId(c))?;
         }
         sim.record_power();
-        sim
+        Ok(sim)
     }
 
     // ---- workload spawning -------------------------------------------------
@@ -201,7 +312,10 @@ impl Simulation {
 
     /// Spawns a mobile app with all threads forced to `affinity`.
     pub fn spawn_app_with_affinity(&mut self, app: &AppModel, affinity: Affinity) -> AppInstance {
-        let hw = Hw { platform: &self.platform, state: &self.state };
+        let hw = Hw {
+            platform: &self.platform,
+            state: &self.state,
+        };
         let instance = app.build_with_affinity(
             &mut self.kernel,
             &self.platform,
@@ -233,7 +347,10 @@ impl Simulation {
             ref_duration,
         );
         let behavior = spec.behavior(total, &mut self.rng);
-        let hw = Hw { platform: &self.platform, state: &self.state };
+        let hw = Hw {
+            platform: &self.platform,
+            state: &self.state,
+        };
         self.kernel
             .spawn(spec.name, Affinity::Pinned(cpu), behavior, &hw, self.now);
         self.after_kernel_call();
@@ -247,9 +364,17 @@ impl Simulation {
         let l2 = topo.l2_of(cpu);
         let freq_ghz = self.state.freq_of(topo, cpu) as f64 / 1e6;
         let b = MicroBench::new(&self.platform.perf, kind, l2, freq_ghz, duty, period);
-        let hw = Hw { platform: &self.platform, state: &self.state };
-        self.kernel
-            .spawn("microbench", Affinity::Pinned(cpu), Box::new(b), &hw, self.now);
+        let hw = Hw {
+            platform: &self.platform,
+            state: &self.state,
+        };
+        self.kernel.spawn(
+            "microbench",
+            Affinity::Pinned(cpu),
+            Box::new(b),
+            &hw,
+            self.now,
+        );
         self.after_kernel_call();
     }
 
@@ -257,8 +382,17 @@ impl Simulation {
     /// task per recorded thread, replayed on the simulated scheduler. The
     /// run's `latency` reflects when the whole trace finished.
     pub fn spawn_trace(&mut self, trace: &RecordedTrace) {
-        let hw = Hw { platform: &self.platform, state: &self.state };
-        let tracker = trace.spawn(&mut self.kernel, &self.platform, &hw, self.now, Affinity::Any);
+        let hw = Hw {
+            platform: &self.platform,
+            state: &self.state,
+        };
+        let tracker = trace.spawn(
+            &mut self.kernel,
+            &self.platform,
+            &hw,
+            self.now,
+            Affinity::Any,
+        );
         self.trackers.push(tracker);
         self.after_kernel_call();
     }
@@ -270,7 +404,10 @@ impl Simulation {
         affinity: Affinity,
         behavior: Box<dyn TaskBehavior>,
     ) -> TaskId {
-        let hw = Hw { platform: &self.platform, state: &self.state };
+        let hw = Hw {
+            platform: &self.platform,
+            state: &self.state,
+        };
         let tid = self.kernel.spawn(name, affinity, behavior, &hw, self.now);
         self.after_kernel_call();
         tid
@@ -280,35 +417,90 @@ impl Simulation {
 
     /// Runs until `deadline` or until `stop` returns true (checked after
     /// every event batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run fails (watchdog stall, lost task);
+    /// [`Simulation::try_run_until_or`] is the non-panicking form.
     pub fn run_until_or(&mut self, deadline: SimTime, stop: impl Fn(&Simulation) -> bool) {
-        while self.now < deadline && !stop(self) {
-            self.step(deadline);
-        }
+        self.try_run_until_or(deadline, stop)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs until `deadline`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulation::run_until_or`];
+    /// [`Simulation::try_run_until`] is the non-panicking form.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.run_until_or(deadline, |_| false);
+    }
+
+    /// Runs until `deadline` or until `stop` returns true, reporting
+    /// runtime failures as values instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WatchdogStall`] when simulated time stops advancing
+    /// while events keep firing, [`SimError::TaskLost`] when a hotplug
+    /// fault loses track of a task (a simulator bug, surfaced rather than
+    /// silently dropped).
+    pub fn try_run_until_or(
+        &mut self,
+        deadline: SimTime,
+        stop: impl Fn(&Simulation) -> bool,
+    ) -> Result<(), SimError> {
+        while self.now < deadline && !stop(self) {
+            self.try_step(deadline)?;
+        }
+        Ok(())
+    }
+
+    /// Non-panicking [`Simulation::run_until`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::try_run_until_or`].
+    pub fn try_run_until(&mut self, deadline: SimTime) -> Result<(), SimError> {
+        self.try_run_until_or(deadline, |_| false)
     }
 
     /// Runs an already-spawned app to its natural end: latency apps until
     /// their script completes (capped at `run_for`), FPS apps for exactly
     /// `run_for`. Returns the collected results.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulation::run_until_or`];
+    /// [`Simulation::try_run_app`] is the non-panicking form.
     pub fn run_app(&mut self, app: &AppModel) -> RunResult {
+        self.try_run_app(app).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`Simulation::run_app`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::try_run_until_or`].
+    pub fn try_run_app(&mut self, app: &AppModel) -> Result<RunResult, SimError> {
         let deadline = self.now + app.run_for;
         match app.metric {
             PerfMetric::Latency => {
-                self.run_until_or(deadline, |sim| {
+                self.try_run_until_or(deadline, |sim| {
                     !sim.trackers.is_empty() && sim.trackers.iter().all(|t| t.is_done())
-                });
+                })?;
             }
-            PerfMetric::Fps => self.run_until(deadline),
+            PerfMetric::Fps => self.try_run_until(deadline)?,
         }
-        self.finish()
+        Ok(self.finish())
     }
 
-    fn step(&mut self, deadline: SimTime) {
-        let hw = Hw { platform: &self.platform, state: &self.state };
+    fn try_step(&mut self, deadline: SimTime) -> Result<(), SimError> {
+        let hw = Hw {
+            platform: &self.platform,
+            state: &self.state,
+        };
         let next_event = self.queue.peek_time().unwrap_or(SimTime::MAX);
         let completion = self
             .kernel
@@ -316,37 +508,196 @@ impl Simulation {
             .unwrap_or(SimTime::MAX);
         let target = next_event.min(completion).min(deadline);
         self.kernel.advance_to(&hw, target);
+        if target > self.now {
+            self.watchdog = 0;
+        }
         self.now = target;
         self.kernel.handle_completions(&hw, self.now);
 
         while self.queue.peek_time() == Some(self.now) {
+            self.watchdog += 1;
+            if self.watchdog > WATCHDOG_SAME_TIME_LIMIT {
+                return Err(SimError::WatchdogStall {
+                    at: self.now,
+                    iterations: self.watchdog,
+                    detail: format!("{} events still queued", self.queue.len()),
+                });
+            }
             let (_, ev) = self.queue.pop().expect("peeked event");
             match ev {
                 Ev::Tick => {
-                    let hw = Hw { platform: &self.platform, state: &self.state };
+                    let hw = Hw {
+                        platform: &self.platform,
+                        state: &self.state,
+                    };
                     self.kernel.tick(&hw, self.now);
                     self.queue
                         .schedule(self.now + self.kernel.tick_period(), Ev::Tick);
                 }
                 Ev::Timer(w) => {
-                    let hw = Hw { platform: &self.platform, state: &self.state };
+                    let hw = Hw {
+                        platform: &self.platform,
+                        state: &self.state,
+                    };
                     self.kernel.timer_wake(w.tid, w.seq, &hw, self.now);
                 }
-                Ev::GovSample(c) => self.governor_sample(c),
+                Ev::GovSample(c) => self.governor_sample(c)?,
                 Ev::IdlePromote(cpu, seq) => self.idle_promote(cpu, seq),
                 Ev::MetricSample => {
+                    self.advance_thermal();
                     self.collector
                         .sample(self.now, self.kernel.accounting(), &self.state);
                     self.record_trace_sample();
                     self.queue
                         .schedule(self.now + self.cfg.metric_period, Ev::MetricSample);
                 }
+                Ev::Fault(f) => self.apply_fault(f)?,
             }
         }
         self.after_kernel_call();
+        Ok(())
     }
 
-    fn governor_sample(&mut self, cluster: ClusterId) {
+    /// Applies one fault event. Faults the platform refuses (offlining the
+    /// last little CPU) are counted and skipped — resilience means the run
+    /// completes in a degraded state rather than dying.
+    fn apply_fault(&mut self, ev: FaultEvent) -> Result<(), SimError> {
+        match ev.kind {
+            FaultKind::CpuOffline { cpu } => {
+                let cpu = CpuId(cpu);
+                match self.state.set_online(&self.platform.topology, cpu, false) {
+                    Ok(changed) => {
+                        self.resilience.faults_injected += 1;
+                        if changed {
+                            let hw = Hw {
+                                platform: &self.platform,
+                                state: &self.state,
+                            };
+                            let drained = self.kernel.offline_cpu(cpu, &hw);
+                            self.resilience.hotplug_offline += 1;
+                            self.resilience.tasks_rehomed += drained.len() as u64;
+                            self.kernel.check_no_lost_tasks()?;
+                        }
+                    }
+                    Err(_) => self.resilience.faults_rejected += 1,
+                }
+            }
+            FaultKind::CpuOnline { cpu } => {
+                let cpu = CpuId(cpu);
+                match self.state.set_online(&self.platform.topology, cpu, true) {
+                    Ok(changed) => {
+                        self.resilience.faults_injected += 1;
+                        if changed {
+                            let hw = Hw {
+                                platform: &self.platform,
+                                state: &self.state,
+                            };
+                            self.kernel.online_cpu(cpu, &hw);
+                            self.resilience.hotplug_online += 1;
+                        }
+                    }
+                    Err(_) => self.resilience.faults_rejected += 1,
+                }
+            }
+            FaultKind::ThermalSpike { cluster, delta_c } => {
+                // Integrate up to now first so the spike lands on the
+                // current temperature, then let the throttle react.
+                self.advance_thermal();
+                let rt = self
+                    .thermal
+                    .as_mut()
+                    .expect("plans with thermal spikes force the thermal model on");
+                let id = ClusterId(cluster);
+                let changed = rt.nodes[cluster].inject(delta_c);
+                self.resilience.peak_temp_c[cluster] =
+                    self.resilience.peak_temp_c[cluster].max(rt.nodes[cluster].temp_c());
+                self.resilience.faults_injected += 1;
+                if changed {
+                    self.apply_throttle_transition(id);
+                }
+            }
+            FaultKind::GovernorStall {
+                cluster,
+                missed_samples,
+            } => {
+                self.gov_skip[cluster] += missed_samples;
+                self.resilience.faults_injected += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Integrates every cluster's thermal node up to `self.now` using its
+    /// current power draw, and applies throttle transitions to the
+    /// platform's frequency caps.
+    fn advance_thermal(&mut self) {
+        let Some(rt) = self.thermal.as_mut() else {
+            return;
+        };
+        let dt = self.now.duration_since(rt.last_advance);
+        rt.last_advance = self.now;
+        if dt.is_zero() {
+            return;
+        }
+        let topo = &self.platform.topology;
+        let mut transitions = Vec::new();
+        for c in topo.clusters() {
+            let id = c.id;
+            let acts: Vec<f64> = self
+                .state
+                .online_in(topo, id)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|cpu| {
+                    rt.window
+                        .take_fraction(self.kernel.accounting(), cpu, self.now)
+                })
+                .collect();
+            let mw = self
+                .power_model
+                .cluster_mw(topo, id, self.state.cluster_freq_khz(id), &acts);
+            let node = &mut rt.nodes[id.0];
+            let changed = node.advance(dt, mw / 1000.0);
+            self.resilience.peak_temp_c[id.0] =
+                self.resilience.peak_temp_c[id.0].max(node.temp_c());
+            if changed {
+                transitions.push(id);
+            }
+        }
+        for id in transitions {
+            self.apply_throttle_transition(id);
+        }
+    }
+
+    /// Propagates one cluster's throttle state change into the platform's
+    /// frequency cap and the resilience stats.
+    fn apply_throttle_transition(&mut self, cluster: ClusterId) {
+        let rt = self.thermal.as_mut().expect("caller checked thermal");
+        let node = &rt.nodes[cluster.0];
+        let cap = node.cap_khz();
+        self.state
+            .set_freq_cap(&self.platform.topology, cluster, cap);
+        if cap.is_some() {
+            self.resilience.throttle_trips += 1;
+            rt.throttle_since[cluster.0] = Some(self.now);
+        } else if let Some(since) = rt.throttle_since[cluster.0].take() {
+            self.resilience.throttled_time[cluster.0] += self.now.duration_since(since);
+        }
+    }
+
+    fn governor_sample(&mut self, cluster: ClusterId) -> Result<(), SimError> {
+        let gov = &mut self.governors[cluster.0];
+        let period = gov.sampling_period();
+        // A stalled governor misses the sample entirely: the busy window is
+        // left open, so the next live sample integrates over the whole gap
+        // instead of losing the history (missed-sample tolerance).
+        if self.gov_skip[cluster.0] > 0 {
+            self.gov_skip[cluster.0] -= 1;
+            self.resilience.gov_samples_missed += 1;
+            self.queue
+                .schedule(self.now + period, Ev::GovSample(cluster));
+            return Ok(());
+        }
         let topo = &self.platform.topology;
         let utils: Vec<f64> = self
             .state
@@ -360,14 +711,22 @@ impl Simulation {
             .collect();
         let opps = &topo.cluster(cluster).core.opps;
         let cur = self.state.cluster_freq_khz(cluster);
-        let sample = ClusterSample { cluster, opps, cur_freq_khz: cur, cpu_utils: &utils };
-        let gov = &mut self.governors[cluster.0];
-        let next = gov.on_sample(&sample);
-        let period = gov.sampling_period();
+        let sample = ClusterSample {
+            cluster,
+            opps,
+            cur_freq_khz: cur,
+            cpu_utils: &utils,
+            cap_khz: self.state.freq_cap(cluster).unwrap_or(u32::MAX),
+        };
+        let next = self.governors[cluster.0].on_sample(&sample);
         if next != cur {
-            self.state.set_cluster_freq(topo, cluster, next);
+            // The platform clamps through the thermal ceiling; a governor
+            // returning an off-table rate is surfaced, not panicked.
+            self.state.try_set_cluster_freq(topo, cluster, next)?;
         }
-        self.queue.schedule(self.now + period, Ev::GovSample(cluster));
+        self.queue
+            .schedule(self.now + period, Ev::GovSample(cluster));
+        Ok(())
     }
 
     /// Collects wake requests and signals, and refreshes the power meter.
@@ -458,7 +817,8 @@ impl Simulation {
     pub fn enable_tracing(&mut self) {
         if self.trace.is_none() {
             self.trace = Some(Trace::new());
-            self.trace_window.reset_all(self.kernel.accounting(), self.now);
+            self.trace_window
+                .reset_all(self.kernel.accounting(), self.now);
         }
     }
 
@@ -474,7 +834,11 @@ impl Simulation {
         let topo = &self.platform.topology;
         let mut active = [0u32; 2];
         for cpu in topo.cpus() {
-            if !self.trace_window.peek_busy(self.kernel.accounting(), cpu).is_zero() {
+            if !self
+                .trace_window
+                .peek_busy(self.kernel.accounting(), cpu)
+                .is_zero()
+            {
                 match topo.kind_of(cpu) {
                     CoreKind::Little => active[0] += 1,
                     CoreKind::Big => active[1] += 1,
@@ -513,6 +877,16 @@ impl Simulation {
             .collect();
         let little = topo.cluster_of_kind(CoreKind::Little).expect("little").id;
         let big = topo.cluster_of_kind(CoreKind::Big).expect("big").id;
+        // Close out in-flight throttle episodes in the snapshot (the live
+        // state is left untouched — finish() may be called mid-run).
+        let mut resilience = self.resilience.clone();
+        if let Some(rt) = &self.thermal {
+            for (i, since) in rt.throttle_since.iter().enumerate() {
+                if let Some(s) = since {
+                    resilience.throttled_time[i] += self.now.duration_since(*s);
+                }
+            }
+        }
         RunResult {
             sim_time: self.now.duration_since(SimTime::ZERO),
             avg_power_mw: self.meter.average_mw(self.now),
@@ -525,6 +899,7 @@ impl Simulation {
             big_residency: self.collector.residency().shares(big),
             efficiency_pct: self.collector.efficiency().percentages(),
             migrations: self.kernel.migration_counts(),
+            resilience,
         }
     }
 
@@ -554,6 +929,19 @@ impl Simulation {
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
     }
+
+    /// Current junction temperature of `cluster` in °C, when the thermal
+    /// model is enabled.
+    pub fn cluster_temp_c(&self, cluster: ClusterId) -> Option<f64> {
+        self.thermal.as_ref().map(|rt| rt.nodes[cluster.0].temp_c())
+    }
+
+    /// Whether `cluster` is currently thermally throttled.
+    pub fn is_throttled(&self, cluster: ClusterId) -> bool {
+        self.thermal
+            .as_ref()
+            .is_some_and(|rt| rt.nodes[cluster.0].is_throttled())
+    }
 }
 
 #[cfg(test)]
@@ -569,7 +957,11 @@ mod tests {
         let r = sim.finish();
         assert_eq!(r.tlp.idle_pct, 100.0);
         // Idle at min frequencies: power = base + leakage only, well under 600mW.
-        assert!(r.avg_power_mw > 300.0 && r.avg_power_mw < 600.0, "{}", r.avg_power_mw);
+        assert!(
+            r.avg_power_mw > 300.0 && r.avg_power_mw < 600.0,
+            "{}",
+            r.avg_power_mw
+        );
     }
 
     #[test]
@@ -630,7 +1022,10 @@ mod tests {
         let r = sim.run_app(&app);
         let lat = r.latency.expect("script must finish");
         assert!(lat < app.run_for, "latency {lat}");
-        assert!(lat > SimDuration::from_secs(1), "latency {lat} suspiciously small");
+        assert!(
+            lat > SimDuration::from_secs(1),
+            "latency {lat} suspiciously small"
+        );
     }
 }
 
@@ -657,8 +1052,20 @@ mod trace_tests {
         // Frequencies stay on the OPP tables.
         let p = sim.platform();
         for row in trace.rows() {
-            assert!(p.topology.cluster(ClusterId(0)).core.opps.index_of(row.little_khz).is_some());
-            assert!(p.topology.cluster(ClusterId(1)).core.opps.index_of(row.big_khz).is_some());
+            assert!(p
+                .topology
+                .cluster(ClusterId(0))
+                .core
+                .opps
+                .index_of(row.little_khz)
+                .is_some());
+            assert!(p
+                .topology
+                .cluster(ClusterId(1))
+                .core
+                .opps
+                .index_of(row.big_khz)
+                .is_some());
         }
     }
 
@@ -678,9 +1085,8 @@ mod cpuidle_tests {
     #[test]
     fn deep_idle_lowers_idle_system_power() {
         let run = |cpuidle: bool| {
-            let mut sim = Simulation::new(
-                SystemConfig::baseline().screen(false).with_cpuidle(cpuidle),
-            );
+            let mut sim =
+                Simulation::new(SystemConfig::baseline().screen(false).with_cpuidle(cpuidle));
             sim.run_until(SimTime::from_secs(1));
             sim.finish().avg_power_mw
         };
@@ -707,7 +1113,12 @@ mod cpuidle_tests {
             sim.spawn_app(&app);
             sim.run_app(&app)
         };
-        assert!(idle.avg_power_mw < base.avg_power_mw, "{} vs {}", idle.avg_power_mw, base.avg_power_mw);
+        assert!(
+            idle.avg_power_mw < base.avg_power_mw,
+            "{} vs {}",
+            idle.avg_power_mw,
+            base.avg_power_mw
+        );
         // Timing is untouched (idle power is performance-neutral here).
         assert_eq!(idle.latency, base.latency);
     }

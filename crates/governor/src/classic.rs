@@ -17,7 +17,7 @@ impl CpufreqGovernor for PerformanceGovernor {
         SimDuration::from_millis(100) // nothing to react to
     }
     fn on_sample(&mut self, sample: &ClusterSample<'_>) -> u32 {
-        sample.opps.max_khz()
+        sample.effective_max()
     }
 }
 
@@ -53,7 +53,7 @@ impl CpufreqGovernor for UserspaceGovernor {
         SimDuration::from_millis(100)
     }
     fn on_sample(&mut self, sample: &ClusterSample<'_>) -> u32 {
-        sample.opps.round_up(self.setpoint_khz).freq_khz
+        sample.clamp(sample.opps.round_up(self.setpoint_khz).freq_khz)
     }
 }
 
@@ -96,11 +96,11 @@ impl CpufreqGovernor for OndemandGovernor {
     fn on_sample(&mut self, sample: &ClusterSample<'_>) -> u32 {
         let util = sample.max_util();
         if util > self.params.up_threshold {
-            return sample.opps.max_khz();
+            return sample.effective_max();
         }
         let target = (sample.cur_freq_khz as f64 * util / self.params.down_target) as u32;
         let next = sample.opps.round_up(target).freq_khz;
-        next.min(sample.cur_freq_khz) // ondemand only jumps up, walks down
+        sample.clamp(next.min(sample.cur_freq_khz)) // ondemand only jumps up, walks down
     }
 }
 
@@ -146,12 +146,12 @@ impl CpufreqGovernor for ConservativeGovernor {
             .index_of(sample.cur_freq_khz)
             .expect("current frequency must be an OPP");
         if util > self.params.up_threshold && idx + 1 < sample.opps.len() {
-            return sample.opps.get(idx + 1).freq_khz;
+            return sample.clamp(sample.opps.get(idx + 1).freq_khz);
         }
         if util < self.params.down_threshold && idx > 0 {
             return sample.opps.get(idx - 1).freq_khz;
         }
-        sample.cur_freq_khz
+        sample.clamp(sample.cur_freq_khz)
     }
 }
 
@@ -166,26 +166,47 @@ mod tests {
     }
 
     fn sample<'a>(opps: &'a OppTable, cur: u32, utils: &'a [f64]) -> ClusterSample<'a> {
-        ClusterSample { cluster: ClusterId(0), opps, cur_freq_khz: cur, cpu_utils: utils }
+        ClusterSample {
+            cluster: ClusterId(0),
+            opps,
+            cur_freq_khz: cur,
+            cpu_utils: utils,
+            cap_khz: u32::MAX,
+        }
+    }
+
+    fn capped<'a>(opps: &'a OppTable, cur: u32, utils: &'a [f64], cap: u32) -> ClusterSample<'a> {
+        ClusterSample {
+            cap_khz: cap,
+            ..sample(opps, cur, utils)
+        }
     }
 
     #[test]
     fn performance_pins_max() {
         let t = opps();
-        assert_eq!(PerformanceGovernor.on_sample(&sample(&t, 500_000, &[0.0])), 1_300_000);
+        assert_eq!(
+            PerformanceGovernor.on_sample(&sample(&t, 500_000, &[0.0])),
+            1_300_000
+        );
         assert_eq!(PerformanceGovernor.name(), "performance");
     }
 
     #[test]
     fn powersave_pins_min() {
         let t = opps();
-        assert_eq!(PowersaveGovernor.on_sample(&sample(&t, 1_300_000, &[1.0])), 500_000);
+        assert_eq!(
+            PowersaveGovernor.on_sample(&sample(&t, 1_300_000, &[1.0])),
+            500_000
+        );
     }
 
     #[test]
     fn userspace_holds_setpoint() {
         let t = opps();
-        let mut g = UserspaceGovernor { setpoint_khz: 850_000 };
+        let mut g = UserspaceGovernor {
+            setpoint_khz: 850_000,
+        };
         assert_eq!(g.on_sample(&sample(&t, 500_000, &[1.0])), 900_000); // rounds up
     }
 
@@ -221,6 +242,31 @@ mod tests {
         assert_eq!(g.on_sample(&sample(&t, 600_000, &[0.9])), 700_000);
         assert_eq!(g.on_sample(&sample(&t, 600_000, &[0.1])), 500_000);
         assert_eq!(g.on_sample(&sample(&t, 600_000, &[0.5])), 600_000);
+    }
+
+    #[test]
+    fn governors_respect_a_thermal_ceiling() {
+        let t = opps();
+        // performance pegs at the ceiling, not the table max.
+        assert_eq!(
+            PerformanceGovernor.on_sample(&capped(&t, 500_000, &[0.0], 900_000)),
+            900_000
+        );
+        // userspace setpoints above the cap are clamped.
+        let mut u = UserspaceGovernor {
+            setpoint_khz: 1_300_000,
+        };
+        assert_eq!(
+            u.on_sample(&capped(&t, 500_000, &[1.0], 1_000_000)),
+            1_000_000
+        );
+        // ondemand's saturation jump lands on the ceiling.
+        let mut o = OndemandGovernor::default();
+        assert_eq!(o.on_sample(&capped(&t, 600_000, &[0.99], 800_000)), 800_000);
+        // conservative steps never climb past the ceiling, even when the
+        // current frequency is already above a freshly lowered cap.
+        let mut c = ConservativeGovernor::default();
+        assert_eq!(c.on_sample(&capped(&t, 700_000, &[0.9], 700_000)), 700_000);
     }
 
     #[test]

@@ -134,22 +134,27 @@ impl CpufreqGovernor for InteractiveGovernor {
     fn on_sample(&mut self, sample: &ClusterSample<'_>) -> u32 {
         let util = sample.max_util();
         let cur = sample.cur_freq_khz;
-        let hispeed = sample
-            .opps
-            .round_up((sample.opps.max_khz() as f64 * self.params.hispeed_fraction) as u32)
-            .freq_khz;
+        // The hispeed jump point scales with the *available* ceiling, so a
+        // thermally capped cluster keeps the algorithm's shape within its
+        // shrunken ladder instead of slamming into the cap.
+        let hispeed = sample.clamp(
+            sample
+                .opps
+                .round_up((sample.effective_max() as f64 * self.params.hispeed_fraction) as u32)
+                .freq_khz,
+        );
         let target = (cur as f64 * util / self.params.target_load) as u32;
 
         if util > self.params.up_threshold {
             if cur < hispeed {
                 return hispeed;
             }
-            return sample.opps.round_up(target).freq_khz;
+            return sample.clamp(sample.opps.round_up(target).freq_khz);
         }
         if util < self.params.down_threshold {
-            return sample.opps.round_up(target).freq_khz;
+            return sample.clamp(sample.opps.round_up(target).freq_khz);
         }
-        cur // hold inside the margin band
+        sample.clamp(cur) // hold inside the margin band
     }
 }
 
@@ -170,6 +175,7 @@ mod tests {
             opps,
             cur_freq_khz: cur,
             cpu_utils: utils,
+            cap_khz: u32::MAX,
         }
     }
 
@@ -236,6 +242,22 @@ mod tests {
     }
 
     #[test]
+    fn ceiling_caps_the_hispeed_jump_and_targets() {
+        let t = opps();
+        let mut g = InteractiveGovernor::new(InteractiveParams::default());
+        let mut s = sample(&t, 500_000, &[0.95]);
+        s.cap_khz = 900_000;
+        // Uncapped this would jump to 1.1 GHz (hispeed); capped it lands
+        // within the ceiling: hispeed = round_up(0.8 * 900k) = 800 MHz.
+        let f = g.on_sample(&s);
+        assert_eq!(f, 800_000);
+        // Sustained saturation at the capped hispeed never exceeds the cap.
+        let mut s2 = sample(&t, 800_000, &[1.0]);
+        s2.cap_khz = 900_000;
+        assert_eq!(g.on_sample(&s2), 900_000);
+    }
+
+    #[test]
     fn sampling_variants() {
         assert_eq!(
             InteractiveParams::sampling_60ms().sampling_period,
@@ -297,6 +319,7 @@ mod dynamics_tests {
                 opps: &opps,
                 cur_freq_khz: freq,
                 cpu_utils: &utils,
+                cap_khz: u32::MAX,
             });
             history.push(freq);
         }

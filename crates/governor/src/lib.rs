@@ -25,6 +25,7 @@
 //!     opps: &opps,
 //!     cur_freq_khz: 500_000,
 //!     cpu_utils: &[0.1],
+//!     cap_khz: u32::MAX, // no thermal ceiling in force
 //! });
 //! assert_eq!(f, 1_300_000);
 //! ```

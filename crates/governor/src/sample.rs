@@ -16,6 +16,10 @@ pub struct ClusterSample<'a> {
     /// Busy fraction (`[0,1]`) of each *online* CPU in the domain over the
     /// window. Empty when the whole cluster is hotplugged off.
     pub cpu_utils: &'a [f64],
+    /// Frequency ceiling currently imposed on the domain (thermal
+    /// throttling), in kHz. `u32::MAX` means uncapped. Governors must not
+    /// request above [`ClusterSample::effective_max`].
+    pub cap_khz: u32,
 }
 
 impl ClusterSample<'_> {
@@ -24,6 +28,22 @@ impl ClusterSample<'_> {
     /// busiest CPU).
     pub fn max_util(&self) -> f64 {
         self.cpu_utils.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// The highest OPP the domain may run at under the current ceiling:
+    /// the cap rounded down onto the table, but never below the minimum
+    /// OPP (a cluster cannot be capped out of existence).
+    pub fn effective_max(&self) -> u32 {
+        if self.cap_khz >= self.opps.max_khz() {
+            return self.opps.max_khz();
+        }
+        self.opps.round_down(self.cap_khz).freq_khz
+    }
+
+    /// Clamps a raw frequency choice through the ceiling. The result is an
+    /// exact OPP as long as `freq_khz` was one.
+    pub fn clamp(&self, freq_khz: u32) -> u32 {
+        freq_khz.min(self.effective_max())
     }
 }
 
@@ -55,6 +75,7 @@ mod tests {
             opps: &opps,
             cur_freq_khz: 500_000,
             cpu_utils: &[0.2, 0.9, 0.1],
+            cap_khz: u32::MAX,
         };
         assert_eq!(s.max_util(), 0.9);
     }
@@ -67,7 +88,27 @@ mod tests {
             opps: &opps,
             cur_freq_khz: 500_000,
             cpu_utils: &[],
+            cap_khz: u32::MAX,
         };
         assert_eq!(s.max_util(), 0.0);
+    }
+
+    #[test]
+    fn effective_max_rounds_the_cap_onto_the_table() {
+        let opps = OppTable::linear(500_000, 1_300_000, 9, 900, 1_100);
+        let mut s = ClusterSample {
+            cluster: ClusterId(0),
+            opps: &opps,
+            cur_freq_khz: 500_000,
+            cpu_utils: &[1.0],
+            cap_khz: u32::MAX,
+        };
+        assert_eq!(s.effective_max(), 1_300_000);
+        s.cap_khz = 1_050_000; // between OPPs: round down
+        assert_eq!(s.effective_max(), 1_000_000);
+        assert_eq!(s.clamp(1_300_000), 1_000_000);
+        assert_eq!(s.clamp(700_000), 700_000);
+        s.cap_khz = 100_000; // below the ladder: pinned to min
+        assert_eq!(s.effective_max(), 500_000);
     }
 }

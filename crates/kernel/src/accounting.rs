@@ -16,7 +16,9 @@ pub struct CpuAccounting {
 impl CpuAccounting {
     /// Creates counters for `n_cpus` CPUs, all zero.
     pub fn new(n_cpus: usize) -> Self {
-        CpuAccounting { busy_ns: vec![0; n_cpus] }
+        CpuAccounting {
+            busy_ns: vec![0; n_cpus],
+        }
     }
 
     /// Credits `dur` of busy time to `cpu`.
@@ -116,7 +118,10 @@ mod tests {
     fn empty_window_is_zero() {
         let acct = CpuAccounting::new(1);
         let w = BusyWindow::open(&acct, SimTime::from_millis(3));
-        assert_eq!(w.peek_fraction(&acct, CpuId(0), SimTime::from_millis(3)), 0.0);
+        assert_eq!(
+            w.peek_fraction(&acct, CpuId(0), SimTime::from_millis(3)),
+            0.0
+        );
     }
 
     #[test]
@@ -126,7 +131,10 @@ mod tests {
         let mut acct = CpuAccounting::new(1);
         let w = BusyWindow::open(&acct, SimTime::ZERO);
         acct.add_busy(CpuId(0), SimDuration::from_millis(11));
-        assert_eq!(w.peek_fraction(&acct, CpuId(0), SimTime::from_millis(10)), 1.0);
+        assert_eq!(
+            w.peek_fraction(&acct, CpuId(0), SimTime::from_millis(10)),
+            1.0
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use bl_platform::ids::{CoreKind, CpuId};
 use bl_platform::perf::{Work, WorkProfile};
 use bl_platform::state::PlatformState;
 use bl_platform::topology::Platform;
+use bl_simcore::error::SimError;
 use bl_simcore::time::{SimDuration, SimTime};
 
 /// Work below this many instructions counts as complete (sub-nanosecond
@@ -276,6 +277,94 @@ impl Kernel {
         self.dispatch_all();
     }
 
+    // ---- hotplug ------------------------------------------------------------
+
+    /// Reacts to a CPU going offline: the dying CPU's runqueue is drained
+    /// and every queued task is rehomed onto a surviving CPU. Tasks pinned
+    /// to the dying CPU — runnable, sleeping or blocked — have their
+    /// affinity widened to [`Affinity::Any`], mirroring Linux
+    /// `select_fallback_rq`, which breaks a task's mask rather than strand
+    /// it ("no longer affine to cpuN").
+    ///
+    /// The platform state must already show the CPU offline (call
+    /// `PlatformState::set_online` first); the one-little-always-online
+    /// rule is enforced there, so the kernel always has somewhere to drain
+    /// to.
+    ///
+    /// Returns the ids of the tasks that were rehomed.
+    pub fn offline_cpu(&mut self, cpu: CpuId, hw: &Hw<'_>) -> Vec<TaskId> {
+        debug_assert!(
+            !hw.online(cpu),
+            "offline_cpu: platform still shows {cpu} online"
+        );
+        for t in &mut self.tasks {
+            if t.affinity == Affinity::Pinned(cpu) {
+                t.affinity = Affinity::Any;
+            }
+        }
+        let rq = &mut self.rqs[cpu.0];
+        let mut drained: Vec<TaskId> = Vec::new();
+        drained.extend(rq.current());
+        drained.extend(rq.waiting().iter().copied());
+        for tid in &drained {
+            self.rqs[cpu.0].remove(*tid);
+            self.tasks[tid.0].cpu = None;
+        }
+        for tid in &drained {
+            let target = self.select_cpu(*tid, hw);
+            self.tasks[tid.0].cpu = Some(target);
+            self.tasks[tid.0].last_cpu = Some(target);
+            self.rqs[target.0].enqueue(*tid);
+        }
+        self.dispatch_all();
+        drained
+    }
+
+    /// Reacts to a CPU coming back online. The kernel keeps no per-CPU
+    /// state that needs rebuilding — the runqueue sat empty while the CPU
+    /// was down — so this only validates that invariant; the next tick's
+    /// balancer and wake placement start using the CPU naturally.
+    pub fn online_cpu(&mut self, cpu: CpuId, hw: &Hw<'_>) {
+        debug_assert!(hw.online(cpu), "online_cpu: platform shows {cpu} offline");
+        debug_assert!(
+            self.rqs[cpu.0].is_empty(),
+            "invariant: an offline cpu's runqueue must stay empty"
+        );
+    }
+
+    /// Verifies the resilience layer's "never lose a task" guarantee:
+    /// every runnable task is queued on exactly one runqueue, and no
+    /// runqueue holds a non-runnable task.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TaskLost`] describing the first violation — always a
+    /// simulator bug if it fires.
+    pub fn check_no_lost_tasks(&self) -> Result<(), SimError> {
+        let mut queued = vec![0usize; self.tasks.len()];
+        for (cpu, rq) in self.rqs.iter().enumerate() {
+            for tid in rq.current().iter().chain(rq.waiting()) {
+                queued[tid.0] += 1;
+                if self.tasks[tid.0].state != TaskState::Runnable {
+                    return Err(SimError::TaskLost {
+                        task: tid.0,
+                        detail: format!("{:?} task queued on cpu{cpu}", self.tasks[tid.0].state),
+                    });
+                }
+            }
+        }
+        for (tid, count) in queued.iter().enumerate() {
+            let runnable = self.tasks[tid].state == TaskState::Runnable;
+            if runnable && *count != 1 {
+                return Err(SimError::TaskLost {
+                    task: tid,
+                    detail: format!("runnable task on {count} runqueues (expected 1)"),
+                });
+            }
+        }
+        Ok(())
+    }
+
     // ---- timers and wakes ---------------------------------------------------
 
     /// Delivers a sleep timer. Stale timers (the task was woken early or
@@ -322,12 +411,11 @@ impl Kernel {
         self.preempt_all();
         match self.cfg.policy {
             AsymPolicy::Hmp(params) => self.hmp_migrate(hw, &params),
-            AsymPolicy::EfficiencyBased { min_load } => {
-                self.efficiency_migrate(hw, min_load)
-            }
-            AsymPolicy::ParallelismAware { serial_threshold, min_load } => {
-                self.parallelism_migrate(hw, serial_threshold, min_load)
-            }
+            AsymPolicy::EfficiencyBased { min_load } => self.efficiency_migrate(hw, min_load),
+            AsymPolicy::ParallelismAware {
+                serial_threshold,
+                min_load,
+            } => self.parallelism_migrate(hw, serial_threshold, min_load),
             AsymPolicy::Disabled => {}
         }
         if self.cfg.balance_enabled {
@@ -418,7 +506,9 @@ impl Kernel {
 
     fn move_to_kind(&mut self, hw: &Hw<'_>, tid: TaskId, kind: CoreKind) {
         let topo = &hw.platform.topology;
-        let Some(cpu) = self.tasks[tid.0].cpu else { return };
+        let Some(cpu) = self.tasks[tid.0].cpu else {
+            return;
+        };
         if topo.kind_of(cpu) == kind {
             return;
         }
@@ -451,7 +541,11 @@ impl Kernel {
             .collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         for (i, (tid, _)) in ranked.into_iter().enumerate() {
-            let kind = if i < n_big { CoreKind::Big } else { CoreKind::Little };
+            let kind = if i < n_big {
+                CoreKind::Big
+            } else {
+                CoreKind::Little
+            };
             self.move_to_kind(hw, tid, kind);
         }
     }
@@ -464,12 +558,12 @@ impl Kernel {
         if active.is_empty() {
             return;
         }
-        let target = if active.len() <= serial_threshold && !hw.online_of_kind(CoreKind::Big).is_empty()
-        {
-            CoreKind::Big
-        } else {
-            CoreKind::Little
-        };
+        let target =
+            if active.len() <= serial_threshold && !hw.online_of_kind(CoreKind::Big).is_empty() {
+                CoreKind::Big
+            } else {
+                CoreKind::Little
+            };
         for tid in active {
             self.move_to_kind(hw, tid, target);
         }
@@ -481,11 +575,7 @@ impl Kernel {
         let topo = &hw.platform.topology;
         for cluster in topo.clusters() {
             let online: Vec<CpuId> = hw.online_of_kind(cluster.core.kind);
-            while let Some(idle) = online
-                .iter()
-                .copied()
-                .find(|c| self.rqs[c.0].is_empty())
-            {
+            while let Some(idle) = online.iter().copied().find(|c| self.rqs[c.0].is_empty()) {
                 // Busiest donor: a CPU that is both executing a task and has
                 // waiters (a CPU with only waiters will self-dispatch).
                 let Some(donor) = online
@@ -537,7 +627,8 @@ impl Kernel {
                 behavior.next_step(&mut ctx)
             };
             self.tasks[tid.0].behavior = behavior;
-            self.pending_wakes.extend(wakes.into_iter().filter(|w| *w != tid));
+            self.pending_wakes
+                .extend(wakes.into_iter().filter(|w| *w != tid));
 
             match step {
                 Step::Compute { work, profile } => {
@@ -596,8 +687,7 @@ impl Kernel {
         }
         panic!(
             "task {} ({}) livelocked: {MAX_IMMEDIATE_STEPS} immediate steps",
-            tid,
-            self.tasks[tid.0].name
+            tid, self.tasks[tid.0].name
         );
     }
 
@@ -626,18 +716,39 @@ impl Kernel {
             .expect("idlest_cpu: empty candidate set")
     }
 
+    /// Idlest online CPU, preferring `kind` but degrading to the other
+    /// side when a cluster is fully throttled off or hotplugged out.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if *no* CPU is online — impossible while the platform's
+    /// one-little-always-online invariant holds.
+    fn fallback_cpu(&self, kind: CoreKind, hw: &Hw<'_>) -> CpuId {
+        let mut cands = hw.online_of_kind(kind);
+        if cands.is_empty() {
+            cands = hw.online_of_kind(kind.other());
+        }
+        assert!(
+            !cands.is_empty(),
+            "invariant violated: no online cpus (platform must keep one little online)"
+        );
+        self.idlest_cpu(&cands)
+    }
+
     fn select_cpu(&self, tid: TaskId, hw: &Hw<'_>) -> CpuId {
         let t = &self.tasks[tid.0];
         match t.affinity {
             Affinity::Pinned(cpu) => {
-                assert!(hw.online(cpu), "pinned task {} on offline {cpu}", t.name);
-                cpu
+                if hw.online(cpu) {
+                    cpu
+                } else {
+                    // Only reachable in the window between a CPU dying and
+                    // `offline_cpu` widening its pins; place like Linux
+                    // select_fallback_rq instead of stranding the task.
+                    self.fallback_cpu(hw.platform.topology.kind_of(cpu), hw)
+                }
             }
-            Affinity::Kind(kind) => {
-                let cands = hw.online_of_kind(kind);
-                assert!(!cands.is_empty(), "no online {kind} cpus for {}", t.name);
-                self.idlest_cpu(&cands)
-            }
+            Affinity::Kind(kind) => self.fallback_cpu(kind, hw),
             Affinity::Any => {
                 // HMP-aware wake placement: cross-threshold loads pick the
                 // matching side; otherwise the task returns to the side it
@@ -645,14 +756,10 @@ impl Kernel {
                 // migration is what later pulls a cooled-down task back to
                 // little, exactly as on the real scheduler.
                 let load = t.load.value();
-                let last_kind = t
-                    .last_cpu
-                    .map(|c| hw.platform.topology.kind_of(c));
+                let last_kind = t.last_cpu.map(|c| hw.platform.topology.kind_of(c));
                 let preferred = match self.cfg.policy {
                     AsymPolicy::Hmp(params) if load > params.up_threshold => CoreKind::Big,
-                    AsymPolicy::Hmp(params) if load < params.down_threshold => {
-                        CoreKind::Little
-                    }
+                    AsymPolicy::Hmp(params) if load < params.down_threshold => CoreKind::Little,
                     // Efficiency/parallelism policies re-rank at every tick;
                     // wakes go back where the task last ran.
                     _ => last_kind.unwrap_or(CoreKind::Little),
@@ -668,18 +775,15 @@ impl Kernel {
                         return prev;
                     }
                 }
-                let mut cands = hw.online_of_kind(preferred);
-                if cands.is_empty() {
-                    cands = hw.online_of_kind(preferred.other());
-                }
-                assert!(!cands.is_empty(), "no online cpus at all");
-                self.idlest_cpu(&cands)
+                self.fallback_cpu(preferred, hw)
             }
         }
     }
 
     fn move_task(&mut self, tid: TaskId, target: CpuId) {
-        let Some(src) = self.tasks[tid.0].cpu else { return };
+        let Some(src) = self.tasks[tid.0].cpu else {
+            return;
+        };
         if src == target {
             return;
         }

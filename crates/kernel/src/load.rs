@@ -55,7 +55,10 @@ impl LoadTracker {
     /// ratio, in `[0,1]`) held over `[last_update, now]`, then advances the
     /// update point.
     pub fn update(&mut self, now: SimTime, r: f64) {
-        debug_assert!((0.0..=1.0 + 1e-9).contains(&r), "contribution out of range: {r}");
+        debug_assert!(
+            (0.0..=1.0 + 1e-9).contains(&r),
+            "contribution out of range: {r}"
+        );
         if now <= self.last_update {
             return;
         }

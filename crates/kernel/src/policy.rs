@@ -61,7 +61,10 @@ impl AsymPolicy {
     /// Parallelism-aware with the default thresholds (serial == number of
     /// big cores on the modeled platform).
     pub fn parallelism_aware() -> Self {
-        AsymPolicy::ParallelismAware { serial_threshold: 4, min_load: 128.0 }
+        AsymPolicy::ParallelismAware {
+            serial_threshold: 4,
+            min_load: 128.0,
+        }
     }
 
     /// Load-history half-life used for task load tracking under this

@@ -98,7 +98,11 @@ impl<'a> BehaviorCtx<'a> {
         wakes: &'a mut Vec<TaskId>,
         signals: &'a mut Vec<(SimTime, AppSignal)>,
     ) -> Self {
-        BehaviorCtx { now, wakes, signals }
+        BehaviorCtx {
+            now,
+            wakes,
+            signals,
+        }
     }
 
     /// Requests that `tid` be woken (if blocked or sleeping) once the
@@ -205,7 +209,10 @@ mod tests {
         ctx.wake(TaskId(3));
         ctx.signal(AppSignal::ScriptDone);
         assert_eq!(wakes, vec![TaskId(3)]);
-        assert_eq!(signals, vec![(SimTime::from_millis(5), AppSignal::ScriptDone)]);
+        assert_eq!(
+            signals,
+            vec![(SimTime::from_millis(5), AppSignal::ScriptDone)]
+        );
     }
 
     #[test]

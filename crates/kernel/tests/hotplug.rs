@@ -1,0 +1,250 @@
+//! Hotplug resilience: draining a dying CPU must rehome every queued task,
+//! widen broken pins, keep the one-little-online rule, and never lose work.
+
+use bl_kernel::kernel::{Hw, Kernel, KernelConfig};
+use bl_kernel::task::{Affinity, BehaviorCtx, Step, TaskId, TaskState};
+use bl_platform::exynos::exynos5422;
+use bl_platform::ids::{CoreKind, CpuId};
+use bl_platform::perf::{Work, WorkProfile};
+use bl_platform::state::PlatformState;
+use bl_platform::topology::Platform;
+use bl_simcore::time::SimTime;
+
+/// Computes one large chunk, then exits.
+struct OneShot {
+    work: Work,
+    done: bool,
+}
+
+impl bl_kernel::task::TaskBehavior for OneShot {
+    fn next_step(&mut self, _ctx: &mut BehaviorCtx<'_>) -> Step {
+        if self.done {
+            return Step::Exit;
+        }
+        self.done = true;
+        Step::Compute {
+            work: self.work,
+            profile: WorkProfile::compute_bound(),
+        }
+    }
+}
+
+fn setup() -> (Platform, PlatformState, Kernel) {
+    let platform = exynos5422();
+    let mut state = PlatformState::new(&platform.topology);
+    state.set_all_max(&platform.topology);
+    let kernel = Kernel::new(
+        platform.topology.n_cpus(),
+        KernelConfig::default(),
+        SimTime::ZERO,
+    );
+    (platform, state, kernel)
+}
+
+fn spawn_one(
+    kernel: &mut Kernel,
+    platform: &Platform,
+    state: &PlatformState,
+    name: &str,
+    affinity: Affinity,
+) -> TaskId {
+    let hw = Hw { platform, state };
+    kernel.spawn(
+        name,
+        affinity,
+        Box::new(OneShot {
+            work: Work::from_instructions(1e9),
+            done: false,
+        }),
+        &hw,
+        SimTime::ZERO,
+    )
+}
+
+#[test]
+fn offline_drains_and_rehomes_all_queued_tasks() {
+    let (platform, mut state, mut kernel) = setup();
+    let victim = CpuId(5);
+    // Three tasks pinned to the victim big CPU: one runs, two wait.
+    let tids: Vec<TaskId> = (0..3)
+        .map(|i| {
+            spawn_one(
+                &mut kernel,
+                &platform,
+                &state,
+                &format!("pin{i}"),
+                Affinity::Pinned(victim),
+            )
+        })
+        .collect();
+    for tid in &tids {
+        assert_eq!(kernel.task_cpu(*tid), Some(victim));
+    }
+
+    state.set_online(&platform.topology, victim, false).unwrap();
+    let hw = Hw {
+        platform: &platform,
+        state: &state,
+    };
+    let drained = kernel.offline_cpu(victim, &hw);
+    assert_eq!(drained.len(), 3);
+    for tid in &tids {
+        let cpu = kernel.task_cpu(*tid).expect("task must stay placed");
+        assert_ne!(cpu, victim);
+        assert!(state.is_online(cpu), "rehomed onto an online cpu");
+        assert_eq!(kernel.task_state(*tid), TaskState::Runnable);
+    }
+    kernel.check_no_lost_tasks().unwrap();
+}
+
+#[test]
+fn pinned_tasks_keep_running_after_their_cpu_dies() {
+    let (platform, mut state, mut kernel) = setup();
+    let victim = CpuId(2);
+    let tid = spawn_one(
+        &mut kernel,
+        &platform,
+        &state,
+        "pinned",
+        Affinity::Pinned(victim),
+    );
+
+    state.set_online(&platform.topology, victim, false).unwrap();
+    let hw = Hw {
+        platform: &platform,
+        state: &state,
+    };
+    kernel.offline_cpu(victim, &hw);
+
+    // Drive the task to completion: the widened affinity lets it finish
+    // elsewhere instead of waiting forever for cpu2 to return.
+    let mut now = SimTime::ZERO;
+    for _ in 0..1000 {
+        if kernel.task_state(tid) == TaskState::Exited {
+            break;
+        }
+        let next = kernel
+            .next_completion_time(&hw, now)
+            .expect("task still has work queued");
+        kernel.advance_to(&hw, next);
+        now = next;
+        kernel.handle_completions(&hw, now);
+    }
+    assert_eq!(kernel.task_state(tid), TaskState::Exited);
+}
+
+#[test]
+fn whole_big_cluster_offline_degrades_to_little_only() {
+    let (platform, mut state, mut kernel) = setup();
+    let tids: Vec<TaskId> = (0..4)
+        .map(|i| {
+            spawn_one(
+                &mut kernel,
+                &platform,
+                &state,
+                &format!("big{i}"),
+                Affinity::Kind(CoreKind::Big),
+            )
+        })
+        .collect();
+
+    for cpu in platform.topology.cpus_of_kind(CoreKind::Big) {
+        state.set_online(&platform.topology, cpu, false).unwrap();
+        let hw = Hw {
+            platform: &platform,
+            state: &state,
+        };
+        kernel.offline_cpu(cpu, &hw);
+    }
+    // Kind-affine tasks degrade to the surviving little cluster rather
+    // than panicking on an empty candidate set.
+    for tid in &tids {
+        let cpu = kernel.task_cpu(*tid).expect("task must stay placed");
+        assert_eq!(platform.topology.kind_of(cpu), CoreKind::Little);
+    }
+    kernel.check_no_lost_tasks().unwrap();
+}
+
+#[test]
+fn online_cpu_becomes_usable_again() {
+    let (platform, mut state, mut kernel) = setup();
+    let victim = CpuId(6);
+    state.set_online(&platform.topology, victim, false).unwrap();
+    {
+        let hw = Hw {
+            platform: &platform,
+            state: &state,
+        };
+        assert!(kernel.offline_cpu(victim, &hw).is_empty());
+    }
+    state.set_online(&platform.topology, victim, true).unwrap();
+    let hw = Hw {
+        platform: &platform,
+        state: &state,
+    };
+    kernel.online_cpu(victim, &hw);
+    // A task pinned to the revived CPU places onto it directly.
+    let tid = spawn_one(
+        &mut kernel,
+        &platform,
+        &state,
+        "revived",
+        Affinity::Pinned(victim),
+    );
+    assert_eq!(kernel.task_cpu(tid), Some(victim));
+}
+
+#[test]
+fn sleeping_pinned_task_wakes_onto_surviving_cpu() {
+    let (platform, mut state, mut kernel) = setup();
+    let victim = CpuId(3);
+
+    // A task that sleeps first, then computes — it is asleep when its CPU
+    // dies, so only the affinity rewrite protects its wakeup.
+    struct SleepThenWork {
+        stage: u8,
+    }
+    impl bl_kernel::task::TaskBehavior for SleepThenWork {
+        fn next_step(&mut self, _ctx: &mut BehaviorCtx<'_>) -> Step {
+            self.stage += 1;
+            match self.stage {
+                1 => Step::Sleep(bl_simcore::time::SimDuration::from_millis(10)),
+                2 => Step::Compute {
+                    work: Work::from_instructions(1e8),
+                    profile: WorkProfile::compute_bound(),
+                },
+                _ => Step::Exit,
+            }
+        }
+    }
+
+    let tid = {
+        let hw = Hw {
+            platform: &platform,
+            state: &state,
+        };
+        kernel.spawn(
+            "sleeper",
+            Affinity::Pinned(victim),
+            Box::new(SleepThenWork { stage: 0 }),
+            &hw,
+            SimTime::ZERO,
+        )
+    };
+    assert_eq!(kernel.task_state(tid), TaskState::Sleeping);
+    let wake = kernel.drain_wake_requests();
+    assert_eq!(wake.len(), 1);
+
+    state.set_online(&platform.topology, victim, false).unwrap();
+    let hw = Hw {
+        platform: &platform,
+        state: &state,
+    };
+    kernel.offline_cpu(victim, &hw);
+
+    kernel.timer_wake(wake[0].tid, wake[0].seq, &hw, wake[0].at);
+    let cpu = kernel.task_cpu(tid).expect("woke and placed");
+    assert_ne!(cpu, victim);
+    assert!(state.is_online(cpu));
+    kernel.check_no_lost_tasks().unwrap();
+}

@@ -31,17 +31,30 @@ impl MiniSim {
         let mut state = PlatformState::new(&platform.topology);
         // Fixed max frequencies: these tests isolate scheduler behavior.
         state.set_all_max(&platform.topology);
-        let kernel = Kernel::new(platform.topology.n_cpus(), KernelConfig::default(), SimTime::ZERO);
+        let kernel = Kernel::new(
+            platform.topology.n_cpus(),
+            KernelConfig::default(),
+            SimTime::ZERO,
+        );
         let mut queue = EventQueue::new();
         queue.schedule(SimTime::from_millis(4), Ev::Tick);
-        MiniSim { platform, state, kernel, queue, now: SimTime::ZERO }
+        MiniSim {
+            platform,
+            state,
+            kernel,
+            queue,
+            now: SimTime::ZERO,
+        }
     }
 
     fn spawn<B>(&mut self, name: &str, affinity: Affinity, behavior: B) -> TaskId
     where
         B: FnMut(&mut BehaviorCtx<'_>) -> Step + 'static,
     {
-        let hw = Hw { platform: &self.platform, state: &self.state };
+        let hw = Hw {
+            platform: &self.platform,
+            state: &self.state,
+        };
         let tid = self
             .kernel
             .spawn(name, affinity, Box::new(behavior), &hw, self.now);
@@ -57,7 +70,10 @@ impl MiniSim {
 
     fn run_until(&mut self, until: SimTime) {
         while self.now < until {
-            let hw = Hw { platform: &self.platform, state: &self.state };
+            let hw = Hw {
+                platform: &self.platform,
+                state: &self.state,
+            };
             let next_event = self.queue.peek_time().unwrap_or(SimTime::MAX);
             let completion = self
                 .kernel
@@ -103,7 +119,10 @@ fn one_shot(work: Work) -> impl FnMut(&mut BehaviorCtx<'_>) -> Step {
             Step::Exit
         } else {
             fired = true;
-            Step::Compute { work, profile: WorkProfile::compute_bound() }
+            Step::Compute {
+                work,
+                profile: WorkProfile::compute_bound(),
+            }
         }
     }
 }
@@ -158,13 +177,19 @@ fn hmp_migrates_sustained_load_to_big_core() {
     let work = sim.little_ms(500);
     let tid = sim.spawn("hog", Affinity::Any, one_shot(work));
     assert_eq!(
-        sim.platform.topology.kind_of(sim.kernel.task_cpu(tid).unwrap()),
+        sim.platform
+            .topology
+            .kind_of(sim.kernel.task_cpu(tid).unwrap()),
         CoreKind::Little,
         "initial placement is little"
     );
     sim.run_until(SimTime::from_millis(200));
     let cpu = sim.kernel.task_cpu(tid).expect("still running");
-    assert_eq!(sim.platform.topology.kind_of(cpu), CoreKind::Big, "should have migrated up");
+    assert_eq!(
+        sim.platform.topology.kind_of(cpu),
+        CoreKind::Big,
+        "should have migrated up"
+    );
     let (up, _) = sim.kernel.migration_counts();
     assert!(up >= 1);
 }
@@ -180,9 +205,15 @@ fn hmp_migrates_light_load_back_down() {
     let tid = sim.spawn("bursty", Affinity::Any, move |_ctx| {
         phase += 1;
         match phase {
-            1 => Step::Compute { work: heavy, profile: WorkProfile::compute_bound() },
+            1 => Step::Compute {
+                work: heavy,
+                profile: WorkProfile::compute_bound(),
+            },
             p if p % 2 == 0 => Step::Sleep(SimDuration::from_millis(40)),
-            _ => Step::Compute { work: light_work, profile: WorkProfile::compute_bound() },
+            _ => Step::Compute {
+                work: light_work,
+                profile: WorkProfile::compute_bound(),
+            },
         }
     });
     sim.run_until(SimTime::from_millis(1500));
@@ -212,7 +243,11 @@ fn load_balancer_spreads_tasks_within_cluster() {
     let mut unique = cpus.clone();
     unique.sort();
     unique.dedup();
-    assert_eq!(unique.len(), 3, "tasks should spread to distinct CPUs: {cpus:?}");
+    assert_eq!(
+        unique.len(),
+        3,
+        "tasks should spread to distinct CPUs: {cpus:?}"
+    );
 }
 
 #[test]
@@ -223,7 +258,10 @@ fn sleep_wake_cycle_and_signals() {
     sim.spawn("periodic", Affinity::Pinned(CpuId(0)), move |ctx| {
         n += 1;
         match n {
-            1 | 3 | 5 => Step::Compute { work, profile: WorkProfile::compute_bound() },
+            1 | 3 | 5 => Step::Compute {
+                work,
+                profile: WorkProfile::compute_bound(),
+            },
             2 | 4 => {
                 ctx.signal(AppSignal::Marker(n));
                 Step::Sleep(SimDuration::from_millis(10))
@@ -242,7 +280,9 @@ fn sleep_wake_cycle_and_signals() {
         .filter(|(_, s)| matches!(s, AppSignal::Marker(_)))
         .collect();
     assert_eq!(markers.len(), 2);
-    assert!(signals.iter().any(|(_, s)| matches!(s, AppSignal::ScriptDone)));
+    assert!(signals
+        .iter()
+        .any(|(_, s)| matches!(s, AppSignal::ScriptDone)));
     // Completion near 1ms + 10ms + 1ms + 10ms + 1ms = ~23ms.
     let done_at = signals
         .iter()
@@ -265,7 +305,10 @@ fn blocked_task_woken_by_peer() {
         worker_phase += 1;
         match worker_phase {
             1 => Step::Block,
-            2 => Step::Compute { work, profile: WorkProfile::compute_bound() },
+            2 => Step::Compute {
+                work,
+                profile: WorkProfile::compute_bound(),
+            },
             _ => Step::Exit,
         }
     });
@@ -274,7 +317,10 @@ fn blocked_task_woken_by_peer() {
     sim.spawn("producer", Affinity::Pinned(CpuId(0)), move |ctx| {
         producer_phase += 1;
         match producer_phase {
-            1 => Step::Compute { work, profile: WorkProfile::compute_bound() },
+            1 => Step::Compute {
+                work,
+                profile: WorkProfile::compute_bound(),
+            },
             2 => {
                 ctx.wake(worker);
                 Step::Exit
@@ -298,9 +344,15 @@ fn wake_while_runnable_is_remembered() {
     let consumer = sim.spawn("consumer", Affinity::Pinned(CpuId(0)), move |_| {
         phase += 1;
         match phase {
-            1 => Step::Compute { work: long, profile: WorkProfile::compute_bound() },
+            1 => Step::Compute {
+                work: long,
+                profile: WorkProfile::compute_bound(),
+            },
             2 => Step::Block, // should fall straight through
-            3 => Step::Compute { work: short, profile: WorkProfile::compute_bound() },
+            3 => Step::Compute {
+                work: short,
+                profile: WorkProfile::compute_bound(),
+            },
             _ => Step::Exit,
         }
     });
@@ -325,7 +377,10 @@ fn wake_while_runnable_is_remembered() {
 fn offline_cpus_never_receive_tasks() {
     let mut sim = MiniSim::new();
     sim.state
-        .apply_core_config(&sim.platform.topology, bl_platform::config::CoreConfig::new(2, 0))
+        .apply_core_config(
+            &sim.platform.topology,
+            bl_platform::config::CoreConfig::new(2, 0),
+        )
         .unwrap();
     let work = sim.little_ms(50);
     let mut tids = Vec::new();
@@ -362,7 +417,10 @@ fn stale_timer_does_not_wake_rescheduled_sleeper() {
         match phase {
             1 => Step::Sleep(SimDuration::from_millis(10)),
             2 => Step::Sleep(SimDuration::from_millis(50)),
-            3 => Step::Compute { work, profile: WorkProfile::compute_bound() },
+            3 => Step::Compute {
+                work,
+                profile: WorkProfile::compute_bound(),
+            },
             _ => Step::Exit,
         }
     });
@@ -399,7 +457,10 @@ mod policy_behavior {
         // Rebuild the kernel with the requested policy.
         sim.kernel = Kernel::new(
             sim.platform.topology.n_cpus(),
-            KernelConfig { policy, ..KernelConfig::default() },
+            KernelConfig {
+                policy,
+                ..KernelConfig::default()
+            },
             SimTime::ZERO,
         );
         sim
@@ -471,11 +532,17 @@ mod policy_behavior {
             min_load: 64.0,
         });
         let work = sim.little_ms(600);
-        let solo = sim.spawn("solo", Affinity::Any, hog(work, WorkProfile::compute_bound()));
+        let solo = sim.spawn(
+            "solo",
+            Affinity::Any,
+            hog(work, WorkProfile::compute_bound()),
+        );
         sim.run_until(SimTime::from_millis(100));
         // One runnable task = serial phase: it must run on a big core.
         assert_eq!(
-            sim.platform.topology.kind_of(sim.kernel.task_cpu(solo).unwrap()),
+            sim.platform
+                .topology
+                .kind_of(sim.kernel.task_cpu(solo).unwrap()),
             CoreKind::Big
         );
     }
@@ -489,7 +556,11 @@ mod policy_behavior {
         let work = sim.little_ms(400);
         let mut tids = Vec::new();
         for i in 0..4 {
-            tids.push(sim.spawn(&format!("par{i}"), Affinity::Any, hog(work, WorkProfile::compute_bound())));
+            tids.push(sim.spawn(
+                &format!("par{i}"),
+                Affinity::Any,
+                hog(work, WorkProfile::compute_bound()),
+            ));
         }
         sim.run_until(SimTime::from_millis(300));
         // Four runnable tasks exceed the serial threshold: all little.
@@ -508,10 +579,16 @@ mod policy_behavior {
     fn disabled_policy_never_migrates() {
         let mut sim = sim_with_policy(AsymPolicy::Disabled);
         let work = sim.little_ms(300);
-        let tid = sim.spawn("hog", Affinity::Any, hog(work, WorkProfile::compute_bound()));
+        let tid = sim.spawn(
+            "hog",
+            Affinity::Any,
+            hog(work, WorkProfile::compute_bound()),
+        );
         sim.run_until(SimTime::from_millis(200));
         assert_eq!(
-            sim.platform.topology.kind_of(sim.kernel.task_cpu(tid).unwrap()),
+            sim.platform
+                .topology
+                .kind_of(sim.kernel.task_cpu(tid).unwrap()),
             CoreKind::Little,
             "no policy, no migration"
         );

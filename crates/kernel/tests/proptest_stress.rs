@@ -50,7 +50,10 @@ impl bl_kernel::task::TaskBehavior for PlanBehavior {
         match self.segments.next() {
             Some((work, sleep)) => {
                 self.pending_sleep = Some(sleep);
-                Step::Compute { work, profile: WorkProfile::compute_bound() }
+                Step::Compute {
+                    work,
+                    profile: WorkProfile::compute_bound(),
+                }
             }
             None => Step::Exit,
         }
@@ -66,15 +69,26 @@ fn drive(plans: Vec<TaskPlan>) -> (Platform, Kernel, SimTime, Vec<(TaskId, Optio
     let platform = exynos5422();
     let mut state = PlatformState::new(&platform.topology);
     state.set_all_max(&platform.topology);
-    let mut kernel = Kernel::new(platform.topology.n_cpus(), KernelConfig::default(), SimTime::ZERO);
-    let little_l2 = platform.topology.cluster_of_kind(bl_platform::ids::CoreKind::Little).unwrap().l2;
+    let mut kernel = Kernel::new(
+        platform.topology.n_cpus(),
+        KernelConfig::default(),
+        SimTime::ZERO,
+    );
+    let little_l2 = platform
+        .topology
+        .cluster_of_kind(bl_platform::ids::CoreKind::Little)
+        .unwrap()
+        .l2;
 
     let mut queue: EventQueue<Ev> = EventQueue::new();
     queue.schedule(SimTime::from_millis(4), Ev::Tick);
 
     let mut pins = Vec::new();
     {
-        let hw = Hw { platform: &platform, state: &state };
+        let hw = Hw {
+            platform: &platform,
+            state: &state,
+        };
         for (i, plan) in plans.iter().enumerate() {
             let segments: Vec<(Work, SimDuration)> = plan
                 .segments
@@ -96,8 +110,17 @@ fn drive(plans: Vec<TaskPlan>) -> (Platform, Kernel, SimTime, Vec<(TaskId, Optio
                 Some(c) => Affinity::Pinned(CpuId(c as usize % platform.topology.n_cpus())),
                 None => Affinity::Any,
             };
-            let behavior = PlanBehavior { segments: segments.into_iter(), pending_sleep: None };
-            let tid = kernel.spawn(format!("t{i}"), affinity, Box::new(behavior), &hw, SimTime::ZERO);
+            let behavior = PlanBehavior {
+                segments: segments.into_iter(),
+                pending_sleep: None,
+            };
+            let tid = kernel.spawn(
+                format!("t{i}"),
+                affinity,
+                Box::new(behavior),
+                &hw,
+                SimTime::ZERO,
+            );
             let pin = match affinity {
                 Affinity::Pinned(c) => Some(c),
                 _ => None,
@@ -109,12 +132,17 @@ fn drive(plans: Vec<TaskPlan>) -> (Platform, Kernel, SimTime, Vec<(TaskId, Optio
     let deadline = SimTime::from_secs(10);
     let mut now = SimTime::ZERO;
     while now < deadline {
-        let hw = Hw { platform: &platform, state: &state };
+        let hw = Hw {
+            platform: &platform,
+            state: &state,
+        };
         if kernel.all_exited() {
             break;
         }
         let next_event = queue.peek_time().unwrap_or(SimTime::MAX);
-        let completion = kernel.next_completion_time(&hw, now).unwrap_or(SimTime::MAX);
+        let completion = kernel
+            .next_completion_time(&hw, now)
+            .unwrap_or(SimTime::MAX);
         let target = next_event.min(completion).min(deadline);
         kernel.advance_to(&hw, target);
         now = target;

@@ -201,11 +201,16 @@ mod tests {
         let (_t, acct, state, mut c) = setup();
         c.on_signal(
             SimTime::from_millis(16),
-            AppSignal::Frame { frame_time: SimDuration::from_millis(8) },
+            AppSignal::Frame {
+                frame_time: SimDuration::from_millis(8),
+            },
         );
-        c.on_signal(SimTime::from_millis(33), AppSignal::Frame {
-            frame_time: SimDuration::from_millis(9),
-        });
+        c.on_signal(
+            SimTime::from_millis(33),
+            AppSignal::Frame {
+                frame_time: SimDuration::from_millis(9),
+            },
+        );
         c.on_signal(SimTime::from_millis(500), AppSignal::ScriptDone);
         c.on_signal(SimTime::from_millis(100), AppSignal::ActionDone);
         c.sample(SimTime::from_millis(10), &acct, &state);

@@ -57,12 +57,7 @@ impl UtilClass {
     }
 
     /// Classifies one active core-sample.
-    pub fn classify(
-        util: f64,
-        kind: CoreKind,
-        at_min_freq: bool,
-        at_max_freq: bool,
-    ) -> UtilClass {
+    pub fn classify(util: f64, kind: CoreKind, at_min_freq: bool, at_max_freq: bool) -> UtilClass {
         if kind == CoreKind::Big && at_max_freq && util >= 0.99 {
             return UtilClass::Full;
         }
@@ -137,16 +132,34 @@ mod tests {
         // Big core maxed out and saturated -> Full.
         assert_eq!(UtilClass::classify(1.0, CoreKind::Big, false, true), Full);
         // Big at max but not saturated -> by utilization.
-        assert_eq!(UtilClass::classify(0.97, CoreKind::Big, false, true), Over95);
+        assert_eq!(
+            UtilClass::classify(0.97, CoreKind::Big, false, true),
+            Over95
+        );
         // Little at min with low load -> Min (can't scale lower).
         assert_eq!(UtilClass::classify(0.3, CoreKind::Little, true, false), Min);
         // Little at higher OPP with low load -> Under50 (could scale down).
-        assert_eq!(UtilClass::classify(0.3, CoreKind::Little, false, false), Under50);
+        assert_eq!(
+            UtilClass::classify(0.3, CoreKind::Little, false, false),
+            Under50
+        );
         // Big core idle-ish is Under50, never Min.
-        assert_eq!(UtilClass::classify(0.1, CoreKind::Big, true, false), Under50);
-        assert_eq!(UtilClass::classify(0.6, CoreKind::Little, false, false), From50To70);
-        assert_eq!(UtilClass::classify(0.8, CoreKind::Big, false, false), From70To95);
-        assert_eq!(UtilClass::classify(0.96, CoreKind::Little, true, true), Over95);
+        assert_eq!(
+            UtilClass::classify(0.1, CoreKind::Big, true, false),
+            Under50
+        );
+        assert_eq!(
+            UtilClass::classify(0.6, CoreKind::Little, false, false),
+            From50To70
+        );
+        assert_eq!(
+            UtilClass::classify(0.8, CoreKind::Big, false, false),
+            From70To95
+        );
+        assert_eq!(
+            UtilClass::classify(0.96, CoreKind::Little, true, true),
+            Over95
+        );
     }
 
     #[test]

@@ -51,13 +51,17 @@ impl FrameRecorder {
         }
         let avg_fps = self.completions.len() as f64 / total.as_secs_f64();
         // Worst 1-second window by completion count.
-        let per_window =
-            self.completions
-                .window_aggregate(SimDuration::from_secs(1), |v| v.len() as f64);
+        let per_window = self
+            .completions
+            .window_aggregate(SimDuration::from_secs(1), |v| v.len() as f64);
         let min_fps = per_window.iter().cloned().fold(f64::INFINITY, f64::min);
         Some(FpsStats {
             avg_fps,
-            min_fps: if min_fps.is_finite() { min_fps } else { avg_fps },
+            min_fps: if min_fps.is_finite() {
+                min_fps
+            } else {
+                avg_fps
+            },
             frames: self.completions.len() as u64,
         })
     }

@@ -21,7 +21,11 @@ impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
         assert!(!headers.is_empty(), "table needs at least one column");
-        TextTable { headers, rows: Vec::new(), title: None }
+        TextTable {
+            headers,
+            rows: Vec::new(),
+            title: None,
+        }
     }
 
     /// Sets a title printed above the table.

@@ -78,7 +78,13 @@ impl CoreTypeMatrix {
                 }
             }
         }
-        let pct = |x: u64, d: u64| if d == 0 { 0.0 } else { x as f64 / d as f64 * 100.0 };
+        let pct = |x: u64, d: u64| {
+            if d == 0 {
+                0.0
+            } else {
+                x as f64 / d as f64 * 100.0
+            }
+        };
         TlpStats {
             idle_pct: pct(idle, self.total),
             little_pct: pct(little_only, active_samples),

@@ -36,8 +36,15 @@ impl CacheModel {
     ///
     /// Panics if any dimension is zero.
     pub fn new(size_kb: u32, assoc: u32, line_bytes: u32) -> Self {
-        assert!(size_kb > 0 && assoc > 0 && line_bytes > 0, "cache dims must be nonzero");
-        CacheModel { size_kb, assoc, line_bytes }
+        assert!(
+            size_kb > 0 && assoc > 0 && line_bytes > 0,
+            "cache dims must be nonzero"
+        );
+        CacheModel {
+            size_kb,
+            assoc,
+            line_bytes,
+        }
     }
 
     /// Misses per kilo-instruction for a workload with miss rate

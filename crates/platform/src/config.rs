@@ -42,7 +42,11 @@ impl fmt::Display for CoreConfigError {
             CoreConfigError::NoLittleCore => {
                 write!(f, "at least one little core must be online")
             }
-            CoreConfigError::TooManyCores { kind, requested, available } => write!(
+            CoreConfigError::TooManyCores {
+                kind,
+                requested,
+                available,
+            } => write!(
                 f,
                 "requested {requested} {kind} cores but only {available} exist"
             ),
@@ -88,7 +92,11 @@ impl CoreConfig {
         for (kind, requested) in [(CoreKind::Little, self.little), (CoreKind::Big, self.big)] {
             let available = topo.cpus_of_kind(kind).count();
             if requested > available {
-                return Err(CoreConfigError::TooManyCores { kind, requested, available });
+                return Err(CoreConfigError::TooManyCores {
+                    kind,
+                    requested,
+                    available,
+                });
             }
         }
         Ok(())
@@ -168,7 +176,14 @@ mod tests {
     fn overflow_rejected() {
         let topo = exynos5422().topology;
         let err = CoreConfig::new(5, 0).validate(&topo).unwrap_err();
-        assert!(matches!(err, CoreConfigError::TooManyCores { kind: CoreKind::Little, requested: 5, available: 4 }));
+        assert!(matches!(
+            err,
+            CoreConfigError::TooManyCores {
+                kind: CoreKind::Little,
+                requested: 5,
+                available: 4
+            }
+        ));
         assert!(err.to_string().contains("little"));
     }
 

@@ -77,7 +77,10 @@ pub fn exynos5422_tiny_floor() -> Platform {
     let base = exynos5422();
     let mut clusters = base.topology.clusters().to_vec();
     clusters[0].core.opps = OppTable::linear(200_000, 1_300_000, 12, 800, 1_100);
-    Platform { topology: Topology::new(clusters), perf: base.perf }
+    Platform {
+        topology: Topology::new(clusters),
+        perf: base.perf,
+    }
 }
 
 /// Ablation platform: the big cluster's L2 shrunk to the little cluster's
@@ -92,7 +95,10 @@ pub fn exynos5422_equal_l2() -> Platform {
     let base = exynos5422();
     let mut clusters = base.topology.clusters().to_vec();
     clusters[1].l2 = CacheModel::new(512, 16, 64);
-    Platform { topology: Topology::new(clusters), perf: base.perf }
+    Platform {
+        topology: Topology::new(clusters),
+        perf: base.perf,
+    }
 }
 
 #[cfg(test)]

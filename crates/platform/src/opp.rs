@@ -157,7 +157,10 @@ impl OppTable {
     /// Panics if `steps < 2` or the ranges are not ascending.
     pub fn linear(min_khz: u32, max_khz: u32, steps: usize, min_mv: u32, max_mv: u32) -> Self {
         assert!(steps >= 2, "OppTable::linear: need at least 2 steps");
-        assert!(min_khz < max_khz && min_mv <= max_mv);
+        assert!(
+            min_khz < max_khz && min_mv <= max_mv,
+            "OppTable::linear: frequency and voltage ranges must ascend"
+        );
         let opps = (0..steps)
             .map(|i| {
                 let t = i as f64 / (steps - 1) as f64;
@@ -184,8 +187,14 @@ mod tests {
     fn construction_validates() {
         assert_eq!(OppTable::new(vec![]), Err(OppTableError::Empty));
         let dup = vec![
-            Opp { freq_khz: 1, voltage_mv: 1 },
-            Opp { freq_khz: 1, voltage_mv: 2 },
+            Opp {
+                freq_khz: 1,
+                voltage_mv: 1,
+            },
+            Opp {
+                freq_khz: 1,
+                voltage_mv: 2,
+            },
         ];
         assert_eq!(OppTable::new(dup), Err(OppTableError::NotAscending));
     }
@@ -228,7 +237,10 @@ mod tests {
 
     #[test]
     fn unit_conversions() {
-        let o = Opp { freq_khz: 1_300_000, voltage_mv: 1100 };
+        let o = Opp {
+            freq_khz: 1_300_000,
+            voltage_mv: 1100,
+        };
         assert!((o.freq_ghz() - 1.3).abs() < 1e-12);
         assert!((o.voltage_v() - 1.1).abs() < 1e-12);
     }

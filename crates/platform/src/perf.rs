@@ -168,16 +168,27 @@ impl PerfModel {
 
     /// Effective cycles per instruction for `profile` on a `kind` core with
     /// cache `l2` at `freq_ghz`.
-    pub fn cpi(&self, profile: &WorkProfile, kind: CoreKind, l2: &CacheModel, freq_ghz: f64) -> f64 {
+    pub fn cpi(
+        &self,
+        profile: &WorkProfile,
+        kind: CoreKind,
+        l2: &CacheModel,
+        freq_ghz: f64,
+    ) -> f64 {
         debug_assert!(freq_ghz > 0.0, "cpi: non-positive frequency");
         let miss_cycles = self.mem_latency_ns * freq_ghz;
-        profile.base_cpi(kind)
-            + self.mlp(kind) * profile.mpki_ref_curve(l2) / 1000.0 * miss_cycles
+        profile.base_cpi(kind) + self.mlp(kind) * profile.mpki_ref_curve(l2) / 1000.0 * miss_cycles
     }
 
     /// Instruction throughput (instructions per second) for `profile` on a
     /// `kind` core with cache `l2` at `freq_ghz`.
-    pub fn ips(&self, profile: &WorkProfile, kind: CoreKind, l2: &CacheModel, freq_ghz: f64) -> f64 {
+    pub fn ips(
+        &self,
+        profile: &WorkProfile,
+        kind: CoreKind,
+        l2: &CacheModel,
+        freq_ghz: f64,
+    ) -> f64 {
         freq_ghz * 1e9 / self.cpi(profile, kind, l2, freq_ghz)
     }
 
@@ -290,7 +301,10 @@ mod tests {
         let ips_low = m.ips(&memory_bound, CoreKind::Big, &big_l2(), 0.8);
         let ips_high = m.ips(&memory_bound, CoreKind::Big, &big_l2(), 1.9);
         let scaling = ips_high / ips_low;
-        assert!(scaling < 1.9 / 0.8 * 0.9, "freq scaling {scaling} should be sub-linear");
+        assert!(
+            scaling < 1.9 / 0.8 * 0.9,
+            "freq scaling {scaling} should be sub-linear"
+        );
         assert!(scaling > 1.0);
     }
 
@@ -298,7 +312,13 @@ mod tests {
     fn work_for_round_trips_duration() {
         let m = PerfModel::default();
         let p = WorkProfile::compute_bound();
-        let w = m.work_for(&p, CoreKind::Little, &little_l2(), 1.3, SimDuration::from_millis(10));
+        let w = m.work_for(
+            &p,
+            CoreKind::Little,
+            &little_l2(),
+            1.3,
+            SimDuration::from_millis(10),
+        );
         let rate = m.ips(&p, CoreKind::Little, &little_l2(), 1.3);
         let t = w.instructions() / rate;
         assert!((t - 0.010).abs() < 1e-12);

@@ -1,24 +1,32 @@
-//! Mutable platform state: which CPUs are online and each cluster's current
-//! frequency.
+//! Mutable platform state: which CPUs are online, each cluster's current
+//! frequency, and any thermal frequency ceilings in force.
 
 use crate::config::{CoreConfig, CoreConfigError};
-use crate::ids::{ClusterId, CpuId};
+use crate::ids::{ClusterId, CoreKind, CpuId};
 use crate::topology::Topology;
+use bl_simcore::error::SimError;
 
 /// Runtime state of the platform hardware knobs.
 ///
 /// Frequencies are per-cluster ("each core type must have the same frequency
 /// setting", paper §II). Constructed at the minimum OPP of each cluster,
 /// mirroring a freshly booted governor.
+///
+/// A per-cluster *frequency cap* models thermal throttling: every frequency
+/// request — from governors or fixed-frequency experiments alike — is
+/// clamped to the highest OPP at or below the cap, exactly as the Linux
+/// thermal framework constrains cpufreq policies.
 #[derive(Debug, Clone)]
 pub struct PlatformState {
     online: Vec<bool>,
     cluster_freq_khz: Vec<u32>,
+    /// Per-cluster ceiling in kHz; `u32::MAX` means uncapped.
+    freq_cap_khz: Vec<u32>,
 }
 
 impl PlatformState {
     /// Creates state with all CPUs online and every cluster at its minimum
-    /// frequency.
+    /// frequency, uncapped.
     pub fn new(topo: &Topology) -> Self {
         PlatformState {
             online: vec![true; topo.n_cpus()],
@@ -27,6 +35,7 @@ impl PlatformState {
                 .iter()
                 .map(|c| c.core.opps.min_khz())
                 .collect(),
+            freq_cap_khz: vec![u32::MAX; topo.n_clusters()],
         }
     }
 
@@ -54,6 +63,48 @@ impl PlatformState {
         self.online[cpu.0]
     }
 
+    /// Hotplugs one CPU on or off, enforcing the platform's survival rule:
+    /// at least one little CPU stays online at all times (the Exynos boot
+    /// CPU cannot be unplugged, and an empty machine can run nothing).
+    ///
+    /// Returns `Ok(true)` when the bit changed, `Ok(false)` when the CPU was
+    /// already in the requested state.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Hotplug`] when `cpu` does not exist or offlining it would
+    /// leave no online little CPU.
+    pub fn set_online(
+        &mut self,
+        topo: &Topology,
+        cpu: CpuId,
+        online: bool,
+    ) -> Result<bool, SimError> {
+        if cpu.0 >= topo.n_cpus() {
+            return Err(SimError::Hotplug {
+                cpu: cpu.0,
+                reason: format!("no such cpu (platform has {})", topo.n_cpus()),
+            });
+        }
+        if self.online[cpu.0] == online {
+            return Ok(false);
+        }
+        if !online && topo.kind_of(cpu) == CoreKind::Little {
+            let remaining = topo
+                .cpus_of_kind(CoreKind::Little)
+                .filter(|c| *c != cpu && self.is_online(*c))
+                .count();
+            if remaining == 0 {
+                return Err(SimError::Hotplug {
+                    cpu: cpu.0,
+                    reason: "would leave no online little cpu (boot cpu must stay up)".into(),
+                });
+            }
+        }
+        self.online[cpu.0] = online;
+        Ok(true)
+    }
+
     /// Online CPUs, ascending.
     pub fn online_cpus<'a>(&'a self, topo: &'a Topology) -> impl Iterator<Item = CpuId> + 'a {
         topo.cpus().filter(move |c| self.is_online(*c))
@@ -78,26 +129,83 @@ impl PlatformState {
         self.cluster_freq_khz(topo.cluster_of(cpu))
     }
 
-    /// Sets a cluster frequency.
+    /// The thermal frequency ceiling on `cluster`, if one is in force.
+    pub fn freq_cap(&self, cluster: ClusterId) -> Option<u32> {
+        let cap = self.freq_cap_khz[cluster.0];
+        (cap != u32::MAX).then_some(cap)
+    }
+
+    /// The highest frequency currently reachable on `cluster`: the top of
+    /// the OPP ladder, lowered to the cap while throttled (never below the
+    /// ladder minimum — hardware cannot run slower than its slowest OPP).
+    pub fn effective_max_khz(&self, topo: &Topology, cluster: ClusterId) -> u32 {
+        let opps = &topo.cluster(cluster).core.opps;
+        opps.round_down(self.freq_cap_khz[cluster.0]).freq_khz
+    }
+
+    /// Installs or removes a thermal ceiling. If the cluster currently runs
+    /// above the new ceiling its frequency is immediately clamped down, as
+    /// the thermal driver does to a running cpufreq policy.
+    pub fn set_freq_cap(&mut self, topo: &Topology, cluster: ClusterId, cap_khz: Option<u32>) {
+        self.freq_cap_khz[cluster.0] = cap_khz.unwrap_or(u32::MAX);
+        let ceiling = self.effective_max_khz(topo, cluster);
+        if self.cluster_freq_khz[cluster.0] > ceiling {
+            self.cluster_freq_khz[cluster.0] = ceiling;
+        }
+    }
+
+    /// Sets a cluster frequency, clamped to any thermal ceiling in force.
+    /// Returns the frequency actually programmed.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFrequency`] if `freq_khz` is not an OPP of the
+    /// cluster — governors must round to table entries first.
+    pub fn try_set_cluster_freq(
+        &mut self,
+        topo: &Topology,
+        cluster: ClusterId,
+        freq_khz: u32,
+    ) -> Result<u32, SimError> {
+        let opps = &topo.cluster(cluster).core.opps;
+        if opps.index_of(freq_khz).is_none() {
+            return Err(SimError::InvalidFrequency {
+                cluster: cluster.0,
+                freq_khz,
+                reason: format!(
+                    "not an OPP (ladder spans {}..={} kHz)",
+                    opps.min_khz(),
+                    opps.max_khz()
+                ),
+            });
+        }
+        let effective = freq_khz.min(self.effective_max_khz(topo, cluster));
+        self.cluster_freq_khz[cluster.0] = effective;
+        Ok(effective)
+    }
+
+    /// Sets a cluster frequency, clamped to any thermal ceiling in force.
     ///
     /// # Panics
     ///
     /// Panics if `freq_khz` is not an OPP of that cluster — governors must
-    /// round to table entries first.
+    /// round to table entries first. Fallible callers use
+    /// [`try_set_cluster_freq`](Self::try_set_cluster_freq).
     pub fn set_cluster_freq(&mut self, topo: &Topology, cluster: ClusterId, freq_khz: u32) {
-        let opps = &topo.cluster(cluster).core.opps;
-        assert!(
-            opps.index_of(freq_khz).is_some(),
-            "{freq_khz} kHz is not an OPP of {cluster}"
-        );
-        self.cluster_freq_khz[cluster.0] = freq_khz;
+        self.try_set_cluster_freq(topo, cluster, freq_khz)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
-    /// Sets every cluster to its maximum OPP (the "performance" governor
-    /// setting used by fixed-frequency experiments).
+    /// Sets every cluster to its maximum *reachable* OPP (the "performance"
+    /// governor setting used by fixed-frequency experiments) — throttled
+    /// clusters land on their ceiling instead.
     pub fn set_all_max(&mut self, topo: &Topology) {
         for c in topo.clusters() {
-            self.cluster_freq_khz[c.id.0] = c.core.opps.max_khz();
+            self.cluster_freq_khz[c.id.0] = c
+                .core
+                .opps
+                .max_khz()
+                .min(self.effective_max_khz(topo, c.id));
         }
     }
 }
@@ -120,7 +228,8 @@ mod tests {
     fn apply_core_config_toggles_online() {
         let p = exynos5422();
         let mut s = PlatformState::new(&p.topology);
-        s.apply_core_config(&p.topology, CoreConfig::new(2, 1)).unwrap();
+        s.apply_core_config(&p.topology, CoreConfig::new(2, 1))
+            .unwrap();
         let online: Vec<usize> = s.online_cpus(&p.topology).map(|c| c.0).collect();
         assert_eq!(online, vec![0, 1, 4]);
         assert_eq!(s.online_in(&p.topology, ClusterId(1)).count(), 1);
@@ -130,7 +239,9 @@ mod tests {
     fn invalid_config_leaves_state_errored() {
         let p = exynos5422();
         let mut s = PlatformState::new(&p.topology);
-        assert!(s.apply_core_config(&p.topology, CoreConfig::new(0, 1)).is_err());
+        assert!(s
+            .apply_core_config(&p.topology, CoreConfig::new(0, 1))
+            .is_err());
     }
 
     #[test]
@@ -150,5 +261,102 @@ mod tests {
         let p = exynos5422();
         let mut s = PlatformState::new(&p.topology);
         s.set_cluster_freq(&p.topology, ClusterId(0), 123_456);
+    }
+
+    #[test]
+    fn try_set_rejects_off_table_freq() {
+        let p = exynos5422();
+        let mut s = PlatformState::new(&p.topology);
+        let err = s
+            .try_set_cluster_freq(&p.topology, ClusterId(0), 123_456)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidFrequency { cluster: 0, .. }));
+    }
+
+    #[test]
+    fn freq_cap_clamps_requests_and_current_freq() {
+        let p = exynos5422();
+        let mut s = PlatformState::new(&p.topology);
+        let big = ClusterId(1);
+        s.set_cluster_freq(&p.topology, big, 1_900_000);
+        // Installing a cap clamps the running frequency immediately...
+        s.set_freq_cap(&p.topology, big, Some(1_200_000));
+        assert_eq!(s.cluster_freq_khz(big), 1_200_000);
+        assert_eq!(s.freq_cap(big), Some(1_200_000));
+        assert_eq!(s.effective_max_khz(&p.topology, big), 1_200_000);
+        // ...and later requests above it land on the ceiling.
+        let got = s.try_set_cluster_freq(&p.topology, big, 1_900_000).unwrap();
+        assert_eq!(got, 1_200_000);
+        // Requests below the cap pass through unchanged.
+        let got = s.try_set_cluster_freq(&p.topology, big, 800_000).unwrap();
+        assert_eq!(got, 800_000);
+        // Removing the cap restores the full ladder.
+        s.set_freq_cap(&p.topology, big, None);
+        assert_eq!(s.freq_cap(big), None);
+        assert_eq!(
+            s.try_set_cluster_freq(&p.topology, big, 1_900_000).unwrap(),
+            1_900_000
+        );
+    }
+
+    #[test]
+    fn cap_between_opps_rounds_down_and_never_below_min() {
+        let p = exynos5422();
+        let mut s = PlatformState::new(&p.topology);
+        let big = ClusterId(1);
+        // A cap between ladder steps resolves to the next OPP below it.
+        s.set_freq_cap(&p.topology, big, Some(1_250_000));
+        assert_eq!(s.effective_max_khz(&p.topology, big), 1_200_000);
+        // A cap below the ladder floors at the minimum OPP.
+        s.set_freq_cap(&p.topology, big, Some(100_000));
+        assert_eq!(s.effective_max_khz(&p.topology, big), 800_000);
+    }
+
+    #[test]
+    fn set_all_max_respects_cap() {
+        let p = exynos5422();
+        let mut s = PlatformState::new(&p.topology);
+        s.set_freq_cap(&p.topology, ClusterId(1), Some(1_000_000));
+        s.set_all_max(&p.topology);
+        assert_eq!(s.cluster_freq_khz(ClusterId(0)), 1_300_000);
+        assert_eq!(s.cluster_freq_khz(ClusterId(1)), 1_000_000);
+    }
+
+    #[test]
+    fn set_online_toggles_and_reports_change() {
+        let p = exynos5422();
+        let mut s = PlatformState::new(&p.topology);
+        assert!(s.set_online(&p.topology, CpuId(5), false).unwrap());
+        assert!(!s.is_online(CpuId(5)));
+        // Idempotent: no change reported.
+        assert!(!s.set_online(&p.topology, CpuId(5), false).unwrap());
+        assert!(s.set_online(&p.topology, CpuId(5), true).unwrap());
+    }
+
+    #[test]
+    fn last_little_cpu_cannot_go_offline() {
+        let p = exynos5422();
+        let mut s = PlatformState::new(&p.topology);
+        for cpu in 1..4 {
+            s.set_online(&p.topology, CpuId(cpu), false).unwrap();
+        }
+        let err = s.set_online(&p.topology, CpuId(0), false).unwrap_err();
+        assert!(matches!(err, SimError::Hotplug { cpu: 0, .. }));
+        assert!(s.is_online(CpuId(0)));
+        // The whole big cluster may still go down.
+        for cpu in 4..8 {
+            s.set_online(&p.topology, CpuId(cpu), false).unwrap();
+        }
+        assert_eq!(s.online_cpus(&p.topology).count(), 1);
+    }
+
+    #[test]
+    fn unknown_cpu_is_a_hotplug_error() {
+        let p = exynos5422();
+        let mut s = PlatformState::new(&p.topology);
+        assert!(matches!(
+            s.set_online(&p.topology, CpuId(99), false),
+            Err(SimError::Hotplug { cpu: 99, .. })
+        ));
     }
 }

@@ -61,7 +61,10 @@ impl Topology {
                 cpu_cluster.push(c.id);
             }
         }
-        Topology { clusters, cpu_cluster }
+        Topology {
+            clusters,
+            cpu_cluster,
+        }
     }
 
     /// Total number of CPUs.

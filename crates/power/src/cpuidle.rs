@@ -46,11 +46,15 @@ impl CpuidleTable {
     pub fn new(states: Vec<IdleState>) -> Self {
         assert!(!states.is_empty(), "need at least one idle state");
         assert!(
-            states.windows(2).all(|w| w[0].target_residency <= w[1].target_residency),
+            states
+                .windows(2)
+                .all(|w| w[0].target_residency <= w[1].target_residency),
             "residencies must ascend"
         );
         assert!(
-            states.windows(2).all(|w| w[0].leak_scale >= w[1].leak_scale),
+            states
+                .windows(2)
+                .all(|w| w[0].leak_scale >= w[1].leak_scale),
             "deeper states must leak less"
         );
         CpuidleTable { states }
@@ -130,7 +134,11 @@ mod tests {
     #[should_panic(expected = "leak less")]
     fn inverted_leak_scales_rejected() {
         CpuidleTable::new(vec![
-            IdleState { name: "a", target_residency: SimDuration::ZERO, leak_scale: 0.2 },
+            IdleState {
+                name: "a",
+                target_residency: SimDuration::ZERO,
+                leak_scale: 0.2,
+            },
             IdleState {
                 name: "b",
                 target_residency: SimDuration::from_millis(1),
@@ -148,7 +156,11 @@ mod tests {
                 target_residency: SimDuration::from_millis(5),
                 leak_scale: 0.5,
             },
-            IdleState { name: "b", target_residency: SimDuration::ZERO, leak_scale: 0.1 },
+            IdleState {
+                name: "b",
+                target_residency: SimDuration::ZERO,
+                leak_scale: 0.1,
+            },
         ]);
     }
 }

@@ -22,7 +22,9 @@
 pub mod cpuidle;
 pub mod meter;
 pub mod model;
+pub mod thermal;
 
 pub use cpuidle::{CpuidleTable, IdleState};
 pub use meter::PowerMeter;
 pub use model::{PowerModel, PowerParams};
+pub use thermal::{ClusterThermal, ThermalParams};

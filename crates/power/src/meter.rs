@@ -27,7 +27,9 @@ pub struct PowerMeter {
 impl PowerMeter {
     /// Creates a meter reading `initial_mw` at `start`.
     pub fn starting_at(start: SimTime, initial_mw: f64) -> Self {
-        PowerMeter { acc: TimeWeightedMean::starting_at(start, initial_mw) }
+        PowerMeter {
+            acc: TimeWeightedMean::starting_at(start, initial_mw),
+        }
     }
 
     /// Registers a new instantaneous power level at `now`.

@@ -65,12 +65,18 @@ pub struct PowerModel {
 impl PowerModel {
     /// Model with Galaxy-S5 calibration and the screen off.
     pub fn screen_off() -> Self {
-        PowerModel { params: PowerParams::galaxy_s5(), screen_on: false }
+        PowerModel {
+            params: PowerParams::galaxy_s5(),
+            screen_on: false,
+        }
     }
 
     /// Model with Galaxy-S5 calibration and the screen on.
     pub fn screen_on() -> Self {
-        PowerModel { params: PowerParams::galaxy_s5(), screen_on: true }
+        PowerModel {
+            params: PowerParams::galaxy_s5(),
+            screen_on: true,
+        }
     }
 
     /// Power of one cluster given its frequency and the per-online-core
@@ -110,12 +116,7 @@ impl PowerModel {
     /// `activity[cpu]` is the current busy level of each CPU in `[0,1]`
     /// (for the event-driven simulator this is 0 or 1; utilization emerges
     /// from time-averaging). Offline CPUs' entries are ignored.
-    pub fn instant_mw(
-        &self,
-        topo: &Topology,
-        state: &PlatformState,
-        activity: &[f64],
-    ) -> f64 {
+    pub fn instant_mw(&self, topo: &Topology, state: &PlatformState, activity: &[f64]) -> f64 {
         self.instant_mw_with_idle(topo, state, activity, None)
     }
 
@@ -134,7 +135,12 @@ impl PowerModel {
         if let Some(scales) = idle_scales {
             debug_assert_eq!(scales.len(), topo.n_cpus(), "idle scales len mismatch");
         }
-        let mut total = self.params.base_mw + if self.screen_on { self.params.screen_mw } else { 0.0 };
+        let mut total = self.params.base_mw
+            + if self.screen_on {
+                self.params.screen_mw
+            } else {
+                0.0
+            };
         for c in topo.clusters() {
             let k = PowerParams::kind_idx(c.core.kind);
             let online: Vec<usize> = state.online_in(topo, c.id).map(|cpu| cpu.0).collect();
@@ -239,7 +245,10 @@ mod tests {
                 model.cluster_mw(&p.topology, cluster, f, &[1.0])
                     - model.cluster_mw(&p.topology, cluster, f, &[0.0])
             };
-            assert!(slope(fmax) > slope(fmin) * 1.5, "{cluster}: slope should grow with f");
+            assert!(
+                slope(fmax) > slope(fmin) * 1.5,
+                "{cluster}: slope should grow with f"
+            );
         }
     }
 
@@ -275,7 +284,10 @@ mod tests {
     fn hotplugged_cluster_draws_nothing() {
         let p = exynos5422();
         let model = PowerModel::screen_off();
-        assert_eq!(model.cluster_mw(&p.topology, BIG_CLUSTER, 800_000, &[]), 0.0);
+        assert_eq!(
+            model.cluster_mw(&p.topology, BIG_CLUSTER, 800_000, &[]),
+            0.0
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! The shared simulation error type.
+//!
+//! Every layer of the simulator (platform, kernel, governor, driver) reports
+//! failures through [`SimError`] so callers see one typed surface instead of
+//! a mix of panics and ad-hoc strings. The policy split is:
+//!
+//! * **`SimError`** — conditions a *caller* can cause or observe: invalid
+//!   configurations, invalid fault plans, hotplug requests the platform must
+//!   refuse, and watchdog-detected stalls. These are returned, never panicked.
+//! * **`panic!` / `assert!`** — internal invariant violations that indicate a
+//!   bug in the simulator itself (e.g. an index the simulator computed being
+//!   out of range). Each surviving panic site names the invariant it guards.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Typed error for everything that can go wrong constructing or running a
+/// simulation.
+///
+/// Serializable so failed runs can be reported in the same JSON streams as
+/// successful ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimError {
+    /// A configuration was rejected before the run started (core counts,
+    /// governor wiring, OPP tables, workload parameters).
+    InvalidConfig {
+        /// Human-readable description of the rejected setting.
+        reason: String,
+    },
+    /// A [`FaultPlan`](crate::fault::FaultPlan) event is impossible on the
+    /// configured platform.
+    InvalidFaultPlan {
+        /// Index of the offending event within the plan.
+        index: usize,
+        /// Why the event was rejected.
+        reason: String,
+    },
+    /// A hotplug request could not be honoured (unknown CPU, or it would
+    /// leave the system without the one always-online little CPU).
+    Hotplug {
+        /// The CPU named by the request.
+        cpu: usize,
+        /// Why the request was refused.
+        reason: String,
+    },
+    /// A frequency request named a rate that is not an OPP of the cluster
+    /// and could not be clamped into the valid ladder.
+    InvalidFrequency {
+        /// The cluster the request targeted.
+        cluster: usize,
+        /// The requested rate in kHz.
+        freq_khz: u32,
+        /// Why the request was refused.
+        reason: String,
+    },
+    /// The watchdog detected a stalled event loop: simulated time stopped
+    /// advancing while events kept firing.
+    WatchdogStall {
+        /// The instant at which time stopped advancing.
+        at: SimTime,
+        /// Number of same-time iterations observed before giving up.
+        iterations: u64,
+        /// Best-effort description of what was spinning.
+        detail: String,
+    },
+    /// A task disappeared from every runqueue — the resilience layer's
+    /// "never lose work" guarantee was violated. Always a bug if seen.
+    TaskLost {
+        /// The task's id.
+        task: usize,
+        /// Where the loss was detected.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SimError::InvalidFaultPlan { index, reason } => {
+                write!(f, "invalid fault plan (event #{index}): {reason}")
+            }
+            SimError::Hotplug { cpu, reason } => {
+                write!(f, "hotplug request for cpu{cpu} refused: {reason}")
+            }
+            SimError::InvalidFrequency {
+                cluster,
+                freq_khz,
+                reason,
+            } => write!(
+                f,
+                "invalid frequency {freq_khz} kHz for cluster {cluster}: {reason}"
+            ),
+            SimError::WatchdogStall {
+                at,
+                iterations,
+                detail,
+            } => write!(
+                f,
+                "watchdog: event loop stalled at t={} ns after {iterations} \
+                 same-time iterations ({detail})",
+                at.as_nanos()
+            ),
+            SimError::TaskLost { task, detail } => {
+                write!(f, "task {task} lost by the scheduler: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl SimError {
+    /// Shorthand for an [`SimError::InvalidConfig`].
+    pub fn config(reason: impl Into<String>) -> Self {
+        SimError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::config("zero little cores");
+        assert!(e.to_string().contains("zero little cores"));
+        let w = SimError::WatchdogStall {
+            at: SimTime::from_millis(3),
+            iterations: 4096,
+            detail: "governor sample loop".into(),
+        };
+        assert!(w.to_string().contains("3000000"));
+        assert!(w.to_string().contains("4096"));
+    }
+
+    #[test]
+    fn round_trips_through_value() {
+        use serde::{Deserialize as _, Serialize as _};
+        let e = SimError::Hotplug {
+            cpu: 5,
+            reason: "last little cpu".into(),
+        };
+        let v = e.ser_value();
+        assert_eq!(SimError::deser_value(&v).unwrap(), e);
+    }
+}

@@ -1,0 +1,328 @@
+//! Deterministic fault injection: [`FaultPlan`], a seeded, serializable
+//! schedule of platform fault events.
+//!
+//! A plan is an ordered list of [`FaultEvent`]s. The simulation driver
+//! schedules each one as an ordinary discrete event, so a run with a fault
+//! plan is exactly as deterministic as a run without one: same
+//! configuration + same plan + same seed → bit-identical results.
+//!
+//! Plans can be written by hand (builder methods), generated from a seed
+//! ([`FaultPlan::random`]), or round-tripped through JSON for storage next
+//! to experiment configs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// What kind of fault fires.
+///
+/// CPU and cluster indices are plain `usize` platform indices (CPU 0..n in
+/// topology order, cluster 0 = little, 1 = big on the Exynos 5422 model);
+/// this crate sits below the platform layer and cannot name its id types.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Hot-unplug a CPU: the kernel must drain and rehome its tasks.
+    CpuOffline {
+        /// Platform index of the CPU to take down.
+        cpu: usize,
+    },
+    /// Bring a previously offlined CPU back.
+    CpuOnline {
+        /// Platform index of the CPU to bring up.
+        cpu: usize,
+    },
+    /// Inject heat into a cluster: an instantaneous temperature step, as if
+    /// from a neighbouring component (GPU, modem) or ambient change.
+    ThermalSpike {
+        /// Cluster to heat.
+        cluster: usize,
+        /// Temperature step in °C; must be finite and positive.
+        delta_c: f64,
+    },
+    /// The cluster's governor misses its next `missed_samples` periodic
+    /// samples (models an IRQ storm or a stuck kworker).
+    GovernorStall {
+        /// Cluster whose governor stalls.
+        cluster: usize,
+        /// Number of consecutive samples to drop; must be nonzero.
+        missed_samples: u32,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// An ordered, validated schedule of faults to inject into one run.
+///
+/// ```
+/// use bl_simcore::fault::{FaultKind, FaultPlan};
+/// use bl_simcore::time::SimTime;
+///
+/// let plan = FaultPlan::new()
+///     .with(SimTime::from_millis(100), FaultKind::CpuOffline { cpu: 7 })
+///     .with(SimTime::from_millis(400), FaultKind::CpuOnline { cpu: 7 });
+/// assert_eq!(plan.len(), 2);
+/// assert!(plan.validate(8, 2).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Events in firing order (kept sorted by time, stable for equal times).
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the common case).
+    pub fn new() -> Self {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Adds one fault, keeping the schedule sorted by time; equal-time
+    /// events keep their insertion order so plans replay deterministically.
+    pub fn schedule(&mut self, at: SimTime, kind: FaultKind) {
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, FaultEvent { at, kind });
+    }
+
+    /// Builder-style [`schedule`](Self::schedule).
+    #[must_use]
+    pub fn with(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.schedule(at, kind);
+        self
+    }
+
+    /// Convenience: offline every CPU in `cpus` at `at`, bringing them back
+    /// `outage` later. Models a whole-cluster outage window.
+    #[must_use]
+    pub fn with_outage(mut self, at: SimTime, outage: SimDuration, cpus: &[usize]) -> Self {
+        for &cpu in cpus {
+            self.schedule(at, FaultKind::CpuOffline { cpu });
+            self.schedule(at.saturating_add(outage), FaultKind::CpuOnline { cpu });
+        }
+        self
+    }
+
+    /// Checks every event against a platform with `num_cpus` CPUs and
+    /// `num_clusters` clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFaultPlan`] naming the first bad event:
+    /// out-of-range CPU/cluster, non-finite or non-positive thermal step,
+    /// or a zero-length governor stall.
+    pub fn validate(&self, num_cpus: usize, num_clusters: usize) -> Result<(), SimError> {
+        let bad = |index: usize, reason: String| SimError::InvalidFaultPlan { index, reason };
+        for (i, ev) in self.events.iter().enumerate() {
+            match ev.kind {
+                FaultKind::CpuOffline { cpu } | FaultKind::CpuOnline { cpu } => {
+                    if cpu >= num_cpus {
+                        return Err(bad(
+                            i,
+                            format!("cpu {cpu} out of range (platform has {num_cpus} cpus)"),
+                        ));
+                    }
+                }
+                FaultKind::ThermalSpike { cluster, delta_c } => {
+                    if cluster >= num_clusters {
+                        return Err(bad(i, format!("cluster {cluster} out of range")));
+                    }
+                    if !delta_c.is_finite() || delta_c <= 0.0 {
+                        return Err(bad(
+                            i,
+                            format!("thermal spike of {delta_c} °C is not finite and positive"),
+                        ));
+                    }
+                }
+                FaultKind::GovernorStall {
+                    cluster,
+                    missed_samples,
+                } => {
+                    if cluster >= num_clusters {
+                        return Err(bad(i, format!("cluster {cluster} out of range")));
+                    }
+                    if missed_samples == 0 {
+                        return Err(bad(i, "governor stall of zero samples".to_string()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates a random but reproducible plan: `count` faults uniformly
+    /// placed over `horizon`, drawn from all four kinds. Offline events are
+    /// always paired with a later online event for the same CPU so random
+    /// plans do not permanently shrink the machine.
+    ///
+    /// The same `(seed, count, horizon, num_cpus, num_clusters)` tuple
+    /// always yields the same plan.
+    pub fn random(
+        seed: u64,
+        count: usize,
+        horizon: SimDuration,
+        num_cpus: usize,
+        num_clusters: usize,
+    ) -> Self {
+        let mut rng = SimRng::seed_from(seed ^ 0xFA57_F4A7_0000_0000);
+        let mut plan = FaultPlan::new();
+        let horizon_ns = horizon.as_nanos().max(1);
+        for _ in 0..count {
+            let at = SimTime::from_nanos(rng.uniform_usize(0, horizon_ns as usize) as u64);
+            match rng.uniform_usize(0, 3) {
+                0 => {
+                    let cpu = rng.uniform_usize(0, num_cpus);
+                    // Outage lasting 1–25% of the horizon, then recovery.
+                    let outage = SimDuration::from_nanos(
+                        (horizon_ns as f64 * rng.uniform(0.01, 0.25)) as u64,
+                    );
+                    plan.schedule(at, FaultKind::CpuOffline { cpu });
+                    plan.schedule(at.saturating_add(outage), FaultKind::CpuOnline { cpu });
+                }
+                1 => {
+                    let cluster = rng.uniform_usize(0, num_clusters);
+                    plan.schedule(
+                        at,
+                        FaultKind::ThermalSpike {
+                            cluster,
+                            delta_c: rng.uniform(5.0, 40.0),
+                        },
+                    );
+                }
+                _ => {
+                    let cluster = rng.uniform_usize(0, num_clusters);
+                    plan.schedule(
+                        at,
+                        FaultKind::GovernorStall {
+                            cluster,
+                            missed_samples: rng.uniform_usize(1, 8) as u32,
+                        },
+                    );
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_keeps_time_order() {
+        let plan = FaultPlan::new()
+            .with(SimTime::from_millis(30), FaultKind::CpuOnline { cpu: 4 })
+            .with(SimTime::from_millis(10), FaultKind::CpuOffline { cpu: 4 })
+            .with(
+                SimTime::from_millis(20),
+                FaultKind::ThermalSpike {
+                    cluster: 1,
+                    delta_c: 10.0,
+                },
+            );
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(times, vec![10_000_000, 20_000_000, 30_000_000]);
+    }
+
+    #[test]
+    fn equal_times_keep_insertion_order() {
+        let t = SimTime::from_millis(5);
+        let plan = FaultPlan::new()
+            .with(t, FaultKind::CpuOffline { cpu: 1 })
+            .with(t, FaultKind::CpuOffline { cpu: 2 });
+        assert_eq!(plan.events()[0].kind, FaultKind::CpuOffline { cpu: 1 });
+        assert_eq!(plan.events()[1].kind, FaultKind::CpuOffline { cpu: 2 });
+    }
+
+    #[test]
+    fn validate_rejects_bad_events() {
+        let plan = FaultPlan::new().with(SimTime::ZERO, FaultKind::CpuOffline { cpu: 9 });
+        assert!(matches!(
+            plan.validate(8, 2),
+            Err(SimError::InvalidFaultPlan { index: 0, .. })
+        ));
+        let plan = FaultPlan::new().with(
+            SimTime::ZERO,
+            FaultKind::ThermalSpike {
+                cluster: 0,
+                delta_c: f64::NAN,
+            },
+        );
+        assert!(plan.validate(8, 2).is_err());
+        let plan = FaultPlan::new().with(
+            SimTime::ZERO,
+            FaultKind::GovernorStall {
+                cluster: 1,
+                missed_samples: 0,
+            },
+        );
+        assert!(plan.validate(8, 2).is_err());
+    }
+
+    #[test]
+    fn random_plans_are_reproducible_and_valid() {
+        let a = FaultPlan::random(42, 10, SimDuration::from_secs(2), 8, 2);
+        let b = FaultPlan::random(42, 10, SimDuration::from_secs(2), 8, 2);
+        assert_eq!(a, b);
+        assert!(a.validate(8, 2).is_ok());
+        let c = FaultPlan::random(43, 10, SimDuration::from_secs(2), 8, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_offline_events_are_paired_with_online() {
+        let plan = FaultPlan::random(7, 20, SimDuration::from_secs(1), 8, 2);
+        let offs = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::CpuOffline { .. }))
+            .count();
+        let ons = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::CpuOnline { .. }))
+            .count();
+        assert_eq!(offs, ons);
+    }
+
+    #[test]
+    fn outage_builder_pairs_events() {
+        let plan = FaultPlan::new().with_outage(
+            SimTime::from_millis(100),
+            SimDuration::from_millis(50),
+            &[4, 5, 6, 7],
+        );
+        assert_eq!(plan.len(), 8);
+        assert!(plan.validate(8, 2).is_ok());
+    }
+
+    #[test]
+    fn plan_round_trips_through_value() {
+        use serde::{Deserialize as _, Serialize as _};
+        let plan = FaultPlan::random(1, 6, SimDuration::from_secs(1), 8, 2);
+        let v = plan.ser_value();
+        assert_eq!(FaultPlan::deser_value(&v).unwrap(), plan);
+    }
+}

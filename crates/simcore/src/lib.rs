@@ -26,11 +26,15 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use error::SimError;
 pub use event::EventQueue;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

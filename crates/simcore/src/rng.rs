@@ -1,19 +1,120 @@
 //! Deterministic random number generation for workload models.
 //!
-//! [`SimRng`] wraps a ChaCha8 stream cipher RNG, which is seedable, portable
-//! and stable across library versions — unlike `rand::rngs::StdRng`, whose
-//! algorithm may change between releases. All stochastic draws in the
-//! simulator flow through this type so a single `u64` seed reproduces an
-//! entire experiment.
+//! [`SimRng`] wraps a self-contained ChaCha8 stream cipher RNG, which is
+//! seedable, portable and stable across library versions — the algorithm
+//! lives in this file, so no external crate release can ever change the
+//! stream. All stochastic draws in the simulator flow through this type so
+//! a single `u64` seed reproduces an entire experiment.
 //!
 //! The distribution helpers here (uniform, exponential, log-normal, normal,
 //! Bernoulli, Pareto) are implemented directly from inverse-CDF /
 //! Box–Muller formulas to avoid an extra dependency on `rand_distr`.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-
 use crate::time::SimDuration;
+
+/// Self-contained ChaCha8 keystream generator.
+///
+/// The 64-bit seed is expanded into the 256-bit key with splitmix64; the
+/// block counter occupies state words 12–13 and the nonce words 14–15 are
+/// zero, giving a 2^70-byte period per seed — far beyond any simulation.
+#[derive(Debug, Clone)]
+struct ChaCha8Core {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    idx: usize,
+}
+
+#[inline]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Core {
+    fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_exact_mut(2) {
+            let w = splitmix64(&mut sm);
+            pair[0] = w as u32;
+            pair[1] = (w >> 32) as u32;
+        }
+        ChaCha8Core {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        // "expand 32-byte k" constants per the ChaCha specification.
+        let mut s: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let init = s;
+        for _ in 0..4 {
+            // One double round: a column round then a diagonal round.
+            quarter(&mut s, 0, 4, 8, 12);
+            quarter(&mut s, 1, 5, 9, 13);
+            quarter(&mut s, 2, 6, 10, 14);
+            quarter(&mut s, 3, 7, 11, 15);
+            quarter(&mut s, 0, 5, 10, 15);
+            quarter(&mut s, 1, 6, 11, 12);
+            quarter(&mut s, 2, 7, 8, 13);
+            quarter(&mut s, 3, 4, 9, 14);
+        }
+        for (out, start) in s.iter_mut().zip(init) {
+            *out = out.wrapping_add(start);
+        }
+        self.buf = s;
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // u64s are always served from an even word index, so a full pair is
+        // available whenever idx < 16.
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let lo = self.buf[self.idx] as u64;
+        let hi = self.buf[self.idx + 1] as u64;
+        self.idx += 2;
+        lo | (hi << 32)
+    }
+}
 
 /// Deterministic simulation RNG with the distribution helpers used by the
 /// workload models.
@@ -26,14 +127,14 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8Core,
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
-            inner: ChaCha8Rng::seed_from_u64(seed),
+            inner: ChaCha8Core::new(seed),
         }
     }
 
@@ -68,7 +169,10 @@ impl SimRng {
     /// Uniform integer in `[lo, hi)`.
     pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
         debug_assert!(lo < hi, "uniform_usize: empty range");
-        self.inner.gen_range(lo..hi)
+        let span = (hi - lo) as u128;
+        // Widening-multiply range reduction (Lemire): unbiased enough for
+        // simulation purposes and branch-free.
+        lo + ((self.inner.next_u64() as u128 * span) >> 64) as usize
     }
 
     /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
@@ -151,6 +255,18 @@ mod tests {
     }
 
     #[test]
+    fn chacha_keystream_matches_reference_structure() {
+        // The first block must differ from the second (counter advances),
+        // and word pairs must pack little-end-first into u64s.
+        let mut r = SimRng::seed_from(0);
+        let first: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        let second: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert_ne!(first, second);
+        let mut again = SimRng::seed_from(0);
+        assert_eq!(first[0], again.next_u64());
+    }
+
+    #[test]
     fn fork_is_deterministic_and_independent() {
         let mut a = SimRng::seed_from(9);
         let mut b = SimRng::seed_from(9);
@@ -178,6 +294,18 @@ mod tests {
         let n = 100_000;
         let mean: f64 = (0..n).map(|_| r.uniform01()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn uniform_usize_covers_range() {
+        let mut r = SimRng::seed_from(11);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let x = r.uniform_usize(2, 10);
+            assert!((2..10).contains(&x));
+            seen[x - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values should appear");
     }
 
     #[test]

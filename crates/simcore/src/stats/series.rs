@@ -151,7 +151,9 @@ mod tests {
         assert_eq!(s.mean(), None);
         assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
-        assert!(s.window_aggregate(SimDuration::from_millis(10), |v| v[0]).is_empty());
+        assert!(s
+            .window_aggregate(SimDuration::from_millis(10), |v| v[0])
+            .is_empty());
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl TimeWeightedMean {
     ///
     /// Panics in debug builds if `now` precedes the previous update.
     pub fn update(&mut self, now: SimTime, value: f64) {
-        debug_assert!(now >= self.last_time, "TimeWeightedMean: time went backwards");
+        debug_assert!(
+            now >= self.last_time,
+            "TimeWeightedMean: time went backwards"
+        );
         let dt = now.duration_since(self.last_time).as_secs_f64();
         self.weighted_sum += self.last_value * dt;
         self.last_time = now;

@@ -27,6 +27,7 @@ use bl_kernel::kernel::{Hw, Kernel};
 use bl_kernel::task::Affinity;
 use bl_platform::perf::WorkProfile;
 use bl_platform::topology::Platform;
+use bl_simcore::error::SimError;
 use bl_simcore::rng::SimRng;
 use bl_simcore::time::{SimDuration, SimTime};
 
@@ -235,18 +236,22 @@ impl AppModel {
                 }
                 for (i, b) in s.background.iter().enumerate() {
                     spawn_periodic(
-                        kernel, platform, hw, rng, now, &self.name, b, 200 + i as u64, affinity,
+                        kernel,
+                        platform,
+                        hw,
+                        rng,
+                        now,
+                        &self.name,
+                        b,
+                        200 + i as u64,
+                        affinity,
                     );
                 }
                 let ui = UiScriptThread::new(actions, Some(queue.clone()), tracker.clone());
-                kernel.spawn(
-                    format!("{}-ui", self.name),
-                    affinity,
-                    Box::new(ui),
-                    hw,
-                    now,
-                );
-                AppInstance { tracker: Some(tracker) }
+                kernel.spawn(format!("{}-ui", self.name), affinity, Box::new(ui), hw, now);
+                AppInstance {
+                    tracker: Some(tracker),
+                }
             }
             AppKind::Streaming(s) => {
                 let frame_profile = WorkProfile {
@@ -254,7 +259,7 @@ impl AppModel {
                     cpi_big: 0.9,
                     mpki_ref: 4.0,
                     cache_beta: 0.4,
-            energy_intensity: 1.0,
+                    energy_intensity: 1.0,
                 };
                 let scene = SceneSync::new();
                 let render = FrameLoop::new(
@@ -265,10 +270,7 @@ impl AppModel {
                     frame_profile,
                     true,
                 )
-                .with_stalls(
-                    s.stall_prob,
-                    SimDuration::from_secs_f64(s.stall_ms / 1e3),
-                )
+                .with_stalls(s.stall_prob, SimDuration::from_secs_f64(s.stall_ms / 1e3))
                 .with_scene(scene.clone());
                 kernel.spawn(
                     format!("{}-render", self.name),
@@ -327,7 +329,9 @@ fn spawn_periodic(
     salt: u64,
     affinity: Affinity,
 ) {
-    spawn_periodic_scene(kernel, platform, hw, rng, now, app, spec, salt, affinity, None);
+    spawn_periodic_scene(
+        kernel, platform, hw, rng, now, app, spec, salt, affinity, None,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -348,7 +352,7 @@ fn spawn_periodic_scene(
         cpi_big: 0.95,
         mpki_ref: 2.0,
         cache_beta: 0.3,
-            energy_intensity: 1.0,
+        energy_intensity: 1.0,
     };
     let mut t = PeriodicTask::new(
         rng.fork(salt),
@@ -361,12 +365,23 @@ fn spawn_periodic_scene(
     if let Some(sc) = scene {
         t = t.with_scene(sc);
     }
-    kernel.spawn(format!("{app}-{}", spec.name), affinity, Box::new(t), hw, now);
+    kernel.spawn(
+        format!("{app}-{}", spec.name),
+        affinity,
+        Box::new(t),
+        hw,
+        now,
+    );
 }
 
 /// Convenience constructor for [`PeriodicSpec`].
 fn periodic(name: &str, period_ms: f64, work_ms: f64, sigma: f64) -> PeriodicSpec {
-    PeriodicSpec { name: name.to_string(), period_ms, work_ms, sigma }
+    PeriodicSpec {
+        name: name.to_string(),
+        period_ms,
+        work_ms,
+        sigma,
+    }
 }
 
 /// The twelve Table II applications with calibrated parameters.
@@ -433,7 +448,10 @@ pub fn mobile_apps() -> Vec<AppModel> {
                 job_ms: 0.0,
                 job_sigma: 0.0,
                 n_workers: 0,
-                background: vec![periodic("ui-render", 16.7, 3.0, 0.4), periodic("service", 45.0, 1.0, 0.4)],
+                background: vec![
+                    periodic("ui-render", 16.7, 3.0, 0.4),
+                    periodic("service", 45.0, 1.0, 0.4),
+                ],
                 continuous: vec![],
             }),
         },
@@ -504,7 +522,10 @@ pub fn mobile_apps() -> Vec<AppModel> {
                 job_ms: 150.0,
                 job_sigma: 0.5,
                 n_workers: 3,
-                background: vec![periodic("spinner", 30.0, 1.0, 0.3), periodic("net-poll", 80.0, 1.5, 0.5)],
+                background: vec![
+                    periodic("spinner", 30.0, 1.0, 0.3),
+                    periodic("net-poll", 80.0, 1.5, 0.5),
+                ],
                 continuous: vec![],
             }),
         },
@@ -523,7 +544,10 @@ pub fn mobile_apps() -> Vec<AppModel> {
                 job_ms: 0.0,
                 job_sigma: 0.0,
                 n_workers: 0,
-                background: vec![periodic("io", 18.0, 1.1, 0.4), periodic("muxer", 30.0, 0.8, 0.4)],
+                background: vec![
+                    periodic("io", 18.0, 1.1, 0.4),
+                    periodic("muxer", 30.0, 0.8, 0.4),
+                ],
                 continuous: vec![ContinuousSpec {
                     name: "encode".to_string(),
                     count: 1,
@@ -635,8 +659,11 @@ impl AppModel {
     ///
     /// # Errors
     ///
-    /// Returns the underlying parse error for malformed JSON or schema
-    /// mismatches.
+    /// Returns [`SimError::InvalidConfig`] for malformed JSON, schema
+    /// mismatches, or parameter values the thread behaviors would reject at
+    /// spawn time (non-positive rates/periods, probabilities outside
+    /// `[0, 1]`) — catching them here turns a mid-run panic into a typed
+    /// error at the load boundary.
     ///
     /// ```
     /// use bl_workloads::apps::{app_by_name, AppModel};
@@ -644,8 +671,51 @@ impl AppModel {
     /// let custom = AppModel::from_json(&template).unwrap();
     /// assert_eq!(custom.name, "Video Player");
     /// ```
-    pub fn from_json(json: &str) -> Result<AppModel, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<AppModel, SimError> {
+        let app: AppModel = serde_json::from_str(json)
+            .map_err(|e| SimError::config(format!("app model JSON: {e}")))?;
+        app.validate()?;
+        Ok(app)
+    }
+
+    /// Checks every parameter the thread behaviors assert on, so invalid
+    /// models are rejected before any task is spawned.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let err = |what: &str| Err(SimError::config(format!("app {:?}: {what}", self.name)));
+        let prob = |p: f64| (0.0..=1.0).contains(&p);
+        let periodic_ok =
+            |specs: &[PeriodicSpec]| specs.iter().all(|p| p.period_ms > 0.0 && p.work_ms >= 0.0);
+        match &self.kind {
+            AppKind::Scripted(s) => {
+                if s.think_ms.0 > s.think_ms.1 || s.think_ms.0 < 0.0 {
+                    return err("think-time range must be ascending and non-negative");
+                }
+                if s.jobs_per_action > 0 && s.n_workers == 0 {
+                    return err("fan-out jobs require at least one pool worker");
+                }
+                if !periodic_ok(&s.background) {
+                    return err("background threads need a positive period");
+                }
+                if s.continuous.iter().any(|c| c.chunk_ms <= 0.0) {
+                    return err("continuous threads need a positive chunk");
+                }
+                if s.continuous.iter().any(|c| !prob(c.io_prob)) {
+                    return err("io_prob must be in [0, 1]");
+                }
+            }
+            AppKind::Streaming(s) => {
+                if s.fps <= 0.0 || s.helper_loops.iter().any(|(_, fps, _, _)| *fps <= 0.0) {
+                    return err("frame loops need a positive fps");
+                }
+                if !periodic_ok(&s.periodic) {
+                    return err("periodic threads need a positive period");
+                }
+                if !prob(s.stall_prob) || s.stall_ms < 0.0 {
+                    return err("stall_prob must be in [0, 1] and stall_ms non-negative");
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Serializes the model to pretty JSON (a template for custom apps).
@@ -704,8 +774,9 @@ mod tests {
     fn metrics_match_table_ii() {
         for a in mobile_apps() {
             let expected = match a.name.as_str() {
-                "Angry Bird" | "Eternity Warriors 2" | "FIFA 15" | "Video Player"
-                | "Youtube" => PerfMetric::Fps,
+                "Angry Bird" | "Eternity Warriors 2" | "FIFA 15" | "Video Player" | "Youtube" => {
+                    PerfMetric::Fps
+                }
                 _ => PerfMetric::Latency,
             };
             assert_eq!(a.metric, expected, "{}", a.name);
@@ -756,6 +827,31 @@ mod json_tests {
 
     #[test]
     fn malformed_json_is_an_error() {
-        assert!(AppModel::from_json("{\"name\": 12}").is_err());
+        let err = AppModel::from_json("{\"name\": 12}").unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected_at_load_not_spawn() {
+        // A zero-fps frame loop would panic inside FrameLoop::new at spawn
+        // time; from_json must refuse it up front with a typed error.
+        let mut app = app_by_name("Video Player").unwrap();
+        if let AppKind::Streaming(s) = &mut app.kind {
+            s.fps = 0.0;
+        }
+        let err = AppModel::from_json(&app.to_json()).unwrap_err();
+        assert!(err.to_string().contains("positive fps"), "{err}");
+
+        let mut app = app_by_name("Browser").unwrap();
+        if let AppKind::Scripted(s) = &mut app.kind {
+            s.n_workers = 0;
+        }
+        assert!(AppModel::from_json(&app.to_json()).is_err());
+
+        // The whole catalog passes its own validation.
+        for app in mobile_apps() {
+            app.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        }
     }
 }

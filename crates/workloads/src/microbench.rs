@@ -56,7 +56,10 @@ impl TaskBehavior for MicroBench {
                 // 100% duty: go straight back to compute via the immediate
                 // step loop.
                 self.computing = true;
-                return Step::Compute { work: self.work_per_period, profile: self.profile };
+                return Step::Compute {
+                    work: self.work_per_period,
+                    profile: self.profile,
+                };
             }
             Step::Sleep(self.sleep_per_period)
         } else {
@@ -66,7 +69,10 @@ impl TaskBehavior for MicroBench {
                 self.computing = false;
                 return Step::Sleep(self.sleep_per_period);
             }
-            Step::Compute { work: self.work_per_period, profile: self.profile }
+            Step::Compute {
+                work: self.work_per_period,
+                profile: self.profile,
+            }
         }
     }
 }

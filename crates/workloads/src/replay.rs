@@ -108,14 +108,15 @@ impl RecordedTrace {
     /// See [`TraceError`].
     pub fn validate(&self) -> Result<(), TraceError> {
         for t in &self.threads {
-            if t.segments
-                .windows(2)
-                .any(|w| w[0].at_ms > w[1].at_ms)
-            {
-                return Err(TraceError::UnsortedSegments { thread: t.name.clone() });
+            if t.segments.windows(2).any(|w| w[0].at_ms > w[1].at_ms) {
+                return Err(TraceError::UnsortedSegments {
+                    thread: t.name.clone(),
+                });
             }
             if t.segments.iter().any(|s| s.at_ms < 0.0 || s.busy_ms < 0.0) {
-                return Err(TraceError::NegativeTiming { thread: t.name.clone() });
+                return Err(TraceError::NegativeTiming {
+                    thread: t.name.clone(),
+                });
             }
         }
         Ok(())
@@ -194,7 +195,10 @@ impl TaskBehavior for TraceReplayThread {
     fn next_step(&mut self, ctx: &mut BehaviorCtx<'_>) -> Step {
         if let Some(work) = self.waiting_for.take() {
             if !work.is_done() {
-                return Step::Compute { work, profile: self.profile };
+                return Step::Compute {
+                    work,
+                    profile: self.profile,
+                };
             }
         }
         match self.segments.next() {
@@ -207,7 +211,10 @@ impl TaskBehavior for TraceReplayThread {
                     Step::Sleep(SimDuration::ZERO)
                 } else {
                     self.waiting_for = None;
-                    Step::Compute { work, profile: self.profile }
+                    Step::Compute {
+                        work,
+                        profile: self.profile,
+                    }
                 }
             }
             None => {
@@ -229,13 +236,22 @@ mod tests {
                 ThreadTrace {
                     name: "ui".to_string(),
                     segments: vec![
-                        TraceSegment { at_ms: 0.0, busy_ms: 5.0 },
-                        TraceSegment { at_ms: 50.0, busy_ms: 10.0 },
+                        TraceSegment {
+                            at_ms: 0.0,
+                            busy_ms: 5.0,
+                        },
+                        TraceSegment {
+                            at_ms: 50.0,
+                            busy_ms: 10.0,
+                        },
                     ],
                 },
                 ThreadTrace {
                     name: "worker".to_string(),
-                    segments: vec![TraceSegment { at_ms: 20.0, busy_ms: 30.0 }],
+                    segments: vec![TraceSegment {
+                        at_ms: 20.0,
+                        busy_ms: 30.0,
+                    }],
                 },
             ],
         }
@@ -264,7 +280,10 @@ mod tests {
     fn negative_timing_rejected() {
         let mut t = demo_trace();
         t.threads[0].segments[0].busy_ms = -1.0;
-        assert!(matches!(t.validate(), Err(TraceError::NegativeTiming { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::NegativeTiming { .. })
+        ));
         assert!(t.validate().unwrap_err().to_string().contains("negative"));
     }
 

@@ -42,25 +42,61 @@ impl SpecKernel {
         }
         vec![
             // Compute-bound integer codes: modest memory traffic.
-            SpecKernel { name: "perlbench", profile: p(1.7, 0.9, 3.0, 0.6, 1.02) },
+            SpecKernel {
+                name: "perlbench",
+                profile: p(1.7, 0.9, 3.0, 0.6, 1.02),
+            },
             // Branchy, hard-to-speculate codes: the OoO window buys little,
             // so at the minimum big frequency a 1.3 GHz little core wins —
             // the paper's "three applications" slower at big@0.8.
-            SpecKernel { name: "bzip2", profile: p(1.55, 1.22, 4.0, 0.25, 0.97) },
-            SpecKernel { name: "gcc", profile: p(1.8, 1.0, 8.0, 0.7, 1.0) },
+            SpecKernel {
+                name: "bzip2",
+                profile: p(1.55, 1.22, 4.0, 0.25, 0.97),
+            },
+            SpecKernel {
+                name: "gcc",
+                profile: p(1.8, 1.0, 8.0, 0.7, 1.0),
+            },
             // Cache-sensitive: the L2 gap dominates.
-            SpecKernel { name: "mcf", profile: p(2.0, 1.1, 42.0, 1.0, 0.82) },
-            SpecKernel { name: "gobmk", profile: p(1.6, 1.15, 2.5, 0.3, 0.96) },
+            SpecKernel {
+                name: "mcf",
+                profile: p(2.0, 1.1, 42.0, 1.0, 0.82),
+            },
+            SpecKernel {
+                name: "gobmk",
+                profile: p(1.6, 1.15, 2.5, 0.3, 0.96),
+            },
             // ILP-rich compute kernels: big OoO core shines on CPI alone.
-            SpecKernel { name: "hmmer", profile: p(1.5, 0.7, 0.5, 0.1, 1.12) },
-            SpecKernel { name: "sjeng", profile: p(1.6, 1.1, 1.5, 0.25, 0.98) },
+            SpecKernel {
+                name: "hmmer",
+                profile: p(1.5, 0.7, 0.5, 0.1, 1.12),
+            },
+            SpecKernel {
+                name: "sjeng",
+                profile: p(1.6, 1.1, 1.5, 0.25, 0.98),
+            },
             // Streaming: misses that no cache capacity fixes.
-            SpecKernel { name: "libquantum", profile: p(1.5, 0.85, 18.0, 0.05, 0.85) },
-            SpecKernel { name: "h264ref", profile: p(1.5, 0.72, 1.0, 0.2, 1.1) },
+            SpecKernel {
+                name: "libquantum",
+                profile: p(1.5, 0.85, 18.0, 0.05, 0.85),
+            },
+            SpecKernel {
+                name: "h264ref",
+                profile: p(1.5, 0.72, 1.0, 0.2, 1.1),
+            },
             // Pointer-chasing, capacity-sensitive C++ codes.
-            SpecKernel { name: "omnetpp", profile: p(1.9, 1.05, 30.0, 0.9, 0.88) },
-            SpecKernel { name: "astar", profile: p(1.8, 1.0, 12.0, 0.6, 0.92) },
-            SpecKernel { name: "xalancbmk", profile: p(1.9, 1.0, 25.0, 0.85, 0.9) },
+            SpecKernel {
+                name: "omnetpp",
+                profile: p(1.9, 1.05, 30.0, 0.9, 0.88),
+            },
+            SpecKernel {
+                name: "astar",
+                profile: p(1.8, 1.0, 12.0, 0.6, 0.92),
+            },
+            SpecKernel {
+                name: "xalancbmk",
+                profile: p(1.9, 1.0, 25.0, 0.85, 0.9),
+            },
         ]
     }
 

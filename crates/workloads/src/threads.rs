@@ -143,7 +143,11 @@ impl PoolWorker {
     /// Creates a worker on `queue`; completions are reported to `tracker`
     /// when given.
     pub fn new(queue: JobQueue, tracker: Option<CompletionTracker>) -> Self {
-        PoolWorker { queue, tracker, pending_complete: false }
+        PoolWorker {
+            queue,
+            tracker,
+            pending_complete: false,
+        }
     }
 }
 
@@ -158,7 +162,10 @@ impl TaskBehavior for PoolWorker {
         match self.queue.pop() {
             Some(job) => {
                 self.pending_complete = job.completes;
-                Step::Compute { work: job.work, profile: job.profile }
+                Step::Compute {
+                    work: job.work,
+                    profile: job.profile,
+                }
             }
             None => Step::Block,
         }
@@ -243,7 +250,10 @@ impl TaskBehavior for ContinuousTask {
         };
         self.remaining -= w;
         self.just_computed = true;
-        Step::Compute { work: w, profile: self.profile }
+        Step::Compute {
+            work: w,
+            profile: self.profile,
+        }
     }
 }
 
@@ -344,7 +354,10 @@ impl FrameLoop {
     /// Adds scene-load stalls: after each frame, with probability `prob`,
     /// rendering pauses for `stall` before resuming on the vsync grid.
     pub fn with_stalls(mut self, prob: f64, stall: SimDuration) -> Self {
-        assert!((0.0..=1.0).contains(&prob));
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "stall probability must be in [0, 1]"
+        );
         self.stall_prob = prob;
         self.stall = stall;
         self
@@ -363,16 +376,17 @@ impl TaskBehavior for FrameLoop {
         match self.state {
             FrameState::Idle => {
                 // Honor a family-wide pause before starting a frame.
-                if let Some(until) = self
-                    .scene
-                    .as_ref()
-                    .and_then(|s| s.paused_until(ctx.now))
-                {
+                if let Some(until) = self.scene.as_ref().and_then(|s| s.paused_until(ctx.now)) {
                     return Step::SleepUntil(until);
                 }
                 let work = self.draw_work();
-                self.state = FrameState::Computed { frame_start: ctx.now };
-                Step::Compute { work, profile: self.profile }
+                self.state = FrameState::Computed {
+                    frame_start: ctx.now,
+                };
+                Step::Compute {
+                    work,
+                    profile: self.profile,
+                }
             }
             FrameState::Computed { frame_start } => {
                 if self.emit_frames {
@@ -429,7 +443,10 @@ impl PeriodicTask {
         profile: WorkProfile,
     ) -> Self {
         assert!(!period.is_zero(), "period must be positive");
-        assert!((0.0..1.0).contains(&jitter_frac));
+        assert!(
+            (0.0..1.0).contains(&jitter_frac),
+            "jitter fraction must be in [0, 1)"
+        );
         PeriodicTask {
             rng,
             period,
@@ -459,7 +476,11 @@ impl TaskBehavior for PeriodicTask {
             self.computing = false;
             let lo = self.period.mul_f64(1.0 - self.jitter_frac);
             let hi = self.period.mul_f64(1.0 + self.jitter_frac);
-            let d = if lo == hi { lo } else { self.rng.uniform_duration(lo, hi) };
+            let d = if lo == hi {
+                lo
+            } else {
+                self.rng.uniform_duration(lo, hi)
+            };
             Step::Sleep(d)
         } else {
             self.computing = true;
@@ -468,7 +489,10 @@ impl TaskBehavior for PeriodicTask {
                     .lognormal(self.work_median.instructions(), self.sigma),
             );
             let _ = ctx;
-            Step::Compute { work, profile: self.profile }
+            Step::Compute {
+                work,
+                profile: self.profile,
+            }
         }
     }
 }
@@ -633,7 +657,11 @@ mod tests {
         {
             let mut ctx = mk_ctx(&mut wakes, &mut signals, 0);
             q.push_and_wake(
-                Job { work: w(1.0), profile: WorkProfile::default(), completes: true },
+                Job {
+                    work: w(1.0),
+                    profile: WorkProfile::default(),
+                    completes: true,
+                },
                 &mut ctx,
             );
         }
@@ -652,7 +680,11 @@ mod tests {
         {
             let mut ctx = mk_ctx(&mut wakes, &mut signals, 0);
             q.push_and_wake(
-                Job { work: w(2.0), profile: WorkProfile::default(), completes: true },
+                Job {
+                    work: w(2.0),
+                    profile: WorkProfile::default(),
+                    completes: true,
+                },
                 &mut ctx,
             );
             let step = worker.next_step(&mut ctx);
@@ -688,7 +720,9 @@ mod tests {
             }
         }
         assert!((computed - 10e6).abs() < 1.0);
-        assert!(signals.iter().any(|(_, s)| matches!(s, AppSignal::ScriptDone)));
+        assert!(signals
+            .iter()
+            .any(|(_, s)| matches!(s, AppSignal::ScriptDone)));
     }
 
     #[test]
@@ -798,7 +832,11 @@ mod tests {
                 think: SimDuration::from_millis(100),
                 burst: w(3.0),
                 burst_profile: WorkProfile::default(),
-                jobs: vec![Job { work: w(5.0), profile: WorkProfile::default(), completes: true }],
+                jobs: vec![Job {
+                    work: w(5.0),
+                    profile: WorkProfile::default(),
+                    completes: true,
+                }],
             },
             ScriptAction {
                 think: SimDuration::from_millis(50),
@@ -816,7 +854,7 @@ mod tests {
             let mut ctx = mk_ctx(&mut wakes, &mut signals, 0);
             assert!(matches!(ui.next_step(&mut ctx), Step::Sleep(_))); // think 1
             assert!(matches!(ui.next_step(&mut ctx), Step::Compute { .. })); // burst 1
-            // After burst 1: fan-out then think 2 (internal loop).
+                                                                             // After burst 1: fan-out then think 2 (internal loop).
             assert!(matches!(ui.next_step(&mut ctx), Step::Sleep(_)));
             assert_eq!(q.len(), 1);
             assert!(matches!(ui.next_step(&mut ctx), Step::Compute { .. })); // burst 2
@@ -835,7 +873,11 @@ mod tests {
             think: SimDuration::ZERO,
             burst: w(1.0),
             burst_profile: WorkProfile::default(),
-            jobs: vec![Job { work: w(1.0), profile: WorkProfile::default(), completes: true }],
+            jobs: vec![Job {
+                work: w(1.0),
+                profile: WorkProfile::default(),
+                completes: true,
+            }],
         }];
         UiScriptThread::new(actions, None, CompletionTracker::new(1));
     }

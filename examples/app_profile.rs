@@ -10,11 +10,13 @@
 use biglittle::{Simulation, SystemConfig};
 use bl_platform::exynos::exynos5422;
 use bl_platform::ids::CoreKind;
-use bl_workloads::apps::app_by_name;
 use bl_simcore::time::SimDuration;
+use bl_workloads::apps::app_by_name;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Eternity Warriors 2".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Eternity Warriors 2".to_string());
     let app = app_by_name(&name).expect("unknown app (try `quickstart` for the list)");
 
     let mut sim = Simulation::new(SystemConfig::default());

@@ -12,13 +12,18 @@ use bl_platform::config::CoreConfig;
 use bl_workloads::apps::app_by_name;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "BBench".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BBench".to_string());
     let app = app_by_name(&name).expect("unknown app (try `quickstart` for the list)");
 
     let baseline = run_app_with(&app, SystemConfig::baseline());
     let base_perf = baseline.perf_score().unwrap_or(f64::NAN);
 
-    println!("Core-configuration sweep for {:?} (baseline L4+B4)\n", app.name);
+    println!(
+        "Core-configuration sweep for {:?} (baseline L4+B4)\n",
+        app.name
+    );
     println!(
         "{:<8} {:>10} {:>12} {:>12} {:>10}",
         "config", "power mW", "saving %", "rel. perf", "TLP"

@@ -13,11 +13,16 @@ use bl_governor::{GovernorConfig, InteractiveParams};
 use bl_workloads::apps::app_by_name;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Eternity Warriors 2".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Eternity Warriors 2".to_string());
     let app = app_by_name(&name).expect("unknown app (try `quickstart` for the list)");
 
     let candidates: Vec<(&str, GovernorConfig)> = vec![
-        ("interactive (default 20ms)", GovernorConfig::platform_default()),
+        (
+            "interactive (default 20ms)",
+            GovernorConfig::platform_default(),
+        ),
         (
             "interactive 60ms",
             GovernorConfig::Interactive(InteractiveParams::sampling_60ms()),
@@ -26,7 +31,10 @@ fn main() {
             "interactive 100ms",
             GovernorConfig::Interactive(InteractiveParams::sampling_100ms()),
         ),
-        ("ondemand", GovernorConfig::Ondemand(OndemandParams::default())),
+        (
+            "ondemand",
+            GovernorConfig::Ondemand(OndemandParams::default()),
+        ),
         (
             "conservative",
             GovernorConfig::Conservative(ConservativeParams::default()),

@@ -50,9 +50,15 @@ fn main() {
         "big-core usage   {:>12.1}% {:>14.1}%",
         solo.tlp.big_pct, combined.tlp.big_pct
     );
-    println!("TLP              {:>13.2} {:>15.2}", solo.tlp.tlp, combined.tlp.tlp);
+    println!(
+        "TLP              {:>13.2} {:>15.2}",
+        solo.tlp.tlp, combined.tlp.tlp
+    );
     if let Some(lat) = combined.latency_ms() {
-        println!("\nencoder finished its job in {:.1} s while the game ran", lat / 1e3);
+        println!(
+            "\nencoder finished its job in {:.1} s while the game ran",
+            lat / 1e3
+        );
     } else {
         println!("\nencoder did not finish within the game session");
     }

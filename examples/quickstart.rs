@@ -9,7 +9,9 @@ use biglittle::{Simulation, SystemConfig};
 use bl_workloads::apps::{app_by_name, mobile_apps};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Video Player".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Video Player".to_string());
     let Some(app) = app_by_name(&name) else {
         eprintln!("unknown app {name:?}; available:");
         for a in mobile_apps() {
@@ -18,7 +20,10 @@ fn main() {
         std::process::exit(1);
     };
 
-    println!("Simulating {:?} on the default system (L4+B4, HMP, interactive)\n", app.name);
+    println!(
+        "Simulating {:?} on the default system (L4+B4, HMP, interactive)\n",
+        app.name
+    );
     let mut sim = Simulation::new(SystemConfig::default());
     sim.spawn_app(&app);
     let r = sim.run_app(&app);
@@ -35,8 +40,14 @@ fn main() {
     }
     println!();
     println!("idle samples   : {:.1} %", r.tlp.idle_pct);
-    println!("little-only    : {:.1} % of active samples", r.tlp.little_pct);
+    println!(
+        "little-only    : {:.1} % of active samples",
+        r.tlp.little_pct
+    );
     println!("big active     : {:.1} % of active samples", r.tlp.big_pct);
     println!("TLP            : {:.2} cores", r.tlp.tlp);
-    println!("HMP migrations : {} up / {} down", r.migrations.0, r.migrations.1);
+    println!(
+        "HMP migrations : {} up / {} down",
+        r.migrations.0, r.migrations.1
+    );
 }

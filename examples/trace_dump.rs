@@ -11,7 +11,9 @@ use bl_workloads::apps::app_by_name;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let name = args.next().unwrap_or_else(|| "Eternity Warriors 2".to_string());
+    let name = args
+        .next()
+        .unwrap_or_else(|| "Eternity Warriors 2".to_string());
     let out = args.next();
     let app = app_by_name(&name).expect("unknown app (try `quickstart` for the list)");
 

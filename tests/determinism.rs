@@ -2,6 +2,8 @@
 //! different seeds perturb the stochastic draws.
 
 use biglittle::{RunResult, Simulation, SystemConfig};
+use bl_simcore::fault::FaultPlan;
+use bl_simcore::time::SimDuration;
 use bl_workloads::apps::{app_by_name, AppModel};
 
 fn run(app: &AppModel, seed: u64) -> RunResult {
@@ -27,9 +29,37 @@ fn different_seeds_differ_but_stay_in_band() {
     let b = run(&app, 2);
     assert_ne!(a.latency, b.latency, "different seeds should perturb draws");
     // But the characterization stays in the same regime.
-    let (la, lb) = (a.latency.unwrap().as_secs_f64(), b.latency.unwrap().as_secs_f64());
+    let (la, lb) = (
+        a.latency.unwrap().as_secs_f64(),
+        b.latency.unwrap().as_secs_f64(),
+    );
     assert!((la / lb) < 1.5 && (lb / la) < 1.5, "{la} vs {lb}");
     assert!((a.tlp.tlp - b.tlp.tlp).abs() < 0.8);
+}
+
+#[test]
+fn same_seed_and_fault_plan_is_bit_identical() {
+    let plan = FaultPlan::random(21, 8, SimDuration::from_secs(2), 8, 2);
+    let run = |seed| {
+        let app = app_by_name("Eternity Warriors 2").unwrap();
+        let mut sim = Simulation::try_new(
+            SystemConfig::baseline()
+                .with_seed(seed)
+                .with_faults(plan.clone())
+                .with_thermal(true),
+        )
+        .unwrap();
+        sim.spawn_app(&app);
+        sim.try_run_app(&app).unwrap()
+    };
+    let a = run(13);
+    let b = run(13);
+    assert_eq!(a, b, "same seed + same fault plan must reproduce exactly");
+    assert_ne!(
+        a,
+        run(14),
+        "a different seed should perturb the faulted run"
+    );
 }
 
 #[test]

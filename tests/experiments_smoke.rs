@@ -26,11 +26,19 @@ fn fig2_fig3_shapes() {
         let ratio = r.power_mw[2] / r.power_mw[0];
         assert!((1.9..=2.7).contains(&ratio), "{}: ratio {ratio:.2}", r.name);
         let ratio08 = r.power_mw[1] / r.power_mw[0];
-        assert!((1.2..=1.8).contains(&ratio08), "{}: ratio {ratio08:.2}", r.name);
+        assert!(
+            (1.2..=1.8).contains(&ratio08),
+            "{}: ratio {ratio08:.2}",
+            r.name
+        );
     }
     // Power varies across benchmarks but much less than performance.
     let pmax = m.rows.iter().map(|r| r.power_mw[2]).fold(0.0, f64::max);
-    let pmin = m.rows.iter().map(|r| r.power_mw[2]).fold(f64::INFINITY, f64::min);
+    let pmin = m
+        .rows
+        .iter()
+        .map(|r| r.power_mw[2])
+        .fold(f64::INFINITY, f64::min);
     assert!(pmax / pmin < 1.3, "power spread should be modest");
 }
 
@@ -119,7 +127,10 @@ fn table3_shape() {
 #[test]
 fn fig7_fig8_core_config_shape() {
     let rows = coreconfig::run_core_config_sweep(
-        vec![app_by_name("Encoder").unwrap(), app_by_name("Video Player").unwrap()],
+        vec![
+            app_by_name("Encoder").unwrap(),
+            app_by_name("Video Player").unwrap(),
+        ],
         11,
     );
     let sweep_labels: Vec<String> = bl_platform::config::CoreConfig::paper_sweep()
@@ -146,7 +157,11 @@ fn fig9_fig10_residency_shape() {
     );
     // Paper: "video player has very low core utilization, and thus the
     // lowest frequency dominates the distribution".
-    assert!(vp.little_residency[0] > 0.8, "lowest OPP share {}", vp.little_residency[0]);
+    assert!(
+        vp.little_residency[0] > 0.8,
+        "lowest OPP share {}",
+        vp.little_residency[0]
+    );
 
     let ew = biglittle::experiments::run_app_with(
         &app_by_name("Eternity Warriors 2").unwrap(),
@@ -154,7 +169,10 @@ fn fig9_fig10_residency_shape() {
     );
     // Paper: eternity warrior "exhibits a wide variety of core frequencies".
     let spread = ew.little_residency.iter().filter(|s| **s > 0.02).count();
-    assert!(spread >= 4, "expected spread across OPPs, got {spread} active bins");
+    assert!(
+        spread >= 4,
+        "expected spread across OPPs, got {spread} active bins"
+    );
     // Paper Fig 10: games use big cores mostly at low frequencies.
     assert!(
         ew.big_residency[0] > 0.4,
@@ -171,12 +189,20 @@ fn table5_shape() {
         &app_by_name("Video Player").unwrap(),
         SystemConfig::baseline(),
     );
-    assert!(vp.efficiency_pct[0] + vp.efficiency_pct[1] > 60.0, "{:?}", vp.efficiency_pct);
+    assert!(
+        vp.efficiency_pct[0] + vp.efficiency_pct[1] > 60.0,
+        "{:?}",
+        vp.efficiency_pct
+    );
     let enc = biglittle::experiments::run_app_with(
         &app_by_name("Encoder").unwrap(),
         SystemConfig::baseline(),
     );
-    assert!(enc.efficiency_pct[5] > 0.5, "encoder should hit Full: {:?}", enc.efficiency_pct);
+    assert!(
+        enc.efficiency_pct[5] > 0.5,
+        "encoder should hit Full: {:?}",
+        enc.efficiency_pct
+    );
 }
 
 #[test]
@@ -198,11 +224,17 @@ fn fig11_12_13_param_sweep_shape() {
     // Paper: longer sampling saves power on average...
     let s100 = sweep.power_savings(idx("100ms"));
     let avg100 = s100.iter().sum::<f64>() / s100.len() as f64;
-    assert!(avg100 > 0.0, "100ms sampling should save power: {avg100:.2}%");
+    assert!(
+        avg100 > 0.0,
+        "100ms sampling should save power: {avg100:.2}%"
+    );
     // ...and the aggressive HMP mostly increases power consumption.
     let agg = sweep.power_savings(idx("aggressive"));
     let avg_agg = agg.iter().sum::<f64>() / agg.len() as f64;
-    assert!(avg_agg < 1.0, "aggressive HMP should not save: {avg_agg:.2}%");
+    assert!(
+        avg_agg < 1.0,
+        "aggressive HMP should not save: {avg_agg:.2}%"
+    );
 }
 
 #[test]
@@ -217,7 +249,10 @@ fn metric_kinds_match_table2() {
     }
     // And the architecture experiments rely on both kinds being present.
     assert_eq!(
-        mobile_apps().iter().filter(|a| a.metric == PerfMetric::Fps).count(),
+        mobile_apps()
+            .iter()
+            .filter(|a| a.metric == PerfMetric::Fps)
+            .count(),
         5
     );
 }

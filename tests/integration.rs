@@ -16,7 +16,12 @@ fn every_app_runs_to_completion_on_the_baseline() {
         let mut sim = Simulation::new(SystemConfig::baseline());
         sim.spawn_app(&app);
         let r = sim.run_app(&app);
-        assert!(r.avg_power_mw > 300.0, "{}: power {}", app.name, r.avg_power_mw);
+        assert!(
+            r.avg_power_mw > 300.0,
+            "{}: power {}",
+            app.name,
+            r.avg_power_mw
+        );
         assert!(r.tlp.tlp > 0.5, "{}: tlp {}", app.name, r.tlp.tlp);
         match app.metric {
             bl_workloads::PerfMetric::Latency => {
@@ -203,8 +208,16 @@ fn one_big_core_fixes_encoder_latency() {
     let lb = base.latency.unwrap().as_secs_f64();
     let ll = little_only.latency.unwrap().as_secs_f64();
     let l1 = one_big.latency.unwrap().as_secs_f64();
-    assert!(ll / lb > 1.2, "little-only must be much slower: {:.2}", ll / lb);
-    assert!(l1 / lb < 1.1, "one big core must restore performance: {:.2}", l1 / lb);
+    assert!(
+        ll / lb > 1.2,
+        "little-only must be much slower: {:.2}",
+        ll / lb
+    );
+    assert!(
+        l1 / lb < 1.1,
+        "one big core must restore performance: {:.2}",
+        l1 / lb
+    );
     assert!(little_only.avg_power_mw < base.avg_power_mw);
 }
 
@@ -231,11 +244,20 @@ fn concurrent_apps_share_the_platform() {
     let combined = sim.finish();
 
     // The encoder drags big cores into play (Angry Bird alone never does).
-    assert!(combined.tlp.big_pct > 15.0, "big usage {:.1}%", combined.tlp.big_pct);
+    assert!(
+        combined.tlp.big_pct > 15.0,
+        "big usage {:.1}%",
+        combined.tlp.big_pct
+    );
     assert_eq!(solo.tlp.big_pct, 0.0);
     // The game stays playable: the encoder lives on the big side.
     let (sf, cf) = (solo.fps.unwrap(), combined.fps.unwrap());
-    assert!(cf.avg_fps > sf.avg_fps * 0.85, "game fps collapsed: {} -> {}", sf.avg_fps, cf.avg_fps);
+    assert!(
+        cf.avg_fps > sf.avg_fps * 0.85,
+        "game fps collapsed: {} -> {}",
+        sf.avg_fps,
+        cf.avg_fps
+    );
     // And the system draws more power doing both.
     assert!(combined.avg_power_mw > solo.avg_power_mw);
     // The encoder's script completes during the session.
@@ -278,7 +300,10 @@ fn recorded_trace_replays_and_responds_to_core_config() {
         threads: vec![ThreadTrace {
             name: "hot".to_string(),
             segments: (0..10)
-                .map(|i| TraceSegment { at_ms: i as f64 * 120.0, busy_ms: 100.0 })
+                .map(|i| TraceSegment {
+                    at_ms: i as f64 * 120.0,
+                    busy_ms: 100.0,
+                })
                 .collect(),
         }],
     };

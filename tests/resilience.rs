@@ -1,0 +1,236 @@
+//! Fault-injection resilience: runs disturbed by hotplug, thermal and
+//! governor faults must complete without panicking, report degraded
+//! performance/power honestly, and reproduce bit-identically.
+
+use biglittle::{RunResult, Simulation, SystemConfig};
+use bl_platform::ids::{ClusterId, CpuId};
+use bl_simcore::error::SimError;
+use bl_simcore::fault::{FaultKind, FaultPlan};
+use bl_simcore::time::{SimDuration, SimTime};
+use bl_workloads::apps::app_by_name;
+
+const BIG_CPUS: [usize; 4] = [4, 5, 6, 7];
+
+fn run_app_with_plan(name: &str, seed: u64, plan: FaultPlan) -> RunResult {
+    let app = app_by_name(name).unwrap();
+    let mut sim = Simulation::try_new(SystemConfig::baseline().with_seed(seed).with_faults(plan))
+        .expect("valid config");
+    sim.spawn_app(&app);
+    sim.try_run_app(&app).expect("faulted run must complete")
+}
+
+#[test]
+fn big_cluster_outage_degrades_latency_but_completes() {
+    let clean = run_app_with_plan("Photo Editor", 7, FaultPlan::new());
+    // The whole big cluster dies shortly after launch and stays dead for
+    // most of the run.
+    let plan = FaultPlan::new().with_outage(
+        SimTime::from_millis(100),
+        SimDuration::from_secs(60),
+        &BIG_CPUS,
+    );
+    let faulted = run_app_with_plan("Photo Editor", 7, plan);
+
+    assert_eq!(faulted.resilience.hotplug_offline, 4);
+    assert!(faulted.resilience.faults_injected >= 4);
+    let (clean_lat, faulted_lat) = (clean.latency.unwrap(), faulted.latency.unwrap());
+    assert!(
+        faulted_lat >= clean_lat,
+        "little-only must not be faster: {faulted_lat} vs {clean_lat}"
+    );
+    // Degraded power too: no big cores burning.
+    assert!(
+        faulted.avg_power_mw < clean.avg_power_mw,
+        "{} vs {}",
+        faulted.avg_power_mw,
+        clean.avg_power_mw
+    );
+}
+
+#[test]
+fn outage_and_recovery_rehomes_and_restores() {
+    // 300 ms outage in the middle of an FPS run; CPUs come back after.
+    let plan = FaultPlan::new().with_outage(
+        SimTime::from_millis(500),
+        SimDuration::from_millis(300),
+        &BIG_CPUS,
+    );
+    let app = app_by_name("Angry Bird").unwrap();
+    let mut sim =
+        Simulation::try_new(SystemConfig::baseline().with_seed(3).with_faults(plan)).unwrap();
+    sim.spawn_app(&app);
+    sim.try_run_until(SimTime::from_secs(2)).unwrap();
+    let r = sim.finish();
+    assert_eq!(r.resilience.hotplug_offline, 4);
+    assert_eq!(r.resilience.hotplug_online, 4);
+    // All big CPUs are usable again.
+    for cpu in BIG_CPUS {
+        assert!(sim.state().is_online(CpuId(cpu)));
+    }
+    sim.kernel().check_no_lost_tasks().unwrap();
+    assert!(r.fps.expect("game still renders").avg_fps > 10.0);
+}
+
+#[test]
+fn offlining_every_little_cpu_is_refused_not_fatal() {
+    let mut plan = FaultPlan::new();
+    for cpu in 0..4 {
+        plan.schedule(SimTime::from_millis(50), FaultKind::CpuOffline { cpu });
+    }
+    let r = run_app_with_plan("Browser", 5, plan);
+    // Three go down, the last online little is refused.
+    assert_eq!(r.resilience.hotplug_offline, 3);
+    assert_eq!(r.resilience.faults_rejected, 1);
+}
+
+#[test]
+fn sustained_big_load_trips_thermal_throttling() {
+    let mut sim = Simulation::try_new(
+        SystemConfig::pinned_frequencies(1_300_000, 1_900_000).with_thermal(true),
+    )
+    .unwrap();
+    for cpu in BIG_CPUS {
+        sim.spawn_microbench(CpuId(cpu), 0.95, SimDuration::from_millis(10));
+    }
+    sim.try_run_until(SimTime::from_secs(30)).unwrap();
+    let r = sim.finish();
+    let big = ClusterId(1);
+
+    assert!(r.resilience.throttle_trips >= 1, "{:?}", r.resilience);
+    assert!(
+        r.resilience.peak_temp_c[big.0] >= 85.0,
+        "peak {:?}",
+        r.resilience.peak_temp_c
+    );
+    assert!(
+        r.resilience.total_throttled() > SimDuration::from_secs(5),
+        "throttled for {:?}",
+        r.resilience.throttled_time
+    );
+    // While throttled the big cluster sits at (or below) the 1.2 GHz cap
+    // even though userspace keeps requesting 1.9 GHz.
+    if sim.is_throttled(big) {
+        assert!(sim.state().cluster_freq_khz(big) <= 1_200_000);
+        assert_eq!(sim.state().freq_cap(big), Some(1_200_000));
+    }
+    // The little cluster never gets hot enough to matter.
+    assert!(r.resilience.peak_temp_c[0] < 95.0);
+}
+
+#[test]
+fn throttled_run_uses_less_power_than_unthrottled() {
+    let run = |thermal: bool| {
+        let mut sim = Simulation::try_new(
+            SystemConfig::pinned_frequencies(1_300_000, 1_900_000).with_thermal(thermal),
+        )
+        .unwrap();
+        for cpu in BIG_CPUS {
+            sim.spawn_microbench(CpuId(cpu), 0.95, SimDuration::from_millis(10));
+        }
+        sim.try_run_until(SimTime::from_secs(30)).unwrap();
+        sim.finish()
+    };
+    let free = run(false);
+    let throttled = run(true);
+    assert!(free.resilience.is_quiet());
+    assert!(
+        throttled.avg_power_mw < free.avg_power_mw - 200.0,
+        "throttling must cut power: {} vs {}",
+        throttled.avg_power_mw,
+        free.avg_power_mw
+    );
+}
+
+#[test]
+fn governor_stall_drops_exactly_the_missed_samples() {
+    let plan = FaultPlan::new().with(
+        SimTime::from_millis(100),
+        FaultKind::GovernorStall {
+            cluster: 0,
+            missed_samples: 5,
+        },
+    );
+    let mut sim =
+        Simulation::try_new(SystemConfig::baseline().with_seed(1).with_faults(plan)).unwrap();
+    sim.try_run_until(SimTime::from_secs(1)).unwrap();
+    let r = sim.finish();
+    assert_eq!(r.resilience.gov_samples_missed, 5);
+    assert_eq!(r.resilience.faults_injected, 1);
+}
+
+#[test]
+fn faulted_runs_reproduce_bit_identically() {
+    let plan = FaultPlan::random(11, 12, SimDuration::from_secs(2), 8, 2);
+    let a = run_app_with_plan("Youtube", 9, plan.clone());
+    let b = run_app_with_plan("Youtube", 9, plan.clone());
+    assert_eq!(a, b, "same config + plan + seed must be bit-identical");
+    // A different plan perturbs the run.
+    let other = FaultPlan::random(12, 12, SimDuration::from_secs(2), 8, 2);
+    let c = run_app_with_plan("Youtube", 9, other);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn invalid_plans_and_configs_are_typed_errors() {
+    let bad_plan = FaultPlan::new().with(SimTime::ZERO, FaultKind::CpuOffline { cpu: 42 });
+    let err = Simulation::try_new(SystemConfig::baseline().with_faults(bad_plan)).unwrap_err();
+    assert!(matches!(err, SimError::InvalidFaultPlan { index: 0, .. }));
+
+    let mut cfg = SystemConfig::baseline();
+    cfg.governors.truncate(1);
+    let err = Simulation::try_new(cfg).unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig { .. }));
+}
+
+#[test]
+fn thermal_spike_fault_forces_the_thermal_model_on() {
+    // thermal_enabled stays false, but the spike still lands in a node and
+    // caps the cluster.
+    let plan = FaultPlan::new().with(
+        SimTime::from_millis(200),
+        FaultKind::ThermalSpike {
+            cluster: 1,
+            delta_c: 80.0,
+        },
+    );
+    let mut sim =
+        Simulation::try_new(SystemConfig::baseline().with_seed(2).with_faults(plan)).unwrap();
+    sim.try_run_until(SimTime::from_millis(400)).unwrap();
+    let r = sim.finish();
+    assert!(r.resilience.peak_temp_c[1] >= 85.0);
+    assert!(r.resilience.throttle_trips >= 1);
+    assert_eq!(sim.state().freq_cap(ClusterId(1)), Some(1_200_000));
+}
+
+mod random_plans {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Random fault schedules (hotplug storms included) may never break
+        // the one-little-always-online rule or lose a task.
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        #[test]
+        fn random_hotplug_never_violates_invariants(seed in 0u64..1_000, n in 1usize..10) {
+            let plan = FaultPlan::random(seed, n, SimDuration::from_millis(800), 8, 2);
+            let app = app_by_name("Browser").unwrap();
+            let mut sim = Simulation::try_new(
+                SystemConfig::baseline().with_seed(seed).with_faults(plan),
+            )
+            .unwrap();
+            sim.spawn_app(&app);
+            sim.try_run_until(SimTime::from_secs(1)).unwrap();
+            let little_online = (0..4).filter(|&c| sim.state().is_online(CpuId(c))).count();
+            prop_assert!(little_online >= 1, "no little cpu online after faults");
+            sim.kernel().check_no_lost_tasks().unwrap();
+        }
+    }
+}
+
+#[test]
+fn quiet_runs_report_quiet_resilience() {
+    let r = run_app_with_plan("PDF Reader", 4, FaultPlan::new());
+    assert!(r.resilience.is_quiet());
+    assert_eq!(r.resilience.tasks_rehomed, 0);
+    assert!(r.resilience.peak_temp_c.is_empty(), "thermal model off");
+}

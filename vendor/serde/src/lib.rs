@@ -1,0 +1,457 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real `serde` cannot be fetched in the build environment, so this
+//! crate provides the same *surface* the workspace uses — `Serialize` /
+//! `Deserialize` traits, `#[derive(Serialize, Deserialize)]`, and the
+//! `#[serde(default)]` / `#[serde(default = "path")]` field attributes —
+//! backed by a much simpler data model: everything serializes through the
+//! in-memory JSON [`Value`] tree defined here. `serde_json` (also vendored)
+//! is then only text ⇄ [`Value`] conversion.
+//!
+//! Deliberate simplifications versus real serde:
+//! * no zero-copy deserialization, no visitors, no custom `Serializer`s;
+//! * numbers are kept as `i64` / `u64` / `f64` and converted on demand;
+//! * only the attributes the workspace actually uses are honored.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An in-memory JSON document. Field order of objects is preserved so that
+/// serialized output is deterministic and stable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integer (always `< 0`; non-negative integers use `UInt`).
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with preserved insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Whether this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Numeric view as `f64` (integers widen losslessly enough for metrics).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`, when representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`, when representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            Value::Float(f)
+                if f.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(f) =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Error produced by serialization or deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// A "missing field" error naming the field.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error::custom(format!("missing field `{field}` of `{ty}`"))
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        Error::custom(format!("expected {what}, got {kind}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a JSON [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into the in-memory JSON tree.
+    fn ser_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes from the in-memory JSON tree.
+    fn deser_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deser_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::expected("integer", v))?;
+                <$t>::try_from(i).map_err(|_| Error::custom(format!(
+                    "{} out of range for {}", i, stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deser_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", v))?;
+                <$t>::try_from(u).map_err(|_| Error::custom(format!(
+                    "{} out of range for {}", u, stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn ser_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn ser_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Serialize for bool {
+    fn ser_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn ser_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn ser_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            // The Value tree is transient, so a 'static borrow has nothing
+            // to borrow from; leak the (small) string instead. Real serde
+            // supports this shape only via borrowed input for the same
+            // reason.
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(Error::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn ser_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::expected("single-character string", v)),
+        }
+    }
+}
+
+// ---- container impls -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser_value(&self) -> Value {
+        (**self).ser_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn ser_value(&self) -> Value {
+        (**self).ser_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        T::deser_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser_value(&self) -> Value {
+        match self {
+            Some(t) => t.ser_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deser_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", v))?
+            .iter()
+            .map(T::deser_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn ser_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser_value).collect())
+    }
+}
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::deser_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn ser_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.ser_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deser_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+                let expect = [$(stringify!($t)),+].len();
+                if items.len() != expect {
+                    return Err(Error::custom(format!(
+                        "expected {}-tuple, got array of {}", expect, items.len()
+                    )));
+                }
+                Ok(($($t::deser_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn ser_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.ser_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", v))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deser_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn ser_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip_across_kinds() {
+        assert_eq!(u32::deser_value(&Value::UInt(7)), Ok(7));
+        assert_eq!(i64::deser_value(&Value::UInt(7)), Ok(7));
+        assert_eq!(f64::deser_value(&Value::UInt(7)), Ok(7.0));
+        assert_eq!(u64::deser_value(&Value::Float(3.0)), Ok(3));
+        assert!(u8::deser_value(&Value::UInt(300)).is_err());
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u32>::deser_value(&Value::Null), Ok(None));
+        assert_eq!(Some(5u32).ser_value(), Value::UInt(5));
+    }
+
+    #[test]
+    fn tuple_and_array() {
+        let v = (1u32, 2.5f64).ser_value();
+        assert_eq!(<(u32, f64)>::deser_value(&v), Ok((1, 2.5)));
+        let a = [1.0f64, 2.0].ser_value();
+        assert_eq!(<[f64; 2]>::deser_value(&a), Ok([1.0, 2.0]));
+    }
+}

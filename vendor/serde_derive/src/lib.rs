@@ -1,0 +1,497 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` crate by hand-parsing the item's token stream (the real
+//! `syn`/`quote` stack is unavailable offline) and emitting impls of the
+//! simplified `ser_value` / `deser_value` traits.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! * structs with named fields (honoring `#[serde(default)]` and
+//!   `#[serde(default = "path")]`),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde: `"Variant"` or `{"Variant": payload}`).
+//!
+//! Generic types are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is handled during deserialization.
+#[derive(Clone, Debug)]
+enum FieldDefault {
+    /// Error out (serde's default behavior).
+    Required,
+    /// `Default::default()` — from `#[serde(default)]`.
+    Std,
+    /// A named function — from `#[serde(default = "path")]`.
+    Path(String),
+}
+
+#[derive(Debug)]
+struct NamedField {
+    name: String,
+    default: FieldDefault,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<NamedField>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+type Iter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes one `#[...]` attribute if present; returns its bracket-group
+/// tokens.
+fn take_attr(it: &mut Iter) -> Option<TokenStream> {
+    match it.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+            it.next();
+            match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    Some(g.stream())
+                }
+                _ => None, // malformed; the compiler already rejected it
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Extracts a `FieldDefault` from an attribute stream if it is
+/// `serde(default)` / `serde(default = "path")`.
+fn parse_serde_attr(attr: TokenStream) -> Option<FieldDefault> {
+    let mut it = attr.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let mut toks = inner.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "default" => {}
+        _ => return None,
+    }
+    match toks.next() {
+        None => Some(FieldDefault::Std),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => match toks.next() {
+            Some(TokenTree::Literal(l)) => {
+                let s = l.to_string();
+                Some(FieldDefault::Path(s.trim_matches('"').to_string()))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(it: &mut Iter) {
+    if let Some(TokenTree::Ident(i)) = it.peek() {
+        if i.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skips tokens up to (and including) the next comma at angle-bracket depth
+/// zero. Returns false when the stream ended instead.
+fn skip_type_until_comma(it: &mut Iter) -> bool {
+    let mut angle_depth: i32 = 0;
+    for tok in it.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<NamedField>, String> {
+    let mut it: Iter = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut default = FieldDefault::Required;
+        while let Some(attr) = take_attr(&mut it) {
+            if let Some(d) = parse_serde_attr(attr) {
+                default = d;
+            }
+        }
+        skip_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        fields.push(NamedField { name, default });
+        if !skip_type_until_comma(&mut it) {
+            break;
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut it: Iter = group.clone().into_iter().peekable();
+    if it.peek().is_none() {
+        return 0;
+    }
+    let mut n = 1;
+    while skip_type_until_comma(&mut it) {
+        if it.peek().is_some() {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it: Iter = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while take_attr(&mut it).is_some() {}
+        let name = match it.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                it.next();
+                Fields::Named(parse_named_fields(stream)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                it.next();
+                Fields::Tuple(count_tuple_fields(stream))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            Some(other) => return Err(format!("expected `,` between variants, got {other}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it: Iter = input.into_iter().peekable();
+    while take_attr(&mut it).is_some() {}
+    skip_vis(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let variants = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())?
+                }
+                other => return Err(format!("unsupported enum body: {other:?}")),
+            };
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---- codegen ---------------------------------------------------------------
+
+/// `("name".to_string(), ser_value(&<prefix>name))` entries for an object.
+fn ser_object_entries(fields: &[NamedField], prefix: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({:?}.to_string(), ::serde::Serialize::ser_value(&{}{})),",
+                f.name, prefix, f.name
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    ser_object_entries(fs, "self.")
+                ),
+                Fields::Tuple(1) => "::serde::Serialize::ser_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: String = (0..*n)
+                        .map(|i| format!("::serde::Serialize::ser_value(&self.{i}),"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{items}])")
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn ser_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![\
+                             ({vname:?}.to_string(), ::serde::Serialize::ser_value(__f0))]),\n"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::ser_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                                 ({vname:?}.to_string(), ::serde::Value::Array(::std::vec![{items}]))]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+                            let entries = ser_object_entries(fs, "");
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                                 ({vname:?}.to_string(), ::serde::Value::Object(::std::vec![{entries}]))]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn ser_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Field initializers for a named-field aggregate read from object `src`
+/// (an expression of type `&::serde::Value`).
+fn de_named_inits(ty: &str, fields: &[NamedField], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            let missing = match &f.default {
+                FieldDefault::Required => format!(
+                    "return ::core::result::Result::Err(::serde::Error::missing_field({ty:?}, {fname:?}))"
+                ),
+                FieldDefault::Std => "::core::default::Default::default()".to_string(),
+                FieldDefault::Path(p) => format!("{p}()"),
+            };
+            format!(
+                "{fname}: match {src}.get({fname:?}) {{\n\
+                     ::core::option::Option::Some(__fv) => ::serde::Deserialize::deser_value(__fv)?,\n\
+                     ::core::option::Option::None => {missing},\n\
+                 }},\n"
+            )
+        })
+        .collect()
+}
+
+/// Constructor for a tuple payload of `n` fields from array expression
+/// `items` (a `&[Value]`), with the constructor path given.
+fn de_tuple_ctor(ctor: &str, n: usize) -> String {
+    let args: String = (0..n)
+        .map(|i| format!("::serde::Deserialize::deser_value(&__items[{i}])?,"))
+        .collect();
+    format!(
+        "{{ let __items = __pv.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", __pv))?;\n\
+           if __items.len() != {n} {{\n\
+               return ::core::result::Result::Err(::serde::Error::custom(\
+                   format!(\"expected {n} fields, got {{}}\", __items.len())));\n\
+           }}\n\
+           ::core::result::Result::Ok({ctor}({args})) }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Named(fs) => {
+                let inits = de_named_inits(name, fs, "__v");
+                format!(
+                    "if __v.as_object().is_none() {{\n\
+                         return ::core::result::Result::Err(::serde::Error::expected(\"object\", __v));\n\
+                     }}\n\
+                     ::core::result::Result::Ok({name} {{ {inits} }})"
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::deser_value(__v)?))"
+            ),
+            Fields::Tuple(n) => {
+                let ctor = de_tuple_ctor(name, *n);
+                format!("let __pv = __v; {ctor}")
+            }
+            Fields::Unit => format!("::core::result::Result::Ok({name})"),
+        },
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "{0:?} => ::core::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    )
+                })
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    let ctor = format!("{name}::{vname}");
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "{vname:?} => ::core::result::Result::Ok({ctor}(\
+                             ::serde::Deserialize::deser_value(__pv)?)),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            Some(format!("{vname:?} => {},\n", de_tuple_ctor(&ctor, *n)))
+                        }
+                        Fields::Named(fs) => {
+                            let label = format!("{name}::{vname}");
+                            let inits = de_named_inits(&label, fs, "__pv");
+                            Some(format!(
+                                "{vname:?} => ::core::result::Result::Ok({ctor} {{ {inits} }}),\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::core::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown variant {{__other:?}} of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__k, __pv) = &__entries[0];\n\
+                         match __k.as_str() {{\n\
+                             {payload_arms}\n\
+                             __other => ::core::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown variant {{__other:?}} of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::core::result::Result::Err(::serde::Error::expected(\"enum variant\", __v)),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deser_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
