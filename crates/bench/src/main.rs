@@ -1,14 +1,25 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```sh
-//! repro                 # run everything at paper scale
-//! repro --exp table3    # one experiment
-//! repro --fast          # shortened runs (CI smoke)
-//! repro --seed 7        # different stochastic draws
-//! repro --list          # experiment ids
+//! repro                     # run everything at paper scale
+//! repro --exp table3        # one experiment
+//! repro --fast              # shortened runs (CI smoke)
+//! repro --seed 7            # different stochastic draws
+//! repro --jobs 4            # sweep parallelism (0 or omitted = all cores)
+//! repro --no-cache          # bypass the on-disk result cache
+//! repro --cache-clear       # drop the cache before running
+//! repro --bench-sweep f.json # serial-vs-parallel wall-time comparison
+//! repro --list              # experiment ids
 //! ```
 
-use bl_bench::{run_experiment, run_experiment_json, EXPERIMENTS, SEED};
+use std::time::Instant;
+
+use biglittle::{sweep, SweepOptions};
+use bl_bench::{run_experiment_json_with, run_experiment_with, EXPERIMENTS, SEED};
+use serde::Value;
+
+/// Default cache location, relative to the working directory.
+const CACHE_DIR: &str = biglittle::sweep::DEFAULT_CACHE_DIR;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,6 +28,9 @@ fn main() {
     let mut fast = false;
     let mut json = false;
     let mut out_dir: Option<String> = None;
+    let mut jobs: usize = 0; // 0 = all available cores
+    let mut cache = true;
+    let mut bench_sweep: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -31,6 +45,19 @@ fn main() {
             "--fast" => fast = true,
             "--json" => json = true,
             "--out" => out_dir = it.next().cloned(),
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs takes an integer (0 = all cores)")
+            }
+            "--no-cache" => cache = false,
+            "--cache-clear" => {
+                if std::fs::remove_dir_all(CACHE_DIR).is_ok() {
+                    eprintln!("cleared {CACHE_DIR}");
+                }
+            }
+            "--bench-sweep" => bench_sweep = it.next().cloned(),
             "--list" => {
                 for e in EXPERIMENTS {
                     println!("{e}");
@@ -39,7 +66,9 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--exp <id>] [--seed <n>] [--fast] [--json] [--out <dir>] [--list]\n\
+                    "usage: repro [--exp <id>] [--seed <n>] [--fast] [--json] [--out <dir>]\n\
+                     \x20            [--jobs <n>] [--no-cache] [--cache-clear]\n\
+                     \x20            [--bench-sweep <file>] [--list]\n\
                      ids: {}",
                     EXPERIMENTS.join(", ")
                 );
@@ -52,12 +81,40 @@ fn main() {
         }
     }
 
+    let opts = {
+        let mut o = SweepOptions::with_jobs(jobs);
+        if cache {
+            o = o.cached(CACHE_DIR);
+        }
+        o
+    };
+
+    if let Some(path) = bench_sweep {
+        run_bench_sweep(&path, seed);
+        return;
+    }
+
     let render = |id: &str| -> String {
         if json {
-            serde_json::to_string_pretty(&run_experiment_json(id, seed, fast))
-                .expect("results serialize")
+            let _ = sweep::take_stats(); // drop stats from previous experiments
+            let t0 = Instant::now();
+            let data = run_experiment_json_with(id, seed, fast, &opts);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let stats = sweep::take_stats();
+            let wrapped = Value::Object(vec![
+                ("experiment".into(), Value::String(id.to_string())),
+                ("wall_ms".into(), Value::Float(wall_ms)),
+                ("scenarios".into(), Value::UInt(stats.scenarios)),
+                ("cache_hits".into(), Value::UInt(stats.cache_hits)),
+                (
+                    "per_scenario".into(),
+                    serde_json::to_value(&stats.per_scenario).expect("stats serialize"),
+                ),
+                ("data".into(), data),
+            ]);
+            serde_json::to_string_pretty(&wrapped).expect("results serialize")
         } else {
-            run_experiment(id, seed, fast)
+            run_experiment_with(id, seed, fast, &opts)
         }
     };
     let emit = |id: &str, body: String| match &out_dir {
@@ -80,4 +137,51 @@ fn main() {
             }
         }
     }
+}
+
+/// Times the full `--fast` suite serially and at `--jobs 4` (both without
+/// the cache, so the comparison is honest) and writes a machine-readable
+/// record to `path`.
+fn run_bench_sweep(path: &str, seed: u64) {
+    let mut runs = Vec::new();
+    for jobs in [1usize, 4] {
+        let opts = SweepOptions::with_jobs(jobs);
+        let _ = sweep::take_stats();
+        let t0 = Instant::now();
+        for id in EXPERIMENTS {
+            std::hint::black_box(run_experiment_with(id, seed, true, &opts));
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stats = sweep::take_stats();
+        eprintln!(
+            "jobs={jobs}: {wall_ms:.0} ms over {} scenarios ({} cache hits)",
+            stats.scenarios, stats.cache_hits
+        );
+        runs.push(Value::Object(vec![
+            ("jobs".into(), Value::UInt(jobs as u64)),
+            ("wall_ms".into(), Value::Float(wall_ms)),
+            ("scenarios".into(), Value::UInt(stats.scenarios)),
+            ("cache_hits".into(), Value::UInt(stats.cache_hits)),
+        ]));
+    }
+    let report = Value::Object(vec![
+        ("suite".into(), Value::String("repro --fast".into())),
+        ("seed".into(), Value::UInt(seed)),
+        (
+            "host_parallelism".into(),
+            Value::UInt(bl_simcore::pool::available_jobs() as u64),
+        ),
+        (
+            "note".into(),
+            Value::String(
+                "speedup is bounded by host_parallelism; regenerate with \
+                 `repro --fast --bench-sweep <file>` on the target machine"
+                    .into(),
+            ),
+        ),
+        ("runs".into(), Value::Array(runs)),
+    ]);
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, body + "\n").expect("write bench-sweep file");
+    eprintln!("wrote {path}");
 }

@@ -17,16 +17,16 @@
 //!   alternatives on the same workloads.
 
 use crate::result::RunResult;
-use crate::sim::Simulation;
+use crate::scenario::{PlatformPreset, Scenario};
+use crate::sweep::{self, SweepOptions};
 use crate::SystemConfig;
 use bl_governor::classic::{ConservativeParams, OndemandParams};
 use bl_governor::GovernorConfig;
 use bl_kernel::policy::AsymPolicy;
 use bl_metrics::report::{fnum, pct, TextTable};
 use bl_platform::config::CoreConfig;
-use bl_platform::exynos::{exynos5422, exynos5422_equal_l2, exynos5422_tiny_floor};
 use bl_platform::ids::{CoreKind, CpuId};
-use bl_simcore::time::{SimDuration, SimTime};
+use bl_simcore::time::SimDuration;
 use bl_workloads::apps::{mobile_apps, AppModel};
 use bl_workloads::spec::SpecKernel;
 use serde::{Deserialize, Serialize};
@@ -59,25 +59,31 @@ impl TinyFloorRow {
 }
 
 /// Runs every app on the baseline and the tiny-floor platform.
-pub fn tiny_floor_ablation(apps: Vec<AppModel>, seed: u64) -> Vec<TinyFloorRow> {
-    apps.into_iter()
-        .map(|app| {
-            let cfg = SystemConfig::baseline().with_seed(seed);
-            let baseline = {
-                let mut sim = Simulation::new(cfg.clone());
-                sim.spawn_app(&app);
-                sim.run_app(&app)
-            };
-            let tiny = {
-                let mut sim = Simulation::with_platform(exynos5422_tiny_floor(), cfg);
-                sim.spawn_app(&app);
-                sim.run_app(&app)
-            };
-            TinyFloorRow {
-                name: app.name.to_string(),
-                baseline,
-                tiny,
-            }
+pub fn tiny_floor_ablation(
+    apps: Vec<AppModel>,
+    seed: u64,
+    opts: &SweepOptions,
+) -> Vec<TinyFloorRow> {
+    let mut scenarios = Vec::with_capacity(apps.len() * 2);
+    for app in &apps {
+        let cfg = SystemConfig::baseline().with_seed(seed);
+        scenarios.push(Scenario::app(
+            format!("tiny/{}/baseline", app.name),
+            app.clone(),
+            cfg.clone(),
+        ));
+        scenarios.push(
+            Scenario::app(format!("tiny/{}/floor200", app.name), app.clone(), cfg)
+                .on(PlatformPreset::TinyFloor),
+        );
+    }
+    let results = sweep::run_all(&scenarios, opts);
+    apps.iter()
+        .zip(results.chunks_exact(2))
+        .map(|(app, pair)| TinyFloorRow {
+            name: app.name.to_string(),
+            baseline: pair[0].clone(),
+            tiny: pair[1].clone(),
         })
         .collect()
 }
@@ -126,29 +132,59 @@ impl EqualL2Row {
 
 /// Measures the iso-frequency (1.3 GHz) big-core speedup with and without
 /// the L2 capacity gap, end-to-end through the simulator.
-pub fn equal_l2_ablation(ref_duration: SimDuration, seed: u64) -> Vec<EqualL2Row> {
-    let run =
-        |platform: bl_platform::topology::Platform, kernel: &SpecKernel, kind: CoreKind| -> f64 {
-            let (cc, cpu, little_khz, big_khz) = match kind {
-                CoreKind::Little => (CoreConfig::new(1, 0), CpuId(0), 1_300_000, 800_000),
-                CoreKind::Big => (CoreConfig::new(1, 1), CpuId(4), 500_000, 1_300_000),
-            };
-            let cfg = SystemConfig::pinned_frequencies(little_khz, big_khz)
-                .with_core_config(cc)
-                .with_seed(seed);
-            let mut sim = Simulation::with_platform(platform, cfg);
-            sim.spawn_spec(kernel, cpu, ref_duration);
-            sim.run_until_or(SimTime::ZERO + ref_duration * 4, |s| {
-                s.kernel().all_exited()
-            });
-            sim.finish().latency.expect("kernel finished").as_secs_f64()
+pub fn equal_l2_ablation(
+    ref_duration: SimDuration,
+    seed: u64,
+    opts: &SweepOptions,
+) -> Vec<EqualL2Row> {
+    let suite = SpecKernel::suite();
+    let scenario = |kernel: &SpecKernel, kind: CoreKind, preset: PlatformPreset, tag: &str| {
+        let (cc, cpu, little_khz, big_khz) = match kind {
+            CoreKind::Little => (CoreConfig::new(1, 0), CpuId(0), 1_300_000, 800_000),
+            CoreKind::Big => (CoreConfig::new(1, 1), CpuId(4), 500_000, 1_300_000),
         };
-    SpecKernel::suite()
-        .into_iter()
-        .map(|k| {
-            let t_little = run(exynos5422(), &k, CoreKind::Little);
-            let t_big_real = run(exynos5422(), &k, CoreKind::Big);
-            let t_big_small = run(exynos5422_equal_l2(), &k, CoreKind::Big);
+        let cfg = SystemConfig::pinned_frequencies(little_khz, big_khz)
+            .with_core_config(cc)
+            .with_seed(seed);
+        Scenario::spec(
+            format!("equal-l2/{}/{tag}", kernel.name),
+            kernel,
+            cpu,
+            ref_duration,
+            cfg,
+        )
+        .on(preset)
+    };
+    let mut scenarios = Vec::with_capacity(suite.len() * 3);
+    for k in &suite {
+        scenarios.push(scenario(
+            k,
+            CoreKind::Little,
+            PlatformPreset::Exynos5422,
+            "little",
+        ));
+        scenarios.push(scenario(
+            k,
+            CoreKind::Big,
+            PlatformPreset::Exynos5422,
+            "big-2MB",
+        ));
+        scenarios.push(scenario(
+            k,
+            CoreKind::Big,
+            PlatformPreset::EqualL2,
+            "big-512KB",
+        ));
+    }
+    let results = sweep::run_all(&scenarios, opts);
+    let secs = |r: &RunResult| r.latency.expect("kernel finished").as_secs_f64();
+    suite
+        .iter()
+        .zip(results.chunks_exact(3))
+        .map(|(k, chunk)| {
+            let t_little = secs(&chunk[0]);
+            let t_big_real = secs(&chunk[1]);
+            let t_big_small = secs(&chunk[2]);
             EqualL2Row {
                 name: k.name.to_string(),
                 speedup_real: t_little / t_big_real,
@@ -192,7 +228,11 @@ pub struct GovernorRow {
 }
 
 /// Sweeps the classic Linux governors over `apps`.
-pub fn governor_comparison(apps: Vec<AppModel>, seed: u64) -> Vec<GovernorRow> {
+pub fn governor_comparison(
+    apps: Vec<AppModel>,
+    seed: u64,
+    opts: &SweepOptions,
+) -> Vec<GovernorRow> {
     let governors = vec![
         (
             "interactive".to_string(),
@@ -209,21 +249,27 @@ pub fn governor_comparison(apps: Vec<AppModel>, seed: u64) -> Vec<GovernorRow> {
         ("performance".to_string(), GovernorConfig::Performance),
         ("powersave".to_string(), GovernorConfig::Powersave),
     ];
+    let mut scenarios = Vec::with_capacity(governors.len() * apps.len());
+    for (label, g) in &governors {
+        for app in &apps {
+            scenarios.push(Scenario::app(
+                format!("governor/{label}/{}", app.name),
+                app.clone(),
+                SystemConfig::baseline().with_governor(*g).with_seed(seed),
+            ));
+        }
+    }
+    let results = sweep::run_all(&scenarios, opts);
     governors
         .into_iter()
-        .map(|(label, g)| {
-            let results = apps
+        .zip(results.chunks_exact(apps.len().max(1)))
+        .map(|((label, _), chunk)| GovernorRow {
+            governor: label,
+            results: apps
                 .iter()
-                .map(|app| {
-                    let cfg = SystemConfig::baseline().with_governor(g).with_seed(seed);
-                    let r = super::run_app_with(app, cfg);
-                    (app.name.to_string(), r)
-                })
-                .collect();
-            GovernorRow {
-                governor: label,
-                results,
-            }
+                .zip(chunk)
+                .map(|(app, r)| (app.name.to_string(), r.clone()))
+                .collect(),
         })
         .collect()
 }
@@ -246,8 +292,8 @@ pub fn render_governor_comparison(rows: &[GovernorRow]) -> String {
 }
 
 /// Convenience: the full tiny-floor ablation over all 12 apps.
-pub fn tiny_floor_full(seed: u64) -> Vec<TinyFloorRow> {
-    tiny_floor_ablation(mobile_apps(), seed)
+pub fn tiny_floor_full(seed: u64, opts: &SweepOptions) -> Vec<TinyFloorRow> {
+    tiny_floor_ablation(mobile_apps(), seed, opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -274,19 +320,27 @@ impl CpuidleRow {
 
 /// Measures what deep idle states buy on each app — the saving should
 /// track the app's idle share (paper Table III).
-pub fn cpuidle_ablation(apps: Vec<AppModel>, seed: u64) -> Vec<CpuidleRow> {
-    apps.into_iter()
-        .map(|app| {
-            let baseline = super::run_app_with(&app, SystemConfig::baseline().with_seed(seed));
-            let cpuidle = super::run_app_with(
-                &app,
-                SystemConfig::baseline().with_seed(seed).with_cpuidle(true),
-            );
-            CpuidleRow {
-                name: app.name.to_string(),
-                baseline,
-                cpuidle,
-            }
+pub fn cpuidle_ablation(apps: Vec<AppModel>, seed: u64, opts: &SweepOptions) -> Vec<CpuidleRow> {
+    let mut scenarios = Vec::with_capacity(apps.len() * 2);
+    for app in &apps {
+        scenarios.push(Scenario::app(
+            format!("cpuidle/{}/baseline", app.name),
+            app.clone(),
+            SystemConfig::baseline().with_seed(seed),
+        ));
+        scenarios.push(Scenario::app(
+            format!("cpuidle/{}/deep-idle", app.name),
+            app.clone(),
+            SystemConfig::baseline().with_seed(seed).with_cpuidle(true),
+        ));
+    }
+    let results = sweep::run_all(&scenarios, opts);
+    apps.iter()
+        .zip(results.chunks_exact(2))
+        .map(|(app, pair)| CpuidleRow {
+            name: app.name.to_string(),
+            baseline: pair[0].clone(),
+            cpuidle: pair[1].clone(),
         })
         .collect()
 }
@@ -331,7 +385,7 @@ pub struct PolicyRow {
 /// parallelism-aware (Saez et al.) — on the same workloads. The paper
 /// describes all three (§IV.A) but can only measure the one its platform
 /// ships; the simulator runs them all.
-pub fn scheduler_comparison(apps: Vec<AppModel>, seed: u64) -> Vec<PolicyRow> {
+pub fn scheduler_comparison(apps: Vec<AppModel>, seed: u64, opts: &SweepOptions) -> Vec<PolicyRow> {
     let policies = vec![
         ("utilization (HMP)".to_string(), AsymPolicy::default_hmp()),
         (
@@ -343,20 +397,29 @@ pub fn scheduler_comparison(apps: Vec<AppModel>, seed: u64) -> Vec<PolicyRow> {
             AsymPolicy::parallelism_aware(),
         ),
     ];
+    let mut scenarios = Vec::with_capacity(policies.len() * apps.len());
+    for (label, policy) in &policies {
+        for app in &apps {
+            scenarios.push(Scenario::app(
+                format!("policy/{label}/{}", app.name),
+                app.clone(),
+                SystemConfig::baseline()
+                    .with_policy(*policy)
+                    .with_seed(seed),
+            ));
+        }
+    }
+    let results = sweep::run_all(&scenarios, opts);
     policies
         .into_iter()
-        .map(|(label, policy)| {
-            let results = apps
+        .zip(results.chunks_exact(apps.len().max(1)))
+        .map(|((label, _), chunk)| PolicyRow {
+            policy: label,
+            results: apps
                 .iter()
-                .map(|app| {
-                    let cfg = SystemConfig::baseline().with_policy(policy).with_seed(seed);
-                    (app.name.to_string(), super::run_app_with(app, cfg))
-                })
-                .collect();
-            PolicyRow {
-                policy: label,
-                results,
-            }
+                .zip(chunk)
+                .map(|(app, r)| (app.name.to_string(), r.clone()))
+                .collect(),
         })
         .collect()
 }
@@ -411,7 +474,11 @@ mod tests {
 
     #[test]
     fn tiny_floor_saves_power_on_low_demand_apps() {
-        let rows = tiny_floor_ablation(vec![app_by_name("Video Player").unwrap()], 5);
+        let rows = tiny_floor_ablation(
+            vec![app_by_name("Video Player").unwrap()],
+            5,
+            &SweepOptions::default(),
+        );
         let r = &rows[0];
         // The 200 MHz floor must reduce the Min share and save power for
         // the archetypal low-demand app.
@@ -434,7 +501,7 @@ mod tests {
 
     #[test]
     fn equal_l2_shrinks_cache_sensitive_speedups_only() {
-        let rows = equal_l2_ablation(SimDuration::from_millis(150), 5);
+        let rows = equal_l2_ablation(SimDuration::from_millis(150), 5, &SweepOptions::default());
         let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
         // mcf loses a large factor; hmmer (compute-bound) barely changes.
         assert!(get("mcf").cache_contribution() > 1.5);
@@ -458,7 +525,7 @@ mod tests {
             bl_workloads::apps::app_by_name("Encoder").unwrap(),
             bl_workloads::apps::app_by_name("Eternity Warriors 2").unwrap(),
         ];
-        let rows = scheduler_comparison(apps, 5);
+        let rows = scheduler_comparison(apps, 5, &SweepOptions::default());
         let find = |label: &str| rows.iter().find(|r| r.policy.contains(label)).unwrap();
         let hmp = find("utilization");
         let eff = find("efficiency");
@@ -482,7 +549,11 @@ mod tests {
 
     #[test]
     fn governor_comparison_orders_power_sensibly() {
-        let rows = governor_comparison(vec![app_by_name("FIFA 15").unwrap()], 5);
+        let rows = governor_comparison(
+            vec![app_by_name("FIFA 15").unwrap()],
+            5,
+            &SweepOptions::default(),
+        );
         let power = |g: &str| {
             rows.iter().find(|r| r.governor == g).unwrap().results[0]
                 .1

@@ -2,7 +2,8 @@
 //! Tables III–IV).
 
 use crate::result::RunResult;
-use crate::sim::Simulation;
+use crate::scenario::Scenario;
+use crate::sweep::{self, SweepOptions};
 use crate::SystemConfig;
 use bl_kernel::task::Affinity;
 use bl_metrics::report::{fnum, pct, TextTable};
@@ -13,13 +14,20 @@ use serde::{Deserialize, Serialize};
 
 /// Runs every app on the default system (L4+B4, HMP, interactive) —
 /// the shared input of Tables III–V and Figures 9–10.
-pub fn default_runs(seed: u64) -> Vec<(AppModel, RunResult)> {
-    mobile_apps()
-        .into_iter()
+pub fn default_runs(seed: u64, opts: &SweepOptions) -> Vec<(AppModel, RunResult)> {
+    let apps = mobile_apps();
+    let scenarios: Vec<Scenario> = apps
+        .iter()
         .map(|app| {
-            let r = super::run_app_with(&app, SystemConfig::baseline().with_seed(seed));
-            (app, r)
+            Scenario::app(
+                format!("default/{}", app.name),
+                app.clone(),
+                SystemConfig::baseline().with_seed(seed),
+            )
         })
+        .collect();
+    apps.into_iter()
+        .zip(sweep::run_all(&scenarios, opts))
         .collect()
 }
 
@@ -192,45 +200,52 @@ impl BigVsLittleRow {
     }
 }
 
-fn big_vs_little(apps: Vec<AppModel>, seed: u64) -> Vec<BigVsLittleRow> {
-    apps.into_iter()
-        .map(|app| {
-            let little_cfg = SystemConfig::baseline()
-                .with_core_config(CoreConfig::new(4, 0))
-                .with_seed(seed);
-            let mut sim = Simulation::new(little_cfg);
-            sim.spawn_app_with_affinity(&app, Affinity::Kind(CoreKind::Little));
-            let little = sim.run_app(&app);
-
-            // "4 big cores": one little core must stay online (hardware
-            // rule) but the app is pinned to the big side; the idle little
-            // core contributes only leakage.
-            let big_cfg = SystemConfig::baseline()
-                .with_core_config(CoreConfig::new(1, 4))
-                .with_seed(seed);
-            let mut sim = Simulation::new(big_cfg);
-            sim.spawn_app_with_affinity(&app, Affinity::Kind(CoreKind::Big));
-            let big = sim.run_app(&app);
-
-            BigVsLittleRow {
-                name: app.name.to_string(),
-                little,
-                big,
-            }
+fn big_vs_little(apps: Vec<AppModel>, seed: u64, opts: &SweepOptions) -> Vec<BigVsLittleRow> {
+    let mut scenarios = Vec::with_capacity(apps.len() * 2);
+    for app in &apps {
+        let little_cfg = SystemConfig::baseline()
+            .with_core_config(CoreConfig::new(4, 0))
+            .with_seed(seed);
+        scenarios.push(Scenario::app_with_affinity(
+            format!("little/{}", app.name),
+            app.clone(),
+            Affinity::Kind(CoreKind::Little),
+            little_cfg,
+        ));
+        // "4 big cores": one little core must stay online (hardware
+        // rule) but the app is pinned to the big side; the idle little
+        // core contributes only leakage.
+        let big_cfg = SystemConfig::baseline()
+            .with_core_config(CoreConfig::new(1, 4))
+            .with_seed(seed);
+        scenarios.push(Scenario::app_with_affinity(
+            format!("big/{}", app.name),
+            app.clone(),
+            Affinity::Kind(CoreKind::Big),
+            big_cfg,
+        ));
+    }
+    let results = sweep::run_all(&scenarios, opts);
+    apps.iter()
+        .zip(results.chunks_exact(2))
+        .map(|(app, pair)| BigVsLittleRow {
+            name: app.name.to_string(),
+            little: pair[0].clone(),
+            big: pair[1].clone(),
         })
         .collect()
 }
 
 /// Figure 4: power and latency for 4 big cores vs 4 little cores
 /// (latency-oriented applications).
-pub fn fig4_latency_big_vs_little(seed: u64) -> Vec<BigVsLittleRow> {
-    big_vs_little(latency_apps(), seed)
+pub fn fig4_latency_big_vs_little(seed: u64, opts: &SweepOptions) -> Vec<BigVsLittleRow> {
+    big_vs_little(latency_apps(), seed, opts)
 }
 
 /// Figure 5: power and FPS for 4 big cores vs 4 little cores
 /// (FPS-oriented applications).
-pub fn fig5_fps_big_vs_little(seed: u64) -> Vec<BigVsLittleRow> {
-    big_vs_little(fps_apps(), seed)
+pub fn fig5_fps_big_vs_little(seed: u64, opts: &SweepOptions) -> Vec<BigVsLittleRow> {
+    big_vs_little(fps_apps(), seed, opts)
 }
 
 /// Renders the Figure 4 table.
@@ -295,7 +310,7 @@ mod tests {
     fn reproduction_rank_correlations_are_high() {
         // The headline calibration requirement: the ordering of apps by TLP
         // and by big-core usage must track the paper.
-        let runs = default_runs(42);
+        let runs = default_runs(42, &SweepOptions::default());
         let mut paper = Vec::new();
         let mut meas = Vec::new();
         let mut paper_big = Vec::new();

@@ -1,12 +1,13 @@
 //! Architecture characterization experiments (paper §III, Figures 2, 3, 6).
 
-use crate::sim::Simulation;
+use crate::scenario::Scenario;
+use crate::sweep::{self, SweepOptions};
 use crate::SystemConfig;
 use bl_metrics::report::{fnum, TextTable};
 use bl_platform::config::CoreConfig;
 use bl_platform::exynos::exynos5422;
 use bl_platform::ids::{CoreKind, CpuId};
-use bl_simcore::time::{SimDuration, SimTime};
+use bl_simcore::time::SimDuration;
 use bl_workloads::spec::SpecKernel;
 use serde::{Deserialize, Serialize};
 
@@ -54,46 +55,59 @@ pub struct SpecMatrix {
 /// `ref_duration` is the per-benchmark runtime on little@1.3 GHz (the paper
 /// runs full SPEC inputs; 2 s of simulated reference time preserves the
 /// ratios).
-pub fn run_spec_matrix(ref_duration: SimDuration, seed: u64) -> SpecMatrix {
-    let mut rows = Vec::new();
-    for kernel in SpecKernel::suite() {
-        let mut time_s = [0.0; 4];
-        let mut power_mw = [0.0; 4];
-        for (i, (_, kind, freq)) in SPEC_CONFIGS.iter().enumerate() {
+pub fn run_spec_matrix(ref_duration: SimDuration, seed: u64, opts: &SweepOptions) -> SpecMatrix {
+    let suite = SpecKernel::suite();
+    let mut scenarios = Vec::with_capacity(suite.len() * SPEC_CONFIGS.len());
+    for kernel in &suite {
+        for (name, kind, freq) in SPEC_CONFIGS {
             let (core_config, cpu, little_khz, big_khz) = match kind {
-                CoreKind::Little => (CoreConfig::new(1, 0), CpuId(0), *freq, 800_000),
-                CoreKind::Big => (CoreConfig::new(1, 4).min_big(), CpuId(4), 500_000, *freq),
+                CoreKind::Little => (CoreConfig::new(1, 0), CpuId(0), freq, 800_000),
+                CoreKind::Big => (CoreConfig::new(1, 4).min_big(), CpuId(4), 500_000, freq),
             };
             let cfg = SystemConfig::pinned_frequencies(little_khz, big_khz)
                 .with_core_config(core_config)
                 .with_seed(seed);
-            let mut sim = Simulation::new(cfg);
-            sim.spawn_spec(&kernel, cpu, ref_duration);
-            // Generous cap: the slowest config is the little core itself.
-            let cap = SimTime::ZERO + ref_duration * 4;
-            sim.run_until_or(cap, |s| s.kernel().all_exited());
-            let r = sim.finish();
-            let t = r
-                .latency
-                .unwrap_or_else(|| panic!("{} did not finish on {kind}@{freq}", kernel.name));
-            time_s[i] = t.as_secs_f64();
-            // Power averaged over the busy portion only (meter runs to
-            // completion time since the run stops there).
-            power_mw[i] = r.avg_power_mw;
+            // The scenario's AllExited cap is a generous 4x: the slowest
+            // config is the little core itself.
+            scenarios.push(Scenario::spec(
+                format!("spec/{}/{name}", kernel.name),
+                kernel,
+                cpu,
+                ref_duration,
+                cfg,
+            ));
         }
-        rows.push(SpecRow {
-            name: kernel.name.to_string(),
-            time_s,
-            power_mw,
-        });
     }
+    let results = sweep::run_all(&scenarios, opts);
+    let rows = suite
+        .iter()
+        .zip(results.chunks_exact(SPEC_CONFIGS.len()))
+        .map(|(kernel, chunk)| {
+            let mut time_s = [0.0; 4];
+            let mut power_mw = [0.0; 4];
+            for (i, r) in chunk.iter().enumerate() {
+                let t = r.latency.unwrap_or_else(|| {
+                    panic!("{} did not finish on {}", kernel.name, SPEC_CONFIGS[i].0)
+                });
+                time_s[i] = t.as_secs_f64();
+                // Power averaged over the busy portion only (meter runs to
+                // completion time since the run stops there).
+                power_mw[i] = r.avg_power_mw;
+            }
+            SpecRow {
+                name: kernel.name.to_string(),
+                time_s,
+                power_mw,
+            }
+        })
+        .collect();
     SpecMatrix { rows }
 }
 
 /// Figure 2: speedup of big-core configurations normalized to a little core
 /// at 1.3 GHz.
-pub fn fig2_spec_speedup(ref_duration: SimDuration, seed: u64) -> SpecMatrix {
-    run_spec_matrix(ref_duration, seed)
+pub fn fig2_spec_speedup(ref_duration: SimDuration, seed: u64, opts: &SweepOptions) -> SpecMatrix {
+    run_spec_matrix(ref_duration, seed, opts)
 }
 
 /// Renders the Figure 2 table.
@@ -118,8 +132,8 @@ pub fn render_fig2(m: &SpecMatrix) -> String {
 }
 
 /// Figure 3: full-system power for the same runs.
-pub fn fig3_spec_power(ref_duration: SimDuration, seed: u64) -> SpecMatrix {
-    run_spec_matrix(ref_duration, seed)
+pub fn fig3_spec_power(ref_duration: SimDuration, seed: u64, opts: &SweepOptions) -> SpecMatrix {
+    run_spec_matrix(ref_duration, seed, opts)
 }
 
 /// Renders the Figure 3 table.
@@ -169,12 +183,14 @@ pub const DUTIES: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
 
 /// Figure 6: run the duty-cycle microbenchmark at every OPP of both core
 /// types.
-pub fn fig6_power_vs_utilization(run_for: SimDuration, seed: u64) -> Fig6Result {
+pub fn fig6_power_vs_utilization(
+    run_for: SimDuration,
+    seed: u64,
+    opts: &SweepOptions,
+) -> Fig6Result {
     let platform = exynos5422();
-    let mut out = Fig6Result {
-        little: Vec::new(),
-        big: Vec::new(),
-    };
+    let mut scenarios = Vec::new();
+    let mut points = Vec::new();
     for kind in CoreKind::ALL {
         let cluster = platform.topology.cluster_of_kind(kind).expect("cluster");
         for opp in cluster.core.opps.iter() {
@@ -186,20 +202,32 @@ pub fn fig6_power_vs_utilization(run_for: SimDuration, seed: u64) -> Fig6Result 
                 let cfg = SystemConfig::pinned_frequencies(little_khz, big_khz)
                     .with_core_config(core_config)
                     .with_seed(seed);
-                let mut sim = Simulation::new(cfg);
-                sim.spawn_microbench(cpu, duty, SimDuration::from_millis(10));
-                sim.run_until(SimTime::ZERO + run_for);
-                let r = sim.finish();
-                let point = UtilPowerPoint {
-                    freq_khz: opp.freq_khz,
+                scenarios.push(Scenario::microbench(
+                    format!("fig6/{kind}@{}kHz/{:.0}%", opp.freq_khz, duty * 100.0),
+                    cpu,
                     duty,
-                    power_mw: r.avg_power_mw,
-                };
-                match kind {
-                    CoreKind::Little => out.little.push(point),
-                    CoreKind::Big => out.big.push(point),
-                }
+                    SimDuration::from_millis(10),
+                    run_for,
+                    cfg,
+                ));
+                points.push((kind, opp.freq_khz, duty));
             }
+        }
+    }
+    let results = sweep::run_all(&scenarios, opts);
+    let mut out = Fig6Result {
+        little: Vec::new(),
+        big: Vec::new(),
+    };
+    for ((kind, freq_khz, duty), r) in points.into_iter().zip(&results) {
+        let point = UtilPowerPoint {
+            freq_khz,
+            duty,
+            power_mw: r.avg_power_mw,
+        };
+        match kind {
+            CoreKind::Little => out.little.push(point),
+            CoreKind::Big => out.big.push(point),
         }
     }
     out
@@ -251,7 +279,7 @@ mod tests {
 
     #[test]
     fn spec_matrix_short_run_has_sane_shape() {
-        let m = run_spec_matrix(SimDuration::from_millis(200), 1);
+        let m = run_spec_matrix(SimDuration::from_millis(200), 1, &SweepOptions::default());
         assert_eq!(m.rows.len(), 12);
         for r in &m.rows {
             let s = r.speedups();
@@ -281,7 +309,8 @@ mod tests {
 
     #[test]
     fn fig6_power_monotone_in_duty_and_freq() {
-        let r = fig6_power_vs_utilization(SimDuration::from_millis(300), 1);
+        let r =
+            fig6_power_vs_utilization(SimDuration::from_millis(300), 1, &SweepOptions::default());
         assert_eq!(r.little.len(), 9 * 5);
         assert_eq!(r.big.len(), 12 * 5);
         // At fixed frequency, power rises with duty.

@@ -1,6 +1,8 @@
 //! Core-combination experiments (paper §V.C, Figures 7 and 8).
 
 use crate::result::RunResult;
+use crate::scenario::Scenario;
+use crate::sweep::{self, SweepOptions};
 use crate::SystemConfig;
 use bl_metrics::report::{fnum, TextTable};
 use bl_platform::config::CoreConfig;
@@ -40,40 +42,49 @@ impl CoreConfigRow {
 
 /// Runs every app across the paper's seven core combinations plus the
 /// baseline. Shared by Figures 7 and 8.
-pub fn run_core_config_sweep(apps: Vec<AppModel>, seed: u64) -> Vec<CoreConfigRow> {
-    let sweep = CoreConfig::paper_sweep();
-    apps.into_iter()
-        .map(|app| {
-            let baseline = super::run_app_with(&app, SystemConfig::baseline().with_seed(seed));
-            let configs = sweep
-                .iter()
-                .map(|cc| {
-                    let r = super::run_app_with(
-                        &app,
-                        SystemConfig::baseline()
-                            .with_core_config(*cc)
-                            .with_seed(seed),
-                    );
-                    (*cc, r)
-                })
-                .collect();
-            CoreConfigRow {
-                name: app.name.to_string(),
-                baseline,
-                configs,
-            }
+pub fn run_core_config_sweep(
+    apps: Vec<AppModel>,
+    seed: u64,
+    opts: &SweepOptions,
+) -> Vec<CoreConfigRow> {
+    let cc_sweep = CoreConfig::paper_sweep();
+    let per_app = 1 + cc_sweep.len();
+    let mut scenarios = Vec::with_capacity(apps.len() * per_app);
+    for app in &apps {
+        scenarios.push(Scenario::app(
+            format!("coreconfig/{}/baseline", app.name),
+            app.clone(),
+            SystemConfig::baseline().with_seed(seed),
+        ));
+        for cc in &cc_sweep {
+            scenarios.push(Scenario::app(
+                format!("coreconfig/{}/{cc}", app.name),
+                app.clone(),
+                SystemConfig::baseline()
+                    .with_core_config(*cc)
+                    .with_seed(seed),
+            ));
+        }
+    }
+    let results = sweep::run_all(&scenarios, opts);
+    apps.iter()
+        .zip(results.chunks_exact(per_app))
+        .map(|(app, chunk)| CoreConfigRow {
+            name: app.name.to_string(),
+            baseline: chunk[0].clone(),
+            configs: cc_sweep.iter().copied().zip(chunk[1..].to_vec()).collect(),
         })
         .collect()
 }
 
 /// Figure 7: performance across core configurations (all apps).
-pub fn fig7_performance(seed: u64) -> Vec<CoreConfigRow> {
-    run_core_config_sweep(mobile_apps(), seed)
+pub fn fig7_performance(seed: u64, opts: &SweepOptions) -> Vec<CoreConfigRow> {
+    run_core_config_sweep(mobile_apps(), seed, opts)
 }
 
 /// Figure 8 shares Figure 7's runs.
-pub fn fig8_power_saving(seed: u64) -> Vec<CoreConfigRow> {
-    run_core_config_sweep(mobile_apps(), seed)
+pub fn fig8_power_saving(seed: u64, opts: &SweepOptions) -> Vec<CoreConfigRow> {
+    run_core_config_sweep(mobile_apps(), seed, opts)
 }
 
 /// Renders the Figure 7 table (performance relative to L4+B4).

@@ -1,6 +1,8 @@
 //! Scheduler/governor experiments (paper §VI, Figures 9–13 and Table V).
 
 use crate::result::RunResult;
+use crate::scenario::Scenario;
+use crate::sweep::{self, SweepOptions};
 use crate::SystemConfig;
 use bl_governor::{GovernorConfig, InteractiveParams};
 use bl_kernel::hmp::HmpParams;
@@ -162,30 +164,42 @@ impl ParamSweep {
 
 /// Runs the full §VI.C parameter sweep over `apps` (pass
 /// [`mobile_apps()`] for paper scale).
-pub fn run_param_sweep(apps: Vec<AppModel>, seed: u64) -> ParamSweep {
+pub fn run_param_sweep(apps: Vec<AppModel>, seed: u64, opts: &SweepOptions) -> ParamSweep {
+    let param_variants = paper_param_variants();
+    let mut scenarios = Vec::with_capacity(apps.len() * (1 + param_variants.len()));
+    for app in &apps {
+        scenarios.push(Scenario::app(
+            format!("param/baseline/{}", app.name),
+            app.clone(),
+            SystemConfig::baseline().with_seed(seed),
+        ));
+    }
+    for (name, cfg) in &param_variants {
+        for app in &apps {
+            scenarios.push(Scenario::app(
+                format!("param/{name}/{}", app.name),
+                app.clone(),
+                cfg.clone().with_seed(seed),
+            ));
+        }
+    }
+    let results = sweep::run_all(&scenarios, opts);
     let baseline: Vec<(String, PerfMetric, RunResult)> = apps
         .iter()
-        .map(|app| {
-            let r = super::run_app_with(app, SystemConfig::baseline().with_seed(seed));
-            (app.name.to_string(), app.metric, r)
-        })
+        .zip(&results)
+        .map(|(app, r)| (app.name.to_string(), app.metric, r.clone()))
         .collect();
-    let variants = paper_param_variants()
-        .into_iter()
-        .map(|(name, cfg)| {
-            let rs = apps
-                .iter()
-                .map(|app| super::run_app_with(app, cfg.clone().with_seed(seed)))
-                .collect();
-            (name.to_string(), rs)
-        })
+    let variants = param_variants
+        .iter()
+        .zip(results[apps.len()..].chunks_exact(apps.len()))
+        .map(|((name, _), chunk)| (name.to_string(), chunk.to_vec()))
         .collect();
     ParamSweep { baseline, variants }
 }
 
 /// Figures 11–13 all share the sweep.
-pub fn fig11_12_13_parameter_sweep(seed: u64) -> ParamSweep {
-    run_param_sweep(mobile_apps(), seed)
+pub fn fig11_12_13_parameter_sweep(seed: u64, opts: &SweepOptions) -> ParamSweep {
+    run_param_sweep(mobile_apps(), seed, opts)
 }
 
 /// Renders Figure 11 (power saving avg + min–max per variant).

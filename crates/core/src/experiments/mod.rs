@@ -20,7 +20,11 @@
 //!
 //! Every experiment takes a `seed` and a `scale` knob where meaningful so
 //! tests can run shortened versions; the `repro` binary uses paper-scale
-//! defaults.
+//! defaults. Sim-running experiments also take a
+//! [`SweepOptions`](crate::sweep::SweepOptions): they describe their runs
+//! as [`Scenario`](crate::Scenario) batches and execute them through the
+//! [`sweep`](crate::sweep) engine, so `--jobs` parallelism and the result
+//! cache apply uniformly.
 
 pub mod ablation;
 pub mod appchar;
@@ -36,8 +40,15 @@ use crate::SystemConfig;
 use bl_workloads::apps::AppModel;
 
 /// Runs one app under `cfg` to its natural end (shared helper).
+///
+/// Takes the app by reference (callers may hold models that are not in the
+/// registry), so it drives the simulation directly instead of going
+/// through a serialized [`Scenario`](crate::Scenario).
 pub fn run_app_with(app: &AppModel, cfg: SystemConfig) -> RunResult {
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::builder()
+        .config(cfg)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"));
     sim.spawn_app(app);
-    sim.run_app(app)
+    sim.try_run_app(app).unwrap_or_else(|e| panic!("{e}"))
 }

@@ -13,7 +13,8 @@
 //!   cools, and the run reports the throttle duty cycle and power saving.
 
 use crate::result::RunResult;
-use crate::sim::Simulation;
+use crate::scenario::{Scenario, Workload};
+use crate::sweep::{self, SweepOptions};
 use crate::SystemConfig;
 use bl_metrics::report::{fnum, TextTable};
 use bl_platform::ids::{ClusterId, CpuId};
@@ -65,33 +66,34 @@ impl OutageRow {
 }
 
 /// Runs every app clean and through a permanent big-cluster outage.
-pub fn outage_comparison(apps: Vec<AppModel>, seed: u64) -> Vec<OutageRow> {
-    apps.into_iter()
-        .map(|app| {
-            let clean = run_app(&app, SystemConfig::baseline().with_seed(seed));
-            let plan = FaultPlan::new().with_outage(
-                SimTime::from_millis(100),
-                SimDuration::from_secs(3_600),
-                &BIG_CPUS,
-            );
-            let faulted = run_app(
-                &app,
-                SystemConfig::baseline().with_seed(seed).with_faults(plan),
-            );
-            OutageRow {
-                name: app.name.to_string(),
-                clean,
-                faulted,
-            }
+pub fn outage_comparison(apps: Vec<AppModel>, seed: u64, opts: &SweepOptions) -> Vec<OutageRow> {
+    let mut scenarios = Vec::with_capacity(apps.len() * 2);
+    for app in &apps {
+        scenarios.push(Scenario::app(
+            format!("outage/{}/clean", app.name),
+            app.clone(),
+            SystemConfig::baseline().with_seed(seed),
+        ));
+        let plan = FaultPlan::new().with_outage(
+            SimTime::from_millis(100),
+            SimDuration::from_secs(3_600),
+            &BIG_CPUS,
+        );
+        scenarios.push(Scenario::app(
+            format!("outage/{}/big-offline", app.name),
+            app.clone(),
+            SystemConfig::baseline().with_seed(seed).with_faults(plan),
+        ));
+    }
+    let results = sweep::run_all(&scenarios, opts);
+    apps.iter()
+        .zip(results.chunks_exact(2))
+        .map(|(app, pair)| OutageRow {
+            name: app.name.to_string(),
+            clean: pair[0].clone(),
+            faulted: pair[1].clone(),
         })
         .collect()
-}
-
-fn run_app(app: &AppModel, cfg: SystemConfig) -> RunResult {
-    let mut sim = Simulation::try_new(cfg).expect("baseline config is valid");
-    sim.spawn_app(app);
-    sim.try_run_app(app)
-        .expect("faulted runs complete degraded, not dead")
 }
 
 /// Renders the outage comparison table.
@@ -158,23 +160,34 @@ impl ThrottleReport {
 /// Pins the clusters at their top frequencies, loads all four big cores at
 /// 95 % duty for `run_len`, and compares the thermally honest run against
 /// the unconstrained one.
-pub fn thermal_throttle(run_len: SimDuration, seed: u64) -> ThrottleReport {
-    let run = |thermal: bool| {
+pub fn thermal_throttle(run_len: SimDuration, seed: u64, opts: &SweepOptions) -> ThrottleReport {
+    let scenario = |thermal: bool, tag: &str| {
         let cfg = SystemConfig::pinned_frequencies(1_300_000, 1_900_000)
             .with_seed(seed)
             .with_thermal(thermal);
-        let mut sim = Simulation::try_new(cfg).expect("pinned config is valid");
-        for cpu in BIG_CPUS {
-            sim.spawn_microbench(CpuId(cpu), 0.95, SimDuration::from_millis(10));
+        let mut sc = Scenario::microbench(
+            format!("thermal/{tag}"),
+            CpuId(BIG_CPUS[0]),
+            0.95,
+            SimDuration::from_millis(10),
+            run_len,
+            cfg,
+        );
+        for cpu in &BIG_CPUS[1..] {
+            sc = sc.push(Workload::Microbench {
+                cpu: *cpu,
+                duty: 0.95,
+                period: SimDuration::from_millis(10),
+            });
         }
-        sim.try_run_until(SimTime::ZERO + run_len)
-            .expect("thermal runs complete");
-        sim.finish()
+        sc
     };
+    let scenarios = vec![scenario(false, "free"), scenario(true, "throttled")];
+    let mut results = sweep::run_all(&scenarios, opts).into_iter();
     ThrottleReport {
         run_len,
-        free: run(false),
-        throttled: run(true),
+        free: results.next().expect("two scenarios ran"),
+        throttled: results.next().expect("two scenarios ran"),
     }
 }
 
@@ -223,7 +236,11 @@ mod tests {
 
     #[test]
     fn outage_rows_report_degradation_honestly() {
-        let rows = outage_comparison(vec![app_by_name("Photo Editor").unwrap()], 5);
+        let rows = outage_comparison(
+            vec![app_by_name("Photo Editor").unwrap()],
+            5,
+            &SweepOptions::default(),
+        );
         let r = &rows[0];
         assert_eq!(r.faulted.resilience.hotplug_offline, 4);
         assert!(
@@ -237,7 +254,7 @@ mod tests {
 
     #[test]
     fn thermal_demo_trips_and_saves_power() {
-        let rep = thermal_throttle(SimDuration::from_secs(20), 5);
+        let rep = thermal_throttle(SimDuration::from_secs(20), 5, &SweepOptions::default());
         assert!(rep.free.resilience.is_quiet());
         assert!(rep.throttled.resilience.throttle_trips >= 1);
         assert!(rep.throttle_duty() > 0.1, "duty {}", rep.throttle_duty());

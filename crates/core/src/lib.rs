@@ -19,6 +19,10 @@
 //! and exposes one [`sim::Simulation`] driver plus one function per paper
 //! table/figure in [`experiments`].
 //!
+//! Runs are described as serializable [`Scenario`]s and executed — in
+//! parallel, with panic isolation and an on-disk result cache — by the
+//! [`sweep`] engine.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -27,11 +31,32 @@
 //! use bl_workloads::apps::app_by_name;
 //!
 //! let app = app_by_name("Video Player").unwrap();
-//! let mut sim = Simulation::new(SystemConfig::default());
+//! let mut sim = Simulation::builder()
+//!     .config(SystemConfig::default())
+//!     .build()
+//!     .expect("valid config");
 //! sim.spawn_app(&app);
-//! let result = sim.run_app(&app);
+//! let result = sim.try_run_app(&app).expect("run completes");
 //! assert!(result.avg_power_mw > 0.0);
 //! assert!(result.tlp.tlp > 0.0);
+//! ```
+//!
+//! Batches of runs go through the sweep engine instead:
+//!
+//! ```
+//! use biglittle::{Scenario, SystemConfig, sweep};
+//! use bl_workloads::apps::app_by_name;
+//!
+//! let scenarios: Vec<Scenario> = ["Browser", "PDF Reader"]
+//!     .iter()
+//!     .map(|name| {
+//!         let app = app_by_name(name).unwrap();
+//!         Scenario::app(*name, app, SystemConfig::baseline())
+//!     })
+//!     .collect();
+//! for result in sweep::run(scenarios, 2) {
+//!     assert!(result.expect("runs complete").latency.is_some());
+//! }
 //! ```
 
 #![warn(missing_docs)]
@@ -39,8 +64,12 @@
 pub mod config;
 pub mod experiments;
 pub mod result;
+pub mod scenario;
 pub mod sim;
+pub mod sweep;
 
 pub use config::SystemConfig;
 pub use result::{ResilienceStats, RunResult};
-pub use sim::Simulation;
+pub use scenario::{PlatformPreset, Scenario, StopWhen, Workload};
+pub use sim::{Simulation, SimulationBuilder};
+pub use sweep::{SweepOptions, SweepOutcome, SweepStats};

@@ -1,0 +1,338 @@
+//! Serializable descriptions of one simulation run.
+//!
+//! A [`Scenario`] captures everything a run depends on — platform preset,
+//! [`SystemConfig`] (seed and fault plan included), workloads and stop
+//! condition — as plain data. That makes a run *schedulable*: the sweep
+//! engine (see [`crate::sweep`]) can execute batches of scenarios on a
+//! worker pool, and the serialized form is the input to the on-disk result
+//! cache's key, so identical scenarios are never simulated twice.
+//!
+//! Executing a scenario builds a fresh [`Simulation`] through
+//! [`Simulation::builder`], spawns the workloads in declaration order and
+//! runs to the stop condition — exactly the code path a hand-rolled
+//! experiment loop would take, which is what keeps sweep results
+//! bit-identical to the serial path.
+
+use crate::config::SystemConfig;
+use crate::result::RunResult;
+use crate::sim::Simulation;
+use bl_kernel::task::Affinity;
+use bl_platform::exynos::{exynos5422, exynos5422_equal_l2, exynos5422_tiny_floor};
+use bl_platform::ids::CpuId;
+use bl_platform::topology::Platform;
+use bl_simcore::error::SimError;
+use bl_simcore::time::{SimDuration, SimTime};
+use bl_workloads::apps::AppModel;
+use bl_workloads::spec::SpecKernel;
+use serde::{Deserialize, Serialize};
+
+/// The platform a scenario runs on, named rather than embedded so the
+/// serialized form stays small and stable across platform-table tweaks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlatformPreset {
+    /// The Exynos-5422-class model every headline experiment uses.
+    #[default]
+    Exynos5422,
+    /// Ablation: the big cluster's L2 shrunk to the little cluster's size.
+    EqualL2,
+    /// Ablation: the little cores' microarchitecture scaled further down.
+    TinyFloor,
+}
+
+impl PlatformPreset {
+    /// Instantiates the platform description.
+    pub fn build(&self) -> Platform {
+        match self {
+            PlatformPreset::Exynos5422 => exynos5422(),
+            PlatformPreset::EqualL2 => exynos5422_equal_l2(),
+            PlatformPreset::TinyFloor => exynos5422_tiny_floor(),
+        }
+    }
+}
+
+/// One workload inside a scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Workload {
+    /// A mobile app model with a placement constraint.
+    App {
+        /// The app to run.
+        app: AppModel,
+        /// Where its threads may run.
+        affinity: Affinity,
+    },
+    /// A SPEC kernel (by suite name) pinned to one CPU, sized to run
+    /// `ref_duration` on a little core at 1.3 GHz.
+    Spec {
+        /// Name of the kernel within [`SpecKernel::suite`].
+        kernel: String,
+        /// The CPU it is pinned to.
+        cpu: usize,
+        /// Reference duration the work is sized against.
+        ref_duration: SimDuration,
+    },
+    /// The utilization microbenchmark pinned to one CPU.
+    Microbench {
+        /// The CPU it is pinned to.
+        cpu: usize,
+        /// Fraction of each period spent computing.
+        duty: f64,
+        /// Period of the busy/idle cycle.
+        period: SimDuration,
+    },
+}
+
+/// When a scenario's run ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopWhen {
+    /// Run for exactly this long.
+    Deadline(SimDuration),
+    /// Run the first `App` workload to its natural end via
+    /// [`Simulation::try_run_app`] (latency apps until the script
+    /// completes, FPS apps for their full `run_for`).
+    FirstAppDone,
+    /// Run until every task exited, capped at `cap`.
+    AllExited {
+        /// Upper bound on the run length.
+        cap: SimDuration,
+    },
+}
+
+/// A serializable description of one simulation run: platform, system
+/// configuration (seed and fault plan included), workloads and stop
+/// condition.
+///
+/// ```
+/// use biglittle::{Scenario, SystemConfig};
+/// use bl_workloads::apps::app_by_name;
+///
+/// let app = app_by_name("Browser").unwrap();
+/// let sc = Scenario::app("browser-baseline", app, SystemConfig::baseline());
+/// let result = sc.run().expect("valid scenario");
+/// assert!(result.latency.is_some());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable label, used in progress output and error reports.
+    pub label: String,
+    /// The platform preset to simulate.
+    pub platform: PlatformPreset,
+    /// The system configuration (includes seed and fault plan).
+    pub config: SystemConfig,
+    /// Workloads, spawned in declaration order.
+    pub workloads: Vec<Workload>,
+    /// The stop condition.
+    pub stop: StopWhen,
+}
+
+impl Scenario {
+    /// A scenario running `app` with free placement to its natural end.
+    pub fn app(label: impl Into<String>, app: AppModel, config: SystemConfig) -> Self {
+        Scenario::app_with_affinity(label, app, Affinity::Any, config)
+    }
+
+    /// A scenario running `app` with all threads forced to `affinity`.
+    pub fn app_with_affinity(
+        label: impl Into<String>,
+        app: AppModel,
+        affinity: Affinity,
+        config: SystemConfig,
+    ) -> Self {
+        Scenario {
+            label: label.into(),
+            platform: PlatformPreset::default(),
+            config,
+            workloads: vec![Workload::App { app, affinity }],
+            stop: StopWhen::FirstAppDone,
+        }
+    }
+
+    /// A scenario running one SPEC kernel pinned to `cpu`, stopping when
+    /// every task exited (capped at 4× the reference duration, matching the
+    /// architecture experiments).
+    pub fn spec(
+        label: impl Into<String>,
+        kernel: &SpecKernel,
+        cpu: CpuId,
+        ref_duration: SimDuration,
+        config: SystemConfig,
+    ) -> Self {
+        Scenario {
+            label: label.into(),
+            platform: PlatformPreset::default(),
+            config,
+            workloads: vec![Workload::Spec {
+                kernel: kernel.name.to_string(),
+                cpu: cpu.0,
+                ref_duration,
+            }],
+            stop: StopWhen::AllExited {
+                cap: ref_duration * 4,
+            },
+        }
+    }
+
+    /// A scenario running the utilization microbenchmark on `cpu` for
+    /// exactly `run_for`.
+    pub fn microbench(
+        label: impl Into<String>,
+        cpu: CpuId,
+        duty: f64,
+        period: SimDuration,
+        run_for: SimDuration,
+        config: SystemConfig,
+    ) -> Self {
+        Scenario {
+            label: label.into(),
+            platform: PlatformPreset::default(),
+            config,
+            workloads: vec![Workload::Microbench {
+                cpu: cpu.0,
+                duty,
+                period,
+            }],
+            stop: StopWhen::Deadline(run_for),
+        }
+    }
+
+    /// Switches the scenario onto a different platform preset.
+    pub fn on(mut self, platform: PlatformPreset) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Replaces the stop condition.
+    pub fn with_stop(mut self, stop: StopWhen) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Appends another workload (spawned after the existing ones).
+    pub fn push(mut self, workload: Workload) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Executes the scenario: builds a fresh [`Simulation`], spawns the
+    /// workloads in order and runs to the stop condition.
+    ///
+    /// # Errors
+    ///
+    /// Construction errors ([`SimError::InvalidConfig`],
+    /// [`SimError::InvalidFaultPlan`]), runtime errors
+    /// ([`SimError::WatchdogStall`], [`SimError::TaskLost`]), and
+    /// [`SimError::InvalidConfig`] for a `Spec` workload naming an unknown
+    /// kernel or a `FirstAppDone` stop without any `App` workload.
+    pub fn run(&self) -> Result<RunResult, SimError> {
+        let mut sim = Simulation::builder()
+            .platform(self.platform.build())
+            .config(self.config.clone())
+            .build()?;
+        let mut first_app: Option<&AppModel> = None;
+        for w in &self.workloads {
+            match w {
+                Workload::App { app, affinity } => {
+                    sim.spawn_app_with_affinity(app, *affinity);
+                    first_app.get_or_insert(app);
+                }
+                Workload::Spec {
+                    kernel,
+                    cpu,
+                    ref_duration,
+                } => {
+                    let suite = SpecKernel::suite();
+                    let spec = suite.iter().find(|s| s.name == kernel).ok_or_else(|| {
+                        SimError::config(format!("unknown SPEC kernel {kernel:?}"))
+                    })?;
+                    sim.spawn_spec(spec, CpuId(*cpu), *ref_duration);
+                }
+                Workload::Microbench { cpu, duty, period } => {
+                    sim.spawn_microbench(CpuId(*cpu), *duty, *period);
+                }
+            }
+        }
+        match self.stop {
+            StopWhen::Deadline(d) => {
+                sim.try_run_until(SimTime::ZERO + d)?;
+                Ok(sim.finish())
+            }
+            StopWhen::FirstAppDone => {
+                let app = first_app.ok_or_else(|| {
+                    SimError::config(format!(
+                        "scenario {:?} stops at FirstAppDone but has no App workload",
+                        self.label
+                    ))
+                })?;
+                sim.try_run_app(app)
+            }
+            StopWhen::AllExited { cap } => {
+                sim.try_run_until_or(SimTime::ZERO + cap, |s| s.kernel().all_exited())?;
+                Ok(sim.finish())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bl_workloads::apps::app_by_name;
+
+    #[test]
+    fn scenario_run_matches_hand_rolled_simulation() {
+        let app = app_by_name("Browser").unwrap();
+        let cfg = SystemConfig::baseline().with_seed(7);
+        let from_scenario = Scenario::app("browser", app.clone(), cfg.clone())
+            .run()
+            .unwrap();
+        let mut sim = Simulation::try_new(cfg).unwrap();
+        sim.spawn_app(&app);
+        let by_hand = sim.try_run_app(&app).unwrap();
+        assert_eq!(from_scenario, by_hand);
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let app = app_by_name("Video Player").unwrap();
+        let sc = Scenario::app("vp", app, SystemConfig::baseline().with_seed(3));
+        let json = serde_json::to_string(&sc).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.run().unwrap(), sc.run().unwrap());
+    }
+
+    #[test]
+    fn unknown_spec_kernel_is_a_typed_error() {
+        let suite = SpecKernel::suite();
+        let mut sc = Scenario::spec(
+            "bad",
+            &suite[0],
+            CpuId(0),
+            SimDuration::from_millis(100),
+            SystemConfig::pinned_frequencies(1_300_000, 800_000),
+        );
+        let Workload::Spec { kernel, .. } = &mut sc.workloads[0] else {
+            unreachable!()
+        };
+        *kernel = "no-such-kernel".to_string();
+        assert!(matches!(
+            sc.run().unwrap_err(),
+            SimError::InvalidConfig { .. }
+        ));
+    }
+
+    #[test]
+    fn first_app_done_without_app_is_a_typed_error() {
+        let sc = Scenario::microbench(
+            "mb",
+            CpuId(0),
+            0.5,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(100),
+            SystemConfig::baseline(),
+        )
+        .with_stop(StopWhen::FirstAppDone);
+        assert!(matches!(
+            sc.run().unwrap_err(),
+            SimError::InvalidConfig { .. }
+        ));
+    }
+}

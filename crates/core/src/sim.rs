@@ -14,7 +14,7 @@ use bl_platform::topology::Platform;
 use bl_power::{ClusterThermal, CpuidleTable, PowerMeter, PowerModel, ThermalParams};
 use bl_simcore::error::SimError;
 use bl_simcore::event::EventQueue;
-use bl_simcore::fault::{FaultEvent, FaultKind};
+use bl_simcore::fault::{FaultEvent, FaultKind, FaultPlan};
 use bl_simcore::rng::SimRng;
 use bl_simcore::time::{SimDuration, SimTime};
 use bl_workloads::apps::{AppInstance, AppModel};
@@ -125,9 +125,9 @@ impl CpuidleRt {
 
 /// One deterministic simulation run of the modeled platform.
 ///
-/// Create it from a [`SystemConfig`], spawn workloads, then call
-/// [`Simulation::run_until`] / [`Simulation::run_app`] and read the
-/// [`RunResult`].
+/// Create it via [`Simulation::builder`] (or [`Simulation::try_new`]),
+/// spawn workloads, then call [`Simulation::try_run_until`] /
+/// [`Simulation::try_run_app`] and read the [`RunResult`].
 pub struct Simulation {
     platform: Platform,
     state: PlatformState,
@@ -163,12 +163,21 @@ impl std::fmt::Debug for Simulation {
 }
 
 impl Simulation {
+    /// Starts a fluent builder: platform, config, seed, fault plan, thermal
+    /// model and tracing in one chain, ending in a non-panicking
+    /// [`SimulationBuilder::build`].
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::default()
+    }
+
     /// Builds a simulation of the Exynos-5422-class platform under `cfg`.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid; [`Simulation::try_new`] is
     /// the non-panicking form.
+    #[deprecated(note = "panics on invalid config; use `Simulation::try_new` or \
+                         `Simulation::builder`")]
     pub fn new(cfg: SystemConfig) -> Self {
         Simulation::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -178,8 +187,12 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Same conditions as [`Simulation::new`];
+    /// Same conditions as [`Simulation::try_new`] (but panicking);
     /// [`Simulation::try_with_platform`] is the non-panicking form.
+    #[deprecated(
+        note = "panics on invalid config; use `Simulation::try_with_platform` \
+                         or `Simulation::builder`"
+    )]
     pub fn with_platform(platform: Platform, cfg: SystemConfig) -> Self {
         Simulation::try_with_platform(platform, cfg).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -422,6 +435,7 @@ impl Simulation {
     ///
     /// Panics if the run fails (watchdog stall, lost task);
     /// [`Simulation::try_run_until_or`] is the non-panicking form.
+    #[deprecated(note = "panics on runtime failure; use `Simulation::try_run_until_or`")]
     pub fn run_until_or(&mut self, deadline: SimTime, stop: impl Fn(&Simulation) -> bool) {
         self.try_run_until_or(deadline, stop)
             .unwrap_or_else(|e| panic!("{e}"))
@@ -431,10 +445,12 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Same conditions as [`Simulation::run_until_or`];
+    /// Same conditions as [`Simulation::try_run_until_or`] (but panicking);
     /// [`Simulation::try_run_until`] is the non-panicking form.
+    #[deprecated(note = "panics on runtime failure; use `Simulation::try_run_until`")]
     pub fn run_until(&mut self, deadline: SimTime) {
-        self.run_until_or(deadline, |_| false);
+        self.try_run_until(deadline)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Runs until `deadline` or until `stop` returns true, reporting
@@ -472,8 +488,9 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Same conditions as [`Simulation::run_until_or`];
+    /// Same conditions as [`Simulation::try_run_until_or`] (but panicking);
     /// [`Simulation::try_run_app`] is the non-panicking form.
+    #[deprecated(note = "panics on runtime failure; use `Simulation::try_run_app`")]
     pub fn run_app(&mut self, app: &AppModel) -> RunResult {
         self.try_run_app(app).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -944,6 +961,81 @@ impl Simulation {
     }
 }
 
+/// Fluent construction of a [`Simulation`]: platform, configuration, seed,
+/// fault plan, thermal model and tracing in one chain.
+///
+/// ```
+/// use biglittle::{Simulation, SystemConfig};
+///
+/// let sim = Simulation::builder()
+///     .config(SystemConfig::baseline())
+///     .seed(42)
+///     .tracing(true)
+///     .build()
+///     .expect("valid config");
+/// assert!(sim.trace().is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct SimulationBuilder {
+    platform: Option<Platform>,
+    config: SystemConfig,
+    tracing: bool,
+}
+
+impl SimulationBuilder {
+    /// Replaces the whole configuration (later `seed`/`faults`/`thermal`
+    /// calls still refine it).
+    pub fn config(mut self, cfg: SystemConfig) -> Self {
+        self.config = cfg;
+        self
+    }
+
+    /// Simulates `platform` instead of the default Exynos-5422 model
+    /// (ablation presets, custom topologies).
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.platform = Some(platform);
+        self
+    }
+
+    /// Sets the RNG seed for the run.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config = self.config.with_seed(seed);
+        self
+    }
+
+    /// Injects a fault plan into the run.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config = self.config.with_faults(plan);
+        self
+    }
+
+    /// Enables or disables the thermal model.
+    pub fn thermal(mut self, enabled: bool) -> Self {
+        self.config = self.config.with_thermal(enabled);
+        self
+    }
+
+    /// Enables per-sample time-series tracing from the start of the run.
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::try_with_platform`].
+    pub fn build(self) -> Result<Simulation, SimError> {
+        let platform = self.platform.unwrap_or_else(exynos5422);
+        let mut sim = Simulation::try_with_platform(platform, self.config)?;
+        if self.tracing {
+            sim.enable_tracing();
+        }
+        Ok(sim)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -952,8 +1044,8 @@ mod tests {
 
     #[test]
     fn empty_system_is_idle_at_min_freq() {
-        let mut sim = Simulation::new(SystemConfig::baseline().screen(false));
-        sim.run_until(SimTime::from_millis(200));
+        let mut sim = Simulation::try_new(SystemConfig::baseline().screen(false)).unwrap();
+        sim.try_run_until(SimTime::from_millis(200)).unwrap();
         let r = sim.finish();
         assert_eq!(r.tlp.idle_pct, 100.0);
         // Idle at min frequencies: power = base + leakage only, well under 600mW.
@@ -966,17 +1058,20 @@ mod tests {
 
     #[test]
     fn userspace_governor_pins_frequency_immediately() {
-        let sim = Simulation::new(SystemConfig::pinned_frequencies(1_300_000, 1_900_000));
+        let sim =
+            Simulation::try_new(SystemConfig::pinned_frequencies(1_300_000, 1_900_000)).unwrap();
         assert_eq!(sim.state().cluster_freq_khz(ClusterId(0)), 1_300_000);
         assert_eq!(sim.state().cluster_freq_khz(ClusterId(1)), 1_900_000);
     }
 
     #[test]
     fn spec_run_completes_and_uses_power() {
-        let mut sim = Simulation::new(SystemConfig::pinned_frequencies(1_300_000, 800_000));
+        let mut sim =
+            Simulation::try_new(SystemConfig::pinned_frequencies(1_300_000, 800_000)).unwrap();
         let spec = &SpecKernel::suite()[0];
         sim.spawn_spec(spec, CpuId(0), SimDuration::from_millis(500));
-        sim.run_until_or(SimTime::from_secs(5), |s| s.kernel().all_exited());
+        sim.try_run_until_or(SimTime::from_secs(5), |s| s.kernel().all_exited())
+            .unwrap();
         assert!(sim.kernel().all_exited());
         let r = sim.finish();
         // Runtime on little@1.3 should be ~the reference duration.
@@ -986,14 +1081,17 @@ mod tests {
 
     #[test]
     fn interactive_governor_raises_frequency_under_load() {
-        let mut sim = Simulation::new(
-            SystemConfig::baseline()
-                .screen(false)
-                .with_governor(GovernorConfig::platform_default()),
-        );
+        let mut sim = Simulation::builder()
+            .config(
+                SystemConfig::baseline()
+                    .screen(false)
+                    .with_governor(GovernorConfig::platform_default()),
+            )
+            .build()
+            .unwrap();
         let spec = &SpecKernel::suite()[5]; // hmmer: compute-bound
         sim.spawn_spec(spec, CpuId(0), SimDuration::from_secs(2));
-        sim.run_until(SimTime::from_millis(500));
+        sim.try_run_until(SimTime::from_millis(500)).unwrap();
         // A saturated little core must have been scaled up from 500 MHz.
         assert!(
             sim.state().cluster_freq_khz(ClusterId(0)) > 1_000_000,
@@ -1005,9 +1103,9 @@ mod tests {
     #[test]
     fn fps_app_produces_frames() {
         let app = app_by_name("Video Player").unwrap();
-        let mut sim = Simulation::new(SystemConfig::baseline());
+        let mut sim = Simulation::try_new(SystemConfig::baseline()).unwrap();
         sim.spawn_app(&app);
-        sim.run_until(SimTime::from_secs(3));
+        sim.try_run_until(SimTime::from_secs(3)).unwrap();
         let r = sim.finish();
         let fps = r.fps.expect("frames were produced");
         assert!(fps.avg_fps > 30.0, "avg fps = {}", fps.avg_fps);
@@ -1017,9 +1115,9 @@ mod tests {
     #[test]
     fn latency_app_finishes_before_cap() {
         let app = app_by_name("Photo Editor").unwrap();
-        let mut sim = Simulation::new(SystemConfig::baseline());
+        let mut sim = Simulation::try_new(SystemConfig::baseline()).unwrap();
         sim.spawn_app(&app);
-        let r = sim.run_app(&app);
+        let r = sim.try_run_app(&app).unwrap();
         let lat = r.latency.expect("script must finish");
         assert!(lat < app.run_for, "latency {lat}");
         assert!(
@@ -1038,10 +1136,13 @@ mod trace_tests {
     #[test]
     fn tracing_records_samples_and_csv() {
         let app = app_by_name("Angry Bird").unwrap();
-        let mut sim = Simulation::new(SystemConfig::baseline());
-        sim.enable_tracing();
+        let mut sim = Simulation::builder()
+            .config(SystemConfig::baseline())
+            .tracing(true)
+            .build()
+            .unwrap();
         sim.spawn_app(&app);
-        sim.run_until(SimTime::from_secs(2));
+        sim.try_run_until(SimTime::from_secs(2)).unwrap();
         let trace = sim.trace().expect("enabled");
         // ~one row per 10ms metric sample.
         assert!(trace.len() >= 150, "rows = {}", trace.len());
@@ -1071,7 +1172,7 @@ mod trace_tests {
 
     #[test]
     fn tracing_off_by_default() {
-        let sim = Simulation::new(SystemConfig::baseline());
+        let sim = Simulation::try_new(SystemConfig::baseline()).unwrap();
         assert!(sim.trace().is_none());
     }
 }
@@ -1086,8 +1187,9 @@ mod cpuidle_tests {
     fn deep_idle_lowers_idle_system_power() {
         let run = |cpuidle: bool| {
             let mut sim =
-                Simulation::new(SystemConfig::baseline().screen(false).with_cpuidle(cpuidle));
-            sim.run_until(SimTime::from_secs(1));
+                Simulation::try_new(SystemConfig::baseline().screen(false).with_cpuidle(cpuidle))
+                    .unwrap();
+            sim.try_run_until(SimTime::from_secs(1)).unwrap();
             sim.finish().avg_power_mw
         };
         let shallow = run(false);
@@ -1104,14 +1206,14 @@ mod cpuidle_tests {
     fn cpuidle_saves_on_idle_heavy_apps_without_hurting_them() {
         let app = app_by_name("Browser").unwrap();
         let base = {
-            let mut sim = Simulation::new(SystemConfig::baseline());
+            let mut sim = Simulation::try_new(SystemConfig::baseline()).unwrap();
             sim.spawn_app(&app);
-            sim.run_app(&app)
+            sim.try_run_app(&app).unwrap()
         };
         let idle = {
-            let mut sim = Simulation::new(SystemConfig::baseline().with_cpuidle(true));
+            let mut sim = Simulation::try_new(SystemConfig::baseline().with_cpuidle(true)).unwrap();
             sim.spawn_app(&app);
-            sim.run_app(&app)
+            sim.try_run_app(&app).unwrap()
         };
         assert!(
             idle.avg_power_mw < base.avg_power_mw,

@@ -1,0 +1,360 @@
+//! The parallel scenario-sweep engine.
+//!
+//! Experiments submit batches of [`Scenario`]s; the engine executes them on
+//! a [`bl_simcore::pool`] worker pool with three guarantees:
+//!
+//! * **Bit-identical to serial.** Each scenario builds its own fresh
+//!   [`crate::Simulation`] from its own serialized inputs, results are
+//!   reassembled in submission order, and per-scenario seeds (when derived
+//!   at all — see [`seed_scenarios`]) depend only on `(base_seed, index)`.
+//!   `jobs = 1` and `jobs = 64` therefore produce the same `RunResult`s.
+//! * **Panic isolation.** A panicking scenario surfaces as
+//!   [`SimError::ScenarioPanicked`] in its slot; sibling scenarios complete.
+//! * **Result caching.** With a cache directory configured, each scenario's
+//!   serialized form (seed and fault plan included) plus the crate version
+//!   is hashed into a key under `results/.cache/`; re-running a sweep only
+//!   simulates scenarios whose inputs changed.
+
+use crate::result::RunResult;
+use crate::scenario::Scenario;
+use bl_simcore::error::SimError;
+use bl_simcore::pool;
+use bl_simcore::rng::derive_seed;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The cache directory the `bench` binary uses by default.
+pub const DEFAULT_CACHE_DIR: &str = "results/.cache";
+
+/// Keep the global per-scenario stats list bounded: callers that loop over
+/// sweeps without draining [`take_stats`] (e.g. criterion benchmarks) must
+/// not grow memory without bound.
+const PER_SCENARIO_CAP: usize = 4096;
+
+/// How a sweep executes: worker count and result cache location.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads; `0` means "available parallelism".
+    pub jobs: usize,
+    /// Result cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl SweepOptions {
+    /// One worker, no cache — the reference serial path.
+    pub fn serial() -> Self {
+        SweepOptions {
+            jobs: 1,
+            cache_dir: None,
+        }
+    }
+
+    /// `jobs` workers, no cache.
+    pub fn with_jobs(jobs: usize) -> Self {
+        SweepOptions {
+            jobs,
+            cache_dir: None,
+        }
+    }
+
+    /// Enables the on-disk result cache under `dir`.
+    pub fn cached(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            pool::available_jobs()
+        } else {
+            self.jobs
+        }
+    }
+}
+
+/// Timing and cache outcome of one scenario within a sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioStats {
+    /// The scenario's label.
+    pub label: String,
+    /// Wall-clock time spent on it (cache lookup included).
+    pub wall_ms: f64,
+    /// Whether the result came from the cache.
+    pub cache_hit: bool,
+}
+
+/// Aggregated execution statistics of one or more sweeps.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SweepStats {
+    /// Scenarios executed (or served from cache).
+    pub scenarios: u64,
+    /// Scenarios served from the cache.
+    pub cache_hits: u64,
+    /// Per-scenario timing, in submission order (bounded; oldest sweeps
+    /// win when the global tally overflows [`PER_SCENARIO_CAP`]).
+    pub per_scenario: Vec<ScenarioStats>,
+}
+
+impl SweepStats {
+    fn merge(&mut self, other: &SweepStats) {
+        self.scenarios += other.scenarios;
+        self.cache_hits += other.cache_hits;
+        let room = PER_SCENARIO_CAP.saturating_sub(self.per_scenario.len());
+        self.per_scenario
+            .extend(other.per_scenario.iter().take(room).cloned());
+    }
+}
+
+/// Results and statistics of one sweep.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-scenario results, in submission order.
+    pub results: Vec<Result<RunResult, SimError>>,
+    /// Execution statistics of this sweep alone.
+    pub stats: SweepStats,
+}
+
+/// Global tally across sweeps, drained by [`take_stats`] (the `bench`
+/// binary reads it to report per-experiment timing without threading the
+/// stats through every experiment's return type).
+static TALLY: Mutex<SweepStats> = Mutex::new(SweepStats {
+    scenarios: 0,
+    cache_hits: 0,
+    per_scenario: Vec::new(),
+});
+
+/// Runs a batch of scenarios on `jobs` workers (`0` = available
+/// parallelism) and returns per-scenario results in submission order.
+///
+/// ```
+/// use biglittle::sweep;
+/// use biglittle::{Scenario, SystemConfig};
+/// use bl_platform::ids::CpuId;
+/// use bl_simcore::time::SimDuration;
+///
+/// let mb = |label: &str, duty: f64| {
+///     Scenario::microbench(
+///         label,
+///         CpuId(0),
+///         duty,
+///         SimDuration::from_millis(10),
+///         SimDuration::from_millis(50),
+///         SystemConfig::baseline(),
+///     )
+/// };
+/// let results = sweep::run(vec![mb("a", 0.25), mb("b", 0.75)], 2);
+/// assert!(results.iter().all(|r| r.is_ok()));
+/// ```
+pub fn run(scenarios: Vec<Scenario>, jobs: usize) -> Vec<Result<RunResult, SimError>> {
+    run_with(&scenarios, &SweepOptions::with_jobs(jobs)).results
+}
+
+/// Runs a batch of scenarios under full [`SweepOptions`] control and
+/// returns results plus execution statistics. The statistics are also
+/// merged into the global tally read by [`take_stats`].
+pub fn run_with(scenarios: &[Scenario], opts: &SweepOptions) -> SweepOutcome {
+    let items: Vec<&Scenario> = scenarios.iter().collect();
+    let cache_dir = opts.cache_dir.as_deref();
+    let raw = pool::scoped_map(items, opts.effective_jobs(), |index, sc| {
+        let start = Instant::now();
+        let (result, cache_hit) = run_one(index, sc, cache_dir);
+        (result, cache_hit, start.elapsed().as_secs_f64() * 1e3)
+    });
+    let mut results = Vec::with_capacity(scenarios.len());
+    let mut stats = SweepStats::default();
+    for (index, slot) in raw.into_iter().enumerate() {
+        let (result, cache_hit, wall_ms) = match slot {
+            Ok(triple) => triple,
+            // A panic that escaped `run_one` (i.e. not one from the
+            // scenario itself, which `run_one` already catches — e.g. a
+            // cache I/O path panicking) still lands in the right slot.
+            Err(detail) => (
+                Err(SimError::ScenarioPanicked {
+                    index,
+                    label: scenarios[index].label.clone(),
+                    detail,
+                }),
+                false,
+                0.0,
+            ),
+        };
+        stats.scenarios += 1;
+        stats.cache_hits += u64::from(cache_hit);
+        if stats.per_scenario.len() < PER_SCENARIO_CAP {
+            stats.per_scenario.push(ScenarioStats {
+                label: scenarios[index].label.clone(),
+                wall_ms,
+                cache_hit,
+            });
+        }
+        results.push(result);
+    }
+    TALLY.lock().expect("stats tally poisoned").merge(&stats);
+    SweepOutcome { results, stats }
+}
+
+/// Executes one scenario with panic isolation and optional caching.
+fn run_one(
+    index: usize,
+    sc: &Scenario,
+    cache_dir: Option<&Path>,
+) -> (Result<RunResult, SimError>, bool) {
+    let path = cache_dir.map(|d| d.join(format!("{}.json", cache_key(sc))));
+    if let Some(hit) = path.as_deref().and_then(cache_read) {
+        return (Ok(hit), true);
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sc.run()))
+        .unwrap_or_else(|payload| {
+            Err(SimError::ScenarioPanicked {
+                index,
+                label: sc.label.clone(),
+                // `as_ref()`, not `&payload`: `&Box<dyn Any>` would itself
+                // coerce to `&dyn Any` and hide the payload from downcasts.
+                detail: panic_detail(payload.as_ref()),
+            })
+        });
+    if let (Some(p), Ok(r)) = (path.as_deref(), &result) {
+        cache_write(p, index, r);
+    }
+    (result, false)
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs a batch and unwraps every result, panicking with the failing
+/// scenario's label — the convenience form for experiment code that
+/// treated failures as fatal before the sweep engine existed.
+pub fn run_all(scenarios: &[Scenario], opts: &SweepOptions) -> Vec<RunResult> {
+    run_with(scenarios, opts)
+        .results
+        .into_iter()
+        .zip(scenarios)
+        .map(|(r, sc)| r.unwrap_or_else(|e| panic!("scenario {:?} failed: {e}", sc.label)))
+        .collect()
+}
+
+/// Drains the global execution tally accumulated by every sweep since the
+/// last call.
+pub fn take_stats() -> SweepStats {
+    std::mem::take(&mut *TALLY.lock().expect("stats tally poisoned"))
+}
+
+/// Overwrites each scenario's seed with `derive_seed(base_seed, index)` —
+/// the canonical per-scenario seeding for randomized batches. Depends only
+/// on position, never on execution order, so seeding commutes with any
+/// `jobs` setting.
+pub fn seed_scenarios(scenarios: &mut [Scenario], base_seed: u64) {
+    for (i, sc) in scenarios.iter_mut().enumerate() {
+        sc.config.seed = derive_seed(base_seed, i as u64);
+    }
+}
+
+/// The cache key of a scenario: a 64-bit FNV-1a hash (16 hex digits) over
+/// its canonical JSON serialization plus the crate version. The JSON form
+/// covers the platform preset, full [`crate::SystemConfig`] (seed and
+/// fault plan included), workloads and stop condition, so any input change
+/// changes the key; the version guard invalidates the cache whenever the
+/// simulator itself may have changed.
+pub fn cache_key(sc: &Scenario) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    let json = serde_json::to_string(sc).expect("scenario serialization is infallible");
+    eat(json.as_bytes());
+    eat(b"\0");
+    eat(env!("CARGO_PKG_VERSION").as_bytes());
+    format!("{h:016x}")
+}
+
+/// Reads a cached result; any I/O or parse failure is a miss.
+fn cache_read(path: &Path) -> Option<RunResult> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Writes a result via a temp file + rename so concurrent readers never
+/// observe a partial entry. Failures are ignored: the cache is an
+/// optimization, never a correctness dependency.
+fn cache_write(path: &Path, index: usize, result: &RunResult) {
+    let Some(dir) = path.parent() else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let tmp = path.with_extension(format!("tmp{index}"));
+    let Ok(json) = serde_json::to_string(result) else {
+        return;
+    };
+    if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use bl_platform::ids::CpuId;
+    use bl_simcore::time::SimDuration;
+
+    fn mb(label: &str, duty: f64) -> Scenario {
+        Scenario::microbench(
+            label,
+            CpuId(0),
+            duty,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(50),
+            SystemConfig::baseline(),
+        )
+    }
+
+    #[test]
+    fn cache_key_is_stable_and_input_sensitive() {
+        let a = mb("a", 0.25);
+        assert_eq!(cache_key(&a), cache_key(&a.clone()));
+        // Any input change — even just the seed — changes the key.
+        let mut b = a.clone();
+        b.config.seed ^= 1;
+        assert_ne!(cache_key(&a), cache_key(&b));
+        // The label is part of the spec too (it is serialized).
+        let c = mb("c", 0.25);
+        assert_ne!(cache_key(&a), cache_key(&c));
+    }
+
+    #[test]
+    fn seed_scenarios_is_positional() {
+        let mut batch = vec![mb("a", 0.2), mb("b", 0.4), mb("c", 0.6)];
+        seed_scenarios(&mut batch, 99);
+        let seeds: Vec<u64> = batch.iter().map(|s| s.config.seed).collect();
+        assert_eq!(seeds[0], derive_seed(99, 0));
+        assert_eq!(seeds[1], derive_seed(99, 1));
+        assert_eq!(seeds[2], derive_seed(99, 2));
+        assert_eq!(
+            seeds.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn run_all_preserves_order() {
+        let batch = vec![mb("d10", 0.1), mb("d50", 0.5), mb("d90", 0.9)];
+        let out = run_all(&batch, &SweepOptions::with_jobs(3));
+        assert_eq!(out.len(), 3);
+        // Higher duty on the same pinned CPU burns more power.
+        assert!(out[0].avg_power_mw < out[1].avg_power_mw);
+        assert!(out[1].avg_power_mw < out[2].avg_power_mw);
+    }
+}

@@ -50,7 +50,10 @@ pub enum Step {
 }
 
 /// Where a task may run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serializable so a sweep's scenario description can carry the placement
+/// of each workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Affinity {
     /// Any online CPU; subject to HMP migration.
     Any,

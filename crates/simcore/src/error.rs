@@ -74,6 +74,16 @@ pub enum SimError {
         /// Where the loss was detected.
         detail: String,
     },
+    /// A scenario in a sweep panicked. The worker pool isolates the panic so
+    /// sibling scenarios still complete; the payload is preserved here.
+    ScenarioPanicked {
+        /// Position of the scenario within the submitted batch.
+        index: usize,
+        /// The scenario's human-readable label.
+        label: String,
+        /// The panic payload, rendered as a string.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -106,6 +116,13 @@ impl fmt::Display for SimError {
             ),
             SimError::TaskLost { task, detail } => {
                 write!(f, "task {task} lost by the scheduler: {detail}")
+            }
+            SimError::ScenarioPanicked {
+                index,
+                label,
+                detail,
+            } => {
+                write!(f, "scenario #{index} ({label}) panicked: {detail}")
             }
         }
     }

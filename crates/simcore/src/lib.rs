@@ -29,6 +29,7 @@
 pub mod error;
 pub mod event;
 pub mod fault;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -36,5 +37,5 @@ pub mod time;
 pub use error::SimError;
 pub use event::EventQueue;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
-pub use rng::SimRng;
+pub use rng::{derive_seed, SimRng};
 pub use time::{SimDuration, SimTime};

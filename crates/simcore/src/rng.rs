@@ -46,6 +46,16 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the per-scenario seed used by sweep batches: the
+/// `(index + 1)`-th splitmix64 output of the stream starting at
+/// `base_seed`. Pure and order-free, so scenario *k* gets the same seed
+/// whether the batch runs serially or across any number of workers, and
+/// distinct indices land in uncorrelated regions of seed space.
+pub fn derive_seed(base_seed: u64, index: u64) -> u64 {
+    let mut state = base_seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    splitmix64(&mut state)
+}
+
 impl ChaCha8Core {
     fn new(seed: u64) -> Self {
         let mut sm = seed;

@@ -19,9 +19,12 @@ fn main() {
         .unwrap_or_else(|| "Eternity Warriors 2".to_string());
     let app = app_by_name(&name).expect("unknown app (try `quickstart` for the list)");
 
-    let mut sim = Simulation::new(SystemConfig::default());
+    let mut sim = Simulation::builder()
+        .config(SystemConfig::default())
+        .build()
+        .expect("default config is valid");
     sim.spawn_app(&app);
-    let r = sim.run_app(&app);
+    let r = sim.try_run_app(&app).expect("app runs to completion");
 
     println!("=== {} — full characterization ===\n", app.name);
 

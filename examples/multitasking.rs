@@ -18,16 +18,23 @@ fn main() {
 
     // Solo baseline for the game.
     let solo = {
-        let mut sim = Simulation::new(SystemConfig::default());
+        let mut sim = Simulation::builder()
+            .config(SystemConfig::default())
+            .build()
+            .expect("default config is valid");
         sim.spawn_app(&game);
-        sim.run_app(&game)
+        sim.try_run_app(&game).expect("game runs to completion")
     };
 
     // Game + encoder together.
-    let mut sim = Simulation::new(SystemConfig::default());
+    let mut sim = Simulation::builder()
+        .config(SystemConfig::default())
+        .build()
+        .expect("default config is valid");
     sim.spawn_app(&game);
     sim.spawn_app(&encoder);
-    sim.run_until(SimTime::ZERO + game.run_for);
+    sim.try_run_until(SimTime::ZERO + game.run_for)
+        .expect("combined run completes");
     let combined = sim.finish();
 
     println!("Foreground: {}   Background: {}\n", game.name, encoder.name);

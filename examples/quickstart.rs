@@ -24,9 +24,12 @@ fn main() {
         "Simulating {:?} on the default system (L4+B4, HMP, interactive)\n",
         app.name
     );
-    let mut sim = Simulation::new(SystemConfig::default());
+    let mut sim = Simulation::builder()
+        .config(SystemConfig::default())
+        .build()
+        .expect("default config is valid");
     sim.spawn_app(&app);
-    let r = sim.run_app(&app);
+    let r = sim.try_run_app(&app).expect("app runs to completion");
 
     println!("simulated time : {:.2} s", r.sim_time.as_secs_f64());
     println!("average power  : {:.0} mW", r.avg_power_mw);

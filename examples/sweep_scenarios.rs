@@ -1,0 +1,56 @@
+//! Scenario sweep: describe a batch of runs declaratively and execute them
+//! in parallel through the sweep engine, with per-scenario seeds derived
+//! from one base seed.
+//!
+//! ```sh
+//! cargo run --release --example sweep_scenarios [jobs]
+//! ```
+
+use biglittle::{sweep, Scenario, SweepOptions, SystemConfig};
+use bl_workloads::apps::mobile_apps;
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0); // 0 = all available cores
+
+    // One scenario per app, on the default system.
+    let mut scenarios: Vec<Scenario> = mobile_apps()
+        .into_iter()
+        .map(|app| {
+            Scenario::app(
+                format!("suite/{}", app.name),
+                app.clone(),
+                SystemConfig::baseline(),
+            )
+        })
+        .collect();
+    // Independent per-scenario seeds from one base seed.
+    sweep::seed_scenarios(&mut scenarios, 42);
+
+    let t0 = std::time::Instant::now();
+    let outcome = sweep::run_with(&scenarios, &SweepOptions::with_jobs(jobs));
+    let wall = t0.elapsed();
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>8} {:>8}",
+        "scenario", "power mW", "energy mJ", "TLP", "big %"
+    );
+    for (sc, result) in scenarios.iter().zip(&outcome.results) {
+        match result {
+            Ok(r) => println!(
+                "{:<22} {:>10.0} {:>10.0} {:>8.2} {:>8.1}",
+                sc.label, r.avg_power_mw, r.energy_mj, r.tlp.tlp, r.tlp.big_pct
+            ),
+            Err(e) => println!("{:<22} failed: {e}", sc.label),
+        }
+    }
+    println!(
+        "\n{} scenarios in {:.2} s ({} workers requested, {} cores available)",
+        outcome.results.len(),
+        wall.as_secs_f64(),
+        jobs,
+        bl_simcore::pool::available_jobs()
+    );
+}

@@ -17,10 +17,13 @@ fn main() {
     let out = args.next();
     let app = app_by_name(&name).expect("unknown app (try `quickstart` for the list)");
 
-    let mut sim = Simulation::new(SystemConfig::default());
-    sim.enable_tracing();
+    let mut sim = Simulation::builder()
+        .config(SystemConfig::default())
+        .tracing(true)
+        .build()
+        .expect("default config is valid");
     sim.spawn_app(&app);
-    let r = sim.run_app(&app);
+    let r = sim.try_run_app(&app).expect("app runs to completion");
 
     let trace = sim.trace().expect("tracing enabled");
     let csv = trace.to_csv();

@@ -7,9 +7,9 @@ use bl_simcore::time::SimDuration;
 use bl_workloads::apps::{app_by_name, AppModel};
 
 fn run(app: &AppModel, seed: u64) -> RunResult {
-    let mut sim = Simulation::new(SystemConfig::baseline().with_seed(seed));
+    let mut sim = Simulation::try_new(SystemConfig::baseline().with_seed(seed)).unwrap();
     sim.spawn_app(app);
-    sim.run_app(app)
+    sim.try_run_app(app).unwrap()
 }
 
 #[test]

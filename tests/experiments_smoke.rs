@@ -2,7 +2,7 @@
 //! qualitative claims of the paper must hold in the reproduction.
 
 use biglittle::experiments::{appchar, arch, coreconfig, dvfs, tables};
-use biglittle::SystemConfig;
+use biglittle::{SweepOptions, SystemConfig};
 use bl_platform::ids::CoreKind;
 use bl_simcore::time::SimDuration;
 use bl_workloads::apps::{app_by_name, mobile_apps};
@@ -16,7 +16,7 @@ fn tables_1_and_2_render() {
 
 #[test]
 fn fig2_fig3_shapes() {
-    let m = arch::run_spec_matrix(SimDuration::from_millis(300), 11);
+    let m = arch::run_spec_matrix(SimDuration::from_millis(300), 11, &SweepOptions::default());
     // Fig 2: iso-frequency speedups up to ~4.5x; big@1.3 always wins.
     let speedups13: Vec<f64> = m.rows.iter().map(|r| r.speedups()[1]).collect();
     assert!(speedups13.iter().all(|s| *s > 1.0));
@@ -44,7 +44,7 @@ fn fig2_fig3_shapes() {
 
 #[test]
 fn fig4_latency_apps_shape() {
-    let rows = appchar::fig4_latency_big_vs_little(11);
+    let rows = appchar::fig4_latency_big_vs_little(11, &SweepOptions::default());
     assert_eq!(rows.len(), 7);
     for r in &rows {
         let dp = r.power_increase_pct();
@@ -62,7 +62,7 @@ fn fig4_latency_apps_shape() {
 
 #[test]
 fn fig5_fps_apps_shape() {
-    let rows = appchar::fig5_fps_big_vs_little(11);
+    let rows = appchar::fig5_fps_big_vs_little(11, &SweepOptions::default());
     assert_eq!(rows.len(), 5);
     // Video workloads gain ~nothing; the CPU-heavy game gains the most.
     let gain = |name: &str| {
@@ -83,7 +83,11 @@ fn fig5_fps_apps_shape() {
 
 #[test]
 fn fig6_microbench_shape() {
-    let r = arch::fig6_power_vs_utilization(SimDuration::from_millis(300), 11);
+    let r = arch::fig6_power_vs_utilization(
+        SimDuration::from_millis(300),
+        11,
+        &SweepOptions::default(),
+    );
     // Big and little cover clearly different power ranges at full load.
     let little_max = r
         .little
@@ -132,6 +136,7 @@ fn fig7_fig8_core_config_shape() {
             app_by_name("Video Player").unwrap(),
         ],
         11,
+        &SweepOptions::default(),
     );
     let sweep_labels: Vec<String> = bl_platform::config::CoreConfig::paper_sweep()
         .iter()
@@ -212,7 +217,7 @@ fn fig11_12_13_param_sweep_shape() {
         app_by_name("BBench").unwrap(),
         app_by_name("Eternity Warriors 2").unwrap(),
     ];
-    let sweep = dvfs::run_param_sweep(apps, 11);
+    let sweep = dvfs::run_param_sweep(apps, 11, &SweepOptions::default());
     assert_eq!(sweep.variants.len(), 8);
     let idx = |name: &str| {
         sweep

@@ -13,9 +13,9 @@ use bl_workloads::spec::SpecKernel;
 #[test]
 fn every_app_runs_to_completion_on_the_baseline() {
     for app in mobile_apps() {
-        let mut sim = Simulation::new(SystemConfig::baseline());
+        let mut sim = Simulation::try_new(SystemConfig::baseline()).unwrap();
         sim.spawn_app(&app);
-        let r = sim.run_app(&app);
+        let r = sim.try_run_app(&app).unwrap();
         assert!(
             r.avg_power_mw > 300.0,
             "{}: power {}",
@@ -38,9 +38,9 @@ fn every_app_runs_to_completion_on_the_baseline() {
 #[test]
 fn energy_is_power_times_time() {
     let app = app_by_name("FIFA 15").unwrap();
-    let mut sim = Simulation::new(SystemConfig::baseline());
+    let mut sim = Simulation::try_new(SystemConfig::baseline()).unwrap();
     sim.spawn_app(&app);
-    let r = sim.run_app(&app);
+    let r = sim.try_run_app(&app).unwrap();
     let expected = r.avg_power_mw * r.sim_time.as_secs_f64();
     assert!((r.energy_mj - expected).abs() / expected < 1e-9);
 }
@@ -48,9 +48,9 @@ fn energy_is_power_times_time() {
 #[test]
 fn table4_matrix_cells_sum_to_100() {
     let app = app_by_name("PDF Reader").unwrap();
-    let mut sim = Simulation::new(SystemConfig::baseline());
+    let mut sim = Simulation::try_new(SystemConfig::baseline()).unwrap();
     sim.spawn_app(&app);
-    let r = sim.run_app(&app);
+    let r = sim.try_run_app(&app).unwrap();
     let sum: f64 = r.matrix_pct.iter().flatten().sum();
     assert!((sum - 100.0).abs() < 1e-6, "sum = {sum}");
     // Idle cell equals the TLP idle share.
@@ -60,9 +60,9 @@ fn table4_matrix_cells_sum_to_100() {
 #[test]
 fn residency_shares_sum_to_one_when_active() {
     let app = app_by_name("Encoder").unwrap();
-    let mut sim = Simulation::new(SystemConfig::baseline());
+    let mut sim = Simulation::try_new(SystemConfig::baseline()).unwrap();
     sim.spawn_app(&app);
-    let r = sim.run_app(&app);
+    let r = sim.try_run_app(&app).unwrap();
     let little_sum: f64 = r.little_residency.iter().sum();
     let big_sum: f64 = r.big_residency.iter().sum();
     assert!((little_sum - 1.0).abs() < 1e-9);
@@ -72,9 +72,9 @@ fn residency_shares_sum_to_one_when_active() {
 #[test]
 fn efficiency_classes_sum_to_100_when_sampled() {
     let app = app_by_name("Video Player").unwrap();
-    let mut sim = Simulation::new(SystemConfig::baseline());
+    let mut sim = Simulation::try_new(SystemConfig::baseline()).unwrap();
     sim.spawn_app(&app);
-    let r = sim.run_app(&app);
+    let r = sim.try_run_app(&app).unwrap();
     let sum: f64 = r.efficiency_pct.iter().sum();
     assert!((sum - 100.0).abs() < 1e-6);
 }
@@ -83,11 +83,11 @@ fn efficiency_classes_sum_to_100_when_sampled() {
 fn hotplugged_configs_never_run_tasks_on_offline_cpus() {
     let app = app_by_name("BBench").unwrap();
     let cfg = SystemConfig::baseline().with_core_config(CoreConfig::new(2, 1));
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::try_new(cfg).unwrap();
     sim.spawn_app(&app);
     // Step in chunks, checking placement invariants as we go.
     for step in 1..=20 {
-        sim.run_until(SimTime::from_millis(step * 100));
+        sim.try_run_until(SimTime::from_millis(step * 100)).unwrap();
         for cpu_idx in 0..sim.platform().topology.n_cpus() {
             let cpu = CpuId(cpu_idx);
             if !sim.state().is_online(cpu) {
@@ -104,15 +104,15 @@ fn hotplugged_configs_never_run_tasks_on_offline_cpus() {
 fn powersave_governor_pins_min_and_reduces_power() {
     let app = app_by_name("Eternity Warriors 2").unwrap();
     let base = {
-        let mut sim = Simulation::new(SystemConfig::baseline());
+        let mut sim = Simulation::try_new(SystemConfig::baseline()).unwrap();
         sim.spawn_app(&app);
-        sim.run_app(&app)
+        sim.try_run_app(&app).unwrap()
     };
     let saver = {
         let cfg = SystemConfig::baseline().with_governor(GovernorConfig::Powersave);
-        let mut sim = Simulation::new(cfg);
+        let mut sim = Simulation::try_new(cfg).unwrap();
         sim.spawn_app(&app);
-        let r = sim.run_app(&app);
+        let r = sim.try_run_app(&app).unwrap();
         assert_eq!(sim.state().cluster_freq_khz(ClusterId(0)), 500_000);
         assert_eq!(sim.state().cluster_freq_khz(ClusterId(1)), 800_000);
         r
@@ -176,9 +176,10 @@ fn spec_kernel_iso_frequency_speedup_vs_wall_clock() {
     };
     let run = |little_khz: u32, big_khz: u32, cpu: CpuId, cc: CoreConfig| {
         let cfg = SystemConfig::pinned_frequencies(little_khz, big_khz).with_core_config(cc);
-        let mut sim = Simulation::new(cfg);
+        let mut sim = Simulation::try_new(cfg).unwrap();
         sim.spawn_spec(&spec, cpu, SimDuration::from_millis(300));
-        sim.run_until_or(SimTime::from_secs(3), |s| s.kernel().all_exited());
+        sim.try_run_until_or(SimTime::from_secs(3), |s| s.kernel().all_exited())
+            .unwrap();
         sim.finish().latency.unwrap().as_secs_f64()
     };
     let t_little = run(1_300_000, 800_000, CpuId(0), CoreConfig::new(1, 0));
@@ -232,15 +233,15 @@ fn concurrent_apps_share_the_platform() {
     let encoder = app_by_name("Encoder").unwrap();
 
     let solo = {
-        let mut sim = Simulation::new(SystemConfig::baseline());
+        let mut sim = Simulation::try_new(SystemConfig::baseline()).unwrap();
         sim.spawn_app(&game);
-        sim.run_app(&game)
+        sim.try_run_app(&game).unwrap()
     };
 
-    let mut sim = Simulation::new(SystemConfig::baseline());
+    let mut sim = Simulation::try_new(SystemConfig::baseline()).unwrap();
     sim.spawn_app(&game);
     sim.spawn_app(&encoder);
-    sim.run_until(SimTime::ZERO + game.run_for);
+    sim.try_run_until(SimTime::ZERO + game.run_for).unwrap();
     let combined = sim.finish();
 
     // The encoder drags big cores into play (Angry Bird alone never does).
@@ -267,9 +268,9 @@ fn concurrent_apps_share_the_platform() {
 #[test]
 fn task_report_splits_cpu_time_by_core_kind() {
     let app = app_by_name("Encoder").unwrap();
-    let mut sim = Simulation::new(SystemConfig::baseline());
+    let mut sim = Simulation::try_new(SystemConfig::baseline()).unwrap();
     sim.spawn_app(&app);
-    let _ = sim.run_app(&app);
+    let _ = sim.try_run_app(&app).unwrap();
     let report = sim.kernel().task_report();
     // Per-thread split sums to the total.
     for row in &report {
@@ -308,9 +309,10 @@ fn recorded_trace_replays_and_responds_to_core_config() {
         }],
     };
     let run = |cc: CoreConfig| {
-        let mut sim = Simulation::new(SystemConfig::baseline().with_core_config(cc));
+        let mut sim = Simulation::try_new(SystemConfig::baseline().with_core_config(cc)).unwrap();
         sim.spawn_trace(&trace);
-        sim.run_until_or(SimTime::from_secs(20), |s| s.kernel().all_exited());
+        sim.try_run_until_or(SimTime::from_secs(20), |s| s.kernel().all_exited())
+            .unwrap();
         sim.finish()
     };
     let full = run(CoreConfig::BASELINE);

@@ -1,0 +1,165 @@
+//! Sweep-engine guarantees: parallel execution is bit-identical to serial,
+//! panicking scenarios are isolated, the result cache round-trips, and seed
+//! derivation is deterministic and positional.
+
+use biglittle::scenario::Scenario;
+use biglittle::{sweep, SweepOptions, SystemConfig};
+use bl_platform::ids::CpuId;
+use bl_simcore::error::SimError;
+use bl_simcore::fault::FaultPlan;
+use bl_simcore::rng::derive_seed;
+use bl_simcore::time::SimDuration;
+use bl_workloads::apps::{app_by_name, mobile_apps};
+
+/// A short, cheap app scenario (optionally with a random fault plan).
+fn app_scenario(app_idx: usize, seed: u64, faulted: bool) -> Scenario {
+    let apps = mobile_apps();
+    let app = apps[app_idx % apps.len()].clone();
+    let mut cfg = SystemConfig::baseline().with_seed(seed);
+    if faulted {
+        cfg = cfg.with_faults(FaultPlan::random(
+            seed,
+            4,
+            SimDuration::from_millis(500),
+            8,
+            2,
+        ));
+    }
+    Scenario::app(
+        format!("sweep-test/{}/{seed}/{faulted}", app.name),
+        app,
+        cfg,
+    )
+}
+
+#[test]
+fn a_panicking_scenario_is_isolated_from_its_siblings() {
+    // CPU 99 does not exist on the Exynos 5422; spawning the microbench
+    // panics inside the worker. The sweep must surface that as a typed
+    // error in the right slot while every sibling completes normally.
+    let scenarios = vec![
+        app_scenario(0, 3, false),
+        Scenario::microbench(
+            "sweep-test/bad-cpu",
+            CpuId(99),
+            0.5,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(50),
+            SystemConfig::baseline(),
+        ),
+        app_scenario(1, 3, false),
+    ];
+    let results = sweep::run(scenarios, 4);
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_ok(), "sibling before the panic must complete");
+    assert!(results[2].is_ok(), "sibling after the panic must complete");
+    match &results[1] {
+        Err(SimError::ScenarioPanicked { index, label, .. }) => {
+            assert_eq!(*index, 1);
+            assert_eq!(label, "sweep-test/bad-cpu");
+        }
+        other => panic!("expected ScenarioPanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn cache_round_trips_and_counts_hits() {
+    let dir = std::env::temp_dir().join(format!("bl-sweep-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let scenarios = vec![app_scenario(2, 9, false), app_scenario(3, 9, false)];
+    let opts = SweepOptions::serial().cached(&dir);
+
+    let cold = sweep::run_with(&scenarios, &opts);
+    assert_eq!(cold.stats.cache_hits, 0, "first run must miss");
+    let warm = sweep::run_with(&scenarios, &opts);
+    assert_eq!(warm.stats.cache_hits, 2, "second run must hit for both");
+
+    for (a, b) in cold.results.iter().zip(&warm.results) {
+        assert_eq!(
+            a.as_ref().unwrap(),
+            b.as_ref().unwrap(),
+            "cached result must equal the computed one"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_key_distinguishes_seed_and_config() {
+    let a = app_scenario(0, 1, false);
+    let b = app_scenario(0, 2, false);
+    let c = app_scenario(0, 1, true);
+    assert_eq!(sweep::cache_key(&a), sweep::cache_key(&a));
+    assert_ne!(sweep::cache_key(&a), sweep::cache_key(&b));
+    assert_ne!(sweep::cache_key(&a), sweep::cache_key(&c));
+}
+
+#[test]
+fn derive_seed_is_deterministic_and_spreads() {
+    let s: Vec<u64> = (0..64).map(|i| derive_seed(42, i)).collect();
+    let again: Vec<u64> = (0..64).map(|i| derive_seed(42, i)).collect();
+    assert_eq!(s, again);
+    let mut uniq = s.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    assert_eq!(uniq.len(), s.len(), "derived seeds must not collide");
+    assert_ne!(derive_seed(42, 0), derive_seed(43, 0));
+}
+
+#[test]
+fn seed_scenarios_assigns_positional_seeds() {
+    let mut scenarios = vec![app_scenario(0, 0, false), app_scenario(1, 0, false)];
+    sweep::seed_scenarios(&mut scenarios, 7);
+    assert_eq!(scenarios[0].config.seed, derive_seed(7, 0));
+    assert_eq!(scenarios[1].config.seed, derive_seed(7, 1));
+}
+
+mod parallel_identity {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        // The tentpole guarantee: any batch — healthy, faulted, or
+        // panicking — produces bit-identical results at jobs=1 and jobs=8.
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        fn jobs_do_not_change_results(
+            picks in proptest::collection::vec((0usize..12, 0u64..50, proptest::bool::ANY), 2..5),
+            with_bad in proptest::bool::ANY,
+        ) {
+            let mut scenarios: Vec<Scenario> = picks
+                .iter()
+                .map(|&(i, seed, faulted)| app_scenario(i, seed, faulted))
+                .collect();
+            if with_bad {
+                scenarios.push(Scenario::microbench(
+                    "sweep-test/bad-cpu",
+                    CpuId(99),
+                    0.5,
+                    SimDuration::from_millis(10),
+                    SimDuration::from_millis(50),
+                    SystemConfig::baseline(),
+                ));
+            }
+            let serial = sweep::run(scenarios.clone(), 1);
+            let parallel = sweep::run(scenarios, 8);
+            prop_assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                prop_assert_eq!(s, p, "jobs=1 and jobs=8 must be bit-identical");
+            }
+        }
+    }
+}
+
+#[test]
+fn run_all_matches_direct_scenario_runs() {
+    let app = app_by_name("PDF Reader").unwrap();
+    let sc = Scenario::app(
+        "sweep-test/direct",
+        app,
+        SystemConfig::baseline().with_seed(5),
+    );
+    let direct = sc.run().unwrap();
+    let swept = sweep::run_all(std::slice::from_ref(&sc), &SweepOptions::with_jobs(2));
+    assert_eq!(swept[0], direct);
+}
