@@ -9,6 +9,7 @@
 //! repro --no-cache          # bypass the on-disk result cache
 //! repro --cache-clear       # drop the cache before running
 //! repro --bench-sweep f.json # serial-vs-parallel wall-time comparison
+//! repro --bench-hotloop f.json # ticked-vs-skip-ahead hot-loop microbench
 //! repro --list              # experiment ids
 //! ```
 
@@ -31,6 +32,7 @@ fn main() {
     let mut jobs: usize = 0; // 0 = all available cores
     let mut cache = true;
     let mut bench_sweep: Option<String> = None;
+    let mut bench_hotloop: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -58,6 +60,7 @@ fn main() {
                 }
             }
             "--bench-sweep" => bench_sweep = it.next().cloned(),
+            "--bench-hotloop" => bench_hotloop = it.next().cloned(),
             "--list" => {
                 for e in EXPERIMENTS {
                     println!("{e}");
@@ -68,7 +71,7 @@ fn main() {
                 println!(
                     "usage: repro [--exp <id>] [--seed <n>] [--fast] [--json] [--out <dir>]\n\
                      \x20            [--jobs <n>] [--no-cache] [--cache-clear]\n\
-                     \x20            [--bench-sweep <file>] [--list]\n\
+                     \x20            [--bench-sweep <file>] [--bench-hotloop <file>] [--list]\n\
                      ids: {}",
                     EXPERIMENTS.join(", ")
                 );
@@ -91,6 +94,10 @@ fn main() {
 
     if let Some(path) = bench_sweep {
         run_bench_sweep(&path, seed);
+        return;
+    }
+    if let Some(path) = bench_hotloop {
+        run_bench_hotloop(&path, seed, fast);
         return;
     }
 
@@ -136,6 +143,178 @@ fn main() {
                 emit(id, render(id));
             }
         }
+    }
+}
+
+/// Times the event hot loop with and without idle skip-ahead on four
+/// scenario classes — an all-idle system, a user-paced idle-heavy
+/// interactive app, the timer-fragmented Browser model and a TLP-heavy
+/// game, plus a utilization duty sweep — verifies the two paths produce
+/// bit-identical results, and writes a machine-readable record to `path`.
+fn run_bench_hotloop(path: &str, seed: u64, fast: bool) {
+    use biglittle::{RunResult, Simulation, SystemConfig};
+    use bl_platform::ids::CpuId;
+    use bl_simcore::time::{SimDuration, SimTime};
+    use bl_workloads::apps::{app_by_name, AppKind, AppModel, ScriptedSpec};
+    use bl_workloads::PerfMetric;
+
+    /// The paper's §IV gap structure distilled: the user thinks for
+    /// seconds between actions, each action is a short UI burst plus a
+    /// couple of fan-out jobs, and nothing keeps a short-period timer
+    /// armed through the gaps. The script is sized to span the whole
+    /// measurement window so the ratio reflects interactive use, not an
+    /// idle tail.
+    fn interactive_idle_heavy(run_for: SimDuration) -> AppModel {
+        let cycle_ms = 2_400.0; // ~2.1 s mean think + ~0.3 s busy work
+        let n_actions = (run_for.as_millis_f64() / cycle_ms).ceil() as usize;
+        AppModel {
+            name: "interactive-idle-heavy".into(),
+            metric: PerfMetric::Latency,
+            run_for,
+            kind: AppKind::Scripted(ScriptedSpec {
+                n_actions,
+                think_ms: (1_600.0, 2_600.0),
+                burst_ms: 40.0,
+                burst_sigma: 0.3,
+                jobs_per_action: 2,
+                job_ms: 60.0,
+                job_sigma: 0.3,
+                n_workers: 2,
+                background: vec![],
+                continuous: vec![],
+            }),
+        }
+    }
+
+    struct Case {
+        name: &'static str,
+        cfg: SystemConfig,
+        run_for: SimDuration,
+        spawn: Box<dyn Fn(&mut Simulation)>,
+    }
+
+    let secs = |full: u64, quick: u64| SimDuration::from_secs(if fast { quick } else { full });
+    let interactive_run_for = secs(30, 2);
+    let mut cases = vec![
+        Case {
+            name: "idle_system",
+            cfg: SystemConfig::baseline().screen(false),
+            run_for: secs(30, 2),
+            spawn: Box::new(|_| {}),
+        },
+        Case {
+            name: "interactive_idle_heavy",
+            cfg: SystemConfig::baseline(),
+            run_for: interactive_run_for,
+            spawn: Box::new(move |sim| {
+                let app = interactive_idle_heavy(interactive_run_for);
+                sim.spawn_app(&app);
+            }),
+        },
+        Case {
+            name: "browser_idle_heavy",
+            cfg: SystemConfig::baseline(),
+            run_for: secs(30, 2),
+            spawn: Box::new(|sim| {
+                let app = app_by_name("Browser").expect("known app");
+                sim.spawn_app(&app);
+            }),
+        },
+        Case {
+            name: "angry_bird_tlp_heavy",
+            cfg: SystemConfig::baseline(),
+            run_for: secs(10, 1),
+            spawn: Box::new(|sim| {
+                let app = app_by_name("Angry Bird").expect("known app");
+                sim.spawn_app(&app);
+            }),
+        },
+    ];
+    for (name, duty) in [
+        ("microbench_duty_20", 0.2f64),
+        ("microbench_duty_50", 0.5),
+        ("microbench_duty_80", 0.8),
+    ] {
+        cases.push(Case {
+            name,
+            cfg: SystemConfig::baseline().screen(false),
+            run_for: secs(2, 1),
+            spawn: Box::new(move |sim| {
+                sim.spawn_microbench(CpuId(0), duty, SimDuration::from_millis(100));
+            }),
+        });
+    }
+
+    let mut records = Vec::new();
+    let mut all_identical = true;
+    for case in &cases {
+        let run = |skip: bool| -> (RunResult, f64) {
+            let cfg = case.cfg.clone().with_seed(seed).with_skip_ahead(skip);
+            let mut sim = Simulation::try_new(cfg).expect("valid config");
+            (case.spawn)(&mut sim);
+            let t0 = Instant::now();
+            sim.try_run_until(SimTime::ZERO + case.run_for)
+                .expect("run completes");
+            let wall_ns = t0.elapsed().as_nanos() as f64;
+            (sim.finish(), wall_ns)
+        };
+        let (ticked_result, ticked_ns) = run(false);
+        let (skip_result, skip_ns) = run(true);
+        let identical = serde_json::to_string(&ticked_result).expect("serialize")
+            == serde_json::to_string(&skip_result).expect("serialize");
+        all_identical &= identical;
+        let sim_ms = case.run_for.as_millis_f64();
+        let speedup = ticked_ns / skip_ns;
+        eprintln!(
+            "{:<22} sim={:>6.0}ms ticked={:>8.0}ns/sim-ms skip={:>8.0}ns/sim-ms \
+             speedup={:>5.1}x identical={}",
+            case.name,
+            sim_ms,
+            ticked_ns / sim_ms,
+            skip_ns / sim_ms,
+            speedup,
+            identical,
+        );
+        records.push(Value::Object(vec![
+            ("scenario".into(), Value::String(case.name.into())),
+            ("sim_ms".into(), Value::Float(sim_ms)),
+            ("ticked_wall_ms".into(), Value::Float(ticked_ns / 1e6)),
+            ("skip_wall_ms".into(), Value::Float(skip_ns / 1e6)),
+            (
+                "ticked_ns_per_sim_ms".into(),
+                Value::Float(ticked_ns / sim_ms),
+            ),
+            ("skip_ns_per_sim_ms".into(), Value::Float(skip_ns / sim_ms)),
+            ("speedup".into(), Value::Float(speedup)),
+            ("bit_identical".into(), Value::Bool(identical)),
+        ]));
+    }
+
+    let report = Value::Object(vec![
+        ("suite".into(), Value::String("hot-loop skip-ahead".into())),
+        ("seed".into(), Value::UInt(seed)),
+        ("fast".into(), Value::Bool(fast)),
+        (
+            "host_parallelism".into(),
+            Value::UInt(bl_simcore::pool::available_jobs() as u64),
+        ),
+        (
+            "note".into(),
+            Value::String(
+                "single-threaded microbench; wall times move with the host, \
+                 speedup and bit_identical should not. Regenerate with \
+                 `repro --bench-hotloop <file>`."
+                    .into(),
+            ),
+        ),
+        ("cases".into(), Value::Array(records)),
+    ]);
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, body + "\n").expect("write bench-hotloop file");
+    eprintln!("wrote {path}");
+    if !all_identical {
+        eprintln!("ERROR: skip-ahead diverged from the ticked path");
+        std::process::exit(1);
     }
 }
 

@@ -47,6 +47,16 @@ pub struct SystemConfig {
     /// node to land in.
     #[serde(default)]
     pub thermal_enabled: bool,
+    /// Event-driven idle skip-ahead: when every CPU is idle and nothing but
+    /// periodic no-op events is pending, jump straight to the next real
+    /// event with closed-form bookkeeping. Results are bit-identical either
+    /// way (see DESIGN.md, timing model); disable only to cross-check.
+    #[serde(default = "default_skip_ahead")]
+    pub skip_ahead: bool,
+}
+
+fn default_skip_ahead() -> bool {
+    true
 }
 
 impl SystemConfig {
@@ -66,6 +76,7 @@ impl SystemConfig {
             cpuidle_enabled: false,
             fault_plan: FaultPlan::new(),
             thermal_enabled: false,
+            skip_ahead: true,
         }
     }
 
@@ -145,6 +156,13 @@ impl SystemConfig {
     /// tracking plus throttling of hot clusters).
     pub fn with_thermal(mut self, on: bool) -> Self {
         self.thermal_enabled = on;
+        self
+    }
+
+    /// Enables or disables idle skip-ahead (on by default; results are
+    /// bit-identical either way).
+    pub fn with_skip_ahead(mut self, on: bool) -> Self {
+        self.skip_ahead = on;
         self
     }
 

@@ -5,7 +5,7 @@ use crate::result::{ResilienceStats, RunResult};
 use bl_governor::{ClusterSample, CpufreqGovernor};
 use bl_kernel::accounting::BusyWindow;
 use bl_kernel::kernel::{Hw, Kernel, KernelConfig, WakeRequest};
-use bl_kernel::task::{Affinity, TaskBehavior, TaskId};
+use bl_kernel::task::{Affinity, AppSignal, TaskBehavior, TaskId};
 use bl_metrics::{MetricsCollector, Trace, TraceRow};
 use bl_platform::exynos::exynos5422;
 use bl_platform::ids::{ClusterId, CoreKind, CpuId};
@@ -13,7 +13,7 @@ use bl_platform::state::PlatformState;
 use bl_platform::topology::Platform;
 use bl_power::{ClusterThermal, CpuidleTable, PowerMeter, PowerModel, ThermalParams};
 use bl_simcore::error::SimError;
-use bl_simcore::event::EventQueue;
+use bl_simcore::event::{EventQueue, QueueEntry};
 use bl_simcore::fault::{FaultEvent, FaultKind, FaultPlan};
 use bl_simcore::rng::SimRng;
 use bl_simcore::time::{SimDuration, SimTime};
@@ -111,15 +111,14 @@ impl CpuidleRt {
         }
     }
 
-    fn leak_scales(&self) -> Vec<f64> {
-        self.state
-            .iter()
-            .enumerate()
-            .map(|(i, s)| match s {
-                Some(idx) => self.tables[i].state(*idx).leak_scale,
-                None => 1.0,
-            })
-            .collect()
+    /// Writes the per-CPU leakage scale factors into `out` (1.0 = busy or
+    /// shallow); reuses the caller's buffer so the hot path never allocates.
+    fn leak_scales_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.state.iter().enumerate().map(|(i, s)| match s {
+            Some(idx) => self.tables[i].state(*idx).leak_scale,
+            None => 1.0,
+        }));
     }
 }
 
@@ -151,6 +150,14 @@ pub struct Simulation {
     /// Same-instant event counter feeding the stall watchdog.
     watchdog: u64,
     resilience: ResilienceStats,
+    // Reusable scratch buffers: the hot loop never allocates once warm.
+    skip_stash: Vec<QueueEntry<Ev>>,
+    gov_fired: Vec<Option<SimTime>>,
+    activity_scratch: Vec<f64>,
+    leak_scratch: Vec<f64>,
+    utils_scratch: Vec<f64>,
+    wake_scratch: Vec<WakeRequest>,
+    signal_scratch: Vec<(SimTime, AppSignal)>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -283,6 +290,7 @@ impl Simulation {
             resilience.throttled_time = vec![SimDuration::ZERO; n_clusters];
             resilience.peak_temp_c = rt.nodes.iter().map(|n| n.temp_c()).collect();
         }
+        let n_cpus = platform.topology.n_cpus();
         let mut sim = Simulation {
             meter: PowerMeter::starting_at(SimTime::ZERO, 0.0),
             rng: SimRng::seed_from(cfg.seed),
@@ -304,6 +312,13 @@ impl Simulation {
             gov_skip: vec![0; n_clusters],
             watchdog: 0,
             resilience,
+            skip_stash: Vec::new(),
+            gov_fired: vec![None; n_clusters],
+            activity_scratch: Vec::with_capacity(n_cpus),
+            leak_scratch: Vec::with_capacity(n_cpus),
+            utils_scratch: Vec::with_capacity(n_cpus),
+            wake_scratch: Vec::new(),
+            signal_scratch: Vec::new(),
         };
 
         // Let fixed-policy governors (userspace/performance/powersave) set
@@ -514,6 +529,9 @@ impl Simulation {
     }
 
     fn try_step(&mut self, deadline: SimTime) -> Result<(), SimError> {
+        if self.cfg.skip_ahead && self.kernel.all_idle() {
+            self.idle_skip_ahead(deadline);
+        }
         let hw = Hw {
             platform: &self.platform,
             state: &self.state,
@@ -573,6 +591,165 @@ impl Simulation {
         }
         self.after_kernel_call();
         Ok(())
+    }
+
+    /// When every CPU is idle, elides the leading run of provably-inert
+    /// periodic events and replays their re-arming in closed form, so the
+    /// next [`Simulation::try_step`] jumps straight to the first event that
+    /// can actually change the machine.
+    ///
+    /// The replay fires the elided chains virtually in exactly the
+    /// `(time, seq)` order the ticked loop would pop them, assigning each
+    /// re-arm a fresh sequence number just like a real firing — so the
+    /// queue's future pop order, and therefore the whole run, stays
+    /// bit-identical to `skip_ahead = false` (see DESIGN.md, timing model).
+    fn idle_skip_ahead(&mut self, deadline: SimTime) {
+        // Peel every leading elidable event off the queue.
+        let mut stash = std::mem::take(&mut self.skip_stash);
+        loop {
+            let elidable = match self.queue.peek() {
+                Some(e) => self.event_is_skippable(e.event()),
+                None => false,
+            };
+            if !elidable {
+                break;
+            }
+            stash.push(self.queue.pop_entry().expect("peeked entry"));
+        }
+        if stash.is_empty() {
+            self.skip_stash = stash;
+            return;
+        }
+        // Nothing before the first real event (or the caller's deadline)
+        // can change machine state.
+        let horizon = self.queue.peek_time().unwrap_or(SimTime::MAX).min(deadline);
+        if horizon == SimTime::MAX {
+            // Unbounded run over an otherwise empty queue: no target to
+            // skip toward, so keep ticking (matches the non-skip path).
+            for e in stash.drain(..) {
+                self.queue.restore(e);
+            }
+            self.skip_stash = stash;
+            return;
+        }
+
+        let mut metric_fires = 0u64;
+        let mut metric_last = SimTime::ZERO;
+        let mut gov_fired = std::mem::take(&mut self.gov_fired);
+        gov_fired.clear();
+        gov_fired.resize(self.platform.topology.n_clusters(), None);
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, e) in stash.iter().enumerate() {
+                if e.time() < horizon
+                    && best.is_none_or(|b| (e.time(), e.seq()) < (stash[b].time(), stash[b].seq()))
+                {
+                    best = Some(i);
+                }
+            }
+            let Some(i) = best else { break };
+            let t = stash[i].time();
+            let period = match stash[i].event() {
+                Ev::Tick => self.kernel.tick_period(),
+                Ev::MetricSample => {
+                    metric_fires += 1;
+                    metric_last = t;
+                    self.cfg.metric_period
+                }
+                Ev::GovSample(c) => {
+                    gov_fired[c.0] = Some(t);
+                    self.governors[c.0].sampling_period()
+                }
+                _ => unreachable!("only periodic self-rearming events are elided"),
+            };
+            self.queue.reschedule_entry(&mut stash[i], t + period);
+        }
+        for e in stash.drain(..) {
+            self.queue.restore(e);
+        }
+        self.skip_stash = stash;
+
+        // Closed-form bookkeeping for what the elided firings would have
+        // done: all the idle samples in one addition, and each governor
+        // window re-opened at its last elided fire (the counters underneath
+        // never moved, so intermediate re-opens are no-ops).
+        self.collector
+            .skip_idle_samples(metric_fires, metric_last, self.kernel.accounting());
+        for (ci, fired) in gov_fired.iter().enumerate() {
+            if let Some(t) = fired {
+                for cpu in self.state.online_in(&self.platform.topology, ClusterId(ci)) {
+                    self.gov_window
+                        .take_fraction(self.kernel.accounting(), cpu, *t);
+                }
+            }
+        }
+        self.gov_fired = gov_fired;
+    }
+
+    /// True when `ev` firing on an all-idle machine would provably leave
+    /// every observable unchanged apart from re-arming itself — the events
+    /// [`Simulation::idle_skip_ahead`] may elide.
+    fn event_is_skippable(&self, ev: &Ev) -> bool {
+        match ev {
+            // The scheduler tick charges the current task (none), balances
+            // and migrates (nothing queued): a strict no-op while idle.
+            Ev::Tick => true,
+            // An all-idle metric sample only bumps the idle cell and
+            // re-opens the busy windows, which `skip_idle_samples` books in
+            // closed form. Thermal integration is exponential in the step
+            // size and a trace needs one row per sample, so either one pins
+            // the sampler to the grid.
+            Ev::MetricSample => {
+                self.thermal.is_none()
+                    && self.trace.is_none()
+                    && !self.cfg.metric_period.is_zero()
+                    && self.collector.window_is_idle(self.kernel.accounting())
+            }
+            // A governor sample is elidable only when its window holds no
+            // residual busy time (a task may have exited mid-window) and
+            // the governor would provably hold its frequency on the
+            // all-zero sample it would see.
+            Ev::GovSample(c) => {
+                self.gov_skip[c.0] == 0
+                    && !self.governors[c.0].sampling_period().is_zero()
+                    && self.gov_window_is_idle(*c)
+                    && self.governor_idle_quiescent(*c)
+            }
+            // Timers wake tasks, promotions deepen idle states, faults
+            // reshape the machine: all are hard horizon bounds.
+            Ev::Timer(_) | Ev::IdlePromote(..) | Ev::Fault(_) => false,
+        }
+    }
+
+    /// True when no online CPU of `cluster` has accrued busy time since the
+    /// governor's window was last opened.
+    fn gov_window_is_idle(&self, cluster: ClusterId) -> bool {
+        self.state
+            .online_in(&self.platform.topology, cluster)
+            .all(|cpu| {
+                self.gov_window
+                    .peek_busy(self.kernel.accounting(), cpu)
+                    .is_zero()
+            })
+    }
+
+    /// Whether `cluster`'s governor, fed the all-zero-utilization sample it
+    /// would see right now, provably keeps its current frequency.
+    fn governor_idle_quiescent(&self, cluster: ClusterId) -> bool {
+        const ZEROS: [f64; 16] = [0.0; 16];
+        let topo = &self.platform.topology;
+        let n = self.state.online_in(topo, cluster).count();
+        if n > ZEROS.len() {
+            return false;
+        }
+        let sample = ClusterSample {
+            cluster,
+            opps: &topo.cluster(cluster).core.opps,
+            cur_freq_khz: self.state.cluster_freq_khz(cluster),
+            cpu_utils: &ZEROS[..n],
+            cap_khz: self.state.freq_cap(cluster).unwrap_or(u32::MAX),
+        };
+        self.governors[cluster.0].idle_quiescent(&sample)
     }
 
     /// Applies one fault event. Faults the platform refuses (offlining the
@@ -716,16 +893,14 @@ impl Simulation {
             return Ok(());
         }
         let topo = &self.platform.topology;
-        let utils: Vec<f64> = self
-            .state
-            .online_in(topo, cluster)
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|cpu| {
+        let mut utils = std::mem::take(&mut self.utils_scratch);
+        utils.clear();
+        for cpu in self.state.online_in(topo, cluster) {
+            utils.push(
                 self.gov_window
-                    .take_fraction(self.kernel.accounting(), cpu, self.now)
-            })
-            .collect();
+                    .take_fraction(self.kernel.accounting(), cpu, self.now),
+            );
+        }
         let opps = &topo.cluster(cluster).core.opps;
         let cur = self.state.cluster_freq_khz(cluster);
         let sample = ClusterSample {
@@ -736,6 +911,7 @@ impl Simulation {
             cap_khz: self.state.freq_cap(cluster).unwrap_or(u32::MAX),
         };
         let next = self.governors[cluster.0].on_sample(&sample);
+        self.utils_scratch = utils;
         if next != cur {
             // The platform clamps through the thermal ceiling; a governor
             // returning an off-table rate is surfaced, not panicked.
@@ -748,29 +924,41 @@ impl Simulation {
 
     /// Collects wake requests and signals, and refreshes the power meter.
     fn after_kernel_call(&mut self) {
-        for w in self.kernel.drain_wake_requests() {
+        let mut wakes = std::mem::take(&mut self.wake_scratch);
+        self.kernel.drain_wake_requests_into(&mut wakes);
+        for w in wakes.drain(..) {
             self.queue.schedule(w.at, Ev::Timer(w));
         }
-        for (t, s) in self.kernel.drain_signals() {
+        self.wake_scratch = wakes;
+        let mut signals = std::mem::take(&mut self.signal_scratch);
+        self.kernel.drain_signals_into(&mut signals);
+        for (t, s) in signals.drain(..) {
             self.collector.on_signal(t, s);
         }
+        self.signal_scratch = signals;
         self.record_power();
     }
 
     fn record_power(&mut self) {
-        let activity = self.kernel.activity();
+        let mut activity = std::mem::take(&mut self.activity_scratch);
+        self.kernel.activity_into(&mut activity);
         self.update_cpuidle(&activity);
-        let mw = match &self.cpuidle {
-            Some(rt) => self.power_model.instant_mw_with_idle(
+        let mw = if let Some(rt) = &self.cpuidle {
+            let mut scales = std::mem::take(&mut self.leak_scratch);
+            rt.leak_scales_into(&mut scales);
+            let mw = self.power_model.instant_mw_with_idle(
                 &self.platform.topology,
                 &self.state,
                 &activity,
-                Some(&rt.leak_scales()),
-            ),
-            None => self
-                .power_model
-                .instant_mw(&self.platform.topology, &self.state, &activity),
+                Some(&scales),
+            );
+            self.leak_scratch = scales;
+            mw
+        } else {
+            self.power_model
+                .instant_mw(&self.platform.topology, &self.state, &activity)
         };
+        self.activity_scratch = activity;
         self.meter.record(self.now, mw);
     }
 
@@ -817,14 +1005,21 @@ impl Simulation {
                 .schedule(rt.idle_since[cpu.0] + res, Ev::IdlePromote(cpu, seq));
         }
         // Power drops as the core deepens.
-        let activity = self.kernel.activity();
-        let scales = self.cpuidle.as_ref().expect("checked").leak_scales();
+        let mut activity = std::mem::take(&mut self.activity_scratch);
+        self.kernel.activity_into(&mut activity);
+        let mut scales = std::mem::take(&mut self.leak_scratch);
+        self.cpuidle
+            .as_ref()
+            .expect("checked")
+            .leak_scales_into(&mut scales);
         let mw = self.power_model.instant_mw_with_idle(
             &self.platform.topology,
             &self.state,
             &activity,
             Some(&scales),
         );
+        self.activity_scratch = activity;
+        self.leak_scratch = scales;
         self.meter.record(self.now, mw);
     }
 

@@ -19,6 +19,12 @@ impl CpufreqGovernor for PerformanceGovernor {
     fn on_sample(&mut self, sample: &ClusterSample<'_>) -> u32 {
         sample.effective_max()
     }
+    fn idle_quiescent(&self, sample: &ClusterSample<'_>) -> bool {
+        // Stateless governor: probing a copy with the caller's all-idle
+        // sample computes exactly what a real sample would decide.
+        let mut probe = *self;
+        probe.on_sample(sample) == sample.cur_freq_khz
+    }
 }
 
 /// `powersave`: pin the domain at its minimum OPP.
@@ -34,6 +40,12 @@ impl CpufreqGovernor for PowersaveGovernor {
     }
     fn on_sample(&mut self, sample: &ClusterSample<'_>) -> u32 {
         sample.opps.min_khz()
+    }
+    fn idle_quiescent(&self, sample: &ClusterSample<'_>) -> bool {
+        // Stateless governor: probing a copy with the caller's all-idle
+        // sample computes exactly what a real sample would decide.
+        let mut probe = *self;
+        probe.on_sample(sample) == sample.cur_freq_khz
     }
 }
 
@@ -54,6 +66,12 @@ impl CpufreqGovernor for UserspaceGovernor {
     }
     fn on_sample(&mut self, sample: &ClusterSample<'_>) -> u32 {
         sample.clamp(sample.opps.round_up(self.setpoint_khz).freq_khz)
+    }
+    fn idle_quiescent(&self, sample: &ClusterSample<'_>) -> bool {
+        // Stateless governor: probing a copy with the caller's all-idle
+        // sample computes exactly what a real sample would decide.
+        let mut probe = *self;
+        probe.on_sample(sample) == sample.cur_freq_khz
     }
 }
 
@@ -101,6 +119,12 @@ impl CpufreqGovernor for OndemandGovernor {
         let target = (sample.cur_freq_khz as f64 * util / self.params.down_target) as u32;
         let next = sample.opps.round_up(target).freq_khz;
         sample.clamp(next.min(sample.cur_freq_khz)) // ondemand only jumps up, walks down
+    }
+    fn idle_quiescent(&self, sample: &ClusterSample<'_>) -> bool {
+        // Stateless governor: probing a copy with the caller's all-idle
+        // sample computes exactly what a real sample would decide.
+        let mut probe = *self;
+        probe.on_sample(sample) == sample.cur_freq_khz
     }
 }
 
@@ -152,6 +176,12 @@ impl CpufreqGovernor for ConservativeGovernor {
             return sample.opps.get(idx - 1).freq_khz;
         }
         sample.clamp(sample.cur_freq_khz)
+    }
+    fn idle_quiescent(&self, sample: &ClusterSample<'_>) -> bool {
+        // Stateless governor: probing a copy with the caller's all-idle
+        // sample computes exactly what a real sample would decide.
+        let mut probe = *self;
+        probe.on_sample(sample) == sample.cur_freq_khz
     }
 }
 
@@ -267,6 +297,47 @@ mod tests {
         // current frequency is already above a freshly lowered cap.
         let mut c = ConservativeGovernor::default();
         assert_eq!(c.on_sample(&capped(&t, 700_000, &[0.9], 700_000)), 700_000);
+    }
+
+    #[test]
+    fn idle_quiescent_mirrors_a_zero_util_sample() {
+        let t = opps();
+        let zeros = [0.0, 0.0, 0.0, 0.0];
+        let mut govs: Vec<Box<dyn CpufreqGovernor>> = vec![
+            Box::new(PerformanceGovernor),
+            Box::new(PowersaveGovernor),
+            Box::new(UserspaceGovernor {
+                setpoint_khz: 850_000,
+            }),
+            Box::new(OndemandGovernor::default()),
+            Box::new(ConservativeGovernor::default()),
+        ];
+        for g in &mut govs {
+            for idx in 0..t.len() {
+                for cap in [u32::MAX, 1_050_000] {
+                    let s = capped(&t, t.get(idx).freq_khz, &zeros, cap);
+                    let quiescent = g.idle_quiescent(&s);
+                    let decided = g.on_sample(&s);
+                    assert_eq!(
+                        quiescent,
+                        decided == s.cur_freq_khz,
+                        "{} at {} cap {}: quiescent={} but on_sample -> {}",
+                        g.name(),
+                        s.cur_freq_khz,
+                        cap,
+                        quiescent,
+                        decided
+                    );
+                }
+            }
+        }
+        // Spot-check the expected fixed points.
+        assert!(PowersaveGovernor.idle_quiescent(&sample(&t, 500_000, &zeros)));
+        assert!(!PowersaveGovernor.idle_quiescent(&sample(&t, 600_000, &zeros)));
+        assert!(PerformanceGovernor.idle_quiescent(&sample(&t, 1_300_000, &zeros)));
+        assert!(!PerformanceGovernor.idle_quiescent(&sample(&t, 500_000, &zeros)));
+        assert!(OndemandGovernor::default().idle_quiescent(&sample(&t, 500_000, &zeros)));
+        assert!(!ConservativeGovernor::default().idle_quiescent(&sample(&t, 600_000, &zeros)));
     }
 
     #[test]

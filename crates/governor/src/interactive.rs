@@ -156,6 +156,12 @@ impl CpufreqGovernor for InteractiveGovernor {
         }
         sample.clamp(cur) // hold inside the margin band
     }
+
+    fn idle_quiescent(&self, sample: &ClusterSample<'_>) -> bool {
+        // Stateless governor: probing a clone with the caller's all-idle
+        // sample computes exactly what a real sample would decide.
+        self.clone().on_sample(sample) == sample.cur_freq_khz
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +261,23 @@ mod tests {
         let mut s2 = sample(&t, 800_000, &[1.0]);
         s2.cap_khz = 900_000;
         assert_eq!(g.on_sample(&s2), 900_000);
+    }
+
+    #[test]
+    fn idle_quiescent_only_at_the_zero_util_fixed_point() {
+        let t = opps();
+        let zeros = [0.0, 0.0];
+        let g = InteractiveGovernor::new(InteractiveParams::default());
+        // The only frequency a zero-util sample holds is the minimum OPP.
+        assert!(g.idle_quiescent(&sample(&t, t.min_khz(), &zeros)));
+        for idx in 1..9 {
+            let cur = t.get(idx).freq_khz;
+            let s = sample(&t, cur, &zeros);
+            assert!(!g.idle_quiescent(&s), "{cur} must not be quiescent");
+            // Mirror contract: quiescent ⇔ on_sample is an identity.
+            let decided = g.clone().on_sample(&s);
+            assert_ne!(decided, cur);
+        }
     }
 
     #[test]

@@ -60,6 +60,18 @@ pub trait CpufreqGovernor {
     /// Decides the next frequency for the domain from the last window's
     /// utilization.
     fn on_sample(&mut self, sample: &ClusterSample<'_>) -> u32;
+
+    /// Returns true when a sample over an *all-idle* window (every
+    /// utilization zero) is guaranteed to be a no-op: `on_sample` would
+    /// return `sample.cur_freq_khz` and leave no internal state changed.
+    ///
+    /// Drivers use this to elide governor samples across idle gaps; the
+    /// `false` default is always safe (the sample simply fires normally).
+    /// Implementations must keep this exactly in sync with `on_sample` —
+    /// the event-driven loop's bit-for-bit equivalence depends on it.
+    fn idle_quiescent(&self, _sample: &ClusterSample<'_>) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use bl_platform::state::PlatformState;
 use bl_platform::topology::Platform;
 use bl_simcore::error::SimError;
 use bl_simcore::time::{SimDuration, SimTime};
+use std::sync::Arc;
 
 /// Work below this many instructions counts as complete (sub-nanosecond
 /// residue from fixed-point event times).
@@ -55,11 +56,20 @@ impl<'a> Hw<'a> {
 
     /// Online CPUs of a kind.
     pub fn online_of_kind(&self, kind: CoreKind) -> Vec<CpuId> {
+        self.iter_online_of_kind(kind).collect()
+    }
+
+    /// Online CPUs of a kind, without allocating.
+    pub fn iter_online_of_kind(&self, kind: CoreKind) -> impl Iterator<Item = CpuId> + '_ {
         self.platform
             .topology
             .cpus_of_kind(kind)
             .filter(|c| self.state.is_online(*c))
-            .collect()
+    }
+
+    /// Number of online CPUs of a kind.
+    pub fn n_online_of_kind(&self, kind: CoreKind) -> usize {
+        self.iter_online_of_kind(kind).count()
     }
 }
 
@@ -87,8 +97,8 @@ impl Default for KernelConfig {
 /// One row of [`Kernel::task_report`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskReportRow {
-    /// Task name.
-    pub name: String,
+    /// Task name (shared with the kernel's interned copy).
+    pub name: Arc<str>,
     /// Total CPU time consumed.
     pub cpu_time: SimDuration,
     /// CPU time spent on little cores.
@@ -137,6 +147,8 @@ pub struct Kernel {
     pending_wakes: Vec<TaskId>,
     migrations_up: u64,
     migrations_down: u64,
+    /// Reused by `balance` so the per-tick cluster scan never allocates.
+    balance_scratch: Vec<CpuId>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -165,6 +177,7 @@ impl Kernel {
             pending_wakes: Vec::new(),
             migrations_up: 0,
             migrations_down: 0,
+            balance_scratch: Vec::with_capacity(n_cpus),
         }
     }
 
@@ -176,7 +189,7 @@ impl Kernel {
     /// Spawns a task and immediately runs its first step exchange.
     pub fn spawn(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         affinity: Affinity,
         behavior: Box<dyn TaskBehavior>,
         hw: &Hw<'_>,
@@ -451,11 +464,9 @@ impl Kernel {
                 CoreKind::Big if load < params.down_threshold => CoreKind::Little,
                 _ => continue,
             };
-            let candidates = hw.online_of_kind(target_kind);
-            if candidates.is_empty() {
+            let Some(target) = self.idlest_of_kind(hw, target_kind) else {
                 continue;
-            }
-            let target = self.idlest_cpu(&candidates);
+            };
             self.move_task(TaskId(tid), target);
             match target_kind {
                 CoreKind::Big => self.migrations_up += 1,
@@ -512,11 +523,9 @@ impl Kernel {
         if topo.kind_of(cpu) == kind {
             return;
         }
-        let candidates = hw.online_of_kind(kind);
-        if candidates.is_empty() {
+        let Some(target) = self.idlest_of_kind(hw, kind) else {
             return;
-        }
-        let target = self.idlest_cpu(&candidates);
+        };
         self.move_task(tid, target);
         match kind {
             CoreKind::Big => self.migrations_up += 1,
@@ -527,7 +536,7 @@ impl Kernel {
     /// Efficiency-based scheduling (paper §IV.A, Kumar et al.): the top-N
     /// loaded tasks by big-core speedup own the N online big cores.
     fn efficiency_migrate(&mut self, hw: &Hw<'_>, min_load: f64) {
-        let n_big = hw.online_of_kind(CoreKind::Big).len();
+        let n_big = hw.n_online_of_kind(CoreKind::Big);
         if n_big == 0 {
             return;
         }
@@ -558,12 +567,11 @@ impl Kernel {
         if active.is_empty() {
             return;
         }
-        let target =
-            if active.len() <= serial_threshold && !hw.online_of_kind(CoreKind::Big).is_empty() {
-                CoreKind::Big
-            } else {
-                CoreKind::Little
-            };
+        let target = if active.len() <= serial_threshold && hw.n_online_of_kind(CoreKind::Big) > 0 {
+            CoreKind::Big
+        } else {
+            CoreKind::Little
+        };
         for tid in active {
             self.move_to_kind(hw, tid, target);
         }
@@ -573,8 +581,10 @@ impl Kernel {
     /// cluster.
     fn balance(&mut self, hw: &Hw<'_>) {
         let topo = &hw.platform.topology;
+        let mut online = std::mem::take(&mut self.balance_scratch);
         for cluster in topo.clusters() {
-            let online: Vec<CpuId> = hw.online_of_kind(cluster.core.kind);
+            online.clear();
+            online.extend(hw.iter_online_of_kind(cluster.core.kind));
             while let Some(idle) = online.iter().copied().find(|c| self.rqs[c.0].is_empty()) {
                 // Busiest donor: a CPU that is both executing a task and has
                 // waiters (a CPU with only waiters will self-dispatch).
@@ -606,6 +616,7 @@ impl Kernel {
                 self.rqs[idle.0].dispatch(|t| tasks[t.0].vruntime);
             }
         }
+        self.balance_scratch = online;
         self.dispatch_all();
     }
 
@@ -709,11 +720,14 @@ impl Kernel {
 
     // ---- placement ---------------------------------------------------------
 
-    fn idlest_cpu(&self, candidates: &[CpuId]) -> CpuId {
-        *candidates
-            .iter()
+    /// Idlest online CPU of a kind, `None` when the whole side is off.
+    ///
+    /// `Iterator::min_by_key` keeps the *first* minimum and the key is made
+    /// unique by the CPU id, so this picks exactly the CPU the old
+    /// collect-then-scan version did — without the candidate `Vec`.
+    fn idlest_of_kind(&self, hw: &Hw<'_>, kind: CoreKind) -> Option<CpuId> {
+        hw.iter_online_of_kind(kind)
             .min_by_key(|c| (self.rqs[c.0].len(), c.0))
-            .expect("idlest_cpu: empty candidate set")
     }
 
     /// Idlest online CPU, preferring `kind` but degrading to the other
@@ -724,15 +738,9 @@ impl Kernel {
     /// Panics only if *no* CPU is online — impossible while the platform's
     /// one-little-always-online invariant holds.
     fn fallback_cpu(&self, kind: CoreKind, hw: &Hw<'_>) -> CpuId {
-        let mut cands = hw.online_of_kind(kind);
-        if cands.is_empty() {
-            cands = hw.online_of_kind(kind.other());
-        }
-        assert!(
-            !cands.is_empty(),
-            "invariant violated: no online cpus (platform must keep one little online)"
-        );
-        self.idlest_cpu(&cands)
+        self.idlest_of_kind(hw, kind)
+            .or_else(|| self.idlest_of_kind(hw, kind.other()))
+            .expect("invariant violated: no online cpus (platform must keep one little online)")
     }
 
     fn select_cpu(&self, tid: TaskId, hw: &Hw<'_>) -> CpuId {
@@ -805,13 +813,25 @@ impl Kernel {
     /// Per-CPU instantaneous activity for the power model: 0 when idle,
     /// the running task's profile energy intensity (≈1.0) otherwise.
     pub fn activity(&self) -> Vec<f64> {
-        self.rqs
-            .iter()
-            .map(|rq| match rq.current() {
-                Some(tid) => self.tasks[tid.0].profile.energy_intensity,
-                None => 0.0,
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.rqs.len());
+        self.activity_into(&mut out);
+        out
+    }
+
+    /// [`Kernel::activity`] into a caller-owned buffer (cleared first), for
+    /// hot loops that read activity at every power sample.
+    pub fn activity_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.rqs.iter().map(|rq| match rq.current() {
+            Some(tid) => self.tasks[tid.0].profile.energy_intensity,
+            None => 0.0,
+        }));
+    }
+
+    /// True when no CPU is executing or queueing any task — the whole
+    /// machine is idle and only timers/events can change that.
+    pub fn all_idle(&self) -> bool {
+        self.rqs.iter().all(|rq| rq.is_empty())
     }
 
     /// Busy-time counters for windowed readers.
@@ -824,9 +844,24 @@ impl Kernel {
         std::mem::take(&mut self.wake_requests)
     }
 
+    /// [`Kernel::drain_wake_requests`] into a caller-owned buffer: the
+    /// buffers swap, so capacity ping-pongs between kernel and driver and
+    /// the steady-state loop never allocates.
+    pub fn drain_wake_requests_into(&mut self, out: &mut Vec<WakeRequest>) {
+        out.clear();
+        std::mem::swap(out, &mut self.wake_requests);
+    }
+
     /// Application signals emitted since the last drain.
     pub fn drain_signals(&mut self) -> Vec<(SimTime, AppSignal)> {
         std::mem::take(&mut self.signals)
+    }
+
+    /// [`Kernel::drain_signals`] into a caller-owned buffer (swap-based,
+    /// allocation-free at steady state).
+    pub fn drain_signals_into(&mut self, out: &mut Vec<(SimTime, AppSignal)>) {
+        out.clear();
+        std::mem::swap(out, &mut self.signals);
     }
 
     /// The task currently executing on `cpu`.

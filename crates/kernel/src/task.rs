@@ -142,7 +142,8 @@ where
 
 /// Internal per-task bookkeeping. Public within the crate only.
 pub(crate) struct TaskCb {
-    pub(crate) name: String,
+    /// Interned at spawn; snapshots clone the `Arc`, not the bytes.
+    pub(crate) name: std::sync::Arc<str>,
     pub(crate) state: TaskState,
     pub(crate) behavior: Box<dyn TaskBehavior>,
     pub(crate) affinity: Affinity,

@@ -32,6 +32,8 @@ pub struct MetricsCollector {
     action_times: Vec<SimTime>,
     start: SimTime,
     last_sample: SimTime,
+    /// Reused by `sample` so the 10 ms hot path never allocates.
+    cluster_active: Vec<bool>,
 }
 
 impl MetricsCollector {
@@ -51,6 +53,7 @@ impl MetricsCollector {
             action_times: Vec::new(),
             start,
             last_sample: start,
+            cluster_active: vec![false; topo.n_clusters()],
         }
     }
 
@@ -63,7 +66,8 @@ impl MetricsCollector {
         }
         let mut active_little = 0usize;
         let mut active_big = 0usize;
-        let mut cluster_active = vec![false; self.topo.n_clusters()];
+        let mut cluster_active = std::mem::take(&mut self.cluster_active);
+        cluster_active.fill(false);
 
         for cpu in self.topo.cpus() {
             let busy = self.busy_window.peek_busy(acct, cpu);
@@ -97,7 +101,41 @@ impl MetricsCollector {
                     .record_active(cluster, state.cluster_freq_khz(cluster), window);
             }
         }
+        self.cluster_active = cluster_active;
         self.last_sample = now;
+    }
+
+    /// True when no CPU has accrued busy time since the last sample — the
+    /// precondition for [`MetricsCollector::skip_idle_samples`]: each
+    /// elided sample would have been a pure idle sample.
+    pub fn window_is_idle(&self, acct: &CpuAccounting) -> bool {
+        self.topo
+            .cpus()
+            .all(|c| self.busy_window.peek_busy(acct, c).is_zero())
+    }
+
+    /// Books `samples` elided all-idle sample points ending at `last`, as
+    /// the idle skip-ahead path does in one call instead of firing the
+    /// sampler repeatedly over a gap where every CPU is provably idle.
+    ///
+    /// Equivalent to calling [`MetricsCollector::sample`] at each elided
+    /// point: every per-CPU busy delta would be zero, so each call would
+    /// record an idle sample and re-open every window — exactly
+    /// `record_idle(samples)` plus one `reset_all` at the final point. The
+    /// bookkeeping is integer arithmetic, so the equivalence is exact.
+    pub fn skip_idle_samples(&mut self, samples: u64, last: SimTime, acct: &CpuAccounting) {
+        if samples == 0 {
+            return;
+        }
+        debug_assert!(
+            self.topo
+                .cpus()
+                .all(|c| self.busy_window.peek_busy(acct, c).is_zero()),
+            "skip_idle_samples: a CPU accrued busy time during the skipped gap"
+        );
+        self.matrix.record_idle(samples);
+        self.busy_window.reset_all(acct, last);
+        self.last_sample = last;
     }
 
     /// Feeds an application signal (frames, script completion).
@@ -218,6 +256,26 @@ mod tests {
         assert_eq!(c.action_times().len(), 1);
         let fps = c.fps(SimTime::from_secs(1)).unwrap();
         assert_eq!(fps.frames, 2);
+    }
+
+    #[test]
+    fn skip_idle_samples_matches_repeated_idle_sampling() {
+        let (_t, acct, state, mut ticked) = setup();
+        let (_t2, _a2, _s2, mut skipped) = setup();
+        for i in 1..=12u64 {
+            ticked.sample(SimTime::from_millis(10 * i), &acct, &state);
+        }
+        skipped.skip_idle_samples(12, SimTime::from_millis(120), &acct);
+        assert_eq!(ticked.matrix(), skipped.matrix());
+        assert_eq!(ticked.tlp_stats().idle_pct, 100.0);
+        assert_eq!(ticked.last_sample, skipped.last_sample);
+        // A later busy sample sees identical windows in both collectors.
+        let mut acct2 = acct.clone();
+        acct2.add_busy(CpuId(0), SimDuration::from_millis(5));
+        ticked.sample(SimTime::from_millis(130), &acct2, &state);
+        skipped.sample(SimTime::from_millis(130), &acct2, &state);
+        assert_eq!(ticked.matrix(), skipped.matrix());
+        assert_eq!(ticked.efficiency(), skipped.efficiency());
     }
 
     #[test]

@@ -37,6 +37,13 @@ impl CoreTypeMatrix {
         self.total += 1;
     }
 
+    /// Records `n` fully idle samples at once — what an idle skip-ahead
+    /// over `n` elided sample points contributes, in one addition.
+    pub fn record_idle(&mut self, n: u64) {
+        self.counts[0][0] += n;
+        self.total += n;
+    }
+
     /// Number of samples recorded.
     pub fn total_samples(&self) -> u64 {
         self.total

@@ -79,14 +79,21 @@ impl Trace {
         })
     }
 
-    /// Renders the trace as CSV with a header row.
-    pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "t_ms,little_khz,big_khz,active_little,active_big,power_mw,mig_up,mig_down\n",
-        );
+    /// Streams the trace as CSV (header row first) into `w`, row by row —
+    /// dumping a big trace to a file never materializes a second copy in
+    /// memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from the underlying writer.
+    pub fn write_csv(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        w.write_all(
+            b"t_ms,little_khz,big_khz,active_little,active_big,power_mw,mig_up,mig_down\n",
+        )?;
         for r in &self.rows {
-            out.push_str(&format!(
-                "{:.3},{},{},{},{},{:.1},{},{}\n",
+            writeln!(
+                w,
+                "{:.3},{},{},{},{},{:.1},{},{}",
                 r.t.as_millis_f64(),
                 r.little_khz,
                 r.big_khz,
@@ -95,9 +102,18 @@ impl Trace {
                 r.power_mw,
                 r.migrations_up,
                 r.migrations_down,
-            ));
+            )?;
         }
-        out
+        Ok(())
+    }
+
+    /// Renders the trace as CSV with a header row. Thin wrapper over
+    /// [`Trace::write_csv`]; prefer that for large traces.
+    pub fn to_csv(&self) -> String {
+        let mut out = Vec::new();
+        self.write_csv(&mut out)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("CSV rendering is ASCII")
     }
 }
 
@@ -137,6 +153,16 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("t_ms,"));
         assert!(lines[1].starts_with("10.000,500000,800000,1,0,500.0"));
+    }
+
+    #[test]
+    fn write_csv_streams_the_same_bytes() {
+        let mut t = Trace::new();
+        t.push(row(10, 500.0));
+        t.push(row(20, 612.5));
+        let mut streamed = Vec::new();
+        t.write_csv(&mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), t.to_csv());
     }
 
     #[test]

@@ -143,18 +143,16 @@ impl PowerModel {
             };
         for c in topo.clusters() {
             let k = PowerParams::kind_idx(c.core.kind);
-            let online: Vec<usize> = state.online_in(topo, c.id).map(|cpu| cpu.0).collect();
-            if online.is_empty() {
-                continue;
-            }
             let opp = c.core.opps.opp_at(state.cluster_freq_khz(c.id));
             let v = opp.voltage_v();
             let f = opp.freq_ghz();
             let mut cluster = 0.0;
             let mut all_deep = true;
-            for cpu in &online {
-                let a = activity[*cpu];
-                let idle_scale = idle_scales.map_or(1.0, |s| s[*cpu]);
+            let mut any_online = false;
+            for cpu in state.online_in(topo, c.id).map(|cpu| cpu.0) {
+                any_online = true;
+                let a = activity[cpu];
+                let idle_scale = idle_scales.map_or(1.0, |s| s[cpu]);
                 if a > 0.0 {
                     all_deep = false;
                     cluster += self.params.core_idle_leak_mw_per_v[k] * v
@@ -165,6 +163,9 @@ impl PowerModel {
                     }
                     cluster += self.params.core_idle_leak_mw_per_v[k] * v * idle_scale;
                 }
+            }
+            if !any_online {
+                continue;
             }
             let cluster_leak = self.params.cluster_leak_mw_per_v[k] * v;
             cluster += if all_deep && idle_scales.is_some() {

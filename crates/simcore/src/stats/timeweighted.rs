@@ -46,6 +46,15 @@ impl TimeWeightedMean {
             now >= self.last_time,
             "TimeWeightedMean: time went backwards"
         );
+        // Unchanged value: defer accumulation to the next real change so a
+        // constant stretch is credited as one `value * dt` product no matter
+        // how many times it was re-reported. `mean_at`/`integral_at` already
+        // credit the tail from `last_time`, so observers see the same value —
+        // and the single product keeps long idle gaps bit-identical whether
+        // they were sampled every tick or skipped over in one jump.
+        if value.to_bits() == self.last_value.to_bits() {
+            return;
+        }
         let dt = now.duration_since(self.last_time).as_secs_f64();
         self.weighted_sum += self.last_value * dt;
         self.last_time = now;
@@ -102,6 +111,26 @@ mod tests {
         m.update(SimTime::from_secs(1), 4.0);
         // 2.0 for 1s, then 4.0 for 3s => (2 + 12)/4 = 3.5
         assert!((m.mean_at(SimTime::from_secs(4)) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_equal_updates_match_a_single_jump_bitwise() {
+        // The same constant reported every "tick" vs never re-reported must
+        // produce bit-identical results: one multiply either way.
+        let mut ticked = TimeWeightedMean::starting_at(SimTime::ZERO, 0.3);
+        let mut jumped = TimeWeightedMean::starting_at(SimTime::ZERO, 0.3);
+        for i in 1..=1000u64 {
+            ticked.update(SimTime::from_millis(4 * i), 0.3);
+        }
+        let end = SimTime::from_secs(5);
+        ticked.update(end, 1.7);
+        jumped.update(end, 1.7);
+        let t = SimTime::from_secs(6);
+        assert_eq!(ticked.mean_at(t).to_bits(), jumped.mean_at(t).to_bits());
+        assert_eq!(
+            ticked.integral_at(t).to_bits(),
+            jumped.integral_at(t).to_bits()
+        );
     }
 
     proptest! {
