@@ -8,12 +8,20 @@
 //! repro --jobs 4            # sweep parallelism (0 or omitted = all cores)
 //! repro --no-cache          # bypass the on-disk result cache
 //! repro --cache-clear       # drop the cache before running
+//! repro --deadline-ms 60000 # per-scenario wall-clock budget
+//! repro --max-events 50000000 # per-scenario simulated-event budget
+//! repro --retries 2         # retry failed scenarios with a reseed
+//! repro --audit             # runtime invariant auditor on every scenario
+//! repro --resume            # replay completed scenarios from the journal
+//! repro --no-journal        # disable the write-ahead sweep journal
 //! repro --bench-sweep f.json # serial-vs-parallel wall-time comparison
 //! repro --bench-hotloop f.json # ticked-vs-skip-ahead hot-loop microbench
+//! repro --demo-sweep f.json # deterministic journaled batch (kill/resume demo)
+//! repro --smoke-supervision f.json # chaos batch: quarantine + self-heal smoke
 //! repro --list              # experiment ids
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use biglittle::{sweep, SweepOptions};
 use bl_bench::{run_experiment_json_with, run_experiment_with, EXPERIMENTS, SEED};
@@ -31,8 +39,16 @@ fn main() {
     let mut out_dir: Option<String> = None;
     let mut jobs: usize = 0; // 0 = all available cores
     let mut cache = true;
+    let mut journal = true;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_events: Option<u64> = None;
+    let mut retries: u32 = 0;
+    let mut audit = false;
+    let mut resume = false;
     let mut bench_sweep: Option<String> = None;
     let mut bench_hotloop: Option<String> = None;
+    let mut demo_sweep: Option<String> = None;
+    let mut smoke_supervision: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -54,13 +70,38 @@ fn main() {
                     .expect("--jobs takes an integer (0 = all cores)")
             }
             "--no-cache" => cache = false,
+            "--no-journal" => journal = false,
             "--cache-clear" => {
                 if std::fs::remove_dir_all(CACHE_DIR).is_ok() {
                     eprintln!("cleared {CACHE_DIR}");
                 }
             }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--deadline-ms takes an integer (milliseconds)"),
+                )
+            }
+            "--max-events" => {
+                max_events = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--max-events takes an integer"),
+                )
+            }
+            "--retries" => {
+                retries = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--retries takes an integer")
+            }
+            "--audit" => audit = true,
+            "--resume" => resume = true,
             "--bench-sweep" => bench_sweep = it.next().cloned(),
             "--bench-hotloop" => bench_hotloop = it.next().cloned(),
+            "--demo-sweep" => demo_sweep = it.next().cloned(),
+            "--smoke-supervision" => smoke_supervision = it.next().cloned(),
             "--list" => {
                 for e in EXPERIMENTS {
                     println!("{e}");
@@ -70,8 +111,11 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp <id>] [--seed <n>] [--fast] [--json] [--out <dir>]\n\
-                     \x20            [--jobs <n>] [--no-cache] [--cache-clear]\n\
-                     \x20            [--bench-sweep <file>] [--bench-hotloop <file>] [--list]\n\
+                     \x20            [--jobs <n>] [--no-cache] [--cache-clear] [--no-journal]\n\
+                     \x20            [--deadline-ms <n>] [--max-events <n>] [--retries <n>]\n\
+                     \x20            [--audit] [--resume]\n\
+                     \x20            [--bench-sweep <file>] [--bench-hotloop <file>]\n\
+                     \x20            [--demo-sweep <file>] [--smoke-supervision <file>] [--list]\n\
                      ids: {}",
                     EXPERIMENTS.join(", ")
                 );
@@ -85,9 +129,20 @@ fn main() {
     }
 
     let opts = {
-        let mut o = SweepOptions::with_jobs(jobs);
+        let mut o = SweepOptions::with_jobs(jobs)
+            .with_retries(retries)
+            .audited(audit);
         if cache {
             o = o.cached(CACHE_DIR);
+        }
+        if journal {
+            o = o.journaled(sweep::DEFAULT_JOURNAL_DIR).resuming(resume);
+        }
+        if let Some(ms) = deadline_ms {
+            o = o.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(cap) = max_events {
+            o = o.with_event_cap(cap);
         }
         o
     };
@@ -98,6 +153,14 @@ fn main() {
     }
     if let Some(path) = bench_hotloop {
         run_bench_hotloop(&path, seed, fast);
+        return;
+    }
+    if let Some(path) = demo_sweep {
+        run_demo_sweep(&path, seed, &opts);
+        return;
+    }
+    if let Some(path) = smoke_supervision {
+        run_smoke_supervision(&path, seed, jobs);
         return;
     }
 
@@ -113,6 +176,10 @@ fn main() {
                 ("wall_ms".into(), Value::Float(wall_ms)),
                 ("scenarios".into(), Value::UInt(stats.scenarios)),
                 ("cache_hits".into(), Value::UInt(stats.cache_hits)),
+                ("resumed".into(), Value::UInt(stats.resumed)),
+                ("retries".into(), Value::UInt(stats.retries)),
+                ("quarantined".into(), Value::UInt(stats.quarantined)),
+                ("degraded".into(), Value::Bool(stats.degraded)),
                 (
                     "per_scenario".into(),
                     serde_json::to_value(&stats.per_scenario).expect("stats serialize"),
@@ -363,4 +430,203 @@ fn run_bench_sweep(path: &str, seed: u64) {
     let body = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(path, body + "\n").expect("write bench-sweep file");
     eprintln!("wrote {path}");
+}
+
+/// Builds the deterministic demo batch: microbench duty steps seeded
+/// positionally from `seed`.
+fn demo_batch(seed: u64) -> Vec<biglittle::Scenario> {
+    use biglittle::{Scenario, SystemConfig};
+    use bl_platform::ids::CpuId;
+    use bl_simcore::time::SimDuration;
+
+    let mut scenarios: Vec<Scenario> = (0..6u64)
+        .map(|i| {
+            Scenario::microbench(
+                format!("demo-{i}"),
+                CpuId((i % 4) as usize),
+                0.15 + 0.1 * i as f64,
+                SimDuration::from_millis(10),
+                // Long enough that a whole batch takes visible wall time,
+                // so the kill-and-resume test can interrupt it mid-flight.
+                SimDuration::from_secs(60),
+                SystemConfig::baseline(),
+            )
+        })
+        .collect();
+    sweep::seed_scenarios(&mut scenarios, seed);
+    scenarios
+}
+
+/// Runs a fixed, deterministic batch under the caller's sweep options and
+/// writes only reproducible content (results, quarantine state) to `path`
+/// — so an interrupted run finished with `--resume` produces a
+/// byte-identical file to an uninterrupted one. The kill-and-resume
+/// integration test drives this mode.
+fn run_demo_sweep(path: &str, seed: u64, opts: &SweepOptions) {
+    let scenarios = demo_batch(seed);
+    let out = sweep::run_with(&scenarios, opts);
+    eprintln!(
+        "demo-sweep: {} scenarios, {} resumed, {} cache hits, degraded={}",
+        out.stats.scenarios, out.stats.resumed, out.stats.cache_hits, out.stats.degraded
+    );
+    let results: Vec<Value> = out
+        .results
+        .iter()
+        .map(|r| match r {
+            Ok(res) => serde_json::to_value(res).expect("result serializes"),
+            Err(e) => Value::Object(vec![("error".into(), Value::String(e.to_string()))]),
+        })
+        .collect();
+    let report = Value::Object(vec![
+        ("suite".into(), Value::String("demo-sweep".into())),
+        ("seed".into(), Value::UInt(seed)),
+        ("degraded".into(), Value::Bool(out.degraded)),
+        (
+            "quarantined".into(),
+            Value::UInt(out.quarantined.len() as u64),
+        ),
+        ("results".into(), Value::Array(results)),
+    ]);
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, body + "\n").expect("write demo-sweep file");
+    eprintln!("wrote {path}");
+}
+
+/// Chaos smoke for the sweep supervisor: a batch holding a healthy
+/// scenario, an always-panicking scenario (microbench duty out of range)
+/// and a same-time-stalling scenario (zero metric period under a lowered
+/// watchdog limit) runs to completion with the failers retried and
+/// quarantined; then the healthy scenario's cache entry is corrupted on
+/// disk and the batch re-runs to prove the cache self-heals. Exits 0 when
+/// every expectation holds (the *sweep* being degraded is the expected
+/// outcome), 1 otherwise.
+fn run_smoke_supervision(path: &str, seed: u64, jobs: usize) {
+    use biglittle::{Scenario, SystemConfig};
+    use bl_platform::ids::CpuId;
+    use bl_simcore::error::SimError;
+    use bl_simcore::time::SimDuration;
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |ok: bool, what: &str| {
+        if ok {
+            eprintln!("ok: {what}");
+        } else {
+            eprintln!("FAILED: {what}");
+            failures.push(what.to_string());
+        }
+    };
+
+    // A short run processes only a few hundred events, so tighten the
+    // audit cadence to guarantee several full passes.
+    let healthy = Scenario::microbench(
+        "healthy",
+        CpuId(0),
+        0.4,
+        SimDuration::from_millis(10),
+        SimDuration::from_millis(300),
+        SystemConfig::baseline()
+            .with_seed(seed)
+            .with_audit_cadence(32),
+    );
+    // duty = 2.0 violates the microbenchmark's input contract and panics
+    // at spawn time, on every attempt.
+    let panicker = Scenario::microbench(
+        "panicker",
+        CpuId(1),
+        2.0,
+        SimDuration::from_millis(10),
+        SimDuration::from_millis(300),
+        SystemConfig::baseline().with_seed(seed),
+    );
+    // A zero metric period reschedules MetricSample at the same instant
+    // forever; the (lowered) same-time watchdog converts the hang into a
+    // typed stall.
+    let mut stall_cfg = SystemConfig::baseline()
+        .with_seed(seed)
+        .with_watchdog_limit(2_000);
+    stall_cfg.metric_period = SimDuration::ZERO;
+    let staller = Scenario::microbench(
+        "staller",
+        CpuId(2),
+        0.3,
+        SimDuration::from_millis(10),
+        SimDuration::from_millis(300),
+        stall_cfg,
+    );
+
+    let cache_dir = std::env::temp_dir().join(format!("bl-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let batch = vec![healthy, panicker, staller];
+    let opts = SweepOptions::with_jobs(jobs)
+        .cached(&cache_dir)
+        .with_retries(1)
+        .with_deadline(Duration::from_secs(60))
+        .audited(true);
+
+    let first = sweep::run_with(&batch, &opts);
+    check(first.results[0].is_ok(), "healthy scenario succeeds");
+    check(
+        matches!(first.results[1], Err(SimError::ScenarioPanicked { .. })),
+        "panicking scenario surfaces as ScenarioPanicked",
+    );
+    check(
+        matches!(first.results[2], Err(SimError::WatchdogStall { .. })),
+        "stalling scenario surfaces as WatchdogStall",
+    );
+    check(first.degraded, "sweep reports degraded");
+    check(first.quarantined.len() == 2, "both failers are quarantined");
+    check(
+        first.attempts[1].len() == 2 && first.attempts[2].len() == 2,
+        "failers were retried once with a reseed",
+    );
+    let audit_checks = first.results[0]
+        .as_ref()
+        .map(|r| r.resilience.audit_checks)
+        .unwrap_or(0);
+    check(audit_checks > 0, "invariant auditor ran on the healthy run");
+
+    // Corrupt every cache entry in place; the re-run must detect the bad
+    // checksums, recompute, and still agree with the first run.
+    let mut corrupted = 0;
+    if let Ok(entries) = std::fs::read_dir(&cache_dir) {
+        for e in entries.flatten() {
+            if e.path().extension().is_some_and(|x| x == "json") {
+                let _ = std::fs::write(e.path(), b"{\"truncated\": tru");
+                corrupted += 1;
+            }
+        }
+    }
+    check(corrupted > 0, "cache entries existed to corrupt");
+    let second = sweep::run_with(&batch, &opts);
+    check(
+        second.stats.cache_hits == 0,
+        "corrupt cache entries do not hit",
+    );
+    check(
+        second.results[0].as_ref().ok() == first.results[0].as_ref().ok(),
+        "healed result is bit-identical to the original",
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let report = Value::Object(vec![
+        ("suite".into(), Value::String("smoke-supervision".into())),
+        ("seed".into(), Value::UInt(seed)),
+        ("degraded".into(), Value::Bool(first.degraded)),
+        (
+            "quarantined".into(),
+            serde_json::to_value(&first.quarantined).expect("quarantine serializes"),
+        ),
+        ("audit_checks".into(), Value::UInt(audit_checks)),
+        ("checks_failed".into(), Value::UInt(failures.len() as u64)),
+    ]);
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, body + "\n").expect("write smoke-supervision file");
+    eprintln!("wrote {path}");
+    if !failures.is_empty() {
+        eprintln!(
+            "smoke-supervision: {} expectation(s) failed",
+            failures.len()
+        );
+        std::process::exit(1);
+    }
 }

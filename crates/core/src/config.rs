@@ -53,10 +53,36 @@ pub struct SystemConfig {
     /// way (see DESIGN.md, timing model); disable only to cross-check.
     #[serde(default = "default_skip_ahead")]
     pub skip_ahead: bool,
+    /// How many events may fire at a single simulated instant before the
+    /// stall watchdog declares the run stuck. A healthy batch is bounded by
+    /// the task count plus a handful of periodic events; six figures of
+    /// same-time events means something is rescheduling itself at zero
+    /// delay. Lower it in stress tests to exercise the stall path cheaply.
+    #[serde(default = "default_watchdog_limit")]
+    pub watchdog_same_time_limit: u64,
+    /// Enables the runtime invariant auditor: conservation-law checks
+    /// (time monotone, no lost/duplicated tasks, non-negative energy,
+    /// frequency caps honoured) every [`SystemConfig::audit_cadence`]
+    /// events, failing the run with a typed
+    /// [`bl_simcore::SimError::InvariantViolated`] at the point of
+    /// corruption. Off by default (it costs a census pass per cadence).
+    #[serde(default)]
+    pub audit: bool,
+    /// Events between invariant-audit passes when `audit` is on.
+    #[serde(default = "default_audit_cadence")]
+    pub audit_cadence: u64,
 }
 
 fn default_skip_ahead() -> bool {
     true
+}
+
+fn default_watchdog_limit() -> u64 {
+    100_000
+}
+
+fn default_audit_cadence() -> u64 {
+    bl_simcore::audit::DEFAULT_AUDIT_CADENCE
 }
 
 impl SystemConfig {
@@ -77,6 +103,9 @@ impl SystemConfig {
             fault_plan: FaultPlan::new(),
             thermal_enabled: false,
             skip_ahead: true,
+            watchdog_same_time_limit: default_watchdog_limit(),
+            audit: false,
+            audit_cadence: default_audit_cadence(),
         }
     }
 
@@ -166,6 +195,27 @@ impl SystemConfig {
         self
     }
 
+    /// Overrides the stall watchdog's same-instant event limit (default
+    /// 100 000). Stress tests lower it to exercise the stall path without
+    /// burning hundreds of thousands of iterations first.
+    pub fn with_watchdog_limit(mut self, limit: u64) -> Self {
+        self.watchdog_same_time_limit = limit;
+        self
+    }
+
+    /// Enables or disables the runtime invariant auditor.
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Sets how many events pass between invariant-audit passes (`0` is
+    /// clamped to 1 — audit on every event).
+    pub fn with_audit_cadence(mut self, cadence: u64) -> Self {
+        self.audit_cadence = cadence;
+        self
+    }
+
     /// Fixed-frequency configuration used by the architecture experiments:
     /// userspace governors pinning `little_khz` / `big_khz`, HMP off,
     /// screen off.
@@ -212,6 +262,37 @@ mod tests {
         assert_eq!(c.hmp.up_threshold, 550.0);
         assert_eq!(c.seed, 7);
         assert!(!c.screen_on);
+    }
+
+    #[test]
+    fn supervision_knobs_default_off_and_compose() {
+        let c = SystemConfig::baseline();
+        assert_eq!(c.watchdog_same_time_limit, 100_000);
+        assert!(!c.audit);
+        assert_eq!(c.audit_cadence, bl_simcore::audit::DEFAULT_AUDIT_CADENCE);
+        let c = c
+            .with_watchdog_limit(2_000)
+            .with_audit(true)
+            .with_audit_cadence(64);
+        assert_eq!(c.watchdog_same_time_limit, 2_000);
+        assert!(c.audit);
+        assert_eq!(c.audit_cadence, 64);
+        // Configs serialized before these knobs existed still deserialize
+        // to the defaults.
+        let serde_json::Value::Object(mut fields) =
+            serde_json::to_value(SystemConfig::baseline()).unwrap()
+        else {
+            panic!("config serializes to an object")
+        };
+        fields.retain(|(k, _)| {
+            !matches!(
+                k.as_str(),
+                "watchdog_same_time_limit" | "audit" | "audit_cadence"
+            )
+        });
+        let back: SystemConfig = serde_json::from_value(serde_json::Value::Object(fields)).unwrap();
+        assert_eq!(back.watchdog_same_time_limit, 100_000);
+        assert!(!back.audit);
     }
 
     #[test]

@@ -75,6 +75,9 @@ pub struct ResilienceStats {
     /// Governor samples dropped by stall faults.
     #[serde(default)]
     pub gov_samples_missed: u64,
+    /// Completed invariant-audit passes (0 when auditing is off).
+    #[serde(default)]
+    pub audit_checks: u64,
 }
 
 impl ResilienceStats {

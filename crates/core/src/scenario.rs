@@ -20,6 +20,7 @@ use bl_kernel::task::Affinity;
 use bl_platform::exynos::{exynos5422, exynos5422_equal_l2, exynos5422_tiny_floor};
 use bl_platform::ids::CpuId;
 use bl_platform::topology::Platform;
+use bl_simcore::budget::RunBudget;
 use bl_simcore::error::SimError;
 use bl_simcore::time::{SimDuration, SimTime};
 use bl_workloads::apps::AppModel;
@@ -223,9 +224,25 @@ impl Scenario {
     /// [`SimError::InvalidConfig`] for a `Spec` workload naming an unknown
     /// kernel or a `FirstAppDone` stop without any `App` workload.
     pub fn run(&self) -> Result<RunResult, SimError> {
+        self.run_with_budget(&RunBudget::unlimited())
+    }
+
+    /// [`Scenario::run`] under an execution budget: the wall-clock
+    /// deadline starts when the simulation is built, and the event loop
+    /// books every processed event against the cap / cancellation token.
+    /// The simulated results are bit-identical to an unbudgeted run that
+    /// stays inside the limits.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Scenario::run`] reports, plus
+    /// [`SimError::DeadlineExceeded`] / [`SimError::EventBudgetExhausted`]
+    /// when a limit is crossed.
+    pub fn run_with_budget(&self, budget: &RunBudget) -> Result<RunResult, SimError> {
         let mut sim = Simulation::builder()
             .platform(self.platform.build())
             .config(self.config.clone())
+            .budget(budget.clone())
             .build()?;
         let mut first_app: Option<&AppModel> = None;
         for w in &self.workloads {

@@ -12,6 +12,8 @@ use bl_platform::ids::{ClusterId, CoreKind, CpuId};
 use bl_platform::state::PlatformState;
 use bl_platform::topology::Platform;
 use bl_power::{ClusterThermal, CpuidleTable, PowerMeter, PowerModel, ThermalParams};
+use bl_simcore::audit::InvariantGuard;
+use bl_simcore::budget::{ArmedBudget, RunBudget};
 use bl_simcore::error::SimError;
 use bl_simcore::event::{EventQueue, QueueEntry};
 use bl_simcore::fault::{FaultEvent, FaultKind, FaultPlan};
@@ -37,12 +39,6 @@ enum Ev {
     /// fires.
     Fault(FaultEvent),
 }
-
-/// How many events may fire at a single simulated instant before the
-/// watchdog declares the run stalled. A healthy batch is bounded by the
-/// task count plus a handful of periodic events; six figures of same-time
-/// events means something is rescheduling itself at zero delay.
-const WATCHDOG_SAME_TIME_LIMIT: u64 = 100_000;
 
 /// Runtime state of the thermal subsystem: one RC node per cluster.
 #[derive(Debug)]
@@ -149,6 +145,11 @@ pub struct Simulation {
     gov_skip: Vec<u32>,
     /// Same-instant event counter feeding the stall watchdog.
     watchdog: u64,
+    /// Armed execution budget: wall-clock deadline, event cap and
+    /// cancellation token, booked per processed event.
+    budget: ArmedBudget,
+    /// Runtime invariant auditor, when [`SystemConfig::audit`] is on.
+    audit: Option<InvariantGuard>,
     resilience: ResilienceStats,
     // Reusable scratch buffers: the hot loop never allocates once warm.
     skip_stash: Vec<QueueEntry<Ev>>,
@@ -291,6 +292,7 @@ impl Simulation {
             resilience.peak_temp_c = rt.nodes.iter().map(|n| n.temp_c()).collect();
         }
         let n_cpus = platform.topology.n_cpus();
+        let audit = cfg.audit.then(|| InvariantGuard::new(cfg.audit_cadence));
         let mut sim = Simulation {
             meter: PowerMeter::starting_at(SimTime::ZERO, 0.0),
             rng: SimRng::seed_from(cfg.seed),
@@ -311,6 +313,8 @@ impl Simulation {
             thermal,
             gov_skip: vec![0; n_clusters],
             watchdog: 0,
+            budget: ArmedBudget::default(),
+            audit,
             resilience,
             skip_stash: Vec::new(),
             gov_fired: vec![None; n_clusters],
@@ -551,14 +555,22 @@ impl Simulation {
 
         while self.queue.peek_time() == Some(self.now) {
             self.watchdog += 1;
-            if self.watchdog > WATCHDOG_SAME_TIME_LIMIT {
+            if self.watchdog > self.cfg.watchdog_same_time_limit {
+                let stuck = match self.queue.peek() {
+                    Some(e) => format!("{:?}", e.event()),
+                    None => "<queue empty>".to_string(),
+                };
                 return Err(SimError::WatchdogStall {
                     at: self.now,
                     iterations: self.watchdog,
-                    detail: format!("{} events still queued", self.queue.len()),
+                    detail: format!(
+                        "{} events still queued; next stuck event: {stuck}",
+                        self.queue.len()
+                    ),
                 });
             }
             let (_, ev) = self.queue.pop().expect("peeked event");
+            self.budget.on_event(self.now)?;
             match ev {
                 Ev::Tick => {
                     let hw = Hw {
@@ -588,8 +600,32 @@ impl Simulation {
                 }
                 Ev::Fault(f) => self.apply_fault(f)?,
             }
+            if self.audit.as_mut().is_some_and(|g| g.due()) {
+                self.run_audit()?;
+            }
         }
         self.after_kernel_call();
+        Ok(())
+    }
+
+    /// One pass of the runtime invariant auditor: conservation-law checks
+    /// over the kernel's task census, the power meter and the per-cluster
+    /// frequency caps (see [`InvariantGuard`] for the invariant list).
+    fn run_audit(&mut self) -> Result<(), SimError> {
+        let census = self.kernel.census();
+        let reading = self.meter.reading(self.now);
+        let guard = self.audit.as_mut().expect("caller checked audit is on");
+        guard.check_time(self.now)?;
+        guard.check_task_conservation(self.now, census.spawned, census.runnable, census.queued)?;
+        guard.check_energy(self.now, reading.energy_mj, reading.current_mw)?;
+        for c in self.platform.topology.clusters() {
+            let freq = self.state.cluster_freq_khz(c.id);
+            let cap = self.state.freq_cap(c.id).unwrap_or(u32::MAX);
+            guard.check_freq_cap(self.now, c.id.0, freq, cap)?;
+        }
+        self.kernel.check_no_lost_tasks()?;
+        guard.pass_completed();
+        self.resilience.audit_checks += 1;
         Ok(())
     }
 
@@ -1023,6 +1059,35 @@ impl Simulation {
         self.meter.record(self.now, mw);
     }
 
+    /// Arms an execution budget for the run: wall-clock deadline,
+    /// simulated-event cap and/or cancellation token, enforced
+    /// cooperatively in the event loop. Call before running; the wall
+    /// clock starts now. Replaces any previously armed budget.
+    pub fn set_budget(&mut self, budget: &RunBudget) {
+        self.budget = budget.arm();
+    }
+
+    /// Simulated events booked against the current budget so far.
+    pub fn events_processed(&self) -> u64 {
+        self.budget.events()
+    }
+
+    /// Number of completed invariant-audit passes (0 when auditing is off).
+    pub fn audit_checks(&self) -> u64 {
+        self.audit.as_ref().map_or(0, |g| g.checks())
+    }
+
+    /// Test-only hook: corrupts the auditor's internal clock so its next
+    /// pass fails with [`SimError::InvariantViolated`] — proves broken
+    /// accounting is caught rather than silently propagated. No-op when
+    /// auditing is off.
+    #[doc(hidden)]
+    pub fn corrupt_audit_clock_for_test(&mut self) {
+        if let Some(g) = self.audit.as_mut() {
+            g.skew_clock_for_test();
+        }
+    }
+
     /// Enables per-sample time-series tracing (frequencies, active cores,
     /// power, migrations). Call before running; read with
     /// [`Simulation::trace`].
@@ -1175,6 +1240,7 @@ pub struct SimulationBuilder {
     platform: Option<Platform>,
     config: SystemConfig,
     tracing: bool,
+    budget: RunBudget,
 }
 
 impl SimulationBuilder {
@@ -1216,6 +1282,14 @@ impl SimulationBuilder {
         self
     }
 
+    /// Arms an execution budget (wall-clock deadline, event cap,
+    /// cancellation token) for the run. The wall clock starts when the
+    /// simulation is built.
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Builds the simulation.
     ///
     /// # Errors
@@ -1226,6 +1300,9 @@ impl SimulationBuilder {
         let mut sim = Simulation::try_with_platform(platform, self.config)?;
         if self.tracing {
             sim.enable_tracing();
+        }
+        if !self.budget.is_unlimited() {
+            sim.set_budget(&self.budget);
         }
         Ok(sim)
     }

@@ -1,7 +1,7 @@
-//! The parallel scenario-sweep engine.
+//! The parallel scenario-sweep engine and its crash-safe supervisor.
 //!
 //! Experiments submit batches of [`Scenario`]s; the engine executes them on
-//! a [`bl_simcore::pool`] worker pool with three guarantees:
+//! a [`bl_simcore::pool`] worker pool with these guarantees:
 //!
 //! * **Bit-identical to serial.** Each scenario builds its own fresh
 //!   [`crate::Simulation`] from its own serialized inputs, results are
@@ -10,36 +10,81 @@
 //!   `jobs = 1` and `jobs = 64` therefore produce the same `RunResult`s.
 //! * **Panic isolation.** A panicking scenario surfaces as
 //!   [`SimError::ScenarioPanicked`] in its slot; sibling scenarios complete.
-//! * **Result caching.** With a cache directory configured, each scenario's
-//!   serialized form (seed and fault plan included) plus the crate version
-//!   is hashed into a key under `results/.cache/`; re-running a sweep only
-//!   simulates scenarios whose inputs changed.
+//! * **Budgets.** A per-scenario wall-clock deadline and/or simulated-event
+//!   cap ([`SweepOptions::deadline`] / [`SweepOptions::max_events`]) is
+//!   enforced cooperatively inside the event loop, so one pathological
+//!   scenario cannot stall an hours-long sweep. Exhaustion surfaces as the
+//!   typed [`SimError::DeadlineExceeded`] /
+//!   [`SimError::EventBudgetExhausted`].
+//! * **Retry & quarantine.** Runtime failures (panic, stall, budget
+//!   exhaustion, invariant violation) are retried up to
+//!   [`SweepOptions::retries`] times with a perturbed seed
+//!   (`derive_seed(seed, attempt)`); scenarios that keep failing are
+//!   *quarantined* — their slot carries the final error, the sweep
+//!   completes, and [`SweepOutcome::degraded`] is raised instead of the
+//!   whole batch dying. Configuration errors are never retried.
+//! * **Crash-only journaling.** With [`SweepOptions::journal_dir`] set,
+//!   every completed scenario is appended to a checksummed write-ahead
+//!   journal (`<journal_dir>/<batch-key>.jsonl`, tmp+rename+fsync). A
+//!   killed sweep re-run with [`SweepOptions::resume`] replays completed
+//!   scenarios from the journal bit-identically and only simulates the
+//!   remainder.
+//! * **Result caching with integrity.** With a cache directory configured,
+//!   each scenario's serialized form plus the sweep's behavior-relevant
+//!   options (see [`cache_key_with`]) is hashed into a key under
+//!   `results/.cache/`. Entries carry an FNV-1a checksum over the payload;
+//!   corrupt or truncated entries are detected, deleted and recomputed
+//!   (self-healing) instead of poisoning downstream results.
 
 use crate::result::RunResult;
 use crate::scenario::Scenario;
+use bl_simcore::budget::RunBudget;
 use bl_simcore::error::SimError;
+use bl_simcore::journal::{fnv1a, fsync_dir, Journal};
 use bl_simcore::pool;
 use bl_simcore::rng::derive_seed;
 use serde::Serialize;
+use serde_json::Value;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The cache directory the `bench` binary uses by default.
 pub const DEFAULT_CACHE_DIR: &str = "results/.cache";
+
+/// The write-ahead journal directory the `bench` binary uses by default.
+pub const DEFAULT_JOURNAL_DIR: &str = "results/.sweep-journal";
 
 /// Keep the global per-scenario stats list bounded: callers that loop over
 /// sweeps without draining [`take_stats`] (e.g. criterion benchmarks) must
 /// not grow memory without bound.
 const PER_SCENARIO_CAP: usize = 4096;
 
-/// How a sweep executes: worker count and result cache location.
+/// How a sweep executes: worker count, result cache, per-scenario budgets,
+/// retry policy, journaling and auditing.
 #[derive(Debug, Clone, Default)]
 pub struct SweepOptions {
     /// Worker threads; `0` means "available parallelism".
     pub jobs: usize,
     /// Result cache directory; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Per-scenario wall-clock deadline; `None` means unlimited.
+    pub deadline: Option<Duration>,
+    /// Per-scenario simulated-event cap; `None` means unlimited.
+    pub max_events: Option<u64>,
+    /// Retries after a first failed attempt (0 = fail fast). Each retry
+    /// perturbs the scenario's seed with `derive_seed(seed, attempt)`.
+    pub retries: u32,
+    /// Forces the runtime invariant auditor on for every scenario in the
+    /// batch (see [`crate::SystemConfig::with_audit`]).
+    pub audit: bool,
+    /// Write-ahead journal directory; `None` disables journaling.
+    pub journal_dir: Option<PathBuf>,
+    /// Replay scenarios already completed in the batch's journal instead of
+    /// re-simulating them (bit-identical: the journaled `RunResult` is
+    /// returned verbatim). Requires [`SweepOptions::journal_dir`].
+    pub resume: bool,
 }
 
 impl SweepOptions {
@@ -47,7 +92,7 @@ impl SweepOptions {
     pub fn serial() -> Self {
         SweepOptions {
             jobs: 1,
-            cache_dir: None,
+            ..SweepOptions::default()
         }
     }
 
@@ -55,7 +100,7 @@ impl SweepOptions {
     pub fn with_jobs(jobs: usize) -> Self {
         SweepOptions {
             jobs,
-            cache_dir: None,
+            ..SweepOptions::default()
         }
     }
 
@@ -65,12 +110,60 @@ impl SweepOptions {
         self
     }
 
+    /// Sets the per-scenario wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the per-scenario simulated-event cap.
+    pub fn with_event_cap(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Sets how many times a failed scenario is retried with a reseed.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Forces the runtime invariant auditor on for the whole batch.
+    pub fn audited(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Enables the write-ahead sweep journal under `dir`.
+    pub fn journaled(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables resuming from the batch's journal.
+    pub fn resuming(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
     fn effective_jobs(&self) -> usize {
         if self.jobs == 0 {
             pool::available_jobs()
         } else {
             self.jobs
         }
+    }
+
+    /// The per-scenario execution budget these options imply.
+    fn budget(&self) -> RunBudget {
+        let mut b = RunBudget::unlimited();
+        if let Some(d) = self.deadline {
+            b = b.with_wall_limit(d);
+        }
+        if let Some(m) = self.max_events {
+            b = b.with_max_events(m);
+        }
+        b
     }
 }
 
@@ -83,15 +176,53 @@ pub struct ScenarioStats {
     pub wall_ms: f64,
     /// Whether the result came from the cache.
     pub cache_hit: bool,
+    /// Whether the result was replayed from the sweep journal.
+    pub resumed: bool,
+    /// Execution attempts made (0 when cached or resumed, 1 for a clean
+    /// first run, more when retries fired).
+    pub attempts: u32,
+}
+
+/// One execution attempt of one scenario within a sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct AttemptRecord {
+    /// Attempt number, starting at 0.
+    pub attempt: u32,
+    /// The seed the attempt ran with (attempt 0 uses the scenario's own
+    /// seed; retries perturb it with `derive_seed`).
+    pub seed: u64,
+    /// `None` on success; the error rendering otherwise.
+    pub error: Option<String>,
+}
+
+/// A scenario that kept failing after every retry and was quarantined.
+#[derive(Debug, Clone, Serialize)]
+pub struct QuarantineRecord {
+    /// The scenario's index in the submitted batch.
+    pub index: usize,
+    /// The scenario's label.
+    pub label: String,
+    /// Total attempts made before giving up.
+    pub attempts: u32,
+    /// The final error's rendering.
+    pub error: String,
 }
 
 /// Aggregated execution statistics of one or more sweeps.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct SweepStats {
-    /// Scenarios executed (or served from cache).
+    /// Scenarios executed (or served from cache / journal).
     pub scenarios: u64,
     /// Scenarios served from the cache.
     pub cache_hits: u64,
+    /// Scenarios replayed from the sweep journal.
+    pub resumed: u64,
+    /// Extra attempts spent on retries across the batch.
+    pub retries: u64,
+    /// Scenarios quarantined after exhausting their retries.
+    pub quarantined: u64,
+    /// Whether any scenario was retried or quarantined.
+    pub degraded: bool,
     /// Per-scenario timing, in submission order (bounded; oldest sweeps
     /// win when the global tally overflows [`PER_SCENARIO_CAP`]).
     pub per_scenario: Vec<ScenarioStats>,
@@ -101,6 +232,10 @@ impl SweepStats {
     fn merge(&mut self, other: &SweepStats) {
         self.scenarios += other.scenarios;
         self.cache_hits += other.cache_hits;
+        self.resumed += other.resumed;
+        self.retries += other.retries;
+        self.quarantined += other.quarantined;
+        self.degraded |= other.degraded;
         let room = PER_SCENARIO_CAP.saturating_sub(self.per_scenario.len());
         self.per_scenario
             .extend(other.per_scenario.iter().take(room).cloned());
@@ -112,6 +247,14 @@ impl SweepStats {
 pub struct SweepOutcome {
     /// Per-scenario results, in submission order.
     pub results: Vec<Result<RunResult, SimError>>,
+    /// Whether the sweep needed retries or quarantined scenarios — it
+    /// completed, but not cleanly.
+    pub degraded: bool,
+    /// Scenarios that kept failing and were quarantined.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Per-scenario attempt histories, in submission order (empty for
+    /// cached / resumed scenarios).
+    pub attempts: Vec<Vec<AttemptRecord>>,
     /// Execution statistics of this sweep alone.
     pub stats: SweepStats,
 }
@@ -122,6 +265,10 @@ pub struct SweepOutcome {
 static TALLY: Mutex<SweepStats> = Mutex::new(SweepStats {
     scenarios: 0,
     cache_hits: 0,
+    resumed: 0,
+    retries: 0,
+    quarantined: 0,
+    degraded: false,
     per_scenario: Vec::new(),
 });
 
@@ -155,70 +302,231 @@ pub fn run(scenarios: Vec<Scenario>, jobs: usize) -> Vec<Result<RunResult, SimEr
 /// returns results plus execution statistics. The statistics are also
 /// merged into the global tally read by [`take_stats`].
 pub fn run_with(scenarios: &[Scenario], opts: &SweepOptions) -> SweepOutcome {
-    let items: Vec<&Scenario> = scenarios.iter().collect();
-    let cache_dir = opts.cache_dir.as_deref();
-    let raw = pool::scoped_map(items, opts.effective_jobs(), |index, sc| {
-        let start = Instant::now();
-        let (result, cache_hit) = run_one(index, sc, cache_dir);
-        (result, cache_hit, start.elapsed().as_secs_f64() * 1e3)
+    // The supervisor runs the *effective* scenarios: the batch-level audit
+    // override is folded into each scenario's config up front, so cache
+    // keys, journal keys and execution all agree on what actually runs.
+    let effective: Vec<Scenario> = scenarios
+        .iter()
+        .map(|sc| effective_scenario(sc, opts))
+        .collect();
+    let keys: Vec<String> = effective
+        .iter()
+        .map(|sc| cache_key_with(sc, opts))
+        .collect();
+
+    let journal = open_journal(opts, &keys);
+    let resumed_map = match (&journal, opts.resume) {
+        (Some(j), true) => replay_journal(&j.lock().expect("journal poisoned")),
+        _ => HashMap::new(),
+    };
+
+    let items: Vec<usize> = (0..effective.len()).collect();
+    let raw = pool::scoped_map(items, opts.effective_jobs(), |_, index| {
+        supervise(
+            index,
+            &effective[index],
+            &keys[index],
+            opts,
+            journal.as_ref(),
+            &resumed_map,
+        )
     });
+
     let mut results = Vec::with_capacity(scenarios.len());
+    let mut attempts = Vec::with_capacity(scenarios.len());
+    let mut quarantined = Vec::new();
     let mut stats = SweepStats::default();
     for (index, slot) in raw.into_iter().enumerate() {
-        let (result, cache_hit, wall_ms) = match slot {
-            Ok(triple) => triple,
-            // A panic that escaped `run_one` (i.e. not one from the
-            // scenario itself, which `run_one` already catches — e.g. a
-            // cache I/O path panicking) still lands in the right slot.
-            Err(detail) => (
-                Err(SimError::ScenarioPanicked {
-                    index,
-                    label: scenarios[index].label.clone(),
-                    detail,
-                }),
-                false,
-                0.0,
-            ),
-        };
+        let sup = slot.unwrap_or_else(|detail| {
+            // A panic that escaped `supervise` (i.e. not one from the
+            // scenario itself, which is already caught — e.g. a cache I/O
+            // path panicking) still lands in the right slot.
+            Supervised::escaped(index, scenarios[index].label.clone(), detail)
+        });
         stats.scenarios += 1;
-        stats.cache_hits += u64::from(cache_hit);
+        stats.cache_hits += u64::from(sup.cache_hit);
+        stats.resumed += u64::from(sup.resumed);
+        stats.retries += sup.attempts.len().saturating_sub(1) as u64;
+        if let Err(e) = &sup.result {
+            stats.quarantined += 1;
+            quarantined.push(QuarantineRecord {
+                index,
+                label: scenarios[index].label.clone(),
+                attempts: sup.attempts.len() as u32,
+                error: e.to_string(),
+            });
+        }
         if stats.per_scenario.len() < PER_SCENARIO_CAP {
             stats.per_scenario.push(ScenarioStats {
                 label: scenarios[index].label.clone(),
-                wall_ms,
-                cache_hit,
+                wall_ms: sup.wall_ms,
+                cache_hit: sup.cache_hit,
+                resumed: sup.resumed,
+                attempts: sup.attempts.len() as u32,
             });
         }
-        results.push(result);
+        results.push(sup.result);
+        attempts.push(sup.attempts);
     }
+    stats.degraded = stats.quarantined > 0 || stats.retries > 0;
     TALLY.lock().expect("stats tally poisoned").merge(&stats);
-    SweepOutcome { results, stats }
+    SweepOutcome {
+        results,
+        degraded: stats.degraded,
+        quarantined,
+        attempts,
+        stats,
+    }
 }
 
-/// Executes one scenario with panic isolation and optional caching.
-fn run_one(
+/// What the supervisor learned about one scenario.
+struct Supervised {
+    result: Result<RunResult, SimError>,
+    cache_hit: bool,
+    resumed: bool,
+    attempts: Vec<AttemptRecord>,
+    wall_ms: f64,
+}
+
+impl Supervised {
+    fn escaped(index: usize, label: String, detail: String) -> Self {
+        Supervised {
+            result: Err(SimError::ScenarioPanicked {
+                index,
+                label,
+                detail,
+            }),
+            cache_hit: false,
+            resumed: false,
+            attempts: Vec::new(),
+            wall_ms: 0.0,
+        }
+    }
+}
+
+/// Supervises one scenario: journal replay, cache lookup, then up to
+/// `1 + retries` budgeted attempts with reseeding, journaling the final
+/// result on success.
+fn supervise(
     index: usize,
     sc: &Scenario,
-    cache_dir: Option<&Path>,
-) -> (Result<RunResult, SimError>, bool) {
-    let path = cache_dir.map(|d| d.join(format!("{}.json", cache_key(sc))));
-    if let Some(hit) = path.as_deref().and_then(cache_read) {
-        return (Ok(hit), true);
+    key: &str,
+    opts: &SweepOptions,
+    journal: Option<&Mutex<Journal>>,
+    resumed_map: &HashMap<String, RunResult>,
+) -> Supervised {
+    let start = Instant::now();
+    if let Some(r) = resumed_map.get(key) {
+        return Supervised {
+            result: Ok(r.clone()),
+            cache_hit: false,
+            resumed: true,
+            attempts: Vec::new(),
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        };
     }
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sc.run()))
-        .unwrap_or_else(|payload| {
-            Err(SimError::ScenarioPanicked {
-                index,
-                label: sc.label.clone(),
-                // `as_ref()`, not `&payload`: `&Box<dyn Any>` would itself
-                // coerce to `&dyn Any` and hide the payload from downcasts.
-                detail: panic_detail(payload.as_ref()),
-            })
+    // Write-ahead: announce the scenario before running it, so a resumed
+    // sweep can tell "in flight when killed" from "never started".
+    journal_append(journal, start_record(index, key, &sc.label));
+    let cache_path = opts
+        .cache_dir
+        .as_deref()
+        .map(|d| d.join(format!("{key}.json")));
+    if let Some(hit) = cache_path.as_deref().and_then(cache_read_checked) {
+        journal_append(journal, done_record(key, &hit));
+        return Supervised {
+            result: Ok(hit),
+            cache_hit: true,
+            resumed: false,
+            attempts: Vec::new(),
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        };
+    }
+
+    let budget = opts.budget();
+    let mut attempts = Vec::new();
+    let mut result = loop {
+        let attempt = attempts.len() as u32;
+        let seed = if attempt == 0 {
+            sc.config.seed
+        } else {
+            derive_seed(sc.config.seed, u64::from(attempt))
+        };
+        let outcome = run_attempt(index, sc, seed, &budget);
+        attempts.push(AttemptRecord {
+            attempt,
+            seed,
+            error: outcome.as_ref().err().map(|e| e.to_string()),
         });
-    if let (Some(p), Ok(r)) = (path.as_deref(), &result) {
-        cache_write(p, index, r);
+        match outcome {
+            Ok(r) => break Ok(r),
+            Err(e) => {
+                let out_of_attempts = attempt >= opts.retries;
+                if out_of_attempts || !is_retryable(&e) {
+                    break Err(e);
+                }
+            }
+        }
+    };
+    if let Ok(r) = &mut result {
+        if let Some(p) = cache_path.as_deref() {
+            cache_write(p, index, r);
+        }
+        journal_append(journal, done_record(key, r));
     }
-    (result, false)
+    Supervised {
+        result,
+        cache_hit: false,
+        resumed: false,
+        attempts,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Executes one attempt with panic isolation, overriding the seed for
+/// retries.
+fn run_attempt(
+    index: usize,
+    sc: &Scenario,
+    seed: u64,
+    budget: &RunBudget,
+) -> Result<RunResult, SimError> {
+    let reseeded;
+    let sc_ref = if seed == sc.config.seed {
+        sc
+    } else {
+        let mut copy = sc.clone();
+        copy.config.seed = seed;
+        reseeded = copy;
+        &reseeded
+    };
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sc_ref.run_with_budget(budget)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(SimError::ScenarioPanicked {
+            index,
+            label: sc.label.clone(),
+            // `as_ref()`, not `&payload`: `&Box<dyn Any>` would itself
+            // coerce to `&dyn Any` and hide the payload from downcasts.
+            detail: panic_detail(payload.as_ref()),
+        })
+    })
+}
+
+/// Whether a reseeded retry has any chance of changing the outcome.
+/// Configuration-class errors are deterministic in the scenario's inputs,
+/// so retrying them only wastes a simulation run.
+fn is_retryable(e: &SimError) -> bool {
+    matches!(
+        e,
+        SimError::WatchdogStall { .. }
+            | SimError::TaskLost { .. }
+            | SimError::ScenarioPanicked { .. }
+            | SimError::DeadlineExceeded { .. }
+            | SimError::EventBudgetExhausted { .. }
+            | SimError::InvariantViolated { .. }
+    )
 }
 
 fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
@@ -259,6 +567,16 @@ pub fn seed_scenarios(scenarios: &mut [Scenario], base_seed: u64) {
     }
 }
 
+/// The scenario as the sweep will actually run it: batch-level option
+/// overrides (currently the audit flag) folded into its config.
+fn effective_scenario(sc: &Scenario, opts: &SweepOptions) -> Scenario {
+    let mut sc = sc.clone();
+    if opts.audit {
+        sc.config.audit = true;
+    }
+    sc
+}
+
 /// The cache key of a scenario: a 64-bit FNV-1a hash (16 hex digits) over
 /// its canonical JSON serialization plus the crate version. The JSON form
 /// covers the platform preset, full [`crate::SystemConfig`] (seed and
@@ -266,29 +584,135 @@ pub fn seed_scenarios(scenarios: &mut [Scenario], base_seed: u64) {
 /// changes the key; the version guard invalidates the cache whenever the
 /// simulator itself may have changed.
 pub fn cache_key(sc: &Scenario) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for b in bytes {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
     let json = serde_json::to_string(sc).expect("scenario serialization is infallible");
-    eat(json.as_bytes());
-    eat(b"\0");
-    eat(env!("CARGO_PKG_VERSION").as_bytes());
-    format!("{h:016x}")
+    let mut data = json.into_bytes();
+    data.push(0);
+    data.extend_from_slice(env!("CARGO_PKG_VERSION").as_bytes());
+    format!("{:016x}", fnv1a(&data))
 }
 
-/// Reads a cached result; any I/O or parse failure is a miss.
-fn cache_read(path: &Path) -> Option<RunResult> {
+/// [`cache_key`] extended with the sweep options' behavior-relevant
+/// feature set, so results computed under different supervision features
+/// (today: the audit override) never alias in the cache. Options that
+/// cannot change simulated results — jobs, deadlines, retries, journaling
+/// — deliberately do *not* enter the key.
+pub fn cache_key_with(sc: &Scenario, opts: &SweepOptions) -> String {
+    let json = serde_json::to_string(sc).expect("scenario serialization is infallible");
+    let mut data = json.into_bytes();
+    data.push(0);
+    data.extend_from_slice(env!("CARGO_PKG_VERSION").as_bytes());
+    data.push(0);
+    data.extend_from_slice(format!("features:audit={}", opts.audit).as_bytes());
+    format!("{:016x}", fnv1a(&data))
+}
+
+/// The batch key identifying a submitted batch in the journal directory:
+/// an FNV-1a hash over every scenario's cache key in submission order.
+pub fn batch_key(keys: &[String]) -> String {
+    let mut data = Vec::new();
+    for k in keys {
+        data.extend_from_slice(k.as_bytes());
+        data.push(b'\n');
+    }
+    format!("{:016x}", fnv1a(&data))
+}
+
+// ---- journal ---------------------------------------------------------------
+
+/// Opens the batch's write-ahead journal when journaling is configured.
+/// Open failures degrade to "no journal": the sweep itself must never die
+/// on supervision I/O.
+fn open_journal(opts: &SweepOptions, keys: &[String]) -> Option<Mutex<Journal>> {
+    let dir = opts.journal_dir.as_deref()?;
+    let path = dir.join(format!("{}.jsonl", batch_key(keys)));
+    Journal::open(path, opts.resume).ok().map(Mutex::new)
+}
+
+/// Collects the journal's completed scenarios as `cache key → result`.
+fn replay_journal(journal: &Journal) -> HashMap<String, RunResult> {
+    let mut map = HashMap::new();
+    for line in journal.records() {
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            continue;
+        };
+        if v.get("ev").and_then(Value::as_str) != Some("done") {
+            continue;
+        }
+        let Some(key) = v.get("key").and_then(Value::as_str) else {
+            continue;
+        };
+        let Some(result) = v.get("result") else {
+            continue;
+        };
+        if let Ok(r) = serde_json::from_value::<RunResult>(result.clone()) {
+            map.insert(key.to_string(), r);
+        }
+    }
+    map
+}
+
+fn journal_append(journal: Option<&Mutex<Journal>>, payload: String) {
+    if let Some(j) = journal {
+        if let Ok(mut j) = j.lock() {
+            // Journal failures are tolerated: supervision I/O must never
+            // kill the sweep it protects.
+            let _ = j.append(&payload);
+        }
+    }
+}
+
+fn start_record(index: usize, key: &str, label: &str) -> String {
+    let v = Value::Object(vec![
+        ("ev".to_string(), Value::String("start".to_string())),
+        ("index".to_string(), Value::UInt(index as u64)),
+        ("key".to_string(), Value::String(key.to_string())),
+        ("label".to_string(), Value::String(label.to_string())),
+    ]);
+    serde_json::to_string(&v).expect("journal record serialization is infallible")
+}
+
+fn done_record(key: &str, result: &RunResult) -> String {
+    let v = Value::Object(vec![
+        ("ev".to_string(), Value::String("done".to_string())),
+        ("key".to_string(), Value::String(key.to_string())),
+        (
+            "result".to_string(),
+            serde_json::to_value(result).expect("result serialization is infallible"),
+        ),
+    ]);
+    serde_json::to_string(&v).expect("journal record serialization is infallible")
+}
+
+// ---- cache -----------------------------------------------------------------
+
+/// Reads a cached result, verifying its integrity checksum. Entries are
+/// framed as `<16-hex FNV-1a of payload>\n<payload JSON>\n`; a missing
+/// file is a plain miss, while a corrupt, truncated or legacy-format entry
+/// is deleted on sight (self-healing) and recomputed by the caller. An
+/// entry path occupied by a directory is tolerated as a miss.
+fn cache_read_checked(path: &Path) -> Option<RunResult> {
     let text = std::fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
+    let parsed = (|| {
+        let (sum, payload) = text.split_once('\n')?;
+        let payload = payload.strip_suffix('\n').unwrap_or(payload);
+        if sum.len() != 16 || u64::from_str_radix(sum, 16) != Ok(fnv1a(payload.as_bytes())) {
+            return None;
+        }
+        serde_json::from_str::<RunResult>(payload).ok()
+    })();
+    if parsed.is_none() {
+        // The file exists but does not verify: heal by deleting it so the
+        // recomputed entry replaces it.
+        let _ = std::fs::remove_file(path);
+    }
+    parsed
 }
 
-/// Writes a result via a temp file + rename so concurrent readers never
-/// observe a partial entry. Failures are ignored: the cache is an
-/// optimization, never a correctness dependency.
+/// Writes a checksummed result entry via a temp file + rename (so
+/// concurrent readers never observe a partial entry), then fsyncs the
+/// cache directory so the rename itself survives a crash. Failures are
+/// ignored — including the cache path being occupied by a regular file —
+/// because the cache is an optimization, never a correctness dependency.
 fn cache_write(path: &Path, index: usize, result: &RunResult) {
     let Some(dir) = path.parent() else { return };
     if std::fs::create_dir_all(dir).is_err() {
@@ -298,8 +722,13 @@ fn cache_write(path: &Path, index: usize, result: &RunResult) {
     let Ok(json) = serde_json::to_string(result) else {
         return;
     };
-    if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, path).is_err() {
-        let _ = std::fs::remove_file(&tmp);
+    let framed = format!("{:016x}\n{json}\n", fnv1a(json.as_bytes()));
+    if std::fs::write(&tmp, framed).is_ok() {
+        if std::fs::rename(&tmp, path).is_ok() {
+            fsync_dir(dir);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
     }
 }
 
@@ -321,6 +750,13 @@ mod tests {
         )
     }
 
+    fn temp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("bl-sweep-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
     #[test]
     fn cache_key_is_stable_and_input_sensitive() {
         let a = mb("a", 0.25);
@@ -332,6 +768,26 @@ mod tests {
         // The label is part of the spec too (it is serialized).
         let c = mb("c", 0.25);
         assert_ne!(cache_key(&a), cache_key(&c));
+    }
+
+    #[test]
+    fn cache_key_is_sensitive_to_option_features() {
+        let sc = mb("a", 0.25);
+        let plain = cache_key_with(&sc, &SweepOptions::default());
+        let audited = cache_key_with(&sc, &SweepOptions::default().audited(true));
+        assert_ne!(plain, audited, "the audit override must change the key");
+        // Options that cannot change simulated results do not.
+        let budgeted = cache_key_with(
+            &sc,
+            &SweepOptions::with_jobs(7)
+                .with_deadline(Duration::from_secs(1))
+                .with_retries(3),
+        );
+        assert_eq!(plain, budgeted);
+        // The config's own feature flags enter through the serialized form.
+        let mut no_skip = sc.clone();
+        no_skip.config.skip_ahead = false;
+        assert_ne!(plain, cache_key_with(&no_skip, &SweepOptions::default()));
     }
 
     #[test]
@@ -356,5 +812,122 @@ mod tests {
         // Higher duty on the same pinned CPU burns more power.
         assert!(out[0].avg_power_mw < out[1].avg_power_mw);
         assert!(out[1].avg_power_mw < out[2].avg_power_mw);
+    }
+
+    #[test]
+    fn panicking_scenario_is_retried_then_quarantined() {
+        // duty = 2.0 violates MicroBench's input contract and panics at
+        // spawn time on every attempt — a data-driven always-failing
+        // scenario.
+        let batch = vec![mb("ok", 0.3), mb("panics", 2.0)];
+        let out = run_with(&batch, &SweepOptions::serial().with_retries(2));
+        assert!(out.results[0].is_ok());
+        assert!(matches!(
+            out.results[1],
+            Err(SimError::ScenarioPanicked { .. })
+        ));
+        assert!(out.degraded);
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].label, "panics");
+        assert_eq!(out.quarantined[0].attempts, 3, "1 attempt + 2 retries");
+        assert_eq!(out.attempts[1].len(), 3);
+        // Retries perturbed the seed.
+        assert_ne!(out.attempts[1][0].seed, out.attempts[1][1].seed);
+        assert_eq!(out.stats.retries, 2);
+        assert_eq!(out.stats.quarantined, 1);
+    }
+
+    #[test]
+    fn config_errors_are_not_retried() {
+        use crate::scenario::StopWhen;
+        let sc = mb("no-app", 0.5).with_stop(StopWhen::FirstAppDone);
+        let out = run_with(&[sc], &SweepOptions::serial().with_retries(5));
+        assert!(matches!(
+            out.results[0],
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert_eq!(out.attempts[0].len(), 1, "config errors fail fast");
+        assert_eq!(out.stats.retries, 0);
+    }
+
+    #[test]
+    fn event_cap_surfaces_as_typed_error() {
+        let out = run_with(
+            &[mb("capped", 0.5)],
+            &SweepOptions::serial().with_event_cap(3),
+        );
+        assert!(matches!(
+            out.results[0],
+            Err(SimError::EventBudgetExhausted { budget: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_cache_entry_self_heals() {
+        let dir = temp_dir("self-heal");
+        let sc = mb("heal", 0.4);
+        let opts = SweepOptions::serial().cached(&dir);
+        let first = run_with(std::slice::from_ref(&sc), &opts);
+        let clean = first.results[0].as_ref().unwrap().clone();
+        let entry = dir.join(format!("{}.json", cache_key_with(&sc, &opts)));
+        assert!(entry.exists());
+
+        // Truncate the entry mid-payload: the checksum no longer verifies.
+        let text = std::fs::read_to_string(&entry).unwrap();
+        std::fs::write(&entry, &text[..text.len() / 2]).unwrap();
+        let second = run_with(std::slice::from_ref(&sc), &opts);
+        assert_eq!(second.stats.cache_hits, 0, "corrupt entry must not hit");
+        assert_eq!(second.results[0].as_ref().unwrap(), &clean);
+        // ... and the entry was rewritten, valid again.
+        let third = run_with(std::slice::from_ref(&sc), &opts);
+        assert_eq!(third.stats.cache_hits, 1);
+        assert_eq!(third.results[0].as_ref().unwrap(), &clean);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_tolerates_path_type_mismatches() {
+        let dir = temp_dir("mismatch");
+        let sc = mb("dirclash", 0.4);
+        let opts = SweepOptions::serial().cached(&dir);
+        // The entry's path is occupied by a directory: read misses, write
+        // fails silently, the sweep still completes.
+        let entry = dir.join(format!("{}.json", cache_key_with(&sc, &opts)));
+        std::fs::create_dir_all(&entry).unwrap();
+        let out = run_with(std::slice::from_ref(&sc), &opts);
+        assert!(out.results[0].is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // The cache dir itself is a regular file: caching is skipped.
+        let file_dir =
+            std::env::temp_dir().join(format!("bl-sweep-{}-cache-is-a-file", std::process::id()));
+        let _ = std::fs::remove_dir_all(&file_dir);
+        let _ = std::fs::remove_file(&file_dir);
+        std::fs::write(&file_dir, b"not a directory").unwrap();
+        let out = run_with(
+            std::slice::from_ref(&sc),
+            &SweepOptions::serial().cached(&file_dir),
+        );
+        assert!(out.results[0].is_ok());
+        let _ = std::fs::remove_file(&file_dir);
+    }
+
+    #[test]
+    fn journal_resume_replays_completed_scenarios() {
+        let dir = temp_dir("resume");
+        let batch = vec![mb("j1", 0.2), mb("j2", 0.6)];
+        let opts = SweepOptions::serial().journaled(&dir);
+        let first = run_with(&batch, &opts);
+        assert_eq!(first.stats.resumed, 0);
+
+        let resumed = run_with(&batch, &opts.clone().resuming(true));
+        assert_eq!(resumed.stats.resumed, 2, "both results replayed");
+        for (a, b) in first.results.iter().zip(&resumed.results) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        // Without --resume the journal is truncated and everything re-runs.
+        let fresh = run_with(&batch, &opts);
+        assert_eq!(fresh.stats.resumed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -111,6 +111,21 @@ pub struct TaskReportRow {
     pub state: TaskState,
 }
 
+/// Task-conservation snapshot returned by [`Kernel::census`]: the raw
+/// numbers the runtime invariant auditor checks against each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskCensus {
+    /// Tasks ever spawned (including exited) — may only grow.
+    pub spawned: usize,
+    /// Tasks currently in [`TaskState::Runnable`].
+    pub runnable: usize,
+    /// Task slots occupied across all runqueues (current + waiting).
+    /// Equals `runnable` when no task is lost or duplicated.
+    pub queued: usize,
+    /// Tasks that have exited.
+    pub exited: usize,
+}
+
 /// A request from the kernel to the driver to schedule a wake timer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WakeRequest {
@@ -923,6 +938,32 @@ impl Kernel {
     /// Number of spawned tasks (including exited).
     pub fn n_tasks(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// Snapshot of the scheduler's task conservation state — the audit
+    /// hook behind the runtime invariant auditor. Cheap (one pass over
+    /// tasks and runqueues) so it can run at a high event cadence.
+    pub fn census(&self) -> TaskCensus {
+        let mut runnable = 0;
+        let mut exited = 0;
+        for t in &self.tasks {
+            match t.state {
+                TaskState::Runnable => runnable += 1,
+                TaskState::Exited => exited += 1,
+                TaskState::Sleeping | TaskState::Blocked => {}
+            }
+        }
+        let queued = self
+            .rqs
+            .iter()
+            .map(|rq| rq.current().iter().count() + rq.waiting().len())
+            .sum();
+        TaskCensus {
+            spawned: self.tasks.len(),
+            runnable,
+            queued,
+            exited,
+        }
     }
 
     /// True when every task has exited.

@@ -32,7 +32,7 @@ pub mod runqueue;
 pub mod task;
 
 pub use hmp::HmpParams;
-pub use kernel::{Kernel, KernelConfig};
+pub use kernel::{Kernel, KernelConfig, TaskCensus};
 pub use load::LoadTracker;
 pub use policy::AsymPolicy;
 pub use task::{Affinity, AppSignal, BehaviorCtx, Step, TaskBehavior, TaskId, TaskState};

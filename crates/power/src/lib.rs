@@ -25,6 +25,6 @@ pub mod model;
 pub mod thermal;
 
 pub use cpuidle::{CpuidleTable, IdleState};
-pub use meter::PowerMeter;
+pub use meter::{MeterReading, PowerMeter};
 pub use model::{PowerModel, PowerParams};
 pub use thermal::{ClusterThermal, ThermalParams};

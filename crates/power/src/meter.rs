@@ -53,6 +53,24 @@ impl PowerMeter {
     pub fn energy_mj(&self, now: SimTime) -> f64 {
         self.acc.integral_at(now)
     }
+
+    /// One consistent snapshot of the meter — the audit hook behind the
+    /// runtime invariant auditor's energy-conservation checks.
+    pub fn reading(&self, now: SimTime) -> MeterReading {
+        MeterReading {
+            current_mw: self.current_mw(),
+            energy_mj: self.energy_mj(now),
+        }
+    }
+}
+
+/// Snapshot returned by [`PowerMeter::reading`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeterReading {
+    /// The most recent instantaneous power in mW.
+    pub current_mw: f64,
+    /// The energy integral in mJ up to the snapshot instant.
+    pub energy_mj: f64,
 }
 
 #[cfg(test)]

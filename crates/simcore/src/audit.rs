@@ -1,0 +1,303 @@
+//! Opt-in runtime invariant auditing.
+//!
+//! [`InvariantGuard`] checks the simulator's conservation laws at a
+//! configurable event cadence while a run executes:
+//!
+//! * **time-monotone** — simulated time never decreases;
+//! * **task-conservation** — no task is lost or duplicated across
+//!   runqueues (spawned counts only grow, and every runnable task is
+//!   queued exactly once);
+//! * **energy-monotone** — instantaneous power is never negative and the
+//!   energy integral never decreases;
+//! * **freq-cap** — the applied OPP of a cluster never exceeds its
+//!   (thermal) frequency cap.
+//!
+//! The guard is deliberately substrate-agnostic: it consumes plain numbers
+//! handed to it by the simulation driver (which reads them through audit
+//! hooks on the kernel and power layers), so it lives here in `bl-simcore`
+//! and is unit-testable without a full machine model. A violated invariant
+//! becomes a typed [`SimError::InvariantViolated`] carrying the observed
+//! and expected values — the run fails at the point of corruption instead
+//! of emitting downstream garbage.
+
+use crate::error::SimError;
+use crate::time::SimTime;
+
+/// Default audit cadence: one full check pass every this many events.
+pub const DEFAULT_AUDIT_CADENCE: u64 = 256;
+
+/// Stateful checker for the simulator's conservation laws.
+#[derive(Debug, Clone)]
+pub struct InvariantGuard {
+    cadence: u64,
+    events_since_check: u64,
+    last_time: SimTime,
+    last_energy_mj: f64,
+    last_spawned: usize,
+    checks: u64,
+}
+
+impl InvariantGuard {
+    /// Creates a guard checking every `cadence` events (`0` is clamped
+    /// to 1: check on every event).
+    pub fn new(cadence: u64) -> Self {
+        InvariantGuard {
+            cadence: cadence.max(1),
+            events_since_check: 0,
+            last_time: SimTime::ZERO,
+            last_energy_mj: 0.0,
+            last_spawned: 0,
+            checks: 0,
+        }
+    }
+
+    /// Books one event; true when a full check pass is due.
+    pub fn due(&mut self) -> bool {
+        self.events_since_check += 1;
+        if self.events_since_check >= self.cadence {
+            self.events_since_check = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of completed check passes (reported in run telemetry).
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Marks one full check pass as completed.
+    pub fn pass_completed(&mut self) {
+        self.checks += 1;
+    }
+
+    /// Simulated time must never decrease.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvariantViolated`] (`time-monotone`) when `now` is
+    /// earlier than the previously observed instant.
+    pub fn check_time(&mut self, now: SimTime) -> Result<(), SimError> {
+        if now < self.last_time {
+            return Err(violation(
+                now,
+                "time-monotone",
+                format!(
+                    "simulated time ran backwards: now={} ns < last-observed={} ns",
+                    now.as_nanos(),
+                    self.last_time.as_nanos()
+                ),
+            ));
+        }
+        self.last_time = now;
+        Ok(())
+    }
+
+    /// No task may be lost or duplicated: the spawned count only grows and
+    /// every runnable task sits on exactly one runqueue (so the number of
+    /// queued tasks equals the number of runnable tasks).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvariantViolated`] (`task-conservation`) on a census
+    /// mismatch.
+    pub fn check_task_conservation(
+        &mut self,
+        now: SimTime,
+        spawned: usize,
+        runnable: usize,
+        queued: usize,
+    ) -> Result<(), SimError> {
+        if spawned < self.last_spawned {
+            return Err(violation(
+                now,
+                "task-conservation",
+                format!(
+                    "spawned task count shrank: {spawned} < previously observed {}",
+                    self.last_spawned
+                ),
+            ));
+        }
+        self.last_spawned = spawned;
+        if queued != runnable {
+            return Err(violation(
+                now,
+                "task-conservation",
+                format!(
+                    "{queued} tasks queued across runqueues but {runnable} runnable \
+                     (every runnable task must be queued exactly once)"
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Power must be non-negative and the energy integral non-decreasing.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvariantViolated`] (`energy-monotone`) on a negative
+    /// instantaneous reading or a shrinking integral.
+    pub fn check_energy(
+        &mut self,
+        now: SimTime,
+        energy_mj: f64,
+        current_mw: f64,
+    ) -> Result<(), SimError> {
+        if !current_mw.is_finite() || current_mw < 0.0 {
+            return Err(violation(
+                now,
+                "energy-monotone",
+                format!("instantaneous power is {current_mw} mW (must be finite and >= 0)"),
+            ));
+        }
+        // A small absolute slack absorbs floating-point accumulation noise
+        // in the time-weighted integral.
+        if !energy_mj.is_finite() || energy_mj + 1e-9 < self.last_energy_mj {
+            return Err(violation(
+                now,
+                "energy-monotone",
+                format!(
+                    "energy integral shrank: {energy_mj} mJ < previously observed {} mJ",
+                    self.last_energy_mj
+                ),
+            ));
+        }
+        self.last_energy_mj = energy_mj.max(self.last_energy_mj);
+        Ok(())
+    }
+
+    /// A cluster's applied OPP must respect its frequency cap.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvariantViolated`] (`freq-cap`) when `freq_khz`
+    /// exceeds `cap_khz`.
+    pub fn check_freq_cap(
+        &self,
+        now: SimTime,
+        cluster: usize,
+        freq_khz: u32,
+        cap_khz: u32,
+    ) -> Result<(), SimError> {
+        if freq_khz > cap_khz {
+            return Err(violation(
+                now,
+                "freq-cap",
+                format!("cluster {cluster} runs at {freq_khz} kHz above its cap of {cap_khz} kHz"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Test-only hook: corrupts the guard's notion of the last observed
+    /// time so the next [`InvariantGuard::check_time`] fails — used to
+    /// prove a deliberately broken accounting path is caught as
+    /// [`SimError::InvariantViolated`].
+    #[doc(hidden)]
+    pub fn skew_clock_for_test(&mut self) {
+        self.last_time = SimTime::MAX;
+    }
+}
+
+impl Default for InvariantGuard {
+    fn default() -> Self {
+        InvariantGuard::new(DEFAULT_AUDIT_CADENCE)
+    }
+}
+
+fn violation(at: SimTime, invariant: &str, detail: String) -> SimError {
+    SimError::InvariantViolated {
+        at,
+        invariant: invariant.to_string(),
+        detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_violates(result: Result<(), SimError>, expected_invariant: &str) {
+        match result.unwrap_err() {
+            SimError::InvariantViolated { invariant, .. } => {
+                assert_eq!(invariant, expected_invariant)
+            }
+            other => panic!("expected InvariantViolated, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cadence_spaces_check_passes() {
+        let mut g = InvariantGuard::new(4);
+        let due: Vec<bool> = (0..8).map(|_| g.due()).collect();
+        assert_eq!(due, [false, false, false, true, false, false, false, true]);
+        // Cadence 0 clamps to every-event checking.
+        let mut every = InvariantGuard::new(0);
+        assert!(every.due());
+        assert!(every.due());
+    }
+
+    #[test]
+    fn time_must_be_monotone() {
+        let mut g = InvariantGuard::default();
+        g.check_time(SimTime::from_millis(5)).unwrap();
+        g.check_time(SimTime::from_millis(5)).unwrap(); // equal is fine
+        assert_violates(g.check_time(SimTime::from_millis(4)), "time-monotone");
+    }
+
+    #[test]
+    fn task_census_must_conserve() {
+        let mut g = InvariantGuard::default();
+        g.check_task_conservation(SimTime::ZERO, 3, 2, 2).unwrap();
+        // A task duplicated onto two runqueues.
+        assert_violates(
+            g.check_task_conservation(SimTime::ZERO, 3, 2, 3),
+            "task-conservation",
+        );
+        // A lost task.
+        assert_violates(
+            g.check_task_conservation(SimTime::ZERO, 3, 2, 1),
+            "task-conservation",
+        );
+        // The spawned count shrinking.
+        assert_violates(
+            g.check_task_conservation(SimTime::ZERO, 2, 2, 2),
+            "task-conservation",
+        );
+    }
+
+    #[test]
+    fn energy_must_not_shrink_or_go_negative() {
+        let mut g = InvariantGuard::default();
+        g.check_energy(SimTime::ZERO, 10.0, 500.0).unwrap();
+        assert_violates(g.check_energy(SimTime::ZERO, 9.0, 500.0), "energy-monotone");
+        let mut g = InvariantGuard::default();
+        assert_violates(g.check_energy(SimTime::ZERO, 0.0, -1.0), "energy-monotone");
+        let mut g = InvariantGuard::default();
+        assert_violates(
+            g.check_energy(SimTime::ZERO, f64::NAN, 0.0),
+            "energy-monotone",
+        );
+    }
+
+    #[test]
+    fn applied_opp_must_respect_cap() {
+        let g = InvariantGuard::default();
+        g.check_freq_cap(SimTime::ZERO, 1, 1_400_000, 1_400_000)
+            .unwrap();
+        assert_violates(
+            g.check_freq_cap(SimTime::ZERO, 1, 1_800_000, 1_400_000),
+            "freq-cap",
+        );
+    }
+
+    #[test]
+    fn skewed_clock_is_caught() {
+        let mut g = InvariantGuard::default();
+        g.check_time(SimTime::from_secs(1)).unwrap();
+        g.skew_clock_for_test();
+        assert_violates(g.check_time(SimTime::from_secs(2)), "time-monotone");
+    }
+}

@@ -1,0 +1,240 @@
+//! Per-run execution budgets and cooperative cancellation.
+//!
+//! A [`RunBudget`] bounds how much a single simulation run may consume: a
+//! **wall-clock limit** (so one pathological scenario cannot stall an
+//! hours-long sweep), a **simulated-event cap** (the deterministic variant —
+//! a runaway scenario fails identically on every host), and an optional
+//! shared [`CancelToken`] that an external supervisor can trip.
+//!
+//! Enforcement is cooperative: the simulation's event loop arms the budget
+//! once ([`RunBudget::arm`]) and then calls [`ArmedBudget::on_event`] for
+//! every event it processes. The event cap is checked on every call; the
+//! wall clock and the token are polled every
+//! [`WALL_CHECK_INTERVAL`] events so the hot loop never
+//! pays a syscall per event. Exhaustion surfaces as the typed
+//! [`SimError::DeadlineExceeded`] / [`SimError::EventBudgetExhausted`]
+//! errors a sweep supervisor can classify, retry or quarantine.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::SimError;
+use crate::time::SimTime;
+
+/// How many events pass between wall-clock / cancellation polls. A power of
+/// two so the check compiles to a mask test.
+pub const WALL_CHECK_INTERVAL: u64 = 512;
+
+/// A shared flag that cancels a running simulation cooperatively.
+///
+/// Clone it, hand one copy to [`RunBudget::cancelled_by`], keep the other,
+/// and call [`CancelToken::cancel`] from any thread; the run fails with
+/// [`SimError::DeadlineExceeded`] (with `wall_ms = 0`) at its next poll.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-tripped token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trips the token; every budget polling it fails on its next check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Declarative budget for one simulation run. `Default` is unlimited.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Wall-clock limit, measured from [`RunBudget::arm`].
+    pub wall_limit: Option<Duration>,
+    /// Maximum number of simulated events the run may process.
+    pub max_events: Option<u64>,
+    /// Cooperative cancellation token, polled with the wall clock.
+    pub token: Option<CancelToken>,
+}
+
+impl RunBudget {
+    /// An unlimited budget (the default).
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// Sets the wall-clock limit.
+    pub fn with_wall_limit(mut self, limit: Duration) -> Self {
+        self.wall_limit = Some(limit);
+        self
+    }
+
+    /// Sets the simulated-event cap.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn cancelled_by(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// True when no limit of any kind is configured.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall_limit.is_none() && self.max_events.is_none() && self.token.is_none()
+    }
+
+    /// Starts the clock: captures `Instant::now()` as the run's epoch and
+    /// returns the enforcement handle the event loop drives.
+    pub fn arm(&self) -> ArmedBudget {
+        ArmedBudget {
+            deadline: self.wall_limit.map(|l| (Instant::now() + l, l)),
+            max_events: self.max_events,
+            token: self.token.clone(),
+            events: 0,
+        }
+    }
+}
+
+/// The armed, counting form of a [`RunBudget`] — owned by the simulation's
+/// event loop.
+#[derive(Debug)]
+pub struct ArmedBudget {
+    deadline: Option<(Instant, Duration)>,
+    max_events: Option<u64>,
+    token: Option<CancelToken>,
+    events: u64,
+}
+
+impl Default for ArmedBudget {
+    fn default() -> Self {
+        RunBudget::default().arm()
+    }
+}
+
+impl ArmedBudget {
+    /// Books one processed event at simulated time `at`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EventBudgetExhausted`] when the event cap is crossed;
+    /// [`SimError::DeadlineExceeded`] when the wall clock ran past the limit
+    /// or the cancellation token was tripped (checked every
+    /// [`WALL_CHECK_INTERVAL`] events).
+    pub fn on_event(&mut self, at: SimTime) -> Result<(), SimError> {
+        self.events += 1;
+        if let Some(cap) = self.max_events {
+            if self.events > cap {
+                return Err(SimError::EventBudgetExhausted { budget: cap, at });
+            }
+        }
+        if self.events & (WALL_CHECK_INTERVAL - 1) == 0 {
+            self.poll_wall(at)?;
+        }
+        Ok(())
+    }
+
+    /// Polls the wall clock and the cancellation token immediately,
+    /// regardless of the event counter — used by slow paths (e.g. the
+    /// same-time watchdog loop) that want prompt cancellation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeadlineExceeded`] as for [`ArmedBudget::on_event`].
+    pub fn poll_wall(&self, at: SimTime) -> Result<(), SimError> {
+        if let Some(token) = &self.token {
+            if token.is_cancelled() {
+                return Err(SimError::DeadlineExceeded { wall_ms: 0, at });
+            }
+        }
+        if let Some((deadline, limit)) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(SimError::DeadlineExceeded {
+                    wall_ms: limit.as_millis() as u64,
+                    at,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Events booked so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let mut armed = RunBudget::unlimited().arm();
+        for _ in 0..10_000 {
+            armed.on_event(SimTime::ZERO).unwrap();
+        }
+        assert_eq!(armed.events(), 10_000);
+    }
+
+    #[test]
+    fn event_cap_is_exact_and_typed() {
+        let mut armed = RunBudget::unlimited().with_max_events(100).arm();
+        for _ in 0..100 {
+            armed.on_event(SimTime::from_millis(1)).unwrap();
+        }
+        let err = armed.on_event(SimTime::from_millis(2)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::EventBudgetExhausted {
+                budget: 100,
+                at: SimTime::from_millis(2)
+            }
+        );
+    }
+
+    #[test]
+    fn zero_wall_limit_trips_at_first_poll() {
+        let mut armed = RunBudget::unlimited().with_wall_limit(Duration::ZERO).arm();
+        let err = (0..WALL_CHECK_INTERVAL)
+            .find_map(|_| armed.on_event(SimTime::ZERO).err())
+            .expect("an expired deadline must trip within one poll interval");
+        assert!(matches!(err, SimError::DeadlineExceeded { wall_ms: 0, .. }));
+    }
+
+    #[test]
+    fn cancellation_token_trips_cooperatively() {
+        let token = CancelToken::new();
+        let mut armed = RunBudget::unlimited().cancelled_by(token.clone()).arm();
+        for _ in 0..WALL_CHECK_INTERVAL {
+            armed.on_event(SimTime::ZERO).unwrap();
+        }
+        token.cancel();
+        assert!(token.is_cancelled());
+        let err = (0..WALL_CHECK_INTERVAL)
+            .find_map(|_| armed.on_event(SimTime::ZERO).err())
+            .expect("a tripped token must cancel within one poll interval");
+        assert!(matches!(err, SimError::DeadlineExceeded { wall_ms: 0, .. }));
+    }
+
+    #[test]
+    fn is_unlimited_reflects_configuration() {
+        assert!(RunBudget::unlimited().is_unlimited());
+        assert!(!RunBudget::unlimited().with_max_events(1).is_unlimited());
+        assert!(!RunBudget::unlimited()
+            .with_wall_limit(Duration::from_secs(1))
+            .is_unlimited());
+        assert!(!RunBudget::unlimited()
+            .cancelled_by(CancelToken::new())
+            .is_unlimited());
+    }
+}

@@ -84,6 +84,39 @@ pub enum SimError {
         /// The panic payload, rendered as a string.
         detail: String,
     },
+    /// The run's wall-clock budget ran out (or its cooperative cancellation
+    /// token was tripped) before the simulation reached its stop condition.
+    /// Budgets are supervision policy, not simulator bugs: a sweep treats
+    /// this as a retryable/quarantinable failure.
+    DeadlineExceeded {
+        /// The configured wall-clock limit in milliseconds (`0` when the
+        /// run was cancelled through the token rather than timing out).
+        wall_ms: u64,
+        /// Simulated time reached when the budget ran out.
+        at: SimTime,
+    },
+    /// The run processed more simulated events than its budget allows —
+    /// the deterministic cousin of [`SimError::DeadlineExceeded`], so runaway
+    /// scenarios fail identically on every host.
+    EventBudgetExhausted {
+        /// The configured event budget.
+        budget: u64,
+        /// Simulated time reached when the budget ran out.
+        at: SimTime,
+    },
+    /// The runtime invariant auditor detected a conservation-law violation
+    /// (time running backwards, lost/duplicated tasks, negative energy, a
+    /// frequency above the thermal cap). Always a simulator bug if seen;
+    /// the auditor converts it into a typed failure at the point of
+    /// corruption instead of letting garbage propagate downstream.
+    InvariantViolated {
+        /// Simulated time of the failed check.
+        at: SimTime,
+        /// Short name of the violated invariant (e.g. `time-monotone`).
+        invariant: String,
+        /// Structured context: observed vs expected values.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -124,6 +157,35 @@ impl fmt::Display for SimError {
             } => {
                 write!(f, "scenario #{index} ({label}) panicked: {detail}")
             }
+            SimError::DeadlineExceeded { wall_ms, at } => {
+                if *wall_ms == 0 {
+                    write!(
+                        f,
+                        "run cancelled at t={} ns (cooperative cancellation token)",
+                        at.as_nanos()
+                    )
+                } else {
+                    write!(
+                        f,
+                        "wall-clock deadline of {wall_ms} ms exceeded at t={} ns",
+                        at.as_nanos()
+                    )
+                }
+            }
+            SimError::EventBudgetExhausted { budget, at } => write!(
+                f,
+                "event budget of {budget} events exhausted at t={} ns",
+                at.as_nanos()
+            ),
+            SimError::InvariantViolated {
+                at,
+                invariant,
+                detail,
+            } => write!(
+                f,
+                "invariant {invariant:?} violated at t={} ns: {detail}",
+                at.as_nanos()
+            ),
         }
     }
 }

@@ -1,0 +1,210 @@
+//! A crash-safe, line-oriented write-ahead journal.
+//!
+//! The sweep supervisor records scenario start/finish events here so a
+//! killed process can resume a batch without recomputing finished work.
+//! Durability model:
+//!
+//! * every **append rewrites the whole file through a temp file + atomic
+//!   rename** (then fsyncs the file and its directory), so readers — and a
+//!   process restarted after `SIGKILL` — always observe a complete,
+//!   prefix-consistent journal, never a torn write;
+//! * every record line is framed as `<16-hex FNV-1a> <payload>`; lines
+//!   whose checksum does not match (e.g. hand-edited or damaged storage)
+//!   are dropped on load instead of poisoning the resume.
+//!
+//! Journals are small (one line per scenario attempt/finish in a batch),
+//! so the rewrite-on-append cost is negligible next to a single
+//! simulation run.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// 64-bit FNV-1a over a byte slice — the workspace's standard content
+/// hash (cache keys, journal framing, batch keys).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Best-effort fsync of a directory so a just-renamed file inside it
+/// survives power loss on filesystems where rename alone is not durable.
+/// Failures are ignored (some platforms cannot fsync directories).
+pub fn fsync_dir(dir: &Path) {
+    if let Ok(f) = fs::File::open(dir) {
+        let _ = f.sync_all();
+    }
+}
+
+/// An append-only journal of checksummed text records.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    records: Vec<String>,
+}
+
+impl Journal {
+    /// Opens the journal at `path`.
+    ///
+    /// With `resume = false` any existing journal is discarded and the
+    /// batch starts fresh. With `resume = true` existing records are
+    /// loaded (corrupt lines dropped) and subsequent appends extend them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors creating the parent directory or removing a
+    /// stale journal; a missing file on resume is not an error.
+    pub fn open(path: impl Into<PathBuf>, resume: bool) -> io::Result<Journal> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut records = Vec::new();
+        if resume {
+            match fs::read_to_string(&path) {
+                Ok(text) => {
+                    records = text.lines().filter_map(unframe).collect();
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        } else if path.exists() {
+            // A stale journal entry path may even be a directory left by
+            // outside interference; clear either form.
+            if path.is_dir() {
+                fs::remove_dir_all(&path)?;
+            } else {
+                fs::remove_file(&path)?;
+            }
+        }
+        Ok(Journal { path, records })
+    }
+
+    /// The records currently in the journal, in append order.
+    pub fn records(&self) -> &[String] {
+        &self.records
+    }
+
+    /// The journal's on-disk location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record (newlines inside `payload` are rejected — one
+    /// record is one line) and makes it durable via temp file + rename +
+    /// directory fsync.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; `InvalidInput` for a multi-line payload.
+    pub fn append(&mut self, payload: &str) -> io::Result<()> {
+        if payload.contains('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "journal records must be single lines",
+            ));
+        }
+        self.records.push(payload.to_string());
+        let mut text = String::new();
+        for r in &self.records {
+            text.push_str(&format!("{:016x} {r}\n", fnv1a(r.as_bytes())));
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            fsync_dir(dir);
+        }
+        Ok(())
+    }
+}
+
+/// Validates one framed line, returning the payload when the checksum
+/// matches.
+fn unframe(line: &str) -> Option<String> {
+    let (sum, payload) = line.split_once(' ')?;
+    let expected = u64::from_str_radix(sum, 16).ok()?;
+    (sum.len() == 16 && fnv1a(payload.as_bytes()) == expected).then(|| payload.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bl-journal-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir.join("batch.jsonl")
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vector() {
+        // FNV-1a of the empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn append_then_resume_round_trips() {
+        let path = tmp_path("roundtrip");
+        let mut j = Journal::open(&path, false).unwrap();
+        j.append(r#"{"ev":"start","i":0}"#).unwrap();
+        j.append(r#"{"ev":"done","i":0}"#).unwrap();
+        drop(j);
+        let j = Journal::open(&path, true).unwrap();
+        assert_eq!(
+            j.records(),
+            [r#"{"ev":"start","i":0}"#, r#"{"ev":"done","i":0}"#]
+        );
+    }
+
+    #[test]
+    fn fresh_open_discards_previous_batch() {
+        let path = tmp_path("fresh");
+        let mut j = Journal::open(&path, false).unwrap();
+        j.append("old").unwrap();
+        drop(j);
+        let j = Journal::open(&path, false).unwrap();
+        assert!(j.records().is_empty());
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn corrupt_lines_are_dropped_on_resume() {
+        let path = tmp_path("corrupt");
+        let mut j = Journal::open(&path, false).unwrap();
+        j.append("good-1").unwrap();
+        j.append("good-2").unwrap();
+        drop(j);
+        // Flip a byte in the second record's payload and append garbage —
+        // simulating damaged storage and a torn tail.
+        let text = fs::read_to_string(&path).unwrap();
+        let tampered = text.replace("good-2", "evil-2") + "not a framed line\n0123 short";
+        fs::write(&path, tampered).unwrap();
+        let j = Journal::open(&path, true).unwrap();
+        assert_eq!(j.records(), ["good-1"]);
+    }
+
+    #[test]
+    fn resume_of_missing_journal_is_empty() {
+        let path = tmp_path("missing");
+        let j = Journal::open(&path, true).unwrap();
+        assert!(j.records().is_empty());
+    }
+
+    #[test]
+    fn multiline_payloads_are_rejected() {
+        let path = tmp_path("multiline");
+        let mut j = Journal::open(&path, false).unwrap();
+        assert!(j.append("two\nlines").is_err());
+    }
+}

@@ -26,16 +26,22 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod budget;
 pub mod error;
 pub mod event;
 pub mod fault;
+pub mod journal;
 pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use audit::InvariantGuard;
+pub use budget::{ArmedBudget, CancelToken, RunBudget};
 pub use error::SimError;
 pub use event::EventQueue;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use journal::Journal;
 pub use rng::{derive_seed, SimRng};
 pub use time::{SimDuration, SimTime};
