@@ -14,12 +14,19 @@
 //! repro --audit             # runtime invariant auditor on every scenario
 //! repro --resume            # replay completed scenarios from the journal
 //! repro --no-journal        # disable the write-ahead sweep journal
+//! repro --workers 4         # shard the batch across 4 worker processes
+//! repro --lease-ms 10000    # lease TTL before a silent worker is reclaimed
+//! repro --heartbeat-ms 1000 # worker heartbeat cadence
 //! repro --bench-sweep f.json # serial-vs-parallel wall-time comparison
 //! repro --bench-hotloop f.json # ticked-vs-skip-ahead hot-loop microbench
 //! repro --demo-sweep f.json # deterministic journaled batch (kill/resume demo)
 //! repro --smoke-supervision f.json # chaos batch: quarantine + self-heal smoke
+//! repro --smoke-shard f.json # chaos fleet: kill a worker mid-batch, verify merge
 //! repro --list              # experiment ids
 //! ```
+//!
+//! `repro --worker ...` is the internal worker mode sharded sweeps spawn;
+//! it is not meant to be invoked by hand.
 
 use std::time::{Duration, Instant};
 
@@ -32,6 +39,21 @@ const CACHE_DIR: &str = biglittle::sweep::DEFAULT_CACHE_DIR;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Worker mode: sharded sweeps re-spawn this binary with `--worker` as
+    // the first argument. Dispatch before normal flag parsing — worker
+    // flags are a separate, stricter grammar.
+    if args.first().is_some_and(|a| a == "--worker") {
+        std::process::exit(sweep::shard::worker_main(&args));
+    }
+    // Teach the sharding layer how to spawn workers: re-exec ourselves.
+    sweep::shard::set_worker_launcher(|spec| {
+        let exe = std::env::current_exe().expect("current_exe for worker spawn");
+        let mut cmd = std::process::Command::new(exe);
+        cmd.args(sweep::shard::worker_cli_args(spec));
+        cmd
+    });
+
     let mut exp: Option<String> = None;
     let mut seed = SEED;
     let mut fast = false;
@@ -45,10 +67,14 @@ fn main() {
     let mut retries: u32 = 0;
     let mut audit = false;
     let mut resume = false;
+    let mut workers: usize = 0;
+    let mut lease_ms: Option<u64> = None;
+    let mut heartbeat_ms: Option<u64> = None;
     let mut bench_sweep: Option<String> = None;
     let mut bench_hotloop: Option<String> = None;
     let mut demo_sweep: Option<String> = None;
     let mut smoke_supervision: Option<String> = None;
+    let mut smoke_shard: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -98,10 +124,31 @@ fn main() {
             }
             "--audit" => audit = true,
             "--resume" => resume = true,
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--workers takes an integer (worker process count)")
+            }
+            "--lease-ms" => {
+                lease_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--lease-ms takes an integer (milliseconds)"),
+                )
+            }
+            "--heartbeat-ms" => {
+                heartbeat_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--heartbeat-ms takes an integer (milliseconds)"),
+                )
+            }
             "--bench-sweep" => bench_sweep = it.next().cloned(),
             "--bench-hotloop" => bench_hotloop = it.next().cloned(),
             "--demo-sweep" => demo_sweep = it.next().cloned(),
             "--smoke-supervision" => smoke_supervision = it.next().cloned(),
+            "--smoke-shard" => smoke_shard = it.next().cloned(),
             "--list" => {
                 for e in EXPERIMENTS {
                     println!("{e}");
@@ -114,8 +161,10 @@ fn main() {
                      \x20            [--jobs <n>] [--no-cache] [--cache-clear] [--no-journal]\n\
                      \x20            [--deadline-ms <n>] [--max-events <n>] [--retries <n>]\n\
                      \x20            [--audit] [--resume]\n\
+                     \x20            [--workers <n>] [--lease-ms <n>] [--heartbeat-ms <n>]\n\
                      \x20            [--bench-sweep <file>] [--bench-hotloop <file>]\n\
-                     \x20            [--demo-sweep <file>] [--smoke-supervision <file>] [--list]\n\
+                     \x20            [--demo-sweep <file>] [--smoke-supervision <file>]\n\
+                     \x20            [--smoke-shard <file>] [--list]\n\
                      ids: {}",
                     EXPERIMENTS.join(", ")
                 );
@@ -144,6 +193,15 @@ fn main() {
         if let Some(cap) = max_events {
             o = o.with_event_cap(cap);
         }
+        if workers > 0 {
+            o = o.sharded(workers);
+        }
+        if let Some(ms) = lease_ms {
+            o = o.with_lease(Duration::from_millis(ms));
+        }
+        if let Some(ms) = heartbeat_ms {
+            o = o.with_heartbeat(Duration::from_millis(ms));
+        }
         o
     };
 
@@ -163,6 +221,10 @@ fn main() {
         run_smoke_supervision(&path, seed, jobs);
         return;
     }
+    if let Some(path) = smoke_shard {
+        run_smoke_shard(&path, seed, jobs);
+        return;
+    }
 
     let render = |id: &str| -> String {
         if json {
@@ -171,7 +233,7 @@ fn main() {
             let data = run_experiment_json_with(id, seed, fast, &opts);
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
             let stats = sweep::take_stats();
-            let wrapped = Value::Object(vec![
+            let mut fields = vec![
                 ("experiment".into(), Value::String(id.to_string())),
                 ("wall_ms".into(), Value::Float(wall_ms)),
                 ("scenarios".into(), Value::UInt(stats.scenarios)),
@@ -184,9 +246,15 @@ fn main() {
                     "per_scenario".into(),
                     serde_json::to_value(&stats.per_scenario).expect("stats serialize"),
                 ),
-                ("data".into(), data),
-            ]);
-            serde_json::to_string_pretty(&wrapped).expect("results serialize")
+            ];
+            if let Some(shard) = &stats.shard {
+                fields.push((
+                    "shard".into(),
+                    serde_json::to_value(shard).expect("shard stats serialize"),
+                ));
+            }
+            fields.push(("data".into(), data));
+            serde_json::to_string_pretty(&Value::Object(fields)).expect("results serialize")
         } else {
             run_experiment_with(id, seed, fast, &opts)
         }
@@ -469,6 +537,22 @@ fn run_demo_sweep(path: &str, seed: u64, opts: &SweepOptions) {
         "demo-sweep: {} scenarios, {} resumed, {} cache hits, degraded={}",
         out.stats.scenarios, out.stats.resumed, out.stats.cache_hits, out.stats.degraded
     );
+    // Fleet diagnostics go to stderr only: the report file below must stay
+    // byte-identical across worker counts and chaos, counters do not.
+    if let Some(shard) = &out.stats.shard {
+        eprintln!(
+            "demo-sweep shard: workers={} ranges={} leases={} reclaimed_expired={} \
+             reclaimed_dead={} re-leased={} quarantined_ranges={} workers_lost={}",
+            shard.workers,
+            shard.ranges,
+            shard.leases_granted,
+            shard.reclaimed_expired,
+            shard.reclaimed_dead,
+            shard.releases,
+            shard.ranges_quarantined,
+            shard.workers_lost,
+        );
+    }
     let results: Vec<Value> = out
         .results
         .iter()
@@ -627,6 +711,95 @@ fn run_smoke_supervision(path: &str, seed: u64, jobs: usize) {
             "smoke-supervision: {} expectation(s) failed",
             failures.len()
         );
+        std::process::exit(1);
+    }
+}
+
+/// Chaos smoke for the sharded sweep: runs the deterministic demo batch
+/// across a 3-worker fleet with the coordinator's chaos hook armed — the
+/// first worker to finish a range is handed a fresh lease and then
+/// SIGKILLed, so an *active* lease must be reclaimed from a dead process
+/// and re-leased to a survivor. The merged fleet output must be
+/// bit-identical to an in-process `jobs=1` reference run. Exits 0 when
+/// every expectation holds, 1 otherwise.
+fn run_smoke_shard(path: &str, seed: u64, jobs: usize) {
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |ok: bool, what: &str| {
+        if ok {
+            eprintln!("ok: {what}");
+        } else {
+            eprintln!("FAILED: {what}");
+            failures.push(what.to_string());
+        }
+    };
+
+    let scenarios = demo_batch(seed);
+
+    // Serial in-process reference: no cache, no journal, no fleet.
+    let serial = sweep::run_with(&scenarios, &SweepOptions::with_jobs(1));
+
+    // Sharded chaos run. Uncached so the workers really execute, journaled
+    // into a private directory so the smoke cannot disturb real sweeps.
+    let dir = std::env::temp_dir().join(format!("bl-shard-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = SweepOptions::with_jobs(jobs)
+        .journaled(&dir)
+        .sharded(3)
+        .with_lease(Duration::from_secs(10))
+        .with_heartbeat(Duration::from_millis(200));
+    opts.chaos_kill_one_worker = true;
+    let chaos = sweep::run_with(&scenarios, &opts);
+
+    check(
+        chaos.results.iter().all(Result::is_ok),
+        "every scenario completed despite the worker kill",
+    );
+    check(
+        !chaos.degraded,
+        "fleet run is not degraded (reclaim != retry)",
+    );
+    let bit_identical = serial
+        .results
+        .iter()
+        .zip(chaos.results.iter())
+        .all(|(a, b)| match (a, b) {
+            (Ok(x), Ok(y)) => {
+                serde_json::to_string(x).expect("result serializes")
+                    == serde_json::to_string(y).expect("result serializes")
+            }
+            _ => false,
+        });
+    check(
+        bit_identical,
+        "merged fleet output is bit-identical to the jobs=1 reference",
+    );
+    let shard = chaos.stats.shard.clone().unwrap_or_default();
+    check(chaos.stats.shard.is_some(), "shard stats were recorded");
+    check(shard.workers == 3, "fleet size recorded as 3 workers");
+    check(
+        shard.reclaimed_dead >= 1,
+        "at least one lease was reclaimed from the killed worker",
+    );
+    check(shard.releases >= 1, "the reclaimed range was re-leased");
+    check(shard.workers_lost >= 1, "the killed worker counted as lost");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let report = Value::Object(vec![
+        ("suite".into(), Value::String("smoke-shard".into())),
+        ("seed".into(), Value::UInt(seed)),
+        ("degraded".into(), Value::Bool(chaos.degraded)),
+        ("bit_identical".into(), Value::Bool(bit_identical)),
+        (
+            "shard".into(),
+            serde_json::to_value(&shard).expect("shard stats serialize"),
+        ),
+        ("checks_failed".into(), Value::UInt(failures.len() as u64)),
+    ]);
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, body + "\n").expect("write smoke-shard file");
+    eprintln!("wrote {path}");
+    if !failures.is_empty() {
+        eprintln!("smoke-shard: {} expectation(s) failed", failures.len());
         std::process::exit(1);
     }
 }

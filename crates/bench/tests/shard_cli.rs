@@ -1,0 +1,257 @@
+//! Cross-process tests for the sharded sweep: a worker fleet must produce
+//! byte-identical reports to a serial run, survive wedged workers through
+//! lease expiry, resume fleet-wide after the *coordinator* is SIGKILLed,
+//! and pass the chaos smoke that kills a worker mid-batch.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn temp_cwd(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("bl-shard-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Runs the demo sweep serially (no fleet) in its own directory and
+/// returns the report bytes — the byte-identity reference for every
+/// fleet run below.
+fn serial_reference(name: &str) -> Vec<u8> {
+    let cwd = temp_cwd(name);
+    let status = repro()
+        .args(["--demo-sweep", "ref.json", "--no-cache", "--jobs", "1"])
+        .current_dir(&cwd)
+        .status()
+        .expect("spawn serial reference sweep");
+    assert!(status.success());
+    let bytes = std::fs::read(cwd.join("ref.json")).expect("reference report exists");
+    let _ = std::fs::remove_dir_all(&cwd);
+    bytes
+}
+
+/// Number of completed-scenario ("done") records across every journal —
+/// merged and per-worker — under `<cwd>/results/.sweep-journal/`.
+fn journal_done_records(cwd: &Path) -> usize {
+    let dir = cwd.join("results/.sweep-journal");
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|x| x == "jsonl"))
+        .map(|e| {
+            std::fs::read_to_string(e.path())
+                .map(|t| t.lines().filter(|l| l.contains("\"done\"")).count())
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+/// Extracts the integer following `key=` in the coordinator's stderr
+/// diagnostics line.
+fn stderr_counter(stderr: &str, key: &str) -> u64 {
+    let tail = stderr
+        .split(&format!("{key}="))
+        .nth(1)
+        .unwrap_or_else(|| panic!("no {key}= in stderr:\n{stderr}"));
+    tail.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable {key}= in stderr:\n{stderr}"))
+}
+
+#[test]
+fn fleet_demo_sweep_matches_serial_byte_identically() {
+    let reference = serial_reference("fleet-ref");
+
+    let cwd = temp_cwd("fleet");
+    let output = repro()
+        .args(["--demo-sweep", "out.json", "--no-cache", "--workers", "4"])
+        .current_dir(&cwd)
+        .output()
+        .expect("spawn fleet demo sweep");
+    assert!(
+        output.status.success(),
+        "fleet sweep failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let fleet = std::fs::read(cwd.join("out.json")).expect("fleet report exists");
+    assert_eq!(
+        fleet, reference,
+        "4-worker report differs from the serial reference"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(stderr_counter(&stderr, "workers"), 4);
+    let _ = std::fs::remove_dir_all(&cwd);
+}
+
+#[test]
+fn wedged_worker_lease_expires_and_batch_completes() {
+    let reference = serial_reference("wedge-ref");
+
+    // Worker 1 wedges on its first lease (never heartbeats, never
+    // finishes); with a short TTL the coordinator must reclaim its lease,
+    // kill it, and re-lease the range to a survivor.
+    let cwd = temp_cwd("wedge");
+    let output = repro()
+        .args([
+            "--demo-sweep",
+            "out.json",
+            "--no-cache",
+            "--workers",
+            "3",
+            "--lease-ms",
+            "500",
+            "--heartbeat-ms",
+            "100",
+        ])
+        .env("BL_SHARD_TEST_WEDGE_WORKER", "1")
+        .current_dir(&cwd)
+        .output()
+        .expect("spawn wedged fleet sweep");
+    assert!(
+        output.status.success(),
+        "wedged fleet sweep failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let fleet = std::fs::read(cwd.join("out.json")).expect("fleet report exists");
+    assert_eq!(
+        fleet, reference,
+        "wedged-fleet report differs from the serial reference"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr_counter(&stderr, "reclaimed_expired") >= 1,
+        "the wedged worker's lease must expire and be reclaimed:\n{stderr}"
+    );
+    assert!(
+        stderr_counter(&stderr, "re-leased") >= 1,
+        "the reclaimed range must be re-leased:\n{stderr}"
+    );
+    assert!(
+        stderr_counter(&stderr, "workers_lost") >= 1,
+        "the wedged worker must be counted lost:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&cwd);
+}
+
+#[test]
+fn coordinator_sigkill_then_fleet_resume_is_byte_identical() {
+    let reference = serial_reference("coord-kill-ref");
+
+    // Victim fleet: worker 1 wedges under a long lease so the batch is
+    // guaranteed to still be in flight when the coordinator is SIGKILLed,
+    // while the healthy workers publish completed ranges to their
+    // journals first.
+    let cwd = temp_cwd("coord-kill");
+    let mut child = repro()
+        .args([
+            "--demo-sweep",
+            "out.json",
+            "--no-cache",
+            "--workers",
+            "3",
+            "--lease-ms",
+            "60000",
+            "--heartbeat-ms",
+            "100",
+        ])
+        .env("BL_SHARD_TEST_WEDGE_WORKER", "1")
+        .current_dir(&cwd)
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn victim fleet sweep");
+    let poll_deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if journal_done_records(&cwd) >= 1 {
+            child.kill().expect("kill coordinator");
+            let _ = child.wait();
+            break;
+        }
+        assert!(
+            child.try_wait().expect("poll coordinator").is_none(),
+            "the wedged fleet must not settle before the kill"
+        );
+        assert!(
+            Instant::now() < poll_deadline,
+            "no worker journal progress within the poll deadline"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(
+        !cwd.join("out.json").exists(),
+        "killed mid-batch, before the report was written"
+    );
+    // The orphaned workers see stdin EOF and exit on their own; give them
+    // a moment so the resume below reads settled journals.
+    std::thread::sleep(Duration::from_secs(1));
+
+    // Fleet-wide resume: completed ranges are absorbed from the dead
+    // fleet's per-worker journals, the remainder re-runs (no wedge this
+    // time), and the report matches the serial reference byte for byte.
+    let output = repro()
+        .args([
+            "--demo-sweep",
+            "out.json",
+            "--no-cache",
+            "--workers",
+            "3",
+            "--resume",
+        ])
+        .current_dir(&cwd)
+        .output()
+        .expect("spawn resume fleet sweep");
+    assert!(
+        output.status.success(),
+        "fleet resume failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let resumed = std::fs::read(cwd.join("out.json")).expect("resumed report exists");
+    assert_eq!(
+        resumed, reference,
+        "fleet-resumed report differs from the serial reference"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let resumed_count = stderr
+        .split(" scenarios, ")
+        .nth(1)
+        .and_then(|t| t.split(" resumed").next())
+        .and_then(|n| n.parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("no resumed count in stderr:\n{stderr}"));
+    assert!(
+        resumed_count >= 1,
+        "at least one scenario must be absorbed from the dead fleet's journals:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&cwd);
+}
+
+#[test]
+fn smoke_shard_exits_zero_with_bit_identity() {
+    let cwd = temp_cwd("smoke");
+    let output = repro()
+        .args(["--smoke-shard", "smoke.json"])
+        .current_dir(&cwd)
+        .output()
+        .expect("spawn shard smoke");
+    assert!(
+        output.status.success(),
+        "shard smoke failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let report = std::fs::read_to_string(cwd.join("smoke.json")).expect("smoke report exists");
+    assert!(
+        report.contains("\"bit_identical\": true"),
+        "chaos fleet must merge to the serial bytes: {report}"
+    );
+    assert!(
+        report.contains("\"checks_failed\": 0"),
+        "every smoke expectation must hold: {report}"
+    );
+    let _ = std::fs::remove_dir_all(&cwd);
+}

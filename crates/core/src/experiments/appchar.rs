@@ -100,11 +100,7 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
     }
     let rank = |xs: &[f64]| -> Vec<f64> {
         let mut idx: Vec<usize> = (0..xs.len()).collect();
-        idx.sort_by(|i, j| {
-            xs[*i]
-                .partial_cmp(&xs[*j])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        idx.sort_by(|i, j| xs[*i].total_cmp(&xs[*j]));
         let mut ranks = vec![0.0; xs.len()];
         for (r, i) in idx.into_iter().enumerate() {
             ranks[i] = r as f64;

@@ -38,7 +38,7 @@
 
 use crate::result::RunResult;
 use crate::scenario::Scenario;
-use bl_simcore::budget::RunBudget;
+use bl_simcore::budget::{CancelToken, RunBudget};
 use bl_simcore::error::SimError;
 use bl_simcore::journal::{fnv1a, fsync_dir, Journal};
 use bl_simcore::pool;
@@ -49,6 +49,8 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+pub mod shard;
 
 /// The cache directory the `bench` binary uses by default.
 pub const DEFAULT_CACHE_DIR: &str = "results/.cache";
@@ -62,10 +64,13 @@ pub const DEFAULT_JOURNAL_DIR: &str = "results/.sweep-journal";
 const PER_SCENARIO_CAP: usize = 4096;
 
 /// How a sweep executes: worker count, result cache, per-scenario budgets,
-/// retry policy, journaling and auditing.
-#[derive(Debug, Clone, Default)]
+/// retry policy, journaling, auditing, and multi-process sharding.
+#[derive(Debug, Clone)]
 pub struct SweepOptions {
-    /// Worker threads; `0` means "available parallelism".
+    /// Worker threads; `0` means "available parallelism". In sharded mode
+    /// (`workers > 1`) this is the thread count *inside each worker
+    /// process* (`0` becomes 1 there, so `--workers N` does not
+    /// oversubscribe the host N times over).
     pub jobs: usize,
     /// Result cache directory; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
@@ -85,6 +90,45 @@ pub struct SweepOptions {
     /// re-simulating them (bit-identical: the journaled `RunResult` is
     /// returned verbatim). Requires [`SweepOptions::journal_dir`].
     pub resume: bool,
+    /// Worker *processes* to shard the batch across. `0` or `1` keeps the
+    /// in-process engine; `> 1` leases contiguous scenario ranges to a
+    /// fleet of spawned worker processes with expiring heartbeat-renewed
+    /// leases (see [`shard`]). Requires [`SweepOptions::journal_dir`] and
+    /// a registered [`shard::set_worker_launcher`].
+    pub workers: usize,
+    /// How long a leased range may go without a heartbeat before the
+    /// coordinator reclaims it from its (dead or wedged) worker.
+    pub lease: Duration,
+    /// How often a worker heartbeats the range it is executing.
+    pub heartbeat: Duration,
+    /// Lease grants per range before the coordinator quarantines it — the
+    /// process-level twin of [`SweepOptions::retries`]: a range whose
+    /// workers keep dying degrades the batch instead of killing it.
+    pub range_attempts: u32,
+    /// Chaos-test hook: once the first range completes, the coordinator
+    /// SIGKILLs one worker that is mid-range, proving death reclamation
+    /// end to end. Never set outside robustness tests.
+    pub chaos_kill_one_worker: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            jobs: 0,
+            cache_dir: None,
+            deadline: None,
+            max_events: None,
+            retries: 0,
+            audit: false,
+            journal_dir: None,
+            resume: false,
+            workers: 0,
+            lease: Duration::from_millis(10_000),
+            heartbeat: Duration::from_millis(1_000),
+            range_attempts: 3,
+            chaos_kill_one_worker: false,
+        }
+    }
 }
 
 impl SweepOptions {
@@ -143,6 +187,31 @@ impl SweepOptions {
     /// Enables resuming from the batch's journal.
     pub fn resuming(mut self, on: bool) -> Self {
         self.resume = on;
+        self
+    }
+
+    /// Shards the batch across `workers` worker processes (`0`/`1` keeps
+    /// the in-process engine).
+    pub fn sharded(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the lease TTL for sharded mode.
+    pub fn with_lease(mut self, lease: Duration) -> Self {
+        self.lease = lease;
+        self
+    }
+
+    /// Sets the worker heartbeat cadence for sharded mode.
+    pub fn with_heartbeat(mut self, heartbeat: Duration) -> Self {
+        self.heartbeat = heartbeat;
+        self
+    }
+
+    /// Sets how many lease grants a range gets before quarantine.
+    pub fn with_range_attempts(mut self, attempts: u32) -> Self {
+        self.range_attempts = attempts;
         self
     }
 
@@ -223,9 +292,66 @@ pub struct SweepStats {
     pub quarantined: u64,
     /// Whether any scenario was retried or quarantined.
     pub degraded: bool,
+    /// Multi-process lease/reclaim accounting; `None` for in-process
+    /// sweeps.
+    pub shard: Option<ShardStats>,
     /// Per-scenario timing, in submission order (bounded; oldest sweeps
     /// win when the global tally overflows [`PER_SCENARIO_CAP`]).
     pub per_scenario: Vec<ScenarioStats>,
+}
+
+/// What one worker process did within a sharded sweep.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct WorkerStats {
+    /// The worker's fleet id.
+    pub worker: u64,
+    /// Leases the worker was granted.
+    pub leases: u64,
+    /// Scenarios the worker executed to completion (ranges it finished).
+    pub scenarios_done: u64,
+    /// Whether the worker was lost (died or was killed after wedging).
+    pub lost: bool,
+}
+
+/// Fleet-level accounting of a sharded sweep: how many leases were
+/// granted, reclaimed from dead or wedged workers, and re-leased — the
+/// operator's view of how rough the batch was.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ShardStats {
+    /// Worker processes launched.
+    pub workers: u64,
+    /// Ranges the batch was partitioned into.
+    pub ranges: u64,
+    /// Leases granted, re-grants included.
+    pub leases_granted: u64,
+    /// Leases reclaimed because the heartbeat deadline passed (worker
+    /// wedged).
+    pub reclaimed_expired: u64,
+    /// Leases reclaimed because the owning worker process died.
+    pub reclaimed_dead: u64,
+    /// Re-grants of a previously reclaimed range to a surviving worker.
+    pub releases: u64,
+    /// Ranges quarantined after exhausting their lease-attempt budget.
+    pub ranges_quarantined: u64,
+    /// Worker processes lost over the batch (died or killed after
+    /// wedging).
+    pub workers_lost: u64,
+    /// Per-worker breakdown, by fleet id.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl ShardStats {
+    fn merge(&mut self, other: &ShardStats) {
+        self.workers += other.workers;
+        self.ranges += other.ranges;
+        self.leases_granted += other.leases_granted;
+        self.reclaimed_expired += other.reclaimed_expired;
+        self.reclaimed_dead += other.reclaimed_dead;
+        self.releases += other.releases;
+        self.ranges_quarantined += other.ranges_quarantined;
+        self.workers_lost += other.workers_lost;
+        self.per_worker.extend(other.per_worker.iter().cloned());
+    }
 }
 
 impl SweepStats {
@@ -236,6 +362,11 @@ impl SweepStats {
         self.retries += other.retries;
         self.quarantined += other.quarantined;
         self.degraded |= other.degraded;
+        if let Some(other_shard) = &other.shard {
+            self.shard
+                .get_or_insert_with(ShardStats::default)
+                .merge(other_shard);
+        }
         let room = PER_SCENARIO_CAP.saturating_sub(self.per_scenario.len());
         self.per_scenario
             .extend(other.per_scenario.iter().take(room).cloned());
@@ -269,6 +400,7 @@ static TALLY: Mutex<SweepStats> = Mutex::new(SweepStats {
     retries: 0,
     quarantined: 0,
     degraded: false,
+    shard: None,
     per_scenario: Vec::new(),
 });
 
@@ -314,22 +446,30 @@ pub fn run_with(scenarios: &[Scenario], opts: &SweepOptions) -> SweepOutcome {
         .map(|sc| cache_key_with(sc, opts))
         .collect();
 
+    if opts.workers > 1 && !scenarios.is_empty() {
+        let outcome = shard::run_sharded(scenarios, &keys, opts);
+        TALLY
+            .lock()
+            .expect("stats tally poisoned")
+            .merge(&outcome.stats);
+        return outcome;
+    }
+
     let journal = open_journal(opts, &keys);
     let resumed_map = match (&journal, opts.resume) {
         (Some(j), true) => replay_journal(&j.lock().expect("journal poisoned")),
         _ => HashMap::new(),
     };
 
+    let env = ExecEnv {
+        opts,
+        journal: journal.as_ref(),
+        resumed: &resumed_map,
+        cancel: None,
+    };
     let items: Vec<usize> = (0..effective.len()).collect();
     let raw = pool::scoped_map(items, opts.effective_jobs(), |_, index| {
-        supervise(
-            index,
-            &effective[index],
-            &keys[index],
-            opts,
-            journal.as_ref(),
-            &resumed_map,
-        )
+        supervise(index, &effective[index], &keys[index], &env)
     });
 
     let mut results = Vec::with_capacity(scenarios.len());
@@ -380,12 +520,12 @@ pub fn run_with(scenarios: &[Scenario], opts: &SweepOptions) -> SweepOutcome {
 }
 
 /// What the supervisor learned about one scenario.
-struct Supervised {
-    result: Result<RunResult, SimError>,
-    cache_hit: bool,
-    resumed: bool,
-    attempts: Vec<AttemptRecord>,
-    wall_ms: f64,
+pub(crate) struct Supervised {
+    pub(crate) result: Result<RunResult, SimError>,
+    pub(crate) cache_hit: bool,
+    pub(crate) resumed: bool,
+    pub(crate) attempts: Vec<AttemptRecord>,
+    pub(crate) wall_ms: f64,
 }
 
 impl Supervised {
@@ -404,19 +544,29 @@ impl Supervised {
     }
 }
 
+/// Everything the supervisor needs beyond the scenario itself: options,
+/// the batch journal, resume knowledge, and — inside a sharded worker
+/// process — the cancellation token that trips when the coordinator dies.
+pub(crate) struct ExecEnv<'a> {
+    pub(crate) opts: &'a SweepOptions,
+    pub(crate) journal: Option<&'a Mutex<Journal>>,
+    pub(crate) resumed: &'a HashMap<String, RunResult>,
+    pub(crate) cancel: Option<&'a CancelToken>,
+}
+
 /// Supervises one scenario: journal replay, cache lookup, then up to
 /// `1 + retries` budgeted attempts with reseeding, journaling the final
-/// result on success.
-fn supervise(
-    index: usize,
-    sc: &Scenario,
-    key: &str,
-    opts: &SweepOptions,
-    journal: Option<&Mutex<Journal>>,
-    resumed_map: &HashMap<String, RunResult>,
-) -> Supervised {
+/// result — success *or* exhausted failure — so a sharded coordinator can
+/// reconstruct the full outcome from journals alone.
+///
+/// When the env's cancellation token trips (coordinator death), the
+/// scenario is abandoned without journaling the failure and without
+/// retrying: a cancellation is not evidence about the scenario, and a
+/// journaled pseudo-error would poison the fleet-wide resume.
+pub(crate) fn supervise(index: usize, sc: &Scenario, key: &str, env: &ExecEnv<'_>) -> Supervised {
+    let opts = env.opts;
     let start = Instant::now();
-    if let Some(r) = resumed_map.get(key) {
+    if let Some(r) = env.resumed.get(key) {
         return Supervised {
             result: Ok(r.clone()),
             cache_hit: false,
@@ -427,25 +577,30 @@ fn supervise(
     }
     // Write-ahead: announce the scenario before running it, so a resumed
     // sweep can tell "in flight when killed" from "never started".
-    journal_append(journal, start_record(index, key, &sc.label));
+    journal_append(env.journal, start_record(index, key, &sc.label));
     let cache_path = opts
         .cache_dir
         .as_deref()
         .map(|d| d.join(format!("{key}.json")));
     if let Some(hit) = cache_path.as_deref().and_then(cache_read_checked) {
-        journal_append(journal, done_record(key, &hit));
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        journal_append(env.journal, done_record(key, &hit, 0, true, wall_ms));
         return Supervised {
             result: Ok(hit),
             cache_hit: true,
             resumed: false,
             attempts: Vec::new(),
-            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            wall_ms,
         };
     }
 
-    let budget = opts.budget();
+    let mut budget = opts.budget();
+    if let Some(token) = env.cancel {
+        budget = budget.cancelled_by(token.clone());
+    }
+    let cancelled = || env.cancel.is_some_and(CancelToken::is_cancelled);
     let mut attempts = Vec::new();
-    let mut result = loop {
+    let result = loop {
         let attempt = attempts.len() as u32;
         let seed = if attempt == 0 {
             sc.config.seed
@@ -462,24 +617,38 @@ fn supervise(
             Ok(r) => break Ok(r),
             Err(e) => {
                 let out_of_attempts = attempt >= opts.retries;
-                if out_of_attempts || !is_retryable(&e) {
+                if cancelled() || out_of_attempts || !is_retryable(&e) {
                     break Err(e);
                 }
             }
         }
     };
-    if let Ok(r) = &mut result {
-        if let Some(p) = cache_path.as_deref() {
-            cache_write(p, index, r);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    match &result {
+        Ok(r) => {
+            if let Some(p) = cache_path.as_deref() {
+                cache_write(p, index, r);
+            }
+            journal_append(
+                env.journal,
+                done_record(key, r, attempts.len() as u32, false, wall_ms),
+            );
         }
-        journal_append(journal, done_record(key, r));
+        Err(e) => {
+            if !cancelled() {
+                journal_append(
+                    env.journal,
+                    err_record(key, e, attempts.len() as u32, wall_ms),
+                );
+            }
+        }
     }
     Supervised {
         result,
         cache_hit: false,
         resumed: false,
         attempts,
-        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        wall_ms,
     }
 }
 
@@ -630,22 +799,85 @@ fn open_journal(opts: &SweepOptions, keys: &[String]) -> Option<Mutex<Journal>> 
 
 /// Collects the journal's completed scenarios as `cache key → result`.
 fn replay_journal(journal: &Journal) -> HashMap<String, RunResult> {
-    let mut map = HashMap::new();
-    for line in journal.records() {
+    collect_entries(journal.records(), false)
+        .into_iter()
+        .filter_map(|(k, e)| e.result.ok().map(|r| (k, r)))
+        .collect()
+}
+
+/// One scenario's final journal record, recovered for replay or merging.
+pub(crate) struct JournalEntry {
+    /// The raw payload line, re-appendable verbatim into a merged journal.
+    pub(crate) raw: String,
+    /// The recovered outcome (`err` records round-trip the typed error).
+    pub(crate) result: Result<RunResult, SimError>,
+    /// Execution attempts the record reports (0 for cached results and
+    /// for records written before the field existed).
+    pub(crate) attempts: u32,
+    /// Whether the result came from the on-disk result cache.
+    pub(crate) cache_hit: bool,
+    /// Wall-clock milliseconds the record reports.
+    pub(crate) wall_ms: f64,
+}
+
+/// Folds journal payload lines into `cache key → final record`. `done`
+/// records always beat `err` records for the same key (a range re-leased
+/// after a partial failure may carry both); among records of the same
+/// kind, the latest wins. `err` records are only surfaced at all when
+/// `include_errors` is set — single-process resume deliberately re-runs
+/// failed scenarios instead of replaying their failures.
+pub(crate) fn collect_entries(
+    lines: &[String],
+    include_errors: bool,
+) -> HashMap<String, JournalEntry> {
+    let mut map: HashMap<String, JournalEntry> = HashMap::new();
+    for line in lines {
         let Ok(v) = serde_json::from_str::<Value>(line) else {
             continue;
         };
-        if v.get("ev").and_then(Value::as_str) != Some("done") {
-            continue;
-        }
         let Some(key) = v.get("key").and_then(Value::as_str) else {
             continue;
         };
-        let Some(result) = v.get("result") else {
-            continue;
+        let attempts = v.get("attempts").and_then(Value::as_u64).unwrap_or(0) as u32;
+        let cache_hit = matches!(v.get("cache"), Some(Value::Bool(true)));
+        let wall_ms = v.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0);
+        let result = match v.get("ev").and_then(Value::as_str) {
+            Some("done") => {
+                let Some(r) = v
+                    .get("result")
+                    .and_then(|r| serde_json::from_value::<RunResult>(r.clone()).ok())
+                else {
+                    continue;
+                };
+                Ok(r)
+            }
+            Some("err") if include_errors => {
+                let Some(e) = v
+                    .get("error")
+                    .and_then(|e| serde_json::from_value::<SimError>(e.clone()).ok())
+                else {
+                    continue;
+                };
+                Err(e)
+            }
+            _ => continue,
         };
-        if let Ok(r) = serde_json::from_value::<RunResult>(result.clone()) {
-            map.insert(key.to_string(), r);
+        let supersedes = match map.get(key) {
+            // A recovered success is never displaced by a failure record.
+            Some(old) => !(old.result.is_ok() && result.is_err()),
+            None => true,
+        };
+        if supersedes {
+            map.insert(
+                key.to_string(),
+                JournalEntry {
+                    raw: line.clone(),
+                    result,
+                    attempts,
+                    cache_hit,
+                    wall_ms,
+                },
+            );
         }
     }
     map
@@ -671,13 +903,33 @@ fn start_record(index: usize, key: &str, label: &str) -> String {
     serde_json::to_string(&v).expect("journal record serialization is infallible")
 }
 
-fn done_record(key: &str, result: &RunResult) -> String {
+fn done_record(key: &str, result: &RunResult, attempts: u32, cache: bool, wall_ms: f64) -> String {
     let v = Value::Object(vec![
         ("ev".to_string(), Value::String("done".to_string())),
         ("key".to_string(), Value::String(key.to_string())),
+        ("attempts".to_string(), Value::UInt(u64::from(attempts))),
+        ("cache".to_string(), Value::Bool(cache)),
+        ("wall_ms".to_string(), Value::Float(wall_ms)),
         (
             "result".to_string(),
             serde_json::to_value(result).expect("result serialization is infallible"),
+        ),
+    ]);
+    serde_json::to_string(&v).expect("journal record serialization is infallible")
+}
+
+/// The journal record of a scenario that exhausted its retries: the typed
+/// error rides along so a sharded coordinator can reconstruct the exact
+/// failure from journals alone.
+fn err_record(key: &str, error: &SimError, attempts: u32, wall_ms: f64) -> String {
+    let v = Value::Object(vec![
+        ("ev".to_string(), Value::String("err".to_string())),
+        ("key".to_string(), Value::String(key.to_string())),
+        ("attempts".to_string(), Value::UInt(u64::from(attempts))),
+        ("wall_ms".to_string(), Value::Float(wall_ms)),
+        (
+            "error".to_string(),
+            serde_json::to_value(error).expect("error serialization is infallible"),
         ),
     ]);
     serde_json::to_string(&v).expect("journal record serialization is infallible")

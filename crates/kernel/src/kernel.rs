@@ -563,7 +563,9 @@ impl Kernel {
                 (tid, s)
             })
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp: a NaN speedup (degenerate profile) must not silently
+        // compare Equal and scramble an otherwise strict ranking.
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (i, (tid, _)) in ranked.into_iter().enumerate() {
             let kind = if i < n_big {
                 CoreKind::Big

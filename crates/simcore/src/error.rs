@@ -117,6 +117,27 @@ pub enum SimError {
         /// Structured context: observed vs expected values.
         detail: String,
     },
+    /// A contiguous scenario range of a sharded sweep kept killing or
+    /// stalling the worker processes it was leased to and was quarantined
+    /// by the coordinator: every scenario in the range that no worker
+    /// managed to publish carries this error, and the batch completes
+    /// degraded instead of dying.
+    ShardRangeQuarantined {
+        /// First scenario index of the poisoned range.
+        start: usize,
+        /// One past the last scenario index of the range.
+        end: usize,
+        /// Lease attempts spent before the coordinator gave up.
+        attempts: u32,
+    },
+    /// Every worker process of a sharded sweep died before the batch
+    /// settled, so the remaining scenarios could not be executed at all.
+    WorkerFleetLost {
+        /// Fleet size at launch.
+        workers: usize,
+        /// What the coordinator observed (exit statuses, stalls).
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -185,6 +206,20 @@ impl fmt::Display for SimError {
                 f,
                 "invariant {invariant:?} violated at t={} ns: {detail}",
                 at.as_nanos()
+            ),
+            SimError::ShardRangeQuarantined {
+                start,
+                end,
+                attempts,
+            } => write!(
+                f,
+                "shard range [{start}, {end}) quarantined after {attempts} \
+                 lease attempt(s): every worker leased it died or stalled"
+            ),
+            SimError::WorkerFleetLost { workers, detail } => write!(
+                f,
+                "all {workers} sweep worker process(es) were lost before the \
+                 batch settled: {detail}"
             ),
         }
     }

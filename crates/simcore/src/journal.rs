@@ -102,13 +102,27 @@ impl Journal {
     ///
     /// Propagates I/O failures; `InvalidInput` for a multi-line payload.
     pub fn append(&mut self, payload: &str) -> io::Result<()> {
-        if payload.contains('\n') {
+        self.append_all(std::slice::from_ref(&payload.to_string()))
+    }
+
+    /// Appends a batch of records with a **single** rewrite + fsync — the
+    /// bulk form the sharded-sweep coordinator uses when merging hundreds
+    /// of per-worker records into the batch journal, where one durable
+    /// write per record would cost O(records²) I/O.
+    ///
+    /// All-or-nothing: if any payload is multi-line, nothing is appended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; `InvalidInput` for a multi-line payload.
+    pub fn append_all(&mut self, payloads: &[String]) -> io::Result<()> {
+        if payloads.iter().any(|p| p.contains('\n')) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "journal records must be single lines",
             ));
         }
-        self.records.push(payload.to_string());
+        self.records.extend(payloads.iter().cloned());
         let mut text = String::new();
         for r in &self.records {
             text.push_str(&format!("{:016x} {r}\n", fnv1a(r.as_bytes())));
@@ -125,6 +139,75 @@ impl Journal {
         }
         Ok(())
     }
+
+    /// Reads the checksummed records of the journal at `path` without
+    /// opening it for writing — how the sharded-sweep coordinator merges
+    /// the journals of workers it did not itself write. Corrupt lines are
+    /// dropped exactly as in [`Journal::open`]; a missing file reads as
+    /// empty (a worker that died before its first append journaled
+    /// nothing, which is not an error).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the file not existing.
+    pub fn load(path: &Path) -> io::Result<Vec<String>> {
+        match fs::read_to_string(path) {
+            Ok(text) => Ok(text.lines().filter_map(unframe).collect()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Removes stale sharded-sweep artifacts from a journal directory:
+/// per-worker journals (`*.worker-*.jsonl`), lease snapshots
+/// (`*.leases.json`), serialized batches (`*.batch.json`) and orphaned
+/// temp files (`*.tmp`) left behind by killed coordinators. Files whose
+/// name starts with `<current_batch>.` are never touched (another process
+/// of the *same* batch may be mid-crash-recovery on them), and neither is
+/// anything younger than `older_than` — so a second coordinator running a
+/// different batch in the same directory is safe as long as it makes
+/// progress within that window. Merged batch journals (`<key>.jsonl`) are
+/// deliberately kept: they are the fleet-wide resume state.
+///
+/// Returns how many files were removed. All I/O failures are tolerated —
+/// hygiene must never kill the sweep it tidies up after.
+pub fn clean_stale_artifacts(
+    dir: &Path,
+    current_batch: &str,
+    older_than: std::time::Duration,
+) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let protect = format!("{current_batch}.");
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with(&protect) {
+            continue;
+        }
+        let is_shard_artifact = name.ends_with(".tmp")
+            || name.ends_with(".leases.json")
+            || name.ends_with(".batch.json")
+            || (name.ends_with(".jsonl") && name.contains(".worker-"));
+        if !is_shard_artifact {
+            continue;
+        }
+        let old_enough = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age >= older_than);
+        if old_enough && fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 /// Validates one framed line, returning the payload when the checksum
@@ -206,5 +289,54 @@ mod tests {
         let path = tmp_path("multiline");
         let mut j = Journal::open(&path, false).unwrap();
         assert!(j.append("two\nlines").is_err());
+        assert!(j
+            .append_all(&["fine".to_string(), "two\nlines".to_string()])
+            .is_err());
+        assert!(j.records().is_empty(), "rejected batches append nothing");
+    }
+
+    #[test]
+    fn append_all_is_one_durable_write_and_loads_back() {
+        let path = tmp_path("bulk");
+        let mut j = Journal::open(&path, false).unwrap();
+        j.append("first").unwrap();
+        j.append_all(&["second".to_string(), "third".to_string()])
+            .unwrap();
+        drop(j);
+        assert_eq!(Journal::load(&path).unwrap(), ["first", "second", "third"]);
+        // Read-only load of a missing journal is empty, not an error.
+        assert!(Journal::load(&path.with_extension("absent"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn stale_shard_artifacts_are_cleaned_but_batch_state_survives() {
+        let dir = std::env::temp_dir().join(format!("bl-journal-hygiene-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let touch = |name: &str| fs::write(dir.join(name), b"x").unwrap();
+        // Another (dead) batch's debris...
+        touch("deadbeef.worker-123-0.jsonl");
+        touch("deadbeef.leases.json");
+        touch("deadbeef.batch.json");
+        touch("deadbeef.jsonl.tmp");
+        // ...its merged journal (fleet resume state — must survive)...
+        touch("deadbeef.jsonl");
+        // ...and the current batch's own in-flight artifacts.
+        touch("cafe.worker-77-1.jsonl");
+        touch("cafe.leases.json");
+
+        // Young files are protected by the age threshold.
+        let removed = clean_stale_artifacts(&dir, "cafe", std::time::Duration::from_secs(3600));
+        assert_eq!(removed, 0);
+        // With the threshold at zero the foreign debris goes away...
+        let removed = clean_stale_artifacts(&dir, "cafe", std::time::Duration::ZERO);
+        assert_eq!(removed, 4);
+        // ...while the merged journal and the current batch's files stay.
+        assert!(dir.join("deadbeef.jsonl").exists());
+        assert!(dir.join("cafe.worker-77-1.jsonl").exists());
+        assert!(dir.join("cafe.leases.json").exists());
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -34,6 +34,7 @@ pub mod fault;
 pub mod journal;
 pub mod pool;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 

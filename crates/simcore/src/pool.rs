@@ -23,6 +23,12 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Mutex};
 
+use crate::budget::CancelToken;
+
+/// The error string a cancelled (never-started) item's slot carries after
+/// [`scoped_map_cancelable`] returns.
+pub const CANCELLED: &str = "cancelled before start";
+
 /// The number of worker threads to use when the caller asks for "all of
 /// them" (`jobs == 0` at higher layers): the host's available parallelism,
 /// or 1 if it cannot be determined.
@@ -47,6 +53,28 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    scoped_map_cancelable(items, jobs, &CancelToken::new(), f)
+}
+
+/// [`scoped_map`] with cooperative cancellation: once `cancel` trips, no
+/// *new* item is started — in-flight items finish (or are interrupted by
+/// their own budgets, if `f` polls the same token) and the skipped items'
+/// slots carry `Err(`[`CANCELLED`]`)`.
+///
+/// This is what lets a sweep *worker process* abandon the rest of its
+/// leased range the moment its coordinator dies, instead of burning
+/// minutes of orphaned simulation nobody will ever merge.
+pub fn scoped_map_cancelable<T, R, F>(
+    items: Vec<T>,
+    jobs: usize,
+    cancel: &CancelToken,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let n = items.len();
     let jobs = jobs.clamp(1, n.max(1));
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
@@ -61,6 +89,15 @@ where
                 // a panic inside `f` cannot poison the queue.
                 let job = queue.lock().expect("pool queue poisoned").pop_front();
                 let Some((i, item)) = job else { break };
+                if cancel.is_cancelled() {
+                    // Deliver the slot so the collector still sees every
+                    // index exactly once, then keep draining: sibling
+                    // workers observe the same tripped token.
+                    if tx.send((i, Err(CANCELLED.to_string()))).is_err() {
+                        break;
+                    }
+                    continue;
+                }
                 // `p.as_ref()`, not `&p`: `&Box<dyn Any>` would itself
                 // coerce to `&dyn Any` and hide the payload from downcasts.
                 let r = catch_unwind(AssertUnwindSafe(|| f(i, item)))
@@ -147,5 +184,29 @@ mod tests {
     #[test]
     fn available_jobs_is_positive() {
         assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn a_tripped_token_skips_unstarted_items() {
+        // Serial pool, token tripped by the second item: item 3 must not
+        // start, and its slot must say so.
+        let token = CancelToken::new();
+        let out = scoped_map_cancelable(vec![1u32, 2, 3], 1, &token, |_, x| {
+            if x == 2 {
+                token.cancel();
+            }
+            x * 10
+        });
+        assert_eq!(out[0], Ok(10));
+        assert_eq!(out[1], Ok(20), "in-flight items finish");
+        assert_eq!(out[2], Err(CANCELLED.to_string()));
+    }
+
+    #[test]
+    fn an_untripped_token_changes_nothing() {
+        let token = CancelToken::new();
+        let out = scoped_map_cancelable((0..9u32).collect(), 3, &token, |_, x| x + 1);
+        let vals: Vec<u32> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, (1..10).collect::<Vec<_>>());
     }
 }

@@ -342,7 +342,7 @@ mod tests {
         let mut r = SimRng::seed_from(7);
         let n = 100_001;
         let mut xs: Vec<f64> = (0..n).map(|_| r.lognormal(5.0, 0.8)).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         let median = xs[n / 2];
         assert!((median - 5.0).abs() < 0.2, "median = {median}");
     }

@@ -1,0 +1,623 @@
+//! Lease-based sharding of a batch across worker *processes*.
+//!
+//! One host runs out of runway at `host_parallelism`, and a single sweep
+//! process is a single point of failure for an entire batch. This module
+//! holds the process-agnostic half of the fix: a coordinator partitions a
+//! batch of `n` work items into contiguous index ranges ([`partition`]) and
+//! tracks who owns each range on a [`LeaseBoard`] with **expiring,
+//! heartbeat-renewed leases**. The coordinator/worker *runtime* (process
+//! spawning, pipes, journals) lives in the `biglittle` crate's sweep
+//! engine; everything here is pure state-machine code so the full lease
+//! lifecycle — including a wedged worker whose lease expires — is unit
+//! testable without spawning a single process.
+//!
+//! The lease lifecycle (see DESIGN.md §3.3):
+//!
+//! ```text
+//!          grant                 complete
+//!   Open ────────▶ Leased{w,e} ────────────▶ Done
+//!    ▲               │ heartbeat: deadline pushed out
+//!    │               │
+//!    │               │ deadline passes / worker dies
+//!    │               ▼
+//!    └──────── reclaimed (attempts += 0; counted at grant)
+//!                    │
+//!                    │ attempts ≥ max_attempts
+//!                    ▼
+//!               Quarantined
+//! ```
+//!
+//! Every grant carries a fresh, globally-unique **epoch**; heartbeats and
+//! completions from a worker whose lease was reclaimed carry a stale epoch
+//! and are rejected, so a zombie worker that wakes up after reclamation
+//! cannot corrupt the board. Time is passed in explicitly (milliseconds on
+//! any monotonic clock), never read from the wall — which is what makes
+//! the expiry paths deterministic under test.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a range on the board.
+pub type RangeId = usize;
+/// Index of a worker process in the fleet.
+pub type WorkerId = usize;
+
+/// Splits `n` items into contiguous `[start, end)` chunks of at most
+/// `chunk` items. `chunk == 0` is treated as 1.
+///
+/// ```
+/// use bl_simcore::shard::partition;
+/// assert_eq!(partition(7, 3), vec![(0, 3), (3, 6), (6, 7)]);
+/// assert_eq!(partition(0, 3), Vec::<(usize, usize)>::new());
+/// ```
+pub fn partition(n: usize, chunk: usize) -> Vec<(usize, usize)> {
+    let chunk = chunk.max(1);
+    let mut out = Vec::with_capacity(n.div_ceil(chunk));
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// Where a range is in its lease lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaseState {
+    /// Not currently leased; available for granting.
+    Open,
+    /// Leased to a worker until `deadline_ms` (renewed by heartbeats).
+    Leased {
+        /// The worker holding the lease.
+        worker: WorkerId,
+        /// The grant's unique epoch; stale-epoch messages are rejected.
+        epoch: u64,
+        /// When the lease expires if not renewed, in board-clock ms.
+        deadline_ms: u64,
+    },
+    /// Every item in the range has been executed and published.
+    Done,
+    /// The range kept killing or stalling its workers and was retired;
+    /// its items fail with a typed error instead of the batch dying.
+    Quarantined,
+}
+
+/// One contiguous range of the batch and its lease bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RangeLease {
+    /// The `[start, end)` item indices this range covers.
+    pub range: (usize, usize),
+    /// Current lifecycle state.
+    pub state: LeaseState,
+    /// Times the range has been granted (first grant included).
+    pub attempts: u32,
+}
+
+/// Monotonic counters over everything the board has done — surfaced in
+/// sweep statistics so an operator can see how rough the batch was.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardCounters {
+    /// Leases granted, re-grants included.
+    pub leases_granted: u64,
+    /// Leases reclaimed because the heartbeat deadline passed.
+    pub reclaimed_expired: u64,
+    /// Leases reclaimed because the owning worker died.
+    pub reclaimed_dead: u64,
+    /// Grants of a range that had already been granted before (re-leases
+    /// after a reclaim).
+    pub releases: u64,
+    /// Ranges retired after exhausting their attempt budget.
+    pub ranges_quarantined: u64,
+}
+
+/// The coordinator's view of every range lease in a batch.
+///
+/// The board never blocks and never reads a clock: callers feed it events
+/// (`grant`, `heartbeat`, `complete`, `reclaim_*`) with explicit
+/// timestamps and poll [`LeaseBoard::all_settled`] to learn when the batch
+/// is finished (every range `Done` or `Quarantined`).
+#[derive(Debug)]
+pub struct LeaseBoard {
+    ranges: Vec<RangeLease>,
+    lease_ms: u64,
+    max_attempts: u32,
+    next_epoch: u64,
+    counters: ShardCounters,
+}
+
+impl LeaseBoard {
+    /// A board over `ranges` whose leases expire `lease_ms` after the last
+    /// heartbeat, quarantining a range after `max_attempts` grants (clamped
+    /// to at least 1).
+    pub fn new(ranges: Vec<(usize, usize)>, lease_ms: u64, max_attempts: u32) -> LeaseBoard {
+        LeaseBoard {
+            ranges: ranges
+                .into_iter()
+                .map(|range| RangeLease {
+                    range,
+                    state: LeaseState::Open,
+                    attempts: 0,
+                })
+                .collect(),
+            lease_ms,
+            max_attempts: max_attempts.max(1),
+            next_epoch: 0,
+            counters: ShardCounters::default(),
+        }
+    }
+
+    /// Leases the next open range to `worker`, returning
+    /// `(range id, [start, end), epoch)`, or `None` when no range is
+    /// currently grantable (all leased, done, or quarantined).
+    pub fn grant(
+        &mut self,
+        worker: WorkerId,
+        now_ms: u64,
+    ) -> Option<(RangeId, (usize, usize), u64)> {
+        let rid = self
+            .ranges
+            .iter()
+            .position(|r| r.state == LeaseState::Open)?;
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let r = &mut self.ranges[rid];
+        if r.attempts > 0 {
+            self.counters.releases += 1;
+        }
+        r.attempts += 1;
+        r.state = LeaseState::Leased {
+            worker,
+            epoch,
+            deadline_ms: now_ms + self.lease_ms,
+        };
+        self.counters.leases_granted += 1;
+        Some((rid, r.range, epoch))
+    }
+
+    /// Renews the lease deadline. Returns `false` (and changes nothing)
+    /// when `(worker, epoch)` no longer hold the lease — the heartbeat of
+    /// a zombie whose range was reclaimed.
+    pub fn heartbeat(&mut self, worker: WorkerId, rid: RangeId, epoch: u64, now_ms: u64) -> bool {
+        match self.ranges.get_mut(rid) {
+            Some(r) => match &mut r.state {
+                LeaseState::Leased {
+                    worker: w,
+                    epoch: e,
+                    deadline_ms,
+                } if *w == worker && *e == epoch => {
+                    *deadline_ms = now_ms + self.lease_ms;
+                    true
+                }
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Marks the range complete. Returns `false` when `(worker, epoch)` no
+    /// longer hold the lease; a reclaimed range completed by its original
+    /// (presumed-dead) worker stays with whoever holds it now.
+    pub fn complete(&mut self, worker: WorkerId, rid: RangeId, epoch: u64) -> bool {
+        match self.ranges.get_mut(rid) {
+            Some(r) => match r.state {
+                LeaseState::Leased {
+                    worker: w,
+                    epoch: e,
+                    ..
+                } if w == worker && e == epoch => {
+                    r.state = LeaseState::Done;
+                    true
+                }
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Reclaims every lease whose deadline has passed, returning the
+    /// `(range, worker)` pairs reclaimed. Ranges out of attempts move to
+    /// `Quarantined`, the rest back to `Open` for re-leasing.
+    pub fn reclaim_expired(&mut self, now_ms: u64) -> Vec<(RangeId, WorkerId)> {
+        let mut reclaimed = Vec::new();
+        for rid in 0..self.ranges.len() {
+            if let LeaseState::Leased {
+                worker,
+                deadline_ms,
+                ..
+            } = self.ranges[rid].state
+            {
+                if now_ms >= deadline_ms {
+                    self.counters.reclaimed_expired += 1;
+                    self.reopen(rid);
+                    reclaimed.push((rid, worker));
+                }
+            }
+        }
+        reclaimed
+    }
+
+    /// Reclaims every lease held by `worker` (it died), returning the
+    /// reclaimed range ids.
+    pub fn reclaim_worker(&mut self, worker: WorkerId) -> Vec<RangeId> {
+        let mut reclaimed = Vec::new();
+        for rid in 0..self.ranges.len() {
+            if matches!(self.ranges[rid].state, LeaseState::Leased { worker: w, .. } if w == worker)
+            {
+                self.counters.reclaimed_dead += 1;
+                self.reopen(rid);
+                reclaimed.push(rid);
+            }
+        }
+        reclaimed
+    }
+
+    /// Quarantines every range that is not `Done` — the last-resort path
+    /// when the whole fleet died and nothing can make progress.
+    pub fn quarantine_unfinished(&mut self) -> Vec<RangeId> {
+        let mut retired = Vec::new();
+        for rid in 0..self.ranges.len() {
+            let r = &mut self.ranges[rid];
+            if !matches!(r.state, LeaseState::Done | LeaseState::Quarantined) {
+                r.state = LeaseState::Quarantined;
+                self.counters.ranges_quarantined += 1;
+                retired.push(rid);
+            }
+        }
+        retired
+    }
+
+    /// Puts a reclaimed range back in play, or retires it when its attempt
+    /// budget is spent.
+    fn reopen(&mut self, rid: RangeId) {
+        let max = self.max_attempts;
+        let r = &mut self.ranges[rid];
+        if r.attempts >= max {
+            r.state = LeaseState::Quarantined;
+            self.counters.ranges_quarantined += 1;
+        } else {
+            r.state = LeaseState::Open;
+        }
+    }
+
+    /// Whether any range is currently grantable.
+    pub fn has_open_work(&self) -> bool {
+        self.ranges.iter().any(|r| r.state == LeaseState::Open)
+    }
+
+    /// Whether every range is `Done` or `Quarantined`.
+    pub fn all_settled(&self) -> bool {
+        self.ranges
+            .iter()
+            .all(|r| matches!(r.state, LeaseState::Done | LeaseState::Quarantined))
+    }
+
+    /// The ranges in quarantine, as `(range id, [start, end), attempts)`.
+    pub fn quarantined(&self) -> Vec<(RangeId, (usize, usize), u32)> {
+        self.ranges
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.state == LeaseState::Quarantined)
+            .map(|(rid, r)| (rid, r.range, r.attempts))
+            .collect()
+    }
+
+    /// Every range lease, for persistence/observability snapshots.
+    pub fn leases(&self) -> &[RangeLease] {
+        &self.ranges
+    }
+
+    /// The board's activity counters so far.
+    pub fn counters(&self) -> &ShardCounters {
+        &self.counters
+    }
+}
+
+// ---- wire protocol ---------------------------------------------------------
+//
+// The coordinator and its workers speak a line-oriented text protocol over
+// the workers' stdin/stdout pipes. One message per line, fields
+// space-separated, nothing quoted — results never travel on the pipe (they
+// go through the per-worker journals), so the protocol stays trivially
+// parseable and versioning-free.
+
+/// Coordinator → worker messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToWorker {
+    /// Execute batch items `[start, end)` under `(range, epoch)`.
+    Lease {
+        /// Range id on the coordinator's board.
+        range: RangeId,
+        /// First batch index of the range.
+        start: usize,
+        /// One past the last batch index.
+        end: usize,
+        /// The grant's epoch, echoed back in heartbeats/completions.
+        epoch: u64,
+    },
+    /// No more work will come; exit cleanly.
+    Shutdown,
+}
+
+impl ToWorker {
+    /// Renders the message as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            ToWorker::Lease {
+                range,
+                start,
+                end,
+                epoch,
+            } => format!("lease {range} {start} {end} {epoch}"),
+            ToWorker::Shutdown => "shutdown".to_string(),
+        }
+    }
+
+    /// Parses one protocol line; `None` for anything malformed (a torn or
+    /// foreign line must never crash a worker).
+    pub fn parse(line: &str) -> Option<ToWorker> {
+        let mut f = line.split_ascii_whitespace();
+        match f.next()? {
+            "lease" => {
+                let range = f.next()?.parse().ok()?;
+                let start = f.next()?.parse().ok()?;
+                let end = f.next()?.parse().ok()?;
+                let epoch = f.next()?.parse().ok()?;
+                (f.next().is_none() && start <= end).then_some(ToWorker::Lease {
+                    range,
+                    start,
+                    end,
+                    epoch,
+                })
+            }
+            "shutdown" => f.next().is_none().then_some(ToWorker::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Worker → coordinator messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FromWorker {
+    /// The worker started and is ready for its first lease.
+    Ready {
+        /// The worker's fleet id.
+        worker: WorkerId,
+    },
+    /// The worker is alive and still executing `(range, epoch)`.
+    Heartbeat {
+        /// The worker's fleet id.
+        worker: WorkerId,
+        /// The range being executed.
+        range: RangeId,
+        /// The lease's epoch.
+        epoch: u64,
+    },
+    /// Every item of `(range, epoch)` is executed and journaled.
+    RangeDone {
+        /// The worker's fleet id.
+        worker: WorkerId,
+        /// The completed range.
+        range: RangeId,
+        /// The lease's epoch.
+        epoch: u64,
+    },
+}
+
+impl FromWorker {
+    /// Renders the message as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            FromWorker::Ready { worker } => format!("ready {worker}"),
+            FromWorker::Heartbeat {
+                worker,
+                range,
+                epoch,
+            } => format!("hb {worker} {range} {epoch}"),
+            FromWorker::RangeDone {
+                worker,
+                range,
+                epoch,
+            } => format!("done {worker} {range} {epoch}"),
+        }
+    }
+
+    /// Parses one protocol line; `None` for anything malformed (workers
+    /// share stdout with nothing, but a half-written line from a killed
+    /// worker must parse as garbage, not as a message).
+    pub fn parse(line: &str) -> Option<FromWorker> {
+        let mut f = line.split_ascii_whitespace();
+        let msg = match f.next()? {
+            "ready" => FromWorker::Ready {
+                worker: f.next()?.parse().ok()?,
+            },
+            "hb" => FromWorker::Heartbeat {
+                worker: f.next()?.parse().ok()?,
+                range: f.next()?.parse().ok()?,
+                epoch: f.next()?.parse().ok()?,
+            },
+            "done" => FromWorker::RangeDone {
+                worker: f.next()?.parse().ok()?,
+                range: f.next()?.parse().ok()?,
+                epoch: f.next()?.parse().ok()?,
+            },
+            _ => return None,
+        };
+        f.next().is_none().then_some(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly_once() {
+        for n in [0usize, 1, 5, 16, 17] {
+            for chunk in [0usize, 1, 3, 16, 100] {
+                let ranges = partition(n, chunk);
+                let mut covered = 0;
+                let mut expect_start = 0;
+                for (s, e) in &ranges {
+                    assert_eq!(*s, expect_start, "ranges must be contiguous");
+                    assert!(e > s, "ranges must be non-empty");
+                    assert!(e - s <= chunk.max(1));
+                    covered += e - s;
+                    expect_start = *e;
+                }
+                assert_eq!(covered, n, "n={n} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn lease_lifecycle_happy_path() {
+        let mut b = LeaseBoard::new(partition(6, 3), 1_000, 3);
+        let (r0, span0, e0) = b.grant(0, 0).unwrap();
+        let (r1, span1, e1) = b.grant(1, 0).unwrap();
+        assert_eq!((span0, span1), ((0, 3), (3, 6)));
+        assert_ne!(e0, e1, "every grant gets a fresh epoch");
+        assert!(b.grant(2, 0).is_none(), "no third range to lease");
+        assert!(b.heartbeat(0, r0, e0, 500));
+        assert!(b.complete(0, r0, e0));
+        assert!(b.complete(1, r1, e1));
+        assert!(b.all_settled());
+        assert_eq!(b.counters().leases_granted, 2);
+        assert_eq!(b.counters().reclaimed_expired, 0);
+        assert_eq!(b.counters().releases, 0);
+    }
+
+    /// The satellite case: a wedged worker takes a lease, stops
+    /// heartbeating, and its range must be reclaimed at the deadline and
+    /// re-leased to a survivor — with the zombie's late messages rejected.
+    #[test]
+    fn wedged_worker_lease_expires_and_is_releleased() {
+        let mut b = LeaseBoard::new(partition(4, 2), 1_000, 3);
+        let (rid, _, stale_epoch) = b.grant(0, 0).unwrap();
+
+        // Heartbeats keep the lease alive past the original deadline...
+        assert!(b.heartbeat(0, rid, stale_epoch, 900));
+        assert!(b.reclaim_expired(1_500).is_empty(), "renewed at 900");
+
+        // ...then worker 0 wedges: no heartbeat, deadline 1900 passes.
+        let reclaimed = b.reclaim_expired(1_900);
+        assert_eq!(reclaimed, vec![(rid, 0)]);
+        assert!(b.has_open_work(), "the range went back to Open");
+
+        // A survivor picks it up under a fresh epoch.
+        let (rid2, _, fresh_epoch) = b.grant(1, 2_000).unwrap();
+        assert_eq!(rid2, rid);
+        assert_ne!(fresh_epoch, stale_epoch);
+
+        // The zombie wakes up: its stale-epoch messages change nothing.
+        assert!(!b.heartbeat(0, rid, stale_epoch, 2_100));
+        assert!(!b.complete(0, rid, stale_epoch));
+
+        // The survivor finishes the range for real.
+        assert!(b.complete(1, rid, fresh_epoch));
+        assert!(!b.all_settled(), "one range left");
+        assert_eq!(b.counters().reclaimed_expired, 1);
+        assert_eq!(b.counters().releases, 1);
+    }
+
+    #[test]
+    fn repeated_reclaims_quarantine_the_range() {
+        let mut b = LeaseBoard::new(partition(1, 1), 100, 2);
+        for attempt in 0..2u64 {
+            let now = attempt * 1_000;
+            let (rid, _, _) = b.grant(0, now).unwrap();
+            assert_eq!(rid, 0);
+            assert_eq!(b.reclaim_expired(now + 100), vec![(0, 0)]);
+        }
+        // Two grants spent the attempt budget: quarantined, not open.
+        assert!(!b.has_open_work());
+        assert!(b.grant(1, 9_999).is_none());
+        assert!(b.all_settled());
+        assert_eq!(b.quarantined(), vec![(0, (0, 1), 2)]);
+        assert_eq!(b.counters().ranges_quarantined, 1);
+        assert_eq!(b.counters().releases, 1);
+    }
+
+    #[test]
+    fn worker_death_reclaims_only_its_leases() {
+        let mut b = LeaseBoard::new(partition(4, 2), 1_000, 3);
+        let (r0, _, _) = b.grant(0, 0).unwrap();
+        let (r1, _, e1) = b.grant(1, 0).unwrap();
+        assert_eq!(b.reclaim_worker(0), vec![r0]);
+        assert_eq!(b.counters().reclaimed_dead, 1);
+        // Worker 1's lease is untouched.
+        assert!(b.heartbeat(1, r1, e1, 500));
+        // The dead worker's range is grantable again.
+        let (r0_again, _, _) = b.grant(1, 600).unwrap();
+        assert_eq!(r0_again, r0);
+    }
+
+    #[test]
+    fn quarantine_unfinished_settles_everything() {
+        let mut b = LeaseBoard::new(partition(4, 2), 1_000, 3);
+        let (r0, _, e0) = b.grant(0, 0).unwrap();
+        assert!(b.complete(0, r0, e0));
+        let retired = b.quarantine_unfinished();
+        assert_eq!(retired.len(), 1, "only the non-done range retires");
+        assert!(b.all_settled());
+        assert_eq!(b.quarantined().len(), 1);
+    }
+
+    #[test]
+    fn protocol_round_trips() {
+        let to = [
+            ToWorker::Lease {
+                range: 3,
+                start: 12,
+                end: 20,
+                epoch: 7,
+            },
+            ToWorker::Shutdown,
+        ];
+        for m in to {
+            assert_eq!(ToWorker::parse(&m.to_line()), Some(m));
+        }
+        let from = [
+            FromWorker::Ready { worker: 2 },
+            FromWorker::Heartbeat {
+                worker: 2,
+                range: 3,
+                epoch: 7,
+            },
+            FromWorker::RangeDone {
+                worker: 2,
+                range: 3,
+                epoch: 7,
+            },
+        ];
+        for m in from {
+            assert_eq!(FromWorker::parse(&m.to_line()), Some(m));
+        }
+    }
+
+    #[test]
+    fn malformed_protocol_lines_are_rejected() {
+        for line in [
+            "",
+            "lease",
+            "lease 1 2",
+            "lease 1 5 2 0",   // start > end
+            "lease 1 2 3 4 5", // trailing field
+            "done 1 2",
+            "hb x 0 0",
+            "launch-the-missiles",
+        ] {
+            assert_eq!(ToWorker::parse(line), None, "{line:?}");
+            assert_eq!(FromWorker::parse(line), None, "{line:?}");
+        }
+        assert_eq!(
+            ToWorker::parse("lease 1 2 2 0"),
+            Some(ToWorker::Lease {
+                range: 1,
+                start: 2,
+                end: 2,
+                epoch: 0
+            }),
+            "empty ranges are well-formed"
+        );
+    }
+}
