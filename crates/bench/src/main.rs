@@ -19,6 +19,7 @@
 //! repro --heartbeat-ms 1000 # worker heartbeat cadence
 //! repro --bench-sweep f.json # serial-vs-parallel wall-time comparison
 //! repro --bench-hotloop f.json # ticked-vs-skip-ahead hot-loop microbench
+//! repro --bench-snapshot f.json # cold-vs-forked prefix-sharing sweep bench
 //! repro --demo-sweep f.json # deterministic journaled batch (kill/resume demo)
 //! repro --smoke-supervision f.json # chaos batch: quarantine + self-heal smoke
 //! repro --smoke-shard f.json # chaos fleet: kill a worker mid-batch, verify merge
@@ -30,7 +31,7 @@
 
 use std::time::{Duration, Instant};
 
-use biglittle::{sweep, SweepOptions};
+use biglittle::{sweep, SimOptions, SweepOptions};
 use bl_bench::{run_experiment_json_with, run_experiment_with, EXPERIMENTS, SEED};
 use serde::Value;
 
@@ -62,16 +63,18 @@ fn main() {
     let mut jobs: usize = 0; // 0 = all available cores
     let mut cache = true;
     let mut journal = true;
-    let mut deadline_ms: Option<u64> = None;
-    let mut max_events: Option<u64> = None;
+    // Execution knobs (budgets, auditing) funnel through the same
+    // serializable bundle `SimulationBuilder::options` consumes, so the
+    // CLI and programmatic front ends share one source of truth.
+    let mut sim_opts = SimOptions::default();
     let mut retries: u32 = 0;
-    let mut audit = false;
     let mut resume = false;
     let mut workers: usize = 0;
     let mut lease_ms: Option<u64> = None;
     let mut heartbeat_ms: Option<u64> = None;
     let mut bench_sweep: Option<String> = None;
     let mut bench_hotloop: Option<String> = None;
+    let mut bench_snapshot: Option<String> = None;
     let mut demo_sweep: Option<String> = None;
     let mut smoke_supervision: Option<String> = None;
     let mut smoke_shard: Option<String> = None;
@@ -103,14 +106,14 @@ fn main() {
                 }
             }
             "--deadline-ms" => {
-                deadline_ms = Some(
+                sim_opts.deadline_ms = Some(
                     it.next()
                         .and_then(|s| s.parse().ok())
                         .expect("--deadline-ms takes an integer (milliseconds)"),
                 )
             }
             "--max-events" => {
-                max_events = Some(
+                sim_opts.max_events = Some(
                     it.next()
                         .and_then(|s| s.parse().ok())
                         .expect("--max-events takes an integer"),
@@ -122,7 +125,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--retries takes an integer")
             }
-            "--audit" => audit = true,
+            "--audit" => sim_opts.audit = true,
             "--resume" => resume = true,
             "--workers" => {
                 workers = it
@@ -146,6 +149,7 @@ fn main() {
             }
             "--bench-sweep" => bench_sweep = it.next().cloned(),
             "--bench-hotloop" => bench_hotloop = it.next().cloned(),
+            "--bench-snapshot" => bench_snapshot = it.next().cloned(),
             "--demo-sweep" => demo_sweep = it.next().cloned(),
             "--smoke-supervision" => smoke_supervision = it.next().cloned(),
             "--smoke-shard" => smoke_shard = it.next().cloned(),
@@ -163,6 +167,7 @@ fn main() {
                      \x20            [--audit] [--resume]\n\
                      \x20            [--workers <n>] [--lease-ms <n>] [--heartbeat-ms <n>]\n\
                      \x20            [--bench-sweep <file>] [--bench-hotloop <file>]\n\
+                     \x20            [--bench-snapshot <file>]\n\
                      \x20            [--demo-sweep <file>] [--smoke-supervision <file>]\n\
                      \x20            [--smoke-shard <file>] [--list]\n\
                      ids: {}",
@@ -180,18 +185,12 @@ fn main() {
     let opts = {
         let mut o = SweepOptions::with_jobs(jobs)
             .with_retries(retries)
-            .audited(audit);
+            .with_sim_options(&sim_opts);
         if cache {
             o = o.cached(CACHE_DIR);
         }
         if journal {
             o = o.journaled(sweep::DEFAULT_JOURNAL_DIR).resuming(resume);
-        }
-        if let Some(ms) = deadline_ms {
-            o = o.with_deadline(Duration::from_millis(ms));
-        }
-        if let Some(cap) = max_events {
-            o = o.with_event_cap(cap);
         }
         if workers > 0 {
             o = o.sharded(workers);
@@ -211,6 +210,10 @@ fn main() {
     }
     if let Some(path) = bench_hotloop {
         run_bench_hotloop(&path, seed, fast);
+        return;
+    }
+    if let Some(path) = bench_snapshot {
+        run_bench_snapshot(&path, seed, fast);
         return;
     }
     if let Some(path) = demo_sweep {
@@ -449,6 +452,180 @@ fn run_bench_hotloop(path: &str, seed: u64, fast: bool) {
     eprintln!("wrote {path}");
     if !all_identical {
         eprintln!("ERROR: skip-ahead diverged from the ticked path");
+        std::process::exit(1);
+    }
+}
+
+/// Times a TLP-heavy sweep grid whose points differ only in late-bound
+/// parameters — a governor swap and a fault onset applied after a shared
+/// warm-up — twice: cold (`prefix_sharing(false)`, every point replays
+/// its warm-up prefix) and shared (the prefix is simulated once per fork
+/// group and each point forks the snapshot). Both runs are serial and
+/// uncached so the ratio isolates prefix sharing. Verifies the two grids
+/// are bit-identical point by point and writes a machine-readable record
+/// to `path`; exits 1 on any divergence.
+fn run_bench_snapshot(path: &str, seed: u64, fast: bool) {
+    use biglittle::{LateBindings, Scenario, StopWhen, SystemConfig};
+    use bl_governor::GovernorConfig;
+    use bl_simcore::fault::{FaultKind, FaultPlan};
+    use bl_simcore::time::{SimDuration, SimTime};
+    use bl_workloads::apps::app_by_name;
+
+    let warmup = if fast {
+        SimDuration::from_millis(300)
+    } else {
+        SimDuration::from_secs(2)
+    };
+    let tail = if fast {
+        SimDuration::from_millis(100)
+    } else {
+        SimDuration::from_millis(250)
+    };
+    let at_warmup = SimTime::ZERO + warmup;
+
+    // Late-bound governor swaps: one entry per cluster (big, LITTLE).
+    let governors: Vec<(&str, Option<Vec<GovernorConfig>>)> = vec![
+        ("keep", None),
+        (
+            "performance",
+            Some(vec![
+                GovernorConfig::Performance,
+                GovernorConfig::Performance,
+            ]),
+        ),
+        (
+            "powersave",
+            Some(vec![GovernorConfig::Powersave, GovernorConfig::Powersave]),
+        ),
+    ];
+    // Late-bound fault onsets, all at or after the warm-up point.
+    let faults: Vec<(&str, FaultPlan)> = vec![
+        ("none", FaultPlan::new()),
+        (
+            "spike",
+            FaultPlan::new().with(
+                at_warmup,
+                FaultKind::ThermalSpike {
+                    cluster: 0,
+                    delta_c: 8.0,
+                },
+            ),
+        ),
+        (
+            "outage",
+            FaultPlan::new().with_outage(at_warmup, SimDuration::from_millis(50), &[1]),
+        ),
+        (
+            "gov_stall",
+            FaultPlan::new().with(
+                at_warmup,
+                FaultKind::GovernorStall {
+                    cluster: 1,
+                    missed_samples: 3,
+                },
+            ),
+        ),
+    ];
+    let (n_gov, n_fault) = if fast { (2, 2) } else { (3, 4) };
+
+    let app = app_by_name("Angry Bird").expect("known app");
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    for (gname, govs) in &governors[..n_gov] {
+        for (fname, plan) in &faults[..n_fault] {
+            scenarios.push(
+                Scenario::app(
+                    format!("ab-{gname}-{fname}"),
+                    app.clone(),
+                    SystemConfig::baseline().with_seed(seed),
+                )
+                .with_stop(StopWhen::Deadline(warmup + tail))
+                .with_warmup(warmup)
+                .with_late(LateBindings {
+                    governors: govs.clone(),
+                    faults: plan.clone(),
+                }),
+            );
+        }
+    }
+    let groups: usize = {
+        let mut keys: Vec<String> = scenarios
+            .iter()
+            .filter_map(|sc| sweep::SnapshotSpec::of(sc).map(|spec| spec.key()))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys.len()
+    };
+
+    let run = |share: bool| {
+        let opts = SweepOptions::serial().prefix_sharing(share);
+        let _ = sweep::take_stats();
+        let t0 = Instant::now();
+        let out = sweep::run_with(&scenarios, &opts);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        (out.results, sweep::take_stats(), wall_ms)
+    };
+    let (cold, _, cold_ms) = run(false);
+    let (shared, shared_stats, shared_ms) = run(true);
+
+    let mut records = Vec::new();
+    let mut all_identical = true;
+    for (i, sc) in scenarios.iter().enumerate() {
+        let identical = match (&cold[i], &shared[i]) {
+            (Ok(a), Ok(b)) => {
+                serde_json::to_string(a).expect("serialize")
+                    == serde_json::to_string(b).expect("serialize")
+            }
+            _ => false,
+        };
+        all_identical &= identical;
+        let forked = shared_stats.per_scenario.get(i).is_some_and(|s| s.forked);
+        records.push(Value::Object(vec![
+            ("scenario".into(), Value::String(sc.label.clone())),
+            ("bit_identical".into(), Value::Bool(identical)),
+            ("forked".into(), Value::Bool(forked)),
+        ]));
+    }
+    let speedup = cold_ms / shared_ms;
+    eprintln!(
+        "bench-snapshot: {} points in {groups} fork group(s), {} forked \
+         cold={cold_ms:.0}ms shared={shared_ms:.0}ms speedup={speedup:.1}x identical={all_identical}",
+        scenarios.len(),
+        shared_stats.forked,
+    );
+
+    let report = Value::Object(vec![
+        (
+            "suite".into(),
+            Value::String("snapshot prefix-sharing".into()),
+        ),
+        ("seed".into(), Value::UInt(seed)),
+        ("fast".into(), Value::Bool(fast)),
+        ("points".into(), Value::UInt(scenarios.len() as u64)),
+        ("groups".into(), Value::UInt(groups as u64)),
+        ("forked".into(), Value::UInt(shared_stats.forked)),
+        ("warmup_ms".into(), Value::Float(warmup.as_millis_f64())),
+        ("tail_ms".into(), Value::Float(tail.as_millis_f64())),
+        ("cold_ms".into(), Value::Float(cold_ms)),
+        ("shared_ms".into(), Value::Float(shared_ms)),
+        ("speedup".into(), Value::Float(speedup)),
+        ("bit_identical".into(), Value::Bool(all_identical)),
+        (
+            "note".into(),
+            Value::String(
+                "serial, uncached; wall times move with the host, speedup and \
+                 bit_identical should not. Regenerate with \
+                 `repro --bench-snapshot <file>`."
+                    .into(),
+            ),
+        ),
+        ("points_detail".into(), Value::Array(records)),
+    ]);
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, body + "\n").expect("write bench-snapshot file");
+    eprintln!("wrote {path}");
+    if !all_identical {
+        eprintln!("ERROR: forked runs diverged from cold runs");
         std::process::exit(1);
     }
 }

@@ -183,7 +183,9 @@ pub fn run_param_sweep(apps: Vec<AppModel>, seed: u64, opts: &SweepOptions) -> P
             ));
         }
     }
-    let results = sweep::run_all(&scenarios, opts);
+    let results = sweep::SweepRequest::new(scenarios)
+        .options(opts.clone())
+        .run_expecting_all();
     let baseline: Vec<(String, PerfMetric, RunResult)> = apps
         .iter()
         .zip(&results)

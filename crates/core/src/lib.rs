@@ -63,13 +63,15 @@
 
 pub mod config;
 pub mod experiments;
+pub mod options;
 pub mod result;
 pub mod scenario;
 pub mod sim;
 pub mod sweep;
 
 pub use config::SystemConfig;
+pub use options::SimOptions;
 pub use result::{ResilienceStats, RunResult};
-pub use scenario::{PlatformPreset, Scenario, StopWhen, Workload};
-pub use sim::{Simulation, SimulationBuilder};
-pub use sweep::{SweepOptions, SweepOutcome, SweepStats};
+pub use scenario::{LateBindings, PlatformPreset, Scenario, StopWhen, Workload};
+pub use sim::{SimSnapshot, Simulation, SimulationBuilder};
+pub use sweep::{SweepOptions, SweepOutcome, SweepReport, SweepRequest, SweepStats};

@@ -1,0 +1,177 @@
+//! One serializable bundle of execution options shared by every front end.
+//!
+//! Skip-ahead, auditing, the stall watchdog and execution budgets used to
+//! be configured twice: once through `SystemConfig::with_*` builder calls
+//! and once through the `repro` binary's hand-parsed flags. [`SimOptions`]
+//! is the single source of truth both consume — the builder folds it into
+//! the configuration via [`SimulationBuilder::options`], and the flag
+//! parser fills the same struct field by field — so a knob added here is
+//! automatically available everywhere, with one set of defaults.
+//!
+//! [`SimulationBuilder::options`]: crate::sim::SimulationBuilder::options
+
+use crate::config::SystemConfig;
+use bl_simcore::budget::RunBudget;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Execution options for a run or sweep: everything about *how* to execute
+/// that does not change *what* is simulated. All fields have serde
+/// defaults, so persisted option sets stay readable as knobs are added.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// Event-driven idle skip-ahead (results are bit-identical either
+    /// way; see [`SystemConfig::skip_ahead`]).
+    #[serde(default = "default_skip_ahead")]
+    pub skip_ahead: bool,
+    /// Runtime invariant auditing (see [`SystemConfig::audit`]).
+    #[serde(default)]
+    pub audit: bool,
+    /// Events between invariant-audit passes when `audit` is on.
+    #[serde(default = "default_audit_cadence")]
+    pub audit_cadence: u64,
+    /// Stall-watchdog limit on events at a single simulated instant.
+    #[serde(default = "default_watchdog_limit")]
+    pub watchdog_same_time_limit: u64,
+    /// Wall-clock budget per run in milliseconds (`None` = unlimited).
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+    /// Simulated-event budget per run (`None` = unlimited).
+    #[serde(default)]
+    pub max_events: Option<u64>,
+}
+
+fn default_skip_ahead() -> bool {
+    true
+}
+
+fn default_watchdog_limit() -> u64 {
+    100_000
+}
+
+fn default_audit_cadence() -> u64 {
+    bl_simcore::audit::DEFAULT_AUDIT_CADENCE
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            skip_ahead: default_skip_ahead(),
+            audit: false,
+            audit_cadence: default_audit_cadence(),
+            watchdog_same_time_limit: default_watchdog_limit(),
+            deadline_ms: None,
+            max_events: None,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Enables or disables idle skip-ahead.
+    pub fn with_skip_ahead(mut self, on: bool) -> Self {
+        self.skip_ahead = on;
+        self
+    }
+
+    /// Enables or disables the invariant auditor.
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Sets the audit cadence (events between passes).
+    pub fn with_audit_cadence(mut self, cadence: u64) -> Self {
+        self.audit_cadence = cadence;
+        self
+    }
+
+    /// Sets the stall watchdog's same-instant event limit.
+    pub fn with_watchdog_limit(mut self, limit: u64) -> Self {
+        self.watchdog_same_time_limit = limit;
+        self
+    }
+
+    /// Sets the per-run wall-clock budget in milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Sets the per-run simulated-event budget.
+    pub fn with_max_events(mut self, events: u64) -> Self {
+        self.max_events = Some(events);
+        self
+    }
+
+    /// Folds the execution knobs into a [`SystemConfig`] (budget limits
+    /// are not config — read them with [`SimOptions::budget`]).
+    pub fn apply_to(&self, cfg: &mut SystemConfig) {
+        cfg.skip_ahead = self.skip_ahead;
+        cfg.audit = self.audit;
+        cfg.audit_cadence = self.audit_cadence;
+        cfg.watchdog_same_time_limit = self.watchdog_same_time_limit;
+    }
+
+    /// The execution budget these options describe (unlimited when neither
+    /// limit is set).
+    pub fn budget(&self) -> RunBudget {
+        let mut b = RunBudget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_wall_limit(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.max_events {
+            b = b.with_max_events(n);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_system_config_defaults() {
+        let opts = SimOptions::default();
+        let cfg = SystemConfig::baseline();
+        assert_eq!(opts.skip_ahead, cfg.skip_ahead);
+        assert_eq!(opts.audit, cfg.audit);
+        assert_eq!(opts.audit_cadence, cfg.audit_cadence);
+        assert_eq!(opts.watchdog_same_time_limit, cfg.watchdog_same_time_limit);
+        assert!(opts.budget().is_unlimited());
+    }
+
+    #[test]
+    fn apply_to_overrides_every_knob() {
+        let opts = SimOptions::default()
+            .with_skip_ahead(false)
+            .with_audit(true)
+            .with_audit_cadence(64)
+            .with_watchdog_limit(2_000);
+        let mut cfg = SystemConfig::baseline();
+        opts.apply_to(&mut cfg);
+        assert!(!cfg.skip_ahead);
+        assert!(cfg.audit);
+        assert_eq!(cfg.audit_cadence, 64);
+        assert_eq!(cfg.watchdog_same_time_limit, 2_000);
+    }
+
+    #[test]
+    fn budget_limits_arm_a_run_budget() {
+        let opts = SimOptions::default()
+            .with_deadline_ms(1_000)
+            .with_max_events(5);
+        assert!(!opts.budget().is_unlimited());
+    }
+
+    #[test]
+    fn serde_round_trip_and_sparse_deserialization() {
+        let opts = SimOptions::default().with_audit(true).with_max_events(10);
+        let json = serde_json::to_string(&opts).unwrap();
+        let back: SimOptions = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, opts);
+        // An empty object yields the defaults (forward compatibility).
+        let sparse: SimOptions = serde_json::from_str("{}").unwrap();
+        assert_eq!(sparse, SimOptions::default());
+    }
+}

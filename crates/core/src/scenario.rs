@@ -15,13 +15,15 @@
 
 use crate::config::SystemConfig;
 use crate::result::RunResult;
-use crate::sim::Simulation;
+use crate::sim::{SimSnapshot, Simulation};
+use bl_governor::GovernorConfig;
 use bl_kernel::task::Affinity;
 use bl_platform::exynos::{exynos5422, exynos5422_equal_l2, exynos5422_tiny_floor};
 use bl_platform::ids::CpuId;
 use bl_platform::topology::Platform;
 use bl_simcore::budget::RunBudget;
 use bl_simcore::error::SimError;
+use bl_simcore::fault::FaultPlan;
 use bl_simcore::time::{SimDuration, SimTime};
 use bl_workloads::apps::AppModel;
 use bl_workloads::spec::SpecKernel;
@@ -82,6 +84,31 @@ pub enum Workload {
     },
 }
 
+/// Parameters a scenario binds *after* its warm-up prefix, at
+/// `t = warmup`: the knobs sweep grids typically vary while everything
+/// before the split point stays byte-identical. Scenarios differing only
+/// in late bindings (and label / stop condition) share a warmed-up
+/// [`SimSnapshot`] in prefix-sharing sweeps instead of each replaying the
+/// prefix.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LateBindings {
+    /// Replacement governors (one per cluster), swapped in at the warm-up
+    /// point; `None` keeps the prefix governors.
+    #[serde(default)]
+    pub governors: Option<Vec<GovernorConfig>>,
+    /// Additional faults scheduled at the warm-up point; onsets before it
+    /// fire immediately.
+    #[serde(default)]
+    pub faults: FaultPlan,
+}
+
+impl LateBindings {
+    /// True when the bindings change nothing.
+    pub fn is_empty(&self) -> bool {
+        self.governors.is_none() && self.faults.is_empty()
+    }
+}
+
 /// When a scenario's run ends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StopWhen {
@@ -123,6 +150,15 @@ pub struct Scenario {
     pub workloads: Vec<Workload>,
     /// The stop condition.
     pub stop: StopWhen,
+    /// Optional warm-up split point: the run executes to this time first,
+    /// then applies `late` and continues to `stop`. Scenarios with equal
+    /// prefixes (everything except label, `late` and `stop`) can share a
+    /// snapshot taken here.
+    #[serde(default)]
+    pub warmup: Option<SimDuration>,
+    /// Parameters bound at the warm-up point (requires `warmup`).
+    #[serde(default)]
+    pub late: Option<LateBindings>,
 }
 
 impl Scenario {
@@ -144,6 +180,8 @@ impl Scenario {
             config,
             workloads: vec![Workload::App { app, affinity }],
             stop: StopWhen::FirstAppDone,
+            warmup: None,
+            late: None,
         }
     }
 
@@ -169,6 +207,8 @@ impl Scenario {
             stop: StopWhen::AllExited {
                 cap: ref_duration * 4,
             },
+            warmup: None,
+            late: None,
         }
     }
 
@@ -192,6 +232,8 @@ impl Scenario {
                 period,
             }],
             stop: StopWhen::Deadline(run_for),
+            warmup: None,
+            late: None,
         }
     }
 
@@ -210,6 +252,18 @@ impl Scenario {
     /// Appends another workload (spawned after the existing ones).
     pub fn push(mut self, workload: Workload) -> Self {
         self.workloads.push(workload);
+        self
+    }
+
+    /// Sets the warm-up split point (see [`Scenario::warmup`]).
+    pub fn with_warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = Some(warmup);
+        self
+    }
+
+    /// Sets the parameters bound at the warm-up point.
+    pub fn with_late(mut self, late: LateBindings) -> Self {
+        self.late = Some(late);
         self
     }
 
@@ -239,17 +293,92 @@ impl Scenario {
     /// [`SimError::DeadlineExceeded`] / [`SimError::EventBudgetExhausted`]
     /// when a limit is crossed.
     pub fn run_with_budget(&self, budget: &RunBudget) -> Result<RunResult, SimError> {
+        let mut sim = self.instantiate(budget)?;
+        if let Some(w) = self.warmup {
+            sim.try_run_until(SimTime::ZERO + w)?;
+            self.apply_late(&mut sim)?;
+        }
+        self.run_to_stop(&mut sim)
+    }
+
+    /// Builds the prefix of this scenario — platform, config, workloads,
+    /// run to the warm-up point — and captures it as a [`SimSnapshot`].
+    /// Every scenario with an equal [`Scenario::prefix_scenario`] can then
+    /// continue from it via [`Scenario::run_forked`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Scenario::run_with_budget`] reports, plus
+    /// [`SimError::InvalidConfig`] when the scenario has no warm-up point
+    /// and [`SimError::SnapshotUnsupported`] when the warmed-up state
+    /// cannot be captured (e.g. a closure-driven task).
+    pub fn snapshot_prefix(&self, budget: &RunBudget) -> Result<SimSnapshot, SimError> {
+        let w = self.warmup.ok_or_else(|| {
+            SimError::config(format!(
+                "scenario {:?} has no warmup point to snapshot",
+                self.label
+            ))
+        })?;
+        let mut sim = self.instantiate(budget)?;
+        sim.try_run_until(SimTime::ZERO + w)?;
+        sim.snapshot()
+    }
+
+    /// Continues this scenario from a warmed-up prefix snapshot: forks the
+    /// snapshot, applies the late bindings at the warm-up point and runs
+    /// to the stop condition — bit-identical to the cold
+    /// [`Scenario::run_with_budget`] path, which warms up, applies the
+    /// same bindings at the same instant and continues in the same state.
+    ///
+    /// The caller is responsible for passing a snapshot of *this
+    /// scenario's* prefix; the sweep planner guarantees it by grouping on
+    /// the serialized prefix scenario.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Scenario::run_with_budget`] reports, plus
+    /// [`SimError::SnapshotUnsupported`] when the snapshot cannot be
+    /// forked.
+    pub fn run_forked(
+        &self,
+        snapshot: &SimSnapshot,
+        budget: &RunBudget,
+    ) -> Result<RunResult, SimError> {
+        let mut sim = Simulation::fork(snapshot)?;
+        sim.set_budget(budget);
+        self.apply_late(&mut sim)?;
+        self.run_to_stop(&mut sim)
+    }
+
+    /// The scenario's shared prefix, normalized for keying: label cleared,
+    /// late bindings dropped, stop pinned to the warm-up deadline. Two
+    /// scenarios may share a snapshot exactly when their prefix scenarios
+    /// serialize identically. `None` when the scenario has no warm-up
+    /// point (nothing to share).
+    pub fn prefix_scenario(&self) -> Option<Scenario> {
+        let w = self.warmup?;
+        Some(Scenario {
+            label: String::new(),
+            platform: self.platform,
+            config: self.config.clone(),
+            workloads: self.workloads.clone(),
+            stop: StopWhen::Deadline(w),
+            warmup: None,
+            late: None,
+        })
+    }
+
+    /// Builds the simulation and spawns the workloads, without running.
+    fn instantiate(&self, budget: &RunBudget) -> Result<Simulation, SimError> {
         let mut sim = Simulation::builder()
             .platform(self.platform.build())
             .config(self.config.clone())
             .budget(budget.clone())
             .build()?;
-        let mut first_app: Option<&AppModel> = None;
         for w in &self.workloads {
             match w {
                 Workload::App { app, affinity } => {
                     sim.spawn_app_with_affinity(app, *affinity);
-                    first_app.get_or_insert(app);
                 }
                 Workload::Spec {
                     kernel,
@@ -267,18 +396,42 @@ impl Scenario {
                 }
             }
         }
+        Ok(sim)
+    }
+
+    /// Applies the late bindings (no-op without any).
+    fn apply_late(&self, sim: &mut Simulation) -> Result<(), SimError> {
+        if let Some(late) = &self.late {
+            if let Some(govs) = &late.governors {
+                sim.replace_governors(govs)?;
+            }
+            sim.schedule_late_faults(&late.faults)?;
+        }
+        Ok(())
+    }
+
+    /// Runs an instantiated (and possibly warmed-up) simulation to the
+    /// scenario's stop condition.
+    fn run_to_stop(&self, sim: &mut Simulation) -> Result<RunResult, SimError> {
         match self.stop {
             StopWhen::Deadline(d) => {
                 sim.try_run_until(SimTime::ZERO + d)?;
                 Ok(sim.finish())
             }
             StopWhen::FirstAppDone => {
-                let app = first_app.ok_or_else(|| {
-                    SimError::config(format!(
-                        "scenario {:?} stops at FirstAppDone but has no App workload",
-                        self.label
-                    ))
-                })?;
+                let app = self
+                    .workloads
+                    .iter()
+                    .find_map(|w| match w {
+                        Workload::App { app, .. } => Some(app),
+                        _ => None,
+                    })
+                    .ok_or_else(|| {
+                        SimError::config(format!(
+                            "scenario {:?} stops at FirstAppDone but has no App workload",
+                            self.label
+                        ))
+                    })?;
                 sim.try_run_app(app)
             }
             StopWhen::AllExited { cap } => {

@@ -1,22 +1,24 @@
 //! The discrete-event simulation driver wiring every substrate together.
 
 use crate::config::SystemConfig;
+use crate::options::SimOptions;
 use crate::result::{ResilienceStats, RunResult};
-use bl_governor::{ClusterSample, CpufreqGovernor};
+use bl_governor::{ClusterSample, CpufreqGovernor, GovernorConfig};
 use bl_kernel::accounting::BusyWindow;
 use bl_kernel::kernel::{Hw, Kernel, KernelConfig, WakeRequest};
-use bl_kernel::task::{Affinity, AppSignal, TaskBehavior, TaskId};
+use bl_kernel::task::{Affinity, AppSignal, ForkCtx, TaskBehavior, TaskId};
 use bl_metrics::{MetricsCollector, Trace, TraceRow};
 use bl_platform::exynos::exynos5422;
 use bl_platform::ids::{ClusterId, CoreKind, CpuId};
 use bl_platform::state::PlatformState;
 use bl_platform::topology::Platform;
-use bl_power::{ClusterThermal, CpuidleTable, PowerMeter, PowerModel, ThermalParams};
+use bl_power::{CpuidleTable, PowerMeter, PowerModel, ThermalBank, ThermalParams};
 use bl_simcore::audit::InvariantGuard;
 use bl_simcore::budget::{ArmedBudget, RunBudget};
 use bl_simcore::error::SimError;
 use bl_simcore::event::{EventQueue, QueueEntry};
 use bl_simcore::fault::{FaultEvent, FaultKind, FaultPlan};
+use bl_simcore::journal::fnv1a;
 use bl_simcore::rng::SimRng;
 use bl_simcore::time::{SimDuration, SimTime};
 use bl_workloads::apps::{AppInstance, AppModel};
@@ -26,7 +28,7 @@ use bl_workloads::spec::SpecKernel;
 use bl_workloads::threads::CompletionTracker;
 use bl_workloads::PerfMetric;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Ev {
     Tick,
     Timer(WakeRequest),
@@ -40,10 +42,12 @@ enum Ev {
     Fault(FaultEvent),
 }
 
-/// Runtime state of the thermal subsystem: one RC node per cluster.
-#[derive(Debug)]
+/// Runtime state of the thermal subsystem: one RC node per cluster,
+/// stored structure-of-arrays in a [`ThermalBank`] so the per-sample
+/// integration is one batch pass over contiguous state.
+#[derive(Debug, Clone)]
 struct ThermalRt {
-    nodes: Vec<ClusterThermal>,
+    nodes: ThermalBank,
     /// When the nodes were last advanced (temperature integrates between
     /// metric samples).
     last_advance: SimTime,
@@ -53,33 +57,40 @@ struct ThermalRt {
     /// power over each interval, which is step-size independent and immune
     /// to aliasing between the sampling grid and periodic workloads.
     window: BusyWindow,
+    /// Reusable per-cluster power buffer fed to the batch advance.
+    power_scratch: Vec<f64>,
+    /// Reusable per-CPU activity buffer for one cluster at a time.
+    acts_scratch: Vec<f64>,
+    /// Reusable list of nodes whose throttle state flipped this advance.
+    changed_scratch: Vec<usize>,
 }
 
 impl ThermalRt {
     fn new(platform: &Platform, window: BusyWindow, start: SimTime) -> Self {
-        let nodes: Vec<ClusterThermal> = platform
+        let params: Vec<ThermalParams> = platform
             .topology
             .clusters()
             .iter()
-            .map(|c| {
-                ClusterThermal::new(match c.core.kind {
-                    CoreKind::Big => ThermalParams::exynos5422_big(),
-                    CoreKind::Little => ThermalParams::exynos5422_little(),
-                })
+            .map(|c| match c.core.kind {
+                CoreKind::Big => ThermalParams::exynos5422_big(),
+                CoreKind::Little => ThermalParams::exynos5422_little(),
             })
             .collect();
-        let n = nodes.len();
+        let n = params.len();
         ThermalRt {
-            nodes,
+            nodes: ThermalBank::new(params),
             last_advance: start,
             throttle_since: vec![None; n],
             window,
+            power_scratch: Vec::with_capacity(n),
+            acts_scratch: Vec::new(),
+            changed_scratch: Vec::new(),
         }
     }
 }
 
 /// Runtime state of the cpuidle subsystem.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CpuidleRt {
     /// Idle-state table per CPU (indexed by cpu id).
     tables: Vec<CpuidleTable>,
@@ -178,33 +189,6 @@ impl Simulation {
         SimulationBuilder::default()
     }
 
-    /// Builds a simulation of the Exynos-5422-class platform under `cfg`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid; [`Simulation::try_new`] is
-    /// the non-panicking form.
-    #[deprecated(note = "panics on invalid config; use `Simulation::try_new` or \
-                         `Simulation::builder`")]
-    pub fn new(cfg: SystemConfig) -> Self {
-        Simulation::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Builds a simulation of an arbitrary platform (ablation presets,
-    /// custom topologies) under `cfg`.
-    ///
-    /// # Panics
-    ///
-    /// Same conditions as [`Simulation::try_new`] (but panicking);
-    /// [`Simulation::try_with_platform`] is the non-panicking form.
-    #[deprecated(
-        note = "panics on invalid config; use `Simulation::try_with_platform` \
-                         or `Simulation::builder`"
-    )]
-    pub fn with_platform(platform: Platform, cfg: SystemConfig) -> Self {
-        Simulation::try_with_platform(platform, cfg).unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Builds a simulation of the Exynos-5422-class platform under `cfg`,
     /// reporting configuration problems as values.
     ///
@@ -289,7 +273,7 @@ impl Simulation {
         let mut resilience = ResilienceStats::default();
         if let Some(rt) = &thermal {
             resilience.throttled_time = vec![SimDuration::ZERO; n_clusters];
-            resilience.peak_temp_c = rt.nodes.iter().map(|n| n.temp_c()).collect();
+            resilience.peak_temp_c = rt.nodes.temps().to_vec();
         }
         let n_cpus = platform.topology.n_cpus();
         let audit = cfg.audit.then(|| InvariantGuard::new(cfg.audit_cadence));
@@ -447,31 +431,6 @@ impl Simulation {
 
     // ---- running ------------------------------------------------------------
 
-    /// Runs until `deadline` or until `stop` returns true (checked after
-    /// every event batch).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the run fails (watchdog stall, lost task);
-    /// [`Simulation::try_run_until_or`] is the non-panicking form.
-    #[deprecated(note = "panics on runtime failure; use `Simulation::try_run_until_or`")]
-    pub fn run_until_or(&mut self, deadline: SimTime, stop: impl Fn(&Simulation) -> bool) {
-        self.try_run_until_or(deadline, stop)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Runs until `deadline`.
-    ///
-    /// # Panics
-    ///
-    /// Same conditions as [`Simulation::try_run_until_or`] (but panicking);
-    /// [`Simulation::try_run_until`] is the non-panicking form.
-    #[deprecated(note = "panics on runtime failure; use `Simulation::try_run_until`")]
-    pub fn run_until(&mut self, deadline: SimTime) {
-        self.try_run_until(deadline)
-            .unwrap_or_else(|e| panic!("{e}"));
-    }
-
     /// Runs until `deadline` or until `stop` returns true, reporting
     /// runtime failures as values instead of panicking.
     ///
@@ -504,17 +463,6 @@ impl Simulation {
     /// Runs an already-spawned app to its natural end: latency apps until
     /// their script completes (capped at `run_for`), FPS apps for exactly
     /// `run_for`. Returns the collected results.
-    ///
-    /// # Panics
-    ///
-    /// Same conditions as [`Simulation::try_run_until_or`] (but panicking);
-    /// [`Simulation::try_run_app`] is the non-panicking form.
-    #[deprecated(note = "panics on runtime failure; use `Simulation::try_run_app`")]
-    pub fn run_app(&mut self, app: &AppModel) -> RunResult {
-        self.try_run_app(app).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Non-panicking [`Simulation::run_app`].
     ///
     /// # Errors
     ///
@@ -557,7 +505,7 @@ impl Simulation {
             self.watchdog += 1;
             if self.watchdog > self.cfg.watchdog_same_time_limit {
                 let stuck = match self.queue.peek() {
-                    Some(e) => format!("{:?}", e.event()),
+                    Some((_, _, ev)) => format!("{ev:?}"),
                     None => "<queue empty>".to_string(),
                 };
                 return Err(SimError::WatchdogStall {
@@ -644,7 +592,7 @@ impl Simulation {
         let mut stash = std::mem::take(&mut self.skip_stash);
         loop {
             let elidable = match self.queue.peek() {
-                Some(e) => self.event_is_skippable(e.event()),
+                Some((_, _, ev)) => self.event_is_skippable(ev),
                 None => false,
             };
             if !elidable {
@@ -838,9 +786,9 @@ impl Simulation {
                     .as_mut()
                     .expect("plans with thermal spikes force the thermal model on");
                 let id = ClusterId(cluster);
-                let changed = rt.nodes[cluster].inject(delta_c);
+                let changed = rt.nodes.inject(cluster, delta_c);
                 self.resilience.peak_temp_c[cluster] =
-                    self.resilience.peak_temp_c[cluster].max(rt.nodes[cluster].temp_c());
+                    self.resilience.peak_temp_c[cluster].max(rt.nodes.temp_c(cluster));
                 self.resilience.faults_injected += 1;
                 if changed {
                     self.apply_throttle_transition(id);
@@ -860,6 +808,10 @@ impl Simulation {
     /// Integrates every cluster's thermal node up to `self.now` using its
     /// current power draw, and applies throttle transitions to the
     /// platform's frequency caps.
+    ///
+    /// The per-cluster powers are gathered into a reused buffer and the
+    /// whole bank integrates in one batch pass; the scratch vectors make
+    /// the steady state allocation-free.
     fn advance_thermal(&mut self) {
         let Some(rt) = self.thermal.as_mut() else {
             return;
@@ -870,41 +822,45 @@ impl Simulation {
             return;
         }
         let topo = &self.platform.topology;
-        let mut transitions = Vec::new();
+        rt.power_scratch.clear();
         for c in topo.clusters() {
             let id = c.id;
-            let acts: Vec<f64> = self
-                .state
-                .online_in(topo, id)
-                .collect::<Vec<_>>()
-                .into_iter()
-                .map(|cpu| {
-                    rt.window
-                        .take_fraction(self.kernel.accounting(), cpu, self.now)
-                })
-                .collect();
-            let mw = self
-                .power_model
-                .cluster_mw(topo, id, self.state.cluster_freq_khz(id), &acts);
-            let node = &mut rt.nodes[id.0];
-            let changed = node.advance(dt, mw / 1000.0);
-            self.resilience.peak_temp_c[id.0] =
-                self.resilience.peak_temp_c[id.0].max(node.temp_c());
-            if changed {
-                transitions.push(id);
+            rt.acts_scratch.clear();
+            for cpu in self.state.online_in(topo, id) {
+                let f = rt
+                    .window
+                    .take_fraction(self.kernel.accounting(), cpu, self.now);
+                rt.acts_scratch.push(f);
             }
+            let mw = self.power_model.cluster_mw(
+                topo,
+                id,
+                self.state.cluster_freq_khz(id),
+                &rt.acts_scratch,
+            );
+            rt.power_scratch.push(mw / 1000.0);
         }
-        for id in transitions {
-            self.apply_throttle_transition(id);
+        rt.changed_scratch.clear();
+        let mut changed = std::mem::take(&mut rt.changed_scratch);
+        rt.nodes.advance_all(dt, &rt.power_scratch, &mut changed);
+        for i in 0..rt.nodes.len() {
+            self.resilience.peak_temp_c[i] = self.resilience.peak_temp_c[i].max(rt.nodes.temp_c(i));
         }
+        for &i in &changed {
+            self.apply_throttle_transition(ClusterId(i));
+        }
+        changed.clear();
+        self.thermal
+            .as_mut()
+            .expect("checked above")
+            .changed_scratch = changed;
     }
 
     /// Propagates one cluster's throttle state change into the platform's
     /// frequency cap and the resilience stats.
     fn apply_throttle_transition(&mut self, cluster: ClusterId) {
         let rt = self.thermal.as_mut().expect("caller checked thermal");
-        let node = &rt.nodes[cluster.0];
-        let cap = node.cap_khz();
+        let cap = rt.nodes.cap_khz(cluster.0);
         self.state
             .set_freq_cap(&self.platform.topology, cluster, cap);
         if cap.is_some() {
@@ -1210,14 +1166,257 @@ impl Simulation {
     /// Current junction temperature of `cluster` in °C, when the thermal
     /// model is enabled.
     pub fn cluster_temp_c(&self, cluster: ClusterId) -> Option<f64> {
-        self.thermal.as_ref().map(|rt| rt.nodes[cluster.0].temp_c())
+        self.thermal.as_ref().map(|rt| rt.nodes.temp_c(cluster.0))
     }
 
     /// Whether `cluster` is currently thermally throttled.
     pub fn is_throttled(&self, cluster: ClusterId) -> bool {
         self.thermal
             .as_ref()
-            .is_some_and(|rt| rt.nodes[cluster.0].is_throttled())
+            .is_some_and(|rt| rt.nodes.is_throttled(cluster.0))
+    }
+
+    // ---- snapshot / fork ----------------------------------------------------
+
+    /// Captures the entire simulation state as a [`SimSnapshot`] that
+    /// [`Simulation::fork`] can later turn back into any number of
+    /// independent, bit-identical continuations.
+    ///
+    /// The snapshot is a deep copy: every task behavior, shared workload
+    /// handle (job queues, completion trackers, scene synchronizers),
+    /// governor, pending event (with its tie-breaking sequence number) and
+    /// RNG stream is duplicated, so forks never observe each other or the
+    /// original. The armed execution budget is *not* captured — budgets
+    /// are per-run; arm one on the fork with [`Simulation::set_budget`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SnapshotUnsupported`] when some live state cannot be
+    /// duplicated: a task driven by a closure (only structured behaviors
+    /// implement `fork_box`) or a governor without `box_clone`.
+    pub fn snapshot(&self) -> Result<SimSnapshot, SimError> {
+        Ok(SimSnapshot {
+            fingerprint: self.fingerprint(),
+            sim: self.clone_state()?,
+        })
+    }
+
+    /// Builds a fresh simulation resuming from `snapshot`. Running the
+    /// fork produces bit-identical results to running the original from
+    /// the snapshot point — every fork of the same snapshot, too.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::snapshot`] (the stored state is
+    /// deep-copied again, once per fork).
+    pub fn fork(snapshot: &SimSnapshot) -> Result<Simulation, SimError> {
+        snapshot.sim.clone_state()
+    }
+
+    /// FNV-1a digest of the run's deterministic identity: simulated time,
+    /// RNG stream state, event-queue census (pending count and sequence
+    /// state), kernel task census, per-task HMP loads, accumulated energy,
+    /// cluster frequencies and junction temperatures. Two simulations with
+    /// equal fingerprints that were built from the same scenario are in
+    /// the same state for all observable purposes; sweep result keys mix
+    /// this in so a stale or divergent snapshot can never alias a cold
+    /// run's cache entry.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(256);
+        let mut push = |v: u64| bytes.extend_from_slice(&v.to_le_bytes());
+        push(self.now.as_nanos());
+        push(self.rng.state_digest());
+        push(self.queue.len() as u64);
+        push(self.queue.seq_state());
+        let census = self.kernel.census();
+        push(census.spawned as u64);
+        push(census.runnable as u64);
+        push(census.queued as u64);
+        push(census.exited as u64);
+        push(self.meter.energy_mj(self.now).to_bits());
+        for c in self.platform.topology.clusters() {
+            push(u64::from(self.state.cluster_freq_khz(c.id)));
+        }
+        for load in self.kernel.task_loads() {
+            push(load.to_bits());
+        }
+        if let Some(rt) = &self.thermal {
+            for t in rt.nodes.temps() {
+                push(t.to_bits());
+            }
+        }
+        fnv1a(&bytes)
+    }
+
+    /// The deep copy behind [`Simulation::snapshot`] / [`Simulation::fork`].
+    fn clone_state(&self) -> Result<Simulation, SimError> {
+        // One fork context spans the kernel *and* the driver's tracker
+        // list, so a tracker shared between a task behavior and
+        // `self.trackers` stays shared inside the fork (and only there).
+        let mut ctx = ForkCtx::new();
+        let kernel = self.kernel.fork(&mut ctx)?;
+        let trackers = self
+            .trackers
+            .iter()
+            .map(|t| t.fork_with(&mut ctx))
+            .collect();
+        let governors = self
+            .governors
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                g.box_clone().ok_or_else(|| SimError::SnapshotUnsupported {
+                    detail: format!("governor on cluster {i} does not support box_clone"),
+                })
+            })
+            .collect::<Result<Vec<_>, SimError>>()?;
+        let n_clusters = self.platform.topology.n_clusters();
+        let n_cpus = self.platform.topology.n_cpus();
+        Ok(Simulation {
+            platform: self.platform.clone(),
+            state: self.state.clone(),
+            kernel,
+            governors,
+            gov_window: self.gov_window.clone(),
+            power_model: self.power_model,
+            meter: self.meter.clone(),
+            collector: self.collector.clone(),
+            queue: self.queue.clone(),
+            now: self.now,
+            rng: self.rng.clone(),
+            trackers,
+            cfg: self.cfg.clone(),
+            trace: self.trace.clone(),
+            trace_window: self.trace_window.clone(),
+            cpuidle: self.cpuidle.clone(),
+            thermal: self.thermal.clone(),
+            gov_skip: self.gov_skip.clone(),
+            watchdog: self.watchdog,
+            // Budgets are per-run: forks start unbudgeted.
+            budget: ArmedBudget::default(),
+            audit: self.audit.clone(),
+            resilience: self.resilience.clone(),
+            skip_stash: Vec::new(),
+            gov_fired: vec![None; n_clusters],
+            activity_scratch: Vec::with_capacity(n_cpus),
+            leak_scratch: Vec::with_capacity(n_cpus),
+            utils_scratch: Vec::with_capacity(n_cpus),
+            wake_scratch: Vec::new(),
+            signal_scratch: Vec::new(),
+        })
+    }
+
+    // ---- late bindings ------------------------------------------------------
+
+    /// Replaces every cluster's governor mid-run — the late-binding hook
+    /// forked sweep points use to vary governor tunables after a shared
+    /// warm-up prefix. The new governors start with fresh internal state
+    /// and take over at each cluster's next scheduled sample; the pending
+    /// sample chain (and so the event order) is untouched, which is what
+    /// keeps a forked run bit-identical to a cold run applying the same
+    /// swap at the same instant.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when the list does not cover every
+    /// cluster.
+    pub fn replace_governors(&mut self, governors: &[GovernorConfig]) -> Result<(), SimError> {
+        if governors.len() != self.platform.topology.n_clusters() {
+            return Err(SimError::config(format!(
+                "need one governor per cluster: {} governors for {} clusters",
+                governors.len(),
+                self.platform.topology.n_clusters()
+            )));
+        }
+        self.governors = governors.iter().map(|g| g.build()).collect();
+        Ok(())
+    }
+
+    /// Schedules an additional fault plan mid-run — the late-binding hook
+    /// forked sweep points use to vary fault onsets after a shared warm-up
+    /// prefix. Faults dated before `now` fire immediately (at `now`), in
+    /// plan order; a plan containing a thermal spike brings up the thermal
+    /// model on the spot if the run started without one.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFaultPlan`] when the plan names CPUs or clusters
+    /// the platform does not have.
+    pub fn schedule_late_faults(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        plan.validate(
+            self.platform.topology.n_cpus(),
+            self.platform.topology.n_clusters(),
+        )?;
+        if plan
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::ThermalSpike { .. }))
+        {
+            self.ensure_thermal();
+        }
+        for ev in plan.events() {
+            let mut ev = *ev;
+            ev.at = ev.at.max(self.now);
+            self.queue.schedule(ev.at, Ev::Fault(ev));
+        }
+        Ok(())
+    }
+
+    /// Brings up the thermal subsystem mid-run (ambient temperature, no
+    /// throttling) if it is not already on. Idempotent.
+    fn ensure_thermal(&mut self) {
+        if self.thermal.is_some() {
+            return;
+        }
+        let rt = ThermalRt::new(
+            &self.platform,
+            BusyWindow::open(self.kernel.accounting(), self.now),
+            self.now,
+        );
+        let n_clusters = self.platform.topology.n_clusters();
+        self.resilience.throttled_time = vec![SimDuration::ZERO; n_clusters];
+        self.resilience.peak_temp_c = rt.nodes.temps().to_vec();
+        self.thermal = Some(rt);
+    }
+}
+
+/// A point-in-time deep copy of a running [`Simulation`], produced by
+/// [`Simulation::snapshot`] and consumed (any number of times) by
+/// [`Simulation::fork`].
+///
+/// Sweep points that share a warmed-up prefix and differ only in
+/// late-binding parameters — governor tunables, fault onsets, run horizon —
+/// fork from one snapshot instead of each replaying the prefix; the forks
+/// are bit-identical to cold runs (proven by the snapshot test suite).
+///
+/// Snapshots hold task-local shared state (`Rc` workload handles), so they
+/// are deliberately `!Send`: a snapshot is built and consumed on one worker
+/// thread. The [`SimSnapshot::fingerprint`] is the portable half — a stable
+/// digest of the captured state that result keys and journals can carry
+/// across threads and processes.
+pub struct SimSnapshot {
+    sim: Simulation,
+    fingerprint: u64,
+}
+
+impl SimSnapshot {
+    /// Digest of the captured state (see [`Simulation::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The simulated time the snapshot was taken at.
+    pub fn at(&self) -> SimTime {
+        self.sim.now()
+    }
+}
+
+impl std::fmt::Debug for SimSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSnapshot")
+            .field("at", &self.at())
+            .field("fingerprint", &self.fingerprint)
+            .finish()
     }
 }
 
@@ -1287,6 +1486,17 @@ impl SimulationBuilder {
     /// simulation is built.
     pub fn budget(mut self, budget: RunBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Applies a [`SimOptions`] bundle: execution knobs (skip-ahead,
+    /// auditing, watchdog limit) fold into the configuration and the
+    /// budget limits (wall-clock deadline, event cap) arm a [`RunBudget`].
+    /// The same bundle drives the `repro` binary's command-line flags, so
+    /// a flag set and a builder chain cannot drift apart.
+    pub fn options(mut self, options: &SimOptions) -> Self {
+        options.apply_to(&mut self.config);
+        self.budget = options.budget();
         self
     }
 

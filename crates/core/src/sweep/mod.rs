@@ -35,15 +35,30 @@
 //!   `results/.cache/`. Entries carry an FNV-1a checksum over the payload;
 //!   corrupt or truncated entries are detected, deleted and recomputed
 //!   (self-healing) instead of poisoning downstream results.
+//! * **Prefix sharing.** Scenarios carrying a warm-up split point (see
+//!   [`Scenario::warmup`]) whose prefixes serialize identically are
+//!   executed as a *fork group*: the shared prefix is simulated once,
+//!   captured as a [`crate::SimSnapshot`], and every member forks from it
+//!   instead of replaying the warm-up — bit-identical to the cold path
+//!   (each member would apply its late bindings at the same instant
+//!   either way). The prefix's identity ([`SnapshotSpec::key`]) is hashed
+//!   into every member's result key, so prefix-shared results never alias
+//!   non-shared ones in the cache or journal, and a group whose snapshot
+//!   cannot be built or forked degrades member by member to cold runs.
+//!
+//! The typed front door is [`SweepRequest`] → [`SweepReport`];
+//! [`run`] and [`run_with`] remain as the thin functional forms.
 
 use crate::result::RunResult;
 use crate::scenario::Scenario;
+use crate::sim::SimSnapshot;
 use bl_simcore::budget::{CancelToken, RunBudget};
 use bl_simcore::error::SimError;
 use bl_simcore::journal::{fnv1a, fsync_dir, Journal};
 use bl_simcore::pool;
 use bl_simcore::rng::derive_seed;
-use serde::Serialize;
+use bl_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -109,6 +124,11 @@ pub struct SweepOptions {
     /// SIGKILLs one worker that is mid-range, proving death reclamation
     /// end to end. Never set outside robustness tests.
     pub chaos_kill_one_worker: bool,
+    /// Execute scenarios sharing a warm-up prefix as fork groups (simulate
+    /// the prefix once, fork per member) instead of replaying the prefix
+    /// per scenario. Results are bit-identical either way — this is purely
+    /// a wall-clock optimization, on by default.
+    pub prefix_share: bool,
 }
 
 impl Default for SweepOptions {
@@ -127,6 +147,7 @@ impl Default for SweepOptions {
             heartbeat: Duration::from_millis(1_000),
             range_attempts: 3,
             chaos_kill_one_worker: false,
+            prefix_share: true,
         }
     }
 }
@@ -215,6 +236,23 @@ impl SweepOptions {
         self
     }
 
+    /// Enables or disables warm-up prefix sharing (on by default).
+    pub fn prefix_sharing(mut self, on: bool) -> Self {
+        self.prefix_share = on;
+        self
+    }
+
+    /// Folds a [`SimOptions`](crate::SimOptions) bundle into the sweep:
+    /// the audit override and per-scenario budgets come from the shared
+    /// struct, so front ends configure execution through one serializable
+    /// source of truth instead of mirroring each knob as a separate flag.
+    pub fn with_sim_options(mut self, sim: &crate::SimOptions) -> Self {
+        self.audit = sim.audit;
+        self.deadline = sim.deadline_ms.map(Duration::from_millis);
+        self.max_events = sim.max_events;
+        self
+    }
+
     fn effective_jobs(&self) -> usize {
         if self.jobs == 0 {
             pool::available_jobs()
@@ -247,6 +285,9 @@ pub struct ScenarioStats {
     pub cache_hit: bool,
     /// Whether the result was replayed from the sweep journal.
     pub resumed: bool,
+    /// Whether the result was produced by forking a shared warm-up
+    /// prefix snapshot instead of a cold run.
+    pub forked: bool,
     /// Execution attempts made (0 when cached or resumed, 1 for a clean
     /// first run, more when retries fired).
     pub attempts: u32,
@@ -286,6 +327,9 @@ pub struct SweepStats {
     pub cache_hits: u64,
     /// Scenarios replayed from the sweep journal.
     pub resumed: u64,
+    /// Scenarios whose result came from forking a shared warm-up prefix
+    /// snapshot instead of a cold run.
+    pub forked: u64,
     /// Extra attempts spent on retries across the batch.
     pub retries: u64,
     /// Scenarios quarantined after exhausting their retries.
@@ -359,6 +403,7 @@ impl SweepStats {
         self.scenarios += other.scenarios;
         self.cache_hits += other.cache_hits;
         self.resumed += other.resumed;
+        self.forked += other.forked;
         self.retries += other.retries;
         self.quarantined += other.quarantined;
         self.degraded |= other.degraded;
@@ -373,9 +418,79 @@ impl SweepStats {
     }
 }
 
+/// A fully-described sweep submission: the scenario batch plus how to run
+/// it — the typed replacement for threading positional arguments through
+/// [`run`]-style functions.
+///
+/// ```
+/// use biglittle::sweep::SweepRequest;
+/// use biglittle::{Scenario, SystemConfig, SweepOptions};
+/// use bl_platform::ids::CpuId;
+/// use bl_simcore::time::SimDuration;
+///
+/// let mb = |label: &str, duty: f64| {
+///     Scenario::microbench(
+///         label,
+///         CpuId(0),
+///         duty,
+///         SimDuration::from_millis(10),
+///         SimDuration::from_millis(50),
+///         SystemConfig::baseline(),
+///     )
+/// };
+/// let report = SweepRequest::new(vec![mb("a", 0.25), mb("b", 0.75)])
+///     .options(SweepOptions::with_jobs(2))
+///     .run();
+/// assert_eq!(report.results.len(), 2);
+/// assert!(!report.degraded);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// The scenarios to execute, in submission order.
+    pub scenarios: Vec<Scenario>,
+    /// How to execute them.
+    pub options: SweepOptions,
+}
+
+impl SweepRequest {
+    /// A request running `scenarios` under default [`SweepOptions`].
+    pub fn new(scenarios: Vec<Scenario>) -> Self {
+        SweepRequest {
+            scenarios,
+            options: SweepOptions::default(),
+        }
+    }
+
+    /// Replaces the execution options.
+    pub fn options(mut self, options: SweepOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overwrites every scenario's seed with the canonical positional
+    /// derivation (see [`seed_scenarios`]).
+    pub fn seeded(mut self, base_seed: u64) -> Self {
+        seed_scenarios(&mut self.scenarios, base_seed);
+        self
+    }
+
+    /// Executes the batch and returns the full report. Statistics are also
+    /// merged into the global tally read by [`take_stats`].
+    pub fn run(&self) -> SweepReport {
+        run_with(&self.scenarios, &self.options)
+    }
+
+    /// [`SweepRequest::run`], unwrapping every result and panicking with
+    /// the failing scenario's label — for callers that treat any failure
+    /// as fatal.
+    pub fn run_expecting_all(&self) -> Vec<RunResult> {
+        run_all(&self.scenarios, &self.options)
+    }
+}
+
 /// Results and statistics of one sweep.
 #[derive(Debug)]
-pub struct SweepOutcome {
+pub struct SweepReport {
     /// Per-scenario results, in submission order.
     pub results: Vec<Result<RunResult, SimError>>,
     /// Whether the sweep needed retries or quarantined scenarios — it
@@ -390,6 +505,22 @@ pub struct SweepOutcome {
     pub stats: SweepStats,
 }
 
+impl SweepReport {
+    /// Unwraps every result in submission order, panicking with the slot
+    /// index on the first failure.
+    pub fn expect_all(self) -> Vec<RunResult> {
+        self.results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|e| panic!("scenario #{i} failed: {e}")))
+            .collect()
+    }
+}
+
+/// The pre-[`SweepReport`] name of the sweep's result type, kept so
+/// long-lived call sites read naturally during the transition.
+pub type SweepOutcome = SweepReport;
+
 /// Global tally across sweeps, drained by [`take_stats`] (the `bench`
 /// binary reads it to report per-experiment timing without threading the
 /// stats through every experiment's return type).
@@ -397,6 +528,7 @@ static TALLY: Mutex<SweepStats> = Mutex::new(SweepStats {
     scenarios: 0,
     cache_hits: 0,
     resumed: 0,
+    forked: 0,
     retries: 0,
     quarantined: 0,
     degraded: false,
@@ -467,25 +599,18 @@ pub fn run_with(scenarios: &[Scenario], opts: &SweepOptions) -> SweepOutcome {
         resumed: &resumed_map,
         cancel: None,
     };
-    let items: Vec<usize> = (0..effective.len()).collect();
-    let raw = pool::scoped_map(items, opts.effective_jobs(), |_, index| {
-        supervise(index, &effective[index], &keys[index], &env)
-    });
+    let indices: Vec<usize> = (0..effective.len()).collect();
+    let raw = execute_indices(&indices, &effective, &keys, &env, opts.effective_jobs());
 
     let mut results = Vec::with_capacity(scenarios.len());
     let mut attempts = Vec::with_capacity(scenarios.len());
     let mut quarantined = Vec::new();
     let mut stats = SweepStats::default();
-    for (index, slot) in raw.into_iter().enumerate() {
-        let sup = slot.unwrap_or_else(|detail| {
-            // A panic that escaped `supervise` (i.e. not one from the
-            // scenario itself, which is already caught — e.g. a cache I/O
-            // path panicking) still lands in the right slot.
-            Supervised::escaped(index, scenarios[index].label.clone(), detail)
-        });
+    for (index, sup) in raw.into_iter().enumerate() {
         stats.scenarios += 1;
         stats.cache_hits += u64::from(sup.cache_hit);
         stats.resumed += u64::from(sup.resumed);
+        stats.forked += u64::from(sup.forked);
         stats.retries += sup.attempts.len().saturating_sub(1) as u64;
         if let Err(e) = &sup.result {
             stats.quarantined += 1;
@@ -502,6 +627,7 @@ pub fn run_with(scenarios: &[Scenario], opts: &SweepOptions) -> SweepOutcome {
                 wall_ms: sup.wall_ms,
                 cache_hit: sup.cache_hit,
                 resumed: sup.resumed,
+                forked: sup.forked,
                 attempts: sup.attempts.len() as u32,
             });
         }
@@ -524,6 +650,7 @@ pub(crate) struct Supervised {
     pub(crate) result: Result<RunResult, SimError>,
     pub(crate) cache_hit: bool,
     pub(crate) resumed: bool,
+    pub(crate) forked: bool,
     pub(crate) attempts: Vec<AttemptRecord>,
     pub(crate) wall_ms: f64,
 }
@@ -538,6 +665,7 @@ impl Supervised {
             }),
             cache_hit: false,
             resumed: false,
+            forked: false,
             attempts: Vec::new(),
             wall_ms: 0.0,
         }
@@ -563,7 +691,13 @@ pub(crate) struct ExecEnv<'a> {
 /// scenario is abandoned without journaling the failure and without
 /// retrying: a cancellation is not evidence about the scenario, and a
 /// journaled pseudo-error would poison the fleet-wide resume.
-pub(crate) fn supervise(index: usize, sc: &Scenario, key: &str, env: &ExecEnv<'_>) -> Supervised {
+pub(crate) fn supervise(
+    index: usize,
+    sc: &Scenario,
+    key: &str,
+    env: &ExecEnv<'_>,
+    snapshot: Option<&SimSnapshot>,
+) -> Supervised {
     let opts = env.opts;
     let start = Instant::now();
     if let Some(r) = env.resumed.get(key) {
@@ -571,6 +705,7 @@ pub(crate) fn supervise(index: usize, sc: &Scenario, key: &str, env: &ExecEnv<'_
             result: Ok(r.clone()),
             cache_hit: false,
             resumed: true,
+            forked: false,
             attempts: Vec::new(),
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
         };
@@ -584,11 +719,12 @@ pub(crate) fn supervise(index: usize, sc: &Scenario, key: &str, env: &ExecEnv<'_
         .map(|d| d.join(format!("{key}.json")));
     if let Some(hit) = cache_path.as_deref().and_then(cache_read_checked) {
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        journal_append(env.journal, done_record(key, &hit, 0, true, wall_ms));
+        journal_append(env.journal, done_record(key, &hit, 0, true, None, wall_ms));
         return Supervised {
             result: Ok(hit),
             cache_hit: true,
             resumed: false,
+            forked: false,
             attempts: Vec::new(),
             wall_ms,
         };
@@ -600,6 +736,7 @@ pub(crate) fn supervise(index: usize, sc: &Scenario, key: &str, env: &ExecEnv<'_
     }
     let cancelled = || env.cancel.is_some_and(CancelToken::is_cancelled);
     let mut attempts = Vec::new();
+    let mut forked;
     let result = loop {
         let attempt = attempts.len() as u32;
         let seed = if attempt == 0 {
@@ -607,7 +744,11 @@ pub(crate) fn supervise(index: usize, sc: &Scenario, key: &str, env: &ExecEnv<'_
         } else {
             derive_seed(sc.config.seed, u64::from(attempt))
         };
-        let outcome = run_attempt(index, sc, seed, &budget);
+        // Only the first attempt may fork: a reseeded retry no longer
+        // matches the state baked into the shared prefix.
+        let snap = if attempt == 0 { snapshot } else { None };
+        let (outcome, used_fork) = run_attempt(index, sc, seed, &budget, snap);
+        forked = used_fork;
         attempts.push(AttemptRecord {
             attempt,
             seed,
@@ -629,9 +770,12 @@ pub(crate) fn supervise(index: usize, sc: &Scenario, key: &str, env: &ExecEnv<'_
             if let Some(p) = cache_path.as_deref() {
                 cache_write(p, index, r);
             }
+            let fp = forked
+                .then(|| snapshot.map(SimSnapshot::fingerprint))
+                .flatten();
             journal_append(
                 env.journal,
-                done_record(key, r, attempts.len() as u32, false, wall_ms),
+                done_record(key, r, attempts.len() as u32, false, fp, wall_ms),
             );
         }
         Err(e) => {
@@ -647,19 +791,43 @@ pub(crate) fn supervise(index: usize, sc: &Scenario, key: &str, env: &ExecEnv<'_
         result,
         cache_hit: false,
         resumed: false,
+        forked,
         attempts,
         wall_ms,
     }
 }
 
 /// Executes one attempt with panic isolation, overriding the seed for
-/// retries.
+/// retries. With a prefix snapshot available the attempt forks it instead
+/// of replaying the warm-up; [`SimError::SnapshotUnsupported`] (some live
+/// state refused to be duplicated) falls straight back to a cold run
+/// *within the same attempt* — a fork refusal is an implementation limit,
+/// not evidence about the scenario. Returns the outcome and whether the
+/// result actually came from a fork.
 fn run_attempt(
     index: usize,
     sc: &Scenario,
     seed: u64,
     budget: &RunBudget,
-) -> Result<RunResult, SimError> {
+    snapshot: Option<&SimSnapshot>,
+) -> (Result<RunResult, SimError>, bool) {
+    let catch = |f: &dyn Fn() -> Result<RunResult, SimError>| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+            Err(SimError::ScenarioPanicked {
+                index,
+                label: sc.label.clone(),
+                // `as_ref()`, not `&payload`: `&Box<dyn Any>` would itself
+                // coerce to `&dyn Any` and hide the payload from downcasts.
+                detail: panic_detail(payload.as_ref()),
+            })
+        })
+    };
+    if let Some(snap) = snapshot {
+        match catch(&|| sc.run_forked(snap, budget)) {
+            Err(SimError::SnapshotUnsupported { .. }) => {}
+            outcome => return (outcome, true),
+        }
+    }
     let reseeded;
     let sc_ref = if seed == sc.config.seed {
         sc
@@ -669,18 +837,7 @@ fn run_attempt(
         reseeded = copy;
         &reseeded
     };
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        sc_ref.run_with_budget(budget)
-    }))
-    .unwrap_or_else(|payload| {
-        Err(SimError::ScenarioPanicked {
-            index,
-            label: sc.label.clone(),
-            // `as_ref()`, not `&payload`: `&Box<dyn Any>` would itself
-            // coerce to `&dyn Any` and hide the payload from downcasts.
-            detail: panic_detail(payload.as_ref()),
-        })
-    })
+    (catch(&|| sc_ref.run_with_budget(budget)), false)
 }
 
 /// Whether a reseeded retry has any chance of changing the outcome.
@@ -706,6 +863,215 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+// ---- prefix sharing --------------------------------------------------------
+
+/// The serializable identity of a shared warm-up prefix: which normalized
+/// prefix scenario is simulated, to which point, and — once the prefix
+/// has actually run — the captured state's digest. The pre-run half is
+/// what result keys hash in ([`SnapshotSpec::key`] is computable before
+/// any simulation, which caching, resume and sharding require); the
+/// fingerprint is recorded in journal `done` records for post-hoc
+/// divergence audits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotSpec {
+    /// The normalized prefix scenario (see [`Scenario::prefix_scenario`]).
+    pub prefix: Scenario,
+    /// The warm-up point the snapshot is taken at.
+    pub at: SimDuration,
+    /// The captured state's digest, once known
+    /// (see [`crate::SimSnapshot::fingerprint`]).
+    #[serde(default)]
+    pub fingerprint: Option<u64>,
+}
+
+impl SnapshotSpec {
+    /// The spec of `sc`'s shared prefix; `None` without a warm-up point.
+    pub fn of(sc: &Scenario) -> Option<SnapshotSpec> {
+        Some(SnapshotSpec {
+            prefix: sc.prefix_scenario()?,
+            at: sc.warmup?,
+            fingerprint: None,
+        })
+    }
+
+    /// Stable 16-hex-digit key of the prefix: an FNV-1a hash over the
+    /// serialized prefix scenario, the split point and the crate version.
+    /// Two scenarios may share a snapshot exactly when their keys are
+    /// equal. The fingerprint deliberately does not enter: the key must be
+    /// computable before the prefix runs, and the prefix is deterministic
+    /// in its serialized form, so the fingerprint is already a function of
+    /// this key.
+    pub fn key(&self) -> String {
+        let json =
+            serde_json::to_string(&self.prefix).expect("scenario serialization is infallible");
+        let mut data = json.into_bytes();
+        data.push(0);
+        data.extend_from_slice(&self.at.as_nanos().to_le_bytes());
+        data.push(0);
+        data.extend_from_slice(env!("CARGO_PKG_VERSION").as_bytes());
+        format!("{:016x}", fnv1a(&data))
+    }
+}
+
+/// One schedulable piece of a sweep: a standalone scenario, or a fork
+/// group whose members share a warm-up prefix.
+enum Unit {
+    One(usize),
+    Group(Vec<usize>),
+}
+
+/// Partitions scenario indices into execution units. Scenarios whose
+/// [`SnapshotSpec::key`]s are equal land in one fork group (submission
+/// order preserved within it); everything else — no warm-up point, prefix
+/// sharing disabled, or a prefix nobody shares — runs standalone.
+fn plan_units(indices: &[usize], effective: &[Scenario], opts: &SweepOptions) -> Vec<Unit> {
+    let mut units: Vec<Unit> = Vec::with_capacity(indices.len());
+    if !opts.prefix_share {
+        units.extend(indices.iter().map(|&i| Unit::One(i)));
+        return units;
+    }
+    let mut group_at: HashMap<String, usize> = HashMap::new();
+    for &i in indices {
+        match SnapshotSpec::of(&effective[i]) {
+            Some(spec) => match group_at.get(&spec.key()) {
+                Some(&u) => {
+                    let Unit::Group(members) = &mut units[u] else {
+                        unreachable!("group_at only points at Group units")
+                    };
+                    members.push(i);
+                }
+                None => {
+                    group_at.insert(spec.key(), units.len());
+                    units.push(Unit::Group(vec![i]));
+                }
+            },
+            None => units.push(Unit::One(i)),
+        }
+    }
+    // A prefix nobody shares gains nothing from the snapshot detour.
+    for u in units.iter_mut() {
+        if let Unit::Group(m) = u {
+            if m.len() == 1 {
+                *u = Unit::One(m[0]);
+            }
+        }
+    }
+    units
+}
+
+/// Executes a set of scenario indices — the shared engine behind the
+/// in-process sweep and a sharded worker's leased range. Returns one
+/// [`Supervised`] per index, in `indices` order; a unit-level panic (or a
+/// cancellation before start) lands in every member's slot as a typed
+/// error.
+pub(crate) fn execute_indices(
+    indices: &[usize],
+    effective: &[Scenario],
+    keys: &[String],
+    env: &ExecEnv<'_>,
+    jobs: usize,
+) -> Vec<Supervised> {
+    let units = plan_units(indices, effective, env.opts);
+    let membership: Vec<Vec<usize>> = units
+        .iter()
+        .map(|u| match u {
+            Unit::One(i) => vec![*i],
+            Unit::Group(m) => m.clone(),
+        })
+        .collect();
+    let fresh = CancelToken::new();
+    let cancel = env.cancel.unwrap_or(&fresh);
+    let raw = pool::scoped_map_cancelable(units, jobs, cancel, |_, unit| match unit {
+        Unit::One(i) => vec![(i, supervise(i, &effective[i], &keys[i], env, None))],
+        Unit::Group(members) => run_group(&members, effective, keys, env),
+    });
+    let pos: HashMap<usize, usize> = indices.iter().enumerate().map(|(p, &i)| (i, p)).collect();
+    let mut out: Vec<Option<Supervised>> = indices.iter().map(|_| None).collect();
+    for (slot, members) in raw.into_iter().zip(membership) {
+        match slot {
+            Ok(pairs) => {
+                for (i, sup) in pairs {
+                    out[pos[&i]] = Some(sup);
+                }
+            }
+            Err(detail) => {
+                // A panic escaped the supervisor itself (e.g. a cache I/O
+                // path) or the unit never started: every member gets the
+                // error in its own slot.
+                for i in members {
+                    out[pos[&i]] = Some(Supervised::escaped(
+                        i,
+                        effective[i].label.clone(),
+                        detail.clone(),
+                    ));
+                }
+            }
+        }
+    }
+    out.into_iter()
+        .map(|s| s.expect("every index belongs to exactly one unit"))
+        .collect()
+}
+
+/// Executes one fork group serially on the calling worker thread: builds
+/// the shared prefix snapshot once, then supervises every member against
+/// it. Members already settled by the journal or cache skip the fork, and
+/// the snapshot is only built at all when at least two members will
+/// actually simulate — below that a cold run is strictly cheaper.
+fn run_group(
+    members: &[usize],
+    effective: &[Scenario],
+    keys: &[String],
+    env: &ExecEnv<'_>,
+) -> Vec<(usize, Supervised)> {
+    let pending: Vec<usize> = members
+        .iter()
+        .copied()
+        .filter(|&i| {
+            !env.resumed.contains_key(&keys[i]) && !cache_entry_present(env.opts, &keys[i])
+        })
+        .collect();
+    let snapshot = if pending.len() >= 2 {
+        build_group_snapshot(&effective[pending[0]], env)
+    } else {
+        None
+    };
+    members
+        .iter()
+        .map(|&i| {
+            let snap = if pending.contains(&i) {
+                snapshot.as_ref()
+            } else {
+                None
+            };
+            (i, supervise(i, &effective[i], &keys[i], env, snap))
+        })
+        .collect()
+}
+
+/// Whether a cache entry exists for `key` (existence only — the
+/// read-and-verify happens inside the supervisor; a corrupt entry merely
+/// costs its group one cold run instead of a fork).
+fn cache_entry_present(opts: &SweepOptions, key: &str) -> bool {
+    opts.cache_dir
+        .as_deref()
+        .is_some_and(|d| d.join(format!("{key}.json")).is_file())
+}
+
+/// Simulates a fork group's shared prefix and captures it. Any failure —
+/// typed error or panic — degrades the whole group to cold runs (`None`);
+/// per-member supervision then reports whatever is actually wrong with
+/// full retry/quarantine semantics.
+fn build_group_snapshot(sc: &Scenario, env: &ExecEnv<'_>) -> Option<SimSnapshot> {
+    let mut budget = env.opts.budget();
+    if let Some(token) = env.cancel {
+        budget = budget.cancelled_by(token.clone());
+    }
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sc.snapshot_prefix(&budget)))
+        .ok()?
+        .ok()
 }
 
 /// Runs a batch and unwraps every result, panicking with the failing
@@ -762,9 +1128,13 @@ pub fn cache_key(sc: &Scenario) -> String {
 
 /// [`cache_key`] extended with the sweep options' behavior-relevant
 /// feature set, so results computed under different supervision features
-/// (today: the audit override) never alias in the cache. Options that
-/// cannot change simulated results — jobs, deadlines, retries, journaling
-/// — deliberately do *not* enter the key.
+/// (today: the audit override) never alias in the cache, plus — for
+/// scenarios with a warm-up split point — the identity of the shared
+/// prefix ([`SnapshotSpec::key`]), tying every such result to the exact
+/// prefix a fork group would share. Options that cannot change simulated
+/// results — jobs, deadlines, retries, journaling, and notably
+/// [`SweepOptions::prefix_share`] itself (forked and cold runs are
+/// bit-identical) — deliberately do *not* enter the key.
 pub fn cache_key_with(sc: &Scenario, opts: &SweepOptions) -> String {
     let json = serde_json::to_string(sc).expect("scenario serialization is infallible");
     let mut data = json.into_bytes();
@@ -772,6 +1142,10 @@ pub fn cache_key_with(sc: &Scenario, opts: &SweepOptions) -> String {
     data.extend_from_slice(env!("CARGO_PKG_VERSION").as_bytes());
     data.push(0);
     data.extend_from_slice(format!("features:audit={}", opts.audit).as_bytes());
+    if let Some(spec) = SnapshotSpec::of(sc) {
+        data.push(0);
+        data.extend_from_slice(format!("prefix:{}", spec.key()).as_bytes());
+    }
     format!("{:016x}", fnv1a(&data))
 }
 
@@ -816,6 +1190,9 @@ pub(crate) struct JournalEntry {
     pub(crate) attempts: u32,
     /// Whether the result came from the on-disk result cache.
     pub(crate) cache_hit: bool,
+    /// Whether the result was produced by forking a prefix snapshot (the
+    /// record carries the snapshot's fingerprint).
+    pub(crate) forked: bool,
     /// Wall-clock milliseconds the record reports.
     pub(crate) wall_ms: f64,
 }
@@ -840,6 +1217,7 @@ pub(crate) fn collect_entries(
         };
         let attempts = v.get("attempts").and_then(Value::as_u64).unwrap_or(0) as u32;
         let cache_hit = matches!(v.get("cache"), Some(Value::Bool(true)));
+        let forked = v.get("snapshot").is_some();
         let wall_ms = v.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0);
         let result = match v.get("ev").and_then(Value::as_str) {
             Some("done") => {
@@ -875,6 +1253,7 @@ pub(crate) fn collect_entries(
                     result,
                     attempts,
                     cache_hit,
+                    forked,
                     wall_ms,
                 },
             );
@@ -903,18 +1282,31 @@ fn start_record(index: usize, key: &str, label: &str) -> String {
     serde_json::to_string(&v).expect("journal record serialization is infallible")
 }
 
-fn done_record(key: &str, result: &RunResult, attempts: u32, cache: bool, wall_ms: f64) -> String {
-    let v = Value::Object(vec![
+fn done_record(
+    key: &str,
+    result: &RunResult,
+    attempts: u32,
+    cache: bool,
+    snapshot: Option<u64>,
+    wall_ms: f64,
+) -> String {
+    let mut fields = vec![
         ("ev".to_string(), Value::String("done".to_string())),
         ("key".to_string(), Value::String(key.to_string())),
         ("attempts".to_string(), Value::UInt(u64::from(attempts))),
         ("cache".to_string(), Value::Bool(cache)),
         ("wall_ms".to_string(), Value::Float(wall_ms)),
-        (
-            "result".to_string(),
-            serde_json::to_value(result).expect("result serialization is infallible"),
-        ),
-    ]);
+    ];
+    // The fork's source-state digest rides along for post-hoc divergence
+    // audits; replay ignores it.
+    if let Some(fp) = snapshot {
+        fields.push(("snapshot".to_string(), Value::String(format!("{fp:016x}"))));
+    }
+    fields.push((
+        "result".to_string(),
+        serde_json::to_value(result).expect("result serialization is infallible"),
+    ));
+    let v = Value::Object(fields);
     serde_json::to_string(&v).expect("journal record serialization is infallible")
 }
 

@@ -42,12 +42,11 @@ use std::time::{Duration, Instant};
 use bl_simcore::budget::CancelToken;
 use bl_simcore::error::SimError;
 use bl_simcore::journal::{self, Journal};
-use bl_simcore::pool;
 use bl_simcore::shard::{partition, FromWorker, LeaseBoard, RangeId, ToWorker, WorkerId};
 use serde_json::Value;
 
 use super::{
-    batch_key, cache_key_with, collect_entries, effective_scenario, supervise, ExecEnv,
+    batch_key, cache_key_with, collect_entries, effective_scenario, execute_indices, ExecEnv,
     JournalEntry, QuarantineRecord, ScenarioStats, ShardStats, SweepOptions, SweepOutcome,
     SweepStats, WorkerStats, PER_SCENARIO_CAP,
 };
@@ -114,6 +113,9 @@ pub fn worker_cli_args(spec: &WorkerSpec) -> Vec<String> {
     if spec.opts.audit {
         args.push("--audit".to_string());
     }
+    if !spec.opts.prefix_share {
+        args.push("--no-prefix-share".to_string());
+    }
     if let Some(d) = spec.opts.deadline {
         args.push("--deadline-ms".to_string());
         args.push(d.as_millis().to_string());
@@ -157,6 +159,7 @@ fn parse_worker_args(args: &[String]) -> Result<WorkerSpec, String> {
             "--jobs" => opts.jobs = val()?.parse::<usize>().map_err(|e| e.to_string())?,
             "--retries" => opts.retries = val()?.parse::<u32>().map_err(|e| e.to_string())?,
             "--audit" => opts.audit = true,
+            "--no-prefix-share" => opts.prefix_share = false,
             "--deadline-ms" => {
                 opts.deadline = Some(Duration::from_millis(
                     val()?.parse::<u64>().map_err(|e| e.to_string())?,
@@ -353,10 +356,10 @@ fn execute_range(
         // In sharded mode `jobs = 0` means one thread *per worker*, not
         // available parallelism: N workers must not oversubscribe N-fold.
         let jobs = spec.opts.jobs.max(1);
-        let items: Vec<usize> = (start..end).collect();
-        let _ = pool::scoped_map_cancelable(items, jobs, cancel, |_, index| {
-            supervise(index, &effective[index], &keys[index], &env)
-        });
+        let indices: Vec<usize> = (start..end).collect();
+        // Fork groups form within the leased range; results land in the
+        // worker's journal, so the return value is irrelevant here.
+        let _ = execute_indices(&indices, effective, keys, &env, jobs);
         stop.store(true, Ordering::Relaxed);
     });
 }
@@ -540,6 +543,7 @@ fn fail_all(scenarios: &[Scenario], error: &SimError) -> SweepOutcome {
                 wall_ms: 0.0,
                 cache_hit: false,
                 resumed: false,
+                forked: false,
                 attempts: 0,
             });
         }
@@ -821,44 +825,47 @@ fn run_sharded_inner(
     let mut results = Vec::with_capacity(n);
     let mut quarantined = Vec::new();
     for (index, sc) in scenarios.iter().enumerate() {
-        let (result, attempts, cache_hit, resumed, wall_ms) = match entries.get(&keys[index]) {
-            Some(e) => (
-                e.result.clone(),
-                e.attempts,
-                e.cache_hit,
-                resumed_keys.contains(&keys[index]),
-                e.wall_ms,
-            ),
-            None => {
-                // Never published: the scenario sits in a quarantined
-                // range, or the whole fleet died first.
-                let lease = board
-                    .leases()
-                    .iter()
-                    .find(|r| r.range.0 <= index && index < r.range.1);
-                let err = match lease {
-                    Some(r) if r.state == bl_simcore::shard::LeaseState::Quarantined => {
-                        SimError::ShardRangeQuarantined {
-                            start: r.range.0,
-                            end: r.range.1,
-                            attempts: r.attempts,
+        let (result, attempts, cache_hit, resumed, forked, wall_ms) =
+            match entries.get(&keys[index]) {
+                Some(e) => (
+                    e.result.clone(),
+                    e.attempts,
+                    e.cache_hit,
+                    resumed_keys.contains(&keys[index]),
+                    e.forked,
+                    e.wall_ms,
+                ),
+                None => {
+                    // Never published: the scenario sits in a quarantined
+                    // range, or the whole fleet died first.
+                    let lease = board
+                        .leases()
+                        .iter()
+                        .find(|r| r.range.0 <= index && index < r.range.1);
+                    let err = match lease {
+                        Some(r) if r.state == bl_simcore::shard::LeaseState::Quarantined => {
+                            SimError::ShardRangeQuarantined {
+                                start: r.range.0,
+                                end: r.range.1,
+                                attempts: r.attempts,
+                            }
                         }
-                    }
-                    _ => {
-                        debug_assert!(fleet_lost, "published results cover all settled ranges");
-                        SimError::WorkerFleetLost {
-                            workers: opts.workers,
-                            detail: fleet_detail.clone(),
+                        _ => {
+                            debug_assert!(fleet_lost, "published results cover all settled ranges");
+                            SimError::WorkerFleetLost {
+                                workers: opts.workers,
+                                detail: fleet_detail.clone(),
+                            }
                         }
-                    }
-                };
-                let attempts = lease.map_or(0, |r| r.attempts);
-                (Err(err), attempts, false, false, 0.0)
-            }
-        };
+                    };
+                    let attempts = lease.map_or(0, |r| r.attempts);
+                    (Err(err), attempts, false, false, false, 0.0)
+                }
+            };
         stats.scenarios += 1;
         stats.cache_hits += u64::from(cache_hit);
         stats.resumed += u64::from(resumed);
+        stats.forked += u64::from(forked);
         stats.retries += u64::from(attempts.saturating_sub(1));
         if let Err(e) = &result {
             stats.quarantined += 1;
@@ -875,6 +882,7 @@ fn run_sharded_inner(
                 wall_ms,
                 cache_hit,
                 resumed,
+                forked,
                 attempts,
             });
         }
@@ -927,7 +935,8 @@ mod tests {
                 .with_deadline(Duration::from_millis(1500))
                 .with_event_cap(1_000_000)
                 .cached("/tmp/c")
-                .with_heartbeat(Duration::from_millis(250)),
+                .with_heartbeat(Duration::from_millis(250))
+                .prefix_sharing(false),
         };
         let args = worker_cli_args(&spec);
         assert_eq!(args[0], "--worker");
@@ -943,6 +952,7 @@ mod tests {
         assert_eq!(parsed.opts.max_events, Some(1_000_000));
         assert_eq!(parsed.opts.cache_dir, Some(PathBuf::from("/tmp/c")));
         assert_eq!(parsed.opts.heartbeat, Duration::from_millis(250));
+        assert!(!parsed.opts.prefix_share);
     }
 
     #[test]

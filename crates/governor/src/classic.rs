@@ -25,6 +25,9 @@ impl CpufreqGovernor for PerformanceGovernor {
         let mut probe = *self;
         probe.on_sample(sample) == sample.cur_freq_khz
     }
+    fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// `powersave`: pin the domain at its minimum OPP.
@@ -46,6 +49,9 @@ impl CpufreqGovernor for PowersaveGovernor {
         // sample computes exactly what a real sample would decide.
         let mut probe = *self;
         probe.on_sample(sample) == sample.cur_freq_khz
+    }
+    fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -72,6 +78,9 @@ impl CpufreqGovernor for UserspaceGovernor {
         // sample computes exactly what a real sample would decide.
         let mut probe = *self;
         probe.on_sample(sample) == sample.cur_freq_khz
+    }
+    fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -125,6 +134,9 @@ impl CpufreqGovernor for OndemandGovernor {
         // sample computes exactly what a real sample would decide.
         let mut probe = *self;
         probe.on_sample(sample) == sample.cur_freq_khz
+    }
+    fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -182,6 +194,9 @@ impl CpufreqGovernor for ConservativeGovernor {
         // sample computes exactly what a real sample would decide.
         let mut probe = *self;
         probe.on_sample(sample) == sample.cur_freq_khz
+    }
+    fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
+        Some(Box::new(*self))
     }
 }
 

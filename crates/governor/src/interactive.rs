@@ -162,6 +162,10 @@ impl CpufreqGovernor for InteractiveGovernor {
         // sample computes exactly what a real sample would decide.
         self.clone().on_sample(sample) == sample.cur_freq_khz
     }
+
+    fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

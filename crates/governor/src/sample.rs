@@ -72,6 +72,16 @@ pub trait CpufreqGovernor {
     fn idle_quiescent(&self, _sample: &ClusterSample<'_>) -> bool {
         false
     }
+
+    /// Deep-copies this governor *including its accumulated internal state*
+    /// (hispeed timers, sample history) for a forked simulation.
+    ///
+    /// Returning `None` (the default) declares the governor opaque and
+    /// makes simulations using it unsnapshottable. Every governor shipped
+    /// by this crate implements it.
+    fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -3,11 +3,11 @@
 
 use crate::accounting::CpuAccounting;
 use crate::hmp::HmpParams;
-use crate::load::{LoadTracker, LOAD_SCALE};
+use crate::load::{LoadSet, LOAD_SCALE};
 use crate::policy::AsymPolicy;
 use crate::runqueue::RunQueue;
 use crate::task::{
-    Affinity, AppSignal, BehaviorCtx, Step, TaskBehavior, TaskCb, TaskId, TaskState,
+    Affinity, AppSignal, BehaviorCtx, ForkCtx, Step, TaskBehavior, TaskCb, TaskId, TaskState,
 };
 use bl_platform::ids::{CoreKind, CpuId};
 use bl_platform::perf::{Work, WorkProfile};
@@ -152,6 +152,10 @@ impl TaskBehavior for NoopBehavior {
 pub struct Kernel {
     cfg: KernelConfig,
     tasks: Vec<TaskCb>,
+    /// Structure-of-arrays HMP load averages, indexed by `TaskId`. Kept
+    /// out of [`TaskCb`] so the per-advance batch update walks contiguous
+    /// memory.
+    loads: LoadSet,
     sleep_seq: Vec<u64>,
     pending_wake_flag: Vec<bool>,
     rqs: Vec<RunQueue>,
@@ -179,9 +183,11 @@ impl Kernel {
     /// Creates a kernel for `n_cpus` CPUs starting at `start`.
     pub fn new(n_cpus: usize, cfg: KernelConfig, start: SimTime) -> Self {
         cfg.policy.assert_valid();
+        let loads = LoadSet::new(cfg.policy.load_halflife_ms());
         Kernel {
             cfg,
             tasks: Vec::new(),
+            loads,
             sleep_seq: Vec::new(),
             pending_wake_flag: Vec::new(),
             rqs: (0..n_cpus).map(|_| RunQueue::new()).collect(),
@@ -211,6 +217,8 @@ impl Kernel {
         now: SimTime,
     ) -> TaskId {
         let tid = TaskId(self.tasks.len());
+        let load_idx = self.loads.push(now);
+        debug_assert_eq!(load_idx, tid.0, "load set must stay task-indexed");
         self.tasks.push(TaskCb {
             name: name.into(),
             state: TaskState::Blocked,
@@ -218,7 +226,6 @@ impl Kernel {
             affinity,
             remaining: Work::ZERO,
             profile: WorkProfile::default(),
-            load: LoadTracker::new(now, self.cfg.policy.load_halflife_ms()),
             cpu: None,
             last_cpu: None,
             vruntime: 0,
@@ -260,11 +267,12 @@ impl Kernel {
             }
         }
         // Load tracking: every runnable task contributes at its CPU's
-        // frequency ratio; sleeping/blocked tasks are frozen.
+        // frequency ratio; sleeping/blocked tasks are frozen. Batch update
+        // over the SoA load set — the hot loop of this method.
         for tid in 0..self.tasks.len() {
             if self.tasks[tid].state == TaskState::Runnable {
                 let r = self.tasks[tid].cpu.map_or(0.0, |c| hw.freq_ratio(c));
-                self.tasks[tid].load.update(now, r);
+                self.loads.update(tid, now, r);
             }
         }
         self.last_advance = now;
@@ -424,7 +432,7 @@ impl Kernel {
     fn wake_common(&mut self, tid: TaskId, hw: &Hw<'_>, now: SimTime) {
         // Linaro-HMP semantics: the load is not updated *during* sleep, but
         // the elapsed sleep decays it lazily at wakeup (contribution 0).
-        self.tasks[tid.0].load.update(now, 0.0);
+        self.loads.update(tid.0, now, 0.0);
         self.exchange_step(tid, hw, now);
         self.drain_pending_wakes(hw, now);
         self.dispatch_all();
@@ -473,7 +481,7 @@ impl Kernel {
             }
             let Some(cpu) = t.cpu else { continue };
             let kind = topo.kind_of(cpu);
-            let load = t.load.value();
+            let load = self.loads.value(tid);
             let target_kind = match kind {
                 CoreKind::Little if load > params.up_threshold => CoreKind::Big,
                 CoreKind::Big if load < params.down_threshold => CoreKind::Little,
@@ -524,7 +532,7 @@ impl Kernel {
                 t.state == TaskState::Runnable
                     && t.affinity == Affinity::Any
                     && t.cpu.is_some()
-                    && t.load.value() >= min_load
+                    && self.loads.value(*i) >= min_load
             })
             .map(TaskId)
             .collect()
@@ -619,7 +627,7 @@ impl Kernel {
                     .iter()
                     .copied()
                     .filter(|t| !matches!(self.tasks[t.0].affinity, Affinity::Pinned(_)))
-                    .max_by_key(|t| self.tasks[t.0].load.value() as u64)
+                    .max_by_key(|t| self.loads.value(t.0) as u64)
                 else {
                     break;
                 };
@@ -780,7 +788,7 @@ impl Kernel {
                 // last ran on (cache affinity) — the tick-time down
                 // migration is what later pulls a cooled-down task back to
                 // little, exactly as on the real scheduler.
-                let load = t.load.value();
+                let load = self.loads.value(tid.0);
                 let last_kind = t.last_cpu.map(|c| hw.platform.topology.kind_of(c));
                 let preferred = match self.cfg.policy {
                     AsymPolicy::Hmp(params) if load > params.up_threshold => CoreKind::Big,
@@ -893,7 +901,13 @@ impl Kernel {
 
     /// Current HMP load of a task (0–1024).
     pub fn task_load(&self, tid: TaskId) -> f64 {
-        self.tasks[tid.0].load.value()
+        self.loads.value(tid.0)
+    }
+
+    /// The whole population's load averages, indexed by task id — the
+    /// batch read path behind reports and snapshot fingerprints.
+    pub fn task_loads(&self) -> &[f64] {
+        self.loads.values()
     }
 
     /// The CPU whose runqueue holds the task, if runnable.
@@ -921,12 +935,13 @@ impl Kernel {
     pub fn task_report(&self) -> Vec<TaskReportRow> {
         self.tasks
             .iter()
-            .map(|t| TaskReportRow {
+            .enumerate()
+            .map(|(i, t)| TaskReportRow {
                 name: t.name.clone(),
                 cpu_time: t.cpu_time,
                 little_time: t.cpu_time_by_kind[0],
                 big_time: t.cpu_time_by_kind[1],
-                load: t.load.value(),
+                load: self.loads.value(i),
                 state: t.state,
             })
             .collect()
@@ -986,6 +1001,67 @@ impl Kernel {
     /// Tick period configured for this kernel.
     pub fn tick_period(&self) -> SimDuration {
         self.cfg.tick_period
+    }
+
+    // ---- snapshot / fork ----------------------------------------------------
+
+    /// Produces an independent deep copy of the whole scheduler state for a
+    /// forked simulation: runqueues, accounting, load averages, pending
+    /// wakes/signals and every live task's behavior.
+    ///
+    /// Behaviors are duplicated through [`TaskBehavior::fork_box`], with
+    /// shared handles (job queues, completion trackers) deduplicated via
+    /// `ctx` so that tasks sharing a queue in the parent share *one* new
+    /// queue in the fork. Exited tasks keep a no-op behavior — their
+    /// original behavior can never run again, so its identity is
+    /// irrelevant to determinism.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SnapshotUnsupported`] naming the first live task whose
+    /// behavior declines to fork (ad-hoc closure behaviors).
+    pub fn fork(&self, ctx: &mut ForkCtx) -> Result<Kernel, SimError> {
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        for (i, t) in self.tasks.iter().enumerate() {
+            let behavior: Box<dyn TaskBehavior> = if t.state == TaskState::Exited {
+                Box::new(NoopBehavior)
+            } else {
+                t.behavior
+                    .fork_box(ctx)
+                    .ok_or_else(|| SimError::SnapshotUnsupported {
+                        detail: format!("task {} ({}) has an opaque behavior", i, t.name),
+                    })?
+            };
+            tasks.push(TaskCb {
+                name: t.name.clone(),
+                state: t.state,
+                behavior,
+                affinity: t.affinity,
+                remaining: t.remaining,
+                profile: t.profile,
+                cpu: t.cpu,
+                last_cpu: t.last_cpu,
+                vruntime: t.vruntime,
+                cpu_time: t.cpu_time,
+                cpu_time_by_kind: t.cpu_time_by_kind,
+            });
+        }
+        Ok(Kernel {
+            cfg: self.cfg,
+            tasks,
+            loads: self.loads.clone(),
+            sleep_seq: self.sleep_seq.clone(),
+            pending_wake_flag: self.pending_wake_flag.clone(),
+            rqs: self.rqs.clone(),
+            acct: self.acct.clone(),
+            last_advance: self.last_advance,
+            wake_requests: self.wake_requests.clone(),
+            signals: self.signals.clone(),
+            pending_wakes: self.pending_wakes.clone(),
+            migrations_up: self.migrations_up,
+            migrations_down: self.migrations_down,
+            balance_scratch: Vec::with_capacity(self.rqs.len()),
+        })
     }
 
     /// Full load scale constant re-exported for convenience.

@@ -33,6 +33,6 @@ pub mod task;
 
 pub use hmp::HmpParams;
 pub use kernel::{Kernel, KernelConfig, TaskCensus};
-pub use load::LoadTracker;
+pub use load::{LoadSet, LoadTracker};
 pub use policy::AsymPolicy;
-pub use task::{Affinity, AppSignal, BehaviorCtx, Step, TaskBehavior, TaskId, TaskState};
+pub use task::{Affinity, AppSignal, BehaviorCtx, ForkCtx, Step, TaskBehavior, TaskId, TaskState};

@@ -77,6 +77,95 @@ impl LoadTracker {
     }
 }
 
+/// Structure-of-arrays load tracking for a whole task population.
+///
+/// Semantically one [`LoadTracker`] per task (identical EWMA formula,
+/// identical freeze-on-sleep rule), but the values and update points live
+/// in two parallel vectors sharing one half-life. The kernel's per-advance
+/// batch loop then walks contiguous `f64`s instead of hopping across
+/// per-task control blocks, and snapshotting the whole population is two
+/// `memcpy`s.
+#[derive(Debug, Clone)]
+pub struct LoadSet {
+    values: Vec<f64>,
+    last_update: Vec<SimTime>,
+    halflife_ms: f64,
+}
+
+impl LoadSet {
+    /// Creates an empty set whose trackers share `halflife_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `halflife_ms` is not positive.
+    pub fn new(halflife_ms: f64) -> Self {
+        assert!(halflife_ms > 0.0, "half-life must be positive");
+        LoadSet {
+            values: Vec::new(),
+            last_update: Vec::new(),
+            halflife_ms,
+        }
+    }
+
+    /// Adds a tracker with zero load whose decay starts at `start`;
+    /// returns its index (dense from 0 in push order).
+    pub fn push(&mut self, start: SimTime) -> usize {
+        self.values.push(0.0);
+        self.last_update.push(start);
+        self.values.len() - 1
+    }
+
+    /// Number of tracked tasks.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no task is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Current load of tracker `idx` in `[0, 1024]`.
+    pub fn value(&self, idx: usize) -> f64 {
+        self.values[idx]
+    }
+
+    /// The shared half-life in milliseconds.
+    pub fn halflife_ms(&self) -> f64 {
+        self.halflife_ms
+    }
+
+    /// Folds contribution `r` held over `[last_update, now]` into tracker
+    /// `idx` — exactly [`LoadTracker::update`].
+    pub fn update(&mut self, idx: usize, now: SimTime, r: f64) {
+        debug_assert!(
+            (0.0..=1.0 + 1e-9).contains(&r),
+            "contribution out of range: {r}"
+        );
+        if now <= self.last_update[idx] {
+            return;
+        }
+        let dt_ms = now.duration_since(self.last_update[idx]).as_millis_f64();
+        let d = 0.5f64.powf(dt_ms / self.halflife_ms);
+        self.values[idx] = self.values[idx] * d + LOAD_SCALE * r.clamp(0.0, 1.0) * (1.0 - d);
+        self.last_update[idx] = now;
+    }
+
+    /// Freezes tracker `idx` across a sleep — exactly
+    /// [`LoadTracker::skip_to`].
+    pub fn skip_to(&mut self, idx: usize, now: SimTime) {
+        if now > self.last_update[idx] {
+            self.last_update[idx] = now;
+        }
+    }
+
+    /// The raw load values, in task order — the batch read path for
+    /// observers (reports, fingerprints) that want the whole population.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +234,35 @@ mod tests {
         fast.update(now, 1.0);
         slow.update(now, 1.0);
         assert!(fast.value() > slow.value());
+    }
+
+    #[test]
+    fn load_set_matches_trackers_step_for_step() {
+        let mut trackers = [
+            LoadTracker::new(SimTime::ZERO, 32.0),
+            LoadTracker::new(SimTime::from_millis(7), 32.0),
+        ];
+        let mut set = LoadSet::new(32.0);
+        set.push(SimTime::ZERO);
+        set.push(SimTime::from_millis(7));
+        let mut now = SimTime::ZERO;
+        for step in 0..200u64 {
+            now += SimDuration::from_millis(1 + step % 5);
+            let r0 = (step % 7) as f64 / 7.0;
+            trackers[0].update(now, r0);
+            set.update(0, now, r0);
+            if step % 3 == 0 {
+                trackers[1].update(now, 1.0);
+                set.update(1, now, 1.0);
+            } else {
+                trackers[1].skip_to(now);
+                set.skip_to(1, now);
+            }
+            for (i, t) in trackers.iter().enumerate() {
+                assert_eq!(set.value(i), t.value(), "tracker {i} at step {step}");
+            }
+        }
+        assert_eq!(set.values(), &[trackers[0].value(), trackers[1].value()]);
     }
 
     proptest! {

@@ -120,6 +120,48 @@ impl<'a> BehaviorCtx<'a> {
     }
 }
 
+/// Deduplication context for forking behaviors that share state through
+/// `Rc` handles (job queues, completion trackers, scene fences).
+///
+/// When a simulation is forked, each shared handle must be cloned **once**
+/// and every behavior that held the original must receive the same new
+/// handle — otherwise a pool's workers would each get a private copy of
+/// the job queue and the fork would diverge from the parent. Behaviors
+/// key the map by the address of the shared allocation
+/// (`Rc::as_ptr(...) as usize`), which is unique per live allocation and
+/// identical across all holders of one handle.
+#[derive(Debug, Default)]
+pub struct ForkCtx {
+    cloned: std::collections::HashMap<usize, Box<dyn std::any::Any>>,
+}
+
+impl ForkCtx {
+    /// Creates an empty context for one fork operation.
+    pub fn new() -> Self {
+        ForkCtx::default()
+    }
+
+    /// Returns the fork-local clone for the shared allocation at `key`,
+    /// calling `make` to build it the first time the key is seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two different types are registered under the same key —
+    /// that would mean two distinct shared objects at one address, which
+    /// cannot happen for live `Rc`s.
+    pub fn dedup<T: Clone + 'static>(&mut self, key: usize, make: impl FnOnce() -> T) -> T {
+        if let Some(existing) = self.cloned.get(&key) {
+            return existing
+                .downcast_ref::<T>()
+                .expect("fork dedup key reused with a different type")
+                .clone();
+        }
+        let fresh = make();
+        self.cloned.insert(key, Box::new(fresh.clone()));
+        fresh
+    }
+}
+
 /// A task's behavior: a generator of [`Step`]s.
 ///
 /// `next_step` is called when the task is created, whenever its current
@@ -129,6 +171,18 @@ impl<'a> BehaviorCtx<'a> {
 pub trait TaskBehavior {
     /// Produces the next step for this task.
     fn next_step(&mut self, ctx: &mut BehaviorCtx<'_>) -> Step;
+
+    /// Produces an independent deep copy of this behavior for a forked
+    /// simulation, deduplicating shared handles through `ctx`.
+    ///
+    /// Returning `None` (the default) declares the behavior opaque —
+    /// ad-hoc closures, for example — and makes the owning simulation
+    /// unsnapshottable; callers then fall back to a cold run. All
+    /// behaviors shipped by the `workloads` crate implement this.
+    fn fork_box(&self, ctx: &mut ForkCtx) -> Option<Box<dyn TaskBehavior>> {
+        let _ = ctx;
+        None
+    }
 }
 
 impl<F> TaskBehavior for F
@@ -151,8 +205,6 @@ pub(crate) struct TaskCb {
     pub(crate) remaining: Work,
     /// Profile of the current compute step.
     pub(crate) profile: WorkProfile,
-    /// Load tracker (HMP input).
-    pub(crate) load: crate::load::LoadTracker,
     /// CPU whose runqueue holds the task (valid while Runnable).
     pub(crate) cpu: Option<CpuId>,
     /// Last CPU the task ran on; wake placement prefers it (cache
@@ -222,5 +274,29 @@ mod tests {
     #[test]
     fn task_id_display() {
         assert_eq!(TaskId(7).to_string(), "task7");
+    }
+
+    #[test]
+    fn fork_ctx_dedups_by_key() {
+        let mut ctx = ForkCtx::new();
+        let mut builds = 0;
+        let a: std::rc::Rc<u32> = ctx.dedup(42, || {
+            builds += 1;
+            std::rc::Rc::new(7)
+        });
+        let b: std::rc::Rc<u32> = ctx.dedup(42, || {
+            builds += 1;
+            std::rc::Rc::new(9)
+        });
+        assert_eq!(builds, 1, "second lookup must reuse the first clone");
+        assert!(std::rc::Rc::ptr_eq(&a, &b));
+        let c: std::rc::Rc<u32> = ctx.dedup(43, || std::rc::Rc::new(9));
+        assert!(!std::rc::Rc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn closures_are_not_forkable() {
+        let b: Box<dyn TaskBehavior> = Box::new(|_: &mut BehaviorCtx<'_>| Step::Exit);
+        assert!(b.fork_box(&mut ForkCtx::new()).is_none());
     }
 }

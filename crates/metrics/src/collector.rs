@@ -20,7 +20,10 @@ use bl_simcore::time::{SimDuration, SimTime};
 pub const SAMPLE_PERIOD: SimDuration = SimDuration::from_millis(10);
 
 /// Collects every per-run metric from periodic samples and app signals.
-#[derive(Debug)]
+///
+/// `Clone` produces an independent deep copy — the measurement half of a
+/// simulation snapshot.
+#[derive(Debug, Clone)]
 pub struct MetricsCollector {
     topo: Topology,
     busy_window: BusyWindow,

@@ -27,4 +27,4 @@ pub mod thermal;
 pub use cpuidle::{CpuidleTable, IdleState};
 pub use meter::{MeterReading, PowerMeter};
 pub use model::{PowerModel, PowerParams};
-pub use thermal::{ClusterThermal, ThermalParams};
+pub use thermal::{ClusterThermal, ThermalBank, ThermalParams};

@@ -166,6 +166,113 @@ impl ClusterThermal {
     }
 }
 
+/// Structure-of-arrays thermal state for all clusters of a platform.
+///
+/// Semantically a `Vec<ClusterThermal>` (identical RC math, identical
+/// hysteresis), but the per-cluster temperatures and throttle flags live
+/// in parallel vectors so the per-sample batch advance walks contiguous
+/// memory and a snapshot clone is a handful of `memcpy`s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalBank {
+    params: Vec<ThermalParams>,
+    temp_c: Vec<f64>,
+    throttled: Vec<bool>,
+}
+
+impl ThermalBank {
+    /// One node per parameter set, each starting at its ambient
+    /// temperature, unthrottled.
+    pub fn new(params: Vec<ThermalParams>) -> Self {
+        let temp_c = params.iter().map(|p| p.ambient_c).collect();
+        let throttled = vec![false; params.len()];
+        ThermalBank {
+            params,
+            temp_c,
+            throttled,
+        }
+    }
+
+    /// Number of thermal nodes.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when the bank tracks no nodes (thermal model disabled).
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Calibration constants of node `idx`.
+    pub fn params(&self, idx: usize) -> &ThermalParams {
+        &self.params[idx]
+    }
+
+    /// Current junction temperature of node `idx` in °C.
+    pub fn temp_c(&self, idx: usize) -> f64 {
+        self.temp_c[idx]
+    }
+
+    /// All junction temperatures, in cluster order.
+    pub fn temps(&self) -> &[f64] {
+        &self.temp_c
+    }
+
+    /// Whether node `idx` is currently throttled.
+    pub fn is_throttled(&self, idx: usize) -> bool {
+        self.throttled[idx]
+    }
+
+    /// The frequency ceiling node `idx` currently imposes, if any.
+    pub fn cap_khz(&self, idx: usize) -> Option<u32> {
+        self.throttled[idx].then_some(self.params[idx].cap_khz)
+    }
+
+    /// Advances every node by `dt` with per-cluster powers `power_w`
+    /// (indexed like the nodes), re-evaluating each throttle with
+    /// hysteresis — the batch form of [`ClusterThermal::advance`].
+    ///
+    /// Indices of nodes whose throttle state *changed* are appended to
+    /// `changed` (not cleared first), so the steady-state hot path does no
+    /// allocation: the common case appends nothing.
+    pub fn advance_all(&mut self, dt: SimDuration, power_w: &[f64], changed: &mut Vec<usize>) {
+        debug_assert_eq!(power_w.len(), self.params.len());
+        let dt_s = dt.as_secs_f64();
+        for (i, &pw) in power_w.iter().enumerate() {
+            let p = &self.params[i];
+            debug_assert!(pw >= 0.0, "negative cluster power");
+            let tau = p.r_c_per_w * p.c_j_per_c;
+            let t_inf = p.ambient_c + pw.max(0.0) * p.r_c_per_w;
+            let decay = (-dt_s / tau).exp();
+            self.temp_c[i] = t_inf + (self.temp_c[i] - t_inf) * decay;
+            if self.update_throttle(i) {
+                changed.push(i);
+            }
+        }
+    }
+
+    /// Applies an instantaneous temperature step to node `idx` (fault
+    /// injection), then re-evaluates its throttle. Returns `true` on a
+    /// throttle state change — the batch-layout form of
+    /// [`ClusterThermal::inject`].
+    pub fn inject(&mut self, idx: usize, delta_c: f64) -> bool {
+        debug_assert!(delta_c.is_finite(), "non-finite thermal spike");
+        self.temp_c[idx] += delta_c;
+        self.update_throttle(idx)
+    }
+
+    fn update_throttle(&mut self, idx: usize) -> bool {
+        let before = self.throttled[idx];
+        if self.throttled[idx] {
+            if self.temp_c[idx] <= self.params[idx].release_c {
+                self.throttled[idx] = false;
+            }
+        } else if self.temp_c[idx] >= self.params[idx].trip_c {
+            self.throttled[idx] = true;
+        }
+        self.throttled[idx] != before
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +342,45 @@ mod tests {
             n.advance(SimDuration::from_secs(1), 0.0);
         }
         assert!((n.temp_c() - 25.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bank_matches_scalar_nodes_step_for_step() {
+        let params = vec![
+            ThermalParams::exynos5422_little(),
+            ThermalParams::exynos5422_big(),
+        ];
+        let mut scalar: Vec<ClusterThermal> =
+            params.iter().map(|p| ClusterThermal::new(*p)).collect();
+        let mut bank = ThermalBank::new(params);
+        let mut changed = Vec::new();
+        // A power trajectory that heats the big cluster through its trip
+        // point and back down through release.
+        let phases = [(6.0, 200), (0.5, 400), (6.0, 100)];
+        for (big_w, steps) in phases {
+            for _ in 0..steps {
+                let powers = [0.3, big_w];
+                changed.clear();
+                let mut scalar_changed = Vec::new();
+                for (i, n) in scalar.iter_mut().enumerate() {
+                    if n.advance(SimDuration::from_millis(100), powers[i]) {
+                        scalar_changed.push(i);
+                    }
+                }
+                bank.advance_all(SimDuration::from_millis(100), &powers, &mut changed);
+                assert_eq!(changed, scalar_changed);
+                for (i, n) in scalar.iter().enumerate() {
+                    assert_eq!(bank.temp_c(i), n.temp_c(), "node {i} temperature");
+                    assert_eq!(bank.is_throttled(i), n.is_throttled(), "node {i} throttle");
+                    assert_eq!(bank.cap_khz(i), n.cap_khz(), "node {i} cap");
+                }
+            }
+        }
+        // Injection parity too.
+        for (i, n) in scalar.iter_mut().enumerate() {
+            assert_eq!(bank.inject(i, 30.0), n.inject(30.0));
+            assert_eq!(bank.temp_c(i), n.temp_c());
+        }
     }
 
     #[test]

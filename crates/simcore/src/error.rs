@@ -138,6 +138,13 @@ pub enum SimError {
         /// What the coordinator observed (exit statuses, stalls).
         detail: String,
     },
+    /// The simulation holds state that cannot be captured in a snapshot
+    /// (e.g. a task driven by an opaque closure behavior). Callers fall
+    /// back to a cold run; a sweep does so transparently.
+    SnapshotUnsupported {
+        /// What refused to be snapshotted.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -221,6 +228,9 @@ impl fmt::Display for SimError {
                 "all {workers} sweep worker process(es) were lost before the \
                  batch settled: {detail}"
             ),
+            SimError::SnapshotUnsupported { detail } => {
+                write!(f, "simulation state cannot be snapshotted: {detail}")
+            }
         }
     }
 }

@@ -5,14 +5,14 @@
 //! fixed duty cycle on a pinned core at a pinned frequency: compute for
 //! `duty × period` of wall time, sleep for the rest, repeat.
 
-use bl_kernel::task::{BehaviorCtx, Step, TaskBehavior};
+use bl_kernel::task::{BehaviorCtx, ForkCtx, Step, TaskBehavior};
 use bl_platform::cache::CacheModel;
 use bl_platform::ids::CoreKind;
 use bl_platform::perf::{PerfModel, Work, WorkProfile};
 use bl_simcore::time::SimDuration;
 
 /// Duty-cycle spin/sleep benchmark.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MicroBench {
     work_per_period: Work,
     sleep_per_period: SimDuration,
@@ -74,6 +74,10 @@ impl TaskBehavior for MicroBench {
                 profile: self.profile,
             }
         }
+    }
+
+    fn fork_box(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn TaskBehavior>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -16,7 +16,7 @@
 use crate::threads::CompletionTracker;
 use crate::work_ms;
 use bl_kernel::kernel::{Hw, Kernel};
-use bl_kernel::task::{Affinity, BehaviorCtx, Step, TaskBehavior};
+use bl_kernel::task::{Affinity, BehaviorCtx, ForkCtx, Step, TaskBehavior};
 use bl_platform::perf::{Work, WorkProfile};
 use bl_platform::topology::Platform;
 use bl_simcore::time::{SimDuration, SimTime};
@@ -222,6 +222,15 @@ impl TaskBehavior for TraceReplayThread {
                 Step::Exit
             }
         }
+    }
+
+    fn fork_box(&self, ctx: &mut ForkCtx) -> Option<Box<dyn TaskBehavior>> {
+        Some(Box::new(TraceReplayThread {
+            segments: self.segments.clone(),
+            profile: self.profile,
+            tracker: self.tracker.fork_with(ctx),
+            waiting_for: self.waiting_for,
+        }))
     }
 }
 

@@ -13,7 +13,7 @@
 //! * [`CompletionTracker`] — counts finished pipeline pieces and fires the
 //!   `ScriptDone` signal that defines an app's latency.
 
-use bl_kernel::task::{AppSignal, BehaviorCtx, Step, TaskBehavior, TaskId};
+use bl_kernel::task::{AppSignal, BehaviorCtx, ForkCtx, Step, TaskBehavior, TaskId};
 use bl_platform::perf::{Work, WorkProfile};
 use bl_simcore::rng::SimRng;
 use bl_simcore::time::{SimDuration, SimTime};
@@ -25,7 +25,7 @@ use std::rc::Rc;
 // Completion tracking
 // ---------------------------------------------------------------------------
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TrackerInner {
     done: usize,
     target: usize,
@@ -68,6 +68,17 @@ impl CompletionTracker {
     pub fn is_done(&self) -> bool {
         self.0.borrow().fired
     }
+
+    /// Deep-copies the tracker for a forked simulation, deduplicated
+    /// through `ctx`: every behavior holding this tracker in the parent
+    /// receives the *same* new tracker in the fork, severed from the
+    /// parent's counter.
+    pub fn fork_with(&self, ctx: &mut ForkCtx) -> CompletionTracker {
+        let key = Rc::as_ptr(&self.0) as usize;
+        ctx.dedup(key, || {
+            CompletionTracker(Rc::new(RefCell::new(self.0.borrow().clone())))
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -85,7 +96,7 @@ pub struct Job {
     pub completes: bool,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct QueueInner {
     jobs: VecDeque<Job>,
     workers: Vec<TaskId>,
@@ -129,6 +140,16 @@ impl JobQueue {
     pub fn is_empty(&self) -> bool {
         self.0.borrow().jobs.is_empty()
     }
+
+    /// Deep-copies the queue (jobs and worker registrations) for a forked
+    /// simulation, deduplicated through `ctx` so all workers of one pool
+    /// share one new queue.
+    pub fn fork_with(&self, ctx: &mut ForkCtx) -> JobQueue {
+        let key = Rc::as_ptr(&self.0) as usize;
+        ctx.dedup(key, || {
+            JobQueue(Rc::new(RefCell::new(self.0.borrow().clone())))
+        })
+    }
 }
 
 /// A worker that drains a [`JobQueue`], blocking when it is empty.
@@ -169,6 +190,14 @@ impl TaskBehavior for PoolWorker {
             }
             None => Step::Block,
         }
+    }
+
+    fn fork_box(&self, ctx: &mut ForkCtx) -> Option<Box<dyn TaskBehavior>> {
+        Some(Box::new(PoolWorker {
+            queue: self.queue.fork_with(ctx),
+            tracker: self.tracker.as_ref().map(|t| t.fork_with(ctx)),
+            pending_complete: self.pending_complete,
+        }))
     }
 }
 
@@ -255,6 +284,20 @@ impl TaskBehavior for ContinuousTask {
             profile: self.profile,
         }
     }
+
+    fn fork_box(&self, ctx: &mut ForkCtx) -> Option<Box<dyn TaskBehavior>> {
+        Some(Box::new(ContinuousTask {
+            rng: self.rng.clone(),
+            remaining: self.remaining,
+            chunk: self.chunk,
+            profile: self.profile,
+            io_sleep: self.io_sleep,
+            io_prob: self.io_prob,
+            signal_done: self.signal_done,
+            tracker: self.tracker.as_ref().map(|t| t.fork_with(ctx)),
+            just_computed: self.just_computed,
+        }))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -284,6 +327,16 @@ impl SceneSync {
     pub fn paused_until(&self, now: SimTime) -> Option<SimTime> {
         let t = self.0.get();
         (t > now).then_some(t)
+    }
+
+    /// Deep-copies the scene fence for a forked simulation, deduplicated
+    /// through `ctx` so the whole thread family stays synchronized on one
+    /// new fence.
+    pub fn fork_with(&self, ctx: &mut ForkCtx) -> SceneSync {
+        let key = Rc::as_ptr(&self.0) as usize;
+        ctx.dedup(key, || {
+            SceneSync(Rc::new(std::cell::Cell::new(self.0.get())))
+        })
     }
 }
 
@@ -411,6 +464,22 @@ impl TaskBehavior for FrameLoop {
             }
         }
     }
+
+    fn fork_box(&self, ctx: &mut ForkCtx) -> Option<Box<dyn TaskBehavior>> {
+        Some(Box::new(FrameLoop {
+            rng: self.rng.clone(),
+            vsync: self.vsync,
+            work_median: self.work_median,
+            sigma: self.sigma,
+            profile: self.profile,
+            emit_frames: self.emit_frames,
+            stall_prob: self.stall_prob,
+            stall: self.stall,
+            scene: self.scene.as_ref().map(|s| s.fork_with(ctx)),
+            next_vsync: self.next_vsync,
+            state: self.state,
+        }))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -494,6 +563,19 @@ impl TaskBehavior for PeriodicTask {
                 profile: self.profile,
             }
         }
+    }
+
+    fn fork_box(&self, ctx: &mut ForkCtx) -> Option<Box<dyn TaskBehavior>> {
+        Some(Box::new(PeriodicTask {
+            rng: self.rng.clone(),
+            period: self.period,
+            jitter_frac: self.jitter_frac,
+            work_median: self.work_median,
+            sigma: self.sigma,
+            profile: self.profile,
+            scene: self.scene.as_ref().map(|s| s.fork_with(ctx)),
+            computing: self.computing,
+        }))
     }
 }
 
@@ -605,6 +687,16 @@ impl TaskBehavior for UiScriptThread {
                 }
             }
         }
+    }
+
+    fn fork_box(&self, ctx: &mut ForkCtx) -> Option<Box<dyn TaskBehavior>> {
+        Some(Box::new(UiScriptThread {
+            actions: self.actions.clone(),
+            current: self.current.clone(),
+            queue: self.queue.as_ref().map(|q| q.fork_with(ctx)),
+            tracker: self.tracker.fork_with(ctx),
+            state: self.state,
+        }))
     }
 }
 
@@ -864,6 +956,82 @@ mod tests {
         // Bursts completed: 2 of the 3 targets.
         assert_eq!(tracker.done(), 2);
         assert!(!tracker.is_done());
+    }
+
+    #[test]
+    fn fork_severs_from_parent_but_shares_within_fork() {
+        let (mut wakes, mut signals) = ctx_parts();
+        let q = JobQueue::new();
+        q.register_worker(TaskId(1));
+        let tracker = CompletionTracker::new(2);
+        let w1 = PoolWorker::new(q.clone(), Some(tracker.clone()));
+        let w2 = PoolWorker::new(q.clone(), Some(tracker.clone()));
+
+        let mut fctx = ForkCtx::new();
+        let fq1 = w1.queue.fork_with(&mut fctx);
+        let fq2 = w2.queue.fork_with(&mut fctx);
+        let ft = tracker.fork_with(&mut fctx);
+        // Within the fork the pool shares one queue...
+        assert!(Rc::ptr_eq(&fq1.0, &fq2.0));
+        // ...which is severed from the parent's.
+        assert!(!Rc::ptr_eq(&fq1.0, &q.0));
+        assert!(!Rc::ptr_eq(&ft.0, &tracker.0));
+
+        // Mutating the fork leaves the parent untouched, and vice versa.
+        {
+            let mut ctx = mk_ctx(&mut wakes, &mut signals, 0);
+            fq1.push_and_wake(
+                Job {
+                    work: w(1.0),
+                    profile: WorkProfile::default(),
+                    completes: false,
+                },
+                &mut ctx,
+            );
+            ft.complete(&mut ctx);
+        }
+        assert_eq!(fq2.len(), 1);
+        assert!(q.is_empty());
+        assert_eq!(ft.done(), 1);
+        assert_eq!(tracker.done(), 0);
+    }
+
+    #[test]
+    fn behaviors_fork_deeply() {
+        // Every stock behavior must offer fork_box, and forked RNG streams
+        // must replay identically to the parent's.
+        let (mut wakes, mut signals) = ctx_parts();
+        let scene = SceneSync::new();
+        let f = FrameLoop::new(
+            SimRng::seed_from(11),
+            60.0,
+            w(1.0),
+            0.3,
+            WorkProfile::default(),
+            true,
+        )
+        .with_stalls(0.01, SimDuration::from_millis(300))
+        .with_scene(scene.clone());
+        let mut forked = f.fork_box(&mut ForkCtx::new()).expect("FrameLoop forks");
+        let mut original = FrameLoop {
+            rng: f.rng.clone(),
+            scene: Some(scene),
+            ..FrameLoop::new(
+                SimRng::seed_from(11),
+                60.0,
+                w(1.0),
+                0.3,
+                WorkProfile::default(),
+                true,
+            )
+        }
+        .with_stalls(0.01, SimDuration::from_millis(300));
+        for i in 0..20u64 {
+            let mut ctx = mk_ctx(&mut wakes, &mut signals, i * 17);
+            let a = original.next_step(&mut ctx);
+            let b = forked.next_step(&mut ctx);
+            assert_eq!(a, b, "step {i}");
+        }
     }
 
     #[test]

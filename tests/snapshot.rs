@@ -1,0 +1,194 @@
+//! Snapshot/fork correctness: a run forked from a warmed-up prefix
+//! snapshot must be bit-identical to a cold run that replays the prefix
+//! — across governors, faults active at the snapshot point and both
+//! skip-ahead modes — and a prefix-shared sweep must equal a cold sweep
+//! byte for byte, through the result cache and the journal.
+
+use biglittle::{sweep, LateBindings, Scenario, StopWhen, SweepOptions, SystemConfig};
+use bl_governor::GovernorConfig;
+use bl_simcore::budget::RunBudget;
+use bl_simcore::fault::{FaultKind, FaultPlan};
+use bl_simcore::time::{SimDuration, SimTime};
+use bl_workloads::apps::app_by_name;
+use proptest::prelude::*;
+
+const WARMUP_MS: u64 = 500;
+const STOP_MS: u64 = 800;
+
+/// One grid point: a TLP-heavy app warmed up for `WARMUP_MS`, with
+/// everything that varies across the grid bound at the warm-up point.
+/// With `prefix_faults` the prefix schedules a cluster outage that is
+/// still in flight at the snapshot instant, so the captured state holds
+/// offlined CPUs and pending online events.
+fn grid_point(
+    label: &str,
+    seed: u64,
+    skip_ahead: bool,
+    prefix_faults: bool,
+    late: LateBindings,
+) -> Scenario {
+    let mut cfg = SystemConfig::baseline()
+        .with_seed(seed)
+        .with_skip_ahead(skip_ahead);
+    if prefix_faults {
+        cfg = cfg.with_faults(FaultPlan::new().with_outage(
+            SimTime::from_millis(100),
+            SimDuration::from_millis(600),
+            &[1, 5],
+        ));
+    }
+    let app = app_by_name("Angry Bird").unwrap();
+    Scenario::app(label, app, cfg)
+        .with_stop(StopWhen::Deadline(SimDuration::from_millis(STOP_MS)))
+        .with_warmup(SimDuration::from_millis(WARMUP_MS))
+        .with_late(late)
+}
+
+/// The late-binding axis of the grid.
+fn late_variant(idx: usize) -> LateBindings {
+    match idx % 4 {
+        0 => LateBindings::default(),
+        1 => LateBindings {
+            governors: Some(vec![GovernorConfig::Performance, GovernorConfig::Powersave]),
+            faults: FaultPlan::new(),
+        },
+        2 => LateBindings {
+            governors: None,
+            faults: FaultPlan::new().with(
+                SimTime::from_millis(WARMUP_MS + 50),
+                FaultKind::ThermalSpike {
+                    cluster: 0,
+                    delta_c: 6.0,
+                },
+            ),
+        },
+        _ => LateBindings {
+            governors: Some(vec![GovernorConfig::Powersave, GovernorConfig::Performance]),
+            faults: FaultPlan::new().with(
+                SimTime::from_millis(WARMUP_MS),
+                FaultKind::GovernorStall {
+                    cluster: 1,
+                    missed_samples: 2,
+                },
+            ),
+        },
+    }
+}
+
+#[test]
+fn forked_run_is_bit_identical_to_cold_run() {
+    let sc = grid_point("fork-basic", 11, true, false, late_variant(1));
+    let budget = RunBudget::unlimited();
+    let cold = sc.run_with_budget(&budget).unwrap();
+    let snap = sc.snapshot_prefix(&budget).unwrap();
+    let forked = sc.run_forked(&snap, &budget).unwrap();
+    assert_eq!(cold, forked);
+    // The snapshot is reusable: forking it again must not observe any
+    // state the first fork left behind.
+    let again = sc.run_forked(&snap, &budget).unwrap();
+    assert_eq!(cold, again);
+}
+
+#[test]
+fn snapshot_fingerprint_is_deterministic() {
+    let sc = grid_point("fp", 3, true, true, late_variant(0));
+    let a = sc.snapshot_prefix(&RunBudget::unlimited()).unwrap();
+    let b = sc.snapshot_prefix(&RunBudget::unlimited()).unwrap();
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
+#[test]
+fn prefix_specs_group_by_shared_prefix() {
+    let a = grid_point("a", 5, true, false, late_variant(0));
+    let b = grid_point("b", 5, true, false, late_variant(2));
+    let c = grid_point("c", 6, true, false, late_variant(0));
+    let key = |sc: &Scenario| sweep::SnapshotSpec::of(sc).unwrap().key();
+    assert_eq!(key(&a), key(&b), "late bindings must not split a group");
+    assert_ne!(key(&a), key(&c), "a different prefix must not share");
+    let plain = Scenario::app(
+        "plain",
+        app_by_name("Browser").unwrap(),
+        SystemConfig::baseline(),
+    );
+    assert!(
+        sweep::SnapshotSpec::of(&plain).is_none(),
+        "no warm-up point, nothing to share"
+    );
+}
+
+#[test]
+fn prefix_shared_sweep_equals_cold_sweep_through_cache_and_journal() {
+    let scenarios: Vec<Scenario> = (0..4)
+        .map(|i| grid_point(&format!("grid-{i}"), 9, true, true, late_variant(i)))
+        .collect();
+    let base = std::env::temp_dir().join(format!("bl-snapshot-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let run = |share: bool, tag: &str, resume: bool| {
+        let opts = SweepOptions::serial()
+            .prefix_sharing(share)
+            .cached(base.join(tag).join("cache"))
+            .journaled(base.join(tag).join("journal"))
+            .resuming(resume);
+        sweep::run_with(&scenarios, &opts)
+    };
+    let bytes = |report: &sweep::SweepReport| -> Vec<String> {
+        report
+            .results
+            .iter()
+            .map(|r| serde_json::to_string(r.as_ref().unwrap()).unwrap())
+            .collect()
+    };
+
+    let cold = run(false, "cold", false);
+    let shared = run(true, "shared", false);
+    assert!(!cold.degraded && !shared.degraded);
+    assert_eq!(shared.stats.forked, scenarios.len() as u64);
+    assert_eq!(
+        bytes(&cold),
+        bytes(&shared),
+        "prefix-shared grid diverged from the cold grid"
+    );
+
+    // A second shared pass is served entirely from the cache.
+    let cached = run(true, "shared", false);
+    assert_eq!(cached.stats.cache_hits, scenarios.len() as u64);
+    assert_eq!(bytes(&cached), bytes(&shared));
+
+    // And resuming from the shared journal replays every point verbatim.
+    let resumed = run(true, "resumed-view", false); // warm a fresh journal
+    drop(resumed);
+    let replay = {
+        let opts = SweepOptions::serial()
+            .prefix_sharing(true)
+            .journaled(base.join("resumed-view").join("journal"))
+            .resuming(true);
+        sweep::run_with(&scenarios, &opts)
+    };
+    assert_eq!(replay.stats.resumed, scenarios.len() as u64);
+    assert_eq!(bytes(&replay), bytes(&shared));
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Randomized fork-vs-cold equivalence across the whole late-binding
+    // grid, with and without faults active at the snapshot instant, in
+    // both hot-loop modes.
+    #[test]
+    fn fork_vs_cold_bit_identical(
+        seed in 0u64..1_000,
+        late_idx in 0usize..4,
+        prefix_faults in proptest::bool::ANY,
+        skip_ahead in proptest::bool::ANY,
+    ) {
+        let sc = grid_point("prop", seed, skip_ahead, prefix_faults, late_variant(late_idx));
+        let budget = RunBudget::unlimited();
+        let cold = sc.run_with_budget(&budget).unwrap();
+        let snap = sc.snapshot_prefix(&budget).unwrap();
+        let forked = sc.run_forked(&snap, &budget).unwrap();
+        prop_assert_eq!(cold, forked);
+    }
+}
