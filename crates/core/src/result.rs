@@ -6,7 +6,14 @@ use serde::{Deserialize, Serialize};
 
 /// Everything measured during one run — the raw material for every table
 /// and figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the *simulated observables* only:
+/// [`RunResult::events_processed`] is execution telemetry (how much work
+/// the simulator did, which legitimately differs between e.g. the
+/// skip-ahead and ticked paths producing identical observables) and is
+/// excluded from `PartialEq`. It still serializes, so byte-comparisons of
+/// result JSON additionally pin the deterministic event count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
     /// Simulated wall time of the run.
     pub sim_time: SimDuration,
@@ -32,6 +39,13 @@ pub struct RunResult {
     pub efficiency_pct: [f64; 6],
     /// (up, down) HMP migration counts.
     pub migrations: (u64, u64),
+    /// Simulator events processed over the *simulation's lifetime* —
+    /// including any warm-up prefix a forked run inherited from its
+    /// snapshot parent, so cold and forked runs of the same scenario
+    /// report the same deterministic count. Divide by wall time for an
+    /// events/sec throughput figure (the sweep stats and bench JSONs do).
+    #[serde(default)]
+    pub events_processed: u64,
     /// What the fault-injection / thermal layer did to the run (all zero
     /// for an undisturbed run; absent fields default when deserializing
     /// results written before this field existed).
@@ -97,6 +111,41 @@ impl ResilienceStats {
     }
 }
 
+impl PartialEq for RunResult {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring (no `..`): adding a field to RunResult
+        // refuses to compile until this impl decides whether it is an
+        // observable (compared) or telemetry (ignored).
+        let RunResult {
+            sim_time,
+            avg_power_mw,
+            energy_mj,
+            latency,
+            fps,
+            tlp,
+            matrix_pct,
+            little_residency,
+            big_residency,
+            efficiency_pct,
+            migrations,
+            events_processed: _,
+            resilience,
+        } = self;
+        *sim_time == other.sim_time
+            && *avg_power_mw == other.avg_power_mw
+            && *energy_mj == other.energy_mj
+            && *latency == other.latency
+            && *fps == other.fps
+            && *tlp == other.tlp
+            && *matrix_pct == other.matrix_pct
+            && *little_residency == other.little_residency
+            && *big_residency == other.big_residency
+            && *efficiency_pct == other.efficiency_pct
+            && *migrations == other.migrations
+            && *resilience == other.resilience
+    }
+}
+
 impl RunResult {
     /// Latency in milliseconds, if the script finished.
     pub fn latency_ms(&self) -> Option<f64> {
@@ -137,6 +186,7 @@ mod tests {
             big_residency: vec![0.0; 12],
             efficiency_pct: [0.0; 6],
             migrations: (0, 0),
+            events_processed: 1234,
             resilience: ResilienceStats::default(),
         }
     }

@@ -156,6 +156,23 @@ pub struct Scenario {
     /// snapshot taken here.
     #[serde(default)]
     pub warmup: Option<SimDuration>,
+    /// Intermediate checkpoint instants *before* `warmup` (strictly
+    /// ascending, each below `warmup`; requires `warmup`). The run stops
+    /// at each instant on its way to the warm-up point — on the cold path
+    /// and on the snapshot-trunk path alike, so both traverse the *same*
+    /// stop schedule and stay bit-identical (a mid-run stop is an extra
+    /// PELT/accounting update point, so it is part of the run's numeric
+    /// identity, not a free implementation detail).
+    ///
+    /// This is what makes *nested* prefix sharing sound: a grid over
+    /// warm-up lengths `w_0 < w_1 < … < w_n` built as a ladder (member
+    /// `k` has `warmup = w_k, warmup_via = [w_0 … w_{k-1}]`) lets the
+    /// sweep planner simulate one trunk that snapshots at every `w_k`
+    /// and fork each member from its own level — snapshots forked from
+    /// the states of earlier snapshots, each prefix segment simulated
+    /// once.
+    #[serde(default)]
+    pub warmup_via: Vec<SimDuration>,
     /// Parameters bound at the warm-up point (requires `warmup`).
     #[serde(default)]
     pub late: Option<LateBindings>,
@@ -181,6 +198,7 @@ impl Scenario {
             workloads: vec![Workload::App { app, affinity }],
             stop: StopWhen::FirstAppDone,
             warmup: None,
+            warmup_via: Vec::new(),
             late: None,
         }
     }
@@ -208,6 +226,7 @@ impl Scenario {
                 cap: ref_duration * 4,
             },
             warmup: None,
+            warmup_via: Vec::new(),
             late: None,
         }
     }
@@ -233,6 +252,7 @@ impl Scenario {
             }],
             stop: StopWhen::Deadline(run_for),
             warmup: None,
+            warmup_via: Vec::new(),
             late: None,
         }
     }
@@ -258,6 +278,13 @@ impl Scenario {
     /// Sets the warm-up split point (see [`Scenario::warmup`]).
     pub fn with_warmup(mut self, warmup: SimDuration) -> Self {
         self.warmup = Some(warmup);
+        self
+    }
+
+    /// Sets the intermediate checkpoint instants before the warm-up point
+    /// (see [`Scenario::warmup_via`]). Validated when the scenario runs.
+    pub fn with_warmup_via(mut self, via: Vec<SimDuration>) -> Self {
+        self.warmup_via = via;
         self
     }
 
@@ -293,8 +320,16 @@ impl Scenario {
     /// [`SimError::DeadlineExceeded`] / [`SimError::EventBudgetExhausted`]
     /// when a limit is crossed.
     pub fn run_with_budget(&self, budget: &RunBudget) -> Result<RunResult, SimError> {
+        self.validate_via()?;
         let mut sim = self.instantiate(budget)?;
         if let Some(w) = self.warmup {
+            // Stop at every checkpoint on the way — the via schedule is
+            // part of the run's numeric identity (see `warmup_via`), so
+            // the cold path must traverse exactly the stops the
+            // snapshot-trunk path does.
+            for &v in &self.warmup_via {
+                sim.try_run_until(SimTime::ZERO + v)?;
+            }
             sim.try_run_until(SimTime::ZERO + w)?;
             self.apply_late(&mut sim)?;
         }
@@ -319,9 +354,47 @@ impl Scenario {
                 self.label
             ))
         })?;
+        self.validate_via()?;
         let mut sim = self.instantiate(budget)?;
+        for &v in &self.warmup_via {
+            sim.try_run_until(SimTime::ZERO + v)?;
+        }
         sim.try_run_until(SimTime::ZERO + w)?;
         sim.snapshot()
+    }
+
+    /// Runs *one* simulation through every chain point of this scenario
+    /// (each `warmup_via` instant, then `warmup`), capturing a
+    /// [`SimSnapshot`] at each stop — the trunk of a nested prefix tree.
+    /// Snapshot `k` is in exactly the state a cold run of a ladder member
+    /// with `warmup = chain[k], warmup_via = chain[..k]` would be in at
+    /// its warm-up point, so each member forks from its own level and
+    /// every shared prefix segment is simulated once.
+    ///
+    /// Returns the snapshots in chain order (`warmup_via.len() + 1`
+    /// entries; the last is the full-warm-up snapshot
+    /// [`Scenario::snapshot_prefix`] would produce).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::snapshot_prefix`].
+    pub fn snapshot_prefix_chain(&self, budget: &RunBudget) -> Result<Vec<SimSnapshot>, SimError> {
+        let w = self.warmup.ok_or_else(|| {
+            SimError::config(format!(
+                "scenario {:?} has no warmup point to snapshot",
+                self.label
+            ))
+        })?;
+        self.validate_via()?;
+        let mut sim = self.instantiate(budget)?;
+        let mut snaps = Vec::with_capacity(self.warmup_via.len() + 1);
+        for &v in &self.warmup_via {
+            sim.try_run_until(SimTime::ZERO + v)?;
+            snaps.push(sim.snapshot()?);
+        }
+        sim.try_run_until(SimTime::ZERO + w)?;
+        snaps.push(sim.snapshot()?);
+        Ok(snaps)
     }
 
     /// Continues this scenario from a warmed-up prefix snapshot: forks the
@@ -351,21 +424,95 @@ impl Scenario {
     }
 
     /// The scenario's shared prefix, normalized for keying: label cleared,
-    /// late bindings dropped, stop pinned to the warm-up deadline. Two
-    /// scenarios may share a snapshot exactly when their prefix scenarios
-    /// serialize identically. `None` when the scenario has no warm-up
-    /// point (nothing to share).
+    /// late bindings dropped, stop pinned to the warm-up deadline, the
+    /// checkpoint schedule kept (two runs that stop at different
+    /// intermediate instants are *not* in the same state at the warm-up
+    /// point — see [`Scenario::warmup_via`]). Two scenarios may share a
+    /// snapshot exactly when their prefix scenarios serialize
+    /// identically. `None` when the scenario has no warm-up point
+    /// (nothing to share).
     pub fn prefix_scenario(&self) -> Option<Scenario> {
-        let w = self.warmup?;
-        Some(Scenario {
+        self.warmup?;
+        Some(self.prefix_scenario_at(self.warmup_via.len()))
+    }
+
+    /// The full ladder of stop instants of this scenario's prefix: every
+    /// `warmup_via` checkpoint followed by `warmup`. Empty when the
+    /// scenario has no warm-up point.
+    pub fn chain_points(&self) -> Vec<SimDuration> {
+        let Some(w) = self.warmup else {
+            return Vec::new();
+        };
+        let mut points = self.warmup_via.clone();
+        points.push(w);
+        points
+    }
+
+    /// The normalized prefix scenario truncated at chain level `level`
+    /// (`0..chain_points().len()`): it stops at `chain_points()[level]`
+    /// having traversed the checkpoints before it. Level
+    /// `warmup_via.len()` is the full prefix ([`Scenario::prefix_scenario`]);
+    /// lower levels are the ancestors a nested-prefix planner keys
+    /// snapshot-tree nodes by — a ladder member's level-`k` prefix equals
+    /// the full prefix of the member `k` rungs down.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scenario has no warm-up point or `level` exceeds
+    /// `warmup_via.len()`.
+    pub fn prefix_scenario_at(&self, level: usize) -> Scenario {
+        let w = self.warmup.expect("prefix_scenario_at without warmup");
+        assert!(level <= self.warmup_via.len(), "chain level out of range");
+        let stop_at = if level == self.warmup_via.len() {
+            w
+        } else {
+            self.warmup_via[level]
+        };
+        Scenario {
             label: String::new(),
             platform: self.platform,
             config: self.config.clone(),
             workloads: self.workloads.clone(),
-            stop: StopWhen::Deadline(w),
+            stop: StopWhen::Deadline(stop_at),
             warmup: None,
+            warmup_via: self.warmup_via[..level].to_vec(),
             late: None,
-        })
+        }
+    }
+
+    /// Validates the checkpoint schedule: `warmup_via` requires a warm-up
+    /// point, must ascend strictly and stay strictly below `warmup`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] describing the violation.
+    fn validate_via(&self) -> Result<(), SimError> {
+        if self.warmup_via.is_empty() {
+            return Ok(());
+        }
+        let Some(w) = self.warmup else {
+            return Err(SimError::config(format!(
+                "scenario {:?} has warmup_via checkpoints but no warmup point",
+                self.label
+            )));
+        };
+        let mut prev: Option<SimDuration> = None;
+        for &v in &self.warmup_via {
+            if prev.is_some_and(|p| v <= p) {
+                return Err(SimError::config(format!(
+                    "scenario {:?}: warmup_via must ascend strictly",
+                    self.label
+                )));
+            }
+            if v >= w {
+                return Err(SimError::config(format!(
+                    "scenario {:?}: warmup_via checkpoint {:?} is not below warmup {:?}",
+                    self.label, v, w
+                )));
+            }
+            prev = Some(v);
+        }
+        Ok(())
     }
 
     /// Builds the simulation and spawns the workloads, without running.

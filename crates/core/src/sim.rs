@@ -159,6 +159,11 @@ pub struct Simulation {
     /// Armed execution budget: wall-clock deadline, event cap and
     /// cancellation token, booked per processed event.
     budget: ArmedBudget,
+    /// Events processed over the simulation's lifetime. Unlike the budget
+    /// (re-armed per run), this counter survives snapshot/fork, so a
+    /// forked run reports the same total as the cold run it is
+    /// bit-identical to — which is what lets [`RunResult`] carry it.
+    events_total: u64,
     /// Runtime invariant auditor, when [`SystemConfig::audit`] is on.
     audit: Option<InvariantGuard>,
     resilience: ResilienceStats,
@@ -298,6 +303,7 @@ impl Simulation {
             gov_skip: vec![0; n_clusters],
             watchdog: 0,
             budget: ArmedBudget::default(),
+            events_total: 0,
             audit,
             resilience,
             skip_stash: Vec::new(),
@@ -519,6 +525,7 @@ impl Simulation {
             }
             let (_, ev) = self.queue.pop().expect("peeked event");
             self.budget.on_event(self.now)?;
+            self.events_total += 1;
             match ev {
                 Ev::Tick => {
                     let hw = Hw {
@@ -840,8 +847,13 @@ impl Simulation {
             );
             rt.power_scratch.push(mw / 1000.0);
         }
-        rt.changed_scratch.clear();
+        // `advance_all` appends changed indices without clearing (see its
+        // buffer contract), so one clear per sample is all the bookkeeping
+        // the reused buffer needs; `take` moves the capacity out so the
+        // throttle transitions below can re-borrow `self`, and the
+        // steady state allocates nothing.
         let mut changed = std::mem::take(&mut rt.changed_scratch);
+        changed.clear();
         rt.nodes.advance_all(dt, &rt.power_scratch, &mut changed);
         for i in 0..rt.nodes.len() {
             self.resilience.peak_temp_c[i] = self.resilience.peak_temp_c[i].max(rt.nodes.temp_c(i));
@@ -849,7 +861,6 @@ impl Simulation {
         for &i in &changed {
             self.apply_throttle_transition(ClusterId(i));
         }
-        changed.clear();
         self.thermal
             .as_mut()
             .expect("checked above")
@@ -1028,6 +1039,14 @@ impl Simulation {
         self.budget.events()
     }
 
+    /// Simulated events processed over the whole simulation lifetime,
+    /// including any warm-up prefix inherited from a snapshot parent —
+    /// budgets re-arm per run, this counter never resets, so forked and
+    /// cold runs of the same scenario agree on it.
+    pub fn events_total(&self) -> u64 {
+        self.events_total
+    }
+
     /// Number of completed invariant-audit passes (0 when auditing is off).
     pub fn audit_checks(&self) -> u64 {
         self.audit.as_ref().map_or(0, |g| g.checks())
@@ -1132,6 +1151,7 @@ impl Simulation {
             big_residency: self.collector.residency().shares(big),
             efficiency_pct: self.collector.efficiency().percentages(),
             migrations: self.kernel.migration_counts(),
+            events_processed: self.events_total,
             resilience,
         }
     }
@@ -1292,8 +1312,10 @@ impl Simulation {
             thermal: self.thermal.clone(),
             gov_skip: self.gov_skip.clone(),
             watchdog: self.watchdog,
-            // Budgets are per-run: forks start unbudgeted.
+            // Budgets are per-run: forks start unbudgeted. The lifetime
+            // event counter carries over so forked == cold totals.
             budget: ArmedBudget::default(),
+            events_total: self.events_total,
             audit: self.audit.clone(),
             resilience: self.resilience.clone(),
             skip_stash: Vec::new(),

@@ -291,6 +291,9 @@ pub struct ScenarioStats {
     /// Execution attempts made (0 when cached or resumed, 1 for a clean
     /// first run, more when retries fired).
     pub attempts: u32,
+    /// Simulator events the scenario's result reports
+    /// ([`RunResult::events_processed`]); 0 when the scenario failed.
+    pub events: u64,
 }
 
 /// One execution attempt of one scenario within a sweep.
@@ -334,6 +337,10 @@ pub struct SweepStats {
     pub retries: u64,
     /// Scenarios quarantined after exhausting their retries.
     pub quarantined: u64,
+    /// Simulator events summed over every successful result
+    /// ([`RunResult::events_processed`]) — divide by the batch's wall
+    /// time for an events/sec throughput figure.
+    pub events: u64,
     /// Whether any scenario was retried or quarantined.
     pub degraded: bool,
     /// Multi-process lease/reclaim accounting; `None` for in-process
@@ -406,6 +413,7 @@ impl SweepStats {
         self.forked += other.forked;
         self.retries += other.retries;
         self.quarantined += other.quarantined;
+        self.events += other.events;
         self.degraded |= other.degraded;
         if let Some(other_shard) = &other.shard {
             self.shard
@@ -531,6 +539,7 @@ static TALLY: Mutex<SweepStats> = Mutex::new(SweepStats {
     forked: 0,
     retries: 0,
     quarantined: 0,
+    events: 0,
     degraded: false,
     shard: None,
     per_scenario: Vec::new(),
@@ -612,6 +621,8 @@ pub fn run_with(scenarios: &[Scenario], opts: &SweepOptions) -> SweepOutcome {
         stats.resumed += u64::from(sup.resumed);
         stats.forked += u64::from(sup.forked);
         stats.retries += sup.attempts.len().saturating_sub(1) as u64;
+        let events = sup.result.as_ref().map_or(0, |r| r.events_processed);
+        stats.events += events;
         if let Err(e) = &sup.result {
             stats.quarantined += 1;
             quarantined.push(QuarantineRecord {
@@ -629,6 +640,7 @@ pub fn run_with(scenarios: &[Scenario], opts: &SweepOptions) -> SweepOutcome {
                 resumed: sup.resumed,
                 forked: sup.forked,
                 attempts: sup.attempts.len() as u32,
+                events,
             });
         }
         results.push(sup.result);
@@ -896,6 +908,38 @@ impl SnapshotSpec {
         })
     }
 
+    /// The spec of `sc`'s *root* prefix — chain level 0, the first stop
+    /// instant of [`Scenario::chain_points`]. For a plain warm-up scenario
+    /// (no `warmup_via`) this equals [`SnapshotSpec::of`]; for a ladder
+    /// member it identifies the snapshot-tree node every rung descends
+    /// from, which is what the planner groups by. `None` without a
+    /// warm-up point.
+    pub fn root_of(sc: &Scenario) -> Option<SnapshotSpec> {
+        let chain = sc.chain_points();
+        let &at = chain.first()?;
+        Some(SnapshotSpec {
+            prefix: sc.prefix_scenario_at(0),
+            at,
+            fingerprint: None,
+        })
+    }
+
+    /// One spec per chain level of `sc`'s prefix, root first — the full
+    /// path of snapshot-tree nodes the scenario's warm-up traverses.
+    /// Empty without a warm-up point. The last element equals
+    /// [`SnapshotSpec::of`].
+    pub fn chain_of(sc: &Scenario) -> Vec<SnapshotSpec> {
+        sc.chain_points()
+            .into_iter()
+            .enumerate()
+            .map(|(level, at)| SnapshotSpec {
+                prefix: sc.prefix_scenario_at(level),
+                at,
+                fingerprint: None,
+            })
+            .collect()
+    }
+
     /// Stable 16-hex-digit key of the prefix: an FNV-1a hash over the
     /// serialized prefix scenario, the split point and the crate version.
     /// Two scenarios may share a snapshot exactly when their keys are
@@ -923,9 +967,14 @@ enum Unit {
 }
 
 /// Partitions scenario indices into execution units. Scenarios whose
-/// [`SnapshotSpec::key`]s are equal land in one fork group (submission
-/// order preserved within it); everything else — no warm-up point, prefix
-/// sharing disabled, or a prefix nobody shares — runs standalone.
+/// *root* prefix keys ([`SnapshotSpec::root_of`]) are equal land in one
+/// fork group (submission order preserved within it); everything else —
+/// no warm-up point, prefix sharing disabled, or a prefix nobody shares —
+/// runs standalone. For plain warm-up scenarios the root key *is* the
+/// full prefix key, so flat grouping is unchanged; ladder members
+/// ([`Scenario::warmup_via`]) additionally join the group of their
+/// shallowest ancestor, and [`run_group`] decides whether the group forms
+/// a single nested chain or must degrade to per-leaf flat sharing.
 fn plan_units(indices: &[usize], effective: &[Scenario], opts: &SweepOptions) -> Vec<Unit> {
     let mut units: Vec<Unit> = Vec::with_capacity(indices.len());
     if !opts.prefix_share {
@@ -934,7 +983,7 @@ fn plan_units(indices: &[usize], effective: &[Scenario], opts: &SweepOptions) ->
     }
     let mut group_at: HashMap<String, usize> = HashMap::new();
     for &i in indices {
-        match SnapshotSpec::of(&effective[i]) {
+        match SnapshotSpec::root_of(&effective[i]) {
             Some(spec) => match group_at.get(&spec.key()) {
                 Some(&u) => {
                     let Unit::Group(members) = &mut units[u] else {
@@ -1015,11 +1064,21 @@ pub(crate) fn execute_indices(
         .collect()
 }
 
-/// Executes one fork group serially on the calling worker thread: builds
-/// the shared prefix snapshot once, then supervises every member against
-/// it. Members already settled by the journal or cache skip the fork, and
-/// the snapshot is only built at all when at least two members will
+/// Executes one fork group serially on the calling worker thread.
+/// Members already settled by the journal or cache skip the fork, and
+/// snapshots are only built at all when at least two members will
 /// actually simulate — below that a cold run is strictly cheaper.
+///
+/// The group shares a *root* prefix ([`SnapshotSpec::root_of`]); members'
+/// full chains ([`Scenario::chain_points`]) may extend it to different
+/// depths. When every pending chain is a prefix of the deepest one — a
+/// *ladder* — the deepest member's prefix is simulated **once** with a
+/// snapshot captured at every rung ([`Scenario::snapshot_prefix_chain`]),
+/// and each member forks from its own depth: nested prefixes fork from
+/// forks of the same trunk, so each shared segment simulates exactly
+/// once. When chains genuinely branch, the group degrades to flat
+/// sharing per leaf prefix key — exactly the pre-tree behavior, one
+/// snapshot per set of identical full prefixes.
 fn run_group(
     members: &[usize],
     effective: &[Scenario],
@@ -1033,19 +1092,62 @@ fn run_group(
             !env.resumed.contains_key(&keys[i]) && !cache_entry_present(env.opts, &keys[i])
         })
         .collect();
-    let snapshot = if pending.len() >= 2 {
-        build_group_snapshot(&effective[pending[0]], env)
-    } else {
-        None
-    };
+    if pending.len() < 2 {
+        return members
+            .iter()
+            .map(|&i| (i, supervise(i, &effective[i], &keys[i], env, None)))
+            .collect();
+    }
+
+    let chains: HashMap<usize, Vec<SimDuration>> = pending
+        .iter()
+        .map(|&i| (i, effective[i].chain_points()))
+        .collect();
+    let trunk = *pending
+        .iter()
+        .max_by_key(|&&i| chains[&i].len())
+        .expect("pending is non-empty");
+    let ladder = pending
+        .iter()
+        .all(|&i| chains[&trunk].starts_with(&chains[&i]));
+
+    if ladder {
+        // One trunk simulation, one snapshot per rung; member i resumes
+        // from the rung its own warm-up point sits on. A missing rung
+        // (build failed) degrades that member to a cold run inside
+        // `supervise`, with full retry semantics.
+        let snapshots = build_chain_snapshots(&effective[trunk], env);
+        return members
+            .iter()
+            .map(|&i| {
+                let snap = chains
+                    .get(&i)
+                    .and_then(|c| snapshots.as_ref()?.get(c.len() - 1));
+                (i, supervise(i, &effective[i], &keys[i], env, snap))
+            })
+            .collect();
+    }
+
+    // Branching chains: fall back to one flat snapshot per leaf prefix,
+    // built from the first pending member of each leaf with sharers.
+    let mut leaf_of: HashMap<usize, String> = HashMap::new();
+    let mut leaf_members: HashMap<String, Vec<usize>> = HashMap::new();
+    for &i in &pending {
+        if let Some(spec) = SnapshotSpec::of(&effective[i]) {
+            let key = spec.key();
+            leaf_of.insert(i, key.clone());
+            leaf_members.entry(key).or_default().push(i);
+        }
+    }
+    let leaf_snaps: HashMap<&String, SimSnapshot> = leaf_members
+        .iter()
+        .filter(|(_, m)| m.len() >= 2)
+        .filter_map(|(k, m)| Some((k, build_group_snapshot(&effective[m[0]], env)?)))
+        .collect();
     members
         .iter()
         .map(|&i| {
-            let snap = if pending.contains(&i) {
-                snapshot.as_ref()
-            } else {
-                None
-            };
+            let snap = leaf_of.get(&i).and_then(|k| leaf_snaps.get(k));
             (i, supervise(i, &effective[i], &keys[i], env, snap))
         })
         .collect()
@@ -1072,6 +1174,23 @@ fn build_group_snapshot(sc: &Scenario, env: &ExecEnv<'_>) -> Option<SimSnapshot>
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sc.snapshot_prefix(&budget)))
         .ok()?
         .ok()
+}
+
+/// Simulates a ladder group's trunk — the deepest member's prefix — once,
+/// capturing a snapshot at every chain rung
+/// ([`Scenario::snapshot_prefix_chain`]). Same degradation contract as
+/// [`build_group_snapshot`]: any failure returns `None` and the whole
+/// group runs cold.
+fn build_chain_snapshots(sc: &Scenario, env: &ExecEnv<'_>) -> Option<Vec<SimSnapshot>> {
+    let mut budget = env.opts.budget();
+    if let Some(token) = env.cancel {
+        budget = budget.cancelled_by(token.clone());
+    }
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sc.snapshot_prefix_chain(&budget)
+    }))
+    .ok()?
+    .ok()
 }
 
 /// Runs a batch and unwraps every result, panicking with the failing

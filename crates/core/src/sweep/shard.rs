@@ -545,6 +545,7 @@ fn fail_all(scenarios: &[Scenario], error: &SimError) -> SweepOutcome {
                 resumed: false,
                 forked: false,
                 attempts: 0,
+                events: 0,
             });
         }
         results.push(Err(error.clone()));
@@ -867,6 +868,8 @@ fn run_sharded_inner(
         stats.resumed += u64::from(resumed);
         stats.forked += u64::from(forked);
         stats.retries += u64::from(attempts.saturating_sub(1));
+        let events = result.as_ref().map_or(0, |r| r.events_processed);
+        stats.events += events;
         if let Err(e) = &result {
             stats.quarantined += 1;
             quarantined.push(QuarantineRecord {
@@ -884,6 +887,7 @@ fn run_sharded_inner(
                 resumed,
                 forked,
                 attempts,
+                events,
             });
         }
         results.push(result);

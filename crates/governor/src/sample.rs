@@ -25,9 +25,10 @@ pub struct ClusterSample<'a> {
 impl ClusterSample<'_> {
     /// The domain utilization the stock governors act on: the maximum
     /// per-CPU busy fraction (the domain must be fast enough for its
-    /// busiest CPU).
+    /// busiest CPU). Reduced by [`bl_simcore::kernels::max_or_zero`],
+    /// the same `fold(0.0, f64::max)` every governor sample shares.
     pub fn max_util(&self) -> f64 {
-        self.cpu_utils.iter().cloned().fold(0.0, f64::max)
+        bl_simcore::kernels::max_or_zero(self.cpu_utils)
     }
 
     /// The highest OPP the domain may run at under the current ceiling:

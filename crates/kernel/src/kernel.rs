@@ -267,14 +267,14 @@ impl Kernel {
             }
         }
         // Load tracking: every runnable task contributes at its CPU's
-        // frequency ratio; sleeping/blocked tasks are frozen. Batch update
-        // over the SoA load set — the hot loop of this method.
-        for tid in 0..self.tasks.len() {
-            if self.tasks[tid].state == TaskState::Runnable {
-                let r = self.tasks[tid].cpu.map_or(0.0, |c| hw.freq_ratio(c));
-                self.loads.update(tid, now, r);
-            }
-        }
+        // frequency ratio; sleeping/blocked tasks are frozen. One fused
+        // decay+accumulate kernel pass over the SoA load set — the hot
+        // loop of this method.
+        let tasks = &self.tasks;
+        self.loads.update_batch_with(now, |tid| {
+            let t = &tasks[tid];
+            (t.state == TaskState::Runnable).then(|| t.cpu.map_or(0.0, |c| hw.freq_ratio(c)))
+        });
         self.last_advance = now;
     }
 

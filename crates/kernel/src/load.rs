@@ -13,6 +13,7 @@
 //! occupies (the paper: "the CPU load should be normalized by the current
 //! clock frequency"). Loads are frozen while the task sleeps (paper §IV.B).
 
+use bl_simcore::kernels::{self, ExpMemo};
 use bl_simcore::time::SimTime;
 
 /// Full-scale load value (a task continuously runnable at max frequency).
@@ -23,6 +24,9 @@ pub const LOAD_SCALE: f64 = 1024.0;
 pub struct LoadTracker {
     load: f64,
     halflife_ms: f64,
+    /// `-ln 2 / halflife_ms`, precomputed at construction so the per-update
+    /// decay is one `exp` instead of a `powf` re-deriving the logarithm.
+    rate_per_ms: f64,
     last_update: SimTime,
 }
 
@@ -37,6 +41,7 @@ impl LoadTracker {
         LoadTracker {
             load: 0.0,
             halflife_ms,
+            rate_per_ms: kernels::ewma_rate_per_ms(halflife_ms),
             last_update: start,
         }
     }
@@ -63,7 +68,7 @@ impl LoadTracker {
             return;
         }
         let dt_ms = now.duration_since(self.last_update).as_millis_f64();
-        let d = 0.5f64.powf(dt_ms / self.halflife_ms);
+        let d = (dt_ms * self.rate_per_ms).exp();
         self.load = self.load * d + LOAD_SCALE * r.clamp(0.0, 1.0) * (1.0 - d);
         self.last_update = now;
     }
@@ -90,6 +95,11 @@ pub struct LoadSet {
     values: Vec<f64>,
     last_update: Vec<SimTime>,
     halflife_ms: f64,
+    /// `-ln 2 / halflife_ms`, precomputed once (see [`LoadTracker`]).
+    rate_per_ms: f64,
+    /// Memo for the batch path's decay `exp`: consecutive lanes (and
+    /// consecutive ticks) overwhelmingly share the same elapsed interval.
+    memo: ExpMemo,
 }
 
 impl LoadSet {
@@ -104,6 +114,8 @@ impl LoadSet {
             values: Vec::new(),
             last_update: Vec::new(),
             halflife_ms,
+            rate_per_ms: kernels::ewma_rate_per_ms(halflife_ms),
+            memo: ExpMemo::new(),
         }
     }
 
@@ -146,9 +158,43 @@ impl LoadSet {
             return;
         }
         let dt_ms = now.duration_since(self.last_update[idx]).as_millis_f64();
-        let d = 0.5f64.powf(dt_ms / self.halflife_ms);
+        let d = (dt_ms * self.rate_per_ms).exp();
         self.values[idx] = self.values[idx] * d + LOAD_SCALE * r.clamp(0.0, 1.0) * (1.0 - d);
         self.last_update[idx] = now;
+    }
+
+    /// Batch form of [`LoadSet::update`]: one pass over the whole
+    /// population at instant `now`.
+    ///
+    /// `contribution(idx)` returns `Some(r)` to fold contribution `r`
+    /// into tracker `idx` (exactly as `update(idx, now, r)` would) or
+    /// `None` to leave it untouched (sleeping/blocked tasks). One fused
+    /// pass over the contiguous lanes applies the
+    /// [`kernels::fused_decay_accumulate`] recurrence per active lane,
+    /// with the decay `exp` memoised: all lanes share the tick's `now`,
+    /// so every lane updated on the previous tick shares one elapsed
+    /// interval — and one transcendental — per tick. [`ExpMemo`] returns
+    /// the exact bits `exp` would, so results are bit-identical to
+    /// calling `update` per index.
+    pub fn update_batch_with(
+        &mut self,
+        now: SimTime,
+        mut contribution: impl FnMut(usize) -> Option<f64>,
+    ) {
+        for idx in 0..self.values.len() {
+            let Some(r) = contribution(idx) else { continue };
+            debug_assert!(
+                (0.0..=1.0 + 1e-9).contains(&r),
+                "contribution out of range: {r}"
+            );
+            if now <= self.last_update[idx] {
+                continue;
+            }
+            let dt_ms = now.duration_since(self.last_update[idx]).as_millis_f64();
+            let d = self.memo.exp(dt_ms * self.rate_per_ms);
+            self.values[idx] = self.values[idx] * d + LOAD_SCALE * r.clamp(0.0, 1.0) * (1.0 - d);
+            self.last_update[idx] = now;
+        }
     }
 
     /// Freezes tracker `idx` across a sleep — exactly
@@ -263,6 +309,56 @@ mod tests {
             }
         }
         assert_eq!(set.values(), &[trackers[0].value(), trackers[1].value()]);
+    }
+
+    #[test]
+    fn batch_update_matches_per_index_updates() {
+        let mut a = LoadSet::new(32.0);
+        let mut b = LoadSet::new(32.0);
+        for i in 0..5 {
+            a.push(SimTime::from_millis(i));
+            b.push(SimTime::from_millis(i));
+        }
+        let mut now = SimTime::from_millis(4);
+        for step in 0..300u64 {
+            now += SimDuration::from_millis(1 + step % 4);
+            let r_of = |idx: usize| -> Option<f64> {
+                if (step + idx as u64).is_multiple_of(3) {
+                    None // "sleeping": untouched in both sets
+                } else {
+                    Some(((step + idx as u64) % 5) as f64 / 5.0)
+                }
+            };
+            for idx in 0..a.len() {
+                if let Some(r) = r_of(idx) {
+                    a.update(idx, now, r);
+                }
+            }
+            b.update_batch_with(now, r_of);
+            for idx in 0..a.len() {
+                assert_eq!(
+                    a.value(idx).to_bits(),
+                    b.value(idx).to_bits(),
+                    "lane {idx} diverged at step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_update_ignores_stale_lanes() {
+        let mut s = LoadSet::new(32.0);
+        s.push(SimTime::ZERO);
+        s.push(SimTime::from_millis(50)); // starts in the future
+        s.update_batch_with(SimTime::from_millis(10), |_| Some(1.0));
+        assert!(s.value(0) > 0.0);
+        assert_eq!(s.value(1), 0.0, "stale-time lane must not move");
+        // The stale lane's update point is untouched: decay later spans
+        // its full configured interval.
+        s.update_batch_with(SimTime::from_millis(60), |i| (i == 1).then_some(1.0));
+        let mut reference = LoadTracker::new(SimTime::from_millis(50), 32.0);
+        reference.update(SimTime::from_millis(60), 1.0);
+        assert_eq!(s.value(1).to_bits(), reference.value().to_bits());
     }
 
     proptest! {

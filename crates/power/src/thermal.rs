@@ -18,6 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use bl_simcore::kernels;
 use bl_simcore::time::SimDuration;
 
 /// Calibration constants for one cluster's thermal node.
@@ -231,20 +232,40 @@ impl ThermalBank {
     /// (indexed like the nodes), re-evaluating each throttle with
     /// hysteresis — the batch form of [`ClusterThermal::advance`].
     ///
-    /// Indices of nodes whose throttle state *changed* are appended to
-    /// `changed` (not cleared first), so the steady-state hot path does no
-    /// allocation: the common case appends nothing.
+    /// **Buffer contract:** indices of nodes whose throttle state
+    /// *changed* are appended to `changed` in ascending node order; the
+    /// buffer is **not cleared first** and is never reallocated beyond
+    /// the bank size, so a caller that reuses one buffer across samples
+    /// (clearing it between reads) pays no allocation on the steady-state
+    /// hot path — the common case appends nothing.
+    ///
+    /// Each node's temperature integrates through [`kernels::rc_step`] —
+    /// the per-lane form of the `decay_toward` slice kernel, so the
+    /// association matches [`ClusterThermal::advance`] term for term —
+    /// with `T∞` and `exp(−dt/τ)` derived in the same fused pass that
+    /// re-evaluates the throttle. One loop, no staging buffers: real
+    /// platforms have 2–3 nodes, where a gather/integrate/threshold
+    /// split costs more than the `exp` calls it feeds.
+    /// `bank_matches_scalar_nodes_step_for_step` checks bit-identity
+    /// against [`ClusterThermal`] every step.
     pub fn advance_all(&mut self, dt: SimDuration, power_w: &[f64], changed: &mut Vec<usize>) {
         debug_assert_eq!(power_w.len(), self.params.len());
         let dt_s = dt.as_secs_f64();
-        for (i, &pw) in power_w.iter().enumerate() {
-            let p = &self.params[i];
+        // Zipped iteration (not indexing) so the per-lane loads and
+        // stores compile without bounds checks.
+        let lanes = self
+            .params
+            .iter()
+            .zip(self.temp_c.iter_mut())
+            .zip(self.throttled.iter_mut())
+            .zip(power_w);
+        for (i, (((p, t), th), &pw)) in lanes.enumerate() {
             debug_assert!(pw >= 0.0, "negative cluster power");
             let tau = p.r_c_per_w * p.c_j_per_c;
             let t_inf = p.ambient_c + pw.max(0.0) * p.r_c_per_w;
             let decay = (-dt_s / tau).exp();
-            self.temp_c[i] = t_inf + (self.temp_c[i] - t_inf) * decay;
-            if self.update_throttle(i) {
+            *t = kernels::rc_step(*t, t_inf, decay);
+            if step_throttle(th, *t, p) {
                 changed.push(i);
             }
         }
@@ -261,16 +282,27 @@ impl ThermalBank {
     }
 
     fn update_throttle(&mut self, idx: usize) -> bool {
-        let before = self.throttled[idx];
-        if self.throttled[idx] {
-            if self.temp_c[idx] <= self.params[idx].release_c {
-                self.throttled[idx] = false;
-            }
-        } else if self.temp_c[idx] >= self.params[idx].trip_c {
-            self.throttled[idx] = true;
-        }
-        self.throttled[idx] != before
+        step_throttle(
+            &mut self.throttled[idx],
+            self.temp_c[idx],
+            &self.params[idx],
+        )
     }
+}
+
+/// Re-evaluates one node's throttle with hysteresis against its current
+/// temperature; returns `true` when the state changed. Shared by the
+/// banked batch advance and the per-node injection path.
+fn step_throttle(throttled: &mut bool, temp_c: f64, p: &ThermalParams) -> bool {
+    let before = *throttled;
+    if *throttled {
+        if temp_c <= p.release_c {
+            *throttled = false;
+        }
+    } else if temp_c >= p.trip_c {
+        *throttled = true;
+    }
+    *throttled != before
 }
 
 #[cfg(test)]

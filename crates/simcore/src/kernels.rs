@@ -1,0 +1,294 @@
+//! Branch-free batch kernels over dense `f64` lanes.
+//!
+//! The simulator's hot per-tick updates — PELT geometric decay, cluster
+//! power sums, thermal RC integration — all reduce to a handful of
+//! element-wise recurrences over contiguous `f64` slices. This module
+//! centralises those recurrences as small, chunk-friendly routines that
+//! the optimiser can autovectorize: no data-dependent branches inside the
+//! lane loops, explicit slice-length equality asserted up front so bounds
+//! checks hoist out, and simple multiply/add bodies.
+//!
+//! **Bit-identity contract.** Every routine performs, per element, the
+//! *exact* operation sequence of the scalar reference path it replaces
+//! (same association, same order of additions, masked lanes implemented
+//! as multiplications by exact `0.0`/`1.0`). Callers rely on this: the
+//! repo's standing determinism invariant requires kernel-ported paths to
+//! produce bit-for-bit the results of their scalar references, and the
+//! side-by-side proptests in `tests/kernels.rs` enforce it. Do not
+//! "simplify" an expression here without checking the reference path it
+//! mirrors.
+
+/// One-entry memo for [`f64::exp`] keyed on the argument's bit pattern.
+///
+/// The decay factors in the hot loops (`exp(dt · rate)`) are recomputed
+/// with the *same* argument tick after tick whenever the sampling cadence
+/// is periodic; a single-slot memo removes the transcendental from the
+/// steady state without any table or tolerance. A miss costs one compare
+/// on top of the `exp` it would have paid anyway.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpMemo {
+    key: u64,
+    value: f64,
+}
+
+impl ExpMemo {
+    /// An empty memo (first call always computes).
+    pub fn new() -> Self {
+        // NaN bits as the sentinel key: exp(NaN) = NaN, so even a lookup
+        // with a NaN argument returns the right value.
+        ExpMemo {
+            key: f64::NAN.to_bits(),
+            value: f64::NAN,
+        }
+    }
+
+    /// `x.exp()`, memoised on the exact bit pattern of `x`.
+    pub fn exp(&mut self, x: f64) -> f64 {
+        let bits = x.to_bits();
+        if bits != self.key {
+            self.key = bits;
+            self.value = x.exp();
+        }
+        self.value
+    }
+}
+
+impl Default for ExpMemo {
+    fn default() -> Self {
+        ExpMemo::new()
+    }
+}
+
+/// The precomputed per-millisecond EWMA decay rate for a half-life:
+/// `-ln 2 / halflife_ms`, so that `exp(dt_ms · rate)` is the geometric
+/// decay factor over `dt_ms`.
+///
+/// Computed once at tracker construction (the half-life never changes)
+/// instead of re-deriving the logarithm on every update.
+pub fn ewma_rate_per_ms(halflife_ms: f64) -> f64 {
+    -core::f64::consts::LN_2 / halflife_ms
+}
+
+/// Fused EWMA decay + accumulate over parallel lanes:
+/// `values[i] = values[i] · decays[i] + contributions[i] · (1 − decays[i])`.
+///
+/// This is the batch form of the PELT-style load update
+/// `load = load·d + scale·r·(1−d)` with `contributions[i]` carrying the
+/// already-scaled input `scale·r`. Lanes that must not move pass
+/// `decays[i] = 1.0, contributions[i] = 0.0`: the expression then reads
+/// `v·1.0 + 0.0·0.0`, which is exactly `v` for every finite non-negative
+/// `v`, so masking is arithmetic, not control flow.
+pub fn fused_decay_accumulate(values: &mut [f64], decays: &[f64], contributions: &[f64]) {
+    assert_eq!(values.len(), decays.len(), "decay lane length mismatch");
+    assert_eq!(
+        values.len(),
+        contributions.len(),
+        "contribution lane length mismatch"
+    );
+    for ((v, &d), &c) in values.iter_mut().zip(decays).zip(contributions) {
+        *v = *v * d + c * (1.0 - d);
+    }
+}
+
+/// Exponential relaxation toward per-lane targets:
+/// `values[i] = targets[i] + (values[i] − targets[i]) · decays[i]`.
+///
+/// The exact-solution RC step used by the thermal model: `targets` are
+/// the steady-state temperatures `T∞`, `decays` the factors
+/// `exp(−dt/τ)`. Association matches [`ClusterThermal::advance`]'s
+/// scalar form term for term.
+///
+/// [`ClusterThermal::advance`]: https://docs.rs/bl-power
+pub fn decay_toward(values: &mut [f64], targets: &[f64], decays: &[f64]) {
+    assert_eq!(values.len(), targets.len(), "target lane length mismatch");
+    assert_eq!(values.len(), decays.len(), "decay lane length mismatch");
+    for ((v, &t), &d) in values.iter_mut().zip(targets).zip(decays) {
+        *v = rc_step(*v, t, d);
+    }
+}
+
+/// One lane of [`decay_toward`]: `target + (value − target) · decay`.
+///
+/// The scalar building block shared by the slice kernel and by callers
+/// whose per-lane targets/decays are derived on the fly (e.g. a thermal
+/// bank fusing the gather, integrate and threshold passes into one loop):
+/// both spell the identical expression, so fused callers stay bit-equal
+/// to the slice form.
+#[inline]
+pub fn rc_step(value: f64, target: f64, decay: f64) -> f64 {
+    target + (value - target) * decay
+}
+
+/// The maximum of a lane, or `0.0` when it is empty — the domain
+/// utilization reduction (`fold(0.0, f64::max)`) used by every governor
+/// sample.
+pub fn max_or_zero(values: &[f64]) -> f64 {
+    values.iter().fold(0.0, |m, &v| f64::max(m, v))
+}
+
+/// Ordered sum of `weight · max(values[i], 0.0)` over a lane.
+///
+/// The dynamic-power inner sum of the cluster model: `weight` is the
+/// hoisted `coeff · V² · f` (hoisting is exact — the scalar path
+/// multiplies left-to-right, so the partial product is the same `f64`),
+/// and the accumulation starts from `0.0` and adds in slice order,
+/// matching `Iterator::sum` on the scalar path.
+pub fn relu_weighted_sum(values: &[f64], weight: f64) -> f64 {
+    let mut sum = 0.0;
+    for &a in values {
+        sum += weight * a.max(0.0);
+    }
+    sum
+}
+
+/// Idle-leak scale below which a core counts as deep-idle for cluster
+/// leakage gating (mirrors the cpuidle threshold in the power model).
+pub const DEEP_IDLE_SCALE: f64 = 0.2;
+
+/// Mixed busy/idle per-core power sum over parallel activity and
+/// idle-scale lanes.
+///
+/// Per lane, in slice order: a busy core (`act > 0.0`) contributes
+/// `leak_v + dyn_vvf · max(act, 0.0)`; an idle core contributes
+/// `leak_v · scale`. Returns the ordered sum plus `all_deep`: whether
+/// every lane was idle with `scale <` [`DEEP_IDLE_SCALE`] (vacuously true
+/// for empty lanes). The branch on activity is converted to an exact
+/// arithmetic select (`mask · busy_term + (1 − mask) · idle_term`, one
+/// side exactly `0.0`), so each added term is bit-equal to the scalar
+/// reference's branchy contribution.
+pub fn mixed_idle_power(acts: &[f64], scales: &[f64], leak_v: f64, dyn_vvf: f64) -> (f64, bool) {
+    assert_eq!(acts.len(), scales.len(), "idle-scale lane length mismatch");
+    let (sum, all_deep, _) = mixed_idle_power_iter(
+        acts.iter().copied().zip(scales.iter().copied()),
+        leak_v,
+        dyn_vvf,
+    );
+    (sum, all_deep)
+}
+
+/// Streaming form of [`mixed_idle_power`] for lanes that arrive through a
+/// gather iterator (e.g. `activity[cpu]` indexed by an online-CPU walk)
+/// rather than contiguous slices: identical per-lane arithmetic select,
+/// identical summation order, but one pass with no staging buffers.
+/// Additionally returns the lane count so callers can detect an empty
+/// (fully hotplugged-off) population without a second walk.
+pub fn mixed_idle_power_iter(
+    lanes: impl Iterator<Item = (f64, f64)>,
+    leak_v: f64,
+    dyn_vvf: f64,
+) -> (f64, bool, usize) {
+    let mut sum = 0.0;
+    let mut shallow = 0u32; // lanes that are busy or only shallowly idle
+    let mut n = 0usize;
+    for (a, s) in lanes {
+        let busy = (a > 0.0) as u32;
+        let mask = f64::from(busy);
+        sum += mask * (leak_v + dyn_vvf * a.max(0.0)) + (1.0 - mask) * (leak_v * s);
+        shallow += busy | ((s >= DEEP_IDLE_SCALE) as u32);
+        n += 1;
+    }
+    (sum, shallow == 0, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_memo_matches_exp() {
+        let mut memo = ExpMemo::new();
+        for x in [-3.0, -0.5, 0.0, 0.25, -0.5, -0.5] {
+            assert_eq!(memo.exp(x).to_bits(), x.exp().to_bits());
+        }
+    }
+
+    #[test]
+    fn ewma_rate_inverts_halflife() {
+        let rate = ewma_rate_per_ms(32.0);
+        // One half-life of decay halves the value (within float rounding).
+        assert!(((32.0 * rate).exp() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_decay_accumulate_matches_scalar() {
+        let mut v = [100.0, 512.0, 0.0, 7.25];
+        let d = [0.5, 0.25, 0.9, 1.0];
+        let c = [1024.0, 0.0, 300.0, 0.0];
+        let mut expect = v;
+        for i in 0..v.len() {
+            expect[i] = expect[i] * d[i] + c[i] * (1.0 - d[i]);
+        }
+        fused_decay_accumulate(&mut v, &d, &c);
+        for (got, want) in v.iter().zip(&expect) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn masked_lane_is_exact_identity() {
+        let vals = [0.0, 1.0, 1023.997, 3.5e-300];
+        for x in vals {
+            let mut v = [x];
+            fused_decay_accumulate(&mut v, &[1.0], &[0.0]);
+            assert_eq!(v[0].to_bits(), x.to_bits(), "lane {x} moved");
+        }
+    }
+
+    #[test]
+    fn decay_toward_matches_scalar() {
+        let mut v = [25.0, 80.0];
+        let t = [95.0, 25.0];
+        let d = [0.75, 0.5];
+        let expect = [t[0] + (v[0] - t[0]) * d[0], t[1] + (v[1] - t[1]) * d[1]];
+        decay_toward(&mut v, &t, &d);
+        assert_eq!(v[0].to_bits(), expect[0].to_bits());
+        assert_eq!(v[1].to_bits(), expect[1].to_bits());
+    }
+
+    #[test]
+    fn max_or_zero_reduction() {
+        assert_eq!(max_or_zero(&[]), 0.0);
+        assert_eq!(max_or_zero(&[0.2, 0.9, 0.1]), 0.9);
+        assert_eq!(max_or_zero(&[-1.0]), 0.0);
+    }
+
+    #[test]
+    fn relu_weighted_sum_matches_iterator_sum() {
+        let acts = [0.25f64, 0.0, 1.0, 1.5];
+        let w = 123.456;
+        let scalar: f64 = acts.iter().map(|a| w * a.max(0.0)).sum();
+        assert_eq!(relu_weighted_sum(&acts, w).to_bits(), scalar.to_bits());
+    }
+
+    #[test]
+    fn mixed_idle_power_matches_branchy_reference() {
+        let acts = [1.0f64, 0.0, 0.35, 0.0];
+        let scales = [1.0f64, 0.1, 1.0, 0.3];
+        let (leak_v, dvvf) = (3.3, 250.0);
+        let mut expect = 0.0;
+        let mut all_deep = true;
+        for (&a, &s) in acts.iter().zip(&scales) {
+            if a > 0.0 {
+                all_deep = false;
+                expect += leak_v + dvvf * a.max(0.0);
+            } else {
+                if s >= DEEP_IDLE_SCALE {
+                    all_deep = false;
+                }
+                expect += leak_v * s;
+            }
+        }
+        let (sum, deep) = mixed_idle_power(&acts, &scales, leak_v, dvvf);
+        assert_eq!(sum.to_bits(), expect.to_bits());
+        assert_eq!(deep, all_deep);
+    }
+
+    #[test]
+    fn mixed_idle_power_deep_when_all_lanes_deep() {
+        let (sum, deep) = mixed_idle_power(&[0.0, 0.0], &[0.1, 0.19], 2.0, 100.0);
+        assert!(deep);
+        assert_eq!(sum.to_bits(), (2.0f64 * 0.1 + 2.0 * 0.19).to_bits());
+        let (_, deep) = mixed_idle_power(&[], &[], 2.0, 100.0);
+        assert!(deep, "empty lanes are vacuously deep");
+    }
+}

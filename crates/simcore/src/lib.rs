@@ -32,6 +32,7 @@ pub mod error;
 pub mod event;
 pub mod fault;
 pub mod journal;
+pub mod kernels;
 pub mod pool;
 pub mod rng;
 pub mod shard;

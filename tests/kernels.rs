@@ -1,0 +1,221 @@
+//! Kernel-layer bit-identity: every batch kernel in
+//! `bl_simcore::kernels`, and every simulator path ported onto one, must
+//! produce bit-for-bit the results of its scalar reference — the same
+//! association, the same summation order, masked lanes as exact
+//! arithmetic. Inputs are drawn NaN- and subnormal-free; the properties
+//! compare raw bit patterns, not tolerances.
+
+use bl_kernel::LoadSet;
+use bl_platform::exynos::{exynos5422, BIG_CLUSTER, LITTLE_CLUSTER};
+use bl_platform::{CoreConfig, PlatformState};
+use bl_power::{ClusterThermal, PowerModel, ThermalBank, ThermalParams};
+use bl_simcore::kernels;
+use bl_simcore::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Bit-compares two `f64` slices, reporting the first diverging lane.
+fn assert_bits_eq(got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "lane {i} diverged: {g} vs {w}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- raw lane kernels vs inline scalar forms --------------------------
+
+    #[test]
+    fn fused_decay_accumulate_matches_scalar(
+        lanes in proptest::collection::vec((0.0f64..1024.0, 0.0f64..1.0, 0.0f64..1024.0), 0..24),
+    ) {
+        let mut values: Vec<f64> = lanes.iter().map(|l| l.0).collect();
+        let decays: Vec<f64> = lanes.iter().map(|l| l.1).collect();
+        let contribs: Vec<f64> = lanes.iter().map(|l| l.2).collect();
+        let expect: Vec<f64> = lanes
+            .iter()
+            .map(|&(v, d, c)| v * d + c * (1.0 - d))
+            .collect();
+        kernels::fused_decay_accumulate(&mut values, &decays, &contribs);
+        assert_bits_eq(&values, &expect);
+    }
+
+    #[test]
+    fn decay_toward_matches_scalar(
+        lanes in proptest::collection::vec((20.0f64..110.0, 20.0f64..110.0, 0.0f64..1.0), 0..24),
+    ) {
+        let mut values: Vec<f64> = lanes.iter().map(|l| l.0).collect();
+        let targets: Vec<f64> = lanes.iter().map(|l| l.1).collect();
+        let decays: Vec<f64> = lanes.iter().map(|l| l.2).collect();
+        let expect: Vec<f64> = lanes
+            .iter()
+            .map(|&(v, t, d)| t + (v - t) * d)
+            .collect();
+        kernels::decay_toward(&mut values, &targets, &decays);
+        assert_bits_eq(&values, &expect);
+    }
+
+    #[test]
+    fn relu_weighted_sum_matches_ordered_sum(
+        acts in proptest::collection::vec(-0.5f64..1.5, 0..24),
+        weight in 0.0f64..500.0,
+    ) {
+        let mut expect = 0.0;
+        for &a in &acts {
+            expect += weight * a.max(0.0);
+        }
+        let got = kernels::relu_weighted_sum(&acts, weight);
+        prop_assert_eq!(got.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn mixed_idle_power_matches_branchy_reference(
+        lanes in proptest::collection::vec((0.0f64..1.5, 0.0f64..1.0), 0..24),
+        leak_v in 0.5f64..10.0,
+        dvvf in 0.0f64..500.0,
+    ) {
+        let acts: Vec<f64> = lanes.iter().map(|l| l.0).collect();
+        let scales: Vec<f64> = lanes.iter().map(|l| l.1).collect();
+        let mut expect = 0.0;
+        let mut all_deep = true;
+        for (&a, &s) in acts.iter().zip(&scales) {
+            if a > 0.0 {
+                all_deep = false;
+                expect += leak_v + dvvf * a.max(0.0);
+            } else {
+                if s >= kernels::DEEP_IDLE_SCALE {
+                    all_deep = false;
+                }
+                expect += leak_v * s;
+            }
+        }
+        let (sum, deep) = kernels::mixed_idle_power(&acts, &scales, leak_v, dvvf);
+        prop_assert_eq!(sum.to_bits(), expect.to_bits());
+        prop_assert_eq!(deep, all_deep);
+    }
+
+    // ---- ported simulator paths vs their scalar references ----------------
+
+    // PELT batch update: driving a LoadSet through `update_batch_with` must
+    // leave every lane bit-equal to per-index `update` calls with the same
+    // schedule, including lanes skipped on some steps.
+    #[test]
+    fn loadset_batch_matches_per_index(
+        n_lanes in 1usize..12,
+        halflife in 8.0f64..128.0,
+        steps in proptest::collection::vec(
+            (1u64..40, proptest::collection::vec(proptest::option::of(0.0f64..1.0), 12..13)),
+            1..60,
+        ),
+    ) {
+        let t0 = SimTime::ZERO;
+        let mut batch = LoadSet::new(halflife);
+        let mut scalar = LoadSet::new(halflife);
+        for _ in 0..n_lanes {
+            batch.push(t0);
+            scalar.push(t0);
+        }
+        let mut now = t0;
+        for (dt_ms, contribs) in &steps {
+            now += SimDuration::from_millis(*dt_ms);
+            for (idx, c) in contribs.iter().enumerate().take(n_lanes) {
+                if let Some(r) = c {
+                    scalar.update(idx, now, *r);
+                }
+            }
+            batch.update_batch_with(now, |idx| contribs[idx]);
+            assert_bits_eq(batch.values(), scalar.values());
+        }
+    }
+
+    // Thermal RC step: the bank's vector path must track a vector of
+    // scalar `ClusterThermal` nodes bit-for-bit through heating, trips,
+    // hysteresis release and cooldown.
+    #[test]
+    fn thermal_bank_matches_scalar_nodes(
+        n_nodes in 1usize..6,
+        steps in proptest::collection::vec(
+            (1u64..500, proptest::collection::vec(0.0f64..8.0, 6..7)),
+            1..80,
+        ),
+    ) {
+        let params: Vec<ThermalParams> = (0..n_nodes)
+            .map(|i| {
+                if i % 2 == 0 {
+                    ThermalParams::exynos5422_big()
+                } else {
+                    ThermalParams::exynos5422_little()
+                }
+            })
+            .collect();
+        let mut scalar: Vec<ClusterThermal> =
+            params.iter().map(|p| ClusterThermal::new(*p)).collect();
+        let mut bank = ThermalBank::new(params);
+        let mut changed = Vec::new();
+        for (dt_ms, powers) in &steps {
+            let dt = SimDuration::from_millis(*dt_ms);
+            let powers = &powers[..n_nodes];
+            let mut scalar_changed = Vec::new();
+            for (i, node) in scalar.iter_mut().enumerate() {
+                if node.advance(dt, powers[i]) {
+                    scalar_changed.push(i);
+                }
+            }
+            changed.clear();
+            bank.advance_all(dt, powers, &mut changed);
+            prop_assert_eq!(&changed, &scalar_changed);
+            for (i, node) in scalar.iter().enumerate() {
+                prop_assert_eq!(
+                    bank.temp_c(i).to_bits(),
+                    node.temp_c().to_bits(),
+                    "node {} temperature diverged",
+                    i
+                );
+                prop_assert_eq!(bank.is_throttled(i), node.is_throttled());
+                prop_assert_eq!(bank.cap_khz(i), node.cap_khz());
+            }
+        }
+    }
+
+    // Cluster power: the gathered-lane kernel path must equal the branchy
+    // per-CPU reference loop across busy/shallow/deep lanes, hotplug
+    // configurations, frequencies and both idle-scale modes.
+    #[test]
+    fn power_model_matches_scalar_reference(
+        acts in proptest::collection::vec(0.0f64..1.5, 8..9),
+        scales in proptest::collection::vec(0.0f64..1.0, 8..9),
+        zero_mask in 0u8..=255,
+        little in 1usize..=4,
+        big in 0usize..=4,
+        little_khz in 200_000u32..1_500_000,
+        big_khz in 200_000u32..2_100_000,
+        with_idle in proptest::bool::ANY,
+        screen in proptest::bool::ANY,
+    ) {
+        let p = exynos5422();
+        let model = if screen {
+            PowerModel::screen_on()
+        } else {
+            PowerModel::screen_off()
+        };
+        let mut state = PlatformState::new(&p.topology);
+        state.apply_core_config(&p.topology, CoreConfig::new(little, big)).unwrap();
+        for (cluster, khz) in [(LITTLE_CLUSTER, little_khz), (BIG_CLUSTER, big_khz)] {
+            let opps = &p.topology.cluster(cluster).core.opps;
+            let freq = opps.round_down(khz.max(opps.min_khz())).freq_khz;
+            state.set_cluster_freq(&p.topology, cluster, freq);
+        }
+        // Force some lanes exactly idle so the busy/idle branch is taken on
+        // both sides (a strictly positive draw would only test one arm).
+        let activity: Vec<f64> = acts
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| if zero_mask & (1 << i) != 0 { 0.0 } else { a })
+            .collect();
+        let idle = with_idle.then_some(scales.as_slice());
+        let fast = model.instant_mw_with_idle(&p.topology, &state, &activity, idle);
+        let reference = model.instant_mw_with_idle_ref(&p.topology, &state, &activity, idle);
+        prop_assert_eq!(fast.to_bits(), reference.to_bits(), "{} vs {}", fast, reference);
+    }
+}

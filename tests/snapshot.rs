@@ -171,6 +171,177 @@ fn prefix_shared_sweep_equals_cold_sweep_through_cache_and_journal() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+// ---- nested prefix trees ---------------------------------------------------
+
+/// The warm-up ladder: nested prefixes at 300, 500 and 650 ms.
+const LADDER_MS: [u64; 3] = [300, 500, 650];
+
+/// One ladder member: warm-up at `LADDER_MS[level]`, checkpointing at
+/// every shallower rung so all members share one trunk simulation (see
+/// `Scenario::warmup_via` — the stop schedule is part of the scenario's
+/// numeric identity).
+fn ladder_point(label: &str, seed: u64, level: usize, late: LateBindings) -> Scenario {
+    let via: Vec<SimDuration> = LADDER_MS[..level]
+        .iter()
+        .map(|&ms| SimDuration::from_millis(ms))
+        .collect();
+    grid_point(label, seed, true, false, late)
+        .with_warmup(SimDuration::from_millis(LADDER_MS[level]))
+        .with_warmup_via(via)
+}
+
+#[test]
+fn ladder_members_share_a_root_but_not_a_leaf() {
+    let a = ladder_point("a", 5, 0, late_variant(0));
+    let b = ladder_point("b", 5, 1, late_variant(1));
+    let c = ladder_point("c", 5, 2, late_variant(2));
+    let root = |sc: &Scenario| sweep::SnapshotSpec::root_of(sc).unwrap().key();
+    let leaf = |sc: &Scenario| sweep::SnapshotSpec::of(sc).unwrap().key();
+    assert_eq!(root(&a), root(&b), "every rung descends from the root");
+    assert_eq!(root(&b), root(&c));
+    assert_ne!(
+        leaf(&a),
+        leaf(&b),
+        "different depths are different prefixes"
+    );
+    assert_ne!(leaf(&b), leaf(&c));
+    assert_eq!(
+        sweep::SnapshotSpec::chain_of(&c).len(),
+        3,
+        "the deepest member sees the whole chain"
+    );
+    // A checkpoint schedule changes the prefix identity even at the same
+    // warm-up point: stopping mid-run perturbs the numerics.
+    let plain = grid_point("p", 5, true, false, late_variant(0))
+        .with_warmup(SimDuration::from_millis(LADDER_MS[1]));
+    assert_ne!(leaf(&plain), leaf(&b));
+}
+
+#[test]
+fn chain_snapshots_fork_bit_identical_to_cold_runs_at_every_level() {
+    let budget = RunBudget::unlimited();
+    let deepest = ladder_point("deep", 7, 2, late_variant(0));
+    let snaps = deepest.snapshot_prefix_chain(&budget).unwrap();
+    assert_eq!(snaps.len(), LADDER_MS.len());
+    for (level, snap) in snaps.iter().enumerate() {
+        let member = ladder_point(&format!("m{level}"), 7, level, late_variant(level));
+        let cold = member.run_with_budget(&budget).unwrap();
+        let forked = member.run_forked(snap, &budget).unwrap();
+        assert_eq!(cold, forked, "level {level} diverged");
+    }
+}
+
+#[test]
+fn invalid_checkpoint_schedules_are_rejected() {
+    let budget = RunBudget::unlimited();
+    // Checkpoint at/after the warm-up point.
+    let sc = ladder_point("bad-order", 1, 1, late_variant(0))
+        .with_warmup(SimDuration::from_millis(LADDER_MS[0]));
+    assert!(sc.run_with_budget(&budget).is_err());
+    // Non-ascending schedule.
+    let sc = ladder_point("bad-asc", 1, 0, late_variant(0)).with_warmup_via(vec![
+        SimDuration::from_millis(200),
+        SimDuration::from_millis(100),
+    ]);
+    assert!(sc.run_with_budget(&budget).is_err());
+    // Checkpoints without a warm-up point.
+    let mut sc = ladder_point("bad-nowarm", 1, 1, late_variant(0));
+    sc.warmup = None;
+    assert!(sc.run_with_budget(&budget).is_err());
+}
+
+#[test]
+fn nested_ladder_sweep_equals_cold_sweep_through_cache_and_journal() {
+    // One member per level plus an extra leaf sharer: under flat leaf
+    // grouping only the two deepest members could fork, so nested
+    // grouping is observable as all four forking.
+    let levels = [0usize, 1, 2, 2];
+    let scenarios: Vec<Scenario> = levels
+        .iter()
+        .enumerate()
+        .map(|(i, &lv)| ladder_point(&format!("ladder-{i}"), 13, lv, late_variant(i)))
+        .collect();
+    let base = std::env::temp_dir().join(format!("bl-ladder-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let run = |share: bool, tag: &str, resume: bool| {
+        let opts = SweepOptions::serial()
+            .prefix_sharing(share)
+            .cached(base.join(tag).join("cache"))
+            .journaled(base.join(tag).join("journal"))
+            .resuming(resume);
+        sweep::run_with(&scenarios, &opts)
+    };
+    let bytes = |report: &sweep::SweepReport| -> Vec<String> {
+        report
+            .results
+            .iter()
+            .map(|r| serde_json::to_string(r.as_ref().unwrap()).unwrap())
+            .collect()
+    };
+
+    let cold = run(false, "cold", false);
+    let shared = run(true, "shared", false);
+    assert!(!cold.degraded && !shared.degraded);
+    assert_eq!(
+        shared.stats.forked,
+        scenarios.len() as u64,
+        "every rung, not just the deepest leaf pair, must fork from the trunk"
+    );
+    assert_eq!(
+        bytes(&cold),
+        bytes(&shared),
+        "nested-ladder grid diverged from the cold grid"
+    );
+
+    // Second pass: everything cached; third: journal replay.
+    let cached = run(true, "shared", false);
+    assert_eq!(cached.stats.cache_hits, scenarios.len() as u64);
+    assert_eq!(bytes(&cached), bytes(&shared));
+    let replay = {
+        let opts = SweepOptions::serial()
+            .prefix_sharing(true)
+            .journaled(base.join("shared").join("journal"))
+            .resuming(true);
+        sweep::run_with(&scenarios, &opts)
+    };
+    assert_eq!(replay.stats.resumed, scenarios.len() as u64);
+    assert_eq!(bytes(&replay), bytes(&shared));
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn branching_chains_degrade_to_flat_leaf_sharing() {
+    // Two pairs that agree on the root rung but branch at the second:
+    // the group cannot ladder, so each leaf pair shares flat.
+    let mk = |label: &str, second_ms: u64, late: usize| {
+        grid_point(label, 17, true, false, late_variant(late))
+            .with_warmup(SimDuration::from_millis(650))
+            .with_warmup_via(vec![
+                SimDuration::from_millis(300),
+                SimDuration::from_millis(second_ms),
+            ])
+    };
+    let scenarios = vec![
+        mk("branch-a0", 450, 0),
+        mk("branch-a1", 450, 1),
+        mk("branch-b0", 500, 2),
+        mk("branch-b1", 500, 3),
+    ];
+    let cold = sweep::run_with(&scenarios, &SweepOptions::serial().prefix_sharing(false));
+    let shared = sweep::run_with(&scenarios, &SweepOptions::serial().prefix_sharing(true));
+    assert_eq!(shared.stats.forked, 4, "each leaf pair still shares");
+    let bytes = |report: &sweep::SweepReport| -> Vec<String> {
+        report
+            .results
+            .iter()
+            .map(|r| serde_json::to_string(r.as_ref().unwrap()).unwrap())
+            .collect()
+    };
+    assert_eq!(bytes(&cold), bytes(&shared));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
