@@ -7,7 +7,9 @@
 //! repro --seed 7            # different stochastic draws
 //! repro --jobs 4            # sweep parallelism (0 or omitted = all cores)
 //! repro --no-cache          # bypass the on-disk result cache
-//! repro --cache-clear       # drop the cache before running
+//! repro --cache-clear       # drop the cache (and snapshot store) before running
+//! repro --no-snap-store     # disable the persistent warm-snapshot store
+//! repro --snap-store-dir d  # persistent snapshot store location (default results/.snapshots)
 //! repro --deadline-ms 60000 # per-scenario wall-clock budget
 //! repro --max-events 50000000 # per-scenario simulated-event budget
 //! repro --retries 2         # retry failed scenarios with a reseed
@@ -30,10 +32,12 @@
 //! `repro --worker ...` is the internal worker mode sharded sweeps spawn;
 //! it is not meant to be invoked by hand.
 
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use biglittle::{sweep, SimOptions, SweepOptions};
 use bl_bench::{run_experiment_json_with, run_experiment_with, EXPERIMENTS, SEED};
+use bl_simcore::snapstore::{clean_stale_snapshots, SnapStore};
 use serde::Value;
 
 /// Default cache location, relative to the working directory.
@@ -63,7 +67,10 @@ fn main() {
     let mut out_dir: Option<String> = None;
     let mut jobs: usize = 0; // 0 = all available cores
     let mut cache = true;
+    let mut cache_clear = false;
     let mut journal = true;
+    let mut snap_store = true;
+    let mut snap_dir: String = sweep::DEFAULT_SNAP_DIR.to_string();
     // Execution knobs (budgets, auditing) funnel through the same
     // serializable bundle `SimulationBuilder::options` consumes, so the
     // CLI and programmatic front ends share one source of truth.
@@ -102,10 +109,12 @@ fn main() {
             }
             "--no-cache" => cache = false,
             "--no-journal" => journal = false,
-            "--cache-clear" => {
-                if std::fs::remove_dir_all(CACHE_DIR).is_ok() {
-                    eprintln!("cleared {CACHE_DIR}");
-                }
+            // Deferred until after parsing so it also clears the snapshot
+            // store at whatever directory `--snap-store-dir` names.
+            "--cache-clear" => cache_clear = true,
+            "--no-snap-store" => snap_store = false,
+            "--snap-store-dir" => {
+                snap_dir = it.next().cloned().expect("--snap-store-dir takes a path")
             }
             "--deadline-ms" => {
                 sim_opts.deadline_ms = Some(
@@ -166,6 +175,7 @@ fn main() {
                 println!(
                     "usage: repro [--exp <id>] [--seed <n>] [--fast] [--json] [--out <dir>]\n\
                      \x20            [--jobs <n>] [--no-cache] [--cache-clear] [--no-journal]\n\
+                     \x20            [--no-snap-store] [--snap-store-dir <dir>]\n\
                      \x20            [--deadline-ms <n>] [--max-events <n>] [--retries <n>]\n\
                      \x20            [--audit] [--resume]\n\
                      \x20            [--workers <n>] [--lease-ms <n>] [--heartbeat-ms <n>]\n\
@@ -185,12 +195,38 @@ fn main() {
         }
     }
 
+    if cache_clear {
+        if std::fs::remove_dir_all(CACHE_DIR).is_ok() {
+            eprintln!("cleared {CACHE_DIR}");
+        }
+        let removed = SnapStore::open(snap_dir.clone()).clear();
+        if removed > 0 {
+            eprintln!("cleared {removed} snapshot(s) from {snap_dir}");
+        }
+    }
+    // Startup hygiene: debris of killed publishers — orphaned `.tmp`
+    // files and unkeyed `.snap` files — ages out of the store directory,
+    // mirroring the journal directory's stale-artifact sweep.
+    if snap_store {
+        let stale_after = std::env::var(sweep::shard::STALE_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map_or(Duration::from_secs(24 * 3600), Duration::from_millis);
+        let removed = clean_stale_snapshots(Path::new(&snap_dir), stale_after);
+        if removed > 0 {
+            eprintln!("snapshot hygiene: removed {removed} stale file(s) from {snap_dir}");
+        }
+    }
+
     let opts = {
         let mut o = SweepOptions::with_jobs(jobs)
             .with_retries(retries)
             .with_sim_options(&sim_opts);
         if cache {
             o = o.cached(CACHE_DIR);
+        }
+        if snap_store {
+            o = o.snap_stored(snap_dir.clone());
         }
         if journal {
             o = o.journaled(sweep::DEFAULT_JOURNAL_DIR).resuming(resume);
@@ -261,6 +297,10 @@ fn main() {
                     }),
                 ),
                 ("degraded".into(), Value::Bool(stats.degraded)),
+                (
+                    "snapshot".into(),
+                    serde_json::to_value(stats.snapshot).expect("snapshot stats serialize"),
+                ),
                 (
                     "per_scenario".into(),
                     serde_json::to_value(&stats.per_scenario).expect("stats serialize"),
@@ -620,41 +660,45 @@ fn run_bench_snapshot(path: &str, seed: u64, fast: bool) {
     } else {
         &[800, 1600, 2400]
     };
-    let mut ladder: Vec<Scenario> = Vec::new();
-    for (level, &wu_ms) in ladder_ms.iter().enumerate() {
-        for (gname, govs) in &governors[..2] {
-            let wu = SimDuration::from_millis(wu_ms);
-            ladder.push(
-                Scenario::app(
-                    format!("ab-ladder-l{level}-{gname}"),
-                    app.clone(),
-                    SystemConfig::baseline().with_seed(seed),
-                )
-                .with_stop(StopWhen::Deadline(wu + tail))
-                .with_warmup(wu)
-                .with_warmup_via(
-                    ladder_ms[..level]
-                        .iter()
-                        .map(|&ms| SimDuration::from_millis(ms))
-                        .collect(),
-                )
-                .with_late(LateBindings {
-                    governors: govs.clone(),
-                    faults: FaultPlan::new(),
-                }),
-            );
+    let make_ladder = |ms: &[u64]| -> Vec<Scenario> {
+        let mut ladder = Vec::new();
+        for (level, &wu_ms) in ms.iter().enumerate() {
+            for (gname, govs) in &governors[..2] {
+                let wu = SimDuration::from_millis(wu_ms);
+                ladder.push(
+                    Scenario::app(
+                        format!("ab-ladder-l{level}-{gname}"),
+                        app.clone(),
+                        SystemConfig::baseline().with_seed(seed),
+                    )
+                    .with_stop(StopWhen::Deadline(wu + tail))
+                    .with_warmup(wu)
+                    .with_warmup_via(
+                        ms[..level]
+                            .iter()
+                            .map(|&ms| SimDuration::from_millis(ms))
+                            .collect(),
+                    )
+                    .with_late(LateBindings {
+                        governors: govs.clone(),
+                        faults: FaultPlan::new(),
+                    }),
+                );
+            }
         }
-    }
-    let run_ladder = |share: bool| {
+        ladder
+    };
+    let ladder = make_ladder(ladder_ms);
+    let run_ladder = |scs: &[Scenario], share: bool| {
         let opts = SweepOptions::serial().prefix_sharing(share);
         let _ = sweep::take_stats();
         let t0 = Instant::now();
-        let out = sweep::run_with(&ladder, &opts);
+        let out = sweep::run_with(scs, &opts);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         (out.results, sweep::take_stats(), wall_ms)
     };
-    let (ncold, _, ncold_ms) = run_ladder(false);
-    let (nshared, nstats, nshared_ms) = run_ladder(true);
+    let (ncold, _, ncold_ms) = run_ladder(&ladder, false);
+    let (nshared, nstats, nshared_ms) = run_ladder(&ladder, true);
     let mut nested_identical = true;
     let mut nested_detail = Vec::new();
     for (i, sc) in ladder.iter().enumerate() {
@@ -699,6 +743,88 @@ fn run_bench_snapshot(path: &str, seed: u64, fast: bool) {
         ladder_ms.len(),
         nstats.forked,
     );
+    // ---- Persistent store: the same ladder shape with 10× deeper
+    // warm-ups (persistence earns its keep when trunks are expensive)
+    // against an on-disk snapshot store in a fresh temp directory. The
+    // first run simulates the trunk once and publishes every rung; the
+    // second run hydrates all rungs from disk and simulates no trunk at
+    // all. Hydration must beat the cold replay *and* the same-process
+    // trunk re-simulation while staying byte-identical to the cold
+    // reference.
+    let persist_ms: Vec<u64> = ladder_ms.iter().map(|&ms| ms * 10).collect();
+    let pladder = make_ladder(&persist_ms);
+    let (pcold, _, pcold_ms) = run_ladder(&pladder, false);
+    let (_, _, preplay_ms) = run_ladder(&pladder, true);
+    let store_dir = std::env::temp_dir().join(format!("bl-bench-snapstore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let run_persist = || {
+        let opts = SweepOptions::serial().snap_stored(store_dir.clone());
+        let _ = sweep::take_stats();
+        let t0 = Instant::now();
+        let out = sweep::run_with(&pladder, &opts);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        (out.results, sweep::take_stats(), wall_ms)
+    };
+    let (pres, pstats, publish_ms) = run_persist();
+    let (hres, hstats, hydrate_ms) = run_persist();
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut persist_identical = true;
+    for i in 0..pladder.len() {
+        let cold_body = match &pcold[i] {
+            Ok(a) => serde_json::to_string(a).expect("serialize"),
+            Err(_) => {
+                persist_identical = false;
+                continue;
+            }
+        };
+        for r in [&pres[i], &hres[i]] {
+            match r {
+                Ok(b) => {
+                    persist_identical &= cold_body == serde_json::to_string(b).expect("serialize");
+                }
+                Err(_) => persist_identical = false,
+            }
+        }
+    }
+    all_identical &= persist_identical;
+    let vs_cold = pcold_ms / hydrate_ms;
+    let vs_replay = preplay_ms / hydrate_ms;
+    eprintln!(
+        "bench-snapshot persist: publish={publish_ms:.0}ms ({} rungs published) \
+         hydrate={hydrate_ms:.0}ms ({} rungs hydrated, {} trunk runs) \
+         vs_cold={vs_cold:.1}x vs_replay={vs_replay:.1}x identical={persist_identical}",
+        pstats.snapshot.published, hstats.snapshot.hydrated, hstats.snapshot.trunk_runs,
+    );
+    let persist = Value::Object(vec![
+        ("points".into(), Value::UInt(pladder.len() as u64)),
+        ("rungs".into(), Value::UInt(persist_ms.len() as u64)),
+        (
+            "ladder_ms".into(),
+            Value::Array(persist_ms.iter().map(|&ms| Value::UInt(ms)).collect()),
+        ),
+        ("publish_ms".into(), Value::Float(publish_ms)),
+        ("published".into(), Value::UInt(pstats.snapshot.published)),
+        (
+            "trunk_runs_publish".into(),
+            Value::UInt(pstats.snapshot.trunk_runs),
+        ),
+        ("hydrate_ms".into(), Value::Float(hydrate_ms)),
+        ("hydrated".into(), Value::UInt(hstats.snapshot.hydrated)),
+        (
+            "trunk_runs_hydrate".into(),
+            Value::UInt(hstats.snapshot.trunk_runs),
+        ),
+        (
+            "trunk_ms_saved".into(),
+            Value::Float(hstats.snapshot.trunk_ms_saved),
+        ),
+        ("cold_ms".into(), Value::Float(pcold_ms)),
+        ("replay_ms".into(), Value::Float(preplay_ms)),
+        ("speedup_vs_cold".into(), Value::Float(vs_cold)),
+        ("speedup_vs_replay".into(), Value::Float(vs_replay)),
+        ("bit_identical".into(), Value::Bool(persist_identical)),
+    ]);
+
     let nested = Value::Object(vec![
         ("points".into(), Value::UInt(ladder.len() as u64)),
         (
@@ -731,13 +857,17 @@ fn run_bench_snapshot(path: &str, seed: u64, fast: bool) {
         ("speedup".into(), Value::Float(speedup)),
         ("bit_identical".into(), Value::Bool(all_identical)),
         ("nested".into(), nested),
+        ("persist".into(), persist),
         (
             "note".into(),
             Value::String(
                 "serial, uncached; wall times move with the host, speedup and \
                  bit_identical should not. `nested` is the ladder grid whose \
                  checkpoint chains form a prefix tree forked from one trunk \
-                 run. Regenerate with `repro --bench-snapshot <file>`."
+                 run; `persist` drives the same ladder shape with 10x deeper \
+                 warm-ups against an on-disk snapshot store (publish, then \
+                 hydrate instead of simulating the trunk). \
+                 Regenerate with `repro --bench-snapshot <file>`."
                     .into(),
             ),
         ),
@@ -1138,6 +1268,15 @@ fn run_demo_sweep(path: &str, seed: u64, opts: &SweepOptions) {
     eprintln!(
         "demo-sweep: {} scenarios, {} resumed, {} cache hits, degraded={}",
         out.stats.scenarios, out.stats.resumed, out.stats.cache_hits, out.stats.degraded
+    );
+    // Warm-snapshot traffic, stderr only for the same reason as the shard
+    // block: hydrated/published counts depend on what earlier invocations
+    // left in the store, the report file must not.
+    let snap = &out.stats.snapshot;
+    eprintln!(
+        "demo-sweep snapshot: trunk_runs={} forks={} hydrated={} published={} \
+         trunk_ms_saved={:.0}",
+        snap.trunk_runs, snap.forks, snap.hydrated, snap.published, snap.trunk_ms_saved
     );
     // Fleet diagnostics go to stderr only: the report file below must stay
     // byte-identical across worker counts and chaos, counters do not.

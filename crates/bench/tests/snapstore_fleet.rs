@@ -1,0 +1,122 @@
+//! Cross-process snapshot-store test: a sharded worker fleet — real
+//! `repro --worker` child processes — must populate the persistent
+//! snapshot store on its first pass and hydrate warm trunks from it on
+//! the next, producing results byte-identical to a serial cold sweep
+//! both times.
+
+use biglittle::{sweep, LateBindings, Scenario, StopWhen, SweepOptions, SystemConfig};
+use bl_governor::GovernorConfig;
+use bl_simcore::fault::{FaultKind, FaultPlan};
+use bl_simcore::time::{SimDuration, SimTime};
+use bl_workloads::apps::app_by_name;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The shared warm-up ladder (nested prefixes) the fleet members fork from.
+const LADDER_MS: [u64; 3] = [200, 320, 400];
+
+fn ladder_point(label: &str, level: usize, late: LateBindings) -> Scenario {
+    let cfg = SystemConfig::baseline().with_seed(23).with_skip_ahead(true);
+    let app = app_by_name("Angry Bird").unwrap();
+    let via: Vec<SimDuration> = LADDER_MS[..level]
+        .iter()
+        .map(|&ms| SimDuration::from_millis(ms))
+        .collect();
+    Scenario::app(label, app, cfg)
+        .with_stop(StopWhen::Deadline(SimDuration::from_millis(
+            LADDER_MS[level] + 150,
+        )))
+        .with_warmup(SimDuration::from_millis(LADDER_MS[level]))
+        .with_warmup_via(via)
+        .with_late(late)
+}
+
+fn late_variant(idx: usize) -> LateBindings {
+    match idx % 3 {
+        0 => LateBindings::default(),
+        1 => LateBindings {
+            governors: Some(vec![GovernorConfig::Performance, GovernorConfig::Powersave]),
+            faults: FaultPlan::new(),
+        },
+        _ => LateBindings {
+            governors: None,
+            faults: FaultPlan::new().with(
+                SimTime::from_millis(LADDER_MS[0] + 50),
+                FaultKind::ThermalSpike {
+                    cluster: 0,
+                    delta_c: 6.0,
+                },
+            ),
+        },
+    }
+}
+
+fn batch() -> Vec<Scenario> {
+    [0usize, 1, 1, 2, 2, 2]
+        .iter()
+        .enumerate()
+        .map(|(i, &lv)| ladder_point(&format!("fleet-{i}"), lv, late_variant(i)))
+        .collect()
+}
+
+fn result_bytes(report: &sweep::SweepReport) -> Vec<String> {
+    report
+        .results
+        .iter()
+        .map(|r| serde_json::to_string(r.as_ref().unwrap()).unwrap())
+        .collect()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("bl-snapstore-fleet-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn fleet_populates_and_hydrates_the_store_across_processes() {
+    // The coordinator runs in this test process; workers are real child
+    // processes of the compiled `repro` binary, each opening the same
+    // on-disk store independently.
+    sweep::shard::set_worker_launcher(|spec| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+        cmd.args(sweep::shard::worker_cli_args(spec));
+        cmd
+    });
+
+    let scenarios = batch();
+    let base = temp_dir("hydrate");
+    let store = base.join("snapshots");
+    let fleet = |journal: &str| {
+        sweep::run_with(
+            &scenarios,
+            &SweepOptions::serial()
+                .sharded(2)
+                .journaled(base.join(journal))
+                .snap_stored(&store),
+        )
+    };
+
+    let cold = sweep::run_with(&scenarios, &SweepOptions::serial().prefix_sharing(false));
+
+    // Pass 1, empty store: at least one worker cold-builds the trunk and
+    // publishes every rung. The coordinator learns the fleet's counters
+    // from the workers' journals.
+    let first = fleet("j1");
+    assert!(first.stats.snapshot.trunk_runs >= 1);
+    assert!(first.stats.snapshot.published >= LADDER_MS.len() as u64);
+    assert_eq!(first.stats.snapshot.forks, scenarios.len() as u64);
+    assert_eq!(result_bytes(&cold), result_bytes(&first));
+
+    // Pass 2, warm store: every worker hydrates its trunks from disk —
+    // zero trunk re-simulation anywhere in the fleet — and the merged
+    // results are still byte-identical to the serial cold sweep.
+    let second = fleet("j2");
+    assert_eq!(second.stats.snapshot.trunk_runs, 0);
+    assert!(second.stats.snapshot.hydrated > 0);
+    assert!(second.stats.snapshot.trunk_ms_saved > 0.0);
+    assert_eq!(result_bytes(&cold), result_bytes(&second));
+
+    let _ = std::fs::remove_dir_all(&base);
+}

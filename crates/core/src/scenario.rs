@@ -379,6 +379,25 @@ impl Scenario {
     ///
     /// Same conditions as [`Scenario::snapshot_prefix`].
     pub fn snapshot_prefix_chain(&self, budget: &RunBudget) -> Result<Vec<SimSnapshot>, SimError> {
+        Ok(self
+            .snapshot_prefix_chain_timed(budget)?
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect())
+    }
+
+    /// [`Scenario::snapshot_prefix_chain`], additionally reporting the
+    /// cumulative wall-clock milliseconds spent simulating up to each
+    /// snapshot — the replay cost a store hit at that rung saves, which
+    /// the persistent snapshot store records beside each published entry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::snapshot_prefix`].
+    pub fn snapshot_prefix_chain_timed(
+        &self,
+        budget: &RunBudget,
+    ) -> Result<Vec<(SimSnapshot, f64)>, SimError> {
         let w = self.warmup.ok_or_else(|| {
             SimError::config(format!(
                 "scenario {:?} has no warmup point to snapshot",
@@ -386,14 +405,17 @@ impl Scenario {
             ))
         })?;
         self.validate_via()?;
+        let started = std::time::Instant::now();
         let mut sim = self.instantiate(budget)?;
         let mut snaps = Vec::with_capacity(self.warmup_via.len() + 1);
         for &v in &self.warmup_via {
             sim.try_run_until(SimTime::ZERO + v)?;
-            snaps.push(sim.snapshot()?);
+            let warm_ms = started.elapsed().as_secs_f64() * 1e3;
+            snaps.push((sim.snapshot()?, warm_ms));
         }
         sim.try_run_until(SimTime::ZERO + w)?;
-        snaps.push(sim.snapshot()?);
+        let warm_ms = started.elapsed().as_secs_f64() * 1e3;
+        snaps.push((sim.snapshot()?, warm_ms));
         Ok(snaps)
     }
 

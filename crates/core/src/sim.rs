@@ -3,11 +3,11 @@
 use crate::config::SystemConfig;
 use crate::options::SimOptions;
 use crate::result::{ResilienceStats, RunResult};
-use bl_governor::{ClusterSample, CpufreqGovernor, GovernorConfig};
+use bl_governor::{ClusterSample, CpufreqGovernor, GovernorConfig, GovernorState};
 use bl_kernel::accounting::BusyWindow;
-use bl_kernel::kernel::{Hw, Kernel, KernelConfig, WakeRequest};
-use bl_kernel::task::{Affinity, AppSignal, ForkCtx, TaskBehavior, TaskId};
-use bl_metrics::{MetricsCollector, Trace, TraceRow};
+use bl_kernel::kernel::{Hw, Kernel, KernelConfig, KernelSaved, WakeRequest};
+use bl_kernel::task::{Affinity, AppSignal, ForkCtx, RestoreCtx, SaveCtx, TaskBehavior, TaskId};
+use bl_metrics::{MetricsCollector, MetricsSaved, Trace, TraceRow};
 use bl_platform::exynos::exynos5422;
 use bl_platform::ids::{ClusterId, CoreKind, CpuId};
 use bl_platform::state::PlatformState;
@@ -19,16 +19,17 @@ use bl_simcore::error::SimError;
 use bl_simcore::event::{EventQueue, QueueEntry};
 use bl_simcore::fault::{FaultEvent, FaultKind, FaultPlan};
 use bl_simcore::journal::fnv1a;
-use bl_simcore::rng::SimRng;
+use bl_simcore::rng::{RngState, SimRng};
 use bl_simcore::time::{SimDuration, SimTime};
 use bl_workloads::apps::{AppInstance, AppModel};
 use bl_workloads::microbench::MicroBench;
 use bl_workloads::replay::RecordedTrace;
 use bl_workloads::spec::SpecKernel;
-use bl_workloads::threads::CompletionTracker;
+use bl_workloads::threads::{CompletionTracker, TrackerSaved};
 use bl_workloads::PerfMetric;
+use serde::{Deserialize, Serialize};
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 enum Ev {
     Tick,
     Timer(WakeRequest),
@@ -65,7 +66,39 @@ struct ThermalRt {
     changed_scratch: Vec<usize>,
 }
 
+/// Serialized form of [`ThermalRt`]: the RC nodes, throttle episodes and
+/// busy window; the scratch buffers are rebuilt empty.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct ThermalRtSaved {
+    nodes: ThermalBank,
+    last_advance: SimTime,
+    throttle_since: Vec<Option<SimTime>>,
+    window: BusyWindow,
+}
+
 impl ThermalRt {
+    fn state_save(&self) -> ThermalRtSaved {
+        ThermalRtSaved {
+            nodes: self.nodes.clone(),
+            last_advance: self.last_advance,
+            throttle_since: self.throttle_since.clone(),
+            window: self.window.clone(),
+        }
+    }
+
+    fn state_restore(saved: &ThermalRtSaved) -> ThermalRt {
+        let n = saved.throttle_since.len();
+        ThermalRt {
+            nodes: saved.nodes.clone(),
+            last_advance: saved.last_advance,
+            throttle_since: saved.throttle_since.clone(),
+            window: saved.window.clone(),
+            power_scratch: Vec::with_capacity(n),
+            acts_scratch: Vec::new(),
+            changed_scratch: Vec::new(),
+        }
+    }
+
     fn new(platform: &Platform, window: BusyWindow, start: SimTime) -> Self {
         let params: Vec<ThermalParams> = platform
             .topology
@@ -102,7 +135,39 @@ struct CpuidleRt {
     idle_since: Vec<SimTime>,
 }
 
+/// Serialized form of [`CpuidleRt`]: the per-CPU ladder positions and
+/// episode bookkeeping; the idle-state tables are static per core kind and
+/// are rebuilt from the platform on restore.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct CpuidleRtSaved {
+    state: Vec<Option<usize>>,
+    seq: Vec<u64>,
+    idle_since: Vec<SimTime>,
+}
+
 impl CpuidleRt {
+    fn state_save(&self) -> CpuidleRtSaved {
+        CpuidleRtSaved {
+            state: self.state.clone(),
+            seq: self.seq.clone(),
+            idle_since: self.idle_since.clone(),
+        }
+    }
+
+    fn state_restore(platform: &Platform, saved: &CpuidleRtSaved) -> CpuidleRt {
+        let tables = platform
+            .topology
+            .cpus()
+            .map(|c| CpuidleTable::default_for(platform.topology.kind_of(c)))
+            .collect();
+        CpuidleRt {
+            tables,
+            state: saved.state.clone(),
+            seq: saved.seq.clone(),
+            idle_since: saved.idle_since.clone(),
+        }
+    }
+
     fn new(platform: &Platform) -> Self {
         let tables = platform
             .topology
@@ -1328,6 +1393,130 @@ impl Simulation {
         })
     }
 
+    /// Serializes the entire dynamic state behind [`Simulation::snapshot`]
+    /// into a [`SimSaved`], spanning the kernel (tasks, behaviors, loads,
+    /// runqueues), governors, event queue, RNG stream, meters, collectors
+    /// and resilience telemetry. Static state — the platform description,
+    /// power model, idle-state tables — is rebuilt from the platform and
+    /// config on restore.
+    fn state_save(&self) -> Result<SimSaved, SimError> {
+        // One save context spans the kernel and the driver's tracker list,
+        // mirroring `clone_state`'s ForkCtx, so shared workload handles
+        // keep their sharing topology through the serialized form.
+        let mut ctx = SaveCtx::new();
+        let kernel = self.kernel.state_save(&mut ctx)?;
+        let trackers = self
+            .trackers
+            .iter()
+            .map(|t| t.save_with(&mut ctx))
+            .collect();
+        let governors = self
+            .governors
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                g.state_save().ok_or_else(|| SimError::SnapshotUnsupported {
+                    detail: format!("governor on cluster {i} does not support state_save"),
+                })
+            })
+            .collect::<Result<Vec<_>, SimError>>()?;
+        let queue = self
+            .queue
+            .sorted_entries()
+            .into_iter()
+            .map(|(at, seq, ev)| (at, seq, ev.clone()))
+            .collect();
+        Ok(SimSaved {
+            cfg: self.cfg.clone(),
+            state: self.state.clone(),
+            kernel,
+            governors,
+            gov_window: self.gov_window.clone(),
+            meter: self.meter.clone(),
+            collector: self.collector.state_save(),
+            queue,
+            queue_seq: self.queue.seq_state(),
+            now: self.now,
+            rng: self.rng.state_save(),
+            trackers,
+            trace: self.trace.clone(),
+            trace_window: self.trace_window.clone(),
+            cpuidle: self.cpuidle.as_ref().map(|rt| rt.state_save()),
+            thermal: self.thermal.as_ref().map(|rt| rt.state_save()),
+            gov_skip: self.gov_skip.clone(),
+            watchdog: self.watchdog,
+            events_total: self.events_total,
+            audit: self.audit.clone(),
+            resilience: self.resilience.clone(),
+        })
+    }
+
+    /// Rebuilds a simulation from [`SimSaved`] against `platform` — the
+    /// platform the saved run was built on. The armed budget is not
+    /// restored (budgets are per-run), matching `clone_state`.
+    fn state_restore(platform: &Platform, saved: &SimSaved) -> Result<Simulation, SimError> {
+        let n_clusters = platform.topology.n_clusters();
+        let n_cpus = platform.topology.n_cpus();
+        if saved.gov_skip.len() != n_clusters || saved.governors.len() != n_clusters {
+            return Err(SimError::SnapshotUnsupported {
+                detail: format!(
+                    "saved state spans {} clusters but the platform has {n_clusters}",
+                    saved.governors.len()
+                ),
+            });
+        }
+        let mut ctx = RestoreCtx::new();
+        let kernel = Kernel::state_restore(&saved.kernel, &mut ctx, |b, ctx| {
+            bl_workloads::restore_behavior(b, ctx)
+        })?;
+        let trackers = saved
+            .trackers
+            .iter()
+            .map(|t| CompletionTracker::restore_from(t, &mut ctx))
+            .collect();
+        let governors = saved.governors.iter().map(GovernorState::restore).collect();
+        let power_model = if saved.cfg.screen_on {
+            PowerModel::screen_on()
+        } else {
+            PowerModel::screen_off()
+        };
+        Ok(Simulation {
+            platform: platform.clone(),
+            state: saved.state.clone(),
+            kernel,
+            governors,
+            gov_window: saved.gov_window.clone(),
+            power_model,
+            meter: saved.meter.clone(),
+            collector: MetricsCollector::state_restore(&platform.topology, &saved.collector),
+            queue: EventQueue::from_parts(saved.queue.clone(), saved.queue_seq),
+            now: saved.now,
+            rng: SimRng::state_restore(&saved.rng),
+            trackers,
+            cfg: saved.cfg.clone(),
+            trace: saved.trace.clone(),
+            trace_window: saved.trace_window.clone(),
+            cpuidle: saved
+                .cpuidle
+                .as_ref()
+                .map(|s| CpuidleRt::state_restore(platform, s)),
+            thermal: saved.thermal.as_ref().map(ThermalRt::state_restore),
+            gov_skip: saved.gov_skip.clone(),
+            watchdog: saved.watchdog,
+            budget: ArmedBudget::default(),
+            events_total: saved.events_total,
+            audit: saved.audit.clone(),
+            resilience: saved.resilience.clone(),
+            skip_stash: Vec::new(),
+            gov_fired: vec![None; n_clusters],
+            activity_scratch: Vec::with_capacity(n_cpus),
+            leak_scratch: Vec::with_capacity(n_cpus),
+            utils_scratch: Vec::with_capacity(n_cpus),
+            wake_scratch: Vec::new(),
+            signal_scratch: Vec::new(),
+        })
+    }
+
     // ---- late bindings ------------------------------------------------------
 
     /// Replaces every cluster's governor mid-run — the late-binding hook
@@ -1421,6 +1610,35 @@ pub struct SimSnapshot {
     fingerprint: u64,
 }
 
+/// The serialized form of a [`SimSnapshot`]: every dynamic component of the
+/// run, behaviors included, as plain data. Produced by
+/// [`SimSnapshot::to_payload`] and consumed by [`SimSnapshot::from_payload`];
+/// the persistent snapshot store treats it as an opaque value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SimSaved {
+    cfg: SystemConfig,
+    state: PlatformState,
+    kernel: KernelSaved,
+    governors: Vec<GovernorState>,
+    gov_window: BusyWindow,
+    meter: PowerMeter,
+    collector: MetricsSaved,
+    queue: Vec<(SimTime, u64, Ev)>,
+    queue_seq: u64,
+    now: SimTime,
+    rng: RngState,
+    trackers: Vec<TrackerSaved>,
+    trace: Option<Trace>,
+    trace_window: BusyWindow,
+    cpuidle: Option<CpuidleRtSaved>,
+    thermal: Option<ThermalRtSaved>,
+    gov_skip: Vec<u32>,
+    watchdog: u64,
+    events_total: u64,
+    audit: Option<InvariantGuard>,
+    resilience: ResilienceStats,
+}
+
 impl SimSnapshot {
     /// Digest of the captured state (see [`Simulation::fingerprint`]).
     pub fn fingerprint(&self) -> u64 {
@@ -1430,6 +1648,54 @@ impl SimSnapshot {
     /// The simulated time the snapshot was taken at.
     pub fn at(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// Serializes the snapshot into an opaque payload the persistent
+    /// snapshot store can write to disk. The inverse is
+    /// [`SimSnapshot::from_payload`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SnapshotUnsupported`] when some captured component has
+    /// no serialized form (a closure-driven task, a governor without
+    /// `state_save`) — the same states that cannot be forked.
+    pub fn to_payload(&self) -> Result<serde::Value, SimError> {
+        Ok(self.sim.state_save()?.ser_value())
+    }
+
+    /// Rebuilds a snapshot from a payload produced by
+    /// [`SimSnapshot::to_payload`], against the same platform the saved
+    /// run was built on.
+    ///
+    /// The restored state's fingerprint is recomputed from scratch and
+    /// must equal `expect` — the digest the store recorded at publish
+    /// time. Bytes are never trusted: a payload that deserializes cleanly
+    /// but reconstructs a different state is rejected, and the caller
+    /// falls back to cold simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SnapshotUnsupported`] for malformed payloads, platform
+    /// mismatches, or a recomputed fingerprint differing from `expect`.
+    pub fn from_payload(
+        platform: &Platform,
+        payload: &serde::Value,
+        expect: u64,
+    ) -> Result<SimSnapshot, SimError> {
+        let saved = SimSaved::deser_value(payload).map_err(|e| SimError::SnapshotUnsupported {
+            detail: format!("malformed snapshot payload: {e}"),
+        })?;
+        let sim = Simulation::state_restore(platform, &saved)?;
+        let fingerprint = sim.fingerprint();
+        if fingerprint != expect {
+            return Err(SimError::SnapshotUnsupported {
+                detail: format!(
+                    "hydrated snapshot fingerprint {fingerprint:016x} does not match \
+                     the recorded {expect:016x}; discarding"
+                ),
+            });
+        }
+        Ok(SimSnapshot { sim, fingerprint })
     }
 }
 

@@ -57,6 +57,7 @@ use bl_simcore::error::SimError;
 use bl_simcore::journal::{fnv1a, fsync_dir, Journal};
 use bl_simcore::pool;
 use bl_simcore::rng::derive_seed;
+use bl_simcore::snapstore::{SnapEntry, SnapStore, SNAP_FORMAT_VERSION};
 use bl_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
@@ -72,6 +73,10 @@ pub const DEFAULT_CACHE_DIR: &str = "results/.cache";
 
 /// The write-ahead journal directory the `bench` binary uses by default.
 pub const DEFAULT_JOURNAL_DIR: &str = "results/.sweep-journal";
+
+/// The persistent snapshot store directory the `bench` binary uses by
+/// default.
+pub const DEFAULT_SNAP_DIR: &str = "results/.snapshots";
 
 /// Keep the global per-scenario stats list bounded: callers that loop over
 /// sweeps without draining [`take_stats`] (e.g. criterion benchmarks) must
@@ -129,6 +134,15 @@ pub struct SweepOptions {
     /// per scenario. Results are bit-identical either way — this is purely
     /// a wall-clock optimization, on by default.
     pub prefix_share: bool,
+    /// Persistent snapshot store directory; `None` disables the store.
+    /// With a directory set (and [`SweepOptions::prefix_share`] on), warm
+    /// trunk snapshots are hydrated from disk instead of re-simulated and
+    /// freshly built trunks are published back — reuse across
+    /// invocations, worker processes and hosts. Hydration is guarded by
+    /// the snapshot's state fingerprint, so results stay bit-identical to
+    /// the cold path either way (which is why this knob, like
+    /// `prefix_share`, is *not* part of the result cache key).
+    pub snap_store: Option<PathBuf>,
 }
 
 impl Default for SweepOptions {
@@ -148,6 +162,7 @@ impl Default for SweepOptions {
             range_attempts: 3,
             chaos_kill_one_worker: false,
             prefix_share: true,
+            snap_store: None,
         }
     }
 }
@@ -239,6 +254,13 @@ impl SweepOptions {
     /// Enables or disables warm-up prefix sharing (on by default).
     pub fn prefix_sharing(mut self, on: bool) -> Self {
         self.prefix_share = on;
+        self
+    }
+
+    /// Enables the persistent snapshot store under `dir` (requires
+    /// [`SweepOptions::prefix_share`], which is on by default).
+    pub fn snap_stored(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.snap_store = Some(dir.into());
         self
     }
 
@@ -343,12 +365,46 @@ pub struct SweepStats {
     pub events: u64,
     /// Whether any scenario was retried or quarantined.
     pub degraded: bool,
+    /// Warm-snapshot accounting: trunks simulated, forks taken, and the
+    /// persistent store's hydrate/publish traffic.
+    pub snapshot: SnapshotStats,
     /// Multi-process lease/reclaim accounting; `None` for in-process
     /// sweeps.
     pub shard: Option<ShardStats>,
     /// Per-scenario timing, in submission order (bounded; oldest sweeps
     /// win when the global tally overflows [`PER_SCENARIO_CAP`]).
     pub per_scenario: Vec<ScenarioStats>,
+}
+
+/// Warm-snapshot traffic of one or more sweeps: how often trunks were
+/// simulated cold, how often members forked from a warm snapshot, and how
+/// much the persistent store ([`SweepOptions::snap_store`]) contributed.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct SnapshotStats {
+    /// Warm-up trunks simulated in-process (snapshot chains built cold).
+    pub trunk_runs: u64,
+    /// Scenarios whose result came from forking a warm snapshot instead
+    /// of replaying the warm-up prefix.
+    pub forks: u64,
+    /// Snapshot rungs hydrated from the persistent store instead of
+    /// re-simulated.
+    pub hydrated: u64,
+    /// Snapshot rungs published to the persistent store.
+    pub published: u64,
+    /// Wall-clock milliseconds of trunk simulation avoided by hydrating
+    /// from the store (the deepest hydrated rung's recorded build time
+    /// per trunk — warm-up times along one trunk are cumulative).
+    pub trunk_ms_saved: f64,
+}
+
+impl SnapshotStats {
+    fn merge(&mut self, other: &SnapshotStats) {
+        self.trunk_runs += other.trunk_runs;
+        self.forks += other.forks;
+        self.hydrated += other.hydrated;
+        self.published += other.published;
+        self.trunk_ms_saved += other.trunk_ms_saved;
+    }
 }
 
 /// What one worker process did within a sharded sweep.
@@ -415,6 +471,7 @@ impl SweepStats {
         self.quarantined += other.quarantined;
         self.events += other.events;
         self.degraded |= other.degraded;
+        self.snapshot.merge(&other.snapshot);
         if let Some(other_shard) = &other.shard {
             self.shard
                 .get_or_insert_with(ShardStats::default)
@@ -541,6 +598,13 @@ static TALLY: Mutex<SweepStats> = Mutex::new(SweepStats {
     quarantined: 0,
     events: 0,
     degraded: false,
+    snapshot: SnapshotStats {
+        trunk_runs: 0,
+        forks: 0,
+        hydrated: 0,
+        published: 0,
+        trunk_ms_saved: 0.0,
+    },
     shard: None,
     per_scenario: Vec::new(),
 });
@@ -602,11 +666,15 @@ pub fn run_with(scenarios: &[Scenario], opts: &SweepOptions) -> SweepOutcome {
         _ => HashMap::new(),
     };
 
+    let store = snap_store_for(opts);
+    let snap_tally = Mutex::new(SnapshotStats::default());
     let env = ExecEnv {
         opts,
         journal: journal.as_ref(),
         resumed: &resumed_map,
         cancel: None,
+        store: store.as_ref(),
+        snap: &snap_tally,
     };
     let indices: Vec<usize> = (0..effective.len()).collect();
     let raw = execute_indices(&indices, &effective, &keys, &env, opts.effective_jobs());
@@ -647,6 +715,7 @@ pub fn run_with(scenarios: &[Scenario], opts: &SweepOptions) -> SweepOutcome {
         attempts.push(sup.attempts);
     }
     stats.degraded = stats.quarantined > 0 || stats.retries > 0;
+    stats.snapshot = *snap_tally.lock().expect("snapshot tally poisoned");
     TALLY.lock().expect("stats tally poisoned").merge(&stats);
     SweepOutcome {
         results,
@@ -692,6 +761,13 @@ pub(crate) struct ExecEnv<'a> {
     pub(crate) journal: Option<&'a Mutex<Journal>>,
     pub(crate) resumed: &'a HashMap<String, RunResult>,
     pub(crate) cancel: Option<&'a CancelToken>,
+    /// The persistent snapshot store, when [`SweepOptions::snap_store`]
+    /// names one and prefix sharing is on. `SnapStore` synchronizes
+    /// internally, so worker threads share the reference directly.
+    pub(crate) store: Option<&'a SnapStore>,
+    /// Where the engine accumulates warm-snapshot traffic for this
+    /// sweep (or this worker process's slice of it).
+    pub(crate) snap: &'a Mutex<SnapshotStats>,
 }
 
 /// Supervises one scenario: journal replay, cache lookup, then up to
@@ -1033,7 +1109,7 @@ pub(crate) fn execute_indices(
     let fresh = CancelToken::new();
     let cancel = env.cancel.unwrap_or(&fresh);
     let raw = pool::scoped_map_cancelable(units, jobs, cancel, |_, unit| match unit {
-        Unit::One(i) => vec![(i, supervise(i, &effective[i], &keys[i], env, None))],
+        Unit::One(i) => vec![(i, run_one(i, &effective[i], &keys[i], env))],
         Unit::Group(members) => run_group(&members, effective, keys, env),
     });
     let pos: HashMap<usize, usize> = indices.iter().enumerate().map(|(p, &i)| (i, p)).collect();
@@ -1059,9 +1135,33 @@ pub(crate) fn execute_indices(
             }
         }
     }
-    out.into_iter()
+    let out: Vec<Supervised> = out
+        .into_iter()
         .map(|s| s.expect("every index belongs to exactly one unit"))
-        .collect()
+        .collect();
+    let forks = out.iter().filter(|s| s.forked).count() as u64;
+    if forks > 0 {
+        env.snap.lock().expect("snapshot tally poisoned").forks += forks;
+    }
+    out
+}
+
+/// Executes one standalone scenario. Without a persistent store this is
+/// plain supervision; with one, a scenario carrying a warm-up point first
+/// tries to hydrate its trunk chain from the store (publishing a freshly
+/// built chain otherwise), so even singleton scenarios reuse trunks warmed
+/// by earlier invocations, sibling workers, or other hosts.
+fn run_one(i: usize, sc: &Scenario, key: &str, env: &ExecEnv<'_>) -> Supervised {
+    let warm = env.store.is_some()
+        && SnapshotSpec::of(sc).is_some()
+        && !env.resumed.contains_key(key)
+        && !cache_entry_present(env.opts, key);
+    if !warm {
+        return supervise(i, sc, key, env, None);
+    }
+    let snapshots = build_chain_snapshots(sc, env);
+    let snap = snapshots.as_ref().and_then(|s| s.last());
+    supervise(i, sc, key, env, snap)
 }
 
 /// Executes one fork group serially on the calling worker thread.
@@ -1162,35 +1262,163 @@ fn cache_entry_present(opts: &SweepOptions, key: &str) -> bool {
         .is_some_and(|d| d.join(format!("{key}.json")).is_file())
 }
 
-/// Simulates a fork group's shared prefix and captures it. Any failure —
-/// typed error or panic — degrades the whole group to cold runs (`None`);
-/// per-member supervision then reports whatever is actually wrong with
-/// full retry/quarantine semantics.
+/// The persistent store these options imply: open only when a directory
+/// is configured *and* prefix sharing is on (without fork groups there is
+/// nothing to hydrate into).
+pub(crate) fn snap_store_for(opts: &SweepOptions) -> Option<SnapStore> {
+    if !opts.prefix_share {
+        return None;
+    }
+    opts.snap_store.as_ref().map(SnapStore::open)
+}
+
+/// Simulates a fork group's shared prefix and captures it — after first
+/// offering the persistent store a chance to hydrate the warmed state
+/// instead. Any build failure — typed error or panic — degrades the whole
+/// group to cold runs (`None`); per-member supervision then reports
+/// whatever is actually wrong with full retry/quarantine semantics.
 fn build_group_snapshot(sc: &Scenario, env: &ExecEnv<'_>) -> Option<SimSnapshot> {
+    let spec = SnapshotSpec::of(sc)?;
+    let key = spec.key();
+    if let Some(store) = env.store {
+        if let Some(entry) = store.load(&key) {
+            match hydrate_entry(sc, &entry) {
+                Some(snap) => {
+                    let mut tally = env.snap.lock().expect("snapshot tally poisoned");
+                    tally.hydrated += 1;
+                    tally.trunk_ms_saved += entry.warm_ms;
+                    return Some(snap);
+                }
+                // Checksummed bytes whose hydrated state still fails the
+                // fingerprint are never trusted: drop and rebuild.
+                None => store.invalidate(&key),
+            }
+        }
+    }
     let mut budget = env.opts.budget();
     if let Some(token) = env.cancel {
         budget = budget.cancelled_by(token.clone());
     }
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sc.snapshot_prefix(&budget)))
-        .ok()?
-        .ok()
+    let started = Instant::now();
+    let snap =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sc.snapshot_prefix(&budget)))
+            .ok()?
+            .ok()?;
+    let warm_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut tally = env.snap.lock().expect("snapshot tally poisoned");
+    tally.trunk_runs += 1;
+    if let Some(store) = env.store {
+        tally.published += publish_rungs(store, &[(key, &snap, warm_ms)]);
+    }
+    Some(snap)
 }
 
 /// Simulates a ladder group's trunk — the deepest member's prefix — once,
 /// capturing a snapshot at every chain rung
-/// ([`Scenario::snapshot_prefix_chain`]). Same degradation contract as
-/// [`build_group_snapshot`]: any failure returns `None` and the whole
-/// group runs cold.
+/// ([`Scenario::snapshot_prefix_chain`]) — unless the persistent store can
+/// hydrate the *whole* chain, in which case no trunk simulation happens at
+/// all. Hydration is all-or-rebuild: one missing, corrupt or
+/// fingerprint-mismatched rung rebuilds (and republishes) the full chain,
+/// so forks never mix rungs from different trunk executions. Same
+/// degradation contract as [`build_group_snapshot`]: any build failure
+/// returns `None` and the whole group runs cold.
 fn build_chain_snapshots(sc: &Scenario, env: &ExecEnv<'_>) -> Option<Vec<SimSnapshot>> {
+    let specs = SnapshotSpec::chain_of(sc);
+    if specs.is_empty() {
+        return None;
+    }
+    let keys: Vec<String> = specs.iter().map(SnapshotSpec::key).collect();
+    if let Some(store) = env.store {
+        if let Some((snaps, saved_ms)) = hydrate_chain(sc, &keys, store) {
+            let mut tally = env.snap.lock().expect("snapshot tally poisoned");
+            tally.hydrated += snaps.len() as u64;
+            // Warm-up times along one trunk are cumulative, so the deepest
+            // rung's recorded build time is the whole replay just avoided.
+            tally.trunk_ms_saved += saved_ms;
+            return Some(snaps);
+        }
+    }
     let mut budget = env.opts.budget();
     if let Some(token) = env.cancel {
         budget = budget.cancelled_by(token.clone());
     }
+    let timed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sc.snapshot_prefix_chain_timed(&budget)
+    }))
+    .ok()?
+    .ok()?;
+    let mut tally = env.snap.lock().expect("snapshot tally poisoned");
+    tally.trunk_runs += 1;
+    if let Some(store) = env.store {
+        let rungs: Vec<(String, &SimSnapshot, f64)> = keys
+            .iter()
+            .zip(&timed)
+            .map(|(k, (snap, ms))| (k.clone(), snap, *ms))
+            .collect();
+        tally.published += publish_rungs(store, &rungs);
+    }
+    Some(timed.into_iter().map(|(snap, _)| snap).collect())
+}
+
+/// Hydrates every rung of a trunk chain from the store, returning the
+/// snapshots plus the deepest rung's recorded build time. `None` — with
+/// the offending entry invalidated — on any missing or unverifiable rung.
+fn hydrate_chain(
+    sc: &Scenario,
+    keys: &[String],
+    store: &SnapStore,
+) -> Option<(Vec<SimSnapshot>, f64)> {
+    let mut snaps = Vec::with_capacity(keys.len());
+    let mut saved_ms = 0.0_f64;
+    for key in keys {
+        let entry = store.load(key)?;
+        match hydrate_entry(sc, &entry) {
+            Some(snap) => {
+                saved_ms = saved_ms.max(entry.warm_ms);
+                snaps.push(snap);
+            }
+            None => {
+                store.invalidate(key);
+                return None;
+            }
+        }
+    }
+    Some((snaps, saved_ms))
+}
+
+/// Rebuilds a [`SimSnapshot`] from a store entry, verifying the hydrated
+/// state's fingerprint against the recorded one. A payload that panics the
+/// decoder degrades to `None` like any other verification failure.
+fn hydrate_entry(sc: &Scenario, entry: &SnapEntry) -> Option<SimSnapshot> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        sc.snapshot_prefix_chain(&budget)
+        SimSnapshot::from_payload(&sc.platform.build(), &entry.state, entry.fingerprint)
     }))
     .ok()?
     .ok()
+}
+
+/// Publishes freshly built trunk rungs to the store; returns how many
+/// landed. Serialization refusals (a behavior without `save_box`) and I/O
+/// failures are tolerated — the in-process snapshots still fork fine, the
+/// store just stays cold.
+fn publish_rungs(store: &SnapStore, rungs: &[(String, &SimSnapshot, f64)]) -> u64 {
+    let mut published = 0;
+    for (key, snap, warm_ms) in rungs {
+        // Deeper rungs share the shallow rungs' tasks, so the first
+        // unserializable rung means the rest cannot serialize either.
+        let Ok(state) = snap.to_payload() else { break };
+        let entry = SnapEntry {
+            version: SNAP_FORMAT_VERSION,
+            key: key.clone(),
+            fingerprint: snap.fingerprint(),
+            warm_ms: *warm_ms,
+            state,
+        };
+        if store.publish(&entry).is_ok() {
+            published += 1;
+        }
+    }
+    published
 }
 
 /// Runs a batch and unwraps every result, panicking with the failing
@@ -1379,6 +1607,40 @@ pub(crate) fn collect_entries(
         }
     }
     map
+}
+
+/// Renders a worker's warm-snapshot tally as a journal record
+/// (`"ev":"snapstats"`), so a sharded coordinator can assemble fleet-wide
+/// snapshot statistics from journals alone.
+pub(crate) fn snapstats_record(s: &SnapshotStats) -> String {
+    let mut fields = vec![("ev".to_string(), Value::String("snapstats".to_string()))];
+    if let Ok(Value::Object(rest)) = serde_json::to_value(*s) {
+        fields.extend(rest);
+    }
+    serde_json::to_string(&Value::Object(fields)).unwrap_or_default()
+}
+
+/// Sums every `"ev":"snapstats"` record in a journal line set — the
+/// coordinator-side inverse of [`snapstats_record`].
+pub(crate) fn collect_snapstats(lines: &[String]) -> SnapshotStats {
+    let mut s = SnapshotStats::default();
+    for line in lines {
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            continue;
+        };
+        if v.get("ev").and_then(Value::as_str) != Some("snapstats") {
+            continue;
+        }
+        s.trunk_runs += v.get("trunk_runs").and_then(Value::as_u64).unwrap_or(0);
+        s.forks += v.get("forks").and_then(Value::as_u64).unwrap_or(0);
+        s.hydrated += v.get("hydrated").and_then(Value::as_u64).unwrap_or(0);
+        s.published += v.get("published").and_then(Value::as_u64).unwrap_or(0);
+        s.trunk_ms_saved += v
+            .get("trunk_ms_saved")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+    }
+    s
 }
 
 fn journal_append(journal: Option<&Mutex<Journal>>, payload: String) {

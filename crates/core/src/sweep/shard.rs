@@ -46,9 +46,10 @@ use bl_simcore::shard::{partition, FromWorker, LeaseBoard, RangeId, ToWorker, Wo
 use serde_json::Value;
 
 use super::{
-    batch_key, cache_key_with, collect_entries, effective_scenario, execute_indices, ExecEnv,
-    JournalEntry, QuarantineRecord, ScenarioStats, ShardStats, SweepOptions, SweepOutcome,
-    SweepStats, WorkerStats, PER_SCENARIO_CAP,
+    batch_key, cache_key_with, collect_entries, collect_snapstats, effective_scenario,
+    execute_indices, snap_store_for, snapstats_record, ExecEnv, JournalEntry, QuarantineRecord,
+    ScenarioStats, ShardStats, SnapshotStats, SweepOptions, SweepOutcome, SweepStats, WorkerStats,
+    PER_SCENARIO_CAP,
 };
 use crate::result::RunResult;
 use crate::scenario::Scenario;
@@ -128,6 +129,10 @@ pub fn worker_cli_args(spec: &WorkerSpec) -> Vec<String> {
         args.push("--cache-dir".to_string());
         args.push(c.display().to_string());
     }
+    if let Some(s) = &spec.opts.snap_store {
+        args.push("--snap-store-dir".to_string());
+        args.push(s.display().to_string());
+    }
     args
 }
 
@@ -169,6 +174,7 @@ fn parse_worker_args(args: &[String]) -> Result<WorkerSpec, String> {
                 opts.max_events = Some(val()?.parse::<u64>().map_err(|e| e.to_string())?);
             }
             "--cache-dir" => opts.cache_dir = Some(PathBuf::from(val()?)),
+            "--snap-store-dir" => opts.snap_store = Some(PathBuf::from(val()?)),
             other => return Err(format!("unknown worker flag {other:?}")),
         }
     }
@@ -266,6 +272,12 @@ fn run_worker(spec: &WorkerSpec) -> Result<(), String> {
         .and_then(|v| v.parse::<usize>().ok())
         == Some(spec.worker);
 
+    // The persistent snapshot store is how a fleet shares warm trunks:
+    // whichever worker simulates a trunk first publishes it, and every
+    // later lease — in this worker or a sibling process — hydrates.
+    let store = snap_store_for(&spec.opts);
+    let snap_tally = Mutex::new(SnapshotStats::default());
+
     emit(&FromWorker::Ready {
         worker: spec.worker,
     });
@@ -291,7 +303,18 @@ fn run_worker(spec: &WorkerSpec) -> Result<(), String> {
                     }
                 }
                 execute_range(
-                    spec, &effective, &keys, &journal, &resumed, &cancel, range, start, end, epoch,
+                    spec,
+                    &effective,
+                    &keys,
+                    &journal,
+                    &resumed,
+                    &cancel,
+                    store.as_ref(),
+                    &snap_tally,
+                    range,
+                    start,
+                    end,
+                    epoch,
                 );
                 if cancel.is_cancelled() {
                     break;
@@ -302,6 +325,15 @@ fn run_worker(spec: &WorkerSpec) -> Result<(), String> {
                     epoch,
                 });
             }
+        }
+    }
+    // Publish the worker's warm-snapshot tally into its journal so the
+    // coordinator can assemble fleet-wide snapshot statistics. Best
+    // effort: losing it costs observability, never results.
+    let snap = *snap_tally.lock().expect("snapshot tally poisoned");
+    if snap.trunk_runs + snap.forks + snap.hydrated + snap.published > 0 {
+        if let Ok(mut j) = journal.lock() {
+            let _ = j.append(&snapstats_record(&snap));
         }
     }
     Ok(())
@@ -318,6 +350,8 @@ fn execute_range(
     journal: &Mutex<Journal>,
     resumed: &HashMap<String, RunResult>,
     cancel: &CancelToken,
+    store: Option<&bl_simcore::snapstore::SnapStore>,
+    snap_tally: &Mutex<SnapshotStats>,
     range: RangeId,
     start: usize,
     end: usize,
@@ -352,6 +386,8 @@ fn execute_range(
             journal: Some(journal),
             resumed,
             cancel: Some(cancel),
+            store,
+            snap: snap_tally,
         };
         // In sharded mode `jobs = 0` means one thread *per worker*, not
         // available parallelism: N workers must not oversubscribe N-fold.
@@ -470,7 +506,7 @@ fn merge_journals(
     dir: &Path,
     bkey: &str,
     keys: &[String],
-) -> Result<HashMap<String, JournalEntry>, String> {
+) -> Result<(HashMap<String, JournalEntry>, SnapshotStats), String> {
     let merged_path = dir.join(format!("{bkey}.jsonl"));
     let mut lines = Journal::load(&merged_path).map_err(|e| format!("loading journal: {e}"))?;
     let worker_paths = worker_journal_paths(dir, bkey);
@@ -478,6 +514,9 @@ fn merge_journals(
         lines.extend(Journal::load(p).unwrap_or_default());
     }
     let entries = collect_entries(&lines, true);
+    // The workers' snapstats records live only in their own journals; the
+    // rewrite below keeps keyed result records only, so sum them now.
+    let snapstats = collect_snapstats(&lines);
     let ordered: Vec<String> = keys
         .iter()
         .filter_map(|k| entries.get(k).map(|e| e.raw.clone()))
@@ -490,7 +529,7 @@ fn merge_journals(
     for p in &worker_paths {
         let _ = std::fs::remove_file(p);
     }
-    Ok(entries)
+    Ok((entries, snapstats))
 }
 
 /// Best-effort observability snapshot of the lease board, written next to
@@ -608,7 +647,11 @@ fn run_sharded_inner(
     // `resume`, prior state of this batch is discarded instead.
     let merged_path = dir.join(format!("{bkey}.jsonl"));
     let prior: HashMap<String, JournalEntry> = if opts.resume {
-        merge_journals(&dir, &bkey, keys).map_err(SimError::config)?
+        // Snapstats of an earlier, dead fleet describe *its* invocation;
+        // only the keyed result entries carry over.
+        merge_journals(&dir, &bkey, keys)
+            .map_err(SimError::config)?
+            .0
     } else {
         let _ = Journal::open(&merged_path, false).map_err(|e| io_err("clearing journal", e))?;
         for p in worker_journal_paths(&dir, &bkey) {
@@ -805,8 +848,8 @@ fn run_sharded_inner(
     // Merge every journal into the batch journal and assemble the
     // outcome from disk state alone — exactly what a later `--resume`
     // would see.
-    let entries = match merge_journals(&dir, &bkey, keys) {
-        Ok(entries) => entries,
+    let (entries, fleet_snapstats) = match merge_journals(&dir, &bkey, keys) {
+        Ok(merged) => merged,
         Err(_) => {
             // The rewrite failed; per-worker journals were kept. Assemble
             // from an in-memory merge so the caller still gets results.
@@ -814,7 +857,7 @@ fn run_sharded_inner(
             for p in worker_journal_paths(&dir, &bkey) {
                 lines.extend(Journal::load(&p).unwrap_or_default());
             }
-            collect_entries(&lines, true)
+            (collect_entries(&lines, true), collect_snapstats(&lines))
         }
     };
     let _ = std::fs::remove_file(&batch_file);
@@ -893,6 +936,7 @@ fn run_sharded_inner(
         results.push(result);
     }
     stats.degraded = stats.quarantined > 0 || stats.retries > 0;
+    stats.snapshot = fleet_snapstats;
     let c = board.counters();
     stats.shard = Some(ShardStats {
         workers: opts.workers as u64,
@@ -940,7 +984,8 @@ mod tests {
                 .with_event_cap(1_000_000)
                 .cached("/tmp/c")
                 .with_heartbeat(Duration::from_millis(250))
-                .prefix_sharing(false),
+                .prefix_sharing(false)
+                .snap_stored("/tmp/s"),
         };
         let args = worker_cli_args(&spec);
         assert_eq!(args[0], "--worker");
@@ -957,6 +1002,7 @@ mod tests {
         assert_eq!(parsed.opts.cache_dir, Some(PathBuf::from("/tmp/c")));
         assert_eq!(parsed.opts.heartbeat, Duration::from_millis(250));
         assert!(!parsed.opts.prefix_share);
+        assert_eq!(parsed.opts.snap_store, Some(PathBuf::from("/tmp/s")));
     }
 
     #[test]

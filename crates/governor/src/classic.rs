@@ -1,5 +1,6 @@
 //! Classic Linux cpufreq governors, used as baselines.
 
+use crate::config::GovernorState;
 use crate::sample::{ClusterSample, CpufreqGovernor};
 use bl_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -28,6 +29,9 @@ impl CpufreqGovernor for PerformanceGovernor {
     fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
         Some(Box::new(*self))
     }
+    fn state_save(&self) -> Option<GovernorState> {
+        Some(GovernorState::Performance)
+    }
 }
 
 /// `powersave`: pin the domain at its minimum OPP.
@@ -52,6 +56,9 @@ impl CpufreqGovernor for PowersaveGovernor {
     }
     fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
         Some(Box::new(*self))
+    }
+    fn state_save(&self) -> Option<GovernorState> {
+        Some(GovernorState::Powersave)
     }
 }
 
@@ -81,6 +88,9 @@ impl CpufreqGovernor for UserspaceGovernor {
     }
     fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
         Some(Box::new(*self))
+    }
+    fn state_save(&self) -> Option<GovernorState> {
+        Some(GovernorState::Userspace(self.setpoint_khz))
     }
 }
 
@@ -137,6 +147,9 @@ impl CpufreqGovernor for OndemandGovernor {
     }
     fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
         Some(Box::new(*self))
+    }
+    fn state_save(&self) -> Option<GovernorState> {
+        Some(GovernorState::Ondemand(self.params))
     }
 }
 
@@ -197,6 +210,9 @@ impl CpufreqGovernor for ConservativeGovernor {
     }
     fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
         Some(Box::new(*self))
+    }
+    fn state_save(&self) -> Option<GovernorState> {
+        Some(GovernorState::Conservative(self.params))
     }
 }
 

@@ -166,6 +166,10 @@ impl CpufreqGovernor for InteractiveGovernor {
     fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
         Some(Box::new(self.clone()))
     }
+
+    fn state_save(&self) -> Option<crate::config::GovernorState> {
+        Some(crate::config::GovernorState::Interactive(self.params))
+    }
 }
 
 #[cfg(test)]

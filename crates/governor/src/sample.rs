@@ -83,6 +83,19 @@ pub trait CpufreqGovernor {
     fn box_clone(&self) -> Option<Box<dyn CpufreqGovernor>> {
         None
     }
+
+    /// Captures this governor's full runtime state as a serializable
+    /// [`GovernorState`](crate::config::GovernorState), the persistent
+    /// counterpart of [`CpufreqGovernor::box_clone`]:
+    /// `state.restore()` must behave bit-identically to the live instance.
+    ///
+    /// Returning `None` (the default) declares the governor opaque to
+    /// persistence; simulations using it cannot be written to the snapshot
+    /// store and fall back to cold runs. Every governor shipped by this
+    /// crate implements it.
+    fn state_save(&self) -> Option<crate::config::GovernorState> {
+        None
+    }
 }
 
 #[cfg(test)]

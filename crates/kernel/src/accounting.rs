@@ -8,7 +8,7 @@ use bl_platform::ids::CpuId;
 use bl_simcore::time::{SimDuration, SimTime};
 
 /// Monotonic busy-time counters for every CPU.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CpuAccounting {
     busy_ns: Vec<u64>,
 }
@@ -41,7 +41,7 @@ impl CpuAccounting {
 /// Each CPU's window opens and closes independently, so readers with
 /// different cadences per CPU (e.g. per-cluster governor sampling) stay
 /// correct.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct BusyWindow {
     snapshot_ns: Vec<u64>,
     window_start: Vec<SimTime>,

@@ -3,11 +3,12 @@
 
 use crate::accounting::CpuAccounting;
 use crate::hmp::HmpParams;
-use crate::load::{LoadSet, LOAD_SCALE};
+use crate::load::{LoadSet, LoadSetSaved, LOAD_SCALE};
 use crate::policy::AsymPolicy;
 use crate::runqueue::RunQueue;
 use crate::task::{
-    Affinity, AppSignal, BehaviorCtx, ForkCtx, Step, TaskBehavior, TaskCb, TaskId, TaskState,
+    Affinity, AppSignal, BehaviorCtx, BehaviorSaved, ForkCtx, RestoreCtx, SaveCtx, Step,
+    TaskBehavior, TaskCb, TaskId, TaskState,
 };
 use bl_platform::ids::{CoreKind, CpuId};
 use bl_platform::perf::{Work, WorkProfile};
@@ -74,7 +75,7 @@ impl<'a> Hw<'a> {
 }
 
 /// Kernel construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct KernelConfig {
     /// Scheduler tick period (Linux CONFIG_HZ=250 ⇒ 4 ms).
     pub tick_period: SimDuration,
@@ -127,7 +128,7 @@ pub struct TaskCensus {
 }
 
 /// A request from the kernel to the driver to schedule a wake timer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct WakeRequest {
     /// Task to wake.
     pub tid: TaskId,
@@ -1064,6 +1065,182 @@ impl Kernel {
         })
     }
 
+    /// Captures the whole scheduler as a serializable [`KernelSaved`] —
+    /// the persistent counterpart of [`Kernel::fork`]: runqueues,
+    /// accounting, load averages, pending wakes/signals and every live
+    /// task's behavior through [`TaskBehavior::save_box`].
+    ///
+    /// Exited tasks save no behavior (their original can never run again);
+    /// they restore to a no-op, exactly as [`Kernel::fork`] treats them.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SnapshotUnsupported`] naming the first live task whose
+    /// behavior declines to save (ad-hoc closure behaviors).
+    pub fn state_save(&self, ctx: &mut SaveCtx) -> Result<KernelSaved, SimError> {
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        for (i, t) in self.tasks.iter().enumerate() {
+            let behavior = if t.state == TaskState::Exited {
+                None
+            } else {
+                Some(
+                    t.behavior
+                        .save_box(ctx)
+                        .ok_or_else(|| SimError::SnapshotUnsupported {
+                            detail: format!("task {} ({}) has an opaque behavior", i, t.name),
+                        })?,
+                )
+            };
+            tasks.push(TaskSaved {
+                name: t.name.to_string(),
+                state: t.state,
+                behavior,
+                affinity: t.affinity,
+                remaining: t.remaining,
+                profile: t.profile,
+                cpu: t.cpu,
+                last_cpu: t.last_cpu,
+                vruntime: t.vruntime,
+                cpu_time: t.cpu_time,
+                little_time: t.cpu_time_by_kind[0],
+                big_time: t.cpu_time_by_kind[1],
+            });
+        }
+        Ok(KernelSaved {
+            cfg: self.cfg,
+            tasks,
+            loads: self.loads.state_save(),
+            sleep_seq: self.sleep_seq.clone(),
+            pending_wake_flag: self.pending_wake_flag.clone(),
+            rqs: self.rqs.clone(),
+            acct: self.acct.clone(),
+            last_advance: self.last_advance,
+            wake_requests: self.wake_requests.clone(),
+            signals: self.signals.clone(),
+            pending_wakes: self.pending_wakes.clone(),
+            migrations_up: self.migrations_up,
+            migrations_down: self.migrations_down,
+        })
+    }
+
+    /// Rebuilds a kernel from [`Kernel::state_save`] output. `restore`
+    /// turns each task's [`BehaviorSaved`] back into a live behavior
+    /// (the workload crate's dispatcher), deduplicating shared handles
+    /// through `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `restore` errors (an unknown dispatch tag, a malformed
+    /// payload) verbatim.
+    pub fn state_restore(
+        saved: &KernelSaved,
+        ctx: &mut RestoreCtx,
+        mut restore: impl FnMut(
+            &BehaviorSaved,
+            &mut RestoreCtx,
+        ) -> Result<Box<dyn TaskBehavior>, SimError>,
+    ) -> Result<Kernel, SimError> {
+        let mut tasks = Vec::with_capacity(saved.tasks.len());
+        for t in &saved.tasks {
+            let behavior: Box<dyn TaskBehavior> = match &t.behavior {
+                Some(b) => restore(b, ctx)?,
+                None => Box::new(NoopBehavior),
+            };
+            tasks.push(TaskCb {
+                name: Arc::from(t.name.as_str()),
+                state: t.state,
+                behavior,
+                affinity: t.affinity,
+                remaining: t.remaining,
+                profile: t.profile,
+                cpu: t.cpu,
+                last_cpu: t.last_cpu,
+                vruntime: t.vruntime,
+                cpu_time: t.cpu_time,
+                cpu_time_by_kind: [t.little_time, t.big_time],
+            });
+        }
+        saved.cfg.policy.assert_valid();
+        Ok(Kernel {
+            cfg: saved.cfg,
+            tasks,
+            loads: LoadSet::state_restore(&saved.loads),
+            sleep_seq: saved.sleep_seq.clone(),
+            pending_wake_flag: saved.pending_wake_flag.clone(),
+            rqs: saved.rqs.clone(),
+            acct: saved.acct.clone(),
+            last_advance: saved.last_advance,
+            wake_requests: saved.wake_requests.clone(),
+            signals: saved.signals.clone(),
+            pending_wakes: saved.pending_wakes.clone(),
+            migrations_up: saved.migrations_up,
+            migrations_down: saved.migrations_down,
+            balance_scratch: Vec::with_capacity(saved.rqs.len()),
+        })
+    }
+
     /// Full load scale constant re-exported for convenience.
     pub const LOAD_SCALE: f64 = LOAD_SCALE;
+}
+
+/// Serialized form of one task control block within a [`KernelSaved`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TaskSaved {
+    /// Task name.
+    pub name: String,
+    /// Lifecycle state.
+    pub state: TaskState,
+    /// Behavior payload; `None` only for exited tasks, which restore to a
+    /// no-op behavior.
+    pub behavior: Option<BehaviorSaved>,
+    /// Placement constraint.
+    pub affinity: Affinity,
+    /// Remaining work of the current compute step.
+    pub remaining: Work,
+    /// Profile of the current compute step.
+    pub profile: WorkProfile,
+    /// CPU whose runqueue holds the task (valid while runnable).
+    pub cpu: Option<CpuId>,
+    /// Last CPU the task ran on (wake-placement cache affinity).
+    pub last_cpu: Option<CpuId>,
+    /// CFS-style virtual runtime in nanoseconds.
+    pub vruntime: u64,
+    /// Total CPU time consumed.
+    pub cpu_time: SimDuration,
+    /// CPU time consumed on little cores.
+    pub little_time: SimDuration,
+    /// CPU time consumed on big cores.
+    pub big_time: SimDuration,
+}
+
+/// Serialized form of the whole scheduler, produced by
+/// [`Kernel::state_save`] and consumed by [`Kernel::state_restore`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KernelSaved {
+    /// Construction configuration.
+    pub cfg: KernelConfig,
+    /// Per-task control blocks in spawn order.
+    pub tasks: Vec<TaskSaved>,
+    /// Structure-of-arrays load averages, task-indexed.
+    pub loads: LoadSetSaved,
+    /// Sleep timer sequence numbers, task-indexed.
+    pub sleep_seq: Vec<u64>,
+    /// Pending-wake flags, task-indexed.
+    pub pending_wake_flag: Vec<bool>,
+    /// Per-CPU runqueues.
+    pub rqs: Vec<RunQueue>,
+    /// Per-CPU busy-time accounting.
+    pub acct: CpuAccounting,
+    /// Instant the kernel last advanced to.
+    pub last_advance: SimTime,
+    /// Wake timers not yet drained by the driver.
+    pub wake_requests: Vec<WakeRequest>,
+    /// Application signals not yet drained by the measurement layer.
+    pub signals: Vec<(SimTime, AppSignal)>,
+    /// Wakes queued during a step exchange, not yet delivered.
+    pub pending_wakes: Vec<TaskId>,
+    /// HMP up-migrations so far.
+    pub migrations_up: u64,
+    /// HMP down-migrations so far.
+    pub migrations_down: u64,
 }

@@ -32,7 +32,10 @@ pub mod runqueue;
 pub mod task;
 
 pub use hmp::HmpParams;
-pub use kernel::{Kernel, KernelConfig, TaskCensus};
-pub use load::{LoadSet, LoadTracker};
+pub use kernel::{Kernel, KernelConfig, KernelSaved, TaskCensus, TaskSaved};
+pub use load::{LoadSet, LoadSetSaved, LoadTracker};
 pub use policy::AsymPolicy;
-pub use task::{Affinity, AppSignal, BehaviorCtx, ForkCtx, Step, TaskBehavior, TaskId, TaskState};
+pub use task::{
+    Affinity, AppSignal, BehaviorCtx, BehaviorSaved, ForkCtx, RestoreCtx, SaveCtx, Step,
+    TaskBehavior, TaskId, TaskState,
+};

@@ -210,6 +210,46 @@ impl LoadSet {
     pub fn values(&self) -> &[f64] {
         &self.values
     }
+
+    /// Captures the set's persistent state: the per-task lanes plus the
+    /// shared half-life. Derived quantities (the precomputed decay rate
+    /// and the `exp` memo) are rebuilt on restore; the memo is
+    /// bit-transparent, so the restored set's future updates are
+    /// bit-identical to the original's.
+    pub fn state_save(&self) -> LoadSetSaved {
+        LoadSetSaved {
+            values: self.values.clone(),
+            last_update: self.last_update.clone(),
+            halflife_ms: self.halflife_ms,
+        }
+    }
+
+    /// Rebuilds a set from [`LoadSet::state_save`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the saved half-life is not positive or the lane vectors
+    /// disagree in length (possible only for hand-forged input — stored
+    /// snapshots are checksummed).
+    pub fn state_restore(saved: &LoadSetSaved) -> Self {
+        assert_eq!(
+            saved.values.len(),
+            saved.last_update.len(),
+            "load lanes must be parallel"
+        );
+        let mut set = LoadSet::new(saved.halflife_ms);
+        set.values = saved.values.clone();
+        set.last_update = saved.last_update.clone();
+        set
+    }
+}
+
+/// Serialized form of a [`LoadSet`], produced by [`LoadSet::state_save`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoadSetSaved {
+    values: Vec<f64>,
+    last_update: Vec<SimTime>,
+    halflife_ms: f64,
 }
 
 #[cfg(test)]
@@ -341,6 +381,35 @@ mod tests {
                     b.value(idx).to_bits(),
                     "lane {idx} diverged at step {step}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn state_save_restore_is_bit_transparent() {
+        let mut orig = LoadSet::new(32.0);
+        for i in 0..4 {
+            orig.push(SimTime::from_millis(i));
+        }
+        let mut now = SimTime::from_millis(3);
+        for step in 0..50u64 {
+            now += SimDuration::from_millis(1 + step % 3);
+            orig.update_batch_with(now, |idx| {
+                (idx as u64 != step % 4).then_some(((step + idx as u64) % 5) as f64 / 5.0)
+            });
+        }
+        let saved = orig.state_save();
+        let mut restored = LoadSet::state_restore(&saved);
+        assert_eq!(restored.values(), orig.values());
+        assert_eq!(restored.halflife_ms(), orig.halflife_ms());
+        // Future updates must match bit-for-bit despite the fresh memo.
+        for step in 0..50u64 {
+            now += SimDuration::from_millis(1 + step % 3);
+            let r_of = |idx: usize| (idx as u64 != step % 3).then_some((step % 7) as f64 / 7.0);
+            orig.update_batch_with(now, r_of);
+            restored.update_batch_with(now, r_of);
+            for idx in 0..orig.len() {
+                assert_eq!(orig.value(idx).to_bits(), restored.value(idx).to_bits());
             }
         }
     }

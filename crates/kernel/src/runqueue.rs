@@ -6,7 +6,7 @@ use crate::task::TaskId;
 /// the CPU executes; the rest wait. Dispatch picks the waiting task with
 /// the smallest virtual runtime (CFS fairness without the full rbtree
 /// machinery — queues here hold at most a handful of tasks).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RunQueue {
     current: Option<TaskId>,
     waiting: Vec<TaskId>,

@@ -6,7 +6,9 @@ use bl_simcore::time::{SimDuration, SimTime};
 use core::fmt;
 
 /// A task identifier, dense from 0 in spawn order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct TaskId(pub usize);
 
 impl fmt::Display for TaskId {
@@ -16,7 +18,7 @@ impl fmt::Display for TaskId {
 }
 
 /// Lifecycle state of a task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum TaskState {
     /// On a runqueue (possibly currently executing).
     Runnable,
@@ -67,7 +69,7 @@ pub enum Affinity {
 /// Application-level signals emitted by behaviors and collected by the
 /// measurement layer (frame completions for FPS, script completion for
 /// latency).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum AppSignal {
     /// A rendered frame was produced; `deadline_missed` reports whether it
     /// exceeded its vsync budget.
@@ -162,6 +164,84 @@ impl ForkCtx {
     }
 }
 
+/// Serialized form of one task behavior: a dispatch tag naming the
+/// concrete behavior type plus that type's own payload. The kernel treats
+/// both as opaque; the workload crate that defined the behavior interprets
+/// them when a persisted snapshot is hydrated.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BehaviorSaved {
+    /// Dispatch tag (e.g. `"frame_loop"`) understood by the restoring
+    /// workload crate.
+    pub kind: String,
+    /// Behavior-specific payload.
+    pub data: serde::Value,
+}
+
+/// Deduplication context for *saving* behaviors that share state through
+/// `Rc` handles — the persistence counterpart of [`ForkCtx`].
+///
+/// Each shared allocation (job queue, completion tracker, scene fence) is
+/// assigned a small dense id the first time it is seen; every holder
+/// records that id in its payload alongside a full copy of the shared
+/// state. On restore, [`RestoreCtx::dedup`] rebuilds the allocation once
+/// per id and hands every holder the same new handle, so sharing topology
+/// survives the round trip exactly as it does across a fork.
+#[derive(Debug, Default)]
+pub struct SaveCtx {
+    ids: std::collections::HashMap<usize, u64>,
+}
+
+impl SaveCtx {
+    /// Creates an empty context for one save operation.
+    pub fn new() -> Self {
+        SaveCtx::default()
+    }
+
+    /// Returns the stable share id for the shared allocation at `ptr`
+    /// (`Rc::as_ptr(...) as usize`), assigning the next dense id the first
+    /// time the pointer is seen.
+    pub fn share_id(&mut self, ptr: usize) -> u64 {
+        let next = self.ids.len() as u64;
+        *self.ids.entry(ptr).or_insert(next)
+    }
+}
+
+/// Deduplication context for *restoring* saved behaviors: the mirror of
+/// [`SaveCtx`], keyed by the share ids it assigned.
+#[derive(Debug, Default)]
+pub struct RestoreCtx {
+    built: std::collections::HashMap<u64, Box<dyn std::any::Any>>,
+}
+
+impl RestoreCtx {
+    /// Creates an empty context for one restore operation.
+    pub fn new() -> Self {
+        RestoreCtx::default()
+    }
+
+    /// Returns the restored instance for share id `id`, calling `make` to
+    /// build it the first time the id is seen. Later holders of the same
+    /// id receive clones of the first build, so their (identical) payload
+    /// copies are ignored and the sharing topology is reconstructed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two different types are registered under the same id —
+    /// only possible if save and restore code disagree about a behavior's
+    /// shared-state type.
+    pub fn dedup<T: Clone + 'static>(&mut self, id: u64, make: impl FnOnce() -> T) -> T {
+        if let Some(existing) = self.built.get(&id) {
+            return existing
+                .downcast_ref::<T>()
+                .expect("restore dedup id reused with a different type")
+                .clone();
+        }
+        let fresh = make();
+        self.built.insert(id, Box::new(fresh.clone()));
+        fresh
+    }
+}
+
 /// A task's behavior: a generator of [`Step`]s.
 ///
 /// `next_step` is called when the task is created, whenever its current
@@ -180,6 +260,19 @@ pub trait TaskBehavior {
     /// unsnapshottable; callers then fall back to a cold run. All
     /// behaviors shipped by the `workloads` crate implement this.
     fn fork_box(&self, ctx: &mut ForkCtx) -> Option<Box<dyn TaskBehavior>> {
+        let _ = ctx;
+        None
+    }
+
+    /// Captures this behavior's full state as a serializable
+    /// [`BehaviorSaved`] — the persistent counterpart of
+    /// [`TaskBehavior::fork_box`]. Shared handles record a [`SaveCtx`]
+    /// share id so the restorer can rebuild each shared allocation once.
+    ///
+    /// Returning `None` (the default) declares the behavior opaque to
+    /// persistence; the owning simulation then cannot be written to the
+    /// snapshot store and callers fall back to a cold run.
+    fn save_box(&self, ctx: &mut SaveCtx) -> Option<BehaviorSaved> {
         let _ = ctx;
         None
     }
@@ -298,5 +391,43 @@ mod tests {
     fn closures_are_not_forkable() {
         let b: Box<dyn TaskBehavior> = Box::new(|_: &mut BehaviorCtx<'_>| Step::Exit);
         assert!(b.fork_box(&mut ForkCtx::new()).is_none());
+        assert!(b.save_box(&mut SaveCtx::new()).is_none());
+    }
+
+    #[test]
+    fn save_ctx_assigns_dense_stable_ids() {
+        let mut ctx = SaveCtx::new();
+        let a = ctx.share_id(0xdead);
+        let b = ctx.share_id(0xbeef);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(ctx.share_id(0xdead), a, "ids must be stable per pointer");
+    }
+
+    #[test]
+    fn restore_ctx_dedups_by_id() {
+        let mut ctx = RestoreCtx::new();
+        let mut builds = 0;
+        let a: std::rc::Rc<u32> = ctx.dedup(0, || {
+            builds += 1;
+            std::rc::Rc::new(7)
+        });
+        let b: std::rc::Rc<u32> = ctx.dedup(0, || {
+            builds += 1;
+            std::rc::Rc::new(9)
+        });
+        assert_eq!(builds, 1, "second lookup must reuse the first build");
+        assert!(std::rc::Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn behavior_saved_round_trips() {
+        let saved = BehaviorSaved {
+            kind: "frame_loop".to_string(),
+            data: serde::Value::UInt(42),
+        };
+        let json = serde_json::to_string(&saved).unwrap();
+        let back: BehaviorSaved = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, saved);
     }
 }

@@ -1,0 +1,199 @@
+//! Kernel state save/restore round trip: a warmed scheduler serialized to
+//! JSON and rebuilt must be indistinguishable from the original — same
+//! reports, same census, and bit-identical future behavior.
+
+use bl_kernel::kernel::{Hw, Kernel, KernelConfig};
+use bl_kernel::task::{
+    Affinity, BehaviorCtx, BehaviorSaved, RestoreCtx, SaveCtx, Step, TaskBehavior,
+};
+use bl_platform::exynos::exynos5422;
+use bl_platform::perf::{Work, WorkProfile};
+use bl_platform::state::PlatformState;
+use bl_simcore::error::SimError;
+use bl_simcore::time::{SimDuration, SimTime};
+
+/// A savable compute/sleep ping behavior with internal state (the round
+/// counter) that must survive the round trip.
+#[derive(Clone)]
+struct Ping {
+    rounds: u32,
+}
+
+impl TaskBehavior for Ping {
+    fn next_step(&mut self, _ctx: &mut BehaviorCtx<'_>) -> Step {
+        if self.rounds == 0 {
+            return Step::Exit;
+        }
+        self.rounds -= 1;
+        if self.rounds.is_multiple_of(2) {
+            Step::Compute {
+                work: Work::from_instructions(2e6),
+                profile: WorkProfile::default(),
+            }
+        } else {
+            Step::Sleep(SimDuration::from_millis(3))
+        }
+    }
+
+    fn save_box(&self, _ctx: &mut SaveCtx) -> Option<BehaviorSaved> {
+        Some(BehaviorSaved {
+            kind: "ping".to_string(),
+            data: serde::Value::UInt(self.rounds as u64),
+        })
+    }
+}
+
+fn restore_ping(
+    saved: &BehaviorSaved,
+    _ctx: &mut RestoreCtx,
+) -> Result<Box<dyn TaskBehavior>, SimError> {
+    match (saved.kind.as_str(), &saved.data) {
+        ("ping", serde::Value::UInt(rounds)) => Ok(Box::new(Ping {
+            rounds: *rounds as u32,
+        })),
+        _ => Err(SimError::SnapshotUnsupported {
+            detail: format!("unknown behavior kind {:?}", saved.kind),
+        }),
+    }
+}
+
+/// Drives both kernels through identical advance/tick/timer sequences and
+/// asserts their observable state stays bit-identical.
+fn drive_lockstep(a: &mut Kernel, b: &mut Kernel, hw: &Hw<'_>, from: SimTime) {
+    let mut now = from;
+    for step in 0..60u64 {
+        now += SimDuration::from_millis(1);
+        a.advance_to(hw, now);
+        b.advance_to(hw, now);
+        if step % 4 == 3 {
+            a.tick(hw, now);
+            b.tick(hw, now);
+        }
+        a.handle_completions(hw, now);
+        b.handle_completions(hw, now);
+        let wa = a.drain_wake_requests();
+        let wb = b.drain_wake_requests();
+        assert_eq!(wa, wb, "wake requests diverged at {now}");
+        for w in wa {
+            if w.at <= now + SimDuration::from_millis(1) {
+                a.timer_wake(w.tid, w.seq, hw, w.at.max(now));
+                b.timer_wake(w.tid, w.seq, hw, w.at.max(now));
+            }
+        }
+        assert_eq!(a.census(), b.census(), "census diverged at {now}");
+        for (la, lb) in a.task_loads().iter().zip(b.task_loads()) {
+            assert_eq!(la.to_bits(), lb.to_bits(), "loads diverged at {now}");
+        }
+    }
+}
+
+#[test]
+fn save_restore_round_trip_is_bit_identical() {
+    let platform = exynos5422();
+    let mut state = PlatformState::new(&platform.topology);
+    state.set_all_max(&platform.topology);
+    let hw = Hw {
+        platform: &platform,
+        state: &state,
+    };
+
+    let mut kernel = Kernel::new(
+        platform.topology.n_cpus(),
+        KernelConfig::default(),
+        SimTime::ZERO,
+    );
+    for i in 0..5 {
+        kernel.spawn(
+            format!("ping{i}"),
+            Affinity::Any,
+            Box::new(Ping { rounds: 40 + i }),
+            &hw,
+            SimTime::ZERO,
+        );
+    }
+    // Warm the scheduler: advance, tick, deliver some timers.
+    let mut now = SimTime::ZERO;
+    for _ in 0..20 {
+        now += SimDuration::from_millis(2);
+        kernel.advance_to(&hw, now);
+        kernel.tick(&hw, now);
+        kernel.handle_completions(&hw, now);
+        for w in kernel.drain_wake_requests() {
+            if w.at <= now {
+                kernel.timer_wake(w.tid, w.seq, &hw, now);
+            }
+        }
+    }
+
+    let saved = kernel.state_save(&mut SaveCtx::new()).unwrap();
+    let json = serde_json::to_string(&saved).unwrap();
+    let back = serde_json::from_str(&json).unwrap();
+    assert_eq!(saved, back, "JSON round trip must be lossless");
+
+    let mut restored = Kernel::state_restore(&back, &mut RestoreCtx::new(), restore_ping).unwrap();
+    assert_eq!(restored.census(), kernel.census());
+    assert_eq!(restored.task_report(), kernel.task_report());
+    assert_eq!(restored.migration_counts(), kernel.migration_counts());
+
+    drive_lockstep(&mut kernel, &mut restored, &hw, now);
+}
+
+#[test]
+fn opaque_behavior_blocks_save_with_typed_error() {
+    let platform = exynos5422();
+    let mut state = PlatformState::new(&platform.topology);
+    state.set_all_max(&platform.topology);
+    let hw = Hw {
+        platform: &platform,
+        state: &state,
+    };
+    let mut kernel = Kernel::new(
+        platform.topology.n_cpus(),
+        KernelConfig::default(),
+        SimTime::ZERO,
+    );
+    kernel.spawn(
+        "closure",
+        Affinity::Any,
+        Box::new(|_: &mut BehaviorCtx<'_>| Step::Block),
+        &hw,
+        SimTime::ZERO,
+    );
+    match kernel.state_save(&mut SaveCtx::new()) {
+        Err(SimError::SnapshotUnsupported { detail }) => {
+            assert!(detail.contains("closure"), "detail = {detail}");
+        }
+        other => panic!("expected SnapshotUnsupported, got {other:?}"),
+    }
+}
+
+#[test]
+fn exited_tasks_save_without_behavior() {
+    let platform = exynos5422();
+    let mut state = PlatformState::new(&platform.topology);
+    state.set_all_max(&platform.topology);
+    let hw = Hw {
+        platform: &platform,
+        state: &state,
+    };
+    let mut kernel = Kernel::new(
+        platform.topology.n_cpus(),
+        KernelConfig::default(),
+        SimTime::ZERO,
+    );
+    // An already-exhausted ping exits on its first step exchange.
+    kernel.spawn(
+        "done",
+        Affinity::Any,
+        Box::new(Ping { rounds: 0 }),
+        &hw,
+        SimTime::ZERO,
+    );
+    let saved = kernel.state_save(&mut SaveCtx::new()).unwrap();
+    assert!(saved.tasks[0].behavior.is_none());
+    let restored = Kernel::state_restore(&saved, &mut RestoreCtx::new(), |b, _| {
+        panic!("restorer must not be called for exited tasks: {b:?}")
+    })
+    .unwrap();
+    assert!(restored.all_exited());
+}

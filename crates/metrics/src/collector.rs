@@ -15,6 +15,7 @@ use bl_platform::ids::{ClusterId, CoreKind};
 use bl_platform::state::PlatformState;
 use bl_platform::topology::Topology;
 use bl_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
 /// Default sampling period used by the paper.
 pub const SAMPLE_PERIOD: SimDuration = SimDuration::from_millis(10);
@@ -185,6 +186,55 @@ impl MetricsCollector {
     pub fn action_times(&self) -> &[SimTime] {
         &self.action_times
     }
+
+    /// Serializes the collector's dynamic state. The topology is static
+    /// per run and is rebuilt from the platform on restore.
+    pub fn state_save(&self) -> MetricsSaved {
+        MetricsSaved {
+            busy_window: self.busy_window.clone(),
+            matrix: self.matrix.clone(),
+            residency: self.residency.clone(),
+            efficiency: self.efficiency.clone(),
+            frames: self.frames.clone(),
+            script_done_at: self.script_done_at,
+            action_times: self.action_times.clone(),
+            start: self.start,
+            last_sample: self.last_sample,
+        }
+    }
+
+    /// Rebuilds a collector from [`MetricsSaved`] against `topo` — the same
+    /// topology the saved collector ran on.
+    pub fn state_restore(topo: &Topology, saved: &MetricsSaved) -> MetricsCollector {
+        MetricsCollector {
+            topo: topo.clone(),
+            busy_window: saved.busy_window.clone(),
+            matrix: saved.matrix.clone(),
+            residency: saved.residency.clone(),
+            efficiency: saved.efficiency.clone(),
+            frames: saved.frames.clone(),
+            script_done_at: saved.script_done_at,
+            action_times: saved.action_times.clone(),
+            start: saved.start,
+            last_sample: saved.last_sample,
+            cluster_active: vec![false; topo.n_clusters()],
+        }
+    }
+}
+
+/// Serialized dynamic state of a [`MetricsCollector`] (everything except
+/// the static topology and the allocation-free sampling scratch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSaved {
+    busy_window: BusyWindow,
+    matrix: CoreTypeMatrix,
+    residency: FreqResidency,
+    efficiency: EfficiencyBreakdown,
+    frames: FrameRecorder,
+    script_done_at: Option<SimTime>,
+    action_times: Vec<SimTime>,
+    start: SimTime,
+    last_sample: SimTime,
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ pub struct FpsStats {
 }
 
 /// Collects frame completion times and produces [`FpsStats`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FrameRecorder {
     completions: TimeSeries,
 }

@@ -27,7 +27,7 @@ pub mod residency;
 pub mod tlp;
 pub mod trace;
 
-pub use collector::MetricsCollector;
+pub use collector::{MetricsCollector, MetricsSaved};
 pub use efficiency::{EfficiencyBreakdown, UtilClass};
 pub use frames::FpsStats;
 pub use tlp::{CoreTypeMatrix, TlpStats};

@@ -11,7 +11,7 @@ use bl_simcore::stats::WeightedHistogram;
 use bl_simcore::time::SimDuration;
 
 /// Per-cluster active-time-at-OPP accumulator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FreqResidency {
     /// One weighted histogram per cluster, bucket per OPP index.
     per_cluster: Vec<WeightedHistogram>,

@@ -16,7 +16,7 @@ use bl_simcore::error::SimError;
 /// request — from governors or fixed-frequency experiments alike — is
 /// clamped to the highest OPP at or below the cap, exactly as the Linux
 /// thermal framework constrains cpufreq policies.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct PlatformState {
     online: Vec<bool>,
     cluster_freq_khz: Vec<u32>,

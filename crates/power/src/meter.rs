@@ -19,7 +19,7 @@ use bl_simcore::time::SimTime;
 /// assert!((m.average_mw(SimTime::from_secs(2)) - 1500.0).abs() < 1e-9);
 /// assert!((m.energy_mj(SimTime::from_secs(2)) - 3000.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PowerMeter {
     acc: TimeWeightedMean,
 }

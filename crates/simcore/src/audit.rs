@@ -27,7 +27,7 @@ use crate::time::SimTime;
 pub const DEFAULT_AUDIT_CADENCE: u64 = 256;
 
 /// Stateful checker for the simulator's conservation laws.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct InvariantGuard {
     cadence: u64,
     events_since_check: u64,

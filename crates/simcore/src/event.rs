@@ -208,6 +208,39 @@ impl<E> EventQueue<E> {
         self.next_seq
     }
 
+    /// Every pending entry as `(time, seq, &event)` in firing order — the
+    /// serialization view of the queue. Entries are sorted by `(time, seq)`
+    /// so the on-disk representation is independent of the arena's slab
+    /// layout and free-list history, which differ between a live queue and
+    /// one rebuilt from parts even when their pop behavior is identical.
+    pub fn sorted_entries(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut out: Vec<(SimTime, u64, &E)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.event.as_ref().map(|e| (s.time, s.seq, e)))
+            .collect();
+        out.sort_by_key(|&(t, seq, _)| (t, seq));
+        out
+    }
+
+    /// Rebuilds a queue from pending entries and the sequence counter, the
+    /// inverse of [`EventQueue::sorted_entries`]. The restored queue pops
+    /// in the identical order and hands out the identical future sequence
+    /// numbers as the queue the entries came from: ordering is carried
+    /// entirely by each entry's `(time, seq)` pair, so the internal bucket
+    /// geometry is free to differ.
+    pub fn from_parts(entries: Vec<(SimTime, u64, E)>, next_seq: u64) -> Self {
+        let mut q = EventQueue::new();
+        q.next_seq = next_seq;
+        // Start the scan floor at the earliest pending time (the tightest
+        // valid lower bound); `insert` only ever lowers it further.
+        q.floor = entries.iter().map(|e| e.0).min().unwrap_or(SimTime::ZERO);
+        for (time, seq, event) in entries {
+            q.insert(QueueEntry { time, seq, event });
+        }
+        q
+    }
+
     /// Removes all pending events.
     pub fn clear(&mut self) {
         self.slots.clear();
@@ -490,6 +523,48 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime::from_millis(1), 'a')));
         assert_eq!(q.pop(), Some((SimTime::from_millis(1), 'b')));
         assert_eq!(q.pop(), Some((SimTime::from_millis(2), 'c')));
+    }
+
+    #[test]
+    fn from_parts_round_trips_pop_order_and_seq_state() {
+        let mut q = EventQueue::new();
+        for i in 0..60u64 {
+            q.schedule(SimTime::from_nanos(i * 7919 % 50_000_000), i);
+        }
+        q.pop();
+        q.pop();
+        let entries: Vec<(SimTime, u64, u64)> = q
+            .sorted_entries()
+            .into_iter()
+            .map(|(t, s, e)| (t, s, *e))
+            .collect();
+        // The view is sorted by (time, seq).
+        for w in entries.windows(2) {
+            assert!((w[0].0, w[0].1) <= (w[1].0, w[1].1));
+        }
+        let mut rebuilt = EventQueue::from_parts(entries, q.seq_state());
+        assert_eq!(rebuilt.len(), q.len());
+        assert_eq!(rebuilt.seq_state(), q.seq_state());
+        // Identical pop order and identical future scheduling behavior.
+        loop {
+            let (a, b) = (q.pop_entry(), rebuilt.pop_entry());
+            match (a, b) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!(
+                        (x.time(), x.seq(), *x.event()),
+                        (y.time(), y.seq(), *y.event())
+                    );
+                }
+                _ => panic!("length mismatch"),
+            }
+        }
+        q.schedule(SimTime::from_millis(1), 999);
+        rebuilt.schedule(SimTime::from_millis(1), 999);
+        assert_eq!(
+            q.peek().map(|(t, s, _)| (t, s)),
+            rebuilt.peek().map(|(t, s, _)| (t, s))
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod kernels;
 pub mod pool;
 pub mod rng;
 pub mod shard;
+pub mod snapstore;
 pub mod stats;
 pub mod time;
 
@@ -46,4 +47,5 @@ pub use event::EventQueue;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use journal::Journal;
 pub use rng::{derive_seed, SimRng};
+pub use snapstore::{SnapEntry, SnapStore};
 pub use time::{SimDuration, SimTime};

@@ -117,7 +117,7 @@ impl Histogram {
 /// h.record(2, 6.0);
 /// assert_eq!(h.share(2), 0.75);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct WeightedHistogram {
     weights: Vec<f64>,
 }

@@ -16,7 +16,7 @@ use crate::time::{SimDuration, SimTime};
 /// assert_eq!(s.len(), 2);
 /// assert_eq!(s.mean(), Some(15.0));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TimeSeries {
     times: Vec<SimTime>,
     values: Vec<f64>,

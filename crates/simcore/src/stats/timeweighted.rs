@@ -17,7 +17,7 @@ use crate::time::SimTime;
 /// m.update(SimTime::from_millis(30), 0.0);   // 100.0 held for 20 ms
 /// assert!((m.mean_at(SimTime::from_millis(40)) - 50.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TimeWeightedMean {
     last_time: SimTime,
     last_value: f64,

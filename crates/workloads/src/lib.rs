@@ -26,9 +26,11 @@ pub mod replay;
 pub mod spec;
 pub mod threads;
 
+use bl_kernel::task::{BehaviorSaved, RestoreCtx, TaskBehavior};
 use bl_platform::ids::CoreKind;
 use bl_platform::perf::{Work, WorkProfile};
 use bl_platform::topology::Platform;
+use bl_simcore::error::SimError;
 use bl_simcore::time::SimDuration;
 
 /// Converts "milliseconds on a little core at its maximum 1.3 GHz" into an
@@ -53,6 +55,35 @@ pub fn work_ms(platform: &Platform, profile: &WorkProfile, ms: f64) -> Work {
         little.core.opps.max_khz() as f64 / 1e6,
         SimDuration::from_secs_f64(ms / 1e3),
     )
+}
+
+/// Rebuilds a task behavior from its [`BehaviorSaved`] payload, as produced
+/// by `TaskBehavior::save_box` on any behavior defined in this crate.
+///
+/// Shared handles (completion trackers, job queues, scene syncs) are
+/// re-linked through `ctx`, reproducing the exact sharing topology of the
+/// saved kernel.
+///
+/// # Errors
+///
+/// Returns [`SimError::SnapshotUnsupported`] for unknown behavior kinds or
+/// malformed payloads.
+pub fn restore_behavior(
+    saved: &BehaviorSaved,
+    ctx: &mut RestoreCtx,
+) -> Result<Box<dyn TaskBehavior>, SimError> {
+    match saved.kind.as_str() {
+        "pool_worker" => threads::restore_pool_worker(&saved.data, ctx),
+        "continuous" => threads::restore_continuous(&saved.data, ctx),
+        "frame_loop" => threads::restore_frame_loop(&saved.data, ctx),
+        "periodic" => threads::restore_periodic(&saved.data, ctx),
+        "ui_script" => threads::restore_ui_script(&saved.data, ctx),
+        "microbench" => microbench::restore_microbench(&saved.data, ctx),
+        "trace_replay" => replay::restore_trace_replay(&saved.data, ctx),
+        other => Err(SimError::SnapshotUnsupported {
+            detail: format!("unknown behavior kind {other:?}"),
+        }),
+    }
 }
 
 /// How an application's performance is scored (paper Table II).

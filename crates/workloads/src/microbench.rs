@@ -5,14 +5,18 @@
 //! fixed duty cycle on a pinned core at a pinned frequency: compute for
 //! `duty × period` of wall time, sleep for the rest, repeat.
 
-use bl_kernel::task::{BehaviorCtx, ForkCtx, Step, TaskBehavior};
+use bl_kernel::task::{
+    BehaviorCtx, BehaviorSaved, ForkCtx, RestoreCtx, SaveCtx, Step, TaskBehavior,
+};
 use bl_platform::cache::CacheModel;
 use bl_platform::ids::CoreKind;
 use bl_platform::perf::{PerfModel, Work, WorkProfile};
+use bl_simcore::error::SimError;
 use bl_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
 
 /// Duty-cycle spin/sleep benchmark.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MicroBench {
     work_per_period: Work,
     sleep_per_period: SimDuration,
@@ -79,6 +83,22 @@ impl TaskBehavior for MicroBench {
     fn fork_box(&self, _ctx: &mut ForkCtx) -> Option<Box<dyn TaskBehavior>> {
         Some(Box::new(self.clone()))
     }
+
+    fn save_box(&self, _ctx: &mut SaveCtx) -> Option<BehaviorSaved> {
+        Some(BehaviorSaved {
+            kind: "microbench".to_string(),
+            data: self.ser_value(),
+        })
+    }
+}
+
+pub(crate) fn restore_microbench(
+    data: &serde::Value,
+    _ctx: &mut RestoreCtx,
+) -> Result<Box<dyn TaskBehavior>, SimError> {
+    let b =
+        MicroBench::deser_value(data).map_err(|e| crate::threads::bad_payload("microbench", e))?;
+    Ok(Box::new(b))
 }
 
 #[cfg(test)]

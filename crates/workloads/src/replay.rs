@@ -13,12 +13,15 @@
 //! frequency the scheduler actually chooses — exactly the counterfactual a
 //! replay exists to explore.
 
-use crate::threads::CompletionTracker;
+use crate::threads::{CompletionTracker, TrackerSaved};
 use crate::work_ms;
 use bl_kernel::kernel::{Hw, Kernel};
-use bl_kernel::task::{Affinity, BehaviorCtx, ForkCtx, Step, TaskBehavior};
+use bl_kernel::task::{
+    Affinity, BehaviorCtx, BehaviorSaved, ForkCtx, RestoreCtx, SaveCtx, Step, TaskBehavior,
+};
 use bl_platform::perf::{Work, WorkProfile};
 use bl_platform::topology::Platform;
+use bl_simcore::error::SimError;
 use bl_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -232,6 +235,43 @@ impl TaskBehavior for TraceReplayThread {
             waiting_for: self.waiting_for,
         }))
     }
+
+    fn save_box(&self, ctx: &mut SaveCtx) -> Option<BehaviorSaved> {
+        let saved = ReplaySaved {
+            segments: self.segments.as_slice().to_vec(),
+            profile: self.profile,
+            tracker: self.tracker.save_with(ctx),
+            waiting_for: self.waiting_for,
+        };
+        Some(BehaviorSaved {
+            kind: "trace_replay".to_string(),
+            data: saved.ser_value(),
+        })
+    }
+}
+
+/// Serialized form of a [`TraceReplayThread`]: the *unconsumed* tail of
+/// the segment iterator, so replay resumes exactly where the save left it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ReplaySaved {
+    segments: Vec<(SimTime, Work)>,
+    profile: WorkProfile,
+    tracker: TrackerSaved,
+    waiting_for: Option<Work>,
+}
+
+pub(crate) fn restore_trace_replay(
+    data: &serde::Value,
+    ctx: &mut RestoreCtx,
+) -> Result<Box<dyn TaskBehavior>, SimError> {
+    let s = ReplaySaved::deser_value(data)
+        .map_err(|e| crate::threads::bad_payload("trace_replay", e))?;
+    Ok(Box::new(TraceReplayThread {
+        segments: s.segments.into_iter(),
+        profile: s.profile,
+        tracker: CompletionTracker::restore_from(&s.tracker, ctx),
+        waiting_for: s.waiting_for,
+    }))
 }
 
 #[cfg(test)]

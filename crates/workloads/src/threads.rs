@@ -13,23 +13,42 @@
 //! * [`CompletionTracker`] — counts finished pipeline pieces and fires the
 //!   `ScriptDone` signal that defines an app's latency.
 
-use bl_kernel::task::{AppSignal, BehaviorCtx, ForkCtx, Step, TaskBehavior, TaskId};
+use bl_kernel::task::{
+    AppSignal, BehaviorCtx, BehaviorSaved, ForkCtx, RestoreCtx, SaveCtx, Step, TaskBehavior, TaskId,
+};
 use bl_platform::perf::{Work, WorkProfile};
-use bl_simcore::rng::SimRng;
+use bl_simcore::error::SimError;
+use bl_simcore::rng::{RngState, SimRng};
 use bl_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
+
+/// Maps a behavior-payload decode failure onto the typed snapshot error.
+pub(crate) fn bad_payload(kind: &str, e: serde::Error) -> SimError {
+    SimError::SnapshotUnsupported {
+        detail: format!("malformed {kind} behavior payload: {e}"),
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Completion tracking
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct TrackerInner {
     done: usize,
     target: usize,
     fired: bool,
+}
+
+/// Serialized form of a [`CompletionTracker`] handle: the counter state
+/// plus the [`SaveCtx`] share id that reunites all holders on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackerSaved {
+    share: u64,
+    inner: TrackerInner,
 }
 
 /// Shared counter of completed pipeline pieces; fires
@@ -79,6 +98,23 @@ impl CompletionTracker {
             CompletionTracker(Rc::new(RefCell::new(self.0.borrow().clone())))
         })
     }
+
+    /// Serializes the tracker through `ctx`, recording its share id so all
+    /// holders of this handle reunite on restore (the persistent-snapshot
+    /// analog of [`CompletionTracker::fork_with`]).
+    pub fn save_with(&self, ctx: &mut SaveCtx) -> TrackerSaved {
+        TrackerSaved {
+            share: ctx.share_id(Rc::as_ptr(&self.0) as usize),
+            inner: self.0.borrow().clone(),
+        }
+    }
+
+    /// Rebuilds a tracker from its saved form, deduplicated through `ctx`.
+    pub fn restore_from(saved: &TrackerSaved, ctx: &mut RestoreCtx) -> CompletionTracker {
+        ctx.dedup(saved.share, || {
+            CompletionTracker(Rc::new(RefCell::new(saved.inner.clone())))
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -86,7 +122,7 @@ impl CompletionTracker {
 // ---------------------------------------------------------------------------
 
 /// One unit of fan-out work.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Job {
     /// Work amount.
     pub work: Work,
@@ -150,6 +186,33 @@ impl JobQueue {
             JobQueue(Rc::new(RefCell::new(self.0.borrow().clone())))
         })
     }
+
+    pub(crate) fn save_with(&self, ctx: &mut SaveCtx) -> QueueSaved {
+        let inner = self.0.borrow();
+        QueueSaved {
+            share: ctx.share_id(Rc::as_ptr(&self.0) as usize),
+            jobs: inner.jobs.iter().copied().collect(),
+            workers: inner.workers.clone(),
+        }
+    }
+
+    pub(crate) fn restore_from(saved: &QueueSaved, ctx: &mut RestoreCtx) -> JobQueue {
+        ctx.dedup(saved.share, || {
+            JobQueue(Rc::new(RefCell::new(QueueInner {
+                jobs: saved.jobs.iter().copied().collect(),
+                workers: saved.workers.clone(),
+            })))
+        })
+    }
+}
+
+/// Serialized form of a [`JobQueue`] handle (jobs flattened from the
+/// in-memory `VecDeque`, FIFO order preserved).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct QueueSaved {
+    share: u64,
+    jobs: Vec<Job>,
+    workers: Vec<TaskId>,
 }
 
 /// A worker that drains a [`JobQueue`], blocking when it is empty.
@@ -199,6 +262,40 @@ impl TaskBehavior for PoolWorker {
             pending_complete: self.pending_complete,
         }))
     }
+
+    fn save_box(&self, ctx: &mut SaveCtx) -> Option<BehaviorSaved> {
+        let saved = PoolWorkerSaved {
+            queue: self.queue.save_with(ctx),
+            tracker: self.tracker.as_ref().map(|t| t.save_with(ctx)),
+            pending_complete: self.pending_complete,
+        };
+        Some(BehaviorSaved {
+            kind: "pool_worker".to_string(),
+            data: saved.ser_value(),
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PoolWorkerSaved {
+    queue: QueueSaved,
+    tracker: Option<TrackerSaved>,
+    pending_complete: bool,
+}
+
+pub(crate) fn restore_pool_worker(
+    data: &serde::Value,
+    ctx: &mut RestoreCtx,
+) -> Result<Box<dyn TaskBehavior>, SimError> {
+    let s = PoolWorkerSaved::deser_value(data).map_err(|e| bad_payload("pool_worker", e))?;
+    Ok(Box::new(PoolWorker {
+        queue: JobQueue::restore_from(&s.queue, ctx),
+        tracker: s
+            .tracker
+            .as_ref()
+            .map(|t| CompletionTracker::restore_from(t, ctx)),
+        pending_complete: s.pending_complete,
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -298,6 +395,58 @@ impl TaskBehavior for ContinuousTask {
             just_computed: self.just_computed,
         }))
     }
+
+    fn save_box(&self, ctx: &mut SaveCtx) -> Option<BehaviorSaved> {
+        let saved = ContinuousSaved {
+            rng: self.rng.state_save(),
+            remaining: self.remaining,
+            chunk: self.chunk,
+            profile: self.profile,
+            io_sleep: self.io_sleep,
+            io_prob: self.io_prob,
+            signal_done: self.signal_done,
+            tracker: self.tracker.as_ref().map(|t| t.save_with(ctx)),
+            just_computed: self.just_computed,
+        };
+        Some(BehaviorSaved {
+            kind: "continuous".to_string(),
+            data: saved.ser_value(),
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ContinuousSaved {
+    rng: RngState,
+    remaining: Work,
+    chunk: Work,
+    profile: WorkProfile,
+    io_sleep: SimDuration,
+    io_prob: f64,
+    signal_done: bool,
+    tracker: Option<TrackerSaved>,
+    just_computed: bool,
+}
+
+pub(crate) fn restore_continuous(
+    data: &serde::Value,
+    ctx: &mut RestoreCtx,
+) -> Result<Box<dyn TaskBehavior>, SimError> {
+    let s = ContinuousSaved::deser_value(data).map_err(|e| bad_payload("continuous", e))?;
+    Ok(Box::new(ContinuousTask {
+        rng: SimRng::state_restore(&s.rng),
+        remaining: s.remaining,
+        chunk: s.chunk,
+        profile: s.profile,
+        io_sleep: s.io_sleep,
+        io_prob: s.io_prob,
+        signal_done: s.signal_done,
+        tracker: s
+            .tracker
+            .as_ref()
+            .map(|t| CompletionTracker::restore_from(t, ctx)),
+        just_computed: s.just_computed,
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -338,13 +487,33 @@ impl SceneSync {
             SceneSync(Rc::new(std::cell::Cell::new(self.0.get())))
         })
     }
+
+    pub(crate) fn save_with(&self, ctx: &mut SaveCtx) -> SceneSaved {
+        SceneSaved {
+            share: ctx.share_id(Rc::as_ptr(&self.0) as usize),
+            paused_until: self.0.get(),
+        }
+    }
+
+    pub(crate) fn restore_from(saved: &SceneSaved, ctx: &mut RestoreCtx) -> SceneSync {
+        ctx.dedup(saved.share, || {
+            SceneSync(Rc::new(std::cell::Cell::new(saved.paused_until)))
+        })
+    }
+}
+
+/// Serialized form of a [`SceneSync`] fence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct SceneSaved {
+    share: u64,
+    paused_until: SimTime,
 }
 
 // ---------------------------------------------------------------------------
 // Frame loop
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum FrameState {
     Idle,
     Computed { frame_start: SimTime },
@@ -480,6 +649,61 @@ impl TaskBehavior for FrameLoop {
             state: self.state,
         }))
     }
+
+    fn save_box(&self, ctx: &mut SaveCtx) -> Option<BehaviorSaved> {
+        let saved = FrameLoopSaved {
+            rng: self.rng.state_save(),
+            vsync: self.vsync,
+            work_median: self.work_median,
+            sigma: self.sigma,
+            profile: self.profile,
+            emit_frames: self.emit_frames,
+            stall_prob: self.stall_prob,
+            stall: self.stall,
+            scene: self.scene.as_ref().map(|s| s.save_with(ctx)),
+            next_vsync: self.next_vsync,
+            state: self.state,
+        };
+        Some(BehaviorSaved {
+            kind: "frame_loop".to_string(),
+            data: saved.ser_value(),
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FrameLoopSaved {
+    rng: RngState,
+    vsync: SimDuration,
+    work_median: Work,
+    sigma: f64,
+    profile: WorkProfile,
+    emit_frames: bool,
+    stall_prob: f64,
+    stall: SimDuration,
+    scene: Option<SceneSaved>,
+    next_vsync: Option<SimTime>,
+    state: FrameState,
+}
+
+pub(crate) fn restore_frame_loop(
+    data: &serde::Value,
+    ctx: &mut RestoreCtx,
+) -> Result<Box<dyn TaskBehavior>, SimError> {
+    let s = FrameLoopSaved::deser_value(data).map_err(|e| bad_payload("frame_loop", e))?;
+    Ok(Box::new(FrameLoop {
+        rng: SimRng::state_restore(&s.rng),
+        vsync: s.vsync,
+        work_median: s.work_median,
+        sigma: s.sigma,
+        profile: s.profile,
+        emit_frames: s.emit_frames,
+        stall_prob: s.stall_prob,
+        stall: s.stall,
+        scene: s.scene.as_ref().map(|sc| SceneSync::restore_from(sc, ctx)),
+        next_vsync: s.next_vsync,
+        state: s.state,
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -577,6 +801,52 @@ impl TaskBehavior for PeriodicTask {
             computing: self.computing,
         }))
     }
+
+    fn save_box(&self, ctx: &mut SaveCtx) -> Option<BehaviorSaved> {
+        let saved = PeriodicSaved {
+            rng: self.rng.state_save(),
+            period: self.period,
+            jitter_frac: self.jitter_frac,
+            work_median: self.work_median,
+            sigma: self.sigma,
+            profile: self.profile,
+            scene: self.scene.as_ref().map(|s| s.save_with(ctx)),
+            computing: self.computing,
+        };
+        Some(BehaviorSaved {
+            kind: "periodic".to_string(),
+            data: saved.ser_value(),
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PeriodicSaved {
+    rng: RngState,
+    period: SimDuration,
+    jitter_frac: f64,
+    work_median: Work,
+    sigma: f64,
+    profile: WorkProfile,
+    scene: Option<SceneSaved>,
+    computing: bool,
+}
+
+pub(crate) fn restore_periodic(
+    data: &serde::Value,
+    ctx: &mut RestoreCtx,
+) -> Result<Box<dyn TaskBehavior>, SimError> {
+    let s = PeriodicSaved::deser_value(data).map_err(|e| bad_payload("periodic", e))?;
+    Ok(Box::new(PeriodicTask {
+        rng: SimRng::state_restore(&s.rng),
+        period: s.period,
+        jitter_frac: s.jitter_frac,
+        work_median: s.work_median,
+        sigma: s.sigma,
+        profile: s.profile,
+        scene: s.scene.as_ref().map(|sc| SceneSync::restore_from(sc, ctx)),
+        computing: s.computing,
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -584,7 +854,7 @@ impl TaskBehavior for PeriodicTask {
 // ---------------------------------------------------------------------------
 
 /// One user action in a latency script.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScriptAction {
     /// User think time before the action.
     pub think: SimDuration,
@@ -596,7 +866,7 @@ pub struct ScriptAction {
     pub jobs: Vec<Job>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum UiState {
     NextAction,
     WokeForBurst,
@@ -698,6 +968,43 @@ impl TaskBehavior for UiScriptThread {
             state: self.state,
         }))
     }
+
+    fn save_box(&self, ctx: &mut SaveCtx) -> Option<BehaviorSaved> {
+        let saved = UiScriptSaved {
+            actions: self.actions.iter().cloned().collect(),
+            current: self.current.clone(),
+            queue: self.queue.as_ref().map(|q| q.save_with(ctx)),
+            tracker: self.tracker.save_with(ctx),
+            state: self.state,
+        };
+        Some(BehaviorSaved {
+            kind: "ui_script".to_string(),
+            data: saved.ser_value(),
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct UiScriptSaved {
+    actions: Vec<ScriptAction>,
+    current: Option<ScriptAction>,
+    queue: Option<QueueSaved>,
+    tracker: TrackerSaved,
+    state: UiState,
+}
+
+pub(crate) fn restore_ui_script(
+    data: &serde::Value,
+    ctx: &mut RestoreCtx,
+) -> Result<Box<dyn TaskBehavior>, SimError> {
+    let s = UiScriptSaved::deser_value(data).map_err(|e| bad_payload("ui_script", e))?;
+    Ok(Box::new(UiScriptThread {
+        actions: s.actions.into(),
+        current: s.current,
+        queue: s.queue.as_ref().map(|q| JobQueue::restore_from(q, ctx)),
+        tracker: CompletionTracker::restore_from(&s.tracker, ctx),
+        state: s.state,
+    }))
 }
 
 #[cfg(test)]
