@@ -26,7 +26,18 @@
 //! repro --demo-sweep f.json # deterministic journaled batch (kill/resume demo)
 //! repro --smoke-supervision f.json # chaos batch: quarantine + self-heal smoke
 //! repro --smoke-shard f.json # chaos fleet: kill a worker mid-batch, verify merge
+//! repro --smoke-serve f.json # chaos service: kill the daemon mid-batch, flood it,
+//!                            # starve it — assert degraded-not-dead + bit-identity
 //! repro --list              # experiment ids
+//! ```
+//!
+//! Service mode (see `DESIGN.md` §3.7):
+//!
+//! ```sh
+//! repro serve --socket s.sock   # crash-only daemon serving scenario batches
+//! repro submit --socket s.sock --demo out.json # submit a batch, stream results
+//! repro submit --socket s.sock --status        # one-line daemon status
+//! repro submit --socket s.sock --drain         # graceful drain
 //! ```
 //!
 //! `repro --worker ...` is the internal worker mode sharded sweeps spawn;
@@ -51,6 +62,14 @@ fn main() {
     // flags are a separate, stricter grammar.
     if args.first().is_some_and(|a| a == "--worker") {
         std::process::exit(sweep::shard::worker_main(&args));
+    }
+    // Service mode: `repro serve` runs the crash-only daemon, `repro
+    // submit` the reconnecting client. Both are their own flag grammars.
+    if args.first().is_some_and(|a| a == "serve") {
+        std::process::exit(serve_cli(&args[1..]));
+    }
+    if args.first().is_some_and(|a| a == "submit") {
+        std::process::exit(submit_cli(&args[1..]));
     }
     // Teach the sharding layer how to spawn workers: re-exec ourselves.
     sweep::shard::set_worker_launcher(|spec| {
@@ -87,6 +106,7 @@ fn main() {
     let mut demo_sweep: Option<String> = None;
     let mut smoke_supervision: Option<String> = None;
     let mut smoke_shard: Option<String> = None;
+    let mut smoke_serve: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -165,6 +185,7 @@ fn main() {
             "--demo-sweep" => demo_sweep = it.next().cloned(),
             "--smoke-supervision" => smoke_supervision = it.next().cloned(),
             "--smoke-shard" => smoke_shard = it.next().cloned(),
+            "--smoke-serve" => smoke_serve = it.next().cloned(),
             "--list" => {
                 for e in EXPERIMENTS {
                     println!("{e}");
@@ -182,7 +203,9 @@ fn main() {
                      \x20            [--bench-sweep <file>] [--bench-hotloop <file>]\n\
                      \x20            [--bench-snapshot <file>] [--bench-kernels <file>]\n\
                      \x20            [--demo-sweep <file>] [--smoke-supervision <file>]\n\
-                     \x20            [--smoke-shard <file>] [--list]\n\
+                     \x20            [--smoke-shard <file>] [--smoke-serve <file>] [--list]\n\
+                     \x20     repro serve --socket <path> [--serve-dir <dir>] ...\n\
+                     \x20     repro submit --socket <path> (--demo <out>|--status|--drain) ...\n\
                      ids: {}",
                     EXPERIMENTS.join(", ")
                 );
@@ -269,6 +292,10 @@ fn main() {
     }
     if let Some(path) = smoke_shard {
         run_smoke_shard(&path, seed, jobs);
+        return;
+    }
+    if let Some(path) = smoke_serve {
+        run_smoke_serve(&path, seed, jobs);
         return;
     }
 
@@ -1302,19 +1329,25 @@ fn run_demo_sweep(path: &str, seed: u64, opts: &SweepOptions) {
             Err(e) => Value::Object(vec![("error".into(), Value::String(e.to_string()))]),
         })
         .collect();
+    let body = demo_report_body(seed, out.degraded, out.quarantined.len() as u64, results);
+    std::fs::write(path, body).expect("write demo-sweep file");
+    eprintln!("wrote {path}");
+}
+
+/// Renders the demo-sweep report from already-serialized per-scenario
+/// results. Shared by the in-process path ([`run_demo_sweep`]) and the
+/// served path (`repro submit --demo`), so "submit to the daemon" and
+/// "run one-shot" write byte-identical files — the serve layer's
+/// bit-identity gate compares exactly these bytes.
+fn demo_report_body(seed: u64, degraded: bool, quarantined: u64, results: Vec<Value>) -> String {
     let report = Value::Object(vec![
         ("suite".into(), Value::String("demo-sweep".into())),
         ("seed".into(), Value::UInt(seed)),
-        ("degraded".into(), Value::Bool(out.degraded)),
-        (
-            "quarantined".into(),
-            Value::UInt(out.quarantined.len() as u64),
-        ),
+        ("degraded".into(), Value::Bool(degraded)),
+        ("quarantined".into(), Value::UInt(quarantined)),
         ("results".into(), Value::Array(results)),
     ]);
-    let body = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(path, body + "\n").expect("write demo-sweep file");
-    eprintln!("wrote {path}");
+    serde_json::to_string_pretty(&report).expect("report serializes") + "\n"
 }
 
 /// Chaos smoke for the sweep supervisor: a batch holding a healthy
@@ -1541,6 +1574,708 @@ fn run_smoke_shard(path: &str, seed: u64, jobs: usize) {
     eprintln!("wrote {path}");
     if !failures.is_empty() {
         eprintln!("smoke-shard: {} expectation(s) failed", failures.len());
+        std::process::exit(1);
+    }
+}
+
+/// `repro serve`: parse the daemon's flag grammar and run it until
+/// drained. See `DESIGN.md` §3.7 for the protocol and lifecycle rules.
+fn serve_cli(args: &[String]) -> i32 {
+    use bl_served::{serve, ServeConfig};
+
+    let mut cfg = ServeConfig::default();
+    let mut snap = true;
+    let mut socket_set = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                cfg.socket = it.next().expect("--socket takes a path").into();
+                socket_set = true;
+            }
+            "--serve-dir" => cfg.serve_dir = it.next().expect("--serve-dir takes a path").into(),
+            "--jobs" => {
+                cfg.jobs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs takes an integer (0 = all cores)")
+            }
+            "--max-queued" => {
+                cfg.limits.max_queued = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-queued takes an integer")
+            }
+            "--max-pending" => {
+                cfg.limits.max_pending_scenarios = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-pending takes an integer (scenario count)")
+            }
+            "--max-active" => {
+                cfg.limits.max_active = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-active takes an integer")
+            }
+            "--heartbeat-ms" => {
+                cfg.heartbeat = Duration::from_millis(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--heartbeat-ms takes an integer (milliseconds)"),
+                )
+            }
+            "--wedge-timeout-ms" => {
+                cfg.wedge_timeout = Duration::from_millis(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--wedge-timeout-ms takes an integer (milliseconds)"),
+                )
+            }
+            "--stall-timeout-ms" => {
+                cfg.stall_timeout = Duration::from_millis(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--stall-timeout-ms takes an integer (milliseconds)"),
+                )
+            }
+            "--default-deadline-ms" => {
+                cfg.default_deadline = Duration::from_millis(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--default-deadline-ms takes an integer (milliseconds)"),
+                )
+            }
+            "--no-snap-store" => snap = false,
+            "--snap-store-dir" => {
+                cfg.snap_dir = Some(it.next().expect("--snap-store-dir takes a path").into())
+            }
+            other => {
+                eprintln!("serve: unknown flag {other:?}");
+                return 2;
+            }
+        }
+    }
+    if !socket_set {
+        eprintln!("serve: --socket <path> is required");
+        return 2;
+    }
+    if !snap {
+        cfg.snap_dir = None;
+    }
+    match serve(cfg) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            1
+        }
+    }
+}
+
+/// `repro submit`: the reconnecting client. `--demo <out>` submits the
+/// deterministic demo batch and writes the same report `--demo-sweep`
+/// writes (byte-identical by construction); `--batch <in> <out>` submits
+/// scenarios read from a JSON file; `--status`/`--ping`/`--drain` are
+/// one-line control operations.
+fn submit_cli(args: &[String]) -> i32 {
+    use bl_served::{control, submit, SubmitConfig};
+
+    let mut cfg = SubmitConfig::default();
+    let mut seed = SEED;
+    let mut demo_out: Option<String> = None;
+    let mut batch_io: Option<(String, String)> = None;
+    let mut op: Option<&str> = None;
+    let mut socket_set = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                cfg.socket = it.next().expect("--socket takes a path").into();
+                socket_set = true;
+            }
+            "--client" => cfg.client = it.next().expect("--client takes a name").clone(),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes an integer")
+            }
+            "--reconnects" => {
+                cfg.reconnects = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--reconnects takes an integer")
+            }
+            "--backoff-ms" => {
+                cfg.backoff = Duration::from_millis(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--backoff-ms takes an integer (milliseconds)"),
+                )
+            }
+            "--retries" => {
+                cfg.options.retries = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--retries takes an integer")
+            }
+            "--deadline-ms" => {
+                cfg.options.deadline_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--deadline-ms takes an integer (milliseconds)"),
+                )
+            }
+            "--max-events" => {
+                cfg.options.max_events = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--max-events takes an integer"),
+                )
+            }
+            "--audit" => cfg.options.audit = true,
+            "--quiet" => cfg.quiet = true,
+            "--demo" => demo_out = it.next().cloned(),
+            "--batch" => {
+                let input = it
+                    .next()
+                    .expect("--batch takes <in.json> <out.json>")
+                    .clone();
+                let output = it
+                    .next()
+                    .expect("--batch takes <in.json> <out.json>")
+                    .clone();
+                batch_io = Some((input, output));
+            }
+            "--status" => op = Some("status"),
+            "--ping" => op = Some("ping"),
+            "--drain" => op = Some("drain"),
+            other => {
+                eprintln!("submit: unknown flag {other:?}");
+                return 2;
+            }
+        }
+    }
+    if !socket_set {
+        eprintln!("submit: --socket <path> is required");
+        return 2;
+    }
+    if let Some(op) = op {
+        return match control(&cfg.socket, op) {
+            Ok(line) => {
+                println!("{line}");
+                0
+            }
+            Err(e) => {
+                eprintln!("submit: {op} failed: {e}");
+                1
+            }
+        };
+    }
+    let (scenarios, out_path, is_demo) = if let Some(out) = demo_out {
+        let values: Vec<Value> = demo_batch(seed)
+            .iter()
+            .map(|sc| serde_json::to_value(sc).expect("scenario serializes"))
+            .collect();
+        (values, out, true)
+    } else if let Some((input, output)) = batch_io {
+        let text = std::fs::read_to_string(&input).expect("read --batch input file");
+        let v: Value = serde_json::from_str(&text).expect("--batch input is JSON");
+        let arr = match v.get("scenarios") {
+            Some(s) => s.as_array().expect("\"scenarios\" is an array").to_vec(),
+            None => v
+                .as_array()
+                .expect("--batch input is a scenario array")
+                .to_vec(),
+        };
+        (arr, output, false)
+    } else {
+        eprintln!("submit: one of --demo <out>, --batch <in> <out>, --status, --ping, --drain");
+        return 2;
+    };
+
+    match submit(&cfg, &scenarios) {
+        Ok(report) => {
+            // The hydrated/published counts ride in the streamed per-batch
+            // stats; surface them like the one-shot CLI does — stderr only,
+            // so the report file stays byte-stable.
+            let stat = |k: &str| report.stats.get(k).and_then(Value::as_u64).unwrap_or(0);
+            eprintln!(
+                "submit: run {} done — {} scenarios, {} resumed, {} hydrated, {} published, \
+                 {} reconnect(s), {} heartbeat(s), {} checkpoint(s), {} rejection(s)",
+                report.run,
+                stat("scenarios"),
+                stat("resumed"),
+                stat("hydrated"),
+                stat("published"),
+                report.reconnects,
+                report.heartbeats,
+                report.checkpoints,
+                report.rejections,
+            );
+            let results: Vec<Value> = report
+                .results
+                .iter()
+                .map(|r| match r {
+                    Ok(v) => v.clone(),
+                    Err(e) => Value::Object(vec![("error".into(), Value::String(e.clone()))]),
+                })
+                .collect();
+            let body = if is_demo {
+                demo_report_body(seed, report.degraded, report.quarantined, results)
+            } else {
+                let full = Value::Object(vec![
+                    ("suite".into(), Value::String("submit".into())),
+                    ("run".into(), Value::String(report.run.clone())),
+                    ("degraded".into(), Value::Bool(report.degraded)),
+                    ("quarantined".into(), Value::UInt(report.quarantined)),
+                    ("stats".into(), report.stats.clone()),
+                    ("results".into(), Value::Array(results)),
+                ]);
+                serde_json::to_string_pretty(&full).expect("report serializes") + "\n"
+            };
+            std::fs::write(&out_path, body).expect("write submit report");
+            eprintln!("wrote {out_path}");
+            0
+        }
+        Err(e) => {
+            eprintln!("submit: {e}");
+            1
+        }
+    }
+}
+
+/// A tiny deterministic batch, distinct per `salt` — flood and
+/// fair-share phases of the serve smoke need many *different* batch keys
+/// (identical batches would dedup-attach instead of queueing).
+fn serve_smoke_batch(seed: u64, salt: u64, sim_ms: u64) -> Vec<Value> {
+    use biglittle::{Scenario, SystemConfig};
+    use bl_platform::ids::CpuId;
+    use bl_simcore::time::SimDuration;
+
+    (0..2u64)
+        .map(|i| {
+            let sc = Scenario::microbench(
+                format!("serve-smoke-{salt}-{i}"),
+                CpuId((i % 4) as usize),
+                0.2 + 0.1 * i as f64,
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(sim_ms),
+                SystemConfig::baseline().with_seed(seed ^ (salt << 8) ^ i),
+            );
+            serde_json::to_value(&sc).expect("scenario serializes")
+        })
+        .collect()
+}
+
+/// Chaos smoke for the serve layer: proves the daemon degrades instead
+/// of dying under every abuse the protocol can see — malformed and
+/// oversized requests, slow-trickle senders, admission floods, wedged
+/// runs — and that a SIGKILL mid-batch plus restart plus client
+/// reconnect still converges on results byte-identical to a one-shot
+/// sweep. Exits 0 when every expectation holds, 1 otherwise.
+fn run_smoke_serve(path: &str, seed: u64, jobs: usize) {
+    use bl_served::{control, proto, submit, SubmitConfig, SubmitOptions};
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |ok: bool, what: &str| {
+        if ok {
+            eprintln!("ok: {what}");
+        } else {
+            eprintln!("FAILED: {what}");
+            failures.push(what.to_string());
+        }
+    };
+
+    let dir = std::env::temp_dir().join(format!("bl-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create smoke dir");
+    let socket = dir.join("serve.sock");
+    let serve_dir = dir.join("state");
+    let snap_dir = dir.join("snapshots");
+
+    // In-process references: what a one-shot sweep of each demo batch
+    // produces. Every served run below must match these bytes.
+    let reference = |seed: u64| -> String {
+        let scenarios = demo_batch(seed);
+        let out = sweep::run_with(&scenarios, &SweepOptions::with_jobs(1));
+        let results: Vec<Value> = out
+            .results
+            .iter()
+            .map(|r| match r {
+                Ok(res) => serde_json::to_value(res).expect("result serializes"),
+                Err(e) => Value::Object(vec![("error".into(), Value::String(e.to_string()))]),
+            })
+            .collect();
+        demo_report_body(seed, out.degraded, out.quarantined.len() as u64, results)
+    };
+    let reference_a = reference(seed);
+    let reference_b = reference(seed + 1);
+
+    let spawn_daemon = |wedge: bool, state: &Path| -> std::process::Child {
+        let exe = std::env::current_exe().expect("current_exe for daemon spawn");
+        let mut cmd = std::process::Command::new(exe);
+        cmd.args([
+            "serve",
+            "--socket",
+            socket.to_str().expect("socket path is UTF-8"),
+            "--serve-dir",
+            state.to_str().expect("serve dir is UTF-8"),
+            "--snap-store-dir",
+            snap_dir.to_str().expect("snap dir is UTF-8"),
+            "--jobs",
+            &jobs.to_string(),
+            "--max-queued",
+            "2",
+            "--max-active",
+            "1",
+            "--heartbeat-ms",
+            "100",
+            "--stall-timeout-ms",
+            "600",
+            "--wedge-timeout-ms",
+            "800",
+        ]);
+        if wedge {
+            cmd.env(bl_served::WEDGE_ENV, "1");
+        }
+        cmd.spawn().expect("spawn serve daemon")
+    };
+    let wait_for_socket = || -> bool {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while Instant::now() < deadline {
+            if UnixStream::connect(&socket).is_ok() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        false
+    };
+    // Reads one event line off a raw connection, bounded by `within`.
+    let read_line = |stream: &mut UnixStream, within: Duration| -> Option<String> {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let deadline = Instant::now() + within;
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(nl) = buf.iter().position(|b| *b == b'\n') {
+                let line: Vec<u8> = buf.drain(..=nl).collect();
+                return Some(String::from_utf8_lossy(&line[..line.len() - 1]).to_string());
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => return None,
+            }
+        }
+    };
+    let submit_cfg = |client: &str| SubmitConfig {
+        socket: socket.clone(),
+        client: client.to_string(),
+        reconnects: 40,
+        backoff: Duration::from_millis(100),
+        backoff_cap: Duration::from_secs(1),
+        quiet_timeout: Duration::from_secs(30),
+        options: SubmitOptions::default(),
+        quiet: true,
+    };
+    let demo_values = |seed: u64| -> Vec<Value> {
+        demo_batch(seed)
+            .iter()
+            .map(|sc| serde_json::to_value(sc).expect("scenario serializes"))
+            .collect()
+    };
+    let report_bytes = |seed: u64, report: &bl_served::SubmitReport| -> String {
+        let results: Vec<Value> = report
+            .results
+            .iter()
+            .map(|r| match r {
+                Ok(v) => v.clone(),
+                Err(e) => Value::Object(vec![("error".into(), Value::String(e.clone()))]),
+            })
+            .collect();
+        demo_report_body(seed, report.degraded, report.quarantined, results)
+    };
+
+    // ---- phase 1: healthy daemon -----------------------------------------
+    let mut daemon = spawn_daemon(false, &serve_dir);
+    check(wait_for_socket(), "daemon came up and accepts connections");
+
+    // Submit-vs-oneshot byte identity on a live daemon.
+    match submit(&submit_cfg("smoke"), &demo_values(seed)) {
+        Ok(report) => {
+            check(
+                report_bytes(seed, &report) == reference_a,
+                "served demo batch is byte-identical to the one-shot sweep",
+            );
+        }
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            check(
+                false,
+                "served demo batch is byte-identical to the one-shot sweep",
+            );
+        }
+    }
+
+    // Malformed requests get typed rejections and the connection stays
+    // usable (the ping on the same socket must still answer).
+    if let Ok(mut conn) = UnixStream::connect(&socket) {
+        for (line, want) in [
+            ("this is not json", "malformed"),
+            ("{\"op\":\"submit\",\"scenarios\":[]}", "empty-batch"),
+            ("{\"op\":\"launch-missiles\"}", "malformed"),
+        ] {
+            let _ = conn.write_all(format!("{line}\n").as_bytes());
+            let answer = read_line(&mut conn, Duration::from_secs(5)).unwrap_or_default();
+            check(
+                answer.contains("\"rejected\"") && answer.contains(want),
+                &format!("malformed request {line:?} draws a typed {want} rejection"),
+            );
+        }
+        let _ = conn.write_all(b"{\"op\":\"ping\"}\n");
+        let answer = read_line(&mut conn, Duration::from_secs(5)).unwrap_or_default();
+        check(
+            answer.contains("\"pong\""),
+            "connection survives malformed requests (ping still answers)",
+        );
+    } else {
+        check(
+            false,
+            "connection survives malformed requests (ping still answers)",
+        );
+    }
+
+    // Oversized request: typed too-large rejection, connection usable.
+    if let Ok(mut conn) = UnixStream::connect(&socket) {
+        let huge = vec![b'x'; 2 * proto::MAX_LINE_BYTES];
+        let mut sent = conn.write_all(&huge).is_ok();
+        sent &= conn.write_all(b"\n").is_ok();
+        check(sent, "oversized request could be sent in full");
+        let answer = read_line(&mut conn, Duration::from_secs(10)).unwrap_or_default();
+        check(
+            answer.contains("too-large"),
+            "oversized request draws a typed too-large rejection",
+        );
+        let _ = conn.write_all(b"{\"op\":\"ping\"}\n");
+        let answer = read_line(&mut conn, Duration::from_secs(5)).unwrap_or_default();
+        check(
+            answer.contains("\"pong\""),
+            "connection survives an oversized request (ping still answers)",
+        );
+    } else {
+        check(false, "oversized request draws a typed too-large rejection");
+    }
+
+    // Slow trickle: a partial line going nowhere gets the *connection*
+    // dropped, not the daemon.
+    if let Ok(mut conn) = UnixStream::connect(&socket) {
+        let _ = conn.write_all(b"{\"op\":");
+        std::thread::sleep(Duration::from_millis(1_500));
+        check(
+            read_line(&mut conn, Duration::from_secs(2)).is_none(),
+            "slow-trickle connection is dropped after the stall timeout",
+        );
+    }
+    check(
+        control(&socket, "ping").is_ok(),
+        "daemon survives the slow-trickle client",
+    );
+
+    // Fair-share: two clients with distinct batches both complete.
+    let (cfg_a, cfg_b) = (submit_cfg("alice"), submit_cfg("bob"));
+    let (batch_a, batch_b) = (
+        serve_smoke_batch(seed, 1, 500),
+        serve_smoke_batch(seed, 2, 500),
+    );
+    let ta = std::thread::spawn(move || submit(&cfg_a, &batch_a));
+    let tb = std::thread::spawn(move || submit(&cfg_b, &batch_b));
+    let (ra, rb) = (ta.join().expect("join alice"), tb.join().expect("join bob"));
+    check(
+        ra.is_ok() && rb.is_ok(),
+        "two competing clients both complete their batches",
+    );
+
+    // ---- phase 2: SIGKILL mid-batch, restart, reconnect ------------------
+    let chaos_cfg = submit_cfg("chaos");
+    let chaos_values = demo_values(seed + 1);
+    let chaos_client = std::thread::spawn(move || submit(&chaos_cfg, &chaos_values));
+    // Kill once the run is observably mid-flight (its sweep journal has
+    // at least one completed scenario), mirroring the shard chaos test.
+    let journal_dir = serve_dir.join("journal");
+    let poll_deadline = Instant::now() + Duration::from_secs(120);
+    let mut saw_progress = false;
+    while Instant::now() < poll_deadline {
+        let done_records: usize = std::fs::read_dir(&journal_dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "jsonl"))
+                    .map(|e| {
+                        std::fs::read_to_string(e.path())
+                            .map(|t| t.lines().filter(|l| l.contains("\"done\"")).count())
+                            .unwrap_or(0)
+                    })
+                    .sum()
+            })
+            .unwrap_or(0);
+        if done_records >= 1 {
+            saw_progress = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    check(
+        saw_progress,
+        "chaos run made journaled progress before the kill",
+    );
+    daemon.kill().expect("SIGKILL the daemon");
+    let _ = daemon.wait();
+    std::thread::sleep(Duration::from_millis(300));
+    let mut daemon = spawn_daemon(false, &serve_dir);
+    check(
+        wait_for_socket(),
+        "restarted daemon came up on the same socket",
+    );
+    match chaos_client.join().expect("join chaos client") {
+        Ok(report) => {
+            check(
+                report_bytes(seed + 1, &report) == reference_b,
+                "post-SIGKILL reconnect converges on byte-identical results",
+            );
+            check(
+                report.reconnects >= 1,
+                "the chaos client really did reconnect",
+            );
+        }
+        Err(e) => {
+            eprintln!("chaos submit failed: {e}");
+            check(
+                false,
+                "post-SIGKILL reconnect converges on byte-identical results",
+            );
+        }
+    }
+
+    // Graceful drain: the daemon acknowledges, finishes, and exits 0.
+    match control(&socket, "drain") {
+        Ok(line) => check(line.contains("draining"), "drain is acknowledged"),
+        Err(e) => {
+            eprintln!("drain failed: {e}");
+            check(false, "drain is acknowledged");
+        }
+    }
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    let mut drain_code: Option<i32> = None;
+    while Instant::now() < drain_deadline {
+        if let Some(status) = daemon.try_wait().expect("poll draining daemon") {
+            drain_code = status.code();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Reap unconditionally: a no-op after a clean drain (the status is
+    // cached), and the kill switch if the drain never completed.
+    let _ = daemon.kill();
+    let _ = daemon.wait();
+    check(drain_code == Some(0), "drained daemon exits 0");
+
+    // ---- phase 3: flood a wedged daemon ----------------------------------
+    // Every executor wedges, so admission capacity (1 active + 2 queued)
+    // fills deterministically: of 6 distinct batches, exactly 3 admit and
+    // 3 draw typed backpressure rejections. The wedge timeout then
+    // quarantines the stuck runs one by one.
+    let wedge_state = dir.join("wedge-state");
+    let mut wedged_daemon = spawn_daemon(true, &wedge_state);
+    check(wait_for_socket(), "wedge-mode daemon came up");
+    let mut flood_conns: Vec<UnixStream> = Vec::new();
+    let mut admitted = 0;
+    let mut rejected = 0;
+    for salt in 0..6u64 {
+        let batch = serve_smoke_batch(seed, 100 + salt, 200);
+        let line = proto::submit_line("flood", &batch, &SubmitOptions::default());
+        let mut conn = UnixStream::connect(&socket).expect("flood connection");
+        conn.write_all(format!("{line}\n").as_bytes())
+            .expect("send flood submit");
+        flood_conns.push(conn);
+    }
+    let mut admitted_conn: Option<usize> = None;
+    for (i, conn) in flood_conns.iter_mut().enumerate() {
+        let answer = read_line(conn, Duration::from_secs(10)).unwrap_or_default();
+        if answer.contains("\"admitted\"") {
+            admitted += 1;
+            admitted_conn.get_or_insert(i);
+        } else if answer.contains("queue-full") || answer.contains("overloaded") {
+            rejected += 1;
+        }
+    }
+    check(
+        admitted == 3,
+        &format!("flood: exactly capacity admits (3), got {admitted}"),
+    );
+    check(
+        rejected == 3,
+        &format!("flood: the overflow draws typed rejections (3), got {rejected}"),
+    );
+    match control(&socket, "status") {
+        Ok(line) => check(
+            line.contains("\"queued\""),
+            "daemon answers status mid-flood",
+        ),
+        Err(e) => {
+            eprintln!("status failed: {e}");
+            check(false, "daemon answers status mid-flood");
+        }
+    }
+    // The first admitted run heartbeats while wedged, then the server
+    // cancels and quarantines it.
+    if let Some(i) = admitted_conn {
+        let conn = &mut flood_conns[i];
+        let mut heartbeats = 0;
+        let mut quarantined = false;
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while Instant::now() < deadline {
+            let Some(line) = read_line(conn, Duration::from_secs(5)) else {
+                break;
+            };
+            if line.contains("\"heartbeat\"") {
+                heartbeats += 1;
+            }
+            if line.contains("\"quarantined\"") {
+                quarantined = true;
+                break;
+            }
+        }
+        check(heartbeats >= 1, "wedged run heartbeats while stuck");
+        check(quarantined, "wedged run is cancelled and quarantined");
+    } else {
+        check(false, "wedged run heartbeats while stuck");
+        check(false, "wedged run is cancelled and quarantined");
+    }
+    let _ = wedged_daemon.kill();
+    let _ = wedged_daemon.wait();
+
+    let report = Value::Object(vec![
+        ("suite".into(), Value::String("smoke-serve".into())),
+        ("seed".into(), Value::UInt(seed)),
+        ("flood_admitted".into(), Value::UInt(admitted)),
+        ("flood_rejected".into(), Value::UInt(rejected)),
+        ("checks_failed".into(), Value::UInt(failures.len() as u64)),
+    ]);
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, body + "\n").expect("write smoke-serve file");
+    eprintln!("wrote {path}");
+    let _ = std::fs::remove_dir_all(&dir);
+    if !failures.is_empty() {
+        eprintln!("smoke-serve: {} expectation(s) failed", failures.len());
         std::process::exit(1);
     }
 }

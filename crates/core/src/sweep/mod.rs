@@ -639,6 +639,31 @@ pub fn run(scenarios: Vec<Scenario>, jobs: usize) -> Vec<Result<RunResult, SimEr
 /// returns results plus execution statistics. The statistics are also
 /// merged into the global tally read by [`take_stats`].
 pub fn run_with(scenarios: &[Scenario], opts: &SweepOptions) -> SweepOutcome {
+    run_with_cancel(scenarios, opts, None)
+}
+
+/// [`run_with`] with a cooperative cancellation token: when `cancel`
+/// trips, in-flight scenarios abandon their event loops (surfacing as
+/// budget errors) and not-yet-started scenarios are skipped — without
+/// journaling the interruptions as scenario failures, so a later
+/// [`SweepOptions::resume`] of the same batch replays only genuinely
+/// completed work. This is the hook a long-lived server uses to
+/// quarantine a wedged run without restarting the process. Cancellation
+/// applies to the in-process engine; sharded sweeps (`workers > 1`)
+/// already carry their own lease-expiry reclamation and ignore the token.
+pub fn run_cancelable(
+    scenarios: &[Scenario],
+    opts: &SweepOptions,
+    cancel: &CancelToken,
+) -> SweepOutcome {
+    run_with_cancel(scenarios, opts, Some(cancel))
+}
+
+fn run_with_cancel(
+    scenarios: &[Scenario],
+    opts: &SweepOptions,
+    cancel: Option<&CancelToken>,
+) -> SweepOutcome {
     // The supervisor runs the *effective* scenarios: the batch-level audit
     // override is folded into each scenario's config up front, so cache
     // keys, journal keys and execution all agree on what actually runs.
@@ -672,7 +697,7 @@ pub fn run_with(scenarios: &[Scenario], opts: &SweepOptions) -> SweepOutcome {
         opts,
         journal: journal.as_ref(),
         resumed: &resumed_map,
-        cancel: None,
+        cancel,
         store: store.as_ref(),
         snap: &snap_tally,
     };
@@ -1505,6 +1530,21 @@ pub fn batch_key(keys: &[String]) -> String {
         data.push(b'\n');
     }
     format!("{:016x}", fnv1a(&data))
+}
+
+/// The batch key [`run_with`] will derive for `scenarios` under `opts` —
+/// and therefore the name of the batch's journal file
+/// (`<journal_dir>/<key>.jsonl`). Long-lived front ends (the serve
+/// daemon) use this to identify a submission *before* running it: the
+/// same scenarios under the same options always map to the same key, so
+/// a resubmitted batch is recognized, its journal adopted, and its
+/// progress observable from outside the engine.
+pub fn batch_key_for(scenarios: &[Scenario], opts: &SweepOptions) -> String {
+    let keys: Vec<String> = scenarios
+        .iter()
+        .map(|sc| cache_key_with(&effective_scenario(sc, opts), opts))
+        .collect();
+    batch_key(&keys)
 }
 
 // ---- journal ---------------------------------------------------------------

@@ -1,0 +1,302 @@
+//! The submit client: connects to a serve daemon, submits a scenario
+//! batch, and collects the streamed results — with retry, exponential
+//! backoff and reconnect-and-resume. A disconnect (daemon SIGKILLed,
+//! socket dropped, retryable rejection) is answered by resubmitting the
+//! identical batch: the server dedups by batch key and the engine's
+//! journal replays completed scenarios, so the eventual results are
+//! byte-identical to an uninterrupted one-shot sweep.
+
+use crate::proto::{self, Event, SubmitOptions};
+use serde_json::Value;
+use std::io::{self, Read as _, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// How the client connects and retries.
+#[derive(Debug, Clone)]
+pub struct SubmitConfig {
+    /// The daemon's socket path.
+    pub socket: PathBuf,
+    /// Client identity for fair-share accounting.
+    pub client: String,
+    /// Reconnect attempts after a retryable failure before giving up.
+    pub reconnects: u32,
+    /// First backoff delay; doubles per consecutive failure, capped at
+    /// [`SubmitConfig::backoff_cap`].
+    pub backoff: Duration,
+    /// Upper bound on one backoff sleep.
+    pub backoff_cap: Duration,
+    /// How long a connection may go without any event (heartbeats count)
+    /// before it is treated as dead and retried.
+    pub quiet_timeout: Duration,
+    /// Per-run execution options forwarded to the server.
+    pub options: SubmitOptions,
+    /// Suppress progress chatter on stderr.
+    pub quiet: bool,
+}
+
+impl Default for SubmitConfig {
+    fn default() -> Self {
+        SubmitConfig {
+            socket: PathBuf::from("results/.serve/serve.sock"),
+            client: "anon".to_string(),
+            reconnects: 8,
+            backoff: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(3),
+            quiet_timeout: Duration::from_secs(30),
+            options: SubmitOptions::default(),
+            quiet: false,
+        }
+    }
+}
+
+/// What one submission ultimately produced.
+#[derive(Debug)]
+pub struct SubmitReport {
+    /// The run id (batch key) the server assigned.
+    pub run: String,
+    /// Per-scenario outcomes in submission order: `Ok(result JSON)` or
+    /// `Err(error rendering)`.
+    pub results: Vec<Result<Value, String>>,
+    /// Whether the sweep needed retries or quarantined scenarios.
+    pub degraded: bool,
+    /// Scenarios quarantined inside the batch.
+    pub quarantined: u64,
+    /// The server's stats object for the run.
+    pub stats: Value,
+    /// Reconnect cycles spent (0 = clean first attempt).
+    pub reconnects: u32,
+    /// Heartbeat events observed.
+    pub heartbeats: u64,
+    /// Checkpoint events observed.
+    pub checkpoints: u64,
+    /// Retryable rejections absorbed (`queue-full`, `overloaded`,
+    /// `draining`).
+    pub rejections: u64,
+}
+
+/// One attempt's terminal condition.
+enum Attempt {
+    /// The run finished; report is complete.
+    Complete(Box<SubmitReport>),
+    /// Connection-level failure or retryable rejection — back off and
+    /// resubmit. The payload says why, for logging.
+    Retry(String),
+    /// Typed, non-retryable server answer (malformed-class rejection or
+    /// run quarantine) — retrying the same bytes cannot succeed.
+    Fatal(String),
+}
+
+/// Submits `scenarios` (pre-serialized JSON values, so the bytes the
+/// server receives are exactly the bytes the caller rendered) and blocks
+/// until the run completes, retrying across disconnects and daemon
+/// restarts.
+pub fn submit(cfg: &SubmitConfig, scenarios: &[Value]) -> Result<SubmitReport, String> {
+    let line = proto::submit_line(&cfg.client, scenarios, &cfg.options);
+    let mut delay = cfg.backoff;
+    let mut reconnects = 0u32;
+    let mut rejections = 0u64;
+    loop {
+        match attempt(cfg, &line, scenarios.len()) {
+            Ok(Attempt::Complete(mut report)) => {
+                report.reconnects = reconnects;
+                report.rejections += rejections;
+                return Ok(*report);
+            }
+            Ok(Attempt::Fatal(why)) => return Err(why),
+            Ok(Attempt::Retry(why)) => {
+                if why.starts_with("rejected") {
+                    rejections += 1;
+                }
+                if reconnects >= cfg.reconnects {
+                    return Err(format!("giving up after {reconnects} reconnect(s): {why}"));
+                }
+                reconnects += 1;
+                if !cfg.quiet {
+                    eprintln!(
+                        "submit: {why}; retrying in {delay:?} ({reconnects}/{})",
+                        cfg.reconnects
+                    );
+                }
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(cfg.backoff_cap);
+            }
+            Err(e) => {
+                // Connect-level I/O error (daemon down / socket missing).
+                if reconnects >= cfg.reconnects {
+                    return Err(format!("giving up after {reconnects} reconnect(s): {e}"));
+                }
+                reconnects += 1;
+                if !cfg.quiet {
+                    eprintln!(
+                        "submit: connect failed ({e}); retrying in {delay:?} ({reconnects}/{})",
+                        cfg.reconnects
+                    );
+                }
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(cfg.backoff_cap);
+            }
+        }
+    }
+}
+
+/// One connect-submit-stream cycle.
+fn attempt(cfg: &SubmitConfig, submit_line: &str, total: usize) -> io::Result<Attempt> {
+    let mut stream = UnixStream::connect(&cfg.socket)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.write_all(submit_line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+
+    let mut results: Vec<Option<Result<Value, String>>> = vec![None; total];
+    let mut heartbeats = 0u64;
+    let mut checkpoints = 0u64;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let mut last_event = Instant::now();
+    loop {
+        while let Some(nl) = buf.iter().position(|b| *b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=nl).collect();
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            last_event = Instant::now();
+            match proto::parse_event(text) {
+                Ok(Event::Admitted { run, position }) => {
+                    if !cfg.quiet {
+                        eprintln!("submit: admitted as run {run} (queue position {position})");
+                    }
+                }
+                Ok(Event::Rejected { reason, detail }) => {
+                    return Ok(if reason.is_retryable() {
+                        Attempt::Retry(format!("rejected: {} ({detail})", reason.as_str()))
+                    } else {
+                        Attempt::Fatal(format!(
+                            "server rejected the batch: {} ({detail})",
+                            reason.as_str()
+                        ))
+                    });
+                }
+                Ok(Event::Heartbeat {
+                    done,
+                    total,
+                    events_per_sec,
+                    ..
+                }) => {
+                    heartbeats += 1;
+                    if !cfg.quiet {
+                        eprintln!(
+                            "submit: heartbeat {done}/{total} ({events_per_sec:.0} events/s)"
+                        );
+                    }
+                }
+                Ok(Event::Checkpoint { done, total, .. }) => {
+                    checkpoints += 1;
+                    if !cfg.quiet {
+                        eprintln!("submit: checkpoint {done}/{total}");
+                    }
+                }
+                Ok(Event::ResultSlot { index, outcome, .. }) => {
+                    if let Some(slot) = results.get_mut(index as usize) {
+                        *slot = Some(outcome);
+                    }
+                }
+                Ok(Event::Done {
+                    run: r,
+                    degraded,
+                    quarantined,
+                    stats,
+                }) => {
+                    if results.iter().any(Option::is_none) {
+                        // The stream completed but slots are missing —
+                        // resubmit; journal replay makes it cheap.
+                        return Ok(Attempt::Retry(
+                            "done arrived with missing result slots".to_string(),
+                        ));
+                    }
+                    return Ok(Attempt::Complete(Box::new(SubmitReport {
+                        run: r,
+                        results: results.into_iter().map(|s| s.expect("checked")).collect(),
+                        degraded,
+                        quarantined,
+                        stats,
+                        reconnects: 0,
+                        heartbeats,
+                        checkpoints,
+                        rejections: 0,
+                    })));
+                }
+                Ok(Event::RunQuarantined { run, detail }) => {
+                    return Ok(Attempt::Fatal(format!(
+                        "run {run} was quarantined by the server: {detail}"
+                    )));
+                }
+                Ok(Event::Status(_)) | Ok(Event::Pong) => {}
+                Ok(Event::Draining) => {
+                    return Ok(Attempt::Retry("server is draining".to_string()));
+                }
+                Err(e) => {
+                    return Ok(Attempt::Retry(format!("unreadable event: {e}")));
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(Attempt::Retry("server closed the connection".to_string())),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if last_event.elapsed() >= cfg.quiet_timeout {
+                    return Ok(Attempt::Retry(format!(
+                        "no events for {:?}",
+                        cfg.quiet_timeout
+                    )));
+                }
+            }
+            Err(e) => return Ok(Attempt::Retry(format!("read failed: {e}"))),
+        }
+    }
+}
+
+/// Sends one fire-and-forget control line (`status`, `ping`, `drain`)
+/// and returns the first event line the server answers with.
+pub fn control(socket: &PathBuf, op: &str) -> Result<String, String> {
+    let mut stream =
+        UnixStream::connect(socket).map_err(|e| format!("connect {}: {e}", socket.display()))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    let line = serde_json::to_string(&Value::Object(vec![(
+        "op".into(),
+        Value::String(op.to_string()),
+    )]))
+    .expect("op serializes");
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Some(nl) = buf.iter().position(|b| *b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=nl).collect();
+            return Ok(String::from_utf8_lossy(&line[..line.len() - 1])
+                .trim()
+                .to_string());
+        }
+        if Instant::now() >= deadline {
+            return Err("timed out waiting for the server's answer".to_string());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("server closed the connection".to_string()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+}

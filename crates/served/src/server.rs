@@ -1,0 +1,1106 @@
+//! The serve daemon: accepts scenario batches over a Unix-socket
+//! JSON-lines protocol, multiplexes them onto the sweep engine, and
+//! streams progress — built crash-only. Every lifecycle transition is
+//! persisted through the checksummed service journal before it takes
+//! effect, batches are persisted write-ahead at admission, and the sweep
+//! engine's own batch journals carry the results; SIGKILL at any instant
+//! therefore loses nothing a restart (plus a client resubmission) cannot
+//! recover byte-identically.
+//!
+//! Threading model (std only, no async runtime):
+//!
+//! * an **accept loop** thread hands each connection a reader and a
+//!   writer thread;
+//! * **reader** threads parse request lines (typed rejections answered
+//!   in place, so a malformed line never blocks the scheduler) and
+//!   forward work to the scheduler;
+//! * one **scheduler** thread owns the [`RunBoard`] and service journal,
+//!   performs admission, fair-share leasing, progress polling (the batch
+//!   journal file doubles as the progress feed — the engine's atomic
+//!   rewrite-on-append means a poller always reads a consistent file),
+//!   heartbeats, wedge quarantine and drain;
+//! * one **executor** thread per active run calls
+//!   [`biglittle::sweep::run_cancelable`] with journaling + resume on,
+//!   so a restarted daemon re-running an adopted batch replays finished
+//!   scenarios instead of recomputing them.
+
+use crate::lifecycle::{Admission, BoardLimits, RunBoard, RunState};
+use crate::proto::{self, Reject, Request, SubmitOptions};
+use biglittle::{sweep, Scenario, SweepOptions};
+use bl_simcore::budget::CancelToken;
+use bl_simcore::journal::{self, Journal};
+use bl_simcore::snapstore::clean_stale_snapshots;
+use serde_json::Value;
+use std::collections::HashMap;
+use std::io::{self, Read as _, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Test hook: when this environment variable is set, every executor
+/// wedges (sleeps without progress) instead of running its sweep — the
+/// serve twin of the shard layer's `BL_SHARD_TEST_WEDGE_WORKER`, used to
+/// prove the wedge-timeout quarantine path end to end.
+pub const WEDGE_ENV: &str = "BL_SERVE_TEST_WEDGE";
+
+/// How the daemon runs: socket, state directories, execution defaults
+/// and admission/timeout knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The Unix socket path to listen on (a stale file there is removed
+    /// at bind — a SIGKILLed daemon cannot unlink it on the way down).
+    pub socket: PathBuf,
+    /// Daemon state root: the service journal (`serve.runs.jsonl`),
+    /// write-ahead batch files (`<run>.batch.json`) and the per-run
+    /// sweep journals (`journal/<run>.jsonl`).
+    pub serve_dir: PathBuf,
+    /// Persistent warm-snapshot store; `None` disables server-side
+    /// trunk hydration.
+    pub snap_dir: Option<PathBuf>,
+    /// Worker threads per run (0 = available parallelism).
+    pub jobs: usize,
+    /// Admission limits (queue depth, pending scenarios, active runs).
+    pub limits: BoardLimits,
+    /// Heartbeat cadence for subscribed clients.
+    pub heartbeat: Duration,
+    /// How long an active run may go without observable progress before
+    /// it is cancelled and quarantined.
+    pub wedge_timeout: Duration,
+    /// How long a connection may sit on a partial request line before it
+    /// is dropped (slow-trickle defense). Idle connections with no
+    /// partial line are never dropped.
+    pub stall_timeout: Duration,
+    /// Hard cap on one request line.
+    pub max_line_bytes: usize,
+    /// Per-scenario wall deadline imposed on submissions that do not set
+    /// their own — the backstop that keeps a runaway scenario from
+    /// holding an executor forever.
+    pub default_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            socket: PathBuf::from("results/.serve/serve.sock"),
+            serve_dir: PathBuf::from("results/.serve"),
+            snap_dir: Some(PathBuf::from(sweep::DEFAULT_SNAP_DIR)),
+            jobs: 0,
+            limits: BoardLimits::default(),
+            heartbeat: Duration::from_millis(1_000),
+            wedge_timeout: Duration::from_secs(30),
+            stall_timeout: Duration::from_secs(2),
+            max_line_bytes: proto::MAX_LINE_BYTES,
+            default_deadline: Duration::from_secs(600),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn journal_dir(&self) -> PathBuf {
+        self.serve_dir.join("journal")
+    }
+
+    fn batch_path(&self, run: &str) -> PathBuf {
+        self.serve_dir.join(format!("{run}.batch.json"))
+    }
+
+    fn sweep_journal_path(&self, run: &str) -> PathBuf {
+        self.journal_dir().join(format!("{run}.jsonl"))
+    }
+
+    /// The sweep options a submission executes under.
+    fn run_options(&self, req: &SubmitOptions) -> SweepOptions {
+        let mut o = SweepOptions::with_jobs(self.jobs)
+            .with_retries(req.retries)
+            .audited(req.audit)
+            .journaled(self.journal_dir())
+            .resuming(true)
+            .with_deadline(
+                req.deadline_ms
+                    .map_or(self.default_deadline, Duration::from_millis),
+            );
+        if let Some(n) = req.max_events {
+            o = o.with_event_cap(n);
+        }
+        if let Some(dir) = &self.snap_dir {
+            o = o.snap_stored(dir.clone());
+        }
+        o
+    }
+}
+
+/// SIGTERM latch. The handler only stores a flag — everything else
+/// (drain, flush, exit) happens on the scheduler thread.
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_: i32) {
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM_NO: i32 = 15;
+    unsafe {
+        signal(SIGTERM_NO, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
+/// What an executor reports back when its run finishes.
+struct FinishedRun {
+    run: String,
+    cancelled: bool,
+    degraded: bool,
+    quarantined: u64,
+    /// Per-index outcome, pre-serialized.
+    results: Vec<Result<Value, String>>,
+    stats: Value,
+}
+
+enum Cmd {
+    Connected {
+        conn: u64,
+        writer: Sender<String>,
+    },
+    Disconnected {
+        conn: u64,
+    },
+    Submit {
+        conn: u64,
+        client: String,
+        scenarios: Vec<Scenario>,
+        options: SubmitOptions,
+    },
+    Status {
+        conn: u64,
+    },
+    Drain {
+        conn: u64,
+    },
+    Finished(Box<FinishedRun>),
+}
+
+/// Everything the scheduler tracks about one non-terminal run beyond the
+/// board entry.
+struct RunMeta {
+    cancel: CancelToken,
+    /// Scenarios held for the not-yet-leased phase (dropped at lease).
+    scenarios: Option<Vec<Scenario>>,
+    options: SubmitOptions,
+    /// Journal lines already folded into progress, to parse only the tail.
+    seen_lines: usize,
+}
+
+/// Runs the daemon until drain completes. Returns the process exit code.
+pub fn serve(cfg: ServeConfig) -> io::Result<i32> {
+    install_sigterm_handler();
+    std::fs::create_dir_all(&cfg.serve_dir)?;
+    std::fs::create_dir_all(cfg.journal_dir())?;
+    startup_hygiene(&cfg);
+
+    // Stale socket file from a SIGKILLed predecessor.
+    if cfg.socket.exists() {
+        let _ = std::fs::remove_file(&cfg.socket);
+    }
+    if let Some(dir) = cfg.socket.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let listener = UnixListener::bind(&cfg.socket)?;
+    listener.set_nonblocking(true)?;
+    eprintln!("serve: listening on {}", cfg.socket.display());
+
+    let (tx, rx) = channel::<Cmd>();
+    let shutdown = std::sync::Arc::new(AtomicBool::new(false));
+
+    // Accept loop: nonblocking polls so it can observe shutdown.
+    let accept_shutdown = shutdown.clone();
+    let accept_tx = tx.clone();
+    let accept_cfg = cfg.clone();
+    let accept_handle = thread::spawn(move || {
+        let mut next_conn: u64 = 0;
+        while !accept_shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let conn = next_conn;
+                    next_conn += 1;
+                    spawn_connection(conn, stream, &accept_cfg, accept_tx.clone());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(25));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    });
+
+    let code = scheduler_loop(&cfg, tx, rx);
+
+    shutdown.store(true, Ordering::SeqCst);
+    let _ = accept_handle.join();
+    let _ = std::fs::remove_file(&cfg.socket);
+    eprintln!("serve: drained, exiting");
+    Ok(code)
+}
+
+/// Startup hygiene: sweep the debris a SIGKILLed predecessor may have
+/// left — stale snapshots, stale shard/journal artifacts, orphaned
+/// `.tmp` files in the state root — and say what was reclaimed. The age
+/// threshold honors the same override the shard layer uses, so chaos
+/// tests can force immediate cleanup.
+fn startup_hygiene(cfg: &ServeConfig) {
+    let stale_after = std::env::var(sweep::shard::STALE_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(Duration::from_secs(24 * 3600), Duration::from_millis);
+    let mut snaps = 0;
+    if let Some(dir) = &cfg.snap_dir {
+        snaps = clean_stale_snapshots(dir, stale_after);
+    }
+    let artifacts = journal::clean_stale_artifacts(&cfg.journal_dir(), "", stale_after);
+    let mut tmps = 0;
+    if let Ok(entries) = std::fs::read_dir(&cfg.serve_dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            let is_tmp = p.extension().is_some_and(|x| x == "tmp");
+            let old = e
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age >= stale_after);
+            if is_tmp && old && std::fs::remove_file(&p).is_ok() {
+                tmps += 1;
+            }
+        }
+    }
+    eprintln!(
+        "serve hygiene: reclaimed {snaps} stale snapshot(s), {artifacts} stale journal \
+         artifact(s), {tmps} orphaned tmp file(s)"
+    );
+}
+
+fn now_ms(start: Instant) -> u64 {
+    start.elapsed().as_millis() as u64
+}
+
+/// The scheduler: owns all mutable serving state, processes commands,
+/// ticks heartbeats/progress/wedges, and decides when drain is done.
+fn scheduler_loop(cfg: &ServeConfig, tx: Sender<Cmd>, rx: std::sync::mpsc::Receiver<Cmd>) -> i32 {
+    let start = Instant::now();
+    let mut board = RunBoard::new(cfg.limits);
+    let mut meta: HashMap<String, RunMeta> = HashMap::new();
+    let mut writers: HashMap<u64, Sender<String>> = HashMap::new();
+    let mut subs: HashMap<String, Vec<u64>> = HashMap::new();
+    let mut service = match Journal::open(cfg.serve_dir.join("serve.runs.jsonl"), true) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("serve: cannot open service journal: {e}");
+            return 1;
+        }
+    };
+    adopt_runs(cfg, &mut service, &mut board, &mut meta, start);
+
+    // Throughput signal: cumulative simulated events observed (journal
+    // done records + finished runs), sampled into a short window.
+    let mut observed_events: u64 = 0;
+    let mut rate_window: std::collections::VecDeque<(Instant, u64)> = Default::default();
+    let mut last_heartbeat = Instant::now();
+    let mut draining = false;
+
+    let tick = Duration::from_millis(cfg.heartbeat.as_millis().min(100) as u64);
+    loop {
+        // Lease as much as capacity allows before sleeping.
+        start_ready_runs(cfg, &mut board, &mut meta, &mut service, &tx, start);
+
+        let cmd = rx.recv_timeout(tick);
+        if SIGTERM.load(Ordering::SeqCst) && !draining {
+            draining = true;
+            board.drain();
+            journal_transition(&mut service, "daemon", "draining", "", 0);
+            eprintln!("serve: SIGTERM — draining ({} active)", board.active());
+        }
+        match cmd {
+            Ok(Cmd::Connected { conn, writer }) => {
+                writers.insert(conn, writer);
+            }
+            Ok(Cmd::Disconnected { conn }) => {
+                writers.remove(&conn);
+                for list in subs.values_mut() {
+                    list.retain(|c| *c != conn);
+                }
+            }
+            Ok(Cmd::Submit {
+                conn,
+                client,
+                scenarios,
+                options,
+            }) => {
+                handle_submit(
+                    cfg,
+                    &mut board,
+                    &mut meta,
+                    &mut subs,
+                    &writers,
+                    &mut service,
+                    conn,
+                    client,
+                    scenarios,
+                    options,
+                    start,
+                );
+            }
+            Ok(Cmd::Status { conn }) => {
+                let eps = events_per_sec(&rate_window);
+                let line = status_line(&board, writers.len(), eps, draining || board.draining());
+                send_to(&writers, conn, &line);
+            }
+            Ok(Cmd::Drain { conn }) => {
+                if !draining {
+                    draining = true;
+                    board.drain();
+                    journal_transition(&mut service, "daemon", "draining", "", 0);
+                    eprintln!("serve: drain requested ({} active)", board.active());
+                }
+                send_to(&writers, conn, &proto::draining_line());
+            }
+            Ok(Cmd::Finished(f)) => {
+                finish_run(
+                    cfg,
+                    &mut board,
+                    &mut meta,
+                    &mut subs,
+                    &mut writers,
+                    &mut service,
+                    *f,
+                    &mut observed_events,
+                );
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return 0,
+        }
+
+        // Progress polling + wedge detection on every pass.
+        poll_progress(
+            cfg,
+            &mut board,
+            &mut meta,
+            &subs,
+            &mut writers,
+            &mut service,
+            &mut observed_events,
+            start,
+        );
+        let wedged = board.wedged(now_ms(start), cfg.wedge_timeout.as_millis() as u64);
+        for run in wedged {
+            if let Some(m) = meta.get(&run) {
+                eprintln!(
+                    "serve: run {run} made no progress for {:?} — cancelling",
+                    cfg.wedge_timeout
+                );
+                m.cancel.cancel();
+                // Terminal bookkeeping happens when the executor reports
+                // back Finished{cancelled: true}.
+            }
+        }
+
+        // Heartbeats + throughput sampling on the configured cadence.
+        if last_heartbeat.elapsed() >= cfg.heartbeat {
+            last_heartbeat = Instant::now();
+            rate_window.push_back((Instant::now(), observed_events));
+            while rate_window.len() > 16 {
+                rate_window.pop_front();
+            }
+            let eps = events_per_sec(&rate_window);
+            let runs: Vec<String> = subs.keys().cloned().collect();
+            for run in runs {
+                if let Some(e) = board.get(&run) {
+                    if !e.state.is_terminal() {
+                        let line = proto::heartbeat_line(
+                            &run,
+                            e.state.as_str(),
+                            e.done as u64,
+                            e.total as u64,
+                            eps,
+                        );
+                        broadcast(&subs, &mut writers, &run, &line);
+                    }
+                }
+            }
+        }
+
+        if draining && board.active() == 0 {
+            return 0;
+        }
+    }
+}
+
+/// Re-queues every non-terminal run found in the service journal: the
+/// restarted daemon adopts in-flight work, and the engine's journal
+/// replay keeps adopted re-runs byte-identical and cheap.
+fn adopt_runs(
+    cfg: &ServeConfig,
+    service: &mut Journal,
+    board: &mut RunBoard,
+    meta: &mut HashMap<String, RunMeta>,
+    start: Instant,
+) {
+    // Fold the journal: latest state per run wins.
+    let mut latest: Vec<(String, (String, String, u64))> = Vec::new();
+    for line in service.records() {
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            continue;
+        };
+        if v.get("ev").and_then(Value::as_str) != Some("run") {
+            continue;
+        }
+        let (Some(run), Some(state)) = (
+            v.get("run").and_then(Value::as_str),
+            v.get("state").and_then(Value::as_str),
+        ) else {
+            continue;
+        };
+        let client = v.get("client").and_then(Value::as_str).unwrap_or("anon");
+        let n = v.get("n").and_then(Value::as_u64).unwrap_or(0);
+        latest.retain(|(r, _)| r != run);
+        latest.push((run.to_string(), (state.to_string(), client.to_string(), n)));
+    }
+    let mut adopted = 0;
+    for (run, (state, client, n)) in &latest {
+        let Some(state) = RunState::parse(state) else {
+            continue;
+        };
+        if state.is_terminal() {
+            continue;
+        }
+        // Reload the write-ahead batch file; without it the run cannot
+        // be re-executed and is quarantined on the spot.
+        match load_batch_file(&cfg.batch_path(run)) {
+            Some((scenarios, options)) => {
+                if board
+                    .submit(run, client, scenarios.len(), now_ms(start))
+                    .is_ok()
+                {
+                    meta.insert(
+                        run.clone(),
+                        RunMeta {
+                            cancel: CancelToken::new(),
+                            scenarios: Some(scenarios),
+                            options,
+                            seen_lines: 0,
+                        },
+                    );
+                    adopted += 1;
+                    eprintln!(
+                        "serve: adopted run {run} ({n} scenarios, was {})",
+                        state.as_str()
+                    );
+                }
+            }
+            None => {
+                eprintln!("serve: run {run} has no readable batch file — quarantining");
+                board.submit(run, client, *n as usize, now_ms(start)).ok();
+                board.quarantine(run);
+                journal_transition(service, run, RunState::Quarantined.as_str(), client, *n);
+            }
+        }
+    }
+    // Compact: the folded view replaces the full history, bounding the
+    // journal across restarts (every append rewrites the whole file).
+    let compacted: Vec<String> = latest
+        .iter()
+        .map(|(run, (state, client, n))| run_record(run, state, client, *n))
+        .collect();
+    if compacted.len() < service.records().len() {
+        if let Ok(mut fresh) = Journal::open(service.path().to_path_buf(), false) {
+            if fresh.append_all(&compacted).is_ok() {
+                *service = fresh;
+            }
+        }
+    }
+    if adopted > 0 {
+        eprintln!("serve: adopted {adopted} in-flight run(s) from the service journal");
+    }
+}
+
+fn run_record(run: &str, state: &str, client: &str, n: u64) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("ev".into(), Value::String("run".into())),
+        ("run".into(), Value::String(run.to_string())),
+        ("state".into(), Value::String(state.to_string())),
+        ("client".into(), Value::String(client.to_string())),
+        ("n".into(), Value::UInt(n)),
+    ]))
+    .expect("record serializes")
+}
+
+/// Persists one lifecycle transition. Journal failures are logged, not
+/// fatal: the daemon degrades to serving without durability rather than
+/// dying mid-request.
+fn journal_transition(service: &mut Journal, run: &str, state: &str, client: &str, n: u64) {
+    if let Err(e) = service.append(&run_record(run, state, client, n)) {
+        eprintln!("serve: service journal append failed: {e}");
+    }
+}
+
+fn load_batch_file(path: &Path) -> Option<(Vec<Scenario>, SubmitOptions)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: Value = serde_json::from_str(&text).ok()?;
+    let raw = v.get("scenarios")?.as_array()?;
+    let mut scenarios = Vec::with_capacity(raw.len());
+    for sc in raw {
+        scenarios.push(serde_json::from_value::<Scenario>(sc.clone()).ok()?);
+    }
+    let options = SubmitOptions {
+        deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+        max_events: v.get("max_events").and_then(Value::as_u64),
+        retries: v.get("retries").and_then(Value::as_u64).unwrap_or(0) as u32,
+        audit: matches!(v.get("audit"), Some(Value::Bool(true))),
+    };
+    Some((scenarios, options))
+}
+
+/// Writes the batch file write-ahead (tmp + fsync + rename), so an
+/// admitted run survives SIGKILL before its executor ever starts.
+fn store_batch_file(
+    path: &Path,
+    scenarios: &[Scenario],
+    options: &SubmitOptions,
+) -> io::Result<()> {
+    let mut fields = vec![(
+        "scenarios".into(),
+        Value::Array(
+            scenarios
+                .iter()
+                .map(|sc| serde_json::to_value(sc).expect("scenario serializes"))
+                .collect(),
+        ),
+    )];
+    if let Some(ms) = options.deadline_ms {
+        fields.push(("deadline_ms".into(), Value::UInt(ms)));
+    }
+    if let Some(n) = options.max_events {
+        fields.push(("max_events".into(), Value::UInt(n)));
+    }
+    if options.retries > 0 {
+        fields.push(("retries".into(), Value::UInt(u64::from(options.retries))));
+    }
+    if options.audit {
+        fields.push(("audit".into(), Value::Bool(true)));
+    }
+    let body = serde_json::to_string(&Value::Object(fields)).expect("batch serializes");
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(body.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        journal::fsync_dir(dir);
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_submit(
+    cfg: &ServeConfig,
+    board: &mut RunBoard,
+    meta: &mut HashMap<String, RunMeta>,
+    subs: &mut HashMap<String, Vec<u64>>,
+    writers: &HashMap<u64, Sender<String>>,
+    service: &mut Journal,
+    conn: u64,
+    client: String,
+    scenarios: Vec<Scenario>,
+    options: SubmitOptions,
+    start: Instant,
+) {
+    let opts = cfg.run_options(&options);
+    let run = sweep::batch_key_for(&scenarios, &opts);
+    let n = scenarios.len() as u64;
+    match board.submit(&run, &client, scenarios.len(), now_ms(start)) {
+        Err(reject) => {
+            send_to(
+                writers,
+                conn,
+                &proto::rejected_line(reject, reject.as_str()),
+            );
+        }
+        Ok(Admission::Attached { .. }) => {
+            subs.entry(run.clone()).or_default().push(conn);
+            send_to(writers, conn, &proto::admitted_line(&run, 0));
+        }
+        Ok(Admission::Queued { position }) => {
+            // Write-ahead: batch file first, then the journaled
+            // transitions, then the answer — a crash between any two
+            // steps leaves recoverable state, never a lie to the client.
+            if let Err(e) = store_batch_file(&cfg.batch_path(&run), &scenarios, &options) {
+                eprintln!("serve: cannot persist batch for run {run}: {e}");
+            }
+            journal_transition(service, &run, RunState::Submitted.as_str(), &client, n);
+            journal_transition(service, &run, RunState::Admitted.as_str(), &client, n);
+            meta.insert(
+                run.clone(),
+                RunMeta {
+                    cancel: CancelToken::new(),
+                    scenarios: Some(scenarios),
+                    options,
+                    seen_lines: 0,
+                },
+            );
+            subs.entry(run.clone()).or_default().push(conn);
+            send_to(writers, conn, &proto::admitted_line(&run, position));
+        }
+    }
+}
+
+/// Leases queued runs onto executor threads while capacity allows.
+fn start_ready_runs(
+    cfg: &ServeConfig,
+    board: &mut RunBoard,
+    meta: &mut HashMap<String, RunMeta>,
+    service: &mut Journal,
+    tx: &Sender<Cmd>,
+    start: Instant,
+) {
+    while let Some(run) = board.start_next(now_ms(start)) {
+        let Some(m) = meta.get_mut(&run) else {
+            board.quarantine(&run);
+            continue;
+        };
+        let entry = board.get(&run).expect("leased run is tracked");
+        journal_transition(
+            service,
+            &run,
+            RunState::Leased.as_str(),
+            &entry.client,
+            entry.total as u64,
+        );
+        let scenarios = m.scenarios.take().unwrap_or_default();
+        let opts = cfg.run_options(&m.options);
+        let cancel = m.cancel.clone();
+        let tx = tx.clone();
+        let run_name = run.clone();
+        thread::spawn(move || executor(run_name, scenarios, opts, cancel, tx));
+    }
+}
+
+/// One run's executor. Reports back whatever happened; a panic would be
+/// caught by the engine's own supervision, and a send failure means the
+/// daemon is already gone.
+fn executor(
+    run: String,
+    scenarios: Vec<Scenario>,
+    opts: SweepOptions,
+    cancel: CancelToken,
+    tx: Sender<Cmd>,
+) {
+    if std::env::var(WEDGE_ENV).is_ok() {
+        // Chaos hook: hold the lease without making progress until the
+        // scheduler's wedge timeout cancels us.
+        while !cancel.is_cancelled() {
+            thread::sleep(Duration::from_millis(20));
+        }
+        let _ = tx.send(Cmd::Finished(Box::new(FinishedRun {
+            run,
+            cancelled: true,
+            degraded: true,
+            quarantined: 0,
+            results: Vec::new(),
+            stats: Value::Null,
+        })));
+        return;
+    }
+    let t0 = Instant::now();
+    let out = sweep::run_cancelable(&scenarios, &opts, &cancel);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let results: Vec<Result<Value, String>> = out
+        .results
+        .iter()
+        .map(|r| match r {
+            Ok(res) => Ok(serde_json::to_value(res).expect("result serializes")),
+            Err(e) => Err(e.to_string()),
+        })
+        .collect();
+    let s = &out.stats;
+    let stats = Value::Object(vec![
+        ("scenarios".into(), Value::UInt(s.scenarios)),
+        ("cache_hits".into(), Value::UInt(s.cache_hits)),
+        ("resumed".into(), Value::UInt(s.resumed)),
+        ("forked".into(), Value::UInt(s.forked)),
+        ("retries".into(), Value::UInt(s.retries)),
+        ("quarantined".into(), Value::UInt(s.quarantined)),
+        ("events".into(), Value::UInt(s.events)),
+        (
+            "events_per_sec".into(),
+            Value::Float(if wall_ms > 0.0 {
+                s.events as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            }),
+        ),
+        ("hydrated".into(), Value::UInt(s.snapshot.hydrated)),
+        ("published".into(), Value::UInt(s.snapshot.published)),
+        (
+            "trunk_ms_saved".into(),
+            Value::Float(s.snapshot.trunk_ms_saved),
+        ),
+        ("wall_ms".into(), Value::Float(wall_ms)),
+    ]);
+    let _ = tx.send(Cmd::Finished(Box::new(FinishedRun {
+        run,
+        cancelled: cancel.is_cancelled(),
+        degraded: out.degraded,
+        quarantined: out.quarantined.len() as u64,
+        results,
+        stats,
+    })));
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_run(
+    cfg: &ServeConfig,
+    board: &mut RunBoard,
+    meta: &mut HashMap<String, RunMeta>,
+    subs: &mut HashMap<String, Vec<u64>>,
+    writers: &mut HashMap<u64, Sender<String>>,
+    service: &mut Journal,
+    f: FinishedRun,
+    observed_events: &mut u64,
+) {
+    let (client, total) = board
+        .get(&f.run)
+        .map(|e| (e.client.clone(), e.total as u64))
+        .unwrap_or_default();
+    if f.cancelled {
+        board.quarantine(&f.run);
+        journal_transition(
+            service,
+            &f.run,
+            RunState::Quarantined.as_str(),
+            &client,
+            total,
+        );
+        broadcast(
+            subs,
+            writers,
+            &f.run,
+            &proto::quarantined_line(
+                &f.run,
+                "run made no progress within the server wedge timeout and was cancelled",
+            ),
+        );
+        eprintln!("serve: run {} quarantined", f.run);
+    } else {
+        board.complete(&f.run);
+        journal_transition(service, &f.run, RunState::Complete.as_str(), &client, total);
+        if let Some(ev) = f.stats.get("events").and_then(Value::as_u64) {
+            *observed_events += ev;
+        }
+        for (i, outcome) in f.results.iter().enumerate() {
+            broadcast(
+                subs,
+                writers,
+                &f.run,
+                &proto::result_line(&f.run, i as u64, outcome),
+            );
+        }
+        broadcast(
+            subs,
+            writers,
+            &f.run,
+            &proto::done_line(&f.run, f.degraded, f.quarantined, f.stats.clone()),
+        );
+        eprintln!(
+            "serve: run {} complete ({} scenarios)",
+            f.run,
+            f.results.len()
+        );
+    }
+    // Terminal runs need no batch file: the journaled transition is the
+    // durable record, and results live in the sweep journal.
+    let _ = std::fs::remove_file(cfg.batch_path(&f.run));
+    meta.remove(&f.run);
+    subs.remove(&f.run);
+}
+
+/// Folds fresh sweep-journal lines into progress counts, checkpoint
+/// events and the throughput signal. The sweep journal's atomic
+/// rewrite-on-append makes concurrent reads consistent by construction.
+#[allow(clippy::too_many_arguments)]
+fn poll_progress(
+    cfg: &ServeConfig,
+    board: &mut RunBoard,
+    meta: &mut HashMap<String, RunMeta>,
+    subs: &HashMap<String, Vec<u64>>,
+    writers: &mut HashMap<u64, Sender<String>>,
+    service: &mut Journal,
+    observed_events: &mut u64,
+    start: Instant,
+) {
+    let active: Vec<String> = meta.keys().cloned().collect();
+    for run in active {
+        let Some(entry) = board.get(&run) else {
+            continue;
+        };
+        if !matches!(entry.state, RunState::Leased | RunState::Running) {
+            continue;
+        }
+        let was_leased = entry.state == RunState::Leased;
+        let (client, total) = (entry.client.clone(), entry.total as u64);
+        let path = cfg.sweep_journal_path(&run);
+        let Ok(lines) = Journal::load(&path) else {
+            continue;
+        };
+        let Some(m) = meta.get_mut(&run) else {
+            continue;
+        };
+        if lines.len() > m.seen_lines {
+            for line in &lines[m.seen_lines..] {
+                if line.starts_with("{\"ev\":\"done\"") {
+                    if let Ok(v) = serde_json::from_str::<Value>(line) {
+                        if let Some(ev) = v
+                            .get("result")
+                            .and_then(|r| r.get("events_processed"))
+                            .and_then(Value::as_u64)
+                        {
+                            *observed_events += ev;
+                        }
+                    }
+                }
+            }
+            m.seen_lines = lines.len();
+        }
+        let done = lines
+            .iter()
+            .filter(|l| l.starts_with("{\"ev\":\"done\"") || l.starts_with("{\"ev\":\"err\""))
+            .count();
+        if board.progress(&run, done, now_ms(start)) {
+            if was_leased {
+                journal_transition(service, &run, RunState::Running.as_str(), &client, total);
+            }
+            broadcast(
+                subs,
+                writers,
+                &run,
+                &proto::checkpoint_line(&run, done as u64, total),
+            );
+        } else if was_leased && path.exists() {
+            // The engine opened its journal: the run is observably alive
+            // even before its first completed scenario.
+            board.mark_running(&run, now_ms(start));
+            journal_transition(service, &run, RunState::Running.as_str(), &client, total);
+        }
+    }
+}
+
+fn events_per_sec(window: &std::collections::VecDeque<(Instant, u64)>) -> f64 {
+    match (window.front(), window.back()) {
+        (Some((t0, e0)), Some((t1, e1))) if t1 > t0 => {
+            let dt = t1.duration_since(*t0).as_secs_f64();
+            if dt > 0.0 {
+                (e1 - e0) as f64 / dt
+            } else {
+                0.0
+            }
+        }
+        _ => 0.0,
+    }
+}
+
+fn status_line(board: &RunBoard, clients: usize, eps: f64, draining: bool) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("ev".into(), Value::String("status".into())),
+        ("queued".into(), Value::UInt(board.queued() as u64)),
+        ("active".into(), Value::UInt(board.active() as u64)),
+        (
+            "pending_scenarios".into(),
+            Value::UInt(board.pending_scenarios() as u64),
+        ),
+        ("completed".into(), Value::UInt(board.completed())),
+        (
+            "quarantined_runs".into(),
+            Value::UInt(board.quarantined_runs()),
+        ),
+        ("clients".into(), Value::UInt(clients as u64)),
+        ("events_per_sec".into(), Value::Float(eps)),
+        ("draining".into(), Value::Bool(draining)),
+    ]))
+    .expect("status serializes")
+}
+
+fn send_to(writers: &HashMap<u64, Sender<String>>, conn: u64, line: &str) {
+    if let Some(w) = writers.get(&conn) {
+        let _ = w.send(line.to_string());
+    }
+}
+
+/// Sends a line to every subscriber of `run`, pruning writers whose
+/// connection died — a disconnected client degrades to "nobody
+/// listening", never to an error.
+fn broadcast(
+    subs: &HashMap<String, Vec<u64>>,
+    writers: &mut HashMap<u64, Sender<String>>,
+    run: &str,
+    line: &str,
+) {
+    if let Some(conns) = subs.get(run) {
+        for conn in conns {
+            if let Some(w) = writers.get(conn) {
+                if w.send(line.to_string()).is_err() {
+                    writers.remove(conn);
+                }
+            }
+        }
+    }
+}
+
+// ---- per-connection I/O ----------------------------------------------------
+
+fn spawn_connection(conn: u64, stream: UnixStream, cfg: &ServeConfig, tx: Sender<Cmd>) {
+    let (wtx, wrx) = channel::<String>();
+    if tx
+        .send(Cmd::Connected {
+            conn,
+            writer: wtx.clone(),
+        })
+        .is_err()
+    {
+        return;
+    }
+    // Writer half: owns a clone of the stream; exits when the channel
+    // closes or the peer goes away.
+    let wstream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    thread::spawn(move || {
+        let mut out = io::BufWriter::new(wstream);
+        for line in wrx {
+            if out.write_all(line.as_bytes()).is_err()
+                || out.write_all(b"\n").is_err()
+                || out.flush().is_err()
+            {
+                break;
+            }
+        }
+    });
+    // Reader half.
+    let cfg = cfg.clone();
+    thread::spawn(move || {
+        reader_loop(conn, stream, &cfg, &tx, &wtx);
+        let _ = tx.send(Cmd::Disconnected { conn });
+    });
+}
+
+/// Reads request lines with three defenses: a hard per-line size cap
+/// (oversized lines are answered with `TooLarge` and discarded up to the
+/// next newline, the connection stays usable), a stall timeout on
+/// *partial* lines (slow-trickle senders are dropped; idle subscribers
+/// are not), and typed rejections for unparseable lines answered in
+/// place.
+fn reader_loop(
+    conn: u64,
+    mut stream: UnixStream,
+    cfg: &ServeConfig,
+    tx: &Sender<Cmd>,
+    writer: &Sender<String>,
+) {
+    const POLL: Duration = Duration::from_millis(100);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let mut discarding = false;
+    let mut stalled = Duration::ZERO;
+    loop {
+        // Drain complete lines from the buffer first.
+        while let Some(nl) = buf.iter().position(|b| *b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=nl).collect();
+            stalled = Duration::ZERO;
+            if discarding {
+                // The tail of an oversized line — already rejected.
+                discarding = false;
+                continue;
+            }
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            match proto::parse_request(text) {
+                Ok(Request::Ping) => {
+                    let _ = writer.send(proto::pong_line());
+                }
+                Ok(Request::Status) => {
+                    if tx.send(Cmd::Status { conn }).is_err() {
+                        return;
+                    }
+                }
+                Ok(Request::Drain) => {
+                    if tx.send(Cmd::Drain { conn }).is_err() {
+                        return;
+                    }
+                }
+                Ok(Request::Submit {
+                    client,
+                    scenarios,
+                    options,
+                }) => {
+                    if tx
+                        .send(Cmd::Submit {
+                            conn,
+                            client,
+                            scenarios,
+                            options,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                Err((reject, detail)) => {
+                    let _ = writer.send(proto::rejected_line(reject, &detail));
+                }
+            }
+        }
+        if !discarding && buf.len() > cfg.max_line_bytes {
+            let _ = writer.send(proto::rejected_line(
+                Reject::TooLarge,
+                &format!("request line exceeds {} bytes", cfg.max_line_bytes),
+            ));
+            buf.clear();
+            discarding = true;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                if discarding {
+                    // Keep only from the newline on, if one arrived.
+                    if let Some(nl) = chunk[..n].iter().position(|b| *b == b'\n') {
+                        buf.extend_from_slice(&chunk[nl..n]);
+                    }
+                } else {
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                stalled = Duration::ZERO;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if !buf.is_empty() || discarding {
+                    stalled += POLL;
+                    if stalled >= cfg.stall_timeout {
+                        // A partial line going nowhere: drop the
+                        // connection, not the daemon.
+                        return;
+                    }
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
